@@ -1,0 +1,144 @@
+// E10 — timing microbenchmarks (google-benchmark): construction and query
+// costs of every core primitive vs mesh size.
+#include <benchmark/benchmark.h>
+
+#include "core/boundary2d.h"
+#include "core/feasibility2d.h"
+#include "core/feasibility3d.h"
+#include "core/model.h"
+#include "core/reachability.h"
+#include "mesh/fault_injection.h"
+#include "proto/stack2d.h"
+
+namespace {
+
+using namespace mcc;
+
+mesh::FaultSet2D make_faults2(const mesh::Mesh2D& m, double rate,
+                              uint64_t seed) {
+  util::Rng rng(seed);
+  return mesh::inject_uniform(m, rate, rng);
+}
+
+void BM_Labeling2D(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const mesh::Mesh2D m(k, k);
+  const auto f = make_faults2(m, 0.10, 42);
+  for (auto _ : state) {
+    core::LabelField2D labels(m, f);
+    benchmark::DoNotOptimize(labels.healthy_unsafe_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(m.node_count()));
+}
+BENCHMARK(BM_Labeling2D)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Labeling3D(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const mesh::Mesh3D m(k, k, k);
+  util::Rng rng(43);
+  const auto f = mesh::inject_uniform(m, 0.10, rng);
+  for (auto _ : state) {
+    core::LabelField3D labels(m, f);
+    benchmark::DoNotOptimize(labels.healthy_unsafe_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(m.node_count()));
+}
+BENCHMARK(BM_Labeling3D)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_RegionExtraction2D(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const mesh::Mesh2D m(k, k);
+  const auto f = make_faults2(m, 0.10, 44);
+  const core::LabelField2D labels(m, f);
+  for (auto _ : state) {
+    core::MccSet2D mccs(m, labels);
+    benchmark::DoNotOptimize(mccs.regions().size());
+  }
+}
+BENCHMARK(BM_RegionExtraction2D)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BoundaryConstruction2D(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const mesh::Mesh2D m(k, k);
+  const auto f = make_faults2(m, 0.10, 45);
+  const core::LabelField2D labels(m, f);
+  const core::MccSet2D mccs(m, labels);
+  for (auto _ : state) {
+    core::Boundary2D b(m, labels, mccs);
+    benchmark::DoNotOptimize(b.record_count());
+  }
+}
+BENCHMARK(BM_BoundaryConstruction2D)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ReachField2D(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const mesh::Mesh2D m(k, k);
+  const auto f = make_faults2(m, 0.10, 46);
+  const core::LabelField2D labels(m, f);
+  for (auto _ : state) {
+    core::ReachField2D field(m, labels, {k - 1, k - 1},
+                             core::NodeFilter::SafeOnly);
+    benchmark::DoNotOptimize(field.feasible({0, 0}));
+  }
+}
+BENCHMARK(BM_ReachField2D)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Detect2D(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const mesh::Mesh2D m(k, k);
+  const auto f = make_faults2(m, 0.10, 47);
+  const core::LabelField2D labels(m, f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::detect2d(m, labels, {0, 0}, {k - 1, k - 1}).feasible());
+  }
+}
+BENCHMARK(BM_Detect2D)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Detect3D(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const mesh::Mesh3D m(k, k, k);
+  util::Rng rng(48);
+  const auto f = mesh::inject_uniform(m, 0.08, rng);
+  const core::LabelField3D labels(m, f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::detect3d(m, labels, {0, 0, 0}, {k - 1, k - 1, k - 1})
+            .feasible());
+  }
+}
+BENCHMARK(BM_Detect3D)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_RouteRecords2D(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const mesh::Mesh2D m(k, k);
+  const auto f = make_faults2(m, 0.08, 49);
+  const core::MccModel2D model(m, f);
+  // Warm the octant cache outside the loop.
+  benchmark::DoNotOptimize(model.feasible({0, 0}, {k - 1, k - 1}).feasible);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto r = model.route({0, 0}, {k - 1, k - 1},
+                               core::RouterKind::Records,
+                               core::RoutePolicy::Random, ++seed);
+    benchmark::DoNotOptimize(r.delivered);
+  }
+}
+BENCHMARK(BM_RouteRecords2D)->Arg(32)->Arg(64);
+
+void BM_DistributedStack2D(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const mesh::Mesh2D m(k, k);
+  const auto f = make_faults2(m, 0.08, 50);
+  for (auto _ : state) {
+    proto::Stack2D stack(m, f);
+    benchmark::DoNotOptimize(stack.total_messages());
+  }
+}
+BENCHMARK(BM_DistributedStack2D)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,247 @@
+#include "baselines/fault_block.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+namespace mcc::baselines {
+
+using mesh::Coord2;
+using mesh::Coord3;
+
+namespace {
+
+// Counts the distinct blocked dimensions around a healthy node.
+template <class Mesh, class Coord>
+int blocked_dims(const Mesh& mesh, const auto& unsafe, Coord c) {
+  int dims = 0;
+  int bit = 0;
+  auto probe = [&](Coord n, int axis) {
+    if (mesh.contains(n) && unsafe[mesh.index(n)]) bit |= 1 << axis;
+  };
+  if constexpr (requires { c.z; }) {
+    probe({c.x + 1, c.y, c.z}, 0);
+    probe({c.x - 1, c.y, c.z}, 0);
+    probe({c.x, c.y + 1, c.z}, 1);
+    probe({c.x, c.y - 1, c.z}, 1);
+    probe({c.x, c.y, c.z + 1}, 2);
+    probe({c.x, c.y, c.z - 1}, 2);
+  } else {
+    probe({c.x + 1, c.y}, 0);
+    probe({c.x - 1, c.y}, 0);
+    probe({c.x, c.y + 1}, 1);
+    probe({c.x, c.y - 1}, 1);
+  }
+  for (int a = 0; a < 3; ++a)
+    if (bit & (1 << a)) ++dims;
+  return dims;
+}
+
+template <class Mesh, class Coord, class Grid>
+int safety_fixpoint(const Mesh& mesh, Grid& unsafe) {
+  int healthy_unsafe = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < mesh.node_count(); ++i) {
+      if (unsafe[i]) continue;
+      const Coord c = mesh.coord(i);
+      if (blocked_dims(mesh, unsafe, c) >= 2) {
+        unsafe[i] = 1;
+        ++healthy_unsafe;
+        changed = true;
+      }
+    }
+  }
+  return healthy_unsafe;
+}
+
+}  // namespace
+
+BlockField2D safety_fill(const mesh::Mesh2D& mesh,
+                         const mesh::FaultSet2D& faults) {
+  util::Grid2<uint8_t> unsafe(mesh.nx(), mesh.ny(), uint8_t{0});
+  for (int y = 0; y < mesh.ny(); ++y)
+    for (int x = 0; x < mesh.nx(); ++x)
+      if (faults.is_faulty({x, y})) unsafe.at(x, y) = 1;
+  const int healthy = safety_fixpoint<mesh::Mesh2D, Coord2>(mesh, unsafe);
+  return BlockField2D(std::move(unsafe), healthy);
+}
+
+BlockField3D safety_fill(const mesh::Mesh3D& mesh,
+                         const mesh::FaultSet3D& faults) {
+  util::Grid3<uint8_t> unsafe(mesh.nx(), mesh.ny(), mesh.nz(), uint8_t{0});
+  for (int z = 0; z < mesh.nz(); ++z)
+    for (int y = 0; y < mesh.ny(); ++y)
+      for (int x = 0; x < mesh.nx(); ++x)
+        if (faults.is_faulty({x, y, z})) unsafe.at(x, y, z) = 1;
+  const int healthy = safety_fixpoint<mesh::Mesh3D, Coord3>(mesh, unsafe);
+  return BlockField3D(std::move(unsafe), healthy);
+}
+
+namespace {
+
+struct Box2 {
+  int x0, x1, y0, y1;
+  // Boxes merge when they overlap OR touch (adjacent faults of one
+  // component start as touching unit boxes and must coalesce into the
+  // component's bounding rectangle).
+  bool intersects(const Box2& o) const {
+    return x0 <= o.x1 + 1 && o.x0 <= x1 + 1 && y0 <= o.y1 + 1 &&
+           o.y0 <= y1 + 1;
+  }
+  void merge(const Box2& o) {
+    x0 = std::min(x0, o.x0);
+    x1 = std::max(x1, o.x1);
+    y0 = std::min(y0, o.y0);
+    y1 = std::max(y1, o.y1);
+  }
+};
+
+struct Box3 {
+  int x0, x1, y0, y1, z0, z1;
+  bool intersects(const Box3& o) const {
+    return x0 <= o.x1 + 1 && o.x0 <= x1 + 1 && y0 <= o.y1 + 1 &&
+           o.y0 <= y1 + 1 && z0 <= o.z1 + 1 && o.z0 <= z1 + 1;
+  }
+  void merge(const Box3& o) {
+    x0 = std::min(x0, o.x0);
+    x1 = std::max(x1, o.x1);
+    y0 = std::min(y0, o.y0);
+    y1 = std::max(y1, o.y1);
+    z0 = std::min(z0, o.z0);
+    z1 = std::max(z1, o.z1);
+  }
+};
+
+template <class Box>
+void coalesce(std::vector<Box>& boxes) {
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (size_t i = 0; i < boxes.size() && !merged; ++i) {
+      for (size_t j = i + 1; j < boxes.size() && !merged; ++j) {
+        if (boxes[i].intersects(boxes[j])) {
+          boxes[i].merge(boxes[j]);
+          boxes.erase(boxes.begin() + static_cast<long>(j));
+          merged = true;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+BlockField2D bounding_box_fill(const mesh::Mesh2D& mesh,
+                               const mesh::FaultSet2D& faults) {
+  std::vector<Box2> boxes;
+  for (const Coord2 c : faults.faulty_nodes())
+    boxes.push_back({c.x, c.x, c.y, c.y});
+  coalesce(boxes);
+
+  util::Grid2<uint8_t> unsafe(mesh.nx(), mesh.ny(), uint8_t{0});
+  int healthy = 0;
+  for (const Box2& b : boxes)
+    for (int y = b.y0; y <= b.y1; ++y)
+      for (int x = b.x0; x <= b.x1; ++x) {
+        if (!unsafe.at(x, y)) {
+          unsafe.at(x, y) = 1;
+          if (!faults.is_faulty({x, y})) ++healthy;
+        }
+      }
+  return BlockField2D(std::move(unsafe), healthy);
+}
+
+BlockField3D bounding_box_fill(const mesh::Mesh3D& mesh,
+                               const mesh::FaultSet3D& faults) {
+  std::vector<Box3> boxes;
+  for (const Coord3 c : faults.faulty_nodes())
+    boxes.push_back({c.x, c.x, c.y, c.y, c.z, c.z});
+  coalesce(boxes);
+
+  util::Grid3<uint8_t> unsafe(mesh.nx(), mesh.ny(), mesh.nz(), uint8_t{0});
+  int healthy = 0;
+  for (const Box3& b : boxes)
+    for (int z = b.z0; z <= b.z1; ++z)
+      for (int y = b.y0; y <= b.y1; ++y)
+        for (int x = b.x0; x <= b.x1; ++x) {
+          if (!unsafe.at(x, y, z)) {
+            unsafe.at(x, y, z) = 1;
+            if (!faults.is_faulty({x, y, z})) ++healthy;
+          }
+        }
+  return BlockField3D(std::move(unsafe), healthy);
+}
+
+bool block_feasible(const mesh::Mesh2D& mesh, const BlockField2D& blocks,
+                    Coord2 s, Coord2 d) {
+  (void)mesh;
+  const int sx = std::min(s.x, d.x), dx = std::max(s.x, d.x);
+  const int sy = std::min(s.y, d.y), dy = std::max(s.y, d.y);
+  const Coord2 lo{sx, sy};
+  util::Grid2<uint8_t> reach(dx - sx + 1, dy - sy + 1, uint8_t{0});
+  // Canonicalize by flipping: walk from the low corner toward the high one
+  // in the (sign-adjusted) monotone DAG. Using physical coordinates with
+  // per-axis step signs keeps this flip-free.
+  const int step_x = s.x <= d.x ? 1 : -1;
+  const int step_y = s.y <= d.y ? 1 : -1;
+  (void)lo;
+  auto idx = [&](Coord2 c) {
+    return std::pair{std::abs(c.x - s.x), std::abs(c.y - s.y)};
+  };
+  if (blocks.unsafe(s) || blocks.unsafe(d)) return false;
+  std::deque<Coord2> work{s};
+  reach.at(0, 0) = 1;
+  while (!work.empty()) {
+    const Coord2 c = work.front();
+    work.pop_front();
+    if (c == d) return true;
+    const Coord2 nexts[2] = {{c.x + step_x, c.y}, {c.x, c.y + step_y}};
+    for (const Coord2 n : nexts) {
+      if (std::abs(n.x - s.x) > std::abs(d.x - s.x) ||
+          std::abs(n.y - s.y) > std::abs(d.y - s.y))
+        continue;
+      const auto [ix, iy] = idx(n);
+      if (reach.at(ix, iy) || blocks.unsafe(n)) continue;
+      reach.at(ix, iy) = 1;
+      work.push_back(n);
+    }
+  }
+  return false;
+}
+
+bool block_feasible(const mesh::Mesh3D& mesh, const BlockField3D& blocks,
+                    Coord3 s, Coord3 d) {
+  (void)mesh;
+  util::Grid3<uint8_t> reach(std::abs(d.x - s.x) + 1, std::abs(d.y - s.y) + 1,
+                             std::abs(d.z - s.z) + 1, uint8_t{0});
+  const int step_x = s.x <= d.x ? 1 : -1;
+  const int step_y = s.y <= d.y ? 1 : -1;
+  const int step_z = s.z <= d.z ? 1 : -1;
+  if (blocks.unsafe(s) || blocks.unsafe(d)) return false;
+  std::deque<Coord3> work{s};
+  reach.at(0, 0, 0) = 1;
+  while (!work.empty()) {
+    const Coord3 c = work.front();
+    work.pop_front();
+    if (c == d) return true;
+    const Coord3 nexts[3] = {{c.x + step_x, c.y, c.z},
+                             {c.x, c.y + step_y, c.z},
+                             {c.x, c.y, c.z + step_z}};
+    for (const Coord3 n : nexts) {
+      if (std::abs(n.x - s.x) > std::abs(d.x - s.x) ||
+          std::abs(n.y - s.y) > std::abs(d.y - s.y) ||
+          std::abs(n.z - s.z) > std::abs(d.z - s.z))
+        continue;
+      const int ix = std::abs(n.x - s.x), iy = std::abs(n.y - s.y),
+                iz = std::abs(n.z - s.z);
+      if (reach.at(ix, iy, iz) || blocks.unsafe(n)) continue;
+      reach.at(ix, iy, iz) = 1;
+      work.push_back(n);
+    }
+  }
+  return false;
+}
+
+}  // namespace mcc::baselines

@@ -1,0 +1,74 @@
+// Rectangular fault-block baselines — the "best existing known result" the
+// paper compares against (its refs [2] Boppana–Chalasani, [8] Wu's extended
+// safety levels, [9] Wu's 3-D routing).
+//
+// Two classic fills are provided:
+//
+//   * safety-rule fill: a healthy node with faulty-or-disabled neighbors in
+//     two or more DIFFERENT dimensions becomes disabled; iterate to a
+//     fixpoint. In 2-D the resulting regions are orthogonally convex
+//     (rectangle-like); this is the standard fault-block construction used
+//     by adaptive fault-tolerant routers.
+//   * bounding-box fill: every connected faulty component is dilated to its
+//     full bounding rectangle/cuboid, merging overlapping boxes until
+//     disjoint. This is the most conservative (largest) classic model.
+//
+// Both mark strictly more healthy nodes unsafe than the MCC model
+// (property-tested), which is the paper's headline comparison.
+#pragma once
+
+#include "mesh/fault_set.h"
+#include "mesh/mesh.h"
+#include "util/grid.h"
+
+namespace mcc::baselines {
+
+/// Disabled-node field produced by a block fill.
+class BlockField2D {
+ public:
+  /// `unsafe` marks faulty and disabled nodes.
+  BlockField2D(util::Grid2<uint8_t> unsafe, int healthy_unsafe)
+      : unsafe_(std::move(unsafe)), healthy_unsafe_(healthy_unsafe) {}
+
+  bool unsafe(mesh::Coord2 c) const { return unsafe_.at(c.x, c.y) != 0; }
+  int healthy_unsafe_count() const { return healthy_unsafe_; }
+
+ private:
+  util::Grid2<uint8_t> unsafe_;
+  int healthy_unsafe_;
+};
+
+class BlockField3D {
+ public:
+  BlockField3D(util::Grid3<uint8_t> unsafe, int healthy_unsafe)
+      : unsafe_(std::move(unsafe)), healthy_unsafe_(healthy_unsafe) {}
+
+  bool unsafe(mesh::Coord3 c) const { return unsafe_.at(c.x, c.y, c.z) != 0; }
+  int healthy_unsafe_count() const { return healthy_unsafe_; }
+
+ private:
+  util::Grid3<uint8_t> unsafe_;
+  int healthy_unsafe_;
+};
+
+/// Safety-rule fill (two different dimensions blocked => disabled).
+BlockField2D safety_fill(const mesh::Mesh2D& mesh,
+                         const mesh::FaultSet2D& faults);
+BlockField3D safety_fill(const mesh::Mesh3D& mesh,
+                         const mesh::FaultSet3D& faults);
+
+/// Bounding-box fill (components dilated to disjoint rectangles/cuboids).
+BlockField2D bounding_box_fill(const mesh::Mesh2D& mesh,
+                               const mesh::FaultSet2D& faults);
+BlockField3D bounding_box_fill(const mesh::Mesh3D& mesh,
+                               const mesh::FaultSet3D& faults);
+
+/// Minimal-path existence through non-unsafe nodes of a block field
+/// (monotone DAG reachability; endpoints must be inside the s-d box).
+/// This is the fair success-rate comparator for the models (E3/E4).
+bool block_feasible(const mesh::Mesh2D& mesh, const BlockField2D& blocks,
+                    mesh::Coord2 s, mesh::Coord2 d);
+bool block_feasible(const mesh::Mesh3D& mesh, const BlockField3D& blocks,
+                    mesh::Coord3 s, mesh::Coord3 d);
+
+}  // namespace mcc::baselines

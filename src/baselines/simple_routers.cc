@@ -1,0 +1,95 @@
+#include "baselines/simple_routers.h"
+
+#include <array>
+#include <cstdlib>
+
+namespace mcc::baselines {
+
+using mesh::Coord2;
+using mesh::Coord3;
+
+bool dimension_order_route(const mesh::Mesh2D& mesh,
+                           const mesh::FaultSet2D& faults, Coord2 s,
+                           Coord2 d) {
+  (void)mesh;
+  Coord2 u = s;
+  if (faults.is_faulty(u)) return false;
+  while (!(u == d)) {
+    if (u.x != d.x)
+      u.x += u.x < d.x ? 1 : -1;
+    else
+      u.y += u.y < d.y ? 1 : -1;
+    if (faults.is_faulty(u)) return false;
+  }
+  return true;
+}
+
+bool dimension_order_route(const mesh::Mesh3D& mesh,
+                           const mesh::FaultSet3D& faults, Coord3 s,
+                           Coord3 d) {
+  (void)mesh;
+  Coord3 u = s;
+  if (faults.is_faulty(u)) return false;
+  while (!(u == d)) {
+    if (u.x != d.x)
+      u.x += u.x < d.x ? 1 : -1;
+    else if (u.y != d.y)
+      u.y += u.y < d.y ? 1 : -1;
+    else
+      u.z += u.z < d.z ? 1 : -1;
+    if (faults.is_faulty(u)) return false;
+  }
+  return true;
+}
+
+bool greedy_route(const mesh::Mesh2D& mesh, const mesh::FaultSet2D& faults,
+                  Coord2 s, Coord2 d, util::Rng& rng) {
+  (void)mesh;
+  Coord2 u = s;
+  if (faults.is_faulty(u)) return false;
+  const int budget = manhattan(s, d);
+  for (int hop = 0; hop < budget; ++hop) {
+    std::array<Coord2, 2> open{};
+    size_t n = 0;
+    if (u.x != d.x) {
+      const Coord2 nx{u.x + (u.x < d.x ? 1 : -1), u.y};
+      if (!faults.is_faulty(nx)) open[n++] = nx;
+    }
+    if (u.y != d.y) {
+      const Coord2 ny{u.x, u.y + (u.y < d.y ? 1 : -1)};
+      if (!faults.is_faulty(ny)) open[n++] = ny;
+    }
+    if (n == 0) return false;
+    u = open[rng.pick(n)];
+  }
+  return u == d;
+}
+
+bool greedy_route(const mesh::Mesh3D& mesh, const mesh::FaultSet3D& faults,
+                  Coord3 s, Coord3 d, util::Rng& rng) {
+  (void)mesh;
+  Coord3 u = s;
+  if (faults.is_faulty(u)) return false;
+  const int budget = manhattan(s, d);
+  for (int hop = 0; hop < budget; ++hop) {
+    std::array<Coord3, 3> open{};
+    size_t n = 0;
+    if (u.x != d.x) {
+      const Coord3 nx{u.x + (u.x < d.x ? 1 : -1), u.y, u.z};
+      if (!faults.is_faulty(nx)) open[n++] = nx;
+    }
+    if (u.y != d.y) {
+      const Coord3 ny{u.x, u.y + (u.y < d.y ? 1 : -1), u.z};
+      if (!faults.is_faulty(ny)) open[n++] = ny;
+    }
+    if (u.z != d.z) {
+      const Coord3 nz{u.x, u.y, u.z + (u.z < d.z ? 1 : -1)};
+      if (!faults.is_faulty(nz)) open[n++] = nz;
+    }
+    if (n == 0) return false;
+    u = open[rng.pick(n)];
+  }
+  return u == d;
+}
+
+}  // namespace mcc::baselines

@@ -1,0 +1,36 @@
+// Naive routing baselines for the success-rate experiments (E3/E4).
+//
+//   * dimension-order (e-cube) routing: corrects X, then Y (then Z); has no
+//     fault information and fails on the first blocked hop of its unique
+//     path;
+//   * local greedy: at each hop picks any preferred direction whose
+//     neighbor is non-faulty (1-hop knowledge only, no labels); succeeds
+//     only when luck keeps it out of dead ends.
+//
+// Both keep paths minimal (they never take backward hops), so "failure"
+// means a delivered-minimal route was not found — the same criterion the
+// model routers are scored by.
+#pragma once
+
+#include "mesh/fault_set.h"
+#include "mesh/mesh.h"
+#include "util/rng.h"
+
+namespace mcc::baselines {
+
+/// Returns true when the message reached d along the dimension-order path.
+bool dimension_order_route(const mesh::Mesh2D& mesh,
+                           const mesh::FaultSet2D& faults, mesh::Coord2 s,
+                           mesh::Coord2 d);
+bool dimension_order_route(const mesh::Mesh3D& mesh,
+                           const mesh::FaultSet3D& faults, mesh::Coord3 s,
+                           mesh::Coord3 d);
+
+/// Greedy minimal routing with only neighbor-fault knowledge. `rng` breaks
+/// ties among open preferred directions.
+bool greedy_route(const mesh::Mesh2D& mesh, const mesh::FaultSet2D& faults,
+                  mesh::Coord2 s, mesh::Coord2 d, util::Rng& rng);
+bool greedy_route(const mesh::Mesh3D& mesh, const mesh::FaultSet3D& faults,
+                  mesh::Coord3 s, mesh::Coord3 d, util::Rng& rng);
+
+}  // namespace mcc::baselines

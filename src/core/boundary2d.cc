@@ -1,0 +1,190 @@
+#include "core/boundary2d.h"
+
+#include <algorithm>
+
+namespace mcc::core {
+
+using mesh::Coord2;
+using mesh::Dir2;
+
+namespace {
+
+// Relative turns. left(South)=East, right(South)=West, etc.
+Dir2 left_of(Dir2 d) {
+  switch (d) {
+    case Dir2::PosX: return Dir2::PosY;  // heading East, left = North
+    case Dir2::NegX: return Dir2::NegY;  // heading West, left = South
+    case Dir2::PosY: return Dir2::NegX;  // heading North, left = West
+    case Dir2::NegY: return Dir2::PosX;  // heading South, left = East
+  }
+  return d;
+}
+Dir2 right_of(Dir2 d) { return opposite(left_of(d)); }
+
+}  // namespace
+
+Boundary2D::Boundary2D(const mesh::Mesh2D& mesh, const LabelField2D& labels,
+                       const MccSet2D& mccs)
+    : mesh_(mesh),
+      labels_(labels),
+      mccs_(mccs),
+      records_(mesh.nx(), mesh.ny()) {
+  y_walls_.reserve(mccs.regions().size());
+  x_walls_.reserve(mccs.regions().size());
+  for (const MccRegion2D& r : mccs.regions()) {
+    y_walls_.push_back(build_wall(Dir2::PosX, r));
+    x_walls_.push_back(build_wall(Dir2::PosY, r));
+  }
+
+  // Deposit records. The final chain is used for every node of the wall
+  // (merged regions lie below/west of the earlier segments, so the extra
+  // members never filter a legal move there; see header).
+  for (size_t i = 0; i < mccs.regions().size(); ++i) {
+    for (int pass = 0; pass < 2; ++pass) {
+      const Wall2D& w = pass == 0 ? y_walls_[i] : x_walls_[i];
+      if (!w.exists) continue;
+      const auto chain = std::make_shared<const std::vector<int>>(w.chain);
+      const Dir2 guard = pass == 0 ? Dir2::PosX : Dir2::PosY;
+      for (const Coord2 c : w.path) {
+        auto& recs = records_.at(c.x, c.y);
+        if (recs.empty()) ++nodes_with_records_;
+        recs.push_back({static_cast<int>(i), guard, chain});
+        ++record_count_;
+      }
+    }
+  }
+}
+
+// Walks one wall. For Y walls (guard +X): start at the corner heading
+// South (-Y), resume direction South, obstacle kept on the LEFT while
+// deflecting, exit the deflection when, heading South, the east neighbor is
+// free again. X walls are the exact mirror (resume West, obstacle on the
+// RIGHT, exit when heading West with the north neighbor free).
+Wall2D Boundary2D::build_wall(Dir2 guard, const MccRegion2D& region) {
+  Wall2D w;
+  w.chain.push_back(region.id);
+  const Coord2 corner = region.corner();
+  if (!mesh_.contains(corner)) return w;  // region hugs the mesh edge
+
+  const bool y_wall = guard == Dir2::PosX;
+  const Dir2 resume = y_wall ? Dir2::NegY : Dir2::NegX;
+  // Side of the obstacle during deflection, relative to heading.
+  auto wall_side = [&](Dir2 h) { return y_wall ? left_of(h) : right_of(h); };
+
+  auto merge = [&](Coord2 c) {
+    const int id = mccs_.region_at(c);
+    if (id < 0 ||
+        std::find(w.chain.begin(), w.chain.end(), id) != w.chain.end())
+      return;
+    // Downstream filter: a region joins the chain only when it can feed the
+    // owner's forbidden region — it blocked a DESCENDING (resp. westward)
+    // line, so it must start below (resp. left of) the owner. Probes made
+    // while a deflection wanders around large complexes can touch regions
+    // on the wrong side; those are not downstream and must not widen the
+    // forbidden union (they over-block Theorem 1 and over-exclude routes).
+    const MccRegion2D& cand = mccs_.region(id);
+    if (y_wall ? cand.y0 >= region.y0 : cand.x0 >= region.x0) return;
+    w.chain.push_back(id);
+  };
+  auto free_cell = [&](Coord2 c) {
+    return mesh_.contains(c) && labels_.safe(c);
+  };
+
+  w.exists = true;
+  // Start one step before the corner, on the node orthogonally adjacent to
+  // the region's bottom-left cell. That node is provably safe (it would
+  // otherwise belong to the region itself), while the corner may be
+  // swallowed by a diagonally-touching MCC — the paper leaves this case
+  // unspecified; starting here lets the ordinary deflect-and-merge walk
+  // wrap such a blocker so its merged chain still guards QY/QX (see
+  // tests/test_boundary2d.cc: CornerSwallowedByDiagonalRegion).
+  Coord2 pos = y_wall ? Coord2{corner.x, corner.y + 1}
+                      : Coord2{corner.x + 1, corner.y};
+  w.path.push_back(pos);
+
+  bool following = false;
+  Dir2 heading = resume;
+  // (node, heading) states seen while following; the walk is deterministic,
+  // so a revisit means the follower is circling a sealed pocket — the
+  // obstacle ring encloses every remaining approach, and the wall is done.
+  std::vector<uint8_t> seen(mesh_.node_count() * 4, 0);
+  const size_t cap = mesh_.node_count() * 8;
+  for (size_t steps = 0; steps < cap; ++steps) {
+    if (!following) {
+      const Coord2 next = step(pos, resume);
+      if (!mesh_.contains(next)) return w;  // reached the mesh edge: done
+      if (free_cell(next)) {
+        pos = next;
+        w.path.push_back(pos);
+        continue;
+      }
+      merge(next);
+      following = true;
+      heading = y_wall ? Dir2::NegX : Dir2::NegY;  // paper's first turn
+      continue;
+    }
+
+    // Deflection: hug the obstacle with a hand-on-wall walk. A region joins
+    // the merge chain exactly when it blocks the wall's RESUME direction —
+    // in plain mode (the descending line hit it, the paper's merge
+    // condition) or via a resume-direction probe while following (the
+    // cascaded line hit it at the current deflection column/row). Regions
+    // merely brushed sideways while rounding are NOT merged: their
+    // forbidden regions are not downstream of this wall, and merging them
+    // over-extends the union and strands record-guided routers (see
+    // tests/test_router.cc sweeps for both failure modes).
+    const Dir2 try_order[4] = {wall_side(heading), heading,
+                               y_wall ? right_of(heading) : left_of(heading),
+                               opposite(heading)};
+    bool moved = false;
+    for (const Dir2 dir : try_order) {
+      const Coord2 next = step(pos, dir);
+      if (!mesh_.contains(next)) {
+        // Mesh edge acts as a wall for the follower; if the wall direction
+        // itself leaves the mesh we are done (nothing can pass outside).
+        if (dir == resume) return w;
+        continue;
+      }
+      if (!free_cell(next)) {
+        if (dir == resume) merge(next);
+        continue;
+      }
+      pos = next;
+      heading = dir;
+      w.path.push_back(pos);
+      moved = true;
+      break;
+    }
+    if (!moved) return w;  // boxed in: wall ends here
+    uint8_t& state =
+        seen[mesh_.index(pos) * 4 + static_cast<size_t>(heading)];
+    if (state) return w;  // sealed pocket: done
+    state = 1;
+
+    // Leave the deflection once we are heading in the resume direction and
+    // the obstacle side is free again (we passed the blocking region's
+    // corner and joined its wall line).
+    if (heading == resume) {
+      const Coord2 side = step(pos, wall_side(heading));
+      if (free_cell(side)) following = false;
+    }
+  }
+  w.complete = false;  // step cap hit (pathological configuration)
+  return w;
+}
+
+bool Boundary2D::theorem1_feasible(Coord2 s, Coord2 d) const {
+  for (const MccRegion2D& r : mccs_.regions()) {
+    if (r.in_critical_y(d)) {
+      for (const int b : y_walls_[r.id].chain)
+        if (mccs_.region(b).in_forbidden_y(s)) return false;
+    }
+    if (r.in_critical_x(d)) {
+      for (const int b : x_walls_[r.id].chain)
+        if (mccs_.region(b).in_forbidden_x(s)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mcc::core

@@ -1,0 +1,86 @@
+// Boundary construction in 2-D meshes (Algorithm 2 step 3, Figure 3).
+//
+// Each MCC M owns two walls emanating from its initialization corner
+// c = (x0-1, b(x0)-1):
+//
+//   * the Y boundary descends along x = x0-1 and guards +X moves into the
+//     forbidden region QY(M);
+//   * the X boundary runs west along y = b(x0)-1 and guards +Y moves into
+//     QX(M).
+//
+// When a wall hits another MCC B it deflects around B's rim (west/north rim
+// for Y walls, south/east rim for X walls), *merges* B's forbidden region
+// into its own (QY(c) := QY(c) ∪ QY(v), paper §3) and continues along B's
+// own wall toward the mesh edge. Every node the wall visits stores a
+// record (owner M, merged chain); the record-guided router excludes a
+// preferred direction exactly when the destination lies in the owner's
+// critical region and the step would enter any chained forbidden region.
+//
+// The chain test is also the *exact* static feasibility condition
+// (Theorem 1): the single-region Lemma 1 test is sound for blocking but
+// misses multi-region traps — that gap is precisely why the paper rewrites
+// Wang's condition in boundary form. bench_e6_agreement quantifies this.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/labeling.h"
+#include "core/mcc_region.h"
+#include "mesh/mesh.h"
+#include "util/grid.h"
+
+namespace mcc::core {
+
+/// One boundary record stored at a node.
+struct Record2D {
+  int owner = -1;          // region whose critical region gates the rule
+  mesh::Dir2 guard = mesh::Dir2::PosX;  // direction this record filters
+  std::shared_ptr<const std::vector<int>> chain;  // merged region ids
+};
+
+/// The polyline and merge chain of one wall.
+struct Wall2D {
+  std::vector<mesh::Coord2> path;
+  std::vector<int> chain;   // always contains the owner
+  bool exists = false;      // false when the corner leaves the mesh
+  bool complete = true;     // false when the walk hit its step cap
+};
+
+class Boundary2D {
+ public:
+  Boundary2D(const mesh::Mesh2D& mesh, const LabelField2D& labels,
+             const MccSet2D& mccs);
+
+  const Wall2D& y_wall(int region) const { return y_walls_[region]; }
+  const Wall2D& x_wall(int region) const { return x_walls_[region]; }
+
+  /// Records deposited at a node (empty for most nodes).
+  const std::vector<Record2D>& records_at(mesh::Coord2 c) const {
+    return records_.at(c.x, c.y);
+  }
+
+  /// Total number of (node, record) pairs — the storage cost of the
+  /// limited-global-information model, reported by bench_e7.
+  size_t record_count() const { return record_count_; }
+  /// Number of nodes holding at least one record.
+  size_t nodes_with_records() const { return nodes_with_records_; }
+
+  /// Exact static feasibility (Theorem 1 in chain form): true iff no MCC
+  /// blocks the pair. Requires s <= d componentwise, both safe.
+  bool theorem1_feasible(mesh::Coord2 s, mesh::Coord2 d) const;
+
+ private:
+  Wall2D build_wall(mesh::Dir2 guard, const MccRegion2D& region);
+
+  const mesh::Mesh2D& mesh_;
+  const LabelField2D& labels_;
+  const MccSet2D& mccs_;
+  std::vector<Wall2D> y_walls_;
+  std::vector<Wall2D> x_walls_;
+  util::Grid2<std::vector<Record2D>> records_;
+  size_t record_count_ = 0;
+  size_t nodes_with_records_ = 0;
+};
+
+}  // namespace mcc::core

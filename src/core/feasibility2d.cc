@@ -1,0 +1,119 @@
+#include "core/feasibility2d.h"
+
+#include <deque>
+
+#include "core/reachability.h"
+
+namespace mcc::core {
+
+using mesh::Coord2;
+
+Lemma1Result lemma1_blocked(const MccSet2D& mccs, Coord2 s, Coord2 d) {
+  for (const MccRegion2D& r : mccs.regions()) {
+    if (r.in_forbidden_x(s) && r.in_critical_x(d))
+      return {true, r.id, 'X'};
+    if (r.in_forbidden_y(s) && r.in_critical_y(d))
+      return {true, r.id, 'Y'};
+  }
+  return {};
+}
+
+namespace {
+
+// Shared walker flood. Confined to the rectangle [s.x..d.x] x [s.y..d.y].
+// `primary` is the hugged direction (the walker's purpose); `deflect` is
+// taken only at nodes where the primary step is blocked by an unsafe node
+// ("make a turn ... and then turn back as soon as possible", Algorithm 3).
+// Success: reaching the far line of the primary axis.
+bool walk(const mesh::Mesh2D& mesh, const LabelField2D& labels, Coord2 s,
+          Coord2 d, mesh::Dir2 primary, mesh::Dir2 deflect) {
+  (void)mesh;
+  auto in_rect = [&](Coord2 c) {
+    return c.x >= s.x && c.x <= d.x && c.y >= s.y && c.y <= d.y;
+  };
+  auto done = [&](Coord2 c) {
+    return primary == mesh::Dir2::PosY ? c.y == d.y : c.x == d.x;
+  };
+
+  util::Grid2<uint8_t> seen(d.x - s.x + 1, d.y - s.y + 1, uint8_t{0});
+  auto mark = [&](Coord2 c) -> uint8_t& {
+    return seen.at(c.x - s.x, c.y - s.y);
+  };
+
+  if (labels.unsafe(s)) return false;
+  std::deque<Coord2> work{s};
+  mark(s) = 1;
+  while (!work.empty()) {
+    const Coord2 c = work.front();
+    work.pop_front();
+    if (done(c)) return true;
+
+    const Coord2 p = step(c, primary);
+    bool primary_blocked_by_unsafe = false;
+    if (in_rect(p)) {
+      if (labels.unsafe(p)) {
+        primary_blocked_by_unsafe = true;
+      } else if (!mark(p)) {
+        mark(p) = 1;
+        work.push_back(p);
+      }
+    }
+    if (primary_blocked_by_unsafe) {
+      const Coord2 q = step(c, deflect);
+      if (in_rect(q) && !labels.unsafe(q) && !mark(q)) {
+        mark(q) = 1;
+        work.push_back(q);
+      }
+    }
+  }
+  return false;
+}
+
+/// Straight-line minimal path through non-faulty nodes; used for degenerate
+/// pairs where unsafe-but-healthy nodes are legitimately traversable.
+bool line_clear(const LabelField2D& labels, Coord2 s, Coord2 d) {
+  if (s.x == d.x) {
+    for (int y = s.y; y <= d.y; ++y)
+      if (labels.state({s.x, y}) == NodeState::Faulty) return false;
+    return true;
+  }
+  for (int x = s.x; x <= d.x; ++x)
+    if (labels.state({x, s.y}) == NodeState::Faulty) return false;
+  return true;
+}
+
+}  // namespace
+
+DetectResult2D detect2d(const mesh::Mesh2D& mesh, const LabelField2D& labels,
+                        Coord2 s, Coord2 d) {
+  DetectResult2D r;
+  r.y_walker_ok = walk(mesh, labels, s, d, mesh::Dir2::PosY, mesh::Dir2::PosX);
+  r.x_walker_ok = walk(mesh, labels, s, d, mesh::Dir2::PosX, mesh::Dir2::PosY);
+  return r;
+}
+
+FeasibilityResult mcc_feasible2d(const mesh::Mesh2D& mesh,
+                                 const LabelField2D& labels, Coord2 s,
+                                 Coord2 d) {
+  if (s == d) {
+    return {labels.state(d) != NodeState::Faulty,
+            FeasibilityBasis::TrivialSame};
+  }
+  if (labels.state(s) == NodeState::Faulty ||
+      labels.state(d) == NodeState::Faulty) {
+    return {false, FeasibilityBasis::DeadEndpoint};
+  }
+  if (s.x == d.x || s.y == d.y) {
+    return {line_clear(labels, s, d), FeasibilityBasis::DegenerateLine};
+  }
+  if (labels.unsafe(s) || labels.unsafe(d)) {
+    // The model assumes safe endpoints; answer with the exact oracle so the
+    // library stays correct and report the fallback basis.
+    const ReachField2D oracle(mesh, labels, d, NodeFilter::NonFaulty);
+    return {oracle.feasible(s), FeasibilityBasis::OracleFallback};
+  }
+  return {detect2d(mesh, labels, s, d).feasible(),
+          FeasibilityBasis::ModelDetect};
+}
+
+}  // namespace mcc::core

@@ -1,0 +1,76 @@
+// Minimal-path feasibility in 2-D meshes under the MCC model.
+//
+// Three equivalent formulations are provided (their agreement — with each
+// other and with the reachability oracle — is the empirical verification of
+// Wang's theorem as rewritten by the paper's Lemma 1 / Theorem 1):
+//
+//   * lemma1_blocked    — the static single-region test: some MCC holds s
+//                         in a forbidden region and d in the matching
+//                         critical region. SOUND for blocking (a witness
+//                         really blocks) but incomplete: multi-region traps
+//                         need the merged boundary chains of Theorem 1
+//                         (core/boundary2d.h) — which is exactly why the
+//                         paper rewrites Wang's condition in boundary form.
+//   * detect2d          — Algorithm 3 phase 1: two detection walkers swept
+//                         from s (one hugging +Y and deflecting +X around
+//                         MCCs, one mirrored) that must reach the
+//                         destination row/column inside the s-d rectangle.
+//   * mcc_feasible2d    — the full, public decision procedure: canonical
+//                         strict pairs use the walkers; degenerate pairs
+//                         reduce to a straight-line check; unsafe-but-alive
+//                         endpoints fall back to the reachability oracle
+//                         (the model's assumptions do not cover them;
+//                         DESIGN.md §3).
+//
+// All functions operate in the canonical quadrant: callers flip axes first
+// (mesh::Octant2) so that s <= d componentwise.
+#pragma once
+
+#include "core/labeling.h"
+#include "core/mcc_region.h"
+#include "mesh/mesh.h"
+
+namespace mcc::core {
+
+/// Result of the static Lemma 1 test. `blocking_region` is the id of a
+/// witness MCC when blocked.
+struct Lemma1Result {
+  bool blocked = false;
+  int blocking_region = -1;
+  char axis = '-';  // 'X' or 'Y' case of Lemma 1
+};
+
+Lemma1Result lemma1_blocked(const MccSet2D& mccs, mesh::Coord2 s,
+                            mesh::Coord2 d);
+
+/// Algorithm 3 phase 1. Requires s <= d componentwise and both strict
+/// offsets positive for meaningful results (callers enforce).
+struct DetectResult2D {
+  bool y_walker_ok = false;  // reached row d.y inside the rectangle
+  bool x_walker_ok = false;  // reached column d.x inside the rectangle
+  bool feasible() const { return y_walker_ok && x_walker_ok; }
+};
+
+DetectResult2D detect2d(const mesh::Mesh2D& mesh, const LabelField2D& labels,
+                        mesh::Coord2 s, mesh::Coord2 d);
+
+/// How the public decision was reached (reported by benches; lets
+/// experiments separate model answers from fallback answers).
+enum class FeasibilityBasis : uint8_t {
+  TrivialSame,      // s == d
+  DeadEndpoint,     // s or d faulty
+  DegenerateLine,   // some offset is zero: straight-line / slice check
+  ModelDetect,      // the paper's detection machinery
+  OracleFallback,   // endpoint unsafe-but-alive: model inapplicable
+};
+
+struct FeasibilityResult {
+  bool feasible = false;
+  FeasibilityBasis basis = FeasibilityBasis::ModelDetect;
+};
+
+FeasibilityResult mcc_feasible2d(const mesh::Mesh2D& mesh,
+                                 const LabelField2D& labels, mesh::Coord2 s,
+                                 mesh::Coord2 d);
+
+}  // namespace mcc::core

@@ -1,0 +1,153 @@
+#include "core/feasibility3d.h"
+
+#include <array>
+#include <deque>
+
+#include "core/reachability.h"
+#include "mesh/slice.h"
+#include "util/grid.h"
+
+namespace mcc::core {
+
+using mesh::Coord3;
+
+namespace {
+
+// One surface flood. `primaries` are the two spreading directions; `deflect`
+// is permitted at a node only when at least one primary step is blocked by
+// an unsafe node inside the box ("make a +X turn until it can go back",
+// Algorithm 6). `done` tests the success plane.
+bool flood(const LabelField3D& labels, Coord3 s, Coord3 d,
+           std::array<mesh::Dir3, 2> primaries, mesh::Dir3 deflect,
+           auto&& done) {
+  auto in_box = [&](Coord3 c) {
+    return c.x >= s.x && c.x <= d.x && c.y >= s.y && c.y <= d.y &&
+           c.z >= s.z && c.z <= d.z;
+  };
+
+  util::Grid3<uint8_t> seen(d.x - s.x + 1, d.y - s.y + 1, d.z - s.z + 1,
+                            uint8_t{0});
+  auto mark = [&](Coord3 c) -> uint8_t& {
+    return seen.at(c.x - s.x, c.y - s.y, c.z - s.z);
+  };
+
+  if (labels.unsafe(s)) return false;
+  std::deque<Coord3> work{s};
+  mark(s) = 1;
+  while (!work.empty()) {
+    const Coord3 c = work.front();
+    work.pop_front();
+    if (done(c)) return true;
+
+    bool blocked = false;
+    for (const mesh::Dir3 dir : primaries) {
+      const Coord3 p = step(c, dir);
+      if (!in_box(p)) {
+        // The RMP face caps this primary: the message may deflect, exactly
+        // as it would around an MCC (otherwise detection is blind on
+        // shallow boxes; see tests/test_feasibility3d.cc).
+        blocked = true;
+        continue;
+      }
+      if (labels.unsafe(p)) {
+        blocked = true;
+      } else if (!mark(p)) {
+        mark(p) = 1;
+        work.push_back(p);
+      }
+    }
+    if (blocked) {
+      const Coord3 q = step(c, deflect);
+      if (in_box(q) && !labels.unsafe(q) && !mark(q)) {
+        mark(q) = 1;
+        work.push_back(q);
+      }
+    }
+  }
+  return false;
+}
+
+bool line_clear3(const LabelField3D& labels, Coord3 s, Coord3 d) {
+  Coord3 c = s;
+  while (!(c == d)) {
+    if (labels.state(c) == NodeState::Faulty) return false;
+    if (c.x < d.x)
+      ++c.x;
+    else if (c.y < d.y)
+      ++c.y;
+    else
+      ++c.z;
+  }
+  return labels.state(d) != NodeState::Faulty;
+}
+
+}  // namespace
+
+DetectResult3D detect3d(const mesh::Mesh3D& mesh, const LabelField3D& labels,
+                        Coord3 s, Coord3 d) {
+  (void)mesh;
+  DetectResult3D r;
+  r.x_surface_ok =
+      flood(labels, s, d, {mesh::Dir3::PosY, mesh::Dir3::PosZ},
+            mesh::Dir3::PosX, [&](Coord3 c) { return c.y == d.y; });
+  r.y_surface_ok =
+      flood(labels, s, d, {mesh::Dir3::PosX, mesh::Dir3::PosZ},
+            mesh::Dir3::PosY, [&](Coord3 c) { return c.z == d.z; });
+  r.z_surface_ok =
+      flood(labels, s, d, {mesh::Dir3::PosX, mesh::Dir3::PosY},
+            mesh::Dir3::PosZ, [&](Coord3 c) { return c.x == d.x; });
+  return r;
+}
+
+FeasibilityResult mcc_feasible3d(const mesh::Mesh3D& mesh,
+                                 const mesh::FaultSet3D& faults,
+                                 const LabelField3D& labels, Coord3 s,
+                                 Coord3 d) {
+  if (s == d) {
+    return {labels.state(d) != NodeState::Faulty,
+            FeasibilityBasis::TrivialSame};
+  }
+  if (labels.state(s) == NodeState::Faulty ||
+      labels.state(d) == NodeState::Faulty) {
+    return {false, FeasibilityBasis::DeadEndpoint};
+  }
+
+  const int degenerate = (s.x == d.x ? 1 : 0) + (s.y == d.y ? 1 : 0) +
+                         (s.z == d.z ? 1 : 0);
+  if (degenerate == 2) {
+    return {line_clear3(labels, s, d), FeasibilityBasis::DegenerateLine};
+  }
+  if (degenerate == 1) {
+    // Routing is confined to one plane: solve the exact 2-D model there.
+    mesh::Plane plane;
+    int level;
+    if (s.z == d.z) {
+      plane = mesh::Plane::XY;
+      level = s.z;
+    } else if (s.y == d.y) {
+      plane = mesh::Plane::XZ;
+      level = s.y;
+    } else {
+      plane = mesh::Plane::YZ;
+      level = s.x;
+    }
+    const mesh::Mesh2D m2 = mesh::slice_mesh(mesh, plane);
+    const mesh::FaultSet2D f2 = mesh::slice_faults(mesh, faults, plane, level);
+    const LabelField2D l2(m2, f2);
+    FeasibilityResult sub = mcc_feasible2d(m2, l2, mesh::slice_coord(plane, s),
+                                           mesh::slice_coord(plane, d));
+    // Report the slice reduction rather than the inner basis: callers only
+    // need to know the 3-D machinery was bypassed.
+    sub.basis = FeasibilityBasis::DegenerateLine;
+    return sub;
+  }
+
+  if (labels.unsafe(s) || labels.unsafe(d)) {
+    const ReachField3D oracle(mesh, labels, d, NodeFilter::NonFaulty);
+    return {oracle.feasible(s), FeasibilityBasis::OracleFallback};
+  }
+  return {detect3d(mesh, labels, s, d).feasible(),
+          FeasibilityBasis::ModelDetect};
+}
+
+}  // namespace mcc::core

@@ -1,0 +1,45 @@
+// Minimal-path feasibility in 3-D meshes — Theorem 2 / Algorithm 6 phase 1.
+//
+// Three detection floods sweep the lower surfaces of the Region of Minimal
+// Paths (the s-d box) exactly as the paper prescribes, with its cyclic
+// success pairing:
+//
+//   (-X)-surface flood: spreads +Y/+Z, deflects +X where blocked, and must
+//                       reach the plane y = yd;
+//   (-Y)-surface flood: spreads +X/+Z, deflects +Y, must reach z = zd;
+//   (-Z)-surface flood: spreads +X/+Y, deflects +Z, must reach x = xd.
+//
+// A minimal path exists under the model iff all three succeed. Degenerate
+// pairs reduce to the 2-D model on the corresponding plane slice, doubly
+// degenerate pairs to a straight-line check (DESIGN.md §3).
+#pragma once
+
+#include "core/feasibility2d.h"
+#include "core/labeling.h"
+#include "mesh/fault_set.h"
+#include "mesh/mesh.h"
+
+namespace mcc::core {
+
+struct DetectResult3D {
+  bool x_surface_ok = false;  // reached plane y = d.y
+  bool y_surface_ok = false;  // reached plane z = d.z
+  bool z_surface_ok = false;  // reached plane x = d.x
+  bool feasible() const {
+    return x_surface_ok && y_surface_ok && z_surface_ok;
+  }
+};
+
+/// Requires s <= d componentwise; meaningful when all offsets are strict.
+DetectResult3D detect3d(const mesh::Mesh3D& mesh, const LabelField3D& labels,
+                        mesh::Coord3 s, mesh::Coord3 d);
+
+/// Full decision procedure for the canonical octant. Needs the raw fault
+/// set in addition to the labels because degenerate pairs re-label the
+/// 2-D slice they are confined to.
+FeasibilityResult mcc_feasible3d(const mesh::Mesh3D& mesh,
+                                 const mesh::FaultSet3D& faults,
+                                 const LabelField3D& labels, mesh::Coord3 s,
+                                 mesh::Coord3 d);
+
+}  // namespace mcc::core

@@ -1,0 +1,143 @@
+#include "core/labeling.h"
+
+#include <deque>
+
+namespace mcc::core {
+
+using mesh::Coord2;
+using mesh::Coord3;
+
+const char* to_string(NodeState s) {
+  switch (s) {
+    case NodeState::Safe: return "safe";
+    case NodeState::Faulty: return "faulty";
+    case NodeState::Useless: return "useless";
+    case NodeState::CantReach: return "cant-reach";
+  }
+  return "?";
+}
+
+namespace {
+
+// Worklist fixpoint shared by both dimensions. The two label kinds never
+// interact (useless looks only at useless/faulty, can't-reach only at
+// can't-reach/faulty), so one pass with a combined worklist is exact.
+//
+// `blocked_pos(c)` must return true iff every in-mesh positive neighbor of
+// safe node c is faulty-or-useless; `blocked_neg` the mirror. Out-of-mesh
+// neighbors do not block (walls are not faults).
+
+template <class MeshT, class CoordT, class Grid, class ForEachNb>
+void fixpoint(const MeshT& mesh, Grid& g, ForEachNb&& for_each_nb,
+              auto&& blocked_pos, auto&& blocked_neg, int& useless,
+              int& cant_reach) {
+  std::deque<CoordT> work;
+  const size_t n = mesh.node_count();
+  for (size_t i = 0; i < n; ++i) work.push_back(mesh.coord(i));
+
+  while (!work.empty()) {
+    const CoordT c = work.front();
+    work.pop_front();
+    auto& st = g[mesh.index(c)];
+    if (st != NodeState::Safe) continue;
+    NodeState next = NodeState::Safe;
+    if (blocked_pos(c)) {
+      next = NodeState::Useless;
+      ++useless;
+    } else if (blocked_neg(c)) {
+      next = NodeState::CantReach;
+      ++cant_reach;
+    }
+    if (next == NodeState::Safe) continue;
+    st = next;
+    // Only neighbors can be newly affected.
+    for_each_nb(c, [&](CoordT nb) { work.push_back(nb); });
+  }
+}
+
+}  // namespace
+
+LabelField2D::LabelField2D(const mesh::Mesh2D& mesh,
+                           const mesh::FaultSet2D& faults)
+    : grid_(mesh.nx(), mesh.ny(), NodeState::Safe) {
+  for (int y = 0; y < mesh.ny(); ++y)
+    for (int x = 0; x < mesh.nx(); ++x)
+      if (faults.is_faulty({x, y})) grid_.at(x, y) = NodeState::Faulty;
+
+  auto is = [&](Coord2 c, NodeState s) {
+    return mesh.contains(c) && grid_.at(c.x, c.y) == s;
+  };
+  auto blocks_pos = [&](Coord2 c) {
+    return !mesh.contains(c) ? false
+                             : grid_.at(c.x, c.y) == NodeState::Faulty ||
+                                   grid_.at(c.x, c.y) == NodeState::Useless;
+  };
+  auto blocks_neg = [&](Coord2 c) {
+    return !mesh.contains(c) ? false
+                             : grid_.at(c.x, c.y) == NodeState::Faulty ||
+                                   grid_.at(c.x, c.y) == NodeState::CantReach;
+  };
+  (void)is;
+
+  auto blocked_pos = [&](Coord2 c) {
+    const Coord2 px{c.x + 1, c.y}, py{c.x, c.y + 1};
+    // A direction that leaves the mesh cannot force a detour by itself:
+    // the wall is not a fault. Both in-mesh positive neighbors must block.
+    if (!mesh.contains(px) || !mesh.contains(py)) return false;
+    return blocks_pos(px) && blocks_pos(py);
+  };
+  auto blocked_neg = [&](Coord2 c) {
+    const Coord2 mx{c.x - 1, c.y}, my{c.x, c.y - 1};
+    if (!mesh.contains(mx) || !mesh.contains(my)) return false;
+    return blocks_neg(mx) && blocks_neg(my);
+  };
+  auto for_each_nb = [&](Coord2 c, auto&& fn) {
+    mesh.for_each_neighbor(c, [&](Coord2 nb, mesh::Dir2) { fn(nb); });
+  };
+
+  fixpoint<mesh::Mesh2D, Coord2>(mesh, grid_, for_each_nb, blocked_pos,
+                                 blocked_neg, useless_, cant_reach_);
+  healthy_unsafe_ = useless_ + cant_reach_;
+}
+
+LabelField3D::LabelField3D(const mesh::Mesh3D& mesh,
+                           const mesh::FaultSet3D& faults)
+    : grid_(mesh.nx(), mesh.ny(), mesh.nz(), NodeState::Safe) {
+  for (int z = 0; z < mesh.nz(); ++z)
+    for (int y = 0; y < mesh.ny(); ++y)
+      for (int x = 0; x < mesh.nx(); ++x)
+        if (faults.is_faulty({x, y, z})) grid_.at(x, y, z) = NodeState::Faulty;
+
+  auto blocks_pos = [&](Coord3 c) {
+    return grid_.at(c.x, c.y, c.z) == NodeState::Faulty ||
+           grid_.at(c.x, c.y, c.z) == NodeState::Useless;
+  };
+  auto blocks_neg = [&](Coord3 c) {
+    return grid_.at(c.x, c.y, c.z) == NodeState::Faulty ||
+           grid_.at(c.x, c.y, c.z) == NodeState::CantReach;
+  };
+
+  auto blocked_pos = [&](Coord3 c) {
+    const Coord3 px{c.x + 1, c.y, c.z}, py{c.x, c.y + 1, c.z},
+        pz{c.x, c.y, c.z + 1};
+    if (!mesh.contains(px) || !mesh.contains(py) || !mesh.contains(pz))
+      return false;
+    return blocks_pos(px) && blocks_pos(py) && blocks_pos(pz);
+  };
+  auto blocked_neg = [&](Coord3 c) {
+    const Coord3 mx{c.x - 1, c.y, c.z}, my{c.x, c.y - 1, c.z},
+        mz{c.x, c.y, c.z - 1};
+    if (!mesh.contains(mx) || !mesh.contains(my) || !mesh.contains(mz))
+      return false;
+    return blocks_neg(mx) && blocks_neg(my) && blocks_neg(mz);
+  };
+  auto for_each_nb = [&](Coord3 c, auto&& fn) {
+    mesh.for_each_neighbor(c, [&](Coord3 nb, mesh::Dir3) { fn(nb); });
+  };
+
+  fixpoint<mesh::Mesh3D, Coord3>(mesh, grid_, for_each_nb, blocked_pos,
+                                 blocked_neg, useless_, cant_reach_);
+  healthy_unsafe_ = useless_ + cant_reach_;
+}
+
+}  // namespace mcc::core

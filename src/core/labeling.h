@@ -1,0 +1,86 @@
+// Node labelling — the paper's Algorithm 1 (2-D) and Algorithm 4 (3-D).
+//
+// For the canonical routing octant (source at origin, destination toward
+// +X/+Y/+Z), a healthy node is
+//   * useless      if ALL its positive-direction neighbors are faulty or
+//                  useless (2-D: +X and +Y; 3-D: +X, +Y and +Z) — once a
+//                  minimal routing enters it, the next move must go backward;
+//   * can't-reach  if ALL its negative-direction neighbors are faulty or
+//                  can't-reach — entering it requires a backward move.
+// Labelling iterates to a fixpoint (the centralized equivalent of the
+// paper's neighbor-message relabelling; proto/labeling_proto.* is the real
+// distributed version and must produce identical labels).
+//
+// Mesh walls do NOT count as faulty (see DESIGN.md §2/§8): a border node
+// keeps its safe label even though a direction is missing.
+#pragma once
+
+#include <cstdint>
+
+#include "mesh/fault_set.h"
+#include "mesh/mesh.h"
+#include "util/grid.h"
+
+namespace mcc::core {
+
+enum class NodeState : uint8_t {
+  Safe = 0,
+  Faulty = 1,
+  Useless = 2,
+  CantReach = 3,
+};
+
+/// True for faulty, useless and can't-reach nodes (the paper's "unsafe").
+inline bool is_unsafe(NodeState s) { return s != NodeState::Safe; }
+
+const char* to_string(NodeState s);
+
+/// Per-node labels for one orientation class of a 2-D mesh.
+class LabelField2D {
+ public:
+  /// Runs Algorithm 1 to fixpoint for the canonical (+X,+Y) quadrant.
+  LabelField2D(const mesh::Mesh2D& mesh, const mesh::FaultSet2D& faults);
+
+  NodeState state(mesh::Coord2 c) const { return grid_.at(c.x, c.y); }
+  bool unsafe(mesh::Coord2 c) const { return is_unsafe(state(c)); }
+  bool safe(mesh::Coord2 c) const { return !unsafe(c); }
+
+  /// Number of healthy nodes absorbed into fault regions (useless +
+  /// can't-reach). This is the paper's headline "non-faulty nodes included
+  /// in MCCs" metric.
+  int healthy_unsafe_count() const { return healthy_unsafe_; }
+  int useless_count() const { return useless_; }
+  int cant_reach_count() const { return cant_reach_; }
+
+  const util::Grid2<NodeState>& grid() const { return grid_; }
+
+ private:
+  util::Grid2<NodeState> grid_;
+  int healthy_unsafe_ = 0;
+  int useless_ = 0;
+  int cant_reach_ = 0;
+};
+
+/// Per-node labels for one orientation class of a 3-D mesh (Algorithm 4).
+class LabelField3D {
+ public:
+  LabelField3D(const mesh::Mesh3D& mesh, const mesh::FaultSet3D& faults);
+
+  NodeState state(mesh::Coord3 c) const { return grid_.at(c.x, c.y, c.z); }
+  bool unsafe(mesh::Coord3 c) const { return is_unsafe(state(c)); }
+  bool safe(mesh::Coord3 c) const { return !unsafe(c); }
+
+  int healthy_unsafe_count() const { return healthy_unsafe_; }
+  int useless_count() const { return useless_; }
+  int cant_reach_count() const { return cant_reach_; }
+
+  const util::Grid3<NodeState>& grid() const { return grid_; }
+
+ private:
+  util::Grid3<NodeState> grid_;
+  int healthy_unsafe_ = 0;
+  int useless_ = 0;
+  int cant_reach_ = 0;
+};
+
+}  // namespace mcc::core

@@ -1,0 +1,176 @@
+// MCC extraction and region geometry.
+//
+// After labelling, the orthogonally-connected components of unsafe nodes are
+// the paper's Minimal Connected Components. In 2-D each component is a
+// rectilinear monotone ("ascending staircase") polyomino for the canonical
+// quadrant; this file materializes the per-column/per-row contours and the
+// four derived regions:
+//
+//   QY  (forbidden, guards +X): below the staircase within its column range
+//   Q'Y (critical):             above the staircase within its column range
+//   QX  (forbidden, guards +Y): west of the staircase within its row range
+//   Q'X (critical):             east of the staircase within its row range
+//
+// The initialization corner c = (x0-1, b(x0)-1) is the SW "nose" from which
+// both boundary lines emanate (paper §3). In 3-D, sections need not be
+// convex and may contain holes, so only axis shadow contours are exposed
+// (used for statistics and the record-based router; ground truth in 3-D is
+// the detection flood / reachability field).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/labeling.h"
+#include "mesh/mesh.h"
+#include "util/grid.h"
+
+namespace mcc::core {
+
+/// One 2-D MCC with its staircase contours.
+struct MccRegion2D {
+  int id = -1;
+  std::vector<mesh::Coord2> cells;
+  int faulty_cells = 0;
+  int healthy_cells = 0;
+
+  // Bounding box.
+  int x0 = 0, x1 = -1, y0 = 0, y1 = -1;
+
+  // Per-column [x0..x1] bottom/top rows, per-row [y0..y1] left/right columns.
+  std::vector<int> bot, top, left, right;
+
+  // Staircase invariants observed during construction (property-tested to
+  // always hold after labelling; kept as data so violations are detectable).
+  bool column_spans_contiguous = true;
+  bool row_spans_contiguous = true;
+  bool monotone_ascending = true;
+
+  int width() const { return x1 - x0 + 1; }
+  int height() const { return y1 - y0 + 1; }
+
+  int bottom_at(int x) const { return bot[x - x0]; }
+  int top_at(int x) const { return top[x - x0]; }
+  int left_at(int y) const { return left[y - y0]; }
+  int right_at(int y) const { return right[y - y0]; }
+
+  /// Region predicates (canonical quadrant).
+  bool in_forbidden_y(mesh::Coord2 p) const {
+    return p.x >= x0 && p.x <= x1 && p.y < bottom_at(p.x) && p.y >= 0;
+  }
+  bool in_critical_y(mesh::Coord2 p) const {
+    return p.x >= x0 && p.x <= x1 && p.y > top_at(p.x);
+  }
+  bool in_forbidden_x(mesh::Coord2 p) const {
+    return p.y >= y0 && p.y <= y1 && p.x < left_at(p.y) && p.x >= 0;
+  }
+  bool in_critical_x(mesh::Coord2 p) const {
+    return p.y >= y0 && p.y <= y1 && p.x > right_at(p.y);
+  }
+
+  /// Initialization corner (may fall outside the mesh when the region
+  /// touches the south or west wall; boundary construction then skips the
+  /// corresponding wall — the forbidden region cannot be entered).
+  mesh::Coord2 corner() const { return {x0 - 1, bot.front() - 1}; }
+};
+
+/// Region grouping convention. Orthogonal components are Wang's
+/// rectilinear polyominoes (the 2-D core theory). Eight-connectivity also
+/// glues diagonally-touching cells — the grouping the paper's contour-walk
+/// identification produces (its 3-D Figure 5 uses the same convention);
+/// the distributed protocols validate against it.
+enum class Connectivity : uint8_t { Ortho, Eight };
+
+/// All MCCs of one labelled 2-D mesh plus the cell->region index.
+class MccSet2D {
+ public:
+  MccSet2D(const mesh::Mesh2D& mesh, const LabelField2D& labels,
+           Connectivity conn = Connectivity::Ortho);
+
+  const std::vector<MccRegion2D>& regions() const { return regions_; }
+
+  /// Region id at c, or -1 for safe nodes.
+  int region_at(mesh::Coord2 c) const { return comp_.at(c.x, c.y); }
+
+  const MccRegion2D& region(int id) const { return regions_[id]; }
+
+ private:
+  util::Grid2<int32_t> comp_;
+  std::vector<MccRegion2D> regions_;
+};
+
+/// One 3-D MCC. Shadow contours give, for each axis-aligned line through
+/// the bounding box, the min/max coordinate of the region on that line
+/// (or an empty marker when the line misses the region).
+struct MccRegion3D {
+  int id = -1;
+  std::vector<mesh::Coord3> cells;
+  int faulty_cells = 0;
+  int healthy_cells = 0;
+
+  int x0 = 0, x1 = -1, y0 = 0, y1 = -1, z0 = 0, z1 = -1;
+
+  // Shadow maps sized (extent of the two orthogonal axes); value.first = min
+  // coordinate, value.second = max, or {1,0} (empty) when the line misses.
+  util::Grid2<std::pair<int16_t, int16_t>> z_span;  // indexed (x-x0, y-y0)
+  util::Grid2<std::pair<int16_t, int16_t>> y_span;  // indexed (x-x0, z-z0)
+  util::Grid2<std::pair<int16_t, int16_t>> x_span;  // indexed (y-y0, z-z0)
+
+  bool line_hits_z(int x, int y) const {
+    if (x < x0 || x > x1 || y < y0 || y > y1) return false;
+    const auto s = z_span.at(x - x0, y - y0);
+    return s.first <= s.second;
+  }
+  bool line_hits_y(int x, int z) const {
+    if (x < x0 || x > x1 || z < z0 || z > z1) return false;
+    const auto s = y_span.at(x - x0, z - z0);
+    return s.first <= s.second;
+  }
+  bool line_hits_x(int y, int z) const {
+    if (y < y0 || y > y1 || z < z0 || z > z1) return false;
+    const auto s = x_span.at(y - y0, z - z0);
+    return s.first <= s.second;
+  }
+
+  /// Forbidden/critical shadow predicates (pragmatic 3-D analogue of the
+  /// 2-D regions; see DESIGN.md §2).
+  bool in_forbidden_z(mesh::Coord3 p) const {
+    return line_hits_z(p.x, p.y) &&
+           p.z < z_span.at(p.x - x0, p.y - y0).first;
+  }
+  bool in_critical_z(mesh::Coord3 p) const {
+    return line_hits_z(p.x, p.y) &&
+           p.z > z_span.at(p.x - x0, p.y - y0).second;
+  }
+  bool in_forbidden_y(mesh::Coord3 p) const {
+    return line_hits_y(p.x, p.z) &&
+           p.y < y_span.at(p.x - x0, p.z - z0).first;
+  }
+  bool in_critical_y(mesh::Coord3 p) const {
+    return line_hits_y(p.x, p.z) &&
+           p.y > y_span.at(p.x - x0, p.z - z0).second;
+  }
+  bool in_forbidden_x(mesh::Coord3 p) const {
+    return line_hits_x(p.y, p.z) &&
+           p.x < x_span.at(p.y - y0, p.z - z0).first;
+  }
+  bool in_critical_x(mesh::Coord3 p) const {
+    return line_hits_x(p.y, p.z) &&
+           p.x > x_span.at(p.y - y0, p.z - z0).second;
+  }
+};
+
+class MccSet3D {
+ public:
+  MccSet3D(const mesh::Mesh3D& mesh, const LabelField3D& labels);
+
+  const std::vector<MccRegion3D>& regions() const { return regions_; }
+  int region_at(mesh::Coord3 c) const { return comp_.at(c.x, c.y, c.z); }
+  const MccRegion3D& region(int id) const { return regions_[id]; }
+
+ private:
+  util::Grid3<int32_t> comp_;
+  std::vector<MccRegion3D> regions_;
+};
+
+}  // namespace mcc::core

@@ -1,0 +1,218 @@
+#include "core/model.h"
+
+#include "mesh/slice.h"
+
+namespace mcc::core {
+
+using mesh::Coord2;
+using mesh::Coord3;
+
+const char* to_string(RouterKind k) {
+  switch (k) {
+    case RouterKind::Oracle: return "oracle";
+    case RouterKind::Records: return "records";
+    case RouterKind::Flood: return "flood";
+    case RouterKind::LabelsOnly: return "labels-only";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// 2-D
+
+MccModel2D::MccModel2D(const mesh::Mesh2D& mesh, mesh::FaultSet2D faults)
+    : mesh_(mesh), faults_(std::move(faults)) {}
+
+const OctantModel2D& MccModel2D::octant(mesh::Octant2 o) const {
+  auto& slot = octants_[o.id()];
+  if (!slot) {
+    slot = std::make_unique<OctantModel2D>(mesh_,
+                                           materialize(faults_, mesh_, o));
+  }
+  return *slot;
+}
+
+FeasibilityResult MccModel2D::feasible(Coord2 s, Coord2 d) const {
+  const mesh::Octant2 o = mesh::Octant2::from_pair(s, d);
+  const OctantModel2D& m = octant(o);
+  return mcc_feasible2d(mesh_, m.labels, o.transform(s, mesh_),
+                        o.transform(d, mesh_));
+}
+
+RouteResult2D MccModel2D::route(Coord2 s, Coord2 d, RouterKind kind,
+                                RoutePolicy policy, uint64_t seed) const {
+  const mesh::Octant2 o = mesh::Octant2::from_pair(s, d);
+  const OctantModel2D& m = octant(o);
+  const Coord2 cs = o.transform(s, mesh_);
+  const Coord2 cd = o.transform(d, mesh_);
+
+  const FeasibilityResult feas = mcc_feasible2d(mesh_, m.labels, cs, cd);
+  RouteResult2D res;
+  if (!feas.feasible) {
+    res.path.push_back(s);
+    res.failure = "infeasible";
+    return res;
+  }
+  if (cs == cd) {
+    res.delivered = true;
+    res.path.push_back(s);
+    return res;
+  }
+  if (cs.x == cd.x || cs.y == cd.y) {
+    // Degenerate pair: the unique minimal path is the straight line, which
+    // legitimately passes through unsafe-but-healthy nodes.
+    res.delivered = true;
+    Coord2 u = cs;
+    res.path.push_back(o.untransform(u, mesh_));
+    while (!(u == cd)) {
+      if (u.x < cd.x)
+        ++u.x;
+      else
+        ++u.y;
+      res.path.push_back(o.untransform(u, mesh_));
+    }
+    return res;
+  }
+
+  util::Rng rng(seed);
+  std::unique_ptr<Guidance2D> guidance;
+  if (feas.basis == FeasibilityBasis::OracleFallback) {
+    // Endpoint unsafe-but-alive: route over all non-faulty nodes.
+    guidance = std::make_unique<OracleGuidance2D>(mesh_, m.labels, cd,
+                                                  NodeFilter::NonFaulty);
+  } else {
+    switch (kind) {
+      case RouterKind::Oracle:
+      case RouterKind::Flood:  // 2-D flood == walker == oracle field
+        guidance = std::make_unique<OracleGuidance2D>(mesh_, m.labels, cd);
+        break;
+      case RouterKind::Records:
+        guidance = std::make_unique<RecordGuidance2D>(m.labels, m.mccs,
+                                                      m.boundary, cd);
+        break;
+      case RouterKind::LabelsOnly:
+        guidance = std::make_unique<LabelsOnlyGuidance2D>(m.labels, cd);
+        break;
+    }
+  }
+
+  res = route2d(mesh_, cs, cd, *guidance, policy, rng);
+  for (Coord2& c : res.path) c = o.untransform(c, mesh_);
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// 3-D
+
+MccModel3D::MccModel3D(const mesh::Mesh3D& mesh, mesh::FaultSet3D faults)
+    : mesh_(mesh), faults_(std::move(faults)) {}
+
+const OctantModel3D& MccModel3D::octant(mesh::Octant3 o) const {
+  auto& slot = octants_[o.id()];
+  if (!slot) {
+    slot = std::make_unique<OctantModel3D>(mesh_,
+                                           materialize(faults_, mesh_, o));
+  }
+  return *slot;
+}
+
+FeasibilityResult MccModel3D::feasible(Coord3 s, Coord3 d) const {
+  const mesh::Octant3 o = mesh::Octant3::from_pair(s, d);
+  const OctantModel3D& m = octant(o);
+  return mcc_feasible3d(mesh_, m.faults, m.labels, o.transform(s, mesh_),
+                        o.transform(d, mesh_));
+}
+
+RouteResult3D MccModel3D::route(Coord3 s, Coord3 d, RouterKind kind,
+                                RoutePolicy policy, uint64_t seed) const {
+  const mesh::Octant3 o = mesh::Octant3::from_pair(s, d);
+  const OctantModel3D& m = octant(o);
+  const Coord3 cs = o.transform(s, mesh_);
+  const Coord3 cd = o.transform(d, mesh_);
+
+  const FeasibilityResult feas =
+      mcc_feasible3d(mesh_, m.faults, m.labels, cs, cd);
+  RouteResult3D res;
+  if (!feas.feasible) {
+    res.path.push_back(s);
+    res.failure = "infeasible";
+    return res;
+  }
+  if (cs == cd) {
+    res.delivered = true;
+    res.path.push_back(s);
+    return res;
+  }
+
+  const int degenerate = (cs.x == cd.x ? 1 : 0) + (cs.y == cd.y ? 1 : 0) +
+                         (cs.z == cd.z ? 1 : 0);
+  if (degenerate == 2) {
+    res.delivered = true;
+    Coord3 u = cs;
+    res.path.push_back(o.untransform(u, mesh_));
+    while (!(u == cd)) {
+      if (u.x < cd.x)
+        ++u.x;
+      else if (u.y < cd.y)
+        ++u.y;
+      else
+        ++u.z;
+      res.path.push_back(o.untransform(u, mesh_));
+    }
+    return res;
+  }
+  if (degenerate == 1) {
+    // Confined to one plane: delegate to the exact 2-D model of the slice.
+    mesh::Plane plane;
+    int level;
+    if (cs.z == cd.z) {
+      plane = mesh::Plane::XY;
+      level = cs.z;
+    } else if (cs.y == cd.y) {
+      plane = mesh::Plane::XZ;
+      level = cs.y;
+    } else {
+      plane = mesh::Plane::YZ;
+      level = cs.x;
+    }
+    const mesh::Mesh2D m2 = mesh::slice_mesh(mesh_, plane);
+    MccModel2D slice_model(m2, mesh::slice_faults(mesh_, m.faults, plane,
+                                                  level));
+    const RouteResult2D sub =
+        slice_model.route(mesh::slice_coord(plane, cs),
+                          mesh::slice_coord(plane, cd), kind, policy, seed);
+    res.delivered = sub.delivered;
+    res.failure = sub.failure;
+    res.stats = sub.stats;
+    for (const Coord2 c : sub.path)
+      res.path.push_back(o.untransform(mesh::unslice(plane, c, level), mesh_));
+    return res;
+  }
+
+  util::Rng rng(seed);
+  std::unique_ptr<Guidance3D> guidance;
+  if (feas.basis == FeasibilityBasis::OracleFallback) {
+    guidance = std::make_unique<OracleGuidance3D>(mesh_, m.labels, cd,
+                                                  NodeFilter::NonFaulty);
+  } else {
+    switch (kind) {
+      case RouterKind::Oracle:
+      case RouterKind::Records:  // 3-D records == per-hop floods (see
+                                 // DESIGN.md §8 on Algorithm 5 fidelity)
+        guidance = std::make_unique<OracleGuidance3D>(mesh_, m.labels, cd);
+        break;
+      case RouterKind::Flood:
+        guidance = std::make_unique<FloodGuidance3D>(mesh_, m.labels, cd);
+        break;
+      case RouterKind::LabelsOnly:
+        guidance = std::make_unique<LabelsOnlyGuidance3D>(m.labels, cd);
+        break;
+    }
+  }
+
+  res = route3d(mesh_, cs, cd, *guidance, policy, rng);
+  for (Coord3& c : res.path) c = o.untransform(c, mesh_);
+  return res;
+}
+
+}  // namespace mcc::core

@@ -1,0 +1,107 @@
+// Public facade of the MCC routing library.
+//
+// MccModel2D / MccModel3D own a mesh plus its fault set and serve
+// feasibility queries and routed paths for ARBITRARY source/destination
+// pairs: the pair's orientation class picks one of the 4 (2-D) or 8 (3-D)
+// canonical octant models, which are materialized lazily (axis-flipped
+// fault set, labels, MCCs, boundary records) and cached.
+//
+// Quickstart:
+//   mesh::Mesh2D mesh(16, 16);
+//   mesh::FaultSet2D faults(mesh); faults.set_faulty({5, 5});
+//   core::MccModel2D model(mesh, faults);
+//   if (model.feasible({0,0}, {10,10}).feasible) {
+//     auto route = model.route({0,0}, {10,10}, core::RouterKind::Records,
+//                              core::RoutePolicy::Random, /*seed=*/1);
+//   }
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "core/boundary2d.h"
+#include "core/feasibility2d.h"
+#include "core/feasibility3d.h"
+#include "core/mcc_region.h"
+#include "core/router.h"
+#include "mesh/octant.h"
+
+namespace mcc::core {
+
+enum class RouterKind : uint8_t {
+  Oracle,      // reachability-field guidance (gold standard)
+  Records,     // the paper's boundary-record rule (2-D)
+  Flood,       // per-hop detection floods (3-D; in 2-D uses walkers)
+  LabelsOnly,  // ablation: labels but no boundary information
+};
+
+const char* to_string(RouterKind k);
+
+/// Everything the canonical algorithms need for one orientation class.
+struct OctantModel2D {
+  mesh::FaultSet2D faults;
+  LabelField2D labels;
+  MccSet2D mccs;
+  Boundary2D boundary;
+
+  OctantModel2D(const mesh::Mesh2D& mesh, mesh::FaultSet2D f)
+      : faults(std::move(f)),
+        labels(mesh, faults),
+        mccs(mesh, labels),
+        boundary(mesh, labels, mccs) {}
+};
+
+class MccModel2D {
+ public:
+  MccModel2D(const mesh::Mesh2D& mesh, mesh::FaultSet2D faults);
+
+  const mesh::Mesh2D& mesh() const { return mesh_; }
+  const mesh::FaultSet2D& faults() const { return faults_; }
+
+  /// Lazily-built canonical model of one orientation class.
+  const OctantModel2D& octant(mesh::Octant2 o) const;
+
+  /// Minimal-path feasibility under the MCC model.
+  FeasibilityResult feasible(mesh::Coord2 s, mesh::Coord2 d) const;
+
+  /// Routes a message; returns the path in physical coordinates. The
+  /// returned path is minimal whenever `delivered`.
+  RouteResult2D route(mesh::Coord2 s, mesh::Coord2 d, RouterKind kind,
+                      RoutePolicy policy, uint64_t seed) const;
+
+ private:
+  mesh::Mesh2D mesh_;
+  mesh::FaultSet2D faults_;
+  mutable std::array<std::unique_ptr<OctantModel2D>, 4> octants_;
+};
+
+struct OctantModel3D {
+  mesh::FaultSet3D faults;
+  LabelField3D labels;
+  MccSet3D mccs;
+
+  OctantModel3D(const mesh::Mesh3D& mesh, mesh::FaultSet3D f)
+      : faults(std::move(f)), labels(mesh, faults), mccs(mesh, labels) {}
+};
+
+class MccModel3D {
+ public:
+  MccModel3D(const mesh::Mesh3D& mesh, mesh::FaultSet3D faults);
+
+  const mesh::Mesh3D& mesh() const { return mesh_; }
+  const mesh::FaultSet3D& faults() const { return faults_; }
+
+  const OctantModel3D& octant(mesh::Octant3 o) const;
+
+  FeasibilityResult feasible(mesh::Coord3 s, mesh::Coord3 d) const;
+
+  RouteResult3D route(mesh::Coord3 s, mesh::Coord3 d, RouterKind kind,
+                      RoutePolicy policy, uint64_t seed) const;
+
+ private:
+  mesh::Mesh3D mesh_;
+  mesh::FaultSet3D faults_;
+  mutable std::array<std::unique_ptr<OctantModel3D>, 8> octants_;
+};
+
+}  // namespace mcc::core

@@ -1,0 +1,65 @@
+#include "core/reachability.h"
+
+namespace mcc::core {
+
+using mesh::Coord2;
+using mesh::Coord3;
+
+namespace {
+
+bool usable2(const LabelField2D& labels, Coord2 c, NodeFilter f) {
+  const NodeState s = labels.state(c);
+  if (f == NodeFilter::NonFaulty) return s != NodeState::Faulty;
+  return s == NodeState::Safe;
+}
+
+bool usable3(const LabelField3D& labels, Coord3 c, NodeFilter f) {
+  const NodeState s = labels.state(c);
+  if (f == NodeFilter::NonFaulty) return s != NodeState::Faulty;
+  return s == NodeState::Safe;
+}
+
+}  // namespace
+
+ReachField2D::ReachField2D(const mesh::Mesh2D& mesh,
+                           const LabelField2D& labels, Coord2 d,
+                           NodeFilter filter)
+    : d_(d), grid_(d.x + 1, d.y + 1, uint8_t{0}) {
+  (void)mesh;
+  // The destination is reachable from itself as long as it is alive — the
+  // model's labels never forbid *ending* at a healthy node.
+  if (labels.state(d) == NodeState::Faulty) return;
+  grid_.at(d.x, d.y) = 1;
+  for (int y = d.y; y >= 0; --y) {
+    for (int x = d.x; x >= 0; --x) {
+      if (x == d.x && y == d.y) continue;
+      if (!usable2(labels, {x, y}, filter)) continue;
+      const bool via_x = x + 1 <= d.x && grid_.at(x + 1, y);
+      const bool via_y = y + 1 <= d.y && grid_.at(x, y + 1);
+      grid_.at(x, y) = via_x || via_y;
+    }
+  }
+}
+
+ReachField3D::ReachField3D(const mesh::Mesh3D& mesh,
+                           const LabelField3D& labels, Coord3 d,
+                           NodeFilter filter)
+    : d_(d), grid_(d.x + 1, d.y + 1, d.z + 1, uint8_t{0}) {
+  (void)mesh;
+  if (labels.state(d) == NodeState::Faulty) return;
+  grid_.at(d.x, d.y, d.z) = 1;
+  for (int z = d.z; z >= 0; --z) {
+    for (int y = d.y; y >= 0; --y) {
+      for (int x = d.x; x >= 0; --x) {
+        if (x == d.x && y == d.y && z == d.z) continue;
+        if (!usable3(labels, {x, y, z}, filter)) continue;
+        const bool via_x = x + 1 <= d.x && grid_.at(x + 1, y, z);
+        const bool via_y = y + 1 <= d.y && grid_.at(x, y + 1, z);
+        const bool via_z = z + 1 <= d.z && grid_.at(x, y, z + 1);
+        grid_.at(x, y, z) = via_x || via_y || via_z;
+      }
+    }
+  }
+}
+
+}  // namespace mcc::core

@@ -1,0 +1,72 @@
+// Monotone-DAG reachability fields — the library's ground-truth oracle.
+//
+// For a fixed destination d in the canonical octant, `feasible[u]` answers:
+// does a minimal (monotone, +X/+Y(/+Z) only) path exist from u to d whose
+// every node satisfies a caller-chosen usability predicate? Computed as a
+// backward dynamic program over the monotone DAG in one O(N) sweep.
+//
+// Two standard predicates matter:
+//   * non-faulty  — the true oracle ("a minimal path exists at all");
+//   * safe-only   — what the MCC model permits (avoids useless/can't-reach).
+// DESIGN.md §3 records the proof that the two coincide whenever s and d are
+// both safe; tests/test_reachability.cc checks it empirically.
+#pragma once
+
+#include <functional>
+
+#include "core/labeling.h"
+#include "mesh/mesh.h"
+#include "util/grid.h"
+
+namespace mcc::core {
+
+/// Which nodes a path may use.
+enum class NodeFilter {
+  NonFaulty,  // every non-faulty node is usable
+  SafeOnly,   // only safe-labelled nodes are usable
+};
+
+/// Backward reachability toward a fixed destination in a 2-D mesh.
+/// Intermediate nodes AND the endpoints must pass the filter, except that
+/// `d` itself is usable whenever it is non-faulty (reaching an unsafe but
+/// healthy destination is legitimate; see DESIGN.md §3).
+class ReachField2D {
+ public:
+  ReachField2D(const mesh::Mesh2D& mesh, const LabelField2D& labels,
+               mesh::Coord2 d, NodeFilter filter);
+
+  /// True iff a monotone path u -> d through usable nodes exists
+  /// (u must lie in the rectangle spanned by the origin and d).
+  bool feasible(mesh::Coord2 u) const {
+    if (u.x > d_.x || u.y > d_.y || u.x < 0 || u.y < 0) return false;
+    return grid_.at(u.x, u.y) != 0;
+  }
+
+  mesh::Coord2 destination() const { return d_; }
+
+ private:
+  mesh::Coord2 d_;
+  util::Grid2<uint8_t> grid_;  // sized (d.x+1) x (d.y+1)
+};
+
+/// Backward reachability toward a fixed destination in a 3-D mesh.
+class ReachField3D {
+ public:
+  ReachField3D(const mesh::Mesh3D& mesh, const LabelField3D& labels,
+               mesh::Coord3 d, NodeFilter filter);
+
+  bool feasible(mesh::Coord3 u) const {
+    if (u.x > d_.x || u.y > d_.y || u.z > d_.z || u.x < 0 || u.y < 0 ||
+        u.z < 0)
+      return false;
+    return grid_.at(u.x, u.y, u.z) != 0;
+  }
+
+  mesh::Coord3 destination() const { return d_; }
+
+ private:
+  mesh::Coord3 d_;
+  util::Grid3<uint8_t> grid_;  // sized (d.x+1) x (d.y+1) x (d.z+1)
+};
+
+}  // namespace mcc::core

@@ -1,0 +1,155 @@
+#include "core/router.h"
+
+#include <algorithm>
+
+namespace mcc::core {
+
+using mesh::Coord2;
+using mesh::Coord3;
+using mesh::Dir2;
+using mesh::Dir3;
+
+const char* to_string(RoutePolicy p) {
+  switch (p) {
+    case RoutePolicy::XFirst: return "x-first";
+    case RoutePolicy::YFirst: return "y-first";
+    case RoutePolicy::Random: return "random";
+    case RoutePolicy::Balanced: return "balanced";
+    case RoutePolicy::Alternate: return "alternate";
+  }
+  return "?";
+}
+
+bool RecordGuidance2D::exclude(Coord2 u, Dir2 dir, Coord2 next) const {
+  // Rule 1: never step onto an unsafe node (the destination itself is
+  // exempt — ending on a healthy node is always legitimate).
+  if (labels_.unsafe(next) && !(next == d_)) return true;
+  // Rule 2 (Algorithm 3 step 2b): a record at u filters `dir` when the
+  // destination sits in the owner's critical region and the step enters a
+  // chained forbidden region.
+  for (const Record2D& rec : boundary_.records_at(u)) {
+    if (rec.guard != dir) continue;
+    const MccRegion2D& owner = mccs_.region(rec.owner);
+    const bool critical = rec.guard == Dir2::PosX ? owner.in_critical_y(d_)
+                                                  : owner.in_critical_x(d_);
+    if (!critical) continue;
+    for (const int b : *rec.chain) {
+      const MccRegion2D& fr = mccs_.region(b);
+      const bool forbidden = rec.guard == Dir2::PosX
+                                 ? fr.in_forbidden_y(next)
+                                 : fr.in_forbidden_x(next);
+      if (forbidden) return true;
+    }
+  }
+  return false;
+}
+
+bool FloodGuidance3D::exclude(Coord3, Dir3, Coord3 next) const {
+  if (next == d_) return labels_.state(next) == NodeState::Faulty;
+  if (labels_.unsafe(next)) return true;
+  return !detect3d(mesh_, labels_, next, d_).feasible();
+}
+
+namespace {
+
+// Shared routing loop. `Dirs` lists the preferred directions; `axis_gap`
+// returns the remaining offset along a direction's axis.
+template <class Coord, class Dir, class Guidance, size_t N>
+RouteResultT<Coord> route_impl(Coord s, Coord d,
+                               const std::array<Dir, N>& preferred,
+                               const Guidance& guidance, RoutePolicy policy,
+                               util::Rng& rng, int distance,
+                               auto&& remaining_along) {
+  RouteResultT<Coord> res;
+  res.path.push_back(s);
+  Coord u = s;
+  int last_axis = -1;
+
+  for (int hop = 0; hop < distance; ++hop) {
+    Dir candidates[N];
+    size_t n = 0;
+    for (const Dir dir : preferred) {
+      if (remaining_along(u, dir) <= 0) continue;
+      const Coord next = step(u, dir);
+      if (guidance.exclude(u, dir, next)) continue;
+      candidates[n++] = dir;
+    }
+    if (n == 0) {
+      res.failure = "no admissible direction";
+      return res;
+    }
+    res.stats.candidate_sum += static_cast<int>(n);
+    if (n >= 2) ++res.stats.multi_choice_hops;
+
+    Dir chosen = candidates[0];
+    switch (policy) {
+      case RoutePolicy::XFirst:
+        break;  // candidates are in axis order already
+      case RoutePolicy::YFirst:
+        chosen = candidates[n - 1];
+        break;
+      case RoutePolicy::Random:
+        chosen = candidates[rng.pick(n)];
+        break;
+      case RoutePolicy::Balanced: {
+        int best = -1;
+        for (size_t i = 0; i < n; ++i) {
+          const int rem = remaining_along(u, candidates[i]);
+          if (rem > best) {
+            best = rem;
+            chosen = candidates[i];
+          }
+        }
+        break;
+      }
+      case RoutePolicy::Alternate: {
+        chosen = candidates[0];
+        for (size_t i = 0; i < n; ++i) {
+          if (axis_of(candidates[i]) != last_axis) {
+            chosen = candidates[i];
+            break;
+          }
+        }
+        break;
+      }
+    }
+    last_axis = axis_of(chosen);
+    u = step(u, chosen);
+    res.path.push_back(u);
+  }
+
+  res.delivered = u == d;
+  if (!res.delivered && res.failure.empty())
+    res.failure = "ran out of budget off-destination";
+  return res;
+}
+
+}  // namespace
+
+RouteResult2D route2d(const mesh::Mesh2D& mesh, Coord2 s, Coord2 d,
+                      const Guidance2D& guidance, RoutePolicy policy,
+                      util::Rng& rng) {
+  (void)mesh;
+  auto remaining = [&](Coord2 u, Dir2 dir) {
+    return dir == Dir2::PosX ? d.x - u.x : d.y - u.y;
+  };
+  return route_impl<Coord2, Dir2>(s, d, mesh::kPosDir2, guidance, policy, rng,
+                                  manhattan(s, d), remaining);
+}
+
+RouteResult3D route3d(const mesh::Mesh3D& mesh, Coord3 s, Coord3 d,
+                      const Guidance3D& guidance, RoutePolicy policy,
+                      util::Rng& rng) {
+  (void)mesh;
+  auto remaining = [&](Coord3 u, Dir3 dir) {
+    switch (dir) {
+      case Dir3::PosX: return d.x - u.x;
+      case Dir3::PosY: return d.y - u.y;
+      default: return d.z - u.z;
+    }
+  };
+  return route_impl<Coord3, Dir3>(s, d, mesh::kPosDir3, guidance, policy, rng,
+                                  manhattan(s, d), remaining);
+}
+
+}  // namespace mcc::core

@@ -1,0 +1,189 @@
+// Adaptive minimal routing (Algorithm 3 step 2 / Algorithm 6 step 2).
+//
+// At every node the router considers the preferred (positive) directions
+// with remaining offset, drops the ones its *guidance* excludes, and picks
+// any survivor according to a selection policy. The paper's guarantee —
+// a minimal path is delivered whenever the feasibility check passes — holds
+// for ANY policy, which the property tests exercise.
+//
+// Guidance variants (DESIGN.md §3, layer L4):
+//   * OracleGuidance  — excludes a step iff no safe minimal completion
+//                       exists from the next node (gold standard; O(1) per
+//                       step via a precomputed reachability field);
+//   * RecordGuidance  — the paper's rule: excludes a step iff the next node
+//                       is unsafe, or a boundary record at the current node
+//                       places the destination in the owner's critical
+//                       region and the next node in a chained forbidden
+//                       region (2-D);
+//   * FloodGuidance   — 3-D: excludes a step iff the next node is unsafe or
+//                       the three detection floods fail from there (the
+//                       per-hop form of Algorithm 6's check).
+//
+// All routers operate in the canonical octant (callers flip axes first).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/boundary2d.h"
+#include "core/feasibility3d.h"
+#include "core/labeling.h"
+#include "core/reachability.h"
+#include "mesh/mesh.h"
+#include "util/rng.h"
+
+namespace mcc::core {
+
+enum class RoutePolicy : uint8_t {
+  XFirst,    // deterministic: lowest axis first
+  YFirst,    // deterministic: highest axis first
+  Random,    // uniform among surviving candidates
+  Balanced,  // axis with the largest remaining offset (ties: lowest axis)
+  Alternate, // avoid the axis used by the previous hop when possible
+};
+
+inline constexpr RoutePolicy kAllPolicies[] = {
+    RoutePolicy::XFirst, RoutePolicy::YFirst, RoutePolicy::Random,
+    RoutePolicy::Balanced, RoutePolicy::Alternate};
+
+const char* to_string(RoutePolicy p);
+
+struct RouteStats {
+  // Number of hops where >=2 candidate directions survived (adaptivity).
+  int multi_choice_hops = 0;
+  // Total surviving candidates summed over hops (for mean adaptivity).
+  int candidate_sum = 0;
+};
+
+template <class Coord>
+struct RouteResultT {
+  bool delivered = false;
+  std::vector<Coord> path;  // includes s and, when delivered, d
+  RouteStats stats;
+  std::string failure;  // non-empty when stuck
+
+  int hops() const { return static_cast<int>(path.size()) - 1; }
+};
+
+using RouteResult2D = RouteResultT<mesh::Coord2>;
+using RouteResult3D = RouteResultT<mesh::Coord3>;
+
+// ---------------------------------------------------------------------------
+// 2-D
+
+class Guidance2D {
+ public:
+  virtual ~Guidance2D() = default;
+  /// True when stepping from u to next must be avoided.
+  virtual bool exclude(mesh::Coord2 u, mesh::Dir2 dir,
+                       mesh::Coord2 next) const = 0;
+};
+
+/// v1: reachability-field guidance. The filter defaults to the model's
+/// safe-only view; NonFaulty serves pairs with unsafe-but-alive endpoints.
+class OracleGuidance2D : public Guidance2D {
+ public:
+  OracleGuidance2D(const mesh::Mesh2D& mesh, const LabelField2D& labels,
+                   mesh::Coord2 d, NodeFilter filter = NodeFilter::SafeOnly)
+      : field_(mesh, labels, d, filter) {}
+  bool exclude(mesh::Coord2, mesh::Dir2, mesh::Coord2 next) const override {
+    return !field_.feasible(next);
+  }
+
+ private:
+  ReachField2D field_;
+};
+
+/// v2: the paper's boundary-record rule.
+class RecordGuidance2D : public Guidance2D {
+ public:
+  RecordGuidance2D(const LabelField2D& labels, const MccSet2D& mccs,
+                   const Boundary2D& boundary, mesh::Coord2 d)
+      : labels_(labels), mccs_(mccs), boundary_(boundary), d_(d) {}
+
+  bool exclude(mesh::Coord2 u, mesh::Dir2 dir,
+               mesh::Coord2 next) const override;
+
+ private:
+  const LabelField2D& labels_;
+  const MccSet2D& mccs_;
+  const Boundary2D& boundary_;
+  mesh::Coord2 d_;
+};
+
+/// Ablation baseline: avoids unsafe neighbors but consults no records.
+class LabelsOnlyGuidance2D : public Guidance2D {
+ public:
+  LabelsOnlyGuidance2D(const LabelField2D& labels, mesh::Coord2 d)
+      : labels_(labels), d_(d) {}
+  bool exclude(mesh::Coord2, mesh::Dir2,
+               mesh::Coord2 next) const override {
+    return labels_.unsafe(next) && !(next == d_);
+  }
+
+ private:
+  const LabelField2D& labels_;
+  mesh::Coord2 d_;
+};
+
+RouteResult2D route2d(const mesh::Mesh2D& mesh, mesh::Coord2 s,
+                      mesh::Coord2 d, const Guidance2D& guidance,
+                      RoutePolicy policy, util::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// 3-D
+
+class Guidance3D {
+ public:
+  virtual ~Guidance3D() = default;
+  virtual bool exclude(mesh::Coord3 u, mesh::Dir3 dir,
+                       mesh::Coord3 next) const = 0;
+};
+
+class OracleGuidance3D : public Guidance3D {
+ public:
+  OracleGuidance3D(const mesh::Mesh3D& mesh, const LabelField3D& labels,
+                   mesh::Coord3 d, NodeFilter filter = NodeFilter::SafeOnly)
+      : field_(mesh, labels, d, filter) {}
+  bool exclude(mesh::Coord3, mesh::Dir3, mesh::Coord3 next) const override {
+    return !field_.feasible(next);
+  }
+
+ private:
+  ReachField3D field_;
+};
+
+/// Per-hop detection floods (Algorithm 6 applied from every next-hop).
+class FloodGuidance3D : public Guidance3D {
+ public:
+  FloodGuidance3D(const mesh::Mesh3D& mesh, const LabelField3D& labels,
+                  mesh::Coord3 d)
+      : mesh_(mesh), labels_(labels), d_(d) {}
+  bool exclude(mesh::Coord3, mesh::Dir3, mesh::Coord3 next) const override;
+
+ private:
+  const mesh::Mesh3D& mesh_;
+  const LabelField3D& labels_;
+  mesh::Coord3 d_;
+};
+
+class LabelsOnlyGuidance3D : public Guidance3D {
+ public:
+  LabelsOnlyGuidance3D(const LabelField3D& labels, mesh::Coord3 d)
+      : labels_(labels), d_(d) {}
+  bool exclude(mesh::Coord3, mesh::Dir3,
+               mesh::Coord3 next) const override {
+    return labels_.unsafe(next) && !(next == d_);
+  }
+
+ private:
+  const LabelField3D& labels_;
+  mesh::Coord3 d_;
+};
+
+RouteResult3D route3d(const mesh::Mesh3D& mesh, mesh::Coord3 s,
+                      mesh::Coord3 d, const Guidance3D& guidance,
+                      RoutePolicy policy, util::Rng& rng);
+
+}  // namespace mcc::core

@@ -1,0 +1,149 @@
+// Coordinates and direction sets for 2-D and 3-D meshes.
+//
+// Directions follow the paper's naming: ±X, ±Y (±Z). Positive directions are
+// the "preferred" directions for the canonical routing octant (s at the
+// origin, d with non-negative offsets).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace mcc::mesh {
+
+struct Coord2 {
+  int x = 0;
+  int y = 0;
+
+  friend bool operator==(const Coord2&, const Coord2&) = default;
+  friend Coord2 operator+(Coord2 a, Coord2 b) { return {a.x + b.x, a.y + b.y}; }
+};
+
+struct Coord3 {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+
+  friend bool operator==(const Coord3&, const Coord3&) = default;
+  friend Coord3 operator+(Coord3 a, Coord3 b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+};
+
+inline int manhattan(Coord2 a, Coord2 b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+inline int manhattan(Coord3 a, Coord3 b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y) + std::abs(a.z - b.z);
+}
+
+/// 2-D directions in the order {+X, -X, +Y, -Y}.
+enum class Dir2 : uint8_t { PosX = 0, NegX = 1, PosY = 2, NegY = 3 };
+
+/// 3-D directions in the order {+X, -X, +Y, -Y, +Z, -Z}.
+enum class Dir3 : uint8_t {
+  PosX = 0,
+  NegX = 1,
+  PosY = 2,
+  NegY = 3,
+  PosZ = 4,
+  NegZ = 5
+};
+
+inline constexpr std::array<Dir2, 4> kAllDir2 = {Dir2::PosX, Dir2::NegX,
+                                                 Dir2::PosY, Dir2::NegY};
+inline constexpr std::array<Dir3, 6> kAllDir3 = {Dir3::PosX, Dir3::NegX,
+                                                 Dir3::PosY, Dir3::NegY,
+                                                 Dir3::PosZ, Dir3::NegZ};
+
+/// Preferred (positive) directions for the canonical octant.
+inline constexpr std::array<Dir2, 2> kPosDir2 = {Dir2::PosX, Dir2::PosY};
+inline constexpr std::array<Dir3, 3> kPosDir3 = {Dir3::PosX, Dir3::PosY,
+                                                 Dir3::PosZ};
+
+inline Coord2 step(Coord2 c, Dir2 d) {
+  switch (d) {
+    case Dir2::PosX: return {c.x + 1, c.y};
+    case Dir2::NegX: return {c.x - 1, c.y};
+    case Dir2::PosY: return {c.x, c.y + 1};
+    case Dir2::NegY: return {c.x, c.y - 1};
+  }
+  return c;
+}
+
+inline Coord3 step(Coord3 c, Dir3 d) {
+  switch (d) {
+    case Dir3::PosX: return {c.x + 1, c.y, c.z};
+    case Dir3::NegX: return {c.x - 1, c.y, c.z};
+    case Dir3::PosY: return {c.x, c.y + 1, c.z};
+    case Dir3::NegY: return {c.x, c.y - 1, c.z};
+    case Dir3::PosZ: return {c.x, c.y, c.z + 1};
+    case Dir3::NegZ: return {c.x, c.y, c.z - 1};
+  }
+  return c;
+}
+
+inline Dir2 opposite(Dir2 d) {
+  switch (d) {
+    case Dir2::PosX: return Dir2::NegX;
+    case Dir2::NegX: return Dir2::PosX;
+    case Dir2::PosY: return Dir2::NegY;
+    case Dir2::NegY: return Dir2::PosY;
+  }
+  return d;
+}
+
+inline Dir3 opposite(Dir3 d) {
+  switch (d) {
+    case Dir3::PosX: return Dir3::NegX;
+    case Dir3::NegX: return Dir3::PosX;
+    case Dir3::PosY: return Dir3::NegY;
+    case Dir3::NegY: return Dir3::PosY;
+    case Dir3::PosZ: return Dir3::NegZ;
+    case Dir3::NegZ: return Dir3::PosZ;
+  }
+  return d;
+}
+
+/// Dimension index (0=X, 1=Y, 2=Z) of a direction.
+inline int axis_of(Dir2 d) { return static_cast<int>(d) / 2; }
+inline int axis_of(Dir3 d) { return static_cast<int>(d) / 2; }
+
+inline std::string to_string(Dir2 d) {
+  static constexpr const char* names[] = {"+X", "-X", "+Y", "-Y"};
+  return names[static_cast<int>(d)];
+}
+inline std::string to_string(Dir3 d) {
+  static constexpr const char* names[] = {"+X", "-X", "+Y", "-Y", "+Z", "-Z"};
+  return names[static_cast<int>(d)];
+}
+
+inline std::ostream& operator<<(std::ostream& os, Coord2 c) {
+  return os << '(' << c.x << ',' << c.y << ')';
+}
+inline std::ostream& operator<<(std::ostream& os, Coord3 c) {
+  return os << '(' << c.x << ',' << c.y << ',' << c.z << ')';
+}
+
+}  // namespace mcc::mesh
+
+template <>
+struct std::hash<mcc::mesh::Coord2> {
+  size_t operator()(const mcc::mesh::Coord2& c) const {
+    return std::hash<int64_t>{}((static_cast<int64_t>(c.x) << 32) ^
+                                static_cast<uint32_t>(c.y));
+  }
+};
+
+template <>
+struct std::hash<mcc::mesh::Coord3> {
+  size_t operator()(const mcc::mesh::Coord3& c) const {
+    int64_t k = c.x;
+    k = k * 1000003 + c.y;
+    k = k * 1000003 + c.z;
+    return std::hash<int64_t>{}(k);
+  }
+};

@@ -1,0 +1,161 @@
+#include "mesh/fault_injection.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mcc::mesh {
+
+namespace {
+
+template <class Coord>
+bool is_protected(const std::vector<Coord>& prot, Coord c) {
+  return std::find(prot.begin(), prot.end(), c) != prot.end();
+}
+
+}  // namespace
+
+FaultSet2D inject_uniform(const Mesh2D& mesh, double rate, util::Rng& rng,
+                          const std::vector<Coord2>& protected_nodes) {
+  FaultSet2D f(mesh);
+  for (int y = 0; y < mesh.ny(); ++y)
+    for (int x = 0; x < mesh.nx(); ++x) {
+      const Coord2 c{x, y};
+      if (rng.chance(rate) && !is_protected(protected_nodes, c))
+        f.set_faulty(c);
+    }
+  return f;
+}
+
+FaultSet3D inject_uniform(const Mesh3D& mesh, double rate, util::Rng& rng,
+                          const std::vector<Coord3>& protected_nodes) {
+  FaultSet3D f(mesh);
+  for (int z = 0; z < mesh.nz(); ++z)
+    for (int y = 0; y < mesh.ny(); ++y)
+      for (int x = 0; x < mesh.nx(); ++x) {
+        const Coord3 c{x, y, z};
+        if (rng.chance(rate) && !is_protected(protected_nodes, c))
+          f.set_faulty(c);
+      }
+  return f;
+}
+
+FaultSet2D inject_exact(const Mesh2D& mesh, int count, util::Rng& rng,
+                        const std::vector<Coord2>& protected_nodes) {
+  FaultSet2D f(mesh);
+  const int max_faults =
+      static_cast<int>(mesh.node_count()) - static_cast<int>(protected_nodes.size());
+  count = std::min(count, max_faults);
+  while (f.count() < count) {
+    const Coord2 c = mesh.coord(rng.pick(mesh.node_count()));
+    if (!f.is_faulty(c) && !is_protected(protected_nodes, c)) f.set_faulty(c);
+  }
+  return f;
+}
+
+FaultSet3D inject_exact(const Mesh3D& mesh, int count, util::Rng& rng,
+                        const std::vector<Coord3>& protected_nodes) {
+  FaultSet3D f(mesh);
+  const int max_faults =
+      static_cast<int>(mesh.node_count()) - static_cast<int>(protected_nodes.size());
+  count = std::min(count, max_faults);
+  while (f.count() < count) {
+    const Coord3 c = mesh.coord(rng.pick(mesh.node_count()));
+    if (!f.is_faulty(c) && !is_protected(protected_nodes, c)) f.set_faulty(c);
+  }
+  return f;
+}
+
+FaultSet2D inject_clustered(const Mesh2D& mesh, int count, int clusters,
+                            util::Rng& rng,
+                            const std::vector<Coord2>& protected_nodes) {
+  FaultSet2D f(mesh);
+  std::vector<Coord2> frontier;
+  clusters = std::max(clusters, 1);
+  for (int i = 0; i < clusters && f.count() < count; ++i) {
+    const Coord2 seed = mesh.coord(rng.pick(mesh.node_count()));
+    if (!f.is_faulty(seed) && !is_protected(protected_nodes, seed)) {
+      f.set_faulty(seed);
+      frontier.push_back(seed);
+    }
+  }
+  int stall = 0;
+  while (f.count() < count && !frontier.empty() && stall < 10000) {
+    const size_t i = rng.pick(frontier.size());
+    const Coord2 base = frontier[i];
+    const Dir2 d = kAllDir2[rng.pick(4)];
+    const Coord2 n = step(base, d);
+    if (mesh.contains(n) && !f.is_faulty(n) &&
+        !is_protected(protected_nodes, n)) {
+      f.set_faulty(n);
+      frontier.push_back(n);
+      stall = 0;
+    } else {
+      ++stall;
+    }
+  }
+  return f;
+}
+
+FaultSet3D inject_clustered(const Mesh3D& mesh, int count, int clusters,
+                            util::Rng& rng,
+                            const std::vector<Coord3>& protected_nodes) {
+  FaultSet3D f(mesh);
+  std::vector<Coord3> frontier;
+  clusters = std::max(clusters, 1);
+  for (int i = 0; i < clusters && f.count() < count; ++i) {
+    const Coord3 seed = mesh.coord(rng.pick(mesh.node_count()));
+    if (!f.is_faulty(seed) && !is_protected(protected_nodes, seed)) {
+      f.set_faulty(seed);
+      frontier.push_back(seed);
+    }
+  }
+  int stall = 0;
+  while (f.count() < count && !frontier.empty() && stall < 10000) {
+    const size_t i = rng.pick(frontier.size());
+    const Coord3 base = frontier[i];
+    const Dir3 d = kAllDir3[rng.pick(6)];
+    const Coord3 n = step(base, d);
+    if (mesh.contains(n) && !f.is_faulty(n) &&
+        !is_protected(protected_nodes, n)) {
+      f.set_faulty(n);
+      frontier.push_back(n);
+      stall = 0;
+    } else {
+      ++stall;
+    }
+  }
+  return f;
+}
+
+void add_wall_x(FaultSet2D& f, const Mesh2D& mesh, int x0, int y0, int y1) {
+  for (int y = y0; y <= y1; ++y)
+    if (mesh.contains({x0, y})) f.set_faulty({x0, y});
+}
+
+void add_wall_y(FaultSet2D& f, const Mesh2D& mesh, int x0, int x1, int y0) {
+  for (int x = x0; x <= x1; ++x)
+    if (mesh.contains({x, y0})) f.set_faulty({x, y0});
+}
+
+void add_plate_z(FaultSet3D& f, const Mesh3D& mesh, int x0, int x1, int y0,
+                 int y1, int z0) {
+  for (int y = y0; y <= y1; ++y)
+    for (int x = x0; x <= x1; ++x)
+      if (mesh.contains({x, y, z0})) f.set_faulty({x, y, z0});
+}
+
+void add_plate_x(FaultSet3D& f, const Mesh3D& mesh, int x0, int y0, int y1,
+                 int z0, int z1) {
+  for (int z = z0; z <= z1; ++z)
+    for (int y = y0; y <= y1; ++y)
+      if (mesh.contains({x0, y, z})) f.set_faulty({x0, y, z});
+}
+
+void add_plate_y(FaultSet3D& f, const Mesh3D& mesh, int y0, int x0, int x1,
+                 int z0, int z1) {
+  for (int z = z0; z <= z1; ++z)
+    for (int x = x0; x <= x1; ++x)
+      if (mesh.contains({x, y0, z})) f.set_faulty({x, y0, z});
+}
+
+}  // namespace mcc::mesh

@@ -1,0 +1,53 @@
+// Workload generators: synthetic fault patterns.
+//
+// The paper's (unavailable) simulation study injects uniformly random node
+// faults; we add clustered faults and structured adversarial patterns
+// (walls, plates, shells) that exercise the model's corner cases — these are
+// the substitution for the tech report's withheld workloads (DESIGN.md §8).
+#pragma once
+
+#include <vector>
+
+#include "mesh/fault_set.h"
+#include "mesh/mesh.h"
+#include "util/rng.h"
+
+namespace mcc::mesh {
+
+/// Marks each node faulty independently with probability `rate`, never
+/// touching `protected_nodes` (typically the source/destination corners).
+FaultSet2D inject_uniform(const Mesh2D& mesh, double rate, util::Rng& rng,
+                          const std::vector<Coord2>& protected_nodes = {});
+FaultSet3D inject_uniform(const Mesh3D& mesh, double rate, util::Rng& rng,
+                          const std::vector<Coord3>& protected_nodes = {});
+
+/// Draws exactly `count` distinct faulty nodes uniformly at random.
+FaultSet2D inject_exact(const Mesh2D& mesh, int count, util::Rng& rng,
+                        const std::vector<Coord2>& protected_nodes = {});
+FaultSet3D inject_exact(const Mesh3D& mesh, int count, util::Rng& rng,
+                        const std::vector<Coord3>& protected_nodes = {});
+
+/// Clustered faults: `clusters` seeds grown by random-neighbor accretion
+/// until `count` total faults. Models spatially correlated failures
+/// (damaged region of the machine) rather than independent node deaths.
+FaultSet2D inject_clustered(const Mesh2D& mesh, int count, int clusters,
+                            util::Rng& rng,
+                            const std::vector<Coord2>& protected_nodes = {});
+FaultSet3D inject_clustered(const Mesh3D& mesh, int count, int clusters,
+                            util::Rng& rng,
+                            const std::vector<Coord3>& protected_nodes = {});
+
+/// Structured patterns for adversarial tests.
+/// Vertical wall segment x = x0, y in [y0, y1].
+void add_wall_x(FaultSet2D& f, const Mesh2D& mesh, int x0, int y0, int y1);
+/// Horizontal wall segment y = y0, x in [x0, x1].
+void add_wall_y(FaultSet2D& f, const Mesh2D& mesh, int x0, int x1, int y0);
+/// Axis-aligned solid plate z = z0, x in [x0,x1], y in [y0,y1].
+void add_plate_z(FaultSet3D& f, const Mesh3D& mesh, int x0, int x1, int y0,
+                 int y1, int z0);
+void add_plate_x(FaultSet3D& f, const Mesh3D& mesh, int x0, int y0, int y1,
+                 int z0, int z1);
+void add_plate_y(FaultSet3D& f, const Mesh3D& mesh, int y0, int x0, int x1,
+                 int z0, int z1);
+
+}  // namespace mcc::mesh

@@ -1,0 +1,76 @@
+// Fault state of a mesh: which nodes are dead.
+//
+// Link faults are expressible by disabling an adjacent node (the paper treats
+// link faults exactly this way, §1), so the library models node faults only.
+#pragma once
+
+#include <vector>
+
+#include "mesh/coord.h"
+#include "mesh/mesh.h"
+#include "util/grid.h"
+
+namespace mcc::mesh {
+
+class FaultSet2D {
+ public:
+  explicit FaultSet2D(const Mesh2D& mesh)
+      : grid_(mesh.nx(), mesh.ny(), uint8_t{0}) {}
+
+  bool is_faulty(Coord2 c) const { return grid_.at(c.x, c.y) != 0; }
+
+  void set_faulty(Coord2 c, bool v = true) {
+    uint8_t& cell = grid_.at(c.x, c.y);
+    if (cell == static_cast<uint8_t>(v)) return;
+    cell = static_cast<uint8_t>(v);
+    count_ += v ? 1 : -1;
+  }
+
+  int count() const { return count_; }
+
+  std::vector<Coord2> faulty_nodes() const {
+    std::vector<Coord2> out;
+    out.reserve(static_cast<size_t>(count_));
+    for (int y = 0; y < grid_.ny(); ++y)
+      for (int x = 0; x < grid_.nx(); ++x)
+        if (grid_.at(x, y)) out.push_back({x, y});
+    return out;
+  }
+
+ private:
+  util::Grid2<uint8_t> grid_;
+  int count_ = 0;
+};
+
+class FaultSet3D {
+ public:
+  explicit FaultSet3D(const Mesh3D& mesh)
+      : grid_(mesh.nx(), mesh.ny(), mesh.nz(), uint8_t{0}) {}
+
+  bool is_faulty(Coord3 c) const { return grid_.at(c.x, c.y, c.z) != 0; }
+
+  void set_faulty(Coord3 c, bool v = true) {
+    uint8_t& cell = grid_.at(c.x, c.y, c.z);
+    if (cell == static_cast<uint8_t>(v)) return;
+    cell = static_cast<uint8_t>(v);
+    count_ += v ? 1 : -1;
+  }
+
+  int count() const { return count_; }
+
+  std::vector<Coord3> faulty_nodes() const {
+    std::vector<Coord3> out;
+    out.reserve(static_cast<size_t>(count_));
+    for (int z = 0; z < grid_.nz(); ++z)
+      for (int y = 0; y < grid_.ny(); ++y)
+        for (int x = 0; x < grid_.nx(); ++x)
+          if (grid_.at(x, y, z)) out.push_back({x, y, z});
+    return out;
+  }
+
+ private:
+  util::Grid3<uint8_t> grid_;
+  int count_ = 0;
+};
+
+}  // namespace mcc::mesh

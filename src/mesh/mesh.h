@@ -1,0 +1,96 @@
+// Mesh topologies. A mesh is a pure shape object: dimensions, bounds checks
+// and index mapping. Fault state lives in mesh::FaultSet, labels in
+// core::LabelField*.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+#include "mesh/coord.h"
+
+namespace mcc::mesh {
+
+/// k1 x k2 2-D mesh. Interior nodes have degree 4.
+class Mesh2D {
+ public:
+  Mesh2D(int nx, int ny) : nx_(nx), ny_(ny) {
+    assert(nx > 0 && ny > 0);
+  }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  size_t node_count() const { return static_cast<size_t>(nx_) * ny_; }
+
+  bool contains(Coord2 c) const {
+    return c.x >= 0 && c.x < nx_ && c.y >= 0 && c.y < ny_;
+  }
+
+  size_t index(Coord2 c) const {
+    assert(contains(c));
+    return static_cast<size_t>(c.y) * nx_ + c.x;
+  }
+
+  Coord2 coord(size_t i) const {
+    return {static_cast<int>(i % nx_), static_cast<int>(i / nx_)};
+  }
+
+  /// Calls fn(neighbor, dir) for each in-mesh neighbor of c.
+  template <class Fn>
+  void for_each_neighbor(Coord2 c, Fn&& fn) const {
+    for (Dir2 d : kAllDir2) {
+      const Coord2 n = step(c, d);
+      if (contains(n)) fn(n, d);
+    }
+  }
+
+ private:
+  int nx_;
+  int ny_;
+};
+
+/// k1 x k2 x k3 3-D mesh. Interior nodes have degree 6.
+class Mesh3D {
+ public:
+  Mesh3D(int nx, int ny, int nz) : nx_(nx), ny_(ny), nz_(nz) {
+    assert(nx > 0 && ny > 0 && nz > 0);
+  }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  size_t node_count() const {
+    return static_cast<size_t>(nx_) * ny_ * nz_;
+  }
+
+  bool contains(Coord3 c) const {
+    return c.x >= 0 && c.x < nx_ && c.y >= 0 && c.y < ny_ && c.z >= 0 &&
+           c.z < nz_;
+  }
+
+  size_t index(Coord3 c) const {
+    assert(contains(c));
+    return (static_cast<size_t>(c.z) * ny_ + c.y) * nx_ + c.x;
+  }
+
+  Coord3 coord(size_t i) const {
+    const int x = static_cast<int>(i % nx_);
+    const int y = static_cast<int>((i / nx_) % ny_);
+    const int z = static_cast<int>(i / (static_cast<size_t>(nx_) * ny_));
+    return {x, y, z};
+  }
+
+  template <class Fn>
+  void for_each_neighbor(Coord3 c, Fn&& fn) const {
+    for (Dir3 d : kAllDir3) {
+      const Coord3 n = step(c, d);
+      if (contains(n)) fn(n, d);
+    }
+  }
+
+ private:
+  int nx_;
+  int ny_;
+  int nz_;
+};
+
+}  // namespace mcc::mesh

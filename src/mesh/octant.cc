@@ -1,0 +1,26 @@
+#include "mesh/octant.h"
+
+namespace mcc::mesh {
+
+FaultSet2D materialize(const FaultSet2D& f, const Mesh2D& mesh, Octant2 o) {
+  FaultSet2D out(mesh);
+  for (int y = 0; y < mesh.ny(); ++y)
+    for (int x = 0; x < mesh.nx(); ++x) {
+      const Coord2 c{x, y};
+      if (f.is_faulty(c)) out.set_faulty(o.transform(c, mesh));
+    }
+  return out;
+}
+
+FaultSet3D materialize(const FaultSet3D& f, const Mesh3D& mesh, Octant3 o) {
+  FaultSet3D out(mesh);
+  for (int z = 0; z < mesh.nz(); ++z)
+    for (int y = 0; y < mesh.ny(); ++y)
+      for (int x = 0; x < mesh.nx(); ++x) {
+        const Coord3 c{x, y, z};
+        if (f.is_faulty(c)) out.set_faulty(o.transform(c, mesh));
+      }
+  return out;
+}
+
+}  // namespace mcc::mesh

@@ -1,0 +1,70 @@
+// Orientation handling.
+//
+// All core algorithms are written for the canonical octant: source at the
+// origin, destination with non-negative offsets, preferred directions
+// +X/+Y(/+Z). An OctantView maps an arbitrary (s,d) pair into that frame by
+// flipping axes; `transform` / `untransform` convert coordinates, and
+// `materialize` produces the flipped fault set the canonical algorithms run
+// on. This is how the library serves all 4 quadrant classes in 2-D and all
+// 8 octant classes in 3-D from a single implementation (DESIGN.md §6).
+#pragma once
+
+#include "mesh/fault_set.h"
+#include "mesh/mesh.h"
+
+namespace mcc::mesh {
+
+/// Axis flip mask for 2-D: flip.x means the canonical +X corresponds to the
+/// physical -X direction.
+struct Octant2 {
+  bool flip_x = false;
+  bool flip_y = false;
+
+  /// Orientation class of routing from s toward d (ties resolve to "no
+  /// flip"; a zero offset means the axis is degenerate and unaffected).
+  static Octant2 from_pair(Coord2 s, Coord2 d) {
+    return {d.x < s.x, d.y < s.y};
+  }
+
+  Coord2 transform(Coord2 c, const Mesh2D& mesh) const {
+    return {flip_x ? mesh.nx() - 1 - c.x : c.x,
+            flip_y ? mesh.ny() - 1 - c.y : c.y};
+  }
+  /// The flip is an involution, so untransform == transform.
+  Coord2 untransform(Coord2 c, const Mesh2D& mesh) const {
+    return transform(c, mesh);
+  }
+
+  /// Index of this octant in [0, 4).
+  int id() const { return (flip_x ? 1 : 0) | (flip_y ? 2 : 0); }
+};
+
+struct Octant3 {
+  bool flip_x = false;
+  bool flip_y = false;
+  bool flip_z = false;
+
+  static Octant3 from_pair(Coord3 s, Coord3 d) {
+    return {d.x < s.x, d.y < s.y, d.z < s.z};
+  }
+
+  Coord3 transform(Coord3 c, const Mesh3D& mesh) const {
+    return {flip_x ? mesh.nx() - 1 - c.x : c.x,
+            flip_y ? mesh.ny() - 1 - c.y : c.y,
+            flip_z ? mesh.nz() - 1 - c.z : c.z};
+  }
+  Coord3 untransform(Coord3 c, const Mesh3D& mesh) const {
+    return transform(c, mesh);
+  }
+
+  /// Index of this octant in [0, 8).
+  int id() const {
+    return (flip_x ? 1 : 0) | (flip_y ? 2 : 0) | (flip_z ? 4 : 0);
+  }
+};
+
+/// Materializes the axis-flipped copy of a fault set.
+FaultSet2D materialize(const FaultSet2D& f, const Mesh2D& mesh, Octant2 o);
+FaultSet3D materialize(const FaultSet3D& f, const Mesh3D& mesh, Octant3 o);
+
+}  // namespace mcc::mesh

@@ -1,0 +1,58 @@
+// Plane slices of a 3-D fault set.
+//
+// When a source/destination pair is degenerate in one dimension (equal
+// coordinates), minimal routing is confined to the corresponding 2-D plane
+// and the problem reduces exactly to the 2-D model on that slice
+// (DESIGN.md §3). These helpers extract the slice.
+#pragma once
+
+#include "mesh/fault_set.h"
+#include "mesh/mesh.h"
+
+namespace mcc::mesh {
+
+enum class Plane : uint8_t { XY = 0, XZ = 1, YZ = 2 };
+
+/// Shape of the slice plane.
+inline Mesh2D slice_mesh(const Mesh3D& mesh, Plane p) {
+  switch (p) {
+    case Plane::XY: return Mesh2D(mesh.nx(), mesh.ny());
+    case Plane::XZ: return Mesh2D(mesh.nx(), mesh.nz());
+    case Plane::YZ: return Mesh2D(mesh.ny(), mesh.nz());
+  }
+  return Mesh2D(1, 1);
+}
+
+/// Maps a 2-D slice coordinate back into the 3-D mesh; `level` is the fixed
+/// coordinate of the plane.
+inline Coord3 unslice(Plane p, Coord2 c, int level) {
+  switch (p) {
+    case Plane::XY: return {c.x, c.y, level};
+    case Plane::XZ: return {c.x, level, c.y};
+    case Plane::YZ: return {level, c.x, c.y};
+  }
+  return {};
+}
+
+/// Projects a 3-D coordinate onto the slice plane.
+inline Coord2 slice_coord(Plane p, Coord3 c) {
+  switch (p) {
+    case Plane::XY: return {c.x, c.y};
+    case Plane::XZ: return {c.x, c.z};
+    case Plane::YZ: return {c.y, c.z};
+  }
+  return {};
+}
+
+/// Extracts the fault pattern of one plane.
+inline FaultSet2D slice_faults(const Mesh3D& mesh, const FaultSet3D& faults,
+                               Plane p, int level) {
+  const Mesh2D m2 = slice_mesh(mesh, p);
+  FaultSet2D out(m2);
+  for (int y = 0; y < m2.ny(); ++y)
+    for (int x = 0; x < m2.nx(); ++x)
+      if (faults.is_faulty(unslice(p, {x, y}, level))) out.set_faulty({x, y});
+  return out;
+}
+
+}  // namespace mcc::mesh

@@ -1,0 +1,204 @@
+#include "proto/boundary2d_proto.h"
+
+#include <algorithm>
+
+namespace mcc::proto {
+
+using core::MccRegion2D;
+using core::NodeState;
+using mesh::Coord2;
+using mesh::Dir2;
+
+namespace {
+
+// Message: kWall, payload
+//   [guard, mode, heading, shape-count, {shape-len, shape...}xN]
+// shape[0] is the owner; the rest is the merged chain.
+constexpr int kBoot = 1;
+constexpr int kWall = 2;
+constexpr int kPlain = 0;
+constexpr int kFollow = 1;
+
+Dir2 left_of(Dir2 d) {
+  switch (d) {
+    case Dir2::PosX: return Dir2::PosY;
+    case Dir2::NegX: return Dir2::NegY;
+    case Dir2::PosY: return Dir2::NegX;
+    case Dir2::NegY: return Dir2::PosX;
+  }
+  return d;
+}
+Dir2 right_of(Dir2 d) { return opposite(left_of(d)); }
+
+std::vector<MccRegion2D> decode_chain(const sim::Message& msg) {
+  std::vector<MccRegion2D> out;
+  if (msg.data.size() < 4) return out;
+  const size_t n = static_cast<size_t>(msg.data[3]);
+  size_t at = 4;
+  for (size_t i = 0; i < n && at < msg.data.size(); ++i) {
+    const size_t len = static_cast<size_t>(msg.data[at++]);
+    if (at + len > msg.data.size()) break;
+    out.push_back(decode_shape(msg.data.data() + at, len));
+    at += len;
+  }
+  return out;
+}
+
+void append_shape(sim::Message& msg, const MccRegion2D& shape) {
+  const auto enc = encode_shape(shape);
+  msg.data.push_back(static_cast<int32_t>(enc.size()));
+  msg.data.insert(msg.data.end(), enc.begin(), enc.end());
+  ++msg.data[3];
+}
+
+}  // namespace
+
+BoundaryProtocol2D::BoundaryProtocol2D(const mesh::Mesh2D& mesh,
+                                       const LabelingProtocol2D& labels,
+                                       const IdentProtocol2D& ident)
+    : mesh_(mesh),
+      labels_(labels),
+      ident_(ident),
+      engine_(mesh),
+      records_(mesh.nx(), mesh.ny()),
+      seen_(mesh.nx(), mesh.ny()) {}
+
+sim::RunStats BoundaryProtocol2D::run() {
+  for (const Coord2 c : ident_.corners()) {
+    if (ident_.shape_at(c)) engine_.inject(c, sim::Message{kBoot, {}});
+  }
+  return engine_.run(
+      [this](Coord2 self, const sim::Message& msg, std::optional<Dir2> from) {
+        deliver(self, msg, from);
+      });
+}
+
+void BoundaryProtocol2D::deliver(Coord2 self, const sim::Message& msg,
+                                 std::optional<Dir2> from) {
+  auto safe_at = [&](Coord2 c) {
+    return mesh_.contains(c) && labels_.state(c) == NodeState::Safe;
+  };
+
+  // Shared step logic: decides the next hop of a wall message from `self`
+  // with the given mode/heading and forwards it. Used by relay nodes and
+  // by the corner itself for the first hop (whose resume direction may
+  // already be blocked — the walk must deflect in place, not die).
+  auto advance = [&](sim::Message&& next, int mode, Dir2 heading) {
+    const Dir2 guard = static_cast<Dir2>(next.data[0]);
+    const bool y_wall = guard == Dir2::PosX;
+    const Dir2 resume = y_wall ? Dir2::NegY : Dir2::NegX;
+    auto wall_side = [&](Dir2 h) {
+      return y_wall ? left_of(h) : right_of(h);
+    };
+
+    if (mode == kPlain) {
+      const Coord2 target = step(self, resume);
+      if (!mesh_.contains(target)) return;  // mesh edge: wall complete
+      if (safe_at(target)) {
+        next.data[1] = kPlain;
+        next.data[2] = static_cast<int32_t>(resume);
+        engine_.send(self, resume, std::move(next));
+        return;
+      }
+      // Blocked: enter a deflection (the paper's first turn).
+      next.data[1] = kFollow;
+      heading = y_wall ? Dir2::NegX : Dir2::NegY;
+    }
+
+    const Dir2 try_order[4] = {wall_side(heading), heading,
+                               y_wall ? right_of(heading) : left_of(heading),
+                               opposite(heading)};
+    for (const Dir2 d : try_order) {
+      const Coord2 nb = step(self, d);
+      if (!mesh_.contains(nb)) {
+        if (d == resume) return;  // off-mesh along the wall: done
+        continue;
+      }
+      if (!safe_at(nb)) continue;
+      next.data[2] = static_cast<int32_t>(d);
+      engine_.send(self, d, std::move(next));
+      return;
+    }
+    // Boxed in: wall ends.
+  };
+
+  if (msg.type == kBoot) {
+    const auto shape = ident_.shape_at(self);
+    if (!shape) return;
+    // The corner deposits its own records and launches both walls.
+    for (const Dir2 guard : {Dir2::PosX, Dir2::PosY}) {
+      sim::Message w{kWall,
+                     {static_cast<int32_t>(guard), kPlain,
+                      static_cast<int32_t>(guard == Dir2::PosX ? Dir2::NegY
+                                                               : Dir2::NegX),
+                      0}};
+      append_shape(w, *shape);
+      auto chain = std::vector<std::shared_ptr<const MccRegion2D>>{shape};
+      records_.at(self.x, self.y).push_back({shape, guard, chain});
+      ++record_count_;
+      advance(std::move(w), kPlain,
+              guard == Dir2::PosX ? Dir2::NegY : Dir2::NegX);
+    }
+    return;
+  }
+  if (msg.type != kWall || !from.has_value()) return;
+  if (!safe_at(self)) return;  // walls live on safe nodes only
+
+  const Dir2 guard = static_cast<Dir2>(msg.data[0]);
+  int mode = msg.data[1];
+  const Dir2 heading = opposite(*from);
+  const bool y_wall = guard == Dir2::PosX;
+  const Dir2 resume = y_wall ? Dir2::NegY : Dir2::NegX;
+  auto wall_side = [&](Dir2 h) { return y_wall ? left_of(h) : right_of(h); };
+
+  // Loop brake.
+  auto chain_shapes = decode_chain(msg);
+  if (chain_shapes.empty()) return;
+  const int32_t state_key =
+      (chain_shapes[0].id << 4) | (static_cast<int32_t>(guard) << 2) |
+      static_cast<int32_t>(heading);
+  auto& seen = seen_.at(self.x, self.y);
+  if (std::find(seen.begin(), seen.end(), state_key) != seen.end()) return;
+  seen.push_back(state_key);
+
+  sim::Message next = msg;
+
+  // Follow-exit: heading in resume direction with the wall side free again
+  // — we are at the blocking region's corner; merge its shape if the
+  // identification phase left one here. The merge happens BEFORE the local
+  // deposit: the paper merges QY(v) into QY(c) AT corner v, and the record
+  // at v itself must already guard the merged region (the corner is where
+  // messages sliding along the blocker get filtered).
+  if (mode == kFollow && heading == resume &&
+      safe_at(step(self, wall_side(heading)))) {
+    mode = kPlain;
+    next.data[1] = kPlain;
+    if (const auto blocker = ident_.shape_at(self)) {
+      const MccRegion2D& owner = chain_shapes[0];
+      const bool downstream = y_wall ? blocker->y0 < owner.y0
+                                     : blocker->x0 < owner.x0;
+      bool already = false;
+      for (const auto& s : chain_shapes) already |= s.id == blocker->id;
+      if (downstream && !already) {
+        append_shape(next, *blocker);
+        chain_shapes.push_back(*blocker);
+      }
+    }
+  }
+
+  // Deposit the (possibly just merged) record.
+  {
+    ProtoRecord2D rec;
+    rec.guard = guard;
+    rec.chain.reserve(chain_shapes.size());
+    for (const auto& s : chain_shapes)
+      rec.chain.push_back(std::make_shared<const MccRegion2D>(s));
+    rec.owner = rec.chain.front();
+    records_.at(self.x, self.y).push_back(std::move(rec));
+    ++record_count_;
+  }
+
+  advance(std::move(next), mode, heading);
+}
+
+}  // namespace mcc::proto

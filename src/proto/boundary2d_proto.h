@@ -1,0 +1,63 @@
+// Distributed boundary construction — Algorithm 2 step 3 as messages.
+//
+// Every identified corner launches two wall messages (Y boundary south,
+// X boundary west) carrying the owner's encoded shape. Each hop deposits a
+// record at the local node; deflections around blocking regions follow the
+// same hand-on-wall rules as the centralized construction, driven purely by
+// the node-local neighbor labels. When a deflection exits at the blocking
+// region's corner, the message reads the shape the identification phase
+// left there and merges it into its carried chain ("QY(c) := QY(c) ∪
+// QY(v)"). Payload therefore grows with the chain — the accounted message
+// cost is realistic.
+//
+// The record stores of this protocol are what the distributed router
+// consults; tests validate them functionally against the centralized
+// Boundary2D (router success/minimality equivalence) and structurally on
+// clean configurations.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "proto/ident2d.h"
+#include "proto/labeling_proto.h"
+#include "sim/engine.h"
+
+namespace mcc::proto {
+
+struct ProtoRecord2D {
+  std::shared_ptr<const core::MccRegion2D> owner;
+  mesh::Dir2 guard = mesh::Dir2::PosX;
+  // Chain of merged forbidden regions as known when the record was
+  // deposited (the owner itself is always chain[0]).
+  std::vector<std::shared_ptr<const core::MccRegion2D>> chain;
+};
+
+class BoundaryProtocol2D {
+ public:
+  BoundaryProtocol2D(const mesh::Mesh2D& mesh,
+                     const LabelingProtocol2D& labels,
+                     const IdentProtocol2D& ident);
+
+  sim::RunStats run();
+
+  const std::vector<ProtoRecord2D>& records_at(mesh::Coord2 c) const {
+    return records_.at(c.x, c.y);
+  }
+  size_t record_count() const { return record_count_; }
+
+ private:
+  void deliver(mesh::Coord2 self, const sim::Message& msg,
+               std::optional<mesh::Dir2> from);
+
+  const mesh::Mesh2D& mesh_;
+  const LabelingProtocol2D& labels_;
+  const IdentProtocol2D& ident_;
+  sim::Engine2D engine_;
+  util::Grid2<std::vector<ProtoRecord2D>> records_;
+  // Loop brake: (node, guard, owner-id, heading) states already seen.
+  util::Grid2<std::vector<int32_t>> seen_;
+  size_t record_count_ = 0;
+};
+
+}  // namespace mcc::proto

@@ -1,0 +1,178 @@
+#include "proto/detect_route.h"
+
+#include "core/labeling.h"
+#include "util/grid.h"
+
+namespace mcc::proto {
+
+using core::NodeState;
+using mesh::Coord2;
+using mesh::Coord3;
+using mesh::Dir2;
+using mesh::Dir3;
+
+namespace {
+constexpr int kWalkY = 1;  // 2-D detection walker hugging +Y
+constexpr int kWalkX = 2;
+constexpr int kRoute = 3;
+constexpr int kFloodX = 4;  // 3-D surface floods
+constexpr int kFloodY = 5;
+constexpr int kFloodZ = 6;
+}  // namespace
+
+DetectOutcome2D run_detect2d(const mesh::Mesh2D& mesh,
+                             const LabelingProtocol2D& labels, Coord2 s,
+                             Coord2 d) {
+  DetectOutcome2D out;
+  if (labels.state(s) != NodeState::Safe) return out;
+  sim::Engine2D engine(mesh);
+  engine.inject(s, sim::Message{kWalkY, {s.x, s.y, d.x, d.y}});
+  engine.inject(s, sim::Message{kWalkX, {s.x, s.y, d.x, d.y}});
+
+  auto in_rect = [&](Coord2 c) {
+    return c.x >= s.x && c.x <= d.x && c.y >= s.y && c.y <= d.y;
+  };
+  auto usable = [&](Coord2 c) {
+    return in_rect(c) && labels.state(c) == NodeState::Safe;
+  };
+
+  out.stats = engine.run([&](Coord2 self, const sim::Message& msg,
+                             std::optional<Dir2>) {
+    const bool y_walker = msg.type == kWalkY;
+    if (y_walker ? self.y == d.y : self.x == d.x) {
+      // Reached the target line; the acknowledgment travels back along the
+      // walk (cost accounted as one message per hop is omitted here — the
+      // forward walk already measured the path).
+      (y_walker ? out.y_walker_ok : out.x_walker_ok) = true;
+      return;
+    }
+    const Dir2 primary = y_walker ? Dir2::PosY : Dir2::PosX;
+    const Dir2 deflect = y_walker ? Dir2::PosX : Dir2::PosY;
+    const Coord2 p = step(self, primary);
+    if (usable(p)) {
+      engine.send(self, primary, msg);
+      return;
+    }
+    // Primary blocked by an MCC inside the rectangle: turn (the paper's
+    // "make a turn, then turn back as soon as possible").
+    if (in_rect(p) && core::is_unsafe(labels.state(p))) {
+      const Coord2 q = step(self, deflect);
+      if (usable(q)) engine.send(self, deflect, msg);
+    }
+  });
+  return out;
+}
+
+RouteOutcome2D run_route2d(const mesh::Mesh2D& mesh,
+                           const LabelingProtocol2D& labels,
+                           const BoundaryProtocol2D& boundary, Coord2 s,
+                           Coord2 d, uint64_t seed) {
+  RouteOutcome2D out;
+  out.path.push_back(s);
+  util::Rng rng(seed);
+  sim::Engine2D engine(mesh);
+  engine.inject(s, sim::Message{kRoute, {d.x, d.y}});
+
+  out.stats = engine.run([&](Coord2 self, const sim::Message& msg,
+                             std::optional<Dir2> from) {
+    if (from.has_value()) out.path.push_back(self);
+    if (self == d) {
+      out.delivered = true;
+      return;
+    }
+    // Candidate preferred directions (Algorithm 3 step 2).
+    Dir2 candidates[2];
+    size_t n = 0;
+    for (const Dir2 dir : mesh::kPosDir2) {
+      const int remaining =
+          dir == Dir2::PosX ? d.x - self.x : d.y - self.y;
+      if (remaining <= 0) continue;
+      const Coord2 nb = step(self, dir);
+      // Rule 1: node status of the neighbor (local knowledge).
+      const NodeState nbs = labels.neighbor_state(self, dir);
+      if (core::is_unsafe(nbs) && !(nb == d)) continue;
+      // Rule 2: boundary records stored at this node.
+      bool excluded = false;
+      for (const ProtoRecord2D& rec : boundary.records_at(self)) {
+        if (rec.guard != dir) continue;
+        const bool critical = rec.guard == Dir2::PosX
+                                  ? rec.owner->in_critical_y(d)
+                                  : rec.owner->in_critical_x(d);
+        if (!critical) continue;
+        for (const auto& member : rec.chain) {
+          const bool forbidden = rec.guard == Dir2::PosX
+                                     ? member->in_forbidden_y(nb)
+                                     : member->in_forbidden_x(nb);
+          if (forbidden) {
+            excluded = true;
+            break;
+          }
+        }
+        if (excluded) break;
+      }
+      if (excluded) continue;
+      candidates[n++] = dir;
+    }
+    if (n == 0) return;  // stuck; message dropped
+    engine.send(self, candidates[rng.pick(n)], msg);
+  });
+  return out;
+}
+
+DetectOutcome3D run_detect3d(const mesh::Mesh3D& mesh,
+                             const LabelingProtocol3D& labels, Coord3 s,
+                             Coord3 d) {
+  DetectOutcome3D out;
+  if (labels.state(s) != NodeState::Safe) return out;
+  sim::Engine3D engine(mesh);
+  for (const int t : {kFloodX, kFloodY, kFloodZ})
+    engine.inject(s, sim::Message{t, {}});
+
+  auto in_box = [&](Coord3 c) {
+    return c.x >= s.x && c.x <= d.x && c.y >= s.y && c.y <= d.y &&
+           c.z >= s.z && c.z <= d.z;
+  };
+  // Per-flood visited marks (each node forwards one flood once).
+  util::Grid3<uint8_t> seen(mesh.nx(), mesh.ny(), mesh.nz(), uint8_t{0});
+
+  out.stats = engine.run([&](Coord3 self, const sim::Message& msg,
+                             std::optional<Dir3>) {
+    const int flood = msg.type;
+    const uint8_t bit = static_cast<uint8_t>(1 << (flood - kFloodX));
+    uint8_t& marks = seen[mesh.index(self)];
+    if (marks & bit) return;
+    marks |= bit;
+
+    if (flood == kFloodX && self.y == d.y) out.x_surface_ok = true;
+    if (flood == kFloodY && self.z == d.z) out.y_surface_ok = true;
+    if (flood == kFloodZ && self.x == d.x) out.z_surface_ok = true;
+
+    const Dir3 primaries[2] = {
+        flood == kFloodX ? Dir3::PosY : Dir3::PosX,
+        flood == kFloodZ ? Dir3::PosY : Dir3::PosZ};
+    const Dir3 deflect = flood == kFloodX   ? Dir3::PosX
+                         : flood == kFloodY ? Dir3::PosY
+                                            : Dir3::PosZ;
+    bool blocked = false;
+    for (const Dir3 dir : primaries) {
+      const Coord3 p = step(self, dir);
+      if (!in_box(p)) {
+        blocked = true;  // RMP face caps the primary (see core/detect3d)
+        continue;
+      }
+      if (core::is_unsafe(labels.state(p))) {
+        blocked = true;
+      } else {
+        engine.send(self, dir, msg);
+      }
+    }
+    if (blocked) {
+      const Coord3 q = step(self, deflect);
+      if (in_box(q) && !core::is_unsafe(labels.state(q)))
+        engine.send(self, deflect, msg);
+    }
+  });
+  return out;
+}
+
+}  // namespace mcc::proto

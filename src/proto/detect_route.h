@@ -1,0 +1,68 @@
+// Distributed feasibility detection and routing.
+//
+// 2-D (Algorithm 3): two detection walker messages leave the source — one
+// hugging +Y and deflecting +X around MCCs, one mirrored — and report
+// whether they reached the destination row/column inside the rectangle.
+// The deflection decisions use only the local neighbor labels, and the
+// 2-D walk is deterministic (a single relayed message per walker, exactly
+// as the paper describes). Routing messages then forward hop by hop using
+// the local labels plus the records deposited by BoundaryProtocol2D.
+//
+// 3-D (Algorithm 6 phase 1): three genuine message floods sweep the RMP
+// surfaces (per-node visited marks, branching on +Y/+Z etc.), with the
+// cyclic success pairing of the paper. The 3-D routing phase is served by
+// the core library (see DESIGN.md §8: the per-hop choreography of
+// Algorithm 5's boundary surfaces is simplified; the 2-D stack carries the
+// full message-level fidelity).
+#pragma once
+
+#include "proto/boundary2d_proto.h"
+#include "proto/labeling_proto.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace mcc::proto {
+
+struct DetectOutcome2D {
+  bool y_walker_ok = false;
+  bool x_walker_ok = false;
+  sim::RunStats stats;
+  bool feasible() const { return y_walker_ok && x_walker_ok; }
+};
+
+/// Runs the two detection walkers from s toward d (canonical quadrant,
+/// s <= d componentwise, both offsets strict).
+DetectOutcome2D run_detect2d(const mesh::Mesh2D& mesh,
+                             const LabelingProtocol2D& labels, mesh::Coord2 s,
+                             mesh::Coord2 d);
+
+struct RouteOutcome2D {
+  bool delivered = false;
+  std::vector<mesh::Coord2> path;
+  sim::RunStats stats;
+  int hops() const { return static_cast<int>(path.size()) - 1; }
+};
+
+/// Routes one message s -> d with the fully adaptive rule of Algorithm 3
+/// step 2, deciding each hop from node-local information only. `seed`
+/// drives the random tie-break among surviving candidate directions.
+RouteOutcome2D run_route2d(const mesh::Mesh2D& mesh,
+                           const LabelingProtocol2D& labels,
+                           const BoundaryProtocol2D& boundary, mesh::Coord2 s,
+                           mesh::Coord2 d, uint64_t seed);
+
+struct DetectOutcome3D {
+  bool x_surface_ok = false;
+  bool y_surface_ok = false;
+  bool z_surface_ok = false;
+  sim::RunStats stats;
+  bool feasible() const {
+    return x_surface_ok && y_surface_ok && z_surface_ok;
+  }
+};
+
+DetectOutcome3D run_detect3d(const mesh::Mesh3D& mesh,
+                             const LabelingProtocol3D& labels, mesh::Coord3 s,
+                             mesh::Coord3 d);
+
+}  // namespace mcc::proto

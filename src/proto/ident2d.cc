@@ -1,0 +1,152 @@
+#include "proto/ident2d.h"
+
+#include <algorithm>
+
+namespace mcc::proto {
+
+using core::NodeState;
+using mesh::Coord2;
+using mesh::Dir2;
+
+namespace {
+
+// Message: kWalk, payload [corner.x, corner.y, hand, ttl, cell pairs...].
+constexpr int kBoot = 1;
+constexpr int kWalk = 2;
+constexpr int kHandRight = 0;  // counter-clockwise walker
+constexpr int kHandLeft = 1;   // clockwise walker
+
+Dir2 left_of(Dir2 d) {
+  switch (d) {
+    case Dir2::PosX: return Dir2::PosY;
+    case Dir2::NegX: return Dir2::NegY;
+    case Dir2::PosY: return Dir2::NegX;
+    case Dir2::NegY: return Dir2::PosX;
+  }
+  return d;
+}
+Dir2 right_of(Dir2 d) { return opposite(left_of(d)); }
+
+}  // namespace
+
+IdentProtocol2D::IdentProtocol2D(const mesh::Mesh2D& mesh,
+                                 const LabelingProtocol2D& labels)
+    : mesh_(mesh),
+      labels_(labels),
+      engine_(mesh),
+      shapes_(mesh.nx(), mesh.ny()) {}
+
+bool IdentProtocol2D::safe_at(Coord2 c) const {
+  return mesh_.contains(c) && labels_.state(c) == NodeState::Safe;
+}
+
+sim::RunStats IdentProtocol2D::run() {
+  // Corner self-detection (purely local knowledge).
+  for (int y = 0; y < mesh_.ny(); ++y) {
+    for (int x = 0; x < mesh_.nx(); ++x) {
+      const Coord2 c{x, y};
+      if (!safe_at(c)) continue;
+      const Coord2 px{x + 1, y}, py{x, y + 1};
+      if (!mesh_.contains(px) || !mesh_.contains(py)) continue;
+      if (labels_.state(px) != NodeState::Safe ||
+          labels_.state(py) != NodeState::Safe)
+        continue;
+      if (!core::is_unsafe(labels_.diagonal_state(c, +1, +1))) continue;
+      corners_.push_back(c);
+      engine_.inject(c, sim::Message{kBoot, {}});
+    }
+  }
+
+  return engine_.run(
+      [this](Coord2 self, const sim::Message& msg, std::optional<Dir2> from) {
+        deliver(self, msg, from);
+      });
+}
+
+void IdentProtocol2D::deliver(Coord2 self, const sim::Message& msg,
+                              std::optional<Dir2> from) {
+  const int32_t ttl0 = static_cast<int32_t>(mesh_.node_count()) * 4;
+  if (msg.type == kBoot) {
+    // Launch the two walkers with forced first hops (+Y for the
+    // counter-clockwise one, +X for the clockwise one).
+    launched_ += 2;
+    engine_.send(self, Dir2::PosY,
+                 sim::Message{kWalk, {self.x, self.y, kHandRight, ttl0}});
+    engine_.send(self, Dir2::PosX,
+                 sim::Message{kWalk, {self.x, self.y, kHandLeft, ttl0}});
+    return;
+  }
+  if (msg.type != kWalk || !from.has_value()) return;
+
+  const Coord2 corner{msg.data[0], msg.data[1]};
+  const int hand = msg.data[2];
+  const int32_t ttl = msg.data[3];
+
+  // Arrived back at the launching corner: hand the collected cells to the
+  // assembly; when both walkers are in, accept or discard the shape.
+  if (self == corner) {
+    Assembly& a = assembly_[mesh_.index(self)];
+    a.arrived[hand] = true;
+    for (size_t i = 4; i + 1 < msg.data.size(); i += 2)
+      a.collected[hand].push_back({msg.data[i], msg.data[i + 1]});
+    if (!(a.arrived[0] && a.arrived[1])) return;
+    const auto s0 = shape_from_cells(static_cast<int>(mesh_.index(self)),
+                                     a.collected[0]);
+    const auto s1 = shape_from_cells(static_cast<int>(mesh_.index(self)),
+                                     a.collected[1]);
+    if (!s0.bot.empty() && s0.x0 == s1.x0 && s0.bot == s1.bot &&
+        s0.top == s1.top) {
+      shapes_.at(self.x, self.y) =
+          std::make_shared<const core::MccRegion2D>(s0);
+      ++identified_;
+    } else {
+      ++discarded_;  // unstable shape, paper's discard rule
+    }
+    return;
+  }
+
+  if (ttl <= 0) return;  // expired (broken ring): walker dies, shape
+                         // never assembles -> discarded implicitly
+
+  // Collect the hugged cells: the wall-side neighbor and the straight-ahead
+  // cell when blocked. Collecting ALL unsafe neighbors would absorb
+  // unrelated regions across one-cell corridors; the hugged side is exactly
+  // the contour the paper's messages trace. Dead-end notches are walked in
+  // both directions, so their far wall is collected on the way back.
+  const Dir2 heading = opposite(*from);
+  const Dir2 wall_side =
+      hand == kHandRight ? right_of(heading) : left_of(heading);
+  sim::Message next = msg;
+  next.data[3] = ttl - 1;
+  auto unsafe_cell = [&](Coord2 c) {
+    return mesh_.contains(c) && core::is_unsafe(labels_.state(c));
+  };
+  const Coord2 side_cell = step(self, wall_side);
+  const bool side_unsafe = unsafe_cell(side_cell);
+  if (side_unsafe) {
+    next.data.push_back(side_cell.x);
+    next.data.push_back(side_cell.y);
+    // Concave corner: the straight-ahead cell belongs to the hugged region
+    // too. Without wall contact a blocked straight-ahead cell is an
+    // UNRELATED region the walker is about to turn away from — collecting
+    // it would corrupt the shape.
+    const Coord2 ahead = step(self, heading);
+    if (unsafe_cell(ahead)) {
+      next.data.push_back(ahead.x);
+      next.data.push_back(ahead.y);
+    }
+  }
+  const Dir2 try_order[4] = {
+      hand == kHandRight ? right_of(heading) : left_of(heading), heading,
+      hand == kHandRight ? left_of(heading) : right_of(heading),
+      opposite(heading)};
+  for (const Dir2 d : try_order) {
+    if (safe_at(step(self, d))) {
+      engine_.send(self, d, std::move(next));
+      return;
+    }
+  }
+  // Boxed in (isolated pocket): walker dies.
+}
+
+}  // namespace mcc::proto

@@ -1,0 +1,67 @@
+// Distributed MCC identification — Algorithm 2 steps 1–2.
+//
+// After labelling and the neighborhood exchange, the initialization corner
+// of every region detects itself locally (safe node, safe +X/+Y neighbors,
+// unsafe NE diagonal — the unique SW "nose"). It launches two
+// identification messages, one clockwise and one counter-clockwise, that
+// walk the safe contour ring of the region, each accumulating the unsafe
+// boundary cells it passes. When both messages return to the corner with
+// matching shapes, the region is identified and its shape is stored at the
+// corner; on a mismatch or TTL expiry the shape is discarded, exactly as
+// the paper prescribes for unstable regions.
+//
+// The walk naturally groups diagonally-touching regions into one shape
+// (Connectivity::Eight — the convention of the paper's Figure 5). Regions
+// pressed against a mesh edge have a broken ring and are discarded; the
+// discard count is an E7 metric (the paper leaves this case open).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/mcc_region.h"
+#include "proto/labeling_proto.h"
+#include "proto/shape_codec.h"
+#include "sim/engine.h"
+
+namespace mcc::proto {
+
+class IdentProtocol2D {
+ public:
+  IdentProtocol2D(const mesh::Mesh2D& mesh, const LabelingProtocol2D& labels);
+
+  /// Detects corners, runs the walkers to quiescence, assembles shapes.
+  sim::RunStats run();
+
+  /// Shape stored at an initialization corner (nullptr elsewhere / failed).
+  std::shared_ptr<const core::MccRegion2D> shape_at(mesh::Coord2 c) const {
+    return shapes_.at(c.x, c.y);
+  }
+
+  const std::vector<mesh::Coord2>& corners() const { return corners_; }
+  int identified() const { return identified_; }
+  int discarded() const { return discarded_; }
+
+ private:
+  void deliver(mesh::Coord2 self, const sim::Message& msg,
+               std::optional<mesh::Dir2> from);
+  bool safe_at(mesh::Coord2 c) const;
+
+  const mesh::Mesh2D& mesh_;
+  const LabelingProtocol2D& labels_;
+  sim::Engine2D engine_;
+  util::Grid2<std::shared_ptr<const core::MccRegion2D>> shapes_;
+  std::vector<mesh::Coord2> corners_;
+
+  struct Assembly {
+    std::vector<mesh::Coord2> collected[2];
+    bool arrived[2] = {false, false};
+  };
+  std::unordered_map<size_t, Assembly> assembly_;
+  int identified_ = 0;
+  int discarded_ = 0;
+  int launched_ = 0;
+};
+
+}  // namespace mcc::proto

@@ -1,0 +1,198 @@
+#include "proto/labeling_proto.h"
+
+namespace mcc::proto {
+
+using core::NodeState;
+using mesh::Coord2;
+using mesh::Coord3;
+using mesh::Dir2;
+using mesh::Dir3;
+
+namespace {
+
+// Message layout: [state, is_edge] — a node's current label plus whether it
+// currently sees an unsafe neighbor (the edge-node bit used later).
+constexpr int kStatus = 1;
+
+bool blocks_pos(NodeState s) {
+  return s == NodeState::Faulty || s == NodeState::Useless;
+}
+bool blocks_neg(NodeState s) {
+  return s == NodeState::Faulty || s == NodeState::CantReach;
+}
+
+}  // namespace
+
+LabelingProtocol2D::LabelingProtocol2D(const mesh::Mesh2D& mesh,
+                                       const mesh::FaultSet2D& faults)
+    : mesh_(mesh),
+      engine_(mesh),
+      state_(mesh.nx(), mesh.ny(), NodeState::Safe),
+      nbr_state_(mesh.nx(), mesh.ny(),
+                 {NodeState::Safe, NodeState::Safe, NodeState::Safe,
+                  NodeState::Safe}),
+      nbr_edge_(mesh.nx(), mesh.ny(), {0, 0, 0, 0}),
+      has_unsafe_nbr_(mesh.nx(), mesh.ny(), uint8_t{0}),
+      diag_(mesh.nx(), mesh.ny(),
+            {NodeState::Safe, NodeState::Safe, NodeState::Safe,
+             NodeState::Safe}) {
+  for (int y = 0; y < mesh.ny(); ++y)
+    for (int x = 0; x < mesh.nx(); ++x) {
+      if (faults.is_faulty({x, y})) state_.at(x, y) = NodeState::Faulty;
+      engine_.inject({x, y}, sim::Message{kStatus, {}});
+    }
+}
+
+void LabelingProtocol2D::broadcast(Coord2 self) {
+  const auto st = static_cast<int32_t>(state_.at(self.x, self.y));
+  const int32_t edge = has_unsafe_nbr_.at(self.x, self.y);
+  for (const Dir2 d : mesh::kAllDir2)
+    engine_.send(self, d, sim::Message{kStatus, {st, edge}});
+}
+
+void LabelingProtocol2D::reevaluate(Coord2 self) {
+  auto& st = state_.at(self.x, self.y);
+  if (st != NodeState::Safe) return;
+  const auto& nbr = nbr_state_.at(self.x, self.y);
+  auto nb_in = [&](Dir2 d) { return mesh_.contains(step(self, d)); };
+  const bool pos =
+      nb_in(Dir2::PosX) && nb_in(Dir2::PosY) &&
+      blocks_pos(nbr[static_cast<size_t>(Dir2::PosX)]) &&
+      blocks_pos(nbr[static_cast<size_t>(Dir2::PosY)]);
+  const bool neg =
+      nb_in(Dir2::NegX) && nb_in(Dir2::NegY) &&
+      blocks_neg(nbr[static_cast<size_t>(Dir2::NegX)]) &&
+      blocks_neg(nbr[static_cast<size_t>(Dir2::NegY)]);
+  if (pos)
+    st = NodeState::Useless;
+  else if (neg)
+    st = NodeState::CantReach;
+  if (st != NodeState::Safe) broadcast(self);
+}
+
+void LabelingProtocol2D::deliver(Coord2 self, const sim::Message& msg,
+                                 std::optional<Dir2> from) {
+  if (!from.has_value()) {
+    // Bootstrap: announce the initial status.
+    broadcast(self);
+    return;
+  }
+  const auto prev = nbr_state_.at(self.x, self.y)[static_cast<size_t>(*from)];
+  const auto next = static_cast<NodeState>(msg.data[0]);
+  nbr_state_.at(self.x, self.y)[static_cast<size_t>(*from)] = next;
+  nbr_edge_.at(self.x, self.y)[static_cast<size_t>(*from)] =
+      static_cast<uint8_t>(msg.data[1]);
+  if (core::is_unsafe(next) && !has_unsafe_nbr_.at(self.x, self.y)) {
+    has_unsafe_nbr_.at(self.x, self.y) = 1;
+    // The edge bit changed: neighbors relying on it must hear again.
+    broadcast(self);
+  }
+  if (prev != next) reevaluate(self);
+}
+
+sim::RunStats LabelingProtocol2D::run() {
+  return engine_.run(
+      [this](Coord2 self, const sim::Message& msg, std::optional<Dir2> from) {
+        deliver(self, msg, from);
+      });
+}
+
+sim::RunStats LabelingProtocol2D::exchange_neighborhoods() {
+  // Each node sends its ±Y neighbor labels to its ±X neighbors; receivers
+  // learn their diagonals. One round, two messages per node.
+  constexpr int kShare = 2;
+  for (int y = 0; y < mesh_.ny(); ++y)
+    for (int x = 0; x < mesh_.nx(); ++x)
+      engine_.inject({x, y}, sim::Message{kShare, {}});
+  return engine_.run([this](Coord2 self, const sim::Message& msg,
+                            std::optional<Dir2> from) {
+    if (!from.has_value()) {
+      const auto& nbr = nbr_state_.at(self.x, self.y);
+      const sim::Message share{
+          kShare,
+          {static_cast<int32_t>(nbr[static_cast<size_t>(Dir2::PosY)]),
+           static_cast<int32_t>(nbr[static_cast<size_t>(Dir2::NegY)])}};
+      engine_.send(self, Dir2::PosX, share);
+      engine_.send(self, Dir2::NegX, share);
+      return;
+    }
+    if (msg.data.size() != 2) return;
+    auto& diag = diag_.at(self.x, self.y);
+    const auto up = static_cast<NodeState>(msg.data[0]);
+    const auto down = static_cast<NodeState>(msg.data[1]);
+    if (*from == Dir2::PosX) {  // sender is the +X neighbor
+      diag[1 + 2] = up;         // NE
+      diag[1 + 0] = down;       // SE
+    } else if (*from == Dir2::NegX) {
+      diag[0 + 2] = up;    // NW
+      diag[0 + 0] = down;  // SW
+    }
+  });
+}
+
+LabelingProtocol3D::LabelingProtocol3D(const mesh::Mesh3D& mesh,
+                                       const mesh::FaultSet3D& faults)
+    : mesh_(mesh),
+      engine_(mesh),
+      state_(mesh.nx(), mesh.ny(), mesh.nz(), NodeState::Safe),
+      nbr_state_(mesh.nx(), mesh.ny(), mesh.nz(),
+                 {NodeState::Safe, NodeState::Safe, NodeState::Safe,
+                  NodeState::Safe, NodeState::Safe, NodeState::Safe}) {
+  for (int z = 0; z < mesh.nz(); ++z)
+    for (int y = 0; y < mesh.ny(); ++y)
+      for (int x = 0; x < mesh.nx(); ++x) {
+        if (faults.is_faulty({x, y, z}))
+          state_.at(x, y, z) = NodeState::Faulty;
+        engine_.inject({x, y, z}, sim::Message{kStatus, {}});
+      }
+}
+
+void LabelingProtocol3D::broadcast(Coord3 self) {
+  const auto st = static_cast<int32_t>(state_.at(self.x, self.y, self.z));
+  for (const Dir3 d : mesh::kAllDir3)
+    engine_.send(self, d, sim::Message{kStatus, {st}});
+}
+
+void LabelingProtocol3D::reevaluate(Coord3 self) {
+  auto& st = state_.at(self.x, self.y, self.z);
+  if (st != NodeState::Safe) return;
+  const auto& nbr = nbr_state_.at(self.x, self.y, self.z);
+  auto nb_in = [&](Dir3 d) { return mesh_.contains(step(self, d)); };
+  const bool pos =
+      nb_in(Dir3::PosX) && nb_in(Dir3::PosY) && nb_in(Dir3::PosZ) &&
+      blocks_pos(nbr[static_cast<size_t>(Dir3::PosX)]) &&
+      blocks_pos(nbr[static_cast<size_t>(Dir3::PosY)]) &&
+      blocks_pos(nbr[static_cast<size_t>(Dir3::PosZ)]);
+  const bool neg =
+      nb_in(Dir3::NegX) && nb_in(Dir3::NegY) && nb_in(Dir3::NegZ) &&
+      blocks_neg(nbr[static_cast<size_t>(Dir3::NegX)]) &&
+      blocks_neg(nbr[static_cast<size_t>(Dir3::NegY)]) &&
+      blocks_neg(nbr[static_cast<size_t>(Dir3::NegZ)]);
+  if (pos)
+    st = NodeState::Useless;
+  else if (neg)
+    st = NodeState::CantReach;
+  if (st != NodeState::Safe) broadcast(self);
+}
+
+void LabelingProtocol3D::deliver(Coord3 self, const sim::Message& msg,
+                                 std::optional<Dir3> from) {
+  if (!from.has_value()) {
+    broadcast(self);
+    return;
+  }
+  const auto prev =
+      nbr_state_.at(self.x, self.y, self.z)[static_cast<size_t>(*from)];
+  const auto next = static_cast<NodeState>(msg.data[0]);
+  nbr_state_.at(self.x, self.y, self.z)[static_cast<size_t>(*from)] = next;
+  if (prev != next) reevaluate(self);
+}
+
+sim::RunStats LabelingProtocol3D::run() {
+  return engine_.run(
+      [this](Coord3 self, const sim::Message& msg, std::optional<Dir3> from) {
+        deliver(self, msg, from);
+      });
+}
+
+}  // namespace mcc::proto

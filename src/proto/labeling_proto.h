@@ -1,0 +1,94 @@
+// Distributed labelling — the message-passing realization of Algorithms 1
+// and 4.
+//
+// Every node starts knowing only whether it itself is faulty. Each node
+// broadcasts its status to its neighbors; on receiving a neighbor status a
+// node re-evaluates the useless / can't-reach rules and, when its label
+// changes, broadcasts again. The protocol reaches quiescence in O(longest
+// fill chain) rounds; the resulting labels must equal the centralized
+// fixpoint exactly (tests/test_proto_labeling.cc).
+//
+// After quiescence every node also holds its neighbors' final labels and
+// each neighbor's unsafe-adjacency flag (the "edge node" bit), which is the
+// 2-hop knowledge the identification protocol builds on (DESIGN.md §8).
+#pragma once
+
+#include <array>
+
+#include "core/labeling.h"
+#include "mesh/fault_set.h"
+#include "sim/engine.h"
+#include "util/grid.h"
+
+namespace mcc::proto {
+
+/// One orientation class of distributed labelling on a 2-D mesh.
+class LabelingProtocol2D {
+ public:
+  LabelingProtocol2D(const mesh::Mesh2D& mesh, const mesh::FaultSet2D& faults);
+
+  /// Runs to quiescence; returns engine statistics.
+  sim::RunStats run();
+
+  core::NodeState state(mesh::Coord2 c) const {
+    return state_.at(c.x, c.y);
+  }
+  /// Neighbor label as known locally (valid after run()).
+  core::NodeState neighbor_state(mesh::Coord2 c, mesh::Dir2 d) const {
+    return nbr_state_.at(c.x, c.y)[static_cast<size_t>(d)];
+  }
+  /// True when the neighbor in direction d reported having an unsafe
+  /// neighbor itself (the 2-hop edge-node bit).
+  bool neighbor_is_edge(mesh::Coord2 c, mesh::Dir2 d) const {
+    return nbr_edge_.at(c.x, c.y)[static_cast<size_t>(d)];
+  }
+
+  /// One extra exchange round after run(): nodes share their neighbor-label
+  /// vectors so that every node also knows its diagonal cells' labels (the
+  /// 2-hop knowledge the identification protocol needs; DESIGN.md §8).
+  sim::RunStats exchange_neighborhoods();
+
+  /// Label of the diagonal cell (sx, sy ∈ {-1, +1}); valid after
+  /// exchange_neighborhoods(). Out-of-mesh diagonals read Safe.
+  core::NodeState diagonal_state(mesh::Coord2 c, int sx, int sy) const {
+    return diag_.at(c.x, c.y)[(sx > 0 ? 1 : 0) + (sy > 0 ? 2 : 0)];
+  }
+
+ private:
+  void deliver(mesh::Coord2 self, const sim::Message& msg,
+               std::optional<mesh::Dir2> from);
+  void reevaluate(mesh::Coord2 self);
+  void broadcast(mesh::Coord2 self);
+
+  const mesh::Mesh2D& mesh_;
+  sim::Engine2D engine_;
+  util::Grid2<core::NodeState> state_;
+  util::Grid2<std::array<core::NodeState, 4>> nbr_state_;
+  util::Grid2<std::array<uint8_t, 4>> nbr_edge_;
+  util::Grid2<uint8_t> has_unsafe_nbr_;
+  util::Grid2<std::array<core::NodeState, 4>> diag_;
+};
+
+class LabelingProtocol3D {
+ public:
+  LabelingProtocol3D(const mesh::Mesh3D& mesh, const mesh::FaultSet3D& faults);
+
+  sim::RunStats run();
+
+  core::NodeState state(mesh::Coord3 c) const {
+    return state_.at(c.x, c.y, c.z);
+  }
+
+ private:
+  void deliver(mesh::Coord3 self, const sim::Message& msg,
+               std::optional<mesh::Dir3> from);
+  void reevaluate(mesh::Coord3 self);
+  void broadcast(mesh::Coord3 self);
+
+  const mesh::Mesh3D& mesh_;
+  sim::Engine3D engine_;
+  util::Grid3<core::NodeState> state_;
+  util::Grid3<std::array<core::NodeState, 6>> nbr_state_;
+};
+
+}  // namespace mcc::proto

@@ -1,0 +1,89 @@
+#include "proto/shape_codec.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mcc::proto {
+
+using core::MccRegion2D;
+using mesh::Coord2;
+
+namespace {
+
+// Derives the row spans (left/right) and bounding rows from column spans.
+void finish_shape(MccRegion2D& r) {
+  r.y0 = *std::min_element(r.bot.begin(), r.bot.end());
+  r.y1 = *std::max_element(r.top.begin(), r.top.end());
+  const int h = r.y1 - r.y0 + 1;
+  r.left.assign(h, std::numeric_limits<int>::max());
+  r.right.assign(h, std::numeric_limits<int>::min());
+  for (int x = r.x0; x <= r.x1; ++x) {
+    for (int y = r.bot[x - r.x0]; y <= r.top[x - r.x0]; ++y) {
+      r.left[y - r.y0] = std::min(r.left[y - r.y0], x);
+      r.right[y - r.y0] = std::max(r.right[y - r.y0], x);
+    }
+  }
+  // Rows inside the bounding box that the spans never touch (possible for
+  // eight-connected unions) get sentinels the predicates can never match:
+  // in_forbidden_x tests x < left, in_critical_x tests x > right.
+  for (int i = 0; i < h; ++i) {
+    if (r.left[i] > r.right[i]) {
+      r.left[i] = std::numeric_limits<int>::min();
+      r.right[i] = std::numeric_limits<int>::max();
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<int32_t> encode_shape(const MccRegion2D& region) {
+  std::vector<int32_t> out;
+  out.reserve(3 + 2 * region.bot.size());
+  out.push_back(region.id);
+  out.push_back(region.x0);
+  out.push_back(static_cast<int32_t>(region.bot.size()));
+  for (const int b : region.bot) out.push_back(b);
+  for (const int t : region.top) out.push_back(t);
+  return out;
+}
+
+MccRegion2D decode_shape(const int32_t* data, size_t size) {
+  MccRegion2D r;
+  if (size < 3) return r;
+  r.id = data[0];
+  r.x0 = data[1];
+  const int w = data[2];
+  if (w <= 0 || size < 3 + 2 * static_cast<size_t>(w)) return r;
+  r.x1 = r.x0 + w - 1;
+  r.bot.assign(data + 3, data + 3 + w);
+  r.top.assign(data + 3 + w, data + 3 + 2 * w);
+  finish_shape(r);
+  return r;
+}
+
+MccRegion2D shape_from_cells(int id, const std::vector<Coord2>& cells) {
+  MccRegion2D r;
+  r.id = id;
+  if (cells.empty()) return r;
+  r.x0 = r.x1 = cells[0].x;
+  for (const Coord2 c : cells) {
+    r.x0 = std::min(r.x0, c.x);
+    r.x1 = std::max(r.x1, c.x);
+  }
+  const int w = r.x1 - r.x0 + 1;
+  r.bot.assign(w, std::numeric_limits<int>::max());
+  r.top.assign(w, std::numeric_limits<int>::min());
+  for (const Coord2 c : cells) {
+    r.bot[c.x - r.x0] = std::min(r.bot[c.x - r.x0], c.y);
+    r.top[c.x - r.x0] = std::max(r.top[c.x - r.x0], c.y);
+  }
+  // A column gap means the cells came from disconnected objects (a walker
+  // that wandered): the shape is invalid and must be discarded upstream.
+  for (int i = 0; i < w; ++i) {
+    if (r.bot[i] > r.top[i]) return MccRegion2D{};
+  }
+  finish_shape(r);
+  return r;
+}
+
+}  // namespace mcc::proto

@@ -1,0 +1,31 @@
+// Wire encoding of MCC shapes.
+//
+// Identification leaves the region shape at the initialization corner;
+// boundary messages then carry it along walls. The encoding is the
+// per-column span list [x0, y-base, width, bot[0..w), top[0..w)] — exactly
+// the information the paper's identification walk accumulates (the contour
+// corners determine the spans). Payload sizes therefore reflect the real
+// message cost accounted by E7.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/mcc_region.h"
+
+namespace mcc::proto {
+
+/// Serializes the span geometry of a region (cells list not included).
+std::vector<int32_t> encode_shape(const core::MccRegion2D& region);
+
+/// Rebuilds a region's span geometry (predicates and corner usable; the
+/// cell list and fill statistics are not transported).
+core::MccRegion2D decode_shape(const int32_t* data, size_t size);
+
+/// Builds a span-backed region directly from collected boundary cells
+/// (what an identification walker gathers). Cells may arrive unordered and
+/// may contain duplicates.
+core::MccRegion2D shape_from_cells(int id,
+                                   const std::vector<mesh::Coord2>& cells);
+
+}  // namespace mcc::proto

@@ -1,0 +1,42 @@
+// Convenience facade: runs the full distributed 2-D stack in the paper's
+// phase order — labelling, neighborhood exchange, identification, boundary
+// construction — and keeps the per-phase cost statistics (experiment E7).
+#pragma once
+
+#include "proto/boundary2d_proto.h"
+#include "proto/detect_route.h"
+#include "proto/ident2d.h"
+#include "proto/labeling_proto.h"
+
+namespace mcc::proto {
+
+struct Stack2D {
+  Stack2D(const mesh::Mesh2D& mesh, const mesh::FaultSet2D& faults)
+      : labeling(mesh, faults),
+        ident(mesh, labeling),
+        boundary(mesh, labeling, ident) {
+    labeling_stats = labeling.run();
+    exchange_stats = labeling.exchange_neighborhoods();
+    ident_stats = ident.run();
+    boundary_stats = boundary.run();
+  }
+
+  size_t total_messages() const {
+    return labeling_stats.messages + exchange_stats.messages +
+           ident_stats.messages + boundary_stats.messages;
+  }
+  size_t total_payload_words() const {
+    return labeling_stats.payload_words + exchange_stats.payload_words +
+           ident_stats.payload_words + boundary_stats.payload_words;
+  }
+
+  LabelingProtocol2D labeling;
+  IdentProtocol2D ident;
+  BoundaryProtocol2D boundary;
+  sim::RunStats labeling_stats;
+  sim::RunStats exchange_stats;
+  sim::RunStats ident_stats;
+  sim::RunStats boundary_stats;
+};
+
+}  // namespace mcc::proto

@@ -1,0 +1,97 @@
+// Synchronous message-passing simulator.
+//
+// The paper's system model: nodes know only their own status and whatever
+// neighbors tell them; everything happens "through the message transmission
+// between two neighboring nodes along one of those dimensions" (§1). The
+// engine enforces exactly that: a handler runs per (node, message) delivery
+// and may only emit messages to direct neighbors; deliveries happen one
+// synchronous round later. The engine counts rounds, messages and payload
+// words — the cost metrics of experiment E7.
+//
+// Protocols keep their own per-node state (grids indexed by node) and give
+// the engine a delivery callback; see src/proto/*.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "mesh/mesh.h"
+
+namespace mcc::sim {
+
+/// A protocol message. `type` is protocol-defined; `data` is the payload
+/// (coordinates, shape encodings, ...) whose size is the accounted cost.
+struct Message {
+  int type = 0;
+  std::vector<int32_t> data;
+};
+
+struct RunStats {
+  size_t rounds = 0;
+  size_t messages = 0;       // delivered node-to-node messages
+  size_t payload_words = 0;  // total int32 words carried
+  bool quiescent = false;    // true when the run drained all traffic
+};
+
+template <class MeshT, class CoordT, class DirT>
+class SyncEngine {
+ public:
+  /// Handler invoked once per delivered message. `from` is the direction
+  /// the message arrived FROM (i.e., the link toward the sender), or
+  /// nullopt for self-injected bootstrap messages.
+  using Handler =
+      std::function<void(CoordT self, const Message&, std::optional<DirT>)>;
+
+  explicit SyncEngine(const MeshT& mesh) : mesh_(mesh) {}
+
+  const MeshT& mesh() const { return mesh_; }
+
+  /// Queues a bootstrap message a node sends to itself before round 0.
+  void inject(CoordT at, Message msg) {
+    next_.push_back({at, std::move(msg), std::nullopt});
+  }
+
+  /// Sends to the neighbor in direction `d`; silently dropped at walls.
+  /// Legal only from inside a handler (delivery next round).
+  void send(CoordT from, DirT d, Message msg) {
+    const CoordT to = step(from, d);
+    if (!mesh_.contains(to)) return;
+    next_.push_back({to, std::move(msg), opposite(d)});
+  }
+
+  /// Runs rounds until quiescence or the round cap.
+  RunStats run(const Handler& handler, size_t max_rounds = 100000) {
+    RunStats stats;
+    while (!next_.empty() && stats.rounds < max_rounds) {
+      ++stats.rounds;
+      current_.swap(next_);
+      next_.clear();
+      for (auto& env : current_) {
+        ++stats.messages;
+        stats.payload_words += env.msg.data.size();
+        handler(env.to, env.msg, env.from);
+      }
+      current_.clear();
+    }
+    stats.quiescent = next_.empty();
+    return stats;
+  }
+
+ private:
+  struct Envelope {
+    CoordT to;
+    Message msg;
+    std::optional<DirT> from;
+  };
+
+  const MeshT& mesh_;
+  std::vector<Envelope> current_;
+  std::vector<Envelope> next_;
+};
+
+using Engine2D = SyncEngine<mesh::Mesh2D, mesh::Coord2, mesh::Dir2>;
+using Engine3D = SyncEngine<mesh::Mesh3D, mesh::Coord3, mesh::Dir3>;
+
+}  // namespace mcc::sim

@@ -1,0 +1,41 @@
+#include "util/ascii_viz.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mcc::util {
+
+std::string render_mesh(const mesh::Mesh2D& mesh,
+                        const core::LabelField2D& labels,
+                        const VizOptions& opts) {
+  std::ostringstream out;
+  for (int y = mesh.ny() - 1; y >= 0; --y) {
+    out << (y % 10) << ' ';
+    for (int x = 0; x < mesh.nx(); ++x) {
+      const mesh::Coord2 c{x, y};
+      char ch = '.';
+      switch (labels.state(c)) {
+        case core::NodeState::Faulty: ch = '#'; break;
+        case core::NodeState::Useless: ch = 'u'; break;
+        case core::NodeState::CantReach: ch = 'c'; break;
+        case core::NodeState::Safe:
+          if (opts.boundary && !opts.boundary->records_at(c).empty())
+            ch = 'r';
+          break;
+      }
+      if (std::find(opts.path.begin(), opts.path.end(), c) !=
+          opts.path.end())
+        ch = 'o';
+      if (c == opts.source) ch = 'S';
+      if (c == opts.destination) ch = 'D';
+      out << ch;
+    }
+    out << '\n';
+  }
+  out << "  ";
+  for (int x = 0; x < mesh.nx(); ++x) out << (x % 10);
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace mcc::util

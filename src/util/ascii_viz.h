@@ -1,0 +1,28 @@
+// ASCII rendering of 2-D meshes — used by the examples to show fault
+// regions, boundary records and routed paths.
+//
+// Legend: '#' faulty, 'u' useless, 'c' can't-reach, 'r' node holding
+// boundary records, 'o' path node, 'S'/'D' endpoints, '.' plain safe.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/boundary2d.h"
+#include "core/labeling.h"
+#include "mesh/mesh.h"
+
+namespace mcc::util {
+
+struct VizOptions {
+  const core::Boundary2D* boundary = nullptr;
+  std::vector<mesh::Coord2> path;
+  mesh::Coord2 source{-1, -1};
+  mesh::Coord2 destination{-1, -1};
+};
+
+std::string render_mesh(const mesh::Mesh2D& mesh,
+                        const core::LabelField2D& labels,
+                        const VizOptions& opts = {});
+
+}  // namespace mcc::util

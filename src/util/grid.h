@@ -1,0 +1,114 @@
+// Dense row-major grids used throughout the library for per-node fields
+// (fault flags, labels, component ids, DP tables).
+//
+// Grid2<T> / Grid3<T> are deliberately minimal: bounds-checked access in
+// debug builds, contiguous storage, value-semantic copies. They are the only
+// containers the hot paths touch, so they avoid any indirection.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mcc::util {
+
+/// Dense 2-D array addressed by (x, y); row-major with x contiguous.
+template <class T>
+class Grid2 {
+ public:
+  Grid2() = default;
+  Grid2(int nx, int ny, T init = T{})
+      : nx_(nx), ny_(ny), data_(static_cast<size_t>(nx) * ny, init) {
+    assert(nx >= 0 && ny >= 0);
+  }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  size_t size() const { return data_.size(); }
+
+  bool in_bounds(int x, int y) const {
+    return x >= 0 && x < nx_ && y >= 0 && y < ny_;
+  }
+
+  size_t index(int x, int y) const {
+    assert(in_bounds(x, y));
+    return static_cast<size_t>(y) * nx_ + x;
+  }
+
+  T& at(int x, int y) { return data_[index(x, y)]; }
+  const T& at(int x, int y) const { return data_[index(x, y)]; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+  void fill(const T& v) { data_.assign(data_.size(), v); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  friend bool operator==(const Grid2& a, const Grid2& b) {
+    return a.nx_ == b.nx_ && a.ny_ == b.ny_ && a.data_ == b.data_;
+  }
+
+ private:
+  int nx_ = 0;
+  int ny_ = 0;
+  std::vector<T> data_;
+};
+
+/// Dense 3-D array addressed by (x, y, z); x contiguous, then y, then z.
+template <class T>
+class Grid3 {
+ public:
+  Grid3() = default;
+  Grid3(int nx, int ny, int nz, T init = T{})
+      : nx_(nx),
+        ny_(ny),
+        nz_(nz),
+        data_(static_cast<size_t>(nx) * ny * nz, init) {
+    assert(nx >= 0 && ny >= 0 && nz >= 0);
+  }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  size_t size() const { return data_.size(); }
+
+  bool in_bounds(int x, int y, int z) const {
+    return x >= 0 && x < nx_ && y >= 0 && y < ny_ && z >= 0 && z < nz_;
+  }
+
+  size_t index(int x, int y, int z) const {
+    assert(in_bounds(x, y, z));
+    return (static_cast<size_t>(z) * ny_ + y) * nx_ + x;
+  }
+
+  T& at(int x, int y, int z) { return data_[index(x, y, z)]; }
+  const T& at(int x, int y, int z) const { return data_[index(x, y, z)]; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+  void fill(const T& v) { data_.assign(data_.size(), v); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  friend bool operator==(const Grid3& a, const Grid3& b) {
+    return a.nx_ == b.nx_ && a.ny_ == b.ny_ && a.nz_ == b.nz_ &&
+           a.data_ == b.data_;
+  }
+
+ private:
+  int nx_ = 0;
+  int ny_ = 0;
+  int nz_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace mcc::util

@@ -1,0 +1,53 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcc::util {
+
+unsigned default_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for(size_t n, const std::function<void(size_t)>& body,
+                  unsigned workers) {
+  if (workers == 0) workers = default_workers();
+  if (n == 0) return;
+  if (workers <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  auto run = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        next.store(n, std::memory_order_relaxed);  // drain remaining work
+        return;
+      }
+    }
+  };
+
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(run);
+  }  // join
+
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace mcc::util

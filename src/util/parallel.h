@@ -1,0 +1,24 @@
+// Minimal fork-join parallelism for experiment sweeps.
+//
+// Benches run hundreds of independent Monte-Carlo trials; `parallel_for`
+// splits the index range across a small pool of std::jthread workers with a
+// shared atomic cursor (dynamic scheduling, so uneven trial costs balance).
+// Each worker receives the trial index only — callers derive per-trial RNG
+// seeds from the index, which keeps results independent of thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace mcc::util {
+
+/// Number of workers used by default (hardware concurrency, at least 1).
+unsigned default_workers();
+
+/// Runs body(i) for every i in [0, n) across `workers` threads.
+/// With workers <= 1 the loop runs inline (useful under test).
+/// Exceptions thrown by `body` propagate to the caller (first one wins).
+void parallel_for(size_t n, const std::function<void(size_t)>& body,
+                  unsigned workers = 0);
+
+}  // namespace mcc::util

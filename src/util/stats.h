@@ -1,0 +1,60 @@
+// Streaming statistics for experiment aggregation (Welford's algorithm) and
+// a small helper for normal-approximation confidence intervals.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace mcc::util {
+
+/// Accumulates count/mean/variance in a single pass; numerically stable.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  void merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * n_ * other.n_ / total;
+    mean_ += delta * other.n_ / total;
+    n_ += other.n_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Half-width of the ~95% confidence interval for the mean.
+  double ci95() const {
+    if (n_ < 2) return 0.0;
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+  }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace mcc::util

@@ -1,0 +1,66 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace mcc::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, 100.0 * v);
+  return buf;
+}
+
+std::string Table::mean_ci(double mean, double ci, int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.*f ± %.*f", precision, mean, precision, ci);
+  return buf;
+}
+
+void Table::render(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  os << '|';
+  for (size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(widths[c] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream oss;
+  render(oss);
+  return oss.str();
+}
+
+}  // namespace mcc::util

@@ -1,0 +1,33 @@
+// Markdown table writer used by every bench binary so that all experiment
+// output has one consistent, diffable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcc::util {
+
+/// Collects rows of pre-formatted cells and renders a GitHub-flavored
+/// markdown table with column alignment.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience formatting helpers.
+  static std::string fmt(double v, int precision = 3);
+  static std::string pct(double v, int precision = 1);
+  static std::string mean_ci(double mean, double ci, int precision = 3);
+
+  void render(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mcc::util

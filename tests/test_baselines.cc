@@ -1,0 +1,222 @@
+// Baselines: fault-block fills and naive routers, plus the dominance
+// relations the paper's comparison relies on (MCC absorbs fewer healthy
+// nodes; MCC-feasible ⊇ block-feasible).
+#include <gtest/gtest.h>
+
+#include "baselines/fault_block.h"
+#include "baselines/simple_routers.h"
+#include "core/feasibility2d.h"
+#include "core/labeling.h"
+#include "core/reachability.h"
+#include "mesh/fault_injection.h"
+#include "util/rng.h"
+
+namespace mcc::baselines {
+namespace {
+
+using mesh::Coord2;
+using mesh::Coord3;
+
+TEST(SafetyFill2D, DiagonalPairDisablesCorners) {
+  const mesh::Mesh2D m(8, 8);
+  mesh::FaultSet2D f(m);
+  f.set_faulty({3, 3});
+  f.set_faulty({4, 4});
+  const auto b = safety_fill(m, f);
+  // Both diagonal companions have faults in two different dimensions.
+  EXPECT_TRUE(b.unsafe({3, 4}));
+  EXPECT_TRUE(b.unsafe({4, 3}));
+  EXPECT_EQ(b.healthy_unsafe_count(), 2);
+}
+
+TEST(SafetyFill2D, IsolatedFaultsDoNotFill) {
+  const mesh::Mesh2D m(10, 10);
+  mesh::FaultSet2D f(m);
+  f.set_faulty({2, 2});
+  f.set_faulty({7, 7});
+  const auto b = safety_fill(m, f);
+  EXPECT_EQ(b.healthy_unsafe_count(), 0);
+}
+
+TEST(SafetyFill2D, RegionsAreOrthogonallyConvexPerLine) {
+  // Safety-rule regions have contiguous unsafe spans on every row/column.
+  const mesh::Mesh2D m(16, 16);
+  util::Rng rng(501);
+  const auto f = mesh::inject_uniform(m, 0.15, rng);
+  const auto b = safety_fill(m, f);
+  // Check per-row contiguity of each connected region via a simple scan:
+  // any safe gap between two unsafe cells of the same row must separate
+  // different components. We verify the weaker but telling invariant used
+  // in the literature: no healthy node has >= 2 blocked dimensions.
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x) {
+      if (b.unsafe({x, y})) continue;
+      int dims = 0;
+      if ((x + 1 < 16 && b.unsafe({x + 1, y})) ||
+          (x - 1 >= 0 && b.unsafe({x - 1, y})))
+        ++dims;
+      if ((y + 1 < 16 && b.unsafe({x, y + 1})) ||
+          (y - 1 >= 0 && b.unsafe({x, y - 1})))
+        ++dims;
+      EXPECT_LT(dims, 2) << x << "," << y;
+    }
+}
+
+TEST(BoundingBoxFill2D, ComponentDilatesToRectangle) {
+  const mesh::Mesh2D m(10, 10);
+  mesh::FaultSet2D f(m);
+  f.set_faulty({2, 2});
+  f.set_faulty({3, 3});  // touching diagonally: one box 2x2
+  f.set_faulty({3, 4});
+  const auto b = bounding_box_fill(m, f);
+  for (int y = 2; y <= 4; ++y)
+    for (int x = 2; x <= 3; ++x) EXPECT_TRUE(b.unsafe({x, y}));
+  EXPECT_EQ(b.healthy_unsafe_count(), 3);  // 6 cells - 3 faults
+  EXPECT_FALSE(b.unsafe({4, 4}));
+}
+
+TEST(BoundingBoxFill3D, MergesTouchingBoxes) {
+  const mesh::Mesh3D m(8, 8, 8);
+  mesh::FaultSet3D f(m);
+  f.set_faulty({2, 2, 2});
+  f.set_faulty({3, 3, 3});
+  const auto b = bounding_box_fill(m, f);
+  EXPECT_TRUE(b.unsafe({2, 3, 2}));
+  EXPECT_TRUE(b.unsafe({3, 2, 3}));
+  EXPECT_EQ(b.healthy_unsafe_count(), 6);  // 2x2x2 box minus 2 faults
+}
+
+struct SweepParam {
+  int size;
+  double rate;
+  uint64_t seed;
+};
+
+class DominanceSweep2D : public ::testing::TestWithParam<SweepParam> {};
+
+// The paper's core claim: MCC absorbs a subset of the healthy nodes any
+// rectangular model absorbs.
+TEST_P(DominanceSweep2D, MccUnsafeSubsetOfSafetyBlocks) {
+  const auto [size, rate, seed] = GetParam();
+  const mesh::Mesh2D m(size, size);
+  util::Rng rng(seed);
+  const auto f = mesh::inject_uniform(m, rate, rng);
+  const core::LabelField2D l(m, f);
+  const auto blocks = safety_fill(m, f);
+
+  for (int y = 0; y < size; ++y)
+    for (int x = 0; x < size; ++x) {
+      const Coord2 c{x, y};
+      if (l.unsafe(c)) EXPECT_TRUE(blocks.unsafe(c)) << c;
+    }
+  EXPECT_LE(l.healthy_unsafe_count(), blocks.healthy_unsafe_count());
+}
+
+TEST_P(DominanceSweep2D, MccFeasibleWheneverBlocksFeasible) {
+  const auto [size, rate, seed] = GetParam();
+  const mesh::Mesh2D m(size, size);
+  util::Rng rng(seed + 1);
+  const auto f = mesh::inject_uniform(m, rate, rng);
+  const core::LabelField2D l(m, f);
+  const auto blocks = safety_fill(m, f);
+  util::Rng prng(seed * 3);
+
+  for (int t = 0; t < 200; ++t) {
+    const Coord2 s{prng.uniform_int(0, size - 2),
+                   prng.uniform_int(0, size - 2)};
+    const Coord2 d{prng.uniform_int(s.x + 1, size - 1),
+                   prng.uniform_int(s.y + 1, size - 1)};
+    if (!l.safe(s) || !l.safe(d)) continue;
+    if (block_feasible(m, blocks, s, d)) {
+      EXPECT_TRUE(core::detect2d(m, l, s, d).feasible())
+          << "s=" << s << " d=" << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, DominanceSweep2D,
+    ::testing::Values(SweepParam{12, 0.05, 511}, SweepParam{12, 0.15, 512},
+                      SweepParam{16, 0.10, 513}, SweepParam{16, 0.20, 514},
+                      SweepParam{24, 0.10, 515}, SweepParam{24, 0.20, 516},
+                      SweepParam{32, 0.15, 517}));
+
+class DominanceSweep3D : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(DominanceSweep3D, MccUnsafeSubsetOfSafetyBlocks) {
+  const auto [size, rate, seed] = GetParam();
+  const mesh::Mesh3D m(size, size, size);
+  util::Rng rng(seed);
+  const auto f = mesh::inject_uniform(m, rate, rng);
+  const core::LabelField3D l(m, f);
+  const auto blocks = safety_fill(m, f);
+  for (size_t i = 0; i < m.node_count(); ++i) {
+    const Coord3 c = m.coord(i);
+    if (l.unsafe(c)) EXPECT_TRUE(blocks.unsafe(c)) << c;
+  }
+  EXPECT_LE(l.healthy_unsafe_count(), blocks.healthy_unsafe_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, DominanceSweep3D,
+    ::testing::Values(SweepParam{6, 0.10, 521}, SweepParam{8, 0.10, 522},
+                      SweepParam{8, 0.20, 523}, SweepParam{10, 0.15, 524}));
+
+TEST(BlockFeasible, RespectsBlocksNotJustFaults) {
+  const mesh::Mesh2D m(10, 10);
+  mesh::FaultSet2D f(m);
+  f.set_faulty({4, 4});
+  f.set_faulty({5, 5});
+  const auto blocks = safety_fill(m, f);
+  // (4,5) and (5,4) are disabled: the diagonal gap closes under the block
+  // model even though the oracle can pass through.
+  const core::LabelField2D l(m, f);
+  const core::ReachField2D oracle(m, l, {9, 9}, core::NodeFilter::NonFaulty);
+  EXPECT_TRUE(oracle.feasible({0, 0}));
+  EXPECT_TRUE(block_feasible(m, blocks, {0, 0}, {9, 9}));  // around the block
+  // Straight through the gap: blocked for the block model.
+  EXPECT_FALSE(block_feasible(m, blocks, {4, 5}, {5, 6}));
+}
+
+TEST(DimensionOrder, FailsOnBlockedElbow) {
+  const mesh::Mesh2D m(8, 8);
+  mesh::FaultSet2D f(m);
+  f.set_faulty({5, 0});  // on the x-leg of the e-cube path
+  EXPECT_FALSE(dimension_order_route(m, f, {0, 0}, {7, 7}));
+  EXPECT_TRUE(dimension_order_route(m, f, {0, 1}, {7, 7}));
+}
+
+TEST(DimensionOrder, HandlesAllDirections) {
+  const mesh::Mesh3D m(6, 6, 6);
+  const mesh::FaultSet3D f(m);
+  EXPECT_TRUE(dimension_order_route(m, f, {5, 5, 5}, {0, 0, 0}));
+  EXPECT_TRUE(dimension_order_route(m, f, {0, 5, 3}, {5, 0, 3}));
+}
+
+TEST(Greedy, DeliversWhenLucky) {
+  const mesh::Mesh2D m(8, 8);
+  const mesh::FaultSet2D f(m);
+  util::Rng rng(530);
+  EXPECT_TRUE(greedy_route(m, f, {0, 0}, {7, 7}, rng));
+}
+
+TEST(Greedy, SucceedsLessOftenThanModelRouting) {
+  const mesh::Mesh2D m(16, 16);
+  util::Rng rng(531);
+  int greedy_ok = 0, model_ok = 0, trials = 0;
+  for (int t = 0; t < 100; ++t) {
+    util::Rng fr(rng.fork());
+    const auto f = mesh::inject_uniform(m, 0.15, fr, {{0, 0}, {15, 15}});
+    const core::LabelField2D l(m, f);
+    if (!l.safe({0, 0}) || !l.safe({15, 15})) continue;
+    ++trials;
+    if (core::detect2d(m, l, {0, 0}, {15, 15}).feasible()) ++model_ok;
+    util::Rng gr(rng.fork());
+    if (greedy_route(m, f, {0, 0}, {15, 15}, gr)) ++greedy_ok;
+  }
+  ASSERT_GT(trials, 30);
+  EXPECT_GT(model_ok, greedy_ok);
+}
+
+}  // namespace
+}  // namespace mcc::baselines

@@ -1,0 +1,242 @@
+// Boundary construction: wall geometry, deflection + merge around blocking
+// MCCs, record placement, and the exactness of the Theorem-1 chain test.
+#include <gtest/gtest.h>
+
+#include "core/boundary2d.h"
+#include "core/feasibility2d.h"
+#include "core/reachability.h"
+#include "mesh/fault_injection.h"
+#include "util/rng.h"
+
+namespace mcc::core {
+namespace {
+
+using mesh::Coord2;
+using mesh::Dir2;
+
+struct Built {
+  mesh::Mesh2D m;
+  mesh::FaultSet2D f;
+  LabelField2D l;
+  MccSet2D mccs;
+  Boundary2D b;
+
+  Built(int size, std::function<void(mesh::FaultSet2D&, const mesh::Mesh2D&)>
+                      inject)
+      : m(size, size),
+        f([&] {
+          mesh::FaultSet2D fs(m);
+          inject(fs, m);
+          return fs;
+        }()),
+        l(m, f),
+        mccs(m, l),
+        b(m, l, mccs) {}
+};
+
+TEST(Boundary2D, SimpleBlockWalls) {
+  // 2x2 block at (4..5, 4..5); corner c = (3,3); Y wall descends x=3,
+  // X wall runs west along y=3.
+  Built t(10, [](mesh::FaultSet2D& f, const mesh::Mesh2D&) {
+    for (int y = 4; y <= 5; ++y)
+      for (int x = 4; x <= 5; ++x) f.set_faulty({x, y});
+  });
+  ASSERT_EQ(t.mccs.regions().size(), 1u);
+  const Wall2D& yw = t.b.y_wall(0);
+  ASSERT_TRUE(yw.exists);
+  EXPECT_TRUE(yw.complete);
+  // Descent along x=3: starts beside the region's bottom-left cell, passes
+  // the corner (3,3), ends at the mesh edge.
+  const std::vector<Coord2> expect_y{{3, 4}, {3, 3}, {3, 2}, {3, 1}, {3, 0}};
+  EXPECT_EQ(yw.path, expect_y);
+  EXPECT_EQ(yw.chain, std::vector<int>{0});
+
+  const Wall2D& xw = t.b.x_wall(0);
+  const std::vector<Coord2> expect_x{{4, 3}, {3, 3}, {2, 3}, {1, 3}, {0, 3}};
+  EXPECT_EQ(xw.path, expect_x);
+
+  // Records: the corner carries both walls, plain wall nodes one each.
+  EXPECT_EQ(t.b.records_at({3, 3}).size(), 2u);
+  EXPECT_EQ(t.b.records_at({3, 1}).size(), 1u);
+  const auto& recs = t.b.records_at({1, 3});
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].owner, 0);
+  EXPECT_EQ(recs[0].guard, Dir2::PosY);
+}
+
+TEST(Boundary2D, CornerSwallowedByDiagonalRegion) {
+  // The under-specified case from the routing bug hunt: M = {(6,8)} whose
+  // corner (5,7) is itself faulty (a diagonally-touching one-cell region
+  // B). The wall must wrap B and its merged chain must guard both QY(B)
+  // and QY(M), or a router heading for d=(6,11) walks into the dead column
+  // below (6,8).
+  Built t(16, [](mesh::FaultSet2D& f, const mesh::Mesh2D&) {
+    f.set_faulty({6, 8});
+    f.set_faulty({5, 7});
+  });
+  const int m_id = t.mccs.region_at({6, 8});
+  const int b_id = t.mccs.region_at({5, 7});
+  ASSERT_NE(m_id, b_id);
+  const Wall2D& yw = t.b.y_wall(m_id);
+  ASSERT_TRUE(yw.exists);
+  EXPECT_EQ(yw.chain, (std::vector<int>{m_id, b_id}));
+  // The wall wraps B: down its west flank (column 4) to the mesh edge.
+  auto contains = [&](Coord2 c) {
+    return std::find(yw.path.begin(), yw.path.end(), c) != yw.path.end();
+  };
+  EXPECT_TRUE(contains({5, 8}));  // start, beside M's bottom cell
+  EXPECT_TRUE(contains({4, 7}));  // rounding B
+  EXPECT_TRUE(contains({4, 6}));  // B's corner
+  EXPECT_TRUE(contains({4, 0}));  // continues to the mesh edge
+}
+
+TEST(Boundary2D, CornerNodeCarriesBothWalls) {
+  Built t(10, [](mesh::FaultSet2D& f, const mesh::Mesh2D&) {
+    f.set_faulty({5, 5});
+  });
+  const auto& recs = t.b.records_at({4, 4});
+  EXPECT_EQ(recs.size(), 2u);
+}
+
+TEST(Boundary2D, WallSkippedWhenRegionTouchesMeshEdge) {
+  // Region at the south-west corner: no entry into its forbidden regions
+  // is possible, so no walls exist.
+  Built t(10, [](mesh::FaultSet2D& f, const mesh::Mesh2D&) {
+    f.set_faulty({0, 0});
+  });
+  EXPECT_FALSE(t.b.y_wall(0).exists);
+  EXPECT_FALSE(t.b.x_wall(0).exists);
+  EXPECT_EQ(t.b.record_count(), 0u);
+}
+
+TEST(Boundary2D, DeflectionMergesChain) {
+  // The worked example from the header comment: M at (5..8, 5..8), B at
+  // (2..4, 2..3). M's Y wall starts at (4,4), is blocked by B at (4,3),
+  // deflects west around B and continues south from B's corner (1,1).
+  Built t(12, [](mesh::FaultSet2D& f, const mesh::Mesh2D&) {
+    for (int x = 2; x <= 4; ++x)
+      for (int y = 2; y <= 3; ++y) f.set_faulty({x, y});
+    for (int x = 5; x <= 8; ++x)
+      for (int y = 5; y <= 8; ++y) f.set_faulty({x, y});
+  });
+  ASSERT_EQ(t.mccs.regions().size(), 2u);
+  const int b_id = t.mccs.region_at({2, 2});
+  const int m_id = t.mccs.region_at({5, 5});
+  const Wall2D& yw = t.b.y_wall(m_id);
+  ASSERT_TRUE(yw.exists);
+  EXPECT_TRUE(yw.complete);
+  // Chain merged B.
+  ASSERT_EQ(yw.chain.size(), 2u);
+  EXPECT_EQ(yw.chain[0], m_id);
+  EXPECT_EQ(yw.chain[1], b_id);
+  // The wall passes along B's north rim (row 4) and down B's west flank
+  // (column 1) to the mesh edge.
+  auto contains = [&](Coord2 c) {
+    return std::find(yw.path.begin(), yw.path.end(), c) != yw.path.end();
+  };
+  EXPECT_TRUE(contains({4, 4}));  // M's corner
+  EXPECT_TRUE(contains({2, 4}));  // north rim of B
+  EXPECT_TRUE(contains({1, 3}));  // west flank of B
+  EXPECT_TRUE(contains({1, 1}));  // B's corner
+  EXPECT_TRUE(contains({1, 0}));  // continues to the mesh edge
+}
+
+TEST(Boundary2D, Theorem1CatchesMultiRegionTrap) {
+  Built t(12, [](mesh::FaultSet2D& f, const mesh::Mesh2D&) {
+    for (int x = 2; x <= 4; ++x)
+      for (int y = 2; y <= 3; ++y) f.set_faulty({x, y});
+    for (int x = 5; x <= 8; ++x)
+      for (int y = 5; y <= 8; ++y) f.set_faulty({x, y});
+  });
+  const Coord2 s{3, 1}, d{6, 10};
+  // Lemma 1 alone misses this trap; the chain test must catch it.
+  EXPECT_FALSE(lemma1_blocked(t.mccs, s, d).blocked);
+  EXPECT_FALSE(t.b.theorem1_feasible(s, d));
+  // And a source west of everything is fine.
+  EXPECT_TRUE(t.b.theorem1_feasible({0, 0}, d));
+}
+
+struct SweepParam {
+  int size;
+  double rate;
+  uint64_t seed;
+  int pairs;
+};
+
+class BoundarySweep : public ::testing::TestWithParam<SweepParam> {};
+
+// Theorem 1 (chain form) must agree exactly with the oracle.
+TEST_P(BoundarySweep, Theorem1MatchesOracle) {
+  const auto [size, rate, seed, pairs] = GetParam();
+  const mesh::Mesh2D m(size, size);
+  util::Rng rng(seed);
+  const auto f = mesh::inject_uniform(m, rate, rng);
+  const LabelField2D l(m, f);
+  const MccSet2D mccs(m, l);
+  const Boundary2D b(m, l, mccs);
+  util::Rng prng(seed * 3 + 7);
+
+  for (int t = 0; t < pairs * 10; ++t) {
+    const Coord2 s{prng.uniform_int(0, size - 2),
+                   prng.uniform_int(0, size - 2)};
+    const Coord2 d{prng.uniform_int(s.x + 1, size - 1),
+                   prng.uniform_int(s.y + 1, size - 1)};
+    if (!l.safe(s) || !l.safe(d)) continue;
+    const ReachField2D oracle(m, l, d, NodeFilter::NonFaulty);
+    EXPECT_EQ(b.theorem1_feasible(s, d), oracle.feasible(s))
+        << "s=" << s << " d=" << d << " seed=" << seed;
+  }
+}
+
+// All walls complete, all records chained to valid regions.
+TEST_P(BoundarySweep, WallsWellFormed) {
+  const auto [size, rate, seed, pairs] = GetParam();
+  (void)pairs;
+  const mesh::Mesh2D m(size, size);
+  util::Rng rng(seed + 500);
+  const auto f = mesh::inject_uniform(m, rate, rng);
+  const LabelField2D l(m, f);
+  const MccSet2D mccs(m, l);
+  const Boundary2D b(m, l, mccs);
+
+  size_t recs = 0;
+  for (size_t id = 0; id < mccs.regions().size(); ++id) {
+    for (const Wall2D* w : {&b.y_wall(id), &b.x_wall(id)}) {
+      EXPECT_TRUE(w->complete);
+      EXPECT_EQ(w->chain.empty(), false);
+      EXPECT_EQ(w->chain[0], static_cast<int>(id));
+      for (const Coord2 c : w->path) {
+        EXPECT_TRUE(m.contains(c));
+        EXPECT_TRUE(l.safe(c)) << c;  // walls live on safe nodes
+      }
+      if (w->exists) recs += w->path.size();
+    }
+  }
+  EXPECT_EQ(recs, b.record_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, BoundarySweep,
+    ::testing::Values(SweepParam{10, 0.10, 201, 50},
+                      SweepParam{12, 0.15, 202, 50},
+                      SweepParam{16, 0.10, 203, 40},
+                      SweepParam{16, 0.20, 204, 40},
+                      SweepParam{20, 0.15, 205, 30},
+                      SweepParam{24, 0.10, 206, 30},
+                      SweepParam{24, 0.25, 207, 30},
+                      SweepParam{32, 0.15, 208, 20}));
+
+TEST(Boundary2D, RecordCountGrowsWithRegions) {
+  const mesh::Mesh2D m(20, 20);
+  util::Rng rng(210);
+  const auto sparse = mesh::inject_uniform(m, 0.03, rng);
+  const auto dense = mesh::inject_uniform(m, 0.15, rng);
+  const LabelField2D ls(m, sparse), ld(m, dense);
+  const MccSet2D ms(m, ls), md(m, ld);
+  const Boundary2D bs(m, ls, ms), bd(m, ld, md);
+  EXPECT_LT(bs.record_count(), bd.record_count());
+  EXPECT_LE(bs.nodes_with_records(), bs.record_count());
+}
+
+}  // namespace
+}  // namespace mcc::core

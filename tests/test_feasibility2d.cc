@@ -1,0 +1,256 @@
+// 2-D feasibility: the paper's detection walkers (Algorithm 3 phase 1) and
+// the static conditions, cross-validated against the reachability oracle.
+// The central claim under test: for safe endpoints with strict offsets,
+//     detect2d == safe-DAG oracle == non-faulty oracle,
+// lemma1_blocked is sound (never blocks a feasible pair), and the public
+// decision procedure handles every degenerate case.
+#include <gtest/gtest.h>
+
+#include "core/feasibility2d.h"
+#include "core/reachability.h"
+#include "mesh/fault_injection.h"
+#include "util/rng.h"
+
+namespace mcc::core {
+namespace {
+
+using mesh::Coord2;
+
+struct Fixture2D {
+  mesh::Mesh2D m;
+  mesh::FaultSet2D f;
+  LabelField2D l;
+  MccSet2D mccs;
+
+  Fixture2D(int size, double rate, uint64_t seed,
+            std::vector<Coord2> protect = {})
+      : m(size, size),
+        f([&] {
+          util::Rng rng(seed);
+          return mesh::inject_uniform(m, rate, rng, protect);
+        }()),
+        l(m, f),
+        mccs(m, l) {}
+};
+
+TEST(Detect2D, FaultFreeAlwaysFeasible) {
+  const Fixture2D fx(10, 0.0, 1);
+  for (int x = 1; x < 10; ++x)
+    for (int y = 1; y < 10; ++y)
+      EXPECT_TRUE(detect2d(fx.m, fx.l, {0, 0}, {x, y}).feasible());
+}
+
+TEST(Detect2D, WallAcrossRectangleBlocks) {
+  // A full-width horizontal wall inside the rectangle kills feasibility.
+  const mesh::Mesh2D m(10, 10);
+  mesh::FaultSet2D f(m);
+  mesh::add_wall_y(f, m, 0, 9, 5);
+  const LabelField2D l(m, f);
+  EXPECT_FALSE(detect2d(m, l, {0, 0}, {9, 9}).feasible());
+  // Below the wall everything still works.
+  EXPECT_TRUE(detect2d(m, l, {0, 0}, {9, 4}).feasible());
+}
+
+TEST(Detect2D, WallWithGapIsPassable) {
+  const mesh::Mesh2D m(10, 10);
+  mesh::FaultSet2D f(m);
+  mesh::add_wall_y(f, m, 0, 8, 5);  // gap at x = 9
+  const LabelField2D l(m, f);
+  EXPECT_TRUE(detect2d(m, l, {0, 0}, {9, 9}).feasible());
+  // But a destination west of the gap, above the wall, is unreachable:
+  // passing the gap overshoots x.
+  EXPECT_FALSE(detect2d(m, l, {0, 0}, {5, 9}).feasible());
+}
+
+TEST(Detect2D, SingleBlockDetour) {
+  const mesh::Mesh2D m(12, 12);
+  mesh::FaultSet2D f(m);
+  for (int y = 4; y <= 6; ++y)
+    for (int x = 4; x <= 6; ++x) f.set_faulty({x, y});
+  const LabelField2D l(m, f);
+  EXPECT_TRUE(detect2d(m, l, {0, 0}, {11, 11}).feasible());
+  EXPECT_TRUE(detect2d(m, l, {0, 0}, {5, 11}).feasible());  // over the block
+  EXPECT_TRUE(detect2d(m, l, {0, 0}, {11, 5}).feasible());  // under it
+  // From inside the forbidden shadow to above the block: blocked.
+  EXPECT_FALSE(detect2d(m, l, {5, 0}, {5, 11}).feasible());
+}
+
+TEST(Lemma1, WitnessesSimpleTrap) {
+  const mesh::Mesh2D m(12, 12);
+  mesh::FaultSet2D f(m);
+  for (int x = 3; x <= 8; ++x) f.set_faulty({x, 5});
+  const LabelField2D l(m, f);
+  const MccSet2D mccs(m, l);
+  // s below the bar inside its shadow, d right above it.
+  const auto res = lemma1_blocked(mccs, {5, 2}, {6, 9});
+  EXPECT_TRUE(res.blocked);
+  EXPECT_EQ(res.axis, 'Y');
+  // s west of the bar: free.
+  EXPECT_FALSE(lemma1_blocked(mccs, {0, 2}, {6, 9}).blocked);
+}
+
+TEST(Lemma1, MultiRegionTrapNeedsChains) {
+  // The canonical counterexample documented in core/boundary2d.h: B below
+  // and west of M; a source under B with destination above M is blocked,
+  // but no single region witnesses it.
+  const mesh::Mesh2D m(12, 12);
+  mesh::FaultSet2D f(m);
+  for (int x = 2; x <= 4; ++x)
+    for (int y = 2; y <= 3; ++y) f.set_faulty({x, y});  // B
+  for (int x = 5; x <= 8; ++x)
+    for (int y = 5; y <= 8; ++y) f.set_faulty({x, y});  // M
+  const LabelField2D l(m, f);
+  const MccSet2D mccs(m, l);
+  ASSERT_EQ(mccs.regions().size(), 2u);
+
+  const Coord2 s{3, 1}, d{6, 10};
+  // Truth: blocked.
+  const ReachField2D oracle(m, l, d, NodeFilter::NonFaulty);
+  EXPECT_FALSE(oracle.feasible(s));
+  // Walkers agree.
+  EXPECT_FALSE(detect2d(m, l, s, d).feasible());
+  // Single-region Lemma 1 misses it.
+  EXPECT_FALSE(lemma1_blocked(mccs, s, d).blocked);
+}
+
+struct SweepParam {
+  int size;
+  double rate;
+  uint64_t seed;
+  int pairs;
+};
+
+class FeasibilitySweep2D : public ::testing::TestWithParam<SweepParam> {};
+
+// The headline equivalence: walkers == oracle for safe strict pairs.
+TEST_P(FeasibilitySweep2D, DetectMatchesOracle) {
+  const auto [size, rate, seed, pairs] = GetParam();
+  const Fixture2D fx(size, rate, seed);
+  util::Rng rng(seed * 31 + 1);
+
+  int checked = 0;
+  for (int t = 0; t < pairs * 20 && checked < pairs; ++t) {
+    Coord2 s{rng.uniform_int(0, size - 2), rng.uniform_int(0, size - 2)};
+    Coord2 d{rng.uniform_int(s.x + 1, size - 1),
+             rng.uniform_int(s.y + 1, size - 1)};
+    if (!fx.l.safe(s) || !fx.l.safe(d)) continue;
+    ++checked;
+    const ReachField2D oracle(fx.m, fx.l, d, NodeFilter::NonFaulty);
+    const bool truth = oracle.feasible(s);
+    EXPECT_EQ(detect2d(fx.m, fx.l, s, d).feasible(), truth)
+        << "s=" << s << " d=" << d << " seed=" << seed;
+    // Lemma 1 soundness: a blocked verdict is always correct.
+    if (lemma1_blocked(fx.mccs, s, d).blocked) EXPECT_FALSE(truth);
+    // The public API agrees with the oracle too.
+    EXPECT_EQ(mcc_feasible2d(fx.m, fx.l, s, d).feasible, truth);
+  }
+  // At extreme fault rates most endpoints are unsafe and get skipped.
+  if (rate <= 0.25) EXPECT_GT(checked, pairs / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, FeasibilitySweep2D,
+    ::testing::Values(SweepParam{10, 0.10, 51, 60},
+                      SweepParam{12, 0.15, 52, 60},
+                      SweepParam{16, 0.10, 53, 60},
+                      SweepParam{16, 0.20, 54, 60},
+                      SweepParam{16, 0.30, 55, 60},
+                      SweepParam{24, 0.15, 56, 40},
+                      SweepParam{24, 0.25, 57, 40},
+                      SweepParam{32, 0.10, 58, 30},
+                      SweepParam{32, 0.20, 59, 30},
+                      SweepParam{32, 0.35, 60, 30}));
+
+class FeasibilityClustered2D : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(FeasibilityClustered2D, DetectMatchesOracleOnClusters) {
+  const auto [size, rate, seed, pairs] = GetParam();
+  const mesh::Mesh2D m(size, size);
+  util::Rng rng(seed);
+  const int count = static_cast<int>(rate * size * size);
+  const auto f = mesh::inject_clustered(m, count, 3, rng);
+  const LabelField2D l(m, f);
+  util::Rng prng(seed * 77 + 3);
+
+  int checked = 0;
+  for (int t = 0; t < pairs * 20 && checked < pairs; ++t) {
+    Coord2 s{prng.uniform_int(0, size - 2), prng.uniform_int(0, size - 2)};
+    Coord2 d{prng.uniform_int(s.x + 1, size - 1),
+             prng.uniform_int(s.y + 1, size - 1)};
+    if (!l.safe(s) || !l.safe(d)) continue;
+    ++checked;
+    const ReachField2D oracle(m, l, d, NodeFilter::NonFaulty);
+    EXPECT_EQ(detect2d(m, l, s, d).feasible(), oracle.feasible(s))
+        << "s=" << s << " d=" << d << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Clusters, FeasibilityClustered2D,
+    ::testing::Values(SweepParam{16, 0.15, 61, 50},
+                      SweepParam{16, 0.30, 62, 50},
+                      SweepParam{24, 0.20, 63, 40},
+                      SweepParam{32, 0.25, 64, 30}));
+
+TEST(McFeasible2D, DegenerateCases) {
+  const mesh::Mesh2D m(10, 10);
+  mesh::FaultSet2D f(m);
+  f.set_faulty({0, 5});
+  f.set_faulty({5, 0});
+  f.set_faulty({9, 9});
+  const LabelField2D l(m, f);
+
+  // Same node.
+  EXPECT_TRUE(mcc_feasible2d(m, l, {3, 3}, {3, 3}).feasible);
+  EXPECT_EQ(mcc_feasible2d(m, l, {3, 3}, {3, 3}).basis,
+            FeasibilityBasis::TrivialSame);
+  EXPECT_FALSE(mcc_feasible2d(m, l, {9, 9}, {9, 9}).feasible);
+
+  // Faulty endpoints.
+  EXPECT_FALSE(mcc_feasible2d(m, l, {0, 5}, {8, 8}).feasible);
+  EXPECT_FALSE(mcc_feasible2d(m, l, {1, 1}, {9, 9}).feasible);
+  EXPECT_EQ(mcc_feasible2d(m, l, {1, 1}, {9, 9}).basis,
+            FeasibilityBasis::DeadEndpoint);
+
+  // Straight lines: the column x=0 is cut at (0,5); the row y=0 at (5,0).
+  EXPECT_FALSE(mcc_feasible2d(m, l, {0, 0}, {0, 9}).feasible);
+  EXPECT_TRUE(mcc_feasible2d(m, l, {0, 0}, {0, 4}).feasible);
+  EXPECT_FALSE(mcc_feasible2d(m, l, {0, 0}, {9, 0}).feasible);
+  EXPECT_TRUE(mcc_feasible2d(m, l, {6, 0}, {9, 0}).feasible);
+  EXPECT_EQ(mcc_feasible2d(m, l, {0, 0}, {0, 4}).basis,
+            FeasibilityBasis::DegenerateLine);
+}
+
+TEST(McFeasible2D, StraightLineThroughUnsafeHealthyNodesIsFeasible) {
+  // Column of useless-but-healthy nodes: a pure +Y route through them is a
+  // legitimate minimal path (the model's labels only constrain strict
+  // 2-D routing).
+  const mesh::Mesh2D m(8, 8);
+  mesh::FaultSet2D f(m);
+  // Make column 6 nodes useless by walling east and staggering faults.
+  for (int y = 2; y <= 6; ++y) f.set_faulty({7, y});
+  f.set_faulty({6, 7});
+  const LabelField2D l(m, f);
+  ASSERT_EQ(l.state({6, 6}), NodeState::Useless);
+  ASSERT_EQ(l.state({6, 5}), NodeState::Useless);
+  EXPECT_TRUE(mcc_feasible2d(m, l, {6, 0}, {6, 6}).feasible);
+}
+
+TEST(McFeasible2D, UnsafeEndpointFallsBackToOracle) {
+  const mesh::Mesh2D m(8, 8);
+  mesh::FaultSet2D f(m);
+  f.set_faulty({1, 2});
+  f.set_faulty({2, 1});
+  const LabelField2D l(m, f);
+  ASSERT_EQ(l.state({1, 1}), NodeState::Useless);
+  const auto res = mcc_feasible2d(m, l, {1, 1}, {7, 7});
+  EXPECT_EQ(res.basis, FeasibilityBasis::OracleFallback);
+  EXPECT_FALSE(res.feasible);  // both escapes from (1,1) are faulty
+  // A can't-reach destination with its healthy diagonal sibling.
+  const auto res2 = mcc_feasible2d(m, l, {0, 0}, {2, 2});
+  EXPECT_EQ(res2.basis, FeasibilityBasis::OracleFallback);
+  EXPECT_FALSE(res2.feasible);
+}
+
+}  // namespace
+}  // namespace mcc::core

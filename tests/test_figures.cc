@@ -1,0 +1,223 @@
+// Scenario reproductions of every figure in the paper. The figures are
+// conceptual diagrams; each test re-creates the drawn configuration and
+// asserts the behavior the figure illustrates.
+#include <gtest/gtest.h>
+
+#include "baselines/fault_block.h"
+#include "core/boundary2d.h"
+#include "core/feasibility2d.h"
+#include "core/feasibility3d.h"
+#include "core/model.h"
+#include "core/reachability.h"
+#include "mesh/fault_injection.h"
+
+namespace mcc::core {
+namespace {
+
+using mesh::Coord2;
+using mesh::Coord3;
+
+// Figure 1(a): definitions of useless and can't-reach nodes. A staircase of
+// faults descending to the east; entering the staircase's inner elbows
+// forces backward moves.
+TEST(Figure1, UselessAndCantReachDefinitions) {
+  const mesh::Mesh2D m(10, 10);
+  mesh::FaultSet2D f(m);
+  // Descending staircase of faults.
+  f.set_faulty({2, 7});
+  f.set_faulty({3, 6});
+  f.set_faulty({4, 5});
+  f.set_faulty({5, 4});
+  const LabelField2D l(m, f);
+  // Every inner SW elbow of the descending chain becomes useless...
+  EXPECT_EQ(l.state({2, 6}), NodeState::Useless);
+  EXPECT_EQ(l.state({3, 5}), NodeState::Useless);
+  EXPECT_EQ(l.state({4, 4}), NodeState::Useless);
+  // ...and every inner NE elbow can't-reach.
+  EXPECT_EQ(l.state({3, 7}), NodeState::CantReach);
+  EXPECT_EQ(l.state({4, 6}), NodeState::CantReach);
+  EXPECT_EQ(l.state({5, 5}), NodeState::CantReach);
+}
+
+// Figure 1(b) vs (c): the rectangular faulty block swallows far more
+// healthy nodes than the MCCs it decomposes into.
+TEST(Figure1, MccSmallerThanRectangularBlock) {
+  const mesh::Mesh2D m(12, 12);
+  mesh::FaultSet2D f(m);
+  // An ascending staircase: for the (+X,+Y) quadrant every diagonal gap is
+  // passable, so the MCC model absorbs NOTHING — while the rectangular
+  // block swallows the whole 4x4 box. (A descending staircase would fill
+  // completely under both models; the MCC advantage is exactly its
+  // orientation awareness.)
+  for (const Coord2 c :
+       {Coord2{2, 2}, Coord2{3, 3}, Coord2{4, 4}, Coord2{5, 5}})
+    f.set_faulty(c);
+  const LabelField2D l(m, f);
+  const auto bbox = baselines::bounding_box_fill(m, f);
+  const auto safety = baselines::safety_fill(m, f);
+  EXPECT_EQ(l.healthy_unsafe_count(), 0);
+  EXPECT_EQ(bbox.healthy_unsafe_count(), 12);
+  EXPECT_LT(l.healthy_unsafe_count(), bbox.healthy_unsafe_count());
+  EXPECT_LE(l.healthy_unsafe_count(), safety.healthy_unsafe_count());
+}
+
+// Figure 2: the identification process walks the region contour; the
+// centralized equivalent is region extraction — the initialization corner
+// and opposite corner exist and are where the figure puts them.
+TEST(Figure2, IdentificationCorners) {
+  const mesh::Mesh2D m(12, 12);
+  mesh::FaultSet2D f(m);
+  // Ascending staircase region (stable for the (+,+) quadrant).
+  for (const Coord2 c : {Coord2{4, 4}, Coord2{5, 4}, Coord2{5, 5},
+                         Coord2{6, 5}, Coord2{6, 6}})
+    f.set_faulty(c);
+  const LabelField2D l(m, f);
+  const MccSet2D mccs(m, l);
+  ASSERT_EQ(mccs.regions().size(), 1u);
+  const MccRegion2D& r = mccs.regions()[0];
+  EXPECT_EQ(r.healthy_cells, 0);  // stable staircase: no fill
+  // Initialization corner = SW nose, diagonally outside the region.
+  EXPECT_EQ(r.corner(), (Coord2{3, 3}));
+  // The "opposite corner" of the identification walk is the NE nose.
+  EXPECT_EQ(r.x1, 6);
+  EXPECT_EQ(r.y1, 6);
+}
+
+// Figure 3: boundary construction with a second MCC on the boundary line;
+// the forbidden regions merge.
+TEST(Figure3, BoundaryMergesAcrossSecondMcc) {
+  const mesh::Mesh2D m(14, 14);
+  mesh::FaultSet2D f(m);
+  for (int x = 6; x <= 9; ++x)
+    for (int y = 7; y <= 9; ++y) f.set_faulty({x, y});  // M(c)
+  for (int x = 3; x <= 6; ++x)
+    for (int y = 3; y <= 4; ++y) f.set_faulty({x, y});  // M(v), straddles
+  const LabelField2D l(m, f);
+  const MccSet2D mccs(m, l);
+  const Boundary2D b(m, l, mccs);
+  const int mc = mccs.region_at({6, 7});
+  const int mv = mccs.region_at({3, 3});
+  ASSERT_NE(mc, mv);
+  const Wall2D& yw = b.y_wall(mc);
+  ASSERT_TRUE(yw.exists);
+  EXPECT_EQ(yw.chain.size(), 2u);
+  EXPECT_EQ(yw.chain[1], mv);
+  // Records from M(c) appear below M(v)'s corner.
+  bool found = false;
+  for (const Record2D& rec : b.records_at({2, 1}))
+    found |= rec.owner == mc;
+  EXPECT_TRUE(found);
+}
+
+// Figure 4(a): feasibility check that returns NO — destination tucked
+// above a bar whose boundary cannot be crossed within the rectangle.
+TEST(Figure4, FeasibilityCheckNoAndYes) {
+  const mesh::Mesh2D m(12, 12);
+  mesh::FaultSet2D f(m);
+  for (int x = 2; x <= 9; ++x) f.set_faulty({x, 5});
+  const LabelField2D l(m, f);
+  // (a) d in the bar's shadow: NO.
+  EXPECT_FALSE(detect2d(m, l, {4, 0}, {8, 9}).feasible());
+  // (b) source west of the bar: YES.
+  EXPECT_TRUE(detect2d(m, l, {0, 0}, {8, 9}).feasible());
+  // (c) the routing then constructs a minimal path.
+  const MccSet2D mccs(m, l);
+  const Boundary2D b(m, l, mccs);
+  const RecordGuidance2D g(l, mccs, b, {8, 9});
+  util::Rng rng(7);
+  const auto r = route2d(m, {0, 0}, {8, 9}, g, RoutePolicy::XFirst, rng);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.hops(), 17);
+}
+
+// Figure 5: the 3-D example with exact coordinates (also covered in the
+// labelling/region tests); here: the RFB block vs the two MCCs.
+TEST(Figure5, RfbVersusMcc) {
+  const mesh::Mesh3D m(10, 10, 10);
+  mesh::FaultSet3D f(m);
+  for (const Coord3 c : {Coord3{5, 5, 6}, Coord3{6, 5, 5}, Coord3{5, 6, 5},
+                         Coord3{6, 7, 5}, Coord3{7, 6, 5}, Coord3{5, 4, 7},
+                         Coord3{4, 5, 7}, Coord3{7, 8, 4}})
+    f.set_faulty(c);
+  const LabelField3D l(m, f);
+  // MCC model: exactly two healthy nodes captured.
+  EXPECT_EQ(l.healthy_unsafe_count(), 2);
+  // The bounding-box model swallows the whole 4x5x4 cuboid.
+  const auto bbox = baselines::bounding_box_fill(m, f);
+  EXPECT_GT(bbox.healthy_unsafe_count(), 50);
+}
+
+// Figure 6: the (+Y-X)-edge of the Figure-5 MCC — the per-section NW-top
+// corners across z levels, realized here through the section shadows.
+TEST(Figure6, SectionStructureAcrossPlanes) {
+  const mesh::Mesh3D m(10, 10, 10);
+  mesh::FaultSet3D f(m);
+  for (const Coord3 c : {Coord3{5, 5, 6}, Coord3{6, 5, 5}, Coord3{5, 6, 5},
+                         Coord3{6, 7, 5}, Coord3{7, 6, 5}, Coord3{5, 4, 7},
+                         Coord3{4, 5, 7}})
+    f.set_faulty(c);
+  const LabelField3D l(m, f);
+  const MccSet3D mccs(m, l);
+  ASSERT_EQ(mccs.regions().size(), 1u);
+  const MccRegion3D& r = mccs.regions()[0];
+  // The region spans z = 5..7 and its z=5 section has a hole at (6,6):
+  // the line through (6,6) along Z misses the region entirely.
+  EXPECT_EQ(r.z0, 5);
+  EXPECT_EQ(r.z1, 7);
+  EXPECT_FALSE(r.line_hits_z(6, 6));
+  // Sections: plane z=5 holds 4 cells + 1 fill, z=6 one fault + fill(5,5,5
+  // is at z=5), z=7 holds the two top faults + can't-reach fill.
+  int at5 = 0, at6 = 0, at7 = 0;
+  for (const Coord3 c : r.cells) {
+    at5 += c.z == 5;
+    at6 += c.z == 6;
+    at7 += c.z == 7;
+  }
+  EXPECT_EQ(at5, 5);  // 4 faults + useless (5,5,5)
+  EXPECT_EQ(at6, 1);  // (5,5,6)
+  EXPECT_EQ(at7, 3);  // 2 faults + can't-reach (5,5,7)
+}
+
+// Figure 7: feasibility check on the three RMP surfaces — a case where all
+// three succeed and one where a surface fails.
+TEST(Figure7, SurfaceChecks) {
+  const mesh::Mesh3D m(10, 10, 10);
+  mesh::FaultSet3D f(m);
+  mesh::add_plate_z(f, m, 0, 8, 0, 8, 4);  // blocks climbing inside the box
+  const LabelField3D l(m, f);
+  const auto bad = detect3d(m, l, {0, 0, 0}, {8, 8, 8});
+  EXPECT_FALSE(bad.feasible());
+  // Which surface fails is the (-Y) one (it must reach the plane z=zd).
+  EXPECT_FALSE(bad.y_surface_ok);
+
+  mesh::FaultSet3D f2(m);
+  mesh::add_plate_z(f2, m, 2, 8, 2, 8, 4);  // western/southern rim open
+  const LabelField3D l2(m, f2);
+  const auto good = detect3d(m, l2, {0, 0, 0}, {8, 8, 8});
+  EXPECT_TRUE(good.x_surface_ok);
+  EXPECT_TRUE(good.y_surface_ok);
+  EXPECT_TRUE(good.z_surface_ok);
+}
+
+// Figure 8: routing samples in 3-D around an MCC.
+TEST(Figure8, RoutingAroundRegion) {
+  const mesh::Mesh3D m(10, 10, 10);
+  mesh::FaultSet3D f(m);
+  for (const Coord3 c : {Coord3{5, 5, 6}, Coord3{6, 5, 5}, Coord3{5, 6, 5},
+                         Coord3{6, 7, 5}, Coord3{7, 6, 5}, Coord3{5, 4, 7},
+                         Coord3{4, 5, 7}, Coord3{7, 8, 4}})
+    f.set_faulty(c);
+  const MccModel3D model(m, f);
+  const Coord3 s{0, 0, 0}, d{9, 9, 9};
+  ASSERT_TRUE(model.feasible(s, d).feasible);
+  for (const RouterKind k :
+       {RouterKind::Oracle, RouterKind::Flood, RouterKind::Records}) {
+    const auto r = model.route(s, d, k, RoutePolicy::Balanced, 13);
+    ASSERT_TRUE(r.delivered) << to_string(k);
+    EXPECT_EQ(r.hops(), 27);
+    for (const Coord3 c : r.path) EXPECT_FALSE(f.is_faulty(c));
+  }
+}
+
+}  // namespace
+}  // namespace mcc::core

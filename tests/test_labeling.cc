@@ -1,0 +1,300 @@
+// Labelling (Algorithms 1 & 4): rule-level unit tests, the paper's worked
+// examples, and randomized property sweeps.
+#include <gtest/gtest.h>
+
+#include "core/labeling.h"
+#include "mesh/fault_injection.h"
+#include "util/rng.h"
+
+namespace mcc::core {
+namespace {
+
+using mesh::Coord2;
+using mesh::Coord3;
+
+mesh::FaultSet2D faults2(const mesh::Mesh2D& m,
+                         std::initializer_list<Coord2> cells) {
+  mesh::FaultSet2D f(m);
+  for (const Coord2 c : cells) f.set_faulty(c);
+  return f;
+}
+
+mesh::FaultSet3D faults3(const mesh::Mesh3D& m,
+                         std::initializer_list<Coord3> cells) {
+  mesh::FaultSet3D f(m);
+  for (const Coord3 c : cells) f.set_faulty(c);
+  return f;
+}
+
+TEST(Labeling2D, FaultFreeMeshIsAllSafe) {
+  const mesh::Mesh2D m(8, 8);
+  const LabelField2D l(m, mesh::FaultSet2D(m));
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x)
+      EXPECT_EQ(l.state({x, y}), NodeState::Safe);
+  EXPECT_EQ(l.healthy_unsafe_count(), 0);
+}
+
+TEST(Labeling2D, SingleFaultStaysAlone) {
+  const mesh::Mesh2D m(8, 8);
+  const LabelField2D l(m, faults2(m, {{4, 4}}));
+  EXPECT_EQ(l.state({4, 4}), NodeState::Faulty);
+  EXPECT_EQ(l.healthy_unsafe_count(), 0);
+}
+
+TEST(Labeling2D, DescendingDiagonalFillsUselessAndCantReach) {
+  // Faults at (1,1) and (2,0): the node (1,0) has both positive neighbors
+  // faulty -> useless; (2,1) has both negative neighbors faulty ->
+  // can't-reach (Figure 1 of the paper, in miniature).
+  const mesh::Mesh2D m(8, 8);
+  const LabelField2D l(m, faults2(m, {{1, 1}, {2, 0}}));
+  EXPECT_EQ(l.state({1, 0}), NodeState::Useless);
+  EXPECT_EQ(l.state({2, 1}), NodeState::CantReach);
+  EXPECT_EQ(l.healthy_unsafe_count(), 2);
+}
+
+TEST(Labeling2D, AscendingDiagonalStaysOpen) {
+  // Faults at (1,0) and (2,1): the diagonal gap is passable to the NE, so
+  // no healthy node joins a region.
+  const mesh::Mesh2D m(8, 8);
+  const LabelField2D l(m, faults2(m, {{1, 0}, {2, 1}}));
+  EXPECT_EQ(l.healthy_unsafe_count(), 0);
+}
+
+TEST(Labeling2D, ConcavePocketOpeningSouthWestFillsAsCantReach) {
+  // An L blocking the south and west of a pocket: the pocket can only be
+  // entered with backward moves.
+  const mesh::Mesh2D m(10, 10);
+  mesh::FaultSet2D f(m);
+  mesh::add_wall_x(f, m, 2, 2, 6);  // west wall of pocket
+  mesh::add_wall_y(f, m, 2, 6, 2);  // south wall of pocket
+  const LabelField2D l(m, f);
+  for (int y = 3; y <= 6; ++y)
+    for (int x = 3; x <= 6; ++x)
+      EXPECT_EQ(l.state({x, y}), NodeState::CantReach) << x << "," << y;
+  // Outside the pocket everything is safe.
+  EXPECT_EQ(l.state({7, 7}), NodeState::Safe);
+  EXPECT_EQ(l.state({1, 1}), NodeState::Safe);
+}
+
+TEST(Labeling2D, ConcavePocketOpeningNorthEastFillsAsUseless) {
+  const mesh::Mesh2D m(10, 10);
+  mesh::FaultSet2D f(m);
+  mesh::add_wall_x(f, m, 7, 3, 7);  // east wall
+  mesh::add_wall_y(f, m, 3, 7, 7);  // north wall
+  const LabelField2D l(m, f);
+  for (int y = 3; y <= 6; ++y)
+    for (int x = 3; x <= 6; ++x)
+      EXPECT_EQ(l.state({x, y}), NodeState::Useless) << x << "," << y;
+}
+
+TEST(Labeling2D, MeshWallsAreNotFaults) {
+  // A fault adjacent to the mesh corner must not trigger wall-based fill:
+  // the paper's labelling counts faulty/unsafe neighbors only.
+  const mesh::Mesh2D m(8, 8);
+  const LabelField2D l(m, faults2(m, {{0, 1}, {1, 0}}));
+  // (0,0) has both positive neighbors faulty -> useless; (1,1) has both
+  // negative neighbors faulty -> can't-reach. Nothing else: in particular
+  // the mesh border nodes do not cascade (walls are not faults).
+  EXPECT_EQ(l.state({0, 0}), NodeState::Useless);
+  EXPECT_EQ(l.state({1, 1}), NodeState::CantReach);
+  EXPECT_EQ(l.healthy_unsafe_count(), 2);
+}
+
+TEST(Labeling2D, UselessChainPropagates) {
+  // Vertical fault wall with a fault to its east creates a cascade.
+  const mesh::Mesh2D m(12, 12);
+  mesh::FaultSet2D f(m);
+  f.set_faulty({5, 5});
+  f.set_faulty({4, 6});
+  f.set_faulty({6, 4});
+  // (4,5)? +X=(5,5) faulty, +Y=(4,6) faulty -> useless.
+  // (5,4)? +X=(6,4) faulty, +Y=(5,5) faulty -> useless.
+  // (4,4)? +X=(5,4) useless, +Y=(4,5) useless -> useless.
+  const LabelField2D l(m, f);
+  EXPECT_EQ(l.state({4, 5}), NodeState::Useless);
+  EXPECT_EQ(l.state({5, 4}), NodeState::Useless);
+  EXPECT_EQ(l.state({4, 4}), NodeState::Useless);
+}
+
+TEST(Labeling3D, TwoBlockedDirectionsAreNotEnough) {
+  // In 3-D a node with only +X and +Y blocked can still route +Z: it must
+  // stay safe (the paper's motivation for Algorithm 4).
+  const mesh::Mesh3D m(8, 8, 8);
+  const LabelField3D l(m, faults3(m, {{4, 3, 3}, {3, 4, 3}}));
+  EXPECT_EQ(l.state({3, 3, 3}), NodeState::Safe);
+  EXPECT_EQ(l.healthy_unsafe_count(), 0);
+}
+
+TEST(Labeling3D, ThreeBlockedDirectionsFill) {
+  const mesh::Mesh3D m(8, 8, 8);
+  const LabelField3D l(
+      m, faults3(m, {{4, 3, 3}, {3, 4, 3}, {3, 3, 4}}));
+  EXPECT_EQ(l.state({3, 3, 3}), NodeState::Useless);
+  const LabelField3D l2(
+      m, faults3(m, {{2, 3, 3}, {3, 2, 3}, {3, 3, 2}}));
+  EXPECT_EQ(l2.state({3, 3, 3}), NodeState::CantReach);
+}
+
+TEST(Labeling3D, Figure5Example) {
+  // The paper's Figure 5: faults (5,5,6), (6,5,5), (5,6,5), (6,7,5),
+  // (7,6,5), (5,4,7), (4,5,7) and (7,8,4). The labelling must make (5,5,5)
+  // useless and (5,5,7) can't-reach, and nothing else.
+  const mesh::Mesh3D m(10, 10, 10);
+  const LabelField3D l(m, faults3(m, {{5, 5, 6},
+                                      {6, 5, 5},
+                                      {5, 6, 5},
+                                      {6, 7, 5},
+                                      {7, 6, 5},
+                                      {5, 4, 7},
+                                      {4, 5, 7},
+                                      {7, 8, 4}}));
+  EXPECT_EQ(l.state({5, 5, 5}), NodeState::Useless);
+  EXPECT_EQ(l.state({5, 5, 7}), NodeState::CantReach);
+  EXPECT_EQ(l.useless_count(), 1);
+  EXPECT_EQ(l.cant_reach_count(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+
+struct SweepParam {
+  int size;
+  double rate;
+  uint64_t seed;
+};
+
+class LabelingSweep2D : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(LabelingSweep2D, RulesHoldAtFixpoint) {
+  const auto [size, rate, seed] = GetParam();
+  const mesh::Mesh2D m(size, size);
+  util::Rng rng(seed);
+  const auto f = mesh::inject_uniform(m, rate, rng);
+  const LabelField2D l(m, f);
+
+  auto blocked_pos = [&](Coord2 c) {
+    return m.contains(c) && (l.state(c) == NodeState::Faulty ||
+                             l.state(c) == NodeState::Useless);
+  };
+  auto blocked_neg = [&](Coord2 c) {
+    return m.contains(c) && (l.state(c) == NodeState::Faulty ||
+                             l.state(c) == NodeState::CantReach);
+  };
+
+  int healthy_unsafe = 0;
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      const Coord2 c{x, y};
+      const NodeState s = l.state(c);
+      ASSERT_EQ(s == NodeState::Faulty, f.is_faulty(c));
+      const bool pos_blocked = m.contains({x + 1, y}) &&
+                               m.contains({x, y + 1}) &&
+                               blocked_pos({x + 1, y}) &&
+                               blocked_pos({x, y + 1});
+      const bool neg_blocked = m.contains({x - 1, y}) &&
+                               m.contains({x, y - 1}) &&
+                               blocked_neg({x - 1, y}) &&
+                               blocked_neg({x, y - 1});
+      if (s == NodeState::Useless) {
+        EXPECT_TRUE(pos_blocked) << c;
+        ++healthy_unsafe;
+      } else if (s == NodeState::CantReach) {
+        EXPECT_TRUE(neg_blocked) << c;
+        ++healthy_unsafe;
+      } else if (s == NodeState::Safe) {
+        // Fixpoint: no safe node still matches a fill rule.
+        EXPECT_FALSE(pos_blocked) << c;
+        EXPECT_FALSE(neg_blocked) << c;
+      }
+    }
+  }
+  EXPECT_EQ(healthy_unsafe, l.healthy_unsafe_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, LabelingSweep2D,
+    ::testing::Values(SweepParam{8, 0.05, 11}, SweepParam{8, 0.15, 12},
+                      SweepParam{16, 0.05, 13}, SweepParam{16, 0.10, 14},
+                      SweepParam{16, 0.20, 15}, SweepParam{24, 0.10, 16},
+                      SweepParam{24, 0.25, 17}, SweepParam{32, 0.08, 18},
+                      SweepParam{32, 0.15, 19}, SweepParam{32, 0.30, 20}));
+
+class LabelingSweep3D : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(LabelingSweep3D, RulesHoldAtFixpoint) {
+  const auto [size, rate, seed] = GetParam();
+  const mesh::Mesh3D m(size, size, size);
+  util::Rng rng(seed);
+  const auto f = mesh::inject_uniform(m, rate, rng);
+  const LabelField3D l(m, f);
+
+  auto blocked_pos = [&](Coord3 c) {
+    return l.state(c) == NodeState::Faulty ||
+           l.state(c) == NodeState::Useless;
+  };
+  auto blocked_neg = [&](Coord3 c) {
+    return l.state(c) == NodeState::Faulty ||
+           l.state(c) == NodeState::CantReach;
+  };
+
+  for (int z = 0; z < size; ++z) {
+    for (int y = 0; y < size; ++y) {
+      for (int x = 0; x < size; ++x) {
+        const Coord3 c{x, y, z};
+        const NodeState s = l.state(c);
+        ASSERT_EQ(s == NodeState::Faulty, f.is_faulty(c));
+        const bool in_pos = m.contains({x + 1, y, z}) &&
+                            m.contains({x, y + 1, z}) &&
+                            m.contains({x, y, z + 1});
+        const bool in_neg = m.contains({x - 1, y, z}) &&
+                            m.contains({x, y - 1, z}) &&
+                            m.contains({x, y, z - 1});
+        const bool pos_blocked = in_pos && blocked_pos({x + 1, y, z}) &&
+                                 blocked_pos({x, y + 1, z}) &&
+                                 blocked_pos({x, y, z + 1});
+        const bool neg_blocked = in_neg && blocked_neg({x - 1, y, z}) &&
+                                 blocked_neg({x, y - 1, z}) &&
+                                 blocked_neg({x, y, z - 1});
+        if (s == NodeState::Useless) {
+          EXPECT_TRUE(pos_blocked) << c;
+        } else if (s == NodeState::CantReach) {
+          EXPECT_TRUE(neg_blocked) << c;
+        } else if (s == NodeState::Safe) {
+          EXPECT_FALSE(pos_blocked) << c;
+          EXPECT_FALSE(neg_blocked) << c;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, LabelingSweep3D,
+    ::testing::Values(SweepParam{6, 0.05, 21}, SweepParam{6, 0.15, 22},
+                      SweepParam{8, 0.05, 23}, SweepParam{8, 0.10, 24},
+                      SweepParam{10, 0.10, 25}, SweepParam{10, 0.20, 26},
+                      SweepParam{12, 0.08, 27}, SweepParam{12, 0.15, 28}));
+
+TEST(Labeling2D, HealthyUnsafeGrowsWithFaultRate) {
+  const mesh::Mesh2D m(32, 32);
+  util::Rng rng(99);
+  double prev = 0;
+  double cumulative = 0;
+  for (const double rate : {0.05, 0.15, 0.30}) {
+    util::Rng r2(rng.fork());
+    double total = 0;
+    for (int t = 0; t < 20; ++t) {
+      util::Rng r3(r2.fork());
+      const LabelField2D l(m, mesh::inject_uniform(m, rate, r3));
+      total += l.healthy_unsafe_count();
+    }
+    cumulative = total / 20;
+    EXPECT_GE(cumulative, prev);
+    prev = cumulative;
+  }
+  EXPECT_GT(cumulative, 0.0);
+}
+
+}  // namespace
+}  // namespace mcc::core

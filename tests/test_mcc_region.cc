@@ -1,0 +1,237 @@
+// MCC extraction: component correctness, the staircase invariants the 2-D
+// theory rests on, and the region predicates.
+#include <gtest/gtest.h>
+
+#include "core/mcc_region.h"
+#include "mesh/fault_injection.h"
+#include "util/rng.h"
+
+namespace mcc::core {
+namespace {
+
+using mesh::Coord2;
+using mesh::Coord3;
+
+TEST(MccRegion2D, SingleFaultRegion) {
+  const mesh::Mesh2D m(8, 8);
+  mesh::FaultSet2D f(m);
+  f.set_faulty({3, 4});
+  const LabelField2D l(m, f);
+  const MccSet2D mccs(m, l);
+  ASSERT_EQ(mccs.regions().size(), 1u);
+  const MccRegion2D& r = mccs.regions()[0];
+  EXPECT_EQ(r.cells.size(), 1u);
+  EXPECT_EQ(r.faulty_cells, 1);
+  EXPECT_EQ(r.healthy_cells, 0);
+  EXPECT_EQ(r.x0, 3);
+  EXPECT_EQ(r.y1, 4);
+  EXPECT_EQ(r.corner(), (Coord2{2, 3}));
+  EXPECT_EQ(mccs.region_at({3, 4}), 0);
+  EXPECT_EQ(mccs.region_at({0, 0}), -1);
+}
+
+TEST(MccRegion2D, DiagonalFaultsMergeThroughFill) {
+  // Descending diagonal: the fill glues the two faults into one MCC.
+  const mesh::Mesh2D m(8, 8);
+  mesh::FaultSet2D f(m);
+  f.set_faulty({2, 3});
+  f.set_faulty({3, 2});
+  const LabelField2D l(m, f);
+  const MccSet2D mccs(m, l);
+  ASSERT_EQ(mccs.regions().size(), 1u);
+  EXPECT_EQ(mccs.regions()[0].cells.size(), 4u);  // 2 faults + 2 fills
+  EXPECT_EQ(mccs.regions()[0].healthy_cells, 2);
+}
+
+TEST(MccRegion2D, AscendingDiagonalStaysSeparate) {
+  const mesh::Mesh2D m(8, 8);
+  mesh::FaultSet2D f(m);
+  f.set_faulty({2, 2});
+  f.set_faulty({3, 3});
+  const LabelField2D l(m, f);
+  const MccSet2D mccs(m, l);
+  EXPECT_EQ(mccs.regions().size(), 2u);
+}
+
+TEST(MccRegion2D, RegionPredicates) {
+  // One 2x2 block at (3..4, 3..4).
+  const mesh::Mesh2D m(10, 10);
+  mesh::FaultSet2D f(m);
+  for (int y = 3; y <= 4; ++y)
+    for (int x = 3; x <= 4; ++x) f.set_faulty({x, y});
+  const LabelField2D l(m, f);
+  const MccSet2D mccs(m, l);
+  ASSERT_EQ(mccs.regions().size(), 1u);
+  const MccRegion2D& r = mccs.regions()[0];
+
+  EXPECT_TRUE(r.in_forbidden_y({3, 2}));   // below, in column range
+  EXPECT_TRUE(r.in_forbidden_y({4, 0}));
+  EXPECT_FALSE(r.in_forbidden_y({2, 2}));  // west of column range
+  EXPECT_TRUE(r.in_critical_y({4, 5}));    // above
+  EXPECT_FALSE(r.in_critical_y({5, 5}));
+  EXPECT_TRUE(r.in_forbidden_x({1, 3}));   // west, in row range
+  EXPECT_FALSE(r.in_forbidden_x({1, 5}));
+  EXPECT_TRUE(r.in_critical_x({7, 4}));    // east
+  EXPECT_FALSE(r.in_critical_x({7, 2}));
+  EXPECT_EQ(r.corner(), (Coord2{2, 2}));
+}
+
+struct SweepParam {
+  int size;
+  double rate;
+  uint64_t seed;
+};
+
+class RegionSweep2D : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RegionSweep2D, StaircaseInvariantsHold) {
+  const auto [size, rate, seed] = GetParam();
+  const mesh::Mesh2D m(size, size);
+  util::Rng rng(seed);
+  const auto f = mesh::inject_uniform(m, rate, rng);
+  const LabelField2D l(m, f);
+  const MccSet2D mccs(m, l);
+
+  size_t total_cells = 0;
+  for (const MccRegion2D& r : mccs.regions()) {
+    total_cells += r.cells.size();
+    // The theory of the canonical (+X,+Y) quadrant: every MCC is an
+    // ascending rectilinear-monotone staircase with contiguous spans.
+    EXPECT_TRUE(r.column_spans_contiguous) << "region " << r.id;
+    EXPECT_TRUE(r.row_spans_contiguous) << "region " << r.id;
+    EXPECT_TRUE(r.monotone_ascending) << "region " << r.id;
+    EXPECT_EQ(r.faulty_cells + r.healthy_cells,
+              static_cast<int>(r.cells.size()));
+    // Adjacent column spans must overlap or touch (connectivity).
+    for (int x = r.x0 + 1; x <= r.x1; ++x)
+      EXPECT_LE(r.bottom_at(x), r.top_at(x - 1) + 1);
+  }
+  // Every unsafe node is in exactly one region.
+  size_t unsafe_nodes = 0;
+  for (int y = 0; y < size; ++y)
+    for (int x = 0; x < size; ++x)
+      if (l.unsafe({x, y})) {
+        ++unsafe_nodes;
+        EXPECT_GE(mccs.region_at({x, y}), 0);
+      } else {
+        EXPECT_EQ(mccs.region_at({x, y}), -1);
+      }
+  EXPECT_EQ(total_cells, unsafe_nodes);
+}
+
+TEST_P(RegionSweep2D, RegionPairsAreDisjoint) {
+  const auto [size, rate, seed] = GetParam();
+  const mesh::Mesh2D m(size, size);
+  util::Rng rng(seed + 1000);
+  const auto f = mesh::inject_uniform(m, rate, rng);
+  const LabelField2D l(m, f);
+  const MccSet2D mccs(m, l);
+
+  for (const MccRegion2D& r : mccs.regions()) {
+    for (int y = 0; y < size; ++y)
+      for (int x = 0; x < size; ++x) {
+        const Coord2 c{x, y};
+        // QX∩QY = ∅ and Q'X∩Q'Y = ∅ per region (staircase monotonicity).
+        EXPECT_FALSE(r.in_forbidden_x(c) && r.in_forbidden_y(c)) << c;
+        EXPECT_FALSE(r.in_critical_x(c) && r.in_critical_y(c)) << c;
+        // Forbidden/critical of the same axis never overlap.
+        EXPECT_FALSE(r.in_forbidden_y(c) && r.in_critical_y(c)) << c;
+        EXPECT_FALSE(r.in_forbidden_x(c) && r.in_critical_x(c)) << c;
+        // Region cells belong to no derived region.
+        if (mccs.region_at(c) == r.id) {
+          EXPECT_FALSE(r.in_forbidden_x(c) || r.in_forbidden_y(c) ||
+                       r.in_critical_x(c) || r.in_critical_y(c))
+              << c;
+        }
+      }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, RegionSweep2D,
+    ::testing::Values(SweepParam{10, 0.10, 31}, SweepParam{10, 0.25, 32},
+                      SweepParam{16, 0.10, 33}, SweepParam{16, 0.20, 34},
+                      SweepParam{20, 0.15, 35}, SweepParam{24, 0.10, 36},
+                      SweepParam{24, 0.30, 37}, SweepParam{32, 0.12, 38}));
+
+TEST(MccRegion3D, Figure5Regions) {
+  // Figure 5: two MCCs — the isolated fault (7,8,4), and the 9-cell region
+  // made of 7 faults + useless (5,5,5) + can't-reach (5,5,7).
+  const mesh::Mesh3D m(10, 10, 10);
+  mesh::FaultSet3D f(m);
+  for (const Coord3 c : {Coord3{5, 5, 6}, Coord3{6, 5, 5}, Coord3{5, 6, 5},
+                         Coord3{6, 7, 5}, Coord3{7, 6, 5}, Coord3{5, 4, 7},
+                         Coord3{4, 5, 7}, Coord3{7, 8, 4}})
+    f.set_faulty(c);
+  const LabelField3D l(m, f);
+  const MccSet3D mccs(m, l);
+  ASSERT_EQ(mccs.regions().size(), 2u);
+
+  const int big = mccs.region_at({5, 5, 6});
+  const int small = mccs.region_at({7, 8, 4});
+  ASSERT_NE(big, -1);
+  ASSERT_NE(small, -1);
+  EXPECT_NE(big, small);
+  EXPECT_EQ(mccs.region(big).cells.size(), 9u);
+  EXPECT_EQ(mccs.region(big).healthy_cells, 2);
+  EXPECT_EQ(mccs.region(small).cells.size(), 1u);
+  // (5,5,5) and (5,5,7) join the big region.
+  EXPECT_EQ(mccs.region_at({5, 5, 5}), big);
+  EXPECT_EQ(mccs.region_at({5, 5, 7}), big);
+}
+
+TEST(MccRegion3D, ShadowSpans) {
+  const mesh::Mesh3D m(8, 8, 8);
+  mesh::FaultSet3D f(m);
+  mesh::add_plate_z(f, m, 2, 5, 2, 5, 3);
+  const LabelField3D l(m, f);
+  const MccSet3D mccs(m, l);
+  ASSERT_EQ(mccs.regions().size(), 1u);
+  const MccRegion3D& r = mccs.regions()[0];
+  EXPECT_TRUE(r.line_hits_z(3, 3));
+  EXPECT_FALSE(r.line_hits_z(1, 3));
+  EXPECT_TRUE(r.in_forbidden_z({3, 3, 2}));
+  EXPECT_TRUE(r.in_critical_z({3, 3, 4}));
+  EXPECT_FALSE(r.in_forbidden_z({3, 3, 3}));
+  EXPECT_TRUE(r.in_forbidden_x({2, 3, 3}) ||
+              r.in_critical_x({6, 3, 3}));  // x shadows exist on the plate row
+}
+
+class RegionSweep3D : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RegionSweep3D, PartitionIsExact) {
+  const auto [size, rate, seed] = GetParam();
+  const mesh::Mesh3D m(size, size, size);
+  util::Rng rng(seed);
+  const auto f = mesh::inject_uniform(m, rate, rng);
+  const LabelField3D l(m, f);
+  const MccSet3D mccs(m, l);
+
+  size_t total = 0;
+  for (const MccRegion3D& r : mccs.regions()) {
+    total += r.cells.size();
+    for (const Coord3 c : r.cells) {
+      EXPECT_EQ(mccs.region_at(c), r.id);
+      EXPECT_GE(c.x, r.x0);
+      EXPECT_LE(c.x, r.x1);
+      EXPECT_GE(c.z, r.z0);
+      EXPECT_LE(c.z, r.z1);
+      // Shadow spans contain every cell.
+      EXPECT_TRUE(r.line_hits_z(c.x, c.y));
+      EXPECT_TRUE(r.line_hits_y(c.x, c.z));
+      EXPECT_TRUE(r.line_hits_x(c.y, c.z));
+    }
+  }
+  size_t unsafe_nodes = 0;
+  for (size_t i = 0; i < m.node_count(); ++i)
+    if (l.unsafe(m.coord(i))) ++unsafe_nodes;
+  EXPECT_EQ(total, unsafe_nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, RegionSweep3D,
+    ::testing::Values(SweepParam{6, 0.10, 41}, SweepParam{8, 0.10, 42},
+                      SweepParam{8, 0.20, 43}, SweepParam{10, 0.15, 44}));
+
+}  // namespace
+}  // namespace mcc::core

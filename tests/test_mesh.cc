@@ -1,0 +1,210 @@
+// Mesh substrate: coordinates, topology, fault sets, injectors, octant
+// transforms and plane slices.
+#include <gtest/gtest.h>
+
+#include "mesh/coord.h"
+#include "mesh/fault_injection.h"
+#include "mesh/mesh.h"
+#include "mesh/octant.h"
+#include "mesh/slice.h"
+
+namespace mcc::mesh {
+namespace {
+
+TEST(Coord, ManhattanDistance) {
+  EXPECT_EQ(manhattan(Coord2{0, 0}, Coord2{3, 4}), 7);
+  EXPECT_EQ(manhattan(Coord2{3, 4}, Coord2{0, 0}), 7);
+  EXPECT_EQ(manhattan(Coord3{1, 2, 3}, Coord3{4, 0, 3}), 5);
+}
+
+TEST(Coord, StepAndOpposite) {
+  EXPECT_EQ(step(Coord2{2, 2}, Dir2::PosX), (Coord2{3, 2}));
+  EXPECT_EQ(step(Coord2{2, 2}, Dir2::NegY), (Coord2{2, 1}));
+  for (const Dir2 d : kAllDir2)
+    EXPECT_EQ(step(step(Coord2{5, 5}, d), opposite(d)), (Coord2{5, 5}));
+  for (const Dir3 d : kAllDir3)
+    EXPECT_EQ(step(step(Coord3{5, 5, 5}, d), opposite(d)),
+              (Coord3{5, 5, 5}));
+}
+
+TEST(Coord, AxisOf) {
+  EXPECT_EQ(axis_of(Dir2::PosX), 0);
+  EXPECT_EQ(axis_of(Dir2::NegY), 1);
+  EXPECT_EQ(axis_of(Dir3::PosZ), 2);
+  EXPECT_EQ(axis_of(Dir3::NegZ), 2);
+}
+
+TEST(Mesh2D, NodeCountAndIndexRoundTrip) {
+  const Mesh2D m(7, 5);
+  EXPECT_EQ(m.node_count(), 35u);
+  for (size_t i = 0; i < m.node_count(); ++i)
+    EXPECT_EQ(m.index(m.coord(i)), i);
+}
+
+TEST(Mesh2D, NeighborDegrees) {
+  const Mesh2D m(4, 4);
+  auto degree = [&](Coord2 c) {
+    int n = 0;
+    m.for_each_neighbor(c, [&](Coord2, Dir2) { ++n; });
+    return n;
+  };
+  EXPECT_EQ(degree({0, 0}), 2);   // corner
+  EXPECT_EQ(degree({1, 0}), 3);   // edge
+  EXPECT_EQ(degree({1, 1}), 4);   // interior
+}
+
+TEST(Mesh3D, NeighborDegrees) {
+  const Mesh3D m(4, 4, 4);
+  auto degree = [&](Coord3 c) {
+    int n = 0;
+    m.for_each_neighbor(c, [&](Coord3, Dir3) { ++n; });
+    return n;
+  };
+  EXPECT_EQ(degree({0, 0, 0}), 3);
+  EXPECT_EQ(degree({1, 0, 0}), 4);
+  EXPECT_EQ(degree({1, 1, 0}), 5);
+  EXPECT_EQ(degree({1, 1, 1}), 6);
+  for (size_t i = 0; i < m.node_count(); ++i)
+    EXPECT_EQ(m.index(m.coord(i)), i);
+}
+
+TEST(FaultSet, CountTracksChanges) {
+  const Mesh2D m(8, 8);
+  FaultSet2D f(m);
+  EXPECT_EQ(f.count(), 0);
+  f.set_faulty({1, 1});
+  f.set_faulty({1, 1});  // idempotent
+  f.set_faulty({2, 2});
+  EXPECT_EQ(f.count(), 2);
+  f.set_faulty({1, 1}, false);
+  EXPECT_EQ(f.count(), 1);
+  EXPECT_FALSE(f.is_faulty({1, 1}));
+  EXPECT_TRUE(f.is_faulty({2, 2}));
+  EXPECT_EQ(f.faulty_nodes().size(), 1u);
+}
+
+TEST(Injection, UniformRespectsProtectedNodes) {
+  const Mesh2D m(16, 16);
+  util::Rng rng(5);
+  const auto f = inject_uniform(m, 0.5, rng, {{0, 0}, {15, 15}});
+  EXPECT_FALSE(f.is_faulty({0, 0}));
+  EXPECT_FALSE(f.is_faulty({15, 15}));
+  EXPECT_GT(f.count(), 50);  // ~128 expected
+}
+
+TEST(Injection, ExactCountIsExact) {
+  const Mesh2D m(10, 10);
+  util::Rng rng(6);
+  EXPECT_EQ(inject_exact(m, 17, rng).count(), 17);
+  const Mesh3D m3(6, 6, 6);
+  EXPECT_EQ(inject_exact(m3, 23, rng).count(), 23);
+}
+
+TEST(Injection, ClusteredFaultsAreConnectedish) {
+  const Mesh2D m(20, 20);
+  util::Rng rng(7);
+  const auto f = inject_clustered(m, 30, 2, rng);
+  EXPECT_EQ(f.count(), 30);
+  // Every fault must have at least one faulty neighbor unless it is a
+  // cluster seed (<= 2 seeds).
+  int isolated = 0;
+  for (const Coord2 c : f.faulty_nodes()) {
+    bool has_faulty_nb = false;
+    m.for_each_neighbor(
+        c, [&](Coord2 n, Dir2) { has_faulty_nb |= f.is_faulty(n); });
+    if (!has_faulty_nb) ++isolated;
+  }
+  EXPECT_LE(isolated, 2);
+}
+
+TEST(Injection, StructuredPatterns) {
+  const Mesh3D m(8, 8, 8);
+  FaultSet3D f(m);
+  add_plate_z(f, m, 1, 6, 1, 6, 3);
+  EXPECT_EQ(f.count(), 36);
+  EXPECT_TRUE(f.is_faulty({3, 3, 3}));
+  EXPECT_FALSE(f.is_faulty({3, 3, 4}));
+  add_plate_x(f, m, 2, 0, 7, 0, 7);
+  EXPECT_TRUE(f.is_faulty({2, 0, 0}));
+}
+
+TEST(Octant2, TransformIsInvolution) {
+  const Mesh2D m(9, 7);
+  for (int id = 0; id < 4; ++id) {
+    const Octant2 o{(id & 1) != 0, (id & 2) != 0};
+    EXPECT_EQ(o.id(), id);
+    for (int y = 0; y < 7; ++y)
+      for (int x = 0; x < 9; ++x) {
+        const Coord2 c{x, y};
+        EXPECT_EQ(o.untransform(o.transform(c, m), m), c);
+      }
+  }
+}
+
+TEST(Octant2, FromPairMakesDestinationDominant) {
+  const Mesh2D m(9, 9);
+  const Coord2 pairs[][2] = {
+      {{2, 2}, {7, 7}}, {{7, 2}, {2, 7}}, {{2, 7}, {7, 2}}, {{7, 7}, {2, 2}},
+      {{4, 4}, {4, 8}}, {{4, 4}, {8, 4}}, {{5, 5}, {5, 5}}};
+  for (const auto& p : pairs) {
+    const Octant2 o = Octant2::from_pair(p[0], p[1]);
+    const Coord2 s = o.transform(p[0], m), d = o.transform(p[1], m);
+    EXPECT_LE(s.x, d.x);
+    EXPECT_LE(s.y, d.y);
+    EXPECT_EQ(manhattan(s, d), manhattan(p[0], p[1]));
+  }
+}
+
+TEST(Octant3, FromPairMakesDestinationDominant) {
+  const Mesh3D m(9, 9, 9);
+  util::Rng rng(8);
+  for (int t = 0; t < 100; ++t) {
+    const Coord3 a{rng.uniform_int(0, 8), rng.uniform_int(0, 8),
+                   rng.uniform_int(0, 8)};
+    const Coord3 b{rng.uniform_int(0, 8), rng.uniform_int(0, 8),
+                   rng.uniform_int(0, 8)};
+    const Octant3 o = Octant3::from_pair(a, b);
+    const Coord3 s = o.transform(a, m), d = o.transform(b, m);
+    EXPECT_LE(s.x, d.x);
+    EXPECT_LE(s.y, d.y);
+    EXPECT_LE(s.z, d.z);
+    EXPECT_EQ(o.untransform(s, m), a);
+  }
+}
+
+TEST(Octant, MaterializeMovesFaults) {
+  const Mesh2D m(8, 8);
+  FaultSet2D f(m);
+  f.set_faulty({1, 2});
+  const Octant2 o{true, false};
+  const FaultSet2D g = materialize(f, m, o);
+  EXPECT_TRUE(g.is_faulty({6, 2}));
+  EXPECT_EQ(g.count(), 1);
+}
+
+TEST(Slice, ExtractsPlanes) {
+  const Mesh3D m(4, 5, 6);
+  FaultSet3D f(m);
+  f.set_faulty({1, 2, 3});
+  f.set_faulty({2, 2, 3});
+
+  const auto xy = slice_faults(m, f, Plane::XY, 3);
+  EXPECT_TRUE(xy.is_faulty({1, 2}));
+  EXPECT_TRUE(xy.is_faulty({2, 2}));
+  EXPECT_EQ(xy.count(), 2);
+
+  const auto xz = slice_faults(m, f, Plane::XZ, 2);
+  EXPECT_TRUE(xz.is_faulty({1, 3}));
+  EXPECT_EQ(xz.count(), 2);
+
+  const auto yz = slice_faults(m, f, Plane::YZ, 1);
+  EXPECT_TRUE(yz.is_faulty({2, 3}));
+  EXPECT_EQ(yz.count(), 1);
+
+  // unslice/slice round trip.
+  EXPECT_EQ(unslice(Plane::XZ, slice_coord(Plane::XZ, {1, 2, 3}), 2),
+            (Coord3{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace mcc::mesh

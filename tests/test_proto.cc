@@ -1,0 +1,358 @@
+// Distributed protocols: the message-passing stack must reproduce the
+// centralized model — labels, shapes, detection verdicts and routing
+// behavior — using neighbor messages only.
+#include <gtest/gtest.h>
+
+#include "core/boundary2d.h"
+#include "core/feasibility2d.h"
+#include "core/feasibility3d.h"
+#include "core/reachability.h"
+#include "mesh/fault_injection.h"
+#include "proto/stack2d.h"
+#include "util/rng.h"
+
+namespace mcc::proto {
+namespace {
+
+using core::NodeState;
+using mesh::Coord2;
+using mesh::Coord3;
+
+struct SweepParam {
+  int size;
+  double rate;
+  uint64_t seed;
+};
+
+class ProtoLabelSweep2D : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ProtoLabelSweep2D, MatchesCentralizedLabels) {
+  const auto [size, rate, seed] = GetParam();
+  const mesh::Mesh2D m(size, size);
+  util::Rng rng(seed);
+  const auto f = mesh::inject_uniform(m, rate, rng);
+  const core::LabelField2D central(m, f);
+
+  LabelingProtocol2D proto(m, f);
+  const auto stats = proto.run();
+  EXPECT_TRUE(stats.quiescent);
+  // Algorithm 1 does not fix an evaluation order and a node can satisfy
+  // BOTH fill rules, so label KINDS may differ between valid fixpoints
+  // (tie-breaks cascade). The UNSAFE SET however is order-confluent — a
+  // useless node's positive neighbors are already unsafe by its own rule,
+  // so can't-reach chains never lose members to the tie-break (and
+  // symmetrically). We therefore require: identical unsafe sets, identical
+  // faulty nodes, and internal rule-validity of the distributed fixpoint.
+  auto bp = [&](Coord2 n) {
+    return m.contains(n) && (proto.state(n) == NodeState::Faulty ||
+                             proto.state(n) == NodeState::Useless);
+  };
+  auto bn = [&](Coord2 n) {
+    return m.contains(n) && (proto.state(n) == NodeState::Faulty ||
+                             proto.state(n) == NodeState::CantReach);
+  };
+  for (int y = 0; y < size; ++y)
+    for (int x = 0; x < size; ++x) {
+      const Coord2 c{x, y};
+      ASSERT_EQ(core::is_unsafe(proto.state(c)),
+                core::is_unsafe(central.state(c)))
+          << c << " seed " << seed;
+      ASSERT_EQ(proto.state(c) == NodeState::Faulty,
+                central.state(c) == NodeState::Faulty)
+          << c;
+      const bool in_pos = m.contains({c.x + 1, c.y}) &&
+                          m.contains({c.x, c.y + 1});
+      const bool in_neg = m.contains({c.x - 1, c.y}) &&
+                          m.contains({c.x, c.y - 1});
+      const bool pos_ok =
+          in_pos && bp({c.x + 1, c.y}) && bp({c.x, c.y + 1});
+      const bool neg_ok =
+          in_neg && bn({c.x - 1, c.y}) && bn({c.x, c.y - 1});
+      switch (proto.state(c)) {
+        case NodeState::Useless:
+          EXPECT_TRUE(pos_ok) << c;
+          break;
+        case NodeState::CantReach:
+          EXPECT_TRUE(neg_ok) << c;
+          break;
+        case NodeState::Safe:
+          EXPECT_FALSE(pos_ok) << c;
+          EXPECT_FALSE(neg_ok) << c;
+          break;
+        case NodeState::Faulty:
+          break;
+      }
+    }
+}
+
+TEST_P(ProtoLabelSweep2D, NeighborhoodExchangeGivesDiagonals) {
+  const auto [size, rate, seed] = GetParam();
+  const mesh::Mesh2D m(size, size);
+  util::Rng rng(seed + 40);
+  const auto f = mesh::inject_uniform(m, rate, rng);
+  LabelingProtocol2D proto(m, f);
+  proto.run();
+  proto.exchange_neighborhoods();
+  const core::LabelField2D central(m, f);
+  for (int y = 0; y < size; ++y)
+    for (int x = 0; x < size; ++x)
+      for (int sx : {-1, 1})
+        for (int sy : {-1, 1}) {
+          const Coord2 dcell{x + sx, y + sy};
+          if (!m.contains(dcell)) continue;
+          EXPECT_EQ(proto.diagonal_state({x, y}, sx, sy),
+                    central.state(dcell))
+              << x << "," << y;
+        }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, ProtoLabelSweep2D,
+    ::testing::Values(SweepParam{8, 0.10, 601}, SweepParam{12, 0.15, 602},
+                      SweepParam{16, 0.10, 603}, SweepParam{16, 0.25, 604},
+                      SweepParam{24, 0.15, 605}, SweepParam{32, 0.20, 606}));
+
+class ProtoLabelSweep3D : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ProtoLabelSweep3D, MatchesCentralizedLabels) {
+  const auto [size, rate, seed] = GetParam();
+  const mesh::Mesh3D m(size, size, size);
+  util::Rng rng(seed);
+  const auto f = mesh::inject_uniform(m, rate, rng);
+  const core::LabelField3D central(m, f);
+  LabelingProtocol3D proto(m, f);
+  EXPECT_TRUE(proto.run().quiescent);
+  // Unsafe sets are order-confluent; kinds may tie-break differently (see
+  // the 2-D sweep above).
+  for (size_t i = 0; i < m.node_count(); ++i) {
+    const Coord3 c = m.coord(i);
+    ASSERT_EQ(core::is_unsafe(proto.state(c)),
+              core::is_unsafe(central.state(c)))
+        << c;
+    ASSERT_EQ(proto.state(c) == NodeState::Faulty,
+              central.state(c) == NodeState::Faulty)
+        << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, ProtoLabelSweep3D,
+    ::testing::Values(SweepParam{6, 0.10, 611}, SweepParam{8, 0.15, 612},
+                      SweepParam{10, 0.10, 613}, SweepParam{10, 0.25, 614}));
+
+TEST(ProtoLabeling, MessageCostScalesWithFaultsNotVolume) {
+  // Fault-free: one status broadcast per node, no cascades.
+  const mesh::Mesh2D m(24, 24);
+  LabelingProtocol2D clean(m, mesh::FaultSet2D(m));
+  const auto s0 = clean.run();
+  util::Rng rng(620);
+  const auto f = mesh::inject_uniform(m, 0.15, rng);
+  LabelingProtocol2D dirty(m, f);
+  const auto s1 = dirty.run();
+  EXPECT_GT(s1.messages, s0.messages);
+  // The clean run is exactly one broadcast wave (<= 4 messages/node) plus
+  // the bootstrap injections.
+  EXPECT_LE(s0.messages, m.node_count() * 5);
+}
+
+TEST(ProtoIdent, SingleBlockIdentified) {
+  const mesh::Mesh2D m(12, 12);
+  mesh::FaultSet2D f(m);
+  for (int x = 4; x <= 6; ++x)
+    for (int y = 5; y <= 6; ++y) f.set_faulty({x, y});
+  Stack2D stack(m, f);
+  ASSERT_EQ(stack.ident.corners().size(), 1u);
+  EXPECT_EQ(stack.ident.corners()[0], (Coord2{3, 4}));
+  EXPECT_EQ(stack.ident.identified(), 1);
+  const auto shape = stack.ident.shape_at({3, 4});
+  ASSERT_TRUE(shape);
+  EXPECT_EQ(shape->x0, 4);
+  EXPECT_EQ(shape->x1, 6);
+  EXPECT_EQ(shape->bot, (std::vector<int>{5, 5, 5}));
+  EXPECT_EQ(shape->top, (std::vector<int>{6, 6, 6}));
+}
+
+TEST(ProtoIdent, StaircaseShapeReconstructed) {
+  const mesh::Mesh2D m(12, 12);
+  mesh::FaultSet2D f(m);
+  // Ascending staircase region: cols 4..6, spans [4,5],[4,6],[5,7].
+  for (const Coord2 c : {Coord2{4, 4}, Coord2{4, 5}, Coord2{5, 4},
+                         Coord2{5, 5}, Coord2{5, 6}, Coord2{6, 5},
+                         Coord2{6, 6}, Coord2{6, 7}})
+    f.set_faulty(c);
+  Stack2D stack(m, f);
+  ASSERT_EQ(stack.ident.identified(), 1);
+  const auto shape = stack.ident.shape_at({3, 3});
+  ASSERT_TRUE(shape);
+  EXPECT_EQ(shape->bot, (std::vector<int>{4, 4, 5}));
+  EXPECT_EQ(shape->top, (std::vector<int>{5, 6, 7}));
+}
+
+class ProtoIdentSweep : public ::testing::TestWithParam<SweepParam> {};
+
+// Shapes assembled at corners must match the centralized eight-connected
+// extraction whenever identification succeeds and the region is clear of
+// the mesh edge (edge-touching rings are broken; the paper leaves them
+// open and the protocol discards them).
+TEST_P(ProtoIdentSweep, ShapesMatchCentralizedEightConnected) {
+  const auto [size, rate, seed] = GetParam();
+  const mesh::Mesh2D m(size, size);
+  util::Rng rng(seed);
+  const auto f = mesh::inject_uniform(m, rate, rng);
+  const core::LabelField2D labels(m, f);
+  const core::MccSet2D mccs(m, labels, core::Connectivity::Eight);
+
+  Stack2D stack(m, f);
+  int matched = 0;
+  for (const Coord2 c : stack.ident.corners()) {
+    const auto shape = stack.ident.shape_at(c);
+    if (!shape) continue;
+    // Identify the centralized region via the corner's NE diagonal cell.
+    const int id = mccs.region_at({c.x + 1, c.y + 1});
+    ASSERT_GE(id, 0) << c;
+    const auto& central = mccs.region(id);
+    if (central.x0 == 0 || central.y0 == 0 ||
+        central.x1 == size - 1 || central.y1 == size - 1)
+      continue;  // edge-touching: protocol behavior intentionally open
+    EXPECT_EQ(shape->x0, central.x0) << c;
+    EXPECT_EQ(shape->bot, central.bot) << c;
+    EXPECT_EQ(shape->top, central.top) << c;
+    ++matched;
+  }
+  // The sweep must actually exercise identification.
+  if (rate >= 0.05) EXPECT_GT(matched, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, ProtoIdentSweep,
+    ::testing::Values(SweepParam{12, 0.08, 631}, SweepParam{16, 0.10, 632},
+                      SweepParam{16, 0.15, 633}, SweepParam{20, 0.12, 634},
+                      SweepParam{24, 0.10, 635}, SweepParam{24, 0.18, 636}));
+
+TEST(ProtoBoundary, RecordsDepositedAlongWalls) {
+  const mesh::Mesh2D m(12, 12);
+  mesh::FaultSet2D f(m);
+  for (int x = 4; x <= 6; ++x)
+    for (int y = 5; y <= 6; ++y) f.set_faulty({x, y});
+  Stack2D stack(m, f);
+  // Y wall descends x=3 from the corner (3,4); X wall runs west along y=4.
+  for (int y = 0; y <= 4; ++y) {
+    const auto& recs = stack.boundary.records_at({3, y});
+    EXPECT_FALSE(recs.empty()) << y;
+  }
+  for (int x = 0; x <= 3; ++x) {
+    const auto& recs = stack.boundary.records_at({x, 4});
+    EXPECT_FALSE(recs.empty()) << x;
+  }
+  EXPECT_EQ(stack.boundary.records_at({8, 8}).size(), 0u);
+}
+
+TEST(ProtoDetect2D, MatchesCentralizedWalkers) {
+  const mesh::Mesh2D m(16, 16);
+  util::Rng rng(641);
+  const auto f = mesh::inject_uniform(m, 0.15, rng);
+  const core::LabelField2D central(m, f);
+  LabelingProtocol2D labels(m, f);
+  labels.run();
+
+  util::Rng prng(642);
+  for (int t = 0; t < 150; ++t) {
+    const Coord2 s{prng.uniform_int(0, 14), prng.uniform_int(0, 14)};
+    const Coord2 d{prng.uniform_int(s.x + 1, 15),
+                   prng.uniform_int(s.y + 1, 15)};
+    if (central.unsafe(s) || central.unsafe(d)) continue;
+    const auto want = core::detect2d(m, central, s, d);
+    const auto got = run_detect2d(m, labels, s, d);
+    EXPECT_EQ(got.y_walker_ok, want.y_walker_ok) << s << d;
+    EXPECT_EQ(got.x_walker_ok, want.x_walker_ok) << s << d;
+  }
+}
+
+TEST(ProtoDetect3D, MatchesCentralizedFloods) {
+  const mesh::Mesh3D m(8, 8, 8);
+  util::Rng rng(651);
+  const auto f = mesh::inject_uniform(m, 0.15, rng);
+  const core::LabelField3D central(m, f);
+  LabelingProtocol3D labels(m, f);
+  labels.run();
+
+  util::Rng prng(652);
+  for (int t = 0; t < 80; ++t) {
+    const Coord3 s{prng.uniform_int(0, 6), prng.uniform_int(0, 6),
+                   prng.uniform_int(0, 6)};
+    const Coord3 d{prng.uniform_int(s.x + 1, 7), prng.uniform_int(s.y + 1, 7),
+                   prng.uniform_int(s.z + 1, 7)};
+    if (central.unsafe(s) || central.unsafe(d)) continue;
+    const auto want = core::detect3d(m, central, s, d);
+    const auto got = run_detect3d(m, labels, s, d);
+    EXPECT_EQ(got.feasible(), want.feasible()) << s << d;
+  }
+}
+
+class ProtoRouteSweep : public ::testing::TestWithParam<SweepParam> {};
+
+// End-to-end: distributed detection + distributed routing must deliver a
+// minimal path whenever the centralized model says one exists.
+// Configurations where any region corner is swallowed by a diagonal
+// neighbor are skipped (known distributed-layer limitation; DESIGN.md §8).
+TEST_P(ProtoRouteSweep, DeliversMinimalWheneverFeasible) {
+  const auto [size, rate, seed] = GetParam();
+  const mesh::Mesh2D m(size, size);
+  util::Rng rng(seed);
+  // Keep a one-node clear border so no region touches a mesh edge (the
+  // identification ring would be broken there; DESIGN.md §8).
+  auto f = mesh::inject_uniform(m, rate, rng);
+  for (int x = 0; x < size; ++x) {
+    f.set_faulty({x, 0}, false);
+    f.set_faulty({x, size - 1}, false);
+  }
+  for (int y = 0; y < size; ++y) {
+    f.set_faulty({0, y}, false);
+    f.set_faulty({size - 1, y}, false);
+  }
+  const core::LabelField2D central(m, f);
+  const core::MccSet2D mccs(m, central, core::Connectivity::Eight);
+  for (const auto& r : mccs.regions()) {
+    const Coord2 c = r.corner();
+    if (m.contains(c) && central.unsafe(c))
+      GTEST_SKIP();  // swallowed corner: known distributed-layer limitation
+  }
+
+  Stack2D stack(m, f);
+  util::Rng prng(seed * 3 + 1);
+  int routed = 0;
+  for (int t = 0; t < 400 && routed < 40; ++t) {
+    const Coord2 s{prng.uniform_int(0, size - 2),
+                   prng.uniform_int(0, size - 2)};
+    const Coord2 d{prng.uniform_int(s.x + 1, size - 1),
+                   prng.uniform_int(s.y + 1, size - 1)};
+    if (central.unsafe(s) || central.unsafe(d)) continue;
+    if (!run_detect2d(m, stack.labeling, s, d).feasible()) continue;
+    ++routed;
+    const auto r = run_route2d(m, stack.labeling, stack.boundary, s, d,
+                               seed ^ static_cast<uint64_t>(t));
+    ASSERT_TRUE(r.delivered) << "s=" << s << " d=" << d << " seed=" << seed;
+    EXPECT_EQ(r.hops(), manhattan(s, d));
+    for (const Coord2 c : r.path)
+      EXPECT_NE(central.state(c), NodeState::Faulty);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, ProtoRouteSweep,
+    ::testing::Values(SweepParam{12, 0.06, 661}, SweepParam{12, 0.10, 662},
+                      SweepParam{16, 0.08, 663}, SweepParam{16, 0.12, 664},
+                      SweepParam{20, 0.08, 665}, SweepParam{20, 0.12, 666},
+                      SweepParam{24, 0.08, 667}, SweepParam{24, 0.12, 668}));
+
+TEST(ProtoStack, CostGrowsWithFaultPerimeter) {
+  const mesh::Mesh2D m(24, 24);
+  util::Rng r1(671), r2(672);
+  Stack2D sparse(m, mesh::inject_uniform(m, 0.03, r1));
+  Stack2D dense(m, mesh::inject_uniform(m, 0.12, r2));
+  EXPECT_GT(dense.ident_stats.messages + dense.boundary_stats.messages,
+            sparse.ident_stats.messages + sparse.boundary_stats.messages);
+}
+
+}  // namespace
+}  // namespace mcc::proto

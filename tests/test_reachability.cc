@@ -1,0 +1,165 @@
+// Reachability fields: DP correctness against a brute-force path
+// enumeration, and the safe==non-faulty equivalence for safe endpoints
+// (the structural fact the MCC model rests on; DESIGN.md §3).
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/reachability.h"
+#include "mesh/fault_injection.h"
+#include "util/rng.h"
+
+namespace mcc::core {
+namespace {
+
+using mesh::Coord2;
+using mesh::Coord3;
+
+// Brute-force: does a monotone path exist via memoized DFS on raw faults?
+bool brute2(const mesh::Mesh2D& m, const LabelField2D& l, Coord2 u, Coord2 d,
+            bool safe_only) {
+  if (u.x > d.x || u.y > d.y) return false;
+  auto usable = [&](Coord2 c) {
+    if (c == d) return l.state(c) != NodeState::Faulty;
+    return safe_only ? l.safe(c) : l.state(c) != NodeState::Faulty;
+  };
+  std::function<bool(Coord2)> rec = [&](Coord2 c) -> bool {
+    if (!usable(c)) return false;
+    if (c == d) return true;
+    if (c.x < d.x && rec({c.x + 1, c.y})) return true;
+    if (c.y < d.y && rec({c.x, c.y + 1})) return true;
+    return false;
+  };
+  (void)m;
+  return rec(u);
+}
+
+TEST(ReachField2D, MatchesBruteForceBothFilters) {
+  const mesh::Mesh2D m(9, 9);
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    util::Rng rng(100 + seed);
+    const auto f = mesh::inject_uniform(m, 0.2, rng);
+    const LabelField2D l(m, f);
+    const Coord2 d{8, 8};
+    const ReachField2D full(m, l, d, NodeFilter::NonFaulty);
+    const ReachField2D safe(m, l, d, NodeFilter::SafeOnly);
+    for (int y = 0; y <= 8; ++y)
+      for (int x = 0; x <= 8; ++x) {
+        const Coord2 u{x, y};
+        EXPECT_EQ(full.feasible(u), brute2(m, l, u, d, false))
+            << u << " seed " << seed;
+        EXPECT_EQ(safe.feasible(u), brute2(m, l, u, d, true))
+            << u << " seed " << seed;
+      }
+  }
+}
+
+TEST(ReachField2D, FaultyDestinationUnreachable) {
+  const mesh::Mesh2D m(6, 6);
+  mesh::FaultSet2D f(m);
+  f.set_faulty({5, 5});
+  const LabelField2D l(m, f);
+  const ReachField2D r(m, l, {5, 5}, NodeFilter::NonFaulty);
+  EXPECT_FALSE(r.feasible({0, 0}));
+  EXPECT_FALSE(r.feasible({5, 5}));
+}
+
+TEST(ReachField2D, OutOfBoxQueriesAreInfeasible) {
+  const mesh::Mesh2D m(8, 8);
+  const LabelField2D l(m, mesh::FaultSet2D(m));
+  const ReachField2D r(m, l, {4, 4}, NodeFilter::NonFaulty);
+  EXPECT_TRUE(r.feasible({0, 0}));
+  EXPECT_TRUE(r.feasible({4, 4}));
+  EXPECT_FALSE(r.feasible({5, 4}));  // beyond the destination
+  EXPECT_FALSE(r.feasible({4, 5}));
+}
+
+// The structural theorem: for SAFE s and d, a minimal path through
+// non-faulty nodes exists iff one through safe-only nodes exists.
+TEST(ReachField2D, SafeEndpointsMakeFiltersEquivalent) {
+  const mesh::Mesh2D m(12, 12);
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    util::Rng rng(200 + seed);
+    const auto f = mesh::inject_uniform(m, 0.25, rng);
+    const LabelField2D l(m, f);
+    const Coord2 d{11, 11};
+    if (!l.safe(d)) continue;
+    const ReachField2D full(m, l, d, NodeFilter::NonFaulty);
+    const ReachField2D safe(m, l, d, NodeFilter::SafeOnly);
+    for (int y = 0; y <= 11; ++y)
+      for (int x = 0; x <= 11; ++x) {
+        const Coord2 u{x, y};
+        if (!l.safe(u)) continue;
+        EXPECT_EQ(full.feasible(u), safe.feasible(u))
+            << u << " seed " << seed;
+      }
+  }
+}
+
+TEST(ReachField3D, SafeEndpointsMakeFiltersEquivalent) {
+  const mesh::Mesh3D m(7, 7, 7);
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    util::Rng rng(300 + seed);
+    const auto f = mesh::inject_uniform(m, 0.2, rng);
+    const LabelField3D l(m, f);
+    const Coord3 d{6, 6, 6};
+    if (!l.safe(d)) continue;
+    const ReachField3D full(m, l, d, NodeFilter::NonFaulty);
+    const ReachField3D safe(m, l, d, NodeFilter::SafeOnly);
+    for (int z = 0; z <= 6; ++z)
+      for (int y = 0; y <= 6; ++y)
+        for (int x = 0; x <= 6; ++x) {
+          const Coord3 u{x, y, z};
+          if (!l.safe(u)) continue;
+          EXPECT_EQ(full.feasible(u), safe.feasible(u))
+              << u << " seed " << seed;
+        }
+  }
+}
+
+TEST(ReachField3D, PlateBlocksEverything) {
+  // Full-cross-section plate: nothing below reaches anything above.
+  const mesh::Mesh3D m(8, 8, 8);
+  mesh::FaultSet3D f(m);
+  mesh::add_plate_z(f, m, 0, 7, 0, 7, 4);
+  const LabelField3D l(m, f);
+  const ReachField3D r(m, l, {7, 7, 7}, NodeFilter::NonFaulty);
+  EXPECT_FALSE(r.feasible({0, 0, 0}));
+  EXPECT_FALSE(r.feasible({7, 7, 3}));
+  EXPECT_TRUE(r.feasible({0, 0, 5}));
+}
+
+TEST(ReachField3D, PlateWithHoleIsPassable) {
+  const mesh::Mesh3D m(8, 8, 8);
+  mesh::FaultSet3D f(m);
+  mesh::add_plate_z(f, m, 0, 7, 0, 7, 4);
+  f.set_faulty({3, 3, 4}, false);  // open a hole
+  const LabelField3D l(m, f);
+  const ReachField3D r(m, l, {7, 7, 7}, NodeFilter::NonFaulty);
+  EXPECT_TRUE(r.feasible({0, 0, 0}));
+  EXPECT_FALSE(r.feasible({4, 4, 0}));  // SE of the hole: can't reach it
+  EXPECT_TRUE(r.feasible({3, 3, 0}));
+}
+
+TEST(ReachField2D, MonotoneInPrefix) {
+  // If u reaches d, so does every predecessor of u on a feasible path;
+  // spot-check the DP's internal consistency: feasible(u) implies a
+  // feasible positive neighbor (or u == d).
+  const mesh::Mesh2D m(10, 10);
+  util::Rng rng(400);
+  const auto f = mesh::inject_uniform(m, 0.25, rng, {{9, 9}});
+  const LabelField2D l(m, f);
+  const Coord2 d{9, 9};
+  const ReachField2D r(m, l, d, NodeFilter::NonFaulty);
+  for (int y = 0; y <= 9; ++y)
+    for (int x = 0; x <= 9; ++x) {
+      const Coord2 u{x, y};
+      if (!r.feasible(u) || u == d) continue;
+      const bool via_x = x < 9 && r.feasible({x + 1, y});
+      const bool via_y = y < 9 && r.feasible({x, y + 1});
+      EXPECT_TRUE(via_x || via_y) << u;
+    }
+}
+
+}  // namespace
+}  // namespace mcc::core

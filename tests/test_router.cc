@@ -1,0 +1,263 @@
+// Routers: the paper's delivery guarantee — whenever the feasibility check
+// passes, EVERY adaptive policy delivers in exactly D(s,d) hops — for the
+// oracle-guided (v1), record-guided (v2) and flood-guided routers.
+#include <gtest/gtest.h>
+
+#include "core/boundary2d.h"
+#include "core/feasibility2d.h"
+#include "core/feasibility3d.h"
+#include "core/reachability.h"
+#include "core/router.h"
+#include "mesh/fault_injection.h"
+#include "util/rng.h"
+
+namespace mcc::core {
+namespace {
+
+using mesh::Coord2;
+using mesh::Coord3;
+
+void check_path2(const RouteResult2D& r, const LabelField2D& l, Coord2 s,
+                 Coord2 d) {
+  ASSERT_TRUE(r.delivered) << "failure: " << r.failure;
+  ASSERT_EQ(r.path.front(), s);
+  ASSERT_EQ(r.path.back(), d);
+  ASSERT_EQ(r.hops(), manhattan(s, d));  // minimal
+  for (size_t i = 0; i < r.path.size(); ++i) {
+    EXPECT_NE(l.state(r.path[i]), NodeState::Faulty) << r.path[i];
+    if (i > 0) EXPECT_EQ(manhattan(r.path[i - 1], r.path[i]), 1);
+  }
+}
+
+void check_path3(const RouteResult3D& r, const LabelField3D& l, Coord3 s,
+                 Coord3 d) {
+  ASSERT_TRUE(r.delivered) << "failure: " << r.failure;
+  ASSERT_EQ(r.path.front(), s);
+  ASSERT_EQ(r.path.back(), d);
+  ASSERT_EQ(r.hops(), manhattan(s, d));
+  for (size_t i = 0; i < r.path.size(); ++i) {
+    EXPECT_NE(l.state(r.path[i]), NodeState::Faulty) << r.path[i];
+    if (i > 0) EXPECT_EQ(manhattan(r.path[i - 1], r.path[i]), 1);
+  }
+}
+
+TEST(Router2D, FaultFreeAllPolicies) {
+  const mesh::Mesh2D m(10, 10);
+  const LabelField2D l(m, mesh::FaultSet2D(m));
+  const Coord2 s{0, 0}, d{7, 9};
+  const OracleGuidance2D g(m, l, d);
+  for (const RoutePolicy p : kAllPolicies) {
+    util::Rng rng(1);
+    check_path2(route2d(m, s, d, g, p, rng), l, s, d);
+  }
+}
+
+TEST(Router2D, PoliciesProduceDifferentPaths) {
+  const mesh::Mesh2D m(10, 10);
+  const LabelField2D l(m, mesh::FaultSet2D(m));
+  const Coord2 s{0, 0}, d{9, 9};
+  const OracleGuidance2D g(m, l, d);
+  util::Rng rng(2);
+  const auto xf = route2d(m, s, d, g, RoutePolicy::XFirst, rng);
+  const auto yf = route2d(m, s, d, g, RoutePolicy::YFirst, rng);
+  const auto alt = route2d(m, s, d, g, RoutePolicy::Alternate, rng);
+  EXPECT_NE(xf.path, yf.path);
+  EXPECT_NE(alt.path, xf.path);
+  // X-first goes straight east first.
+  EXPECT_EQ(xf.path[1], (Coord2{1, 0}));
+  EXPECT_EQ(yf.path[1], (Coord2{0, 1}));
+}
+
+TEST(Router2D, AdaptivityStatsCountChoices) {
+  const mesh::Mesh2D m(8, 8);
+  const LabelField2D l(m, mesh::FaultSet2D(m));
+  const Coord2 s{0, 0}, d{7, 7};
+  const OracleGuidance2D g(m, l, d);
+  util::Rng rng(3);
+  const auto r = route2d(m, s, d, g, RoutePolicy::Random, rng);
+  // In a fault-free mesh both directions stay open until an axis is used
+  // up; at least half the hops must have been multi-choice.
+  EXPECT_GE(r.stats.multi_choice_hops, 7);
+  EXPECT_GT(r.stats.candidate_sum, r.hops());
+}
+
+struct SweepParam {
+  int size;
+  double rate;
+  uint64_t seed;
+  int pairs;
+};
+
+class RouterSweep2D : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RouterSweep2D, DeliveryGuaranteeOracleAndRecords) {
+  const auto [size, rate, seed, pairs] = GetParam();
+  const mesh::Mesh2D m(size, size);
+  util::Rng rng(seed);
+  const auto f = mesh::inject_uniform(m, rate, rng);
+  const LabelField2D l(m, f);
+  const MccSet2D mccs(m, l);
+  const Boundary2D b(m, l, mccs);
+  util::Rng prng(seed * 5 + 17);
+
+  int feasible_pairs = 0;
+  for (int t = 0; t < pairs * 10 && feasible_pairs < pairs; ++t) {
+    const Coord2 s{prng.uniform_int(0, size - 2),
+                   prng.uniform_int(0, size - 2)};
+    const Coord2 d{prng.uniform_int(s.x + 1, size - 1),
+                   prng.uniform_int(s.y + 1, size - 1)};
+    if (!l.safe(s) || !l.safe(d)) continue;
+    if (!detect2d(m, l, s, d).feasible()) continue;
+    ++feasible_pairs;
+
+    const OracleGuidance2D oracle(m, l, d);
+    const RecordGuidance2D records(l, mccs, b, d);
+    for (const RoutePolicy p : kAllPolicies) {
+      util::Rng r1(seed ^ t);
+      check_path2(route2d(m, s, d, oracle, p, r1), l, s, d);
+      util::Rng r2(seed ^ t ^ 0x9999);
+      check_path2(route2d(m, s, d, records, p, r2), l, s, d);
+    }
+  }
+  if (rate <= 0.2) EXPECT_GT(feasible_pairs, pairs / 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, RouterSweep2D,
+    ::testing::Values(SweepParam{10, 0.10, 301, 40},
+                      SweepParam{12, 0.15, 302, 40},
+                      SweepParam{16, 0.10, 303, 30},
+                      SweepParam{16, 0.20, 304, 30},
+                      SweepParam{20, 0.15, 305, 25},
+                      SweepParam{24, 0.20, 306, 20},
+                      SweepParam{32, 0.12, 307, 20},
+                      SweepParam{32, 0.25, 308, 15}));
+
+class RouterClustered2D : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RouterClustered2D, RecordsSurviveClusteredFaults) {
+  const auto [size, rate, seed, pairs] = GetParam();
+  const mesh::Mesh2D m(size, size);
+  util::Rng rng(seed);
+  const auto f = mesh::inject_clustered(
+      m, static_cast<int>(rate * size * size), 3, rng);
+  const LabelField2D l(m, f);
+  const MccSet2D mccs(m, l);
+  const Boundary2D b(m, l, mccs);
+  util::Rng prng(seed * 11 + 13);
+
+  for (int t = 0; t < pairs * 10; ++t) {
+    const Coord2 s{prng.uniform_int(0, size - 2),
+                   prng.uniform_int(0, size - 2)};
+    const Coord2 d{prng.uniform_int(s.x + 1, size - 1),
+                   prng.uniform_int(s.y + 1, size - 1)};
+    if (!l.safe(s) || !l.safe(d)) continue;
+    if (!detect2d(m, l, s, d).feasible()) continue;
+    const RecordGuidance2D records(l, mccs, b, d);
+    util::Rng r2(seed ^ t);
+    check_path2(route2d(m, s, d, records, RoutePolicy::Random, r2), l, s, d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Clusters, RouterClustered2D,
+    ::testing::Values(SweepParam{16, 0.15, 311, 40},
+                      SweepParam{16, 0.30, 312, 40},
+                      SweepParam{24, 0.20, 313, 25},
+                      SweepParam{32, 0.25, 314, 20}));
+
+// The ablation guidance (labels only, no records) must fail sometimes —
+// otherwise records carry no information and the experiment E9 is vacuous.
+TEST(Router2D, LabelsOnlyGuidanceCanTrapItself) {
+  // M at (5..8, 5..8); d above M; a message sent x-first with labels-only
+  // guidance walks under M into the forbidden region and gets stuck.
+  const mesh::Mesh2D m(12, 12);
+  mesh::FaultSet2D f(m);
+  for (int x = 5; x <= 8; ++x)
+    for (int y = 5; y <= 8; ++y) f.set_faulty({x, y});
+  const LabelField2D l(m, f);
+  const Coord2 s{0, 0}, d{6, 10};
+  ASSERT_TRUE(detect2d(m, l, s, d).feasible());
+  const LabelsOnlyGuidance2D g(l, d);
+  util::Rng rng(4);
+  const auto r = route2d(m, s, d, g, RoutePolicy::XFirst, rng);
+  EXPECT_FALSE(r.delivered);
+}
+
+TEST(Router3D, FaultFreeAllPolicies) {
+  const mesh::Mesh3D m(8, 8, 8);
+  const LabelField3D l(m, mesh::FaultSet3D(m));
+  const Coord3 s{0, 0, 0}, d{5, 7, 6};
+  const OracleGuidance3D g(m, l, d);
+  for (const RoutePolicy p : kAllPolicies) {
+    util::Rng rng(5);
+    check_path3(route3d(m, s, d, g, p, rng), l, s, d);
+  }
+}
+
+class RouterSweep3D : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RouterSweep3D, DeliveryGuaranteeOracleAndFlood) {
+  const auto [size, rate, seed, pairs] = GetParam();
+  const mesh::Mesh3D m(size, size, size);
+  util::Rng rng(seed);
+  const auto f = mesh::inject_uniform(m, rate, rng);
+  const LabelField3D l(m, f);
+  util::Rng prng(seed * 5 + 23);
+
+  int feasible_pairs = 0;
+  for (int t = 0; t < pairs * 10 && feasible_pairs < pairs; ++t) {
+    const Coord3 s{prng.uniform_int(0, size - 2),
+                   prng.uniform_int(0, size - 2),
+                   prng.uniform_int(0, size - 2)};
+    const Coord3 d{prng.uniform_int(s.x + 1, size - 1),
+                   prng.uniform_int(s.y + 1, size - 1),
+                   prng.uniform_int(s.z + 1, size - 1)};
+    if (!l.safe(s) || !l.safe(d)) continue;
+    if (!detect3d(m, l, s, d).feasible()) continue;
+    ++feasible_pairs;
+
+    const OracleGuidance3D oracle(m, l, d);
+    const FloodGuidance3D flood(m, l, d);
+    for (const RoutePolicy p : kAllPolicies) {
+      util::Rng r1(seed ^ t);
+      check_path3(route3d(m, s, d, oracle, p, r1), l, s, d);
+    }
+    util::Rng r2(seed ^ t ^ 0x5555);
+    check_path3(route3d(m, s, d, flood, RoutePolicy::Random, r2), l, s, d);
+    util::Rng r3(seed ^ t ^ 0x3333);
+    check_path3(route3d(m, s, d, flood, RoutePolicy::XFirst, r3), l, s, d);
+  }
+  if (rate <= 0.15) EXPECT_GT(feasible_pairs, pairs / 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, RouterSweep3D,
+    ::testing::Values(SweepParam{6, 0.10, 321, 30},
+                      SweepParam{8, 0.10, 322, 25},
+                      SweepParam{8, 0.20, 323, 25},
+                      SweepParam{10, 0.15, 324, 20},
+                      SweepParam{10, 0.25, 325, 15},
+                      SweepParam{12, 0.10, 326, 15}));
+
+TEST(Router3D, PlateWithHoleThreadsTheNeedle) {
+  const mesh::Mesh3D m(9, 9, 9);
+  mesh::FaultSet3D f(m);
+  mesh::add_plate_z(f, m, 0, 8, 0, 8, 4);
+  f.set_faulty({4, 4, 4}, false);
+  const LabelField3D l(m, f);
+  const Coord3 s{0, 0, 0}, d{8, 8, 8};
+  ASSERT_TRUE(detect3d(m, l, s, d).feasible());
+  const OracleGuidance3D g(m, l, d);
+  for (const RoutePolicy p : kAllPolicies) {
+    util::Rng rng(6);
+    const auto r = route3d(m, s, d, g, p, rng);
+    check_path3(r, l, s, d);
+    // Every path must pass through the hole.
+    EXPECT_NE(std::find(r.path.begin(), r.path.end(), Coord3{4, 4, 4}),
+              r.path.end());
+  }
+}
+
+}  // namespace
+}  // namespace mcc::core

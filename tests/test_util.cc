@@ -1,0 +1,155 @@
+// Utility layer: grids, stats, tables, parallel_for, rng.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+#include "util/grid.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace mcc::util {
+namespace {
+
+TEST(Grid2, IndexingRoundTrips) {
+  Grid2<int> g(4, 3, -1);
+  EXPECT_EQ(g.nx(), 4);
+  EXPECT_EQ(g.ny(), 3);
+  EXPECT_EQ(g.size(), 12u);
+  int v = 0;
+  for (int y = 0; y < 3; ++y)
+    for (int x = 0; x < 4; ++x) g.at(x, y) = v++;
+  v = 0;
+  for (size_t i = 0; i < g.size(); ++i) EXPECT_EQ(g[i], v++);
+}
+
+TEST(Grid2, BoundsChecks) {
+  Grid2<int> g(4, 3);
+  EXPECT_TRUE(g.in_bounds(0, 0));
+  EXPECT_TRUE(g.in_bounds(3, 2));
+  EXPECT_FALSE(g.in_bounds(4, 0));
+  EXPECT_FALSE(g.in_bounds(0, 3));
+  EXPECT_FALSE(g.in_bounds(-1, 0));
+}
+
+TEST(Grid2, EqualityAndFill) {
+  Grid2<int> a(2, 2, 5), b(2, 2, 5);
+  EXPECT_EQ(a, b);
+  b.at(1, 1) = 6;
+  EXPECT_FALSE(a == b);
+  b.fill(5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Grid3, IndexingRoundTrips) {
+  Grid3<int> g(3, 4, 5);
+  EXPECT_EQ(g.size(), 60u);
+  g.at(2, 3, 4) = 42;
+  EXPECT_EQ(g[g.index(2, 3, 4)], 42);
+  EXPECT_TRUE(g.in_bounds(2, 3, 4));
+  EXPECT_FALSE(g.in_bounds(3, 3, 4));
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.uniform() * 10;
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStats, CiShrinksWithSamples) {
+  RunningStats small, large;
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) small.add(rng.uniform());
+  for (int i = 0; i < 1000; ++i) large.add(rng.uniform());
+  EXPECT_GT(small.ci95(), large.ci95());
+}
+
+TEST(Table, RendersMarkdown) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(out.find("| 333 | 4  |"), std::string::npos);
+  EXPECT_NE(out.find("|-----|----|"), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.1234, 1), "12.3%");
+  EXPECT_EQ(Table::mean_ci(1.5, 0.25, 2), "1.50 ± 0.25");
+}
+
+TEST(ParallelFor, CoversAllIndicesOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(hits.size(), [&](size_t i) { hits[i].fetch_add(1); }, 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, InlineWhenSingleWorker) {
+  int count = 0;  // no synchronization needed inline
+  parallel_for(100, [&](size_t) { ++count; }, 1);
+  EXPECT_EQ(count, 100);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(
+          100, [&](size_t i) { if (i == 50) throw std::runtime_error("boom"); },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  parallel_for(0, [&](size_t) { FAIL(); }, 4);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  std::vector<int> va, vb, vc;
+  for (int i = 0; i < 50; ++i) {
+    va.push_back(a.uniform_int(0, 1000));
+    vb.push_back(b.uniform_int(0, 1000));
+    vc.push_back(c.uniform_int(0, 1000));
+  }
+  EXPECT_EQ(va, vb);
+  EXPECT_NE(va, vc);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.uniform_int(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(Rng, PickInBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.pick(5), 5u);
+}
+
+}  // namespace
+}  // namespace mcc::util

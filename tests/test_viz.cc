@@ -1,0 +1,49 @@
+// ASCII renderer: the examples' visualization layer must mark every node
+// class correctly.
+#include <gtest/gtest.h>
+
+#include "core/boundary2d.h"
+#include "util/ascii_viz.h"
+
+namespace mcc::util {
+namespace {
+
+TEST(AsciiViz, MarksAllNodeClasses) {
+  const mesh::Mesh2D m(8, 6);
+  mesh::FaultSet2D f(m);
+  f.set_faulty({3, 3});
+  f.set_faulty({4, 2});  // descending diagonal: creates 'u' and 'c' fills
+  const core::LabelField2D labels(m, f);
+  const core::MccSet2D mccs(m, labels);
+  const core::Boundary2D boundary(m, labels, mccs);
+
+  VizOptions opts;
+  opts.boundary = &boundary;
+  opts.source = {0, 0};
+  opts.destination = {7, 5};
+  opts.path = {{0, 0}, {1, 0}, {1, 1}};
+  const std::string art = render_mesh(m, labels, opts);
+
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('u'), std::string::npos);
+  EXPECT_NE(art.find('c'), std::string::npos);
+  EXPECT_NE(art.find('r'), std::string::npos);
+  EXPECT_NE(art.find('S'), std::string::npos);
+  EXPECT_NE(art.find('D'), std::string::npos);
+  EXPECT_NE(art.find('o'), std::string::npos);
+  // 6 rows + 1 axis line, each terminated by newline.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 7);
+}
+
+TEST(AsciiViz, RowOrderIsTopDown) {
+  const mesh::Mesh2D m(3, 2);
+  mesh::FaultSet2D f(m);
+  f.set_faulty({0, 1});  // top-left in the rendering
+  const core::LabelField2D labels(m, f);
+  const std::string art = render_mesh(m, labels);
+  // First rendered row is y=1: "1 #.."
+  EXPECT_EQ(art.substr(0, 5), "1 #..");
+}
+
+}  // namespace
+}  // namespace mcc::util

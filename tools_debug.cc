@@ -1,0 +1,52 @@
+// Throwaway: find a wall whose follower loops (complete == false).
+#include <iostream>
+
+#include "core/boundary2d.h"
+#include "mesh/fault_injection.h"
+
+using namespace mcc;
+using core::NodeState;
+using mesh::Coord2;
+
+int main() {
+  const int size = 12;
+  const double rate = 0.15;
+  const uint64_t seed = 202 + 500;
+  const mesh::Mesh2D m(size, size);
+  util::Rng rng(seed);
+  const auto f = mesh::inject_uniform(m, rate, rng);
+  const core::LabelField2D l(m, f);
+  const core::MccSet2D mccs(m, l);
+  const core::Boundary2D b(m, l, mccs);
+
+  for (size_t id = 0; id < mccs.regions().size(); ++id) {
+    for (int pass = 0; pass < 2; ++pass) {
+      const core::Wall2D& w = pass ? b.x_wall(id) : b.y_wall(id);
+      if (w.complete) continue;
+      std::cout << (pass ? "X" : "Y") << "-wall of region " << id
+                << " incomplete; path head:";
+      for (size_t i = 0; i < w.path.size() && i < 40; ++i)
+        std::cout << " " << w.path[i];
+      std::cout << "\n  chain:";
+      for (int c : w.chain) std::cout << " " << c;
+      const auto& r = mccs.region(id);
+      std::cout << "\n  region box (" << r.x0 << ".." << r.x1 << ","
+                << r.y0 << ".." << r.y1 << ")\n";
+      for (int y = size - 1; y >= 0; --y) {
+        for (int x = 0; x < size; ++x) {
+          const Coord2 c{x, y};
+          char ch = '.';
+          if (l.state(c) == NodeState::Faulty) ch = '#';
+          else if (l.state(c) == NodeState::Useless) ch = 'u';
+          else if (l.state(c) == NodeState::CantReach) ch = 'c';
+          if (mccs.region_at(c) == static_cast<int>(id)) ch = 'M';
+          std::cout << ch;
+        }
+        std::cout << "  y=" << y << "\n";
+      }
+      return 0;
+    }
+  }
+  std::cout << "all complete at this config\n";
+  return 0;
+}
