@@ -1,0 +1,18 @@
+# Warning flags shared by every target via mcc_apply_warnings().
+#
+# The project builds with -Wall -Wextra and (by default) -Werror so that the
+# seed's latent format/shadowing issues stay fixed instead of regressing.
+
+function(mcc_apply_warnings target)
+  if(MSVC)
+    target_compile_options(${target} INTERFACE /W4)
+    if(MCC_WERROR)
+      target_compile_options(${target} INTERFACE /WX)
+    endif()
+  else()
+    target_compile_options(${target} INTERFACE -Wall -Wextra)
+    if(MCC_WERROR)
+      target_compile_options(${target} INTERFACE -Werror)
+    endif()
+  endif()
+endfunction()

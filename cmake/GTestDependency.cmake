@@ -1,0 +1,23 @@
+# GoogleTest acquisition: prefer an installed package (system libgtest-dev or
+# a toolchain-provided config), fall back to FetchContent for clean-room
+# machines with network access. Defines GTest::gtest and GTest::gtest_main
+# either way.
+
+macro(mcc_provide_gtest)
+  find_package(GTest CONFIG QUIET)
+  if(GTest_FOUND)
+    message(STATUS "GoogleTest: using installed package (${GTest_DIR})")
+  else()
+    message(STATUS "GoogleTest: no installed package, fetching v1.14.0")
+    include(FetchContent)
+    FetchContent_Declare(
+      googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.zip
+      URL_HASH SHA256=1f357c27ca988c3f7c6b4bf68a9395005ac6761f034046e9dde0896e3aba00e4
+      DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+    # Keep gtest out of the project's warning/sanitizer install set.
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+    FetchContent_MakeAvailable(googletest)
+  endif()
+endmacro()

@@ -1,0 +1,17 @@
+# ASan + UBSan toggled by -DMCC_SANITIZE=ON (used by the `asan` preset and
+# the sanitizer CI job). Applied through the shared interface target so the
+# whole tree — libraries, tests, benches — is instrumented consistently.
+
+function(mcc_apply_sanitizers target)
+  if(NOT MCC_SANITIZE)
+    return()
+  endif()
+  if(MSVC)
+    target_compile_options(${target} INTERFACE /fsanitize=address)
+  else()
+    set(flags -fsanitize=address,undefined -fno-omit-frame-pointer
+        -fno-sanitize-recover=all)
+    target_compile_options(${target} INTERFACE ${flags})
+    target_link_options(${target} INTERFACE ${flags})
+  endif()
+endfunction()

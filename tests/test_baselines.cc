@@ -107,7 +107,9 @@ TEST_P(DominanceSweep2D, MccUnsafeSubsetOfSafetyBlocks) {
   for (int y = 0; y < size; ++y)
     for (int x = 0; x < size; ++x) {
       const Coord2 c{x, y};
-      if (l.unsafe(c)) EXPECT_TRUE(blocks.unsafe(c)) << c;
+      if (l.unsafe(c)) {
+        EXPECT_TRUE(blocks.unsafe(c)) << c;
+      }
     }
   EXPECT_LE(l.healthy_unsafe_count(), blocks.healthy_unsafe_count());
 }
@@ -152,7 +154,9 @@ TEST_P(DominanceSweep3D, MccUnsafeSubsetOfSafetyBlocks) {
   const auto blocks = safety_fill(m, f);
   for (size_t i = 0; i < m.node_count(); ++i) {
     const Coord3 c = m.coord(i);
-    if (l.unsafe(c)) EXPECT_TRUE(blocks.unsafe(c)) << c;
+    if (l.unsafe(c)) {
+      EXPECT_TRUE(blocks.unsafe(c)) << c;
+    }
   }
   EXPECT_LE(l.healthy_unsafe_count(), blocks.healthy_unsafe_count());
 }

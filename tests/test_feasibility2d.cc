@@ -140,12 +140,16 @@ TEST_P(FeasibilitySweep2D, DetectMatchesOracle) {
     EXPECT_EQ(detect2d(fx.m, fx.l, s, d).feasible(), truth)
         << "s=" << s << " d=" << d << " seed=" << seed;
     // Lemma 1 soundness: a blocked verdict is always correct.
-    if (lemma1_blocked(fx.mccs, s, d).blocked) EXPECT_FALSE(truth);
+    if (lemma1_blocked(fx.mccs, s, d).blocked) {
+      EXPECT_FALSE(truth);
+    }
     // The public API agrees with the oracle too.
     EXPECT_EQ(mcc_feasible2d(fx.m, fx.l, s, d).feasible, truth);
   }
   // At extreme fault rates most endpoints are unsafe and get skipped.
-  if (rate <= 0.25) EXPECT_GT(checked, pairs / 2);
+  if (rate <= 0.25) {
+    EXPECT_GT(checked, pairs / 2);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -118,7 +118,9 @@ TEST_P(FeasibilitySweep3D, DetectMatchesOracle) {
         << "s=" << s << " d=" << d << " seed=" << seed;
   }
   // At extreme fault rates most endpoints are unsafe and get skipped.
-  if (rate <= 0.25) EXPECT_GT(checked, pairs / 2);
+  if (rate <= 0.25) {
+    EXPECT_GT(checked, pairs / 2);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

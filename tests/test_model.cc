@@ -16,6 +16,7 @@ using mesh::Coord3;
 // Physical-coordinate oracle: monotone BFS between arbitrary endpoints.
 bool oracle2(const mesh::Mesh2D& m, const mesh::FaultSet2D& f, Coord2 s,
              Coord2 d) {
+  (void)m;
   if (f.is_faulty(s) || f.is_faulty(d)) return false;
   const int sx = s.x <= d.x ? 1 : -1, sy = s.y <= d.y ? 1 : -1;
   std::vector<Coord2> work{s};

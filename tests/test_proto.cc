@@ -220,7 +220,9 @@ TEST_P(ProtoIdentSweep, ShapesMatchCentralizedEightConnected) {
     ++matched;
   }
   // The sweep must actually exercise identification.
-  if (rate >= 0.05) EXPECT_GT(matched, 0);
+  if (rate >= 0.05) {
+    EXPECT_GT(matched, 0);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

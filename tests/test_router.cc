@@ -25,7 +25,9 @@ void check_path2(const RouteResult2D& r, const LabelField2D& l, Coord2 s,
   ASSERT_EQ(r.hops(), manhattan(s, d));  // minimal
   for (size_t i = 0; i < r.path.size(); ++i) {
     EXPECT_NE(l.state(r.path[i]), NodeState::Faulty) << r.path[i];
-    if (i > 0) EXPECT_EQ(manhattan(r.path[i - 1], r.path[i]), 1);
+    if (i > 0) {
+      EXPECT_EQ(manhattan(r.path[i - 1], r.path[i]), 1);
+    }
   }
 }
 
@@ -37,7 +39,9 @@ void check_path3(const RouteResult3D& r, const LabelField3D& l, Coord3 s,
   ASSERT_EQ(r.hops(), manhattan(s, d));
   for (size_t i = 0; i < r.path.size(); ++i) {
     EXPECT_NE(l.state(r.path[i]), NodeState::Faulty) << r.path[i];
-    if (i > 0) EXPECT_EQ(manhattan(r.path[i - 1], r.path[i]), 1);
+    if (i > 0) {
+      EXPECT_EQ(manhattan(r.path[i - 1], r.path[i]), 1);
+    }
   }
 }
 
@@ -119,7 +123,9 @@ TEST_P(RouterSweep2D, DeliveryGuaranteeOracleAndRecords) {
       check_path2(route2d(m, s, d, records, p, r2), l, s, d);
     }
   }
-  if (rate <= 0.2) EXPECT_GT(feasible_pairs, pairs / 3);
+  if (rate <= 0.2) {
+    EXPECT_GT(feasible_pairs, pairs / 3);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -228,7 +234,9 @@ TEST_P(RouterSweep3D, DeliveryGuaranteeOracleAndFlood) {
     util::Rng r3(seed ^ t ^ 0x3333);
     check_path3(route3d(m, s, d, flood, RoutePolicy::XFirst, r3), l, s, d);
   }
-  if (rate <= 0.15) EXPECT_GT(feasible_pairs, pairs / 3);
+  if (rate <= 0.15) {
+    EXPECT_GT(feasible_pairs, pairs / 3);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

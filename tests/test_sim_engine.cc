@@ -1,0 +1,167 @@
+// Direct coverage of sim::SyncEngine: round counting, message and
+// payload-word accounting, wall drops, and the quiescence flag. The proto
+// suites exercise the engine only through full protocols; these tests pin
+// the engine's contract in isolation.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "mesh/coord.h"
+#include "mesh/mesh.h"
+#include "sim/engine.h"
+
+namespace mcc::sim {
+namespace {
+
+using mesh::Coord2;
+using mesh::Coord3;
+using mesh::Dir2;
+using mesh::Dir3;
+using mesh::Mesh2D;
+using mesh::Mesh3D;
+
+TEST(SyncEngine, EmptyRunIsQuiescentWithZeroCost) {
+  const Mesh2D m(4, 4);
+  Engine2D eng(m);
+  const RunStats stats = eng.run([](Coord2, const Message&,
+                                    std::optional<Dir2>) { FAIL(); });
+  EXPECT_EQ(stats.rounds, 0u);
+  EXPECT_EQ(stats.messages, 0u);
+  EXPECT_EQ(stats.payload_words, 0u);
+  EXPECT_TRUE(stats.quiescent);
+}
+
+TEST(SyncEngine, InjectedMessageArrivesWithNoFromDirection) {
+  const Mesh2D m(4, 4);
+  Engine2D eng(m);
+  eng.inject({2, 1}, Message{7, {10, 20, 30}});
+
+  size_t deliveries = 0;
+  const RunStats stats = eng.run(
+      [&](Coord2 self, const Message& msg, std::optional<Dir2> from) {
+        ++deliveries;
+        EXPECT_EQ(self, (Coord2{2, 1}));
+        EXPECT_EQ(msg.type, 7);
+        EXPECT_EQ(msg.data, (std::vector<int32_t>{10, 20, 30}));
+        EXPECT_FALSE(from.has_value());
+      });
+  EXPECT_EQ(deliveries, 1u);
+  EXPECT_EQ(stats.rounds, 1u);
+  EXPECT_EQ(stats.messages, 1u);
+  EXPECT_EQ(stats.payload_words, 3u);
+  EXPECT_TRUE(stats.quiescent);
+}
+
+TEST(SyncEngine, SendDeliversNextRoundWithFromTowardSender) {
+  const Mesh2D m(4, 4);
+  Engine2D eng(m);
+  eng.inject({1, 1}, Message{0, {}});
+
+  std::vector<Coord2> order;
+  const RunStats stats = eng.run(
+      [&](Coord2 self, const Message& msg, std::optional<Dir2> from) {
+        order.push_back(self);
+        if (msg.type == 0) {
+          eng.send(self, Dir2::PosX, Message{1, {42}});
+        } else {
+          EXPECT_EQ(self, (Coord2{2, 1}));
+          // `from` points back along the link toward the sender.
+          ASSERT_TRUE(from.has_value());
+          EXPECT_EQ(*from, Dir2::NegX);
+        }
+      });
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], (Coord2{1, 1}));
+  EXPECT_EQ(order[1], (Coord2{2, 1}));
+  EXPECT_EQ(stats.rounds, 2u);
+  EXPECT_EQ(stats.messages, 2u);
+  EXPECT_EQ(stats.payload_words, 1u);
+  EXPECT_TRUE(stats.quiescent);
+}
+
+TEST(SyncEngine, SameRoundDeliveriesBatchIntoOneRound) {
+  const Mesh2D m(5, 5);
+  Engine2D eng(m);
+  // Three bootstrap messages are all delivered in round 1; each handler
+  // fans out one message, all delivered together in round 2.
+  eng.inject({0, 0}, Message{0, {}});
+  eng.inject({2, 2}, Message{0, {1}});
+  eng.inject({4, 4}, Message{0, {1, 2}});
+
+  const RunStats stats = eng.run(
+      [&](Coord2 self, const Message& msg, std::optional<Dir2>) {
+        if (msg.type == 0) eng.send(self, Dir2::NegY, Message{1, {9}});
+      });
+  // (0,0) and the walls: the NegY send from (0,0) falls off the mesh, the
+  // other two arrive; rounds = bootstrap + fan-out.
+  EXPECT_EQ(stats.rounds, 2u);
+  EXPECT_EQ(stats.messages, 5u);
+  // 0+1+2 bootstrap words, plus one {9} word from each surviving fan-out.
+  EXPECT_EQ(stats.payload_words, 5u);
+  EXPECT_TRUE(stats.quiescent);
+}
+
+TEST(SyncEngine, SendsOffTheMeshAreSilentlyDropped) {
+  const Mesh2D m(3, 3);
+  Engine2D eng(m);
+  eng.inject({0, 0}, Message{0, {}});
+
+  size_t deliveries = 0;
+  const RunStats stats = eng.run(
+      [&](Coord2 self, const Message& msg, std::optional<Dir2>) {
+        ++deliveries;
+        if (msg.type != 0) return;
+        // Both of these cross the wall at the mesh corner.
+        eng.send(self, Dir2::NegX, Message{1, {1, 2, 3}});
+        eng.send(self, Dir2::NegY, Message{1, {4, 5, 6}});
+      });
+  // Only the bootstrap message is ever delivered; the two wall-crossing
+  // sends are dropped without being counted as messages or payload.
+  EXPECT_EQ(deliveries, 1u);
+  EXPECT_EQ(stats.rounds, 1u);
+  EXPECT_EQ(stats.messages, 1u);
+  EXPECT_EQ(stats.payload_words, 0u);
+  EXPECT_TRUE(stats.quiescent);
+}
+
+TEST(SyncEngine, RoundCapStopsNonQuiescentRun) {
+  const Mesh2D m(4, 1);
+  Engine2D eng(m);
+  eng.inject({0, 0}, Message{0, {}});
+
+  // Ping-pong forever between (0,0) and (1,0).
+  const RunStats stats = eng.run(
+      [&](Coord2 self, const Message&, std::optional<Dir2>) {
+        eng.send(self, self.x == 0 ? Dir2::PosX : Dir2::NegX, Message{1, {}});
+      },
+      /*max_rounds=*/10);
+  EXPECT_EQ(stats.rounds, 10u);
+  EXPECT_EQ(stats.messages, 10u);
+  EXPECT_FALSE(stats.quiescent);
+}
+
+TEST(SyncEngine, FloodVisitsEveryNodeOnce3D) {
+  const Mesh3D m(3, 3, 3);
+  Engine3D eng(m);
+  eng.inject({0, 0, 0}, Message{0, {}});
+
+  std::vector<int> seen(m.node_count(), 0);
+  const RunStats stats = eng.run(
+      [&](Coord3 self, const Message&, std::optional<Dir3> from) {
+        if (seen[m.index(self)]++) return;  // already visited: absorb
+        for (mesh::Dir3 d : mesh::kAllDir3) {
+          if (from && d == *from) continue;
+          eng.send(self, d, Message{1, {}});
+        }
+      });
+  for (size_t i = 0; i < m.node_count(); ++i) EXPECT_GE(seen[i], 1) << i;
+  EXPECT_TRUE(stats.quiescent);
+  // A flood from a corner of a 3x3x3 mesh needs exactly
+  // 1 (bootstrap) + eccentricity (6) rounds to cover the far corner, plus
+  // one final round to absorb the last duplicates.
+  EXPECT_GE(stats.rounds, 7u);
+}
+
+}  // namespace
+}  // namespace mcc::sim
