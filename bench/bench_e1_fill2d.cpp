@@ -10,6 +10,7 @@
 #include <iostream>
 #include <mutex>
 
+#include "bench/common.h"
 #include "baselines/fault_block.h"
 #include "core/labeling.h"
 #include "mesh/fault_injection.h"
@@ -20,7 +21,7 @@
 
 int main() {
   using namespace mcc;
-  constexpr int kTrials = 100;
+  const int kTrials = bench::trials(100);
   const int sizes[] = {16, 32, 48};
   const double rates[] = {0.01, 0.02, 0.05, 0.10, 0.15, 0.20};
 

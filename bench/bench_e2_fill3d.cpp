@@ -4,6 +4,7 @@
 #include <iostream>
 #include <mutex>
 
+#include "bench/common.h"
 #include "baselines/fault_block.h"
 #include "core/labeling.h"
 #include "mesh/fault_injection.h"
@@ -14,7 +15,7 @@
 
 int main() {
   using namespace mcc;
-  constexpr int kTrials = 60;
+  const int kTrials = bench::trials(60);
   const int sizes[] = {8, 12, 16};
   const double rates[] = {0.01, 0.02, 0.05, 0.10, 0.15};
 

@@ -19,7 +19,7 @@
 
 int main() {
   using namespace mcc;
-  constexpr int kTrials = 40;
+  const int kTrials = bench::trials(40);
   constexpr int kPairs = 50;
   const int k = 32;
   const double rates[] = {0.01, 0.02, 0.05, 0.10, 0.15, 0.20};

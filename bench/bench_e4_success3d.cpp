@@ -15,7 +15,7 @@
 
 int main() {
   using namespace mcc;
-  constexpr int kTrials = 30;
+  const int kTrials = bench::trials(30);
   constexpr int kPairs = 40;
   const int k = 12;
   const double rates[] = {0.01, 0.02, 0.05, 0.10, 0.15};

@@ -4,6 +4,7 @@
 #include <iostream>
 #include <mutex>
 
+#include "bench/common.h"
 #include "core/mcc_region.h"
 #include "mesh/fault_injection.h"
 #include "mesh/octant.h"
@@ -14,7 +15,7 @@
 
 int main() {
   using namespace mcc;
-  constexpr int kTrials = 50;
+  const int kTrials = bench::trials(50);
   const int k = 32;
   const mesh::Mesh2D m(k, k);
   const double rates[] = {0.02, 0.05, 0.10, 0.15, 0.20};

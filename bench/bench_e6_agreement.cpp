@@ -23,7 +23,7 @@
 
 int main() {
   using namespace mcc;
-  constexpr int kTrials = 40;
+  const int kTrials = bench::trials(40);
   constexpr int kPairs = 60;
 
   std::cout << "# E6: feasibility-condition agreement with the oracle\n\n";

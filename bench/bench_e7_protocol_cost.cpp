@@ -13,7 +13,7 @@
 
 int main() {
   using namespace mcc;
-  constexpr int kTrials = 20;
+  const int kTrials = bench::trials(20);
 
   std::cout << "# E7: distributed protocol cost (2-D stack)\n\n";
 

@@ -13,7 +13,7 @@
 
 int main() {
   using namespace mcc;
-  constexpr int kTrials = 25;
+  const int kTrials = bench::trials(25);
   constexpr int kPairs = 25;
   const int k = 24;
   const mesh::Mesh2D m(k, k);

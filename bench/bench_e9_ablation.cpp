@@ -18,7 +18,7 @@
 
 int main() {
   using namespace mcc;
-  constexpr int kTrials = 30;
+  const int kTrials = bench::trials(30);
   constexpr int kPairs = 30;
   const int k = 24;
   const mesh::Mesh2D m(k, k);

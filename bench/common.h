@@ -1,46 +1,26 @@
-// Shared helpers for the experiment binaries.
+// Shared helpers for the experiment binaries: scenario sampling re-exported
+// from util/scenario.h plus smoke-mode support. With MCC_SMOKE=1 in the
+// environment every bench shrinks to one repetition on its smallest
+// configuration so CI can execute each binary cheaply (bench code cannot
+// rot into a compile-only artifact).
 #pragma once
 
-#include <optional>
+#include <cstdlib>
 
-#include "core/labeling.h"
-#include "mesh/mesh.h"
-#include "util/rng.h"
+#include "util/scenario.h"
 
 namespace mcc::bench {
 
-/// Draws a safe source/destination pair with strictly positive offsets in
-/// the canonical quadrant/octant; returns nullopt when none is found.
-inline std::optional<std::pair<mesh::Coord2, mesh::Coord2>> sample_pair2d(
-    const mesh::Mesh2D& m, const core::LabelField2D& labels, util::Rng& rng,
-    int min_distance = 4) {
-  for (int t = 0; t < 200; ++t) {
-    const mesh::Coord2 s{rng.uniform_int(0, m.nx() - 2),
-                         rng.uniform_int(0, m.ny() - 2)};
-    const mesh::Coord2 d{rng.uniform_int(s.x + 1, m.nx() - 1),
-                         rng.uniform_int(s.y + 1, m.ny() - 1)};
-    if (manhattan(s, d) < min_distance) continue;
-    if (!labels.safe(s) || !labels.safe(d)) continue;
-    return std::make_pair(s, d);
-  }
-  return std::nullopt;
+using util::sample_pair2d;
+using util::sample_pair3d;
+
+/// True when the MCC_SMOKE environment variable is set to a non-zero value.
+inline bool smoke() {
+  const char* v = std::getenv("MCC_SMOKE");
+  return v != nullptr && *v != '\0' && *v != '0';
 }
 
-inline std::optional<std::pair<mesh::Coord3, mesh::Coord3>> sample_pair3d(
-    const mesh::Mesh3D& m, const core::LabelField3D& labels, util::Rng& rng,
-    int min_distance = 4) {
-  for (int t = 0; t < 200; ++t) {
-    const mesh::Coord3 s{rng.uniform_int(0, m.nx() - 2),
-                         rng.uniform_int(0, m.ny() - 2),
-                         rng.uniform_int(0, m.nz() - 2)};
-    const mesh::Coord3 d{rng.uniform_int(s.x + 1, m.nx() - 1),
-                         rng.uniform_int(s.y + 1, m.ny() - 1),
-                         rng.uniform_int(s.z + 1, m.nz() - 1)};
-    if (manhattan(s, d) < min_distance) continue;
-    if (!labels.safe(s) || !labels.safe(d)) continue;
-    return std::make_pair(s, d);
-  }
-  return std::nullopt;
-}
+/// Trial count for a sweep: `full` normally, 1 in smoke mode.
+inline int trials(int full) { return smoke() ? 1 : full; }
 
 }  // namespace mcc::bench

@@ -1,0 +1,16 @@
+# gcov instrumentation toggled by -DMCC_COVERAGE=ON (used by the coverage
+# CI job, which runs gcovr over the build tree and enforces a line floor).
+# Applied through the shared interface target so every object in the tree
+# emits .gcno/.gcda data.
+
+function(mcc_apply_coverage target)
+  if(NOT MCC_COVERAGE)
+    return()
+  endif()
+  if(MSVC)
+    message(WARNING "MCC_COVERAGE is gcc/clang-only; ignored under MSVC")
+    return()
+  endif()
+  target_compile_options(${target} INTERFACE --coverage -O0)
+  target_link_options(${target} INTERFACE --coverage)
+endfunction()

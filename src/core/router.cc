@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "core/feasibility2d.h"
+#include "util/grid.h"
+
 namespace mcc::core {
 
 using mesh::Coord2;
@@ -44,16 +47,77 @@ bool RecordGuidance2D::exclude(Coord2 u, Dir2 dir, Coord2 next) const {
   return false;
 }
 
+bool safe_reach_box2(const LabelField2D& labels, Coord2 u, Coord2 d) {
+  const int nx = d.x - u.x + 1, ny = d.y - u.y + 1;
+  util::Grid2<uint8_t> ok(nx, ny, uint8_t{0});
+  for (int y = ny - 1; y >= 0; --y)
+    for (int x = nx - 1; x >= 0; --x) {
+      const Coord2 c{u.x + x, u.y + y};
+      const bool at_d = c == d;
+      if (at_d ? labels.state(c) == NodeState::Faulty : !labels.safe(c))
+        continue;
+      const bool reach = at_d || (x + 1 < nx && ok.at(x + 1, y)) ||
+                         (y + 1 < ny && ok.at(x, y + 1));
+      if (reach) ok.at(x, y) = 1;
+    }
+  return ok.at(0, 0) != 0;
+}
+
+bool safe_reach_box3(const LabelField3D& labels, Coord3 u, Coord3 d) {
+  const int nx = d.x - u.x + 1, ny = d.y - u.y + 1, nz = d.z - u.z + 1;
+  util::Grid3<uint8_t> ok(nx, ny, nz, uint8_t{0});
+  for (int z = nz - 1; z >= 0; --z)
+    for (int y = ny - 1; y >= 0; --y)
+      for (int x = nx - 1; x >= 0; --x) {
+        const Coord3 c{u.x + x, u.y + y, u.z + z};
+        const bool at_d = c == d;
+        if (at_d ? labels.state(c) == NodeState::Faulty : !labels.safe(c))
+          continue;
+        const bool reach = at_d || (x + 1 < nx && ok.at(x + 1, y, z)) ||
+                           (y + 1 < ny && ok.at(x, y + 1, z)) ||
+                           (z + 1 < nz && ok.at(x, y, z + 1));
+        if (reach) ok.at(x, y, z) = 1;
+      }
+  return ok.at(0, 0, 0) != 0;
+}
+
+bool DetectGuidance2D::exclude(Coord2, Dir2, Coord2 next) const {
+  if (next == d_) return labels_.state(next) == NodeState::Faulty;
+  if (labels_.unsafe(next)) return true;
+  if (next.x == d_.x || next.y == d_.y)
+    return !safe_reach_box2(labels_, next, d_);
+  return !detect2d(mesh_, labels_, next, d_).feasible();
+}
+
 bool FloodGuidance3D::exclude(Coord3, Dir3, Coord3 next) const {
   if (next == d_) return labels_.state(next) == NodeState::Faulty;
   if (labels_.unsafe(next)) return true;
+  if (next.x == d_.x || next.y == d_.y || next.z == d_.z)
+    return !safe_reach_box3(labels_, next, d_);
   return !detect3d(mesh_, labels_, next, d_).feasible();
 }
 
 namespace {
 
-// Shared routing loop. `Dirs` lists the preferred directions; `axis_gap`
-// returns the remaining offset along a direction's axis.
+// Shared enumeration for admissible2d/admissible3d: preferred directions
+// with remaining offset that survive guidance, in axis order.
+template <class Coord, class Dir, class Guidance, size_t N>
+size_t admissible_impl(Coord u, const std::array<Dir, N>& preferred,
+                       const Guidance& guidance, std::array<Dir, N>& out,
+                       auto&& remaining_along) {
+  size_t n = 0;
+  for (const Dir dir : preferred) {
+    if (remaining_along(u, dir) <= 0) continue;
+    const Coord next = step(u, dir);
+    if (guidance.exclude(u, dir, next)) continue;
+    out[n++] = dir;
+  }
+  return n;
+}
+
+// Shared routing loop on top of the adapter surface (admissible_impl +
+// select_candidate), so route2d/route3d and the wormhole simulator make
+// identical per-hop decisions.
 template <class Coord, class Dir, class Guidance, size_t N>
 RouteResultT<Coord> route_impl(Coord s, Coord d,
                                const std::array<Dir, N>& preferred,
@@ -66,14 +130,9 @@ RouteResultT<Coord> route_impl(Coord s, Coord d,
   int last_axis = -1;
 
   for (int hop = 0; hop < distance; ++hop) {
-    Dir candidates[N];
-    size_t n = 0;
-    for (const Dir dir : preferred) {
-      if (remaining_along(u, dir) <= 0) continue;
-      const Coord next = step(u, dir);
-      if (guidance.exclude(u, dir, next)) continue;
-      candidates[n++] = dir;
-    }
+    std::array<Dir, N> candidates;
+    const size_t n =
+        admissible_impl(u, preferred, guidance, candidates, remaining_along);
     if (n == 0) {
       res.failure = "no admissible direction";
       return res;
@@ -81,38 +140,9 @@ RouteResultT<Coord> route_impl(Coord s, Coord d,
     res.stats.candidate_sum += static_cast<int>(n);
     if (n >= 2) ++res.stats.multi_choice_hops;
 
-    Dir chosen = candidates[0];
-    switch (policy) {
-      case RoutePolicy::XFirst:
-        break;  // candidates are in axis order already
-      case RoutePolicy::YFirst:
-        chosen = candidates[n - 1];
-        break;
-      case RoutePolicy::Random:
-        chosen = candidates[rng.pick(n)];
-        break;
-      case RoutePolicy::Balanced: {
-        int best = -1;
-        for (size_t i = 0; i < n; ++i) {
-          const int rem = remaining_along(u, candidates[i]);
-          if (rem > best) {
-            best = rem;
-            chosen = candidates[i];
-          }
-        }
-        break;
-      }
-      case RoutePolicy::Alternate: {
-        chosen = candidates[0];
-        for (size_t i = 0; i < n; ++i) {
-          if (axis_of(candidates[i]) != last_axis) {
-            chosen = candidates[i];
-            break;
-          }
-        }
-        break;
-      }
-    }
+    const Dir chosen = candidates[select_candidate(
+        candidates, n, policy, last_axis, rng,
+        [&](Dir dir) { return remaining_along(u, dir); })];
     last_axis = axis_of(chosen);
     u = step(u, chosen);
     res.path.push_back(u);
@@ -125,6 +155,24 @@ RouteResultT<Coord> route_impl(Coord s, Coord d,
 }
 
 }  // namespace
+
+size_t admissible2d(Coord2 u, Coord2 d, const Guidance2D& g,
+                    std::array<Dir2, 2>& out) {
+  return admissible_impl(u, mesh::kPosDir2, g, out, [&](Coord2 c, Dir2 dir) {
+    return dir == Dir2::PosX ? d.x - c.x : d.y - c.y;
+  });
+}
+
+size_t admissible3d(Coord3 u, Coord3 d, const Guidance3D& g,
+                    std::array<Dir3, 3>& out) {
+  return admissible_impl(u, mesh::kPosDir3, g, out, [&](Coord3 c, Dir3 dir) {
+    switch (dir) {
+      case Dir3::PosX: return d.x - c.x;
+      case Dir3::PosY: return d.y - c.y;
+      default: return d.z - c.z;
+    }
+  });
+}
 
 RouteResult2D route2d(const mesh::Mesh2D& mesh, Coord2 s, Coord2 d,
                       const Guidance2D& guidance, RoutePolicy policy,

@@ -14,14 +14,28 @@
 //                       is unsafe, or a boundary record at the current node
 //                       places the destination in the owner's critical
 //                       region and the next node in a chained forbidden
-//                       region (2-D);
+//                       region (2-D). CAVEAT (found by the differential
+//                       suite): on dense interlocked fault patterns the
+//                       merged chains over-approximate, so this rule is
+//                       sound (a delivered path is always minimal and
+//                       fault-free) but can occasionally exclude every
+//                       direction on a feasible pair — tests/
+//                       test_differential.cc quantifies the gap;
+//   * DetectGuidance  — 2-D: excludes a step iff the next node is unsafe or
+//                       the remaining pair fails detection from there (the
+//                       per-hop form of Algorithm 3's check; degenerate
+//                       remainders use the exact safe-reach reduction).
+//                       Carries the full delivery guarantee;
 //   * FloodGuidance   — 3-D: excludes a step iff the next node is unsafe or
 //                       the three detection floods fail from there (the
-//                       per-hop form of Algorithm 6's check).
+//                       per-hop form of Algorithm 6's check; degenerate
+//                       remainders use the exact safe-reach reduction, as
+//                       raw floods are meaningful only for strict offsets).
 //
 // All routers operate in the canonical octant (callers flip axes first).
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -112,6 +126,22 @@ class RecordGuidance2D : public Guidance2D {
   mesh::Coord2 d_;
 };
 
+/// Per-hop detection (Algorithm 3 phase 1 applied from every next-hop):
+/// exact for safe pairs, so it carries the delivery guarantee even where
+/// the record chains over-approximate.
+class DetectGuidance2D : public Guidance2D {
+ public:
+  DetectGuidance2D(const mesh::Mesh2D& mesh, const LabelField2D& labels,
+                   mesh::Coord2 d)
+      : mesh_(mesh), labels_(labels), d_(d) {}
+  bool exclude(mesh::Coord2, mesh::Dir2, mesh::Coord2 next) const override;
+
+ private:
+  const mesh::Mesh2D& mesh_;
+  const LabelField2D& labels_;
+  mesh::Coord2 d_;
+};
+
 /// Ablation baseline: avoids unsafe neighbors but consults no records.
 class LabelsOnlyGuidance2D : public Guidance2D {
  public:
@@ -130,6 +160,70 @@ class LabelsOnlyGuidance2D : public Guidance2D {
 RouteResult2D route2d(const mesh::Mesh2D& mesh, mesh::Coord2 s,
                       mesh::Coord2 d, const Guidance2D& guidance,
                       RoutePolicy policy, util::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Adapter surface for per-hop engines (the flit-level wormhole simulator in
+// sim/wormhole/ and route2d/route3d themselves): candidate enumeration and
+// policy selection are exposed so external routers make exactly the same
+// decisions as the reference path router.
+
+class Guidance3D;
+
+/// Exact safe-only monotone reachability within the box spanned by u and d
+/// (requires u <= d componentwise; d itself is usable when merely
+/// non-faulty). This is the reduced feasibility check the per-hop guidances
+/// fall back to when the remaining pair is degenerate — the raw detection
+/// walkers/floods are meaningful only for strict offsets.
+bool safe_reach_box2(const LabelField2D& labels, mesh::Coord2 u,
+                     mesh::Coord2 d);
+bool safe_reach_box3(const LabelField3D& labels, mesh::Coord3 u,
+                     mesh::Coord3 d);
+
+/// Enumerates the preferred directions at u that still have remaining offset
+/// toward d and survive `guidance`, in canonical axis order. Returns the
+/// count written to `out`. Operates in the canonical quadrant (u <= d).
+size_t admissible2d(mesh::Coord2 u, mesh::Coord2 d, const Guidance2D& g,
+                    std::array<mesh::Dir2, 2>& out);
+size_t admissible3d(mesh::Coord3 u, mesh::Coord3 d, const Guidance3D& g,
+                    std::array<mesh::Dir3, 3>& out);
+
+/// Applies a selection policy to a non-empty, axis-ordered candidate list
+/// and returns the index of the chosen direction. `last_axis` is the axis of
+/// the previous hop (-1 at the source); `remaining` maps a direction to its
+/// remaining offset (used by Balanced). Random draws exactly one pick from
+/// `rng`.
+template <class Dir, size_t N, class RemainingFn>
+size_t select_candidate(const std::array<Dir, N>& c, size_t n,
+                        RoutePolicy policy, int last_axis, util::Rng& rng,
+                        RemainingFn&& remaining) {
+  switch (policy) {
+    case RoutePolicy::XFirst:
+      return 0;
+    case RoutePolicy::YFirst:
+      return n - 1;
+    case RoutePolicy::Random:
+      return rng.pick(n);
+    case RoutePolicy::Balanced: {
+      size_t chosen = 0;
+      int best = -1;
+      for (size_t i = 0; i < n; ++i) {
+        const int rem = remaining(c[i]);
+        if (rem > best) {
+          best = rem;
+          chosen = i;
+        }
+      }
+      return chosen;
+    }
+    case RoutePolicy::Alternate: {
+      for (size_t i = 0; i < n; ++i) {
+        if (axis_of(c[i]) != last_axis) return i;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
 
 // ---------------------------------------------------------------------------
 // 3-D

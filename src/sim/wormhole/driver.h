@@ -1,0 +1,53 @@
+// Load-point driver for latency-throughput sweeps (experiment E11).
+//
+// One load point = fresh network, warmup (inject, discard statistics),
+// measurement window (inject, record), drain (no injection, run until the
+// network empties or the drain budget runs out). Everything is
+// deterministic given `seed`.
+#pragma once
+
+#include <cstdint>
+
+#include "core/router.h"
+#include "mesh/fault_set.h"
+#include "mesh/mesh.h"
+#include "sim/wormhole/flit.h"
+#include "sim/wormhole/routing.h"
+#include "sim/wormhole/traffic.h"
+
+namespace mcc::sim::wh {
+
+struct LoadPoint {
+  double rate = 0.01;      // packets per live node per cycle
+  int warmup = 500;        // cycles before measurement starts
+  int measure = 2000;      // measurement window, injection on
+  int drain = 30000;       // post-injection budget to empty the network
+  int stall = 1000;        // drain cycles without a delivery = deadlock
+};
+
+struct SimResult {
+  double offered_flits = 0;   // flits/node/cycle offered in the window
+  double accepted_flits = 0;  // flits/node/cycle delivered in the window
+  // Latency covers every packet delivered from window open through the end
+  // of the drain, so the slow tail of a saturated point is not truncated.
+  double avg_latency = 0;
+  uint64_t p99_latency = 0;
+  uint64_t max_latency = 0;
+  uint64_t delivered_packets = 0;  // latency-sampled deliveries
+  uint64_t filtered = 0;           // infeasible draws over the whole run
+  uint64_t wedged_head_cycles = 0;
+  uint64_t violations = 0;
+  bool drained = false;     // network emptied within the drain budget
+  bool deadlocked = false;  // drain stopped making forward progress
+  bool saturated = false;   // accepted lagged offered by >10% in the window
+};
+
+/// Runs one load point of `pattern` traffic through `routing` on a fresh
+/// wormhole network.
+SimResult run_load_point3d(const mesh::Mesh3D& mesh,
+                           const mesh::FaultSet3D& faults,
+                           RoutingFunction3D& routing, Pattern pattern,
+                           const Config& cfg, core::RoutePolicy policy,
+                           const LoadPoint& load, uint64_t seed);
+
+}  // namespace mcc::sim::wh

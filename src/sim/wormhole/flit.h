@@ -1,0 +1,37 @@
+// Flit-level wormhole data types (experiment E11).
+//
+// A packet is cut into flits: a Head that carries the route state
+// (source/destination/deadlock class), Body flits, and a Tail that releases
+// the virtual channels the head acquired; a single-flit packet is a
+// HeadTail. Flits carry their packet id and sequence number so the ejection
+// side can verify wormhole's per-VC contiguous, in-order delivery.
+#pragma once
+
+#include <cstdint>
+
+namespace mcc::sim::wh {
+
+using PacketId = uint64_t;
+
+enum class FlitKind : uint8_t { Head, Body, Tail, HeadTail };
+
+template <class Coord>
+struct FlitT {
+  PacketId packet = 0;
+  uint32_t seq = 0;  // flit index within the packet
+  FlitKind kind = FlitKind::HeadTail;
+  uint8_t vc_class = 0;  // deadlock class, fixed at injection
+  Coord src{};
+  Coord dst{};
+  uint64_t birth = 0;  // cycle the packet entered its source queue
+};
+
+/// Knobs of the wormhole network. Defaults model a small classic
+/// input-buffered VC router.
+struct Config {
+  int vcs_per_class = 2;  // adaptive VCs inside each deadlock class
+  int buffer_depth = 4;   // flits of buffering per input VC
+  int packet_size = 4;    // flits per packet (>= 1)
+};
+
+}  // namespace mcc::sim::wh

@@ -1,0 +1,483 @@
+// Cycle-level wormhole network: input-buffered routers with virtual
+// channels, credit-based flow control and separable two-stage switch
+// allocation, driven by a pluggable routing function (routing.h).
+//
+// Router model (one cycle = one step() call):
+//   1. wire delivery    — flits and credits sent last cycle arrive;
+//   2. VC allocation    — a head flit at the front of an idle input VC asks
+//                         the routing function for its admissible outputs,
+//                         orders them by the configured RoutePolicy, and
+//                         grabs the first free output VC in its deadlock
+//                         class (adaptivity = choosing by availability);
+//   3. switch allocation / traversal — per input port one flit, per output
+//                         port one flit (separable round-robin allocator);
+//                         winners move one hop (link) or leave (ejection),
+//                         consume a credit, and return one upstream.
+//
+// Virtual channels are partitioned into deadlock classes; a packet's class
+// is fixed at injection (for the MCC routing functions it is the antipodal
+// octant-pair of its source/destination). Every hop of a minimal route
+// strictly increases the sign-weighted potential of its own octant, so the
+// channel-dependency graph inside one class is acyclic and the network is
+// deadlock-free — the full argument is in docs/wormhole.md.
+//
+// The network is deterministic given its seed: all iteration orders are
+// fixed and the only randomness is the RoutePolicy::Random candidate pick.
+#pragma once
+
+#include <array>
+#include <cstdlib>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/router.h"
+#include "mesh/mesh.h"
+#include "sim/wormhole/flit.h"
+#include "sim/wormhole/routing.h"
+#include "sim/wormhole/stats.h"
+#include "util/rng.h"
+
+namespace mcc::sim::wh {
+
+struct Topo2 {
+  using Mesh = mesh::Mesh2D;
+  using Coord = mesh::Coord2;
+  using Dir = mesh::Dir2;
+  using Faults = mesh::FaultSet2D;
+  using Routing = RoutingFunction2D;
+  static constexpr int kDirs = 4;
+  static constexpr size_t kMaxCand = 2;
+};
+
+struct Topo3 {
+  using Mesh = mesh::Mesh3D;
+  using Coord = mesh::Coord3;
+  using Dir = mesh::Dir3;
+  using Faults = mesh::FaultSet3D;
+  using Routing = RoutingFunction3D;
+  static constexpr int kDirs = 6;
+  static constexpr size_t kMaxCand = 3;
+};
+
+inline int comp(mesh::Coord2 c, int axis) { return axis == 0 ? c.x : c.y; }
+inline int comp(mesh::Coord3 c, int axis) {
+  return axis == 0 ? c.x : axis == 1 ? c.y : c.z;
+}
+
+template <class Topo>
+class Network {
+ public:
+  using Mesh = typename Topo::Mesh;
+  using Coord = typename Topo::Coord;
+  using Dir = typename Topo::Dir;
+  using Flit = FlitT<Coord>;
+  static constexpr int kDirs = Topo::kDirs;
+  static constexpr int kPorts = kDirs + 1;  // + injection/ejection port
+
+  Network(const Mesh& mesh, const typename Topo::Faults& faults,
+          typename Topo::Routing& routing, const Config& cfg,
+          core::RoutePolicy policy, uint64_t seed)
+      : mesh_(mesh),
+        routing_(routing),
+        cfg_(cfg),
+        policy_(policy),
+        rng_(seed),
+        vcs_(routing.vc_classes() * cfg.vcs_per_class),
+        nodes_(mesh.node_count()) {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      Node& nd = nodes_[i];
+      nd.alive = !faults.is_faulty(mesh_.coord(i));
+      if (!nd.alive) continue;
+      nd.in.resize(static_cast<size_t>(kPorts) * vcs_);
+      nd.out.resize(static_cast<size_t>(kPorts) * vcs_);
+      for (int p = 0; p < kDirs; ++p)
+        for (int v = 0; v < vcs_; ++v)
+          nd.out[static_cast<size_t>(p) * vcs_ + v].credits =
+              cfg_.buffer_depth;
+      nd.in_rr.assign(kPorts, 0);
+      nd.out_rr.assign(kPorts, 0);
+      nd.eject.resize(vcs_);
+    }
+  }
+
+  const Mesh& mesh() const { return mesh_; }
+  uint64_t cycle() const { return cycle_; }
+  const NetStats& stats() const { return stats_; }
+  int total_vcs() const { return vcs_; }
+
+  /// Packets injected but not yet fully ejected (source queues included).
+  uint64_t in_flight() const {
+    return stats_.injected_packets - stats_.delivered_packets;
+  }
+  bool idle() const { return in_flight() == 0; }
+
+  /// Starts a measurement window: clears the latency histogram and returns
+  /// the (injected, delivered) flit counters to diff against later.
+  std::pair<uint64_t, uint64_t> begin_window() {
+    stats_.latency.clear();
+    return {stats_.injected_flits, stats_.delivered_flits};
+  }
+
+  /// Appends a packet to s's source queue. The caller is responsible for
+  /// only injecting pairs the routing function can deliver.
+  PacketId inject(Coord s, Coord d) {
+    const PacketId id = ++next_packet_;
+    Node& nd = nodes_[mesh_.index(s)];
+    if (!nd.alive) {
+      fail("inject into dead node");
+      return id;
+    }
+    const int cls = routing_.vc_class(s, d);
+    InVc& vc = nd.in[in_index(kDirs, cls * cfg_.vcs_per_class)];
+    for (int i = 0; i < cfg_.packet_size; ++i) {
+      Flit f;
+      f.packet = id;
+      f.seq = static_cast<uint32_t>(i);
+      f.kind = cfg_.packet_size == 1 ? FlitKind::HeadTail
+               : i == 0              ? FlitKind::Head
+               : i == cfg_.packet_size - 1 ? FlitKind::Tail
+                                           : FlitKind::Body;
+      f.vc_class = static_cast<uint8_t>(cls);
+      f.src = s;
+      f.dst = d;
+      f.birth = cycle_;
+      vc.buf.push_back(f);
+    }
+    ++stats_.injected_packets;
+    stats_.injected_flits += static_cast<uint64_t>(cfg_.packet_size);
+    return id;
+  }
+
+  /// One cycle.
+  void step() {
+    deliver_wires();
+    allocate_vcs();
+    traverse();
+    ++cycle_;
+  }
+
+  /// Credit-conservation invariant: for every link VC, credits held
+  /// upstream plus flits buffered (or on the wire) downstream plus credits
+  /// on the wire equal the buffer depth. Call between steps.
+  bool check_credits(std::string* err = nullptr) const {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      const Node& nd = nodes_[i];
+      if (!nd.alive) continue;
+      const Coord u = mesh_.coord(i);
+      for (int q = 0; q < kDirs; ++q) {
+        const Coord w = mesh::step(u, static_cast<Dir>(q));
+        const bool live_link =
+            mesh_.contains(w) && nodes_[mesh_.index(w)].alive;
+        const int pw = live_link
+                           ? static_cast<int>(opposite(static_cast<Dir>(q)))
+                           : 0;
+        for (int v = 0; v < vcs_; ++v) {
+          const OutVc& ov = nd.out[static_cast<size_t>(q) * vcs_ + v];
+          int total = ov.credits;
+          if (!live_link) {
+            if (total != cfg_.buffer_depth || ov.busy) {
+              if (err)
+                *err = "wall/dead link VC not pristine at node " +
+                       std::to_string(i);
+              return false;
+            }
+            continue;
+          }
+          const Node& wd = nodes_[mesh_.index(w)];
+          total +=
+              static_cast<int>(wd.in[in_index(pw, v)].buf.size());
+          for (const FlitArrival& a : flit_wire_)
+            if (a.node == mesh_.index(w) && a.port == pw && a.vc == v)
+              ++total;
+          for (const CreditReturn& c : credit_wire_)
+            if (c.node == i && c.port == q && c.vc == v) ++total;
+          if (total != cfg_.buffer_depth) {
+            if (err)
+              *err = "credit conservation broken: node " + std::to_string(i) +
+                     " port " + std::to_string(q) + " vc " +
+                     std::to_string(v) + " total " + std::to_string(total);
+            return false;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+ private:
+  struct InVc {
+    std::deque<Flit> buf;
+    bool active = false;  // holds an output VC
+    int out_port = -1;
+    int out_vc = -1;
+    // Route-computation cache: a head's candidate set depends only on
+    // (node, src, dst), so a head blocked on VC availability must not
+    // re-run the routing function (Model mode sweeps the remaining box)
+    // every cycle. Valid while `routed_packet` matches the head.
+    PacketId routed_packet = 0;
+    std::array<Dir, Topo::kMaxCand> cand{};
+    uint8_t cand_n = 0;
+  };
+  struct OutVc {
+    bool busy = false;
+    int credits = 0;
+  };
+  struct Reassembly {
+    PacketId packet = 0;
+    uint32_t next_seq = 0;
+    bool open = false;
+  };
+  struct Node {
+    bool alive = false;
+    std::vector<InVc> in;    // [port][vc] flattened
+    std::vector<OutVc> out;  // [port][vc] flattened
+    std::vector<int> in_rr;
+    std::vector<int> out_rr;
+    std::vector<Reassembly> eject;  // per ejection VC
+  };
+  struct FlitArrival {
+    size_t node;
+    int port;
+    int vc;
+    Flit flit;
+  };
+  struct CreditReturn {
+    size_t node;
+    int port;
+    int vc;
+  };
+
+  size_t in_index(int port, int vc) const {
+    return static_cast<size_t>(port) * vcs_ + vc;
+  }
+
+  void fail(std::string msg) {
+    if (stats_.violations.size() < 32)
+      stats_.violations.push_back("cycle " + std::to_string(cycle_) + ": " +
+                                  std::move(msg));
+  }
+
+  void deliver_wires() {
+    for (FlitArrival& a : flit_wire_) {
+      Node& nd = nodes_[a.node];
+      if (!nd.alive) {
+        fail("flit arrived at dead node");
+        continue;
+      }
+      InVc& vc = nd.in[in_index(a.port, a.vc)];
+      if (static_cast<int>(vc.buf.size()) >= cfg_.buffer_depth) {
+        fail("input buffer overflow (credit protocol broken)");
+        continue;
+      }
+      vc.buf.push_back(a.flit);
+    }
+    flit_wire_.clear();
+    for (const CreditReturn& c : credit_wire_) {
+      OutVc& ov = nodes_[c.node].out[in_index(c.port, c.vc)];
+      if (ov.credits >= cfg_.buffer_depth) {
+        fail("credit counter overflow");
+        continue;
+      }
+      ++ov.credits;
+    }
+    credit_wire_.clear();
+  }
+
+  void allocate_vcs() {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      Node& nd = nodes_[i];
+      if (!nd.alive) continue;
+      const Coord u = mesh_.coord(i);
+      for (int p = 0; p < kPorts; ++p) {
+        for (int v = 0; v < vcs_; ++v) {
+          InVc& vc = nd.in[in_index(p, v)];
+          if (vc.active || vc.buf.empty()) continue;
+          const Flit& head = vc.buf.front();
+          if (head.kind != FlitKind::Head && head.kind != FlitKind::HeadTail)
+            continue;
+
+          const int base = head.vc_class * cfg_.vcs_per_class;
+          if (head.dst == u) {
+            // Ejection: grab a free ejection VC in the packet's class.
+            for (int ov = base; ov < base + cfg_.vcs_per_class; ++ov) {
+              if (!nd.out[in_index(kDirs, ov)].busy) {
+                grant(nd, vc, kDirs, ov);
+                break;
+              }
+            }
+            continue;
+          }
+
+          if (vc.routed_packet != head.packet) {
+            vc.cand_n = static_cast<uint8_t>(
+                routing_.candidates(u, head.src, head.dst, vc.cand));
+            vc.routed_packet = head.packet;
+          }
+          const size_t n = vc.cand_n;
+          if (n == 0) {
+            ++stats_.wedged_head_cycles;
+            continue;
+          }
+          const int last_axis = p < kDirs ? axis_of(static_cast<Dir>(p)) : -1;
+          const size_t preferred = core::select_candidate(
+              vc.cand, n, policy_, last_axis, rng_, [&](Dir dir) {
+                const int axis = axis_of(dir);
+                return std::abs(comp(head.dst, axis) - comp(u, axis));
+              });
+          // Try the policy's choice first, the rest in order: adaptivity by
+          // output-VC availability.
+          for (size_t k = 0; k < n && !vc.active; ++k) {
+            const Dir dir = vc.cand[(preferred + k) % n];
+            const int q = static_cast<int>(dir);
+            for (int ov = base; ov < base + cfg_.vcs_per_class; ++ov) {
+              if (!nd.out[in_index(q, ov)].busy) {
+                grant(nd, vc, q, ov);
+                break;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  void grant(Node& nd, InVc& vc, int out_port, int out_vc) {
+    vc.active = true;
+    vc.out_port = out_port;
+    vc.out_vc = out_vc;
+    nd.out[in_index(out_port, out_vc)].busy = true;
+  }
+
+  void traverse() {
+    std::array<int, kPorts> winner;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      Node& nd = nodes_[i];
+      if (!nd.alive) continue;
+      const Coord u = mesh_.coord(i);
+
+      // Stage 1: each input port nominates one ready VC (round-robin).
+      for (int p = 0; p < kPorts; ++p) {
+        winner[p] = -1;
+        for (int k = 0; k < vcs_; ++k) {
+          const int v = (nd.in_rr[p] + k) % vcs_;
+          const InVc& vc = nd.in[in_index(p, v)];
+          if (!vc.active || vc.buf.empty()) continue;
+          if (vc.out_port < kDirs &&
+              nd.out[in_index(vc.out_port, vc.out_vc)].credits <= 0)
+            continue;
+          winner[p] = v;
+          break;
+        }
+      }
+
+      // Stage 2: each output port admits one input port (round-robin),
+      // then the winning flit traverses.
+      for (int q = 0; q < kPorts; ++q) {
+        for (int k = 0; k < kPorts; ++k) {
+          const int p = (nd.out_rr[q] + k) % kPorts;
+          if (winner[p] < 0) continue;
+          InVc& vc = nd.in[in_index(p, winner[p])];
+          if (vc.out_port != q) continue;
+          send_flit(nd, u, p, winner[p], vc);
+          nd.in_rr[p] = (winner[p] + 1) % vcs_;
+          nd.out_rr[q] = (p + 1) % kPorts;
+          winner[p] = -1;
+          break;
+        }
+      }
+    }
+  }
+
+  void send_flit(Node& nd, Coord u, int in_port, int in_vc, InVc& vc) {
+    const Flit f = vc.buf.front();
+    vc.buf.pop_front();
+    const int q = vc.out_port;
+    const int ov = vc.out_vc;
+    const bool tail =
+        f.kind == FlitKind::Tail || f.kind == FlitKind::HeadTail;
+
+    if (q == kDirs) {
+      eject(nd, ov, f, u);
+    } else {
+      OutVc& out = nd.out[in_index(q, ov)];
+      --out.credits;
+      const Coord w = mesh::step(u, static_cast<Dir>(q));
+      flit_wire_.push_back(
+          {mesh_.index(w), static_cast<int>(opposite(static_cast<Dir>(q))),
+           ov, f});
+    }
+
+    // Return a credit upstream (link inputs only; the source queue is not
+    // credit-controlled).
+    if (in_port < kDirs) {
+      const Coord up = mesh::step(u, static_cast<Dir>(in_port));
+      credit_wire_.push_back(
+          {mesh_.index(up),
+           static_cast<int>(opposite(static_cast<Dir>(in_port))), in_vc});
+    }
+    if (tail) {
+      nd.out[in_index(q, ov)].busy = false;
+      vc.active = false;
+      vc.out_port = vc.out_vc = -1;
+    }
+  }
+
+  void eject(Node& nd, int eject_vc, const Flit& f, Coord here) {
+    Reassembly& r = nd.eject[eject_vc];
+    if (!(f.dst == here)) fail("flit ejected at wrong node");
+    switch (f.kind) {
+      case FlitKind::HeadTail:
+        if (r.open) fail("single-flit packet interleaved with open packet");
+        deliver(f);
+        break;
+      case FlitKind::Head:
+        if (r.open) fail("head flit while a packet is open on this VC");
+        r.packet = f.packet;
+        r.next_seq = 1;
+        r.open = true;
+        if (f.seq != 0) fail("head flit with non-zero sequence");
+        break;
+      case FlitKind::Body:
+      case FlitKind::Tail:
+        if (!r.open || r.packet != f.packet)
+          fail("flit of a foreign packet inside a wormhole");
+        else if (f.seq != r.next_seq)
+          fail("out-of-order flit within a packet");
+        else
+          ++r.next_seq;
+        if (f.kind == FlitKind::Tail) {
+          if (r.open && static_cast<int>(r.next_seq) != cfg_.packet_size)
+            fail("tail with wrong packet length");
+          r.open = false;
+          deliver(f);
+        }
+        break;
+    }
+    ++stats_.delivered_flits;
+  }
+
+  void deliver(const Flit& f) {
+    ++stats_.delivered_packets;
+    stats_.last_delivery_cycle = cycle_;
+    stats_.latency.add(cycle_ - f.birth);
+  }
+
+  const Mesh& mesh_;
+  typename Topo::Routing& routing_;
+  Config cfg_;
+  core::RoutePolicy policy_;
+  util::Rng rng_;
+  int vcs_;
+  uint64_t cycle_ = 0;
+  PacketId next_packet_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<FlitArrival> flit_wire_;
+  std::vector<CreditReturn> credit_wire_;
+  NetStats stats_;
+};
+
+using Network2D = Network<Topo2>;
+using Network3D = Network<Topo3>;
+
+}  // namespace mcc::sim::wh

@@ -1,0 +1,257 @@
+#include "sim/wormhole/routing.h"
+
+#include <algorithm>
+
+namespace mcc::sim::wh {
+
+using core::LabelsOnlyGuidance2D;
+using core::LabelsOnlyGuidance3D;
+using core::NodeState;
+using mesh::Coord2;
+using mesh::Coord3;
+using mesh::Dir2;
+using mesh::Dir3;
+using mesh::Octant2;
+using mesh::Octant3;
+
+const char* to_string(GuidanceMode m) {
+  switch (m) {
+    case GuidanceMode::Oracle: return "oracle";
+    case GuidanceMode::Model: return "model";
+    case GuidanceMode::LabelsOnly: return "labels-only";
+  }
+  return "?";
+}
+
+namespace {
+
+// Canonical positive direction -> physical direction under an octant flip.
+Dir2 physical(Dir2 dir, Octant2 o) {
+  const bool flip = axis_of(dir) == 0 ? o.flip_x : o.flip_y;
+  return flip ? opposite(dir) : dir;
+}
+
+Dir3 physical(Dir3 dir, Octant3 o) {
+  bool flip = false;
+  switch (axis_of(dir)) {
+    case 0: flip = o.flip_x; break;
+    case 1: flip = o.flip_y; break;
+    default: flip = o.flip_z; break;
+  }
+  return flip ? opposite(dir) : dir;
+}
+
+// Guidance over a cached reachability field (Oracle mode).
+struct FieldGuidance2D final : core::Guidance2D {
+  explicit FieldGuidance2D(const core::ReachField2D& field) : f(field) {}
+  bool exclude(Coord2, Dir2, Coord2 next) const override {
+    return !f.feasible(next);
+  }
+  const core::ReachField2D& f;
+};
+
+struct FieldGuidance3D final : core::Guidance3D {
+  explicit FieldGuidance3D(const core::ReachField3D& field) : f(field) {}
+  bool exclude(Coord3, Dir3, Coord3 next) const override {
+    return !f.feasible(next);
+  }
+  const core::ReachField3D& f;
+};
+
+// Model mode: the MCC model's safe-only per-hop decision, computed exactly
+// by a monotone sweep of the remaining box. The message-passing walkers and
+// floods (DetectGuidance2D / FloodGuidance3D) approximate exactly this
+// decision and are evaluated at the core-router layer; a wormhole head that
+// wedges blocks its virtual channel forever, so the network must use the
+// exact form.
+struct SafeReachGuidance2D final : core::Guidance2D {
+  SafeReachGuidance2D(const core::LabelField2D& labels, Coord2 d)
+      : l(labels), dst(d) {}
+  bool exclude(Coord2, Dir2, Coord2 next) const override {
+    if (next == dst) return l.state(next) == NodeState::Faulty;
+    if (l.unsafe(next)) return true;
+    return !core::safe_reach_box2(l, next, dst);
+  }
+  const core::LabelField2D& l;
+  Coord2 dst;
+};
+
+struct SafeReachGuidance3D final : core::Guidance3D {
+  SafeReachGuidance3D(const core::LabelField3D& labels, Coord3 d)
+      : l(labels), dst(d) {}
+  bool exclude(Coord3, Dir3, Coord3 next) const override {
+    if (next == dst) return l.state(next) == NodeState::Faulty;
+    if (l.unsafe(next)) return true;
+    return !core::safe_reach_box3(l, next, dst);
+  }
+  const core::LabelField3D& l;
+  Coord3 dst;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MccRouting2D
+
+struct MccRouting2D::QuadCtx {
+  mesh::FaultSet2D faults;
+  core::LabelField2D labels;
+  std::unordered_map<size_t, core::ReachField2D> fields;
+
+  QuadCtx(const mesh::Mesh2D& m, const mesh::FaultSet2D& f, Octant2 o)
+      : faults(mesh::materialize(f, m, o)), labels(m, faults) {}
+
+  const core::ReachField2D& field(const mesh::Mesh2D& m, Coord2 dc) {
+    auto [it, inserted] = fields.try_emplace(m.index(dc), m, labels, dc,
+                                             core::NodeFilter::SafeOnly);
+    return it->second;
+  }
+};
+
+MccRouting2D::MccRouting2D(const mesh::Mesh2D& mesh,
+                           const mesh::FaultSet2D& faults, GuidanceMode mode)
+    : mesh_(mesh), mode_(mode) {
+  for (const bool fx : {false, true})
+    for (const bool fy : {false, true}) {
+      const Octant2 o{fx, fy};
+      quads_[o.id()] = std::make_unique<QuadCtx>(mesh, faults, o);
+    }
+}
+
+MccRouting2D::~MccRouting2D() = default;
+
+MccRouting2D::QuadCtx& MccRouting2D::quad(Octant2 o) {
+  return *quads_[o.id()];
+}
+
+int MccRouting2D::vc_class(Coord2 s, Coord2 d) const {
+  const int id = Octant2::from_pair(s, d).id();
+  return std::min(id, 3 - id);
+}
+
+size_t MccRouting2D::candidates(Coord2 u, Coord2 s, Coord2 d,
+                                std::array<Dir2, 2>& out) {
+  const Octant2 o = Octant2::from_pair(s, d);
+  QuadCtx& q = quad(o);
+  const Coord2 uc = o.transform(u, mesh_);
+  const Coord2 dc = o.transform(d, mesh_);
+
+  size_t n = 0;
+  if (mode_ == GuidanceMode::Oracle) {
+    const FieldGuidance2D g(q.field(mesh_, dc));
+    n = core::admissible2d(uc, dc, g, out);
+  } else if (mode_ == GuidanceMode::Model) {
+    const SafeReachGuidance2D g(q.labels, dc);
+    n = core::admissible2d(uc, dc, g, out);
+  } else {
+    const LabelsOnlyGuidance2D g(q.labels, dc);
+    n = core::admissible2d(uc, dc, g, out);
+  }
+  for (size_t i = 0; i < n; ++i) out[i] = physical(out[i], o);
+  return n;
+}
+
+bool MccRouting2D::feasible(Coord2 s, Coord2 d) {
+  if (s == d) return false;
+  const Octant2 o = Octant2::from_pair(s, d);
+  QuadCtx& q = quad(o);
+  const Coord2 sc = o.transform(s, mesh_);
+  const Coord2 dc = o.transform(d, mesh_);
+  if (q.labels.state(sc) == NodeState::Faulty ||
+      q.labels.state(dc) == NodeState::Faulty)
+    return false;
+  if (mode_ == GuidanceMode::Oracle) return q.field(mesh_, dc).feasible(sc);
+  return core::safe_reach_box2(q.labels, sc, dc);
+}
+
+// ---------------------------------------------------------------------------
+// MccRouting3D
+
+struct MccRouting3D::OctCtx {
+  mesh::FaultSet3D faults;
+  core::LabelField3D labels;
+  std::unordered_map<size_t, core::ReachField3D> fields;
+
+  OctCtx(const mesh::Mesh3D& m, const mesh::FaultSet3D& f, Octant3 o)
+      : faults(mesh::materialize(f, m, o)), labels(m, faults) {}
+
+  const core::ReachField3D& field(const mesh::Mesh3D& m, Coord3 dc) {
+    auto [it, inserted] = fields.try_emplace(m.index(dc), m, labels, dc,
+                                             core::NodeFilter::SafeOnly);
+    return it->second;
+  }
+};
+
+MccRouting3D::MccRouting3D(const mesh::Mesh3D& mesh,
+                           const mesh::FaultSet3D& faults, GuidanceMode mode)
+    : mesh_(mesh), mode_(mode) {
+  for (const bool fx : {false, true})
+    for (const bool fy : {false, true})
+      for (const bool fz : {false, true}) {
+        const Octant3 o{fx, fy, fz};
+        octs_[o.id()] = std::make_unique<OctCtx>(mesh, faults, o);
+      }
+}
+
+MccRouting3D::~MccRouting3D() = default;
+
+MccRouting3D::OctCtx& MccRouting3D::oct(Octant3 o) { return *octs_[o.id()]; }
+
+int MccRouting3D::vc_class(Coord3 s, Coord3 d) const {
+  const int id = Octant3::from_pair(s, d).id();
+  return std::min(id, 7 - id);
+}
+
+size_t MccRouting3D::candidates(Coord3 u, Coord3 s, Coord3 d,
+                                std::array<Dir3, 3>& out) {
+  const Octant3 o = Octant3::from_pair(s, d);
+  OctCtx& q = oct(o);
+  const Coord3 uc = o.transform(u, mesh_);
+  const Coord3 dc = o.transform(d, mesh_);
+
+  size_t n = 0;
+  if (mode_ == GuidanceMode::Oracle) {
+    // The reachability field covers every degeneracy uniformly.
+    const FieldGuidance3D g(q.field(mesh_, dc));
+    n = core::admissible3d(uc, dc, g, out);
+  } else if (mode_ == GuidanceMode::Model) {
+    const SafeReachGuidance3D g(q.labels, dc);
+    n = core::admissible3d(uc, dc, g, out);
+  } else {
+    const LabelsOnlyGuidance3D g(q.labels, dc);
+    n = core::admissible3d(uc, dc, g, out);
+  }
+  for (size_t i = 0; i < n; ++i) out[i] = physical(out[i], o);
+  return n;
+}
+
+bool MccRouting3D::feasible(Coord3 s, Coord3 d) {
+  if (s == d) return false;
+  const Octant3 o = Octant3::from_pair(s, d);
+  OctCtx& q = oct(o);
+  const Coord3 sc = o.transform(s, mesh_);
+  const Coord3 dc = o.transform(d, mesh_);
+  if (q.labels.state(sc) == NodeState::Faulty ||
+      q.labels.state(dc) == NodeState::Faulty)
+    return false;
+  if (mode_ == GuidanceMode::Oracle) return q.field(mesh_, dc).feasible(sc);
+  return core::safe_reach_box3(q.labels, sc, dc);
+}
+
+// ---------------------------------------------------------------------------
+// DorRouting3D
+
+size_t DorRouting3D::candidates(Coord3 u, Coord3, Coord3 d,
+                                std::array<Dir3, 3>& out) {
+  if (u.x != d.x)
+    out[0] = u.x < d.x ? Dir3::PosX : Dir3::NegX;
+  else if (u.y != d.y)
+    out[0] = u.y < d.y ? Dir3::PosY : Dir3::NegY;
+  else if (u.z != d.z)
+    out[0] = u.z < d.z ? Dir3::PosZ : Dir3::NegZ;
+  else
+    return 0;
+  return 1;
+}
+
+}  // namespace mcc::sim::wh

@@ -1,0 +1,143 @@
+// Pluggable per-hop routing functions for the wormhole network.
+//
+// A routing function answers three questions the router pipeline needs:
+//   * vc_class(s, d)     — which deadlock class the packet travels in (the
+//                          network gives every class its own set of virtual
+//                          channels; see docs/wormhole.md for the argument
+//                          that this makes minimal adaptive routing
+//                          deadlock-free);
+//   * candidates(u,s,d)  — the admissible productive output directions at u
+//                          (physical frame, canonical-axis order);
+//   * feasible(s, d)     — the injection filter: traffic generators drop
+//                          pairs the function cannot deliver, so offered
+//                          load consists of deliverable packets only.
+//
+// MccRouting2D/3D adapt the core:: guidance machinery: every packet is
+// assigned the octant class of its (s, d) pair at injection; per-hop state
+// (u, d) is flipped into the canonical frame, core::admissible2d/3d run the
+// guidance there, and surviving directions are flipped back. Model mode
+// evaluates the MCC model's safe-only decision exactly with a per-hop
+// monotone sweep of the remaining box; Oracle mode makes the identical
+// decisions from cached reachability fields (the two must produce
+// bit-identical simulations — test_wormhole checks it). The message-passing
+// approximations of that decision (records, walkers, floods) are evaluated
+// at the core-router layer, where a rare wedge fails one route; inside a
+// wormhole it would block a virtual channel forever.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+
+#include "core/feasibility2d.h"
+#include "core/feasibility3d.h"
+#include "core/labeling.h"
+#include "core/reachability.h"
+#include "core/router.h"
+#include "mesh/fault_set.h"
+#include "mesh/mesh.h"
+#include "mesh/octant.h"
+
+namespace mcc::sim::wh {
+
+/// Which core guidance drives per-hop choices.
+enum class GuidanceMode : uint8_t {
+  Oracle,      // cached reachability fields — the gold standard
+  Model,       // the model's safe-only decision, evaluated per hop
+  LabelsOnly,  // ablation: avoid unsafe neighbors only (can wedge)
+};
+
+const char* to_string(GuidanceMode m);
+
+// ---------------------------------------------------------------------------
+// Interfaces
+
+class RoutingFunction2D {
+ public:
+  virtual ~RoutingFunction2D() = default;
+  /// Number of deadlock classes this function needs.
+  virtual int vc_classes() const = 0;
+  /// Deadlock class of a packet, fixed at injection.
+  virtual int vc_class(mesh::Coord2 s, mesh::Coord2 d) const = 0;
+  /// Admissible productive output directions at u for a packet s -> d.
+  /// Returns the count written to `out` (0 = the head is wedged).
+  virtual size_t candidates(mesh::Coord2 u, mesh::Coord2 s, mesh::Coord2 d,
+                            std::array<mesh::Dir2, 2>& out) = 0;
+  /// Injection filter: true when this function can deliver s -> d.
+  virtual bool feasible(mesh::Coord2 s, mesh::Coord2 d) = 0;
+};
+
+class RoutingFunction3D {
+ public:
+  virtual ~RoutingFunction3D() = default;
+  virtual int vc_classes() const = 0;
+  virtual int vc_class(mesh::Coord3 s, mesh::Coord3 d) const = 0;
+  virtual size_t candidates(mesh::Coord3 u, mesh::Coord3 s, mesh::Coord3 d,
+                            std::array<mesh::Dir3, 3>& out) = 0;
+  virtual bool feasible(mesh::Coord3 s, mesh::Coord3 d) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// MCC-guided adaptive minimal routing
+
+class MccRouting2D final : public RoutingFunction2D {
+ public:
+  MccRouting2D(const mesh::Mesh2D& mesh, const mesh::FaultSet2D& faults,
+               GuidanceMode mode);
+  ~MccRouting2D() override;
+
+  /// Antipodal quadrant pairs {++,--} and {+-,-+} share a class: their
+  /// channel sets are disjoint, so two classes suffice (docs/wormhole.md).
+  int vc_classes() const override { return 2; }
+  int vc_class(mesh::Coord2 s, mesh::Coord2 d) const override;
+  size_t candidates(mesh::Coord2 u, mesh::Coord2 s, mesh::Coord2 d,
+                    std::array<mesh::Dir2, 2>& out) override;
+  bool feasible(mesh::Coord2 s, mesh::Coord2 d) override;
+
+ private:
+  struct QuadCtx;
+  QuadCtx& quad(mesh::Octant2 o);
+
+  const mesh::Mesh2D& mesh_;
+  GuidanceMode mode_;
+  std::array<std::unique_ptr<QuadCtx>, 4> quads_;
+};
+
+class MccRouting3D final : public RoutingFunction3D {
+ public:
+  MccRouting3D(const mesh::Mesh3D& mesh, const mesh::FaultSet3D& faults,
+               GuidanceMode mode);
+  ~MccRouting3D() override;
+
+  /// Antipodal octant pairs share a class: four classes in 3-D.
+  int vc_classes() const override { return 4; }
+  int vc_class(mesh::Coord3 s, mesh::Coord3 d) const override;
+  size_t candidates(mesh::Coord3 u, mesh::Coord3 s, mesh::Coord3 d,
+                    std::array<mesh::Dir3, 3>& out) override;
+  bool feasible(mesh::Coord3 s, mesh::Coord3 d) override;
+
+ private:
+  struct OctCtx;
+  OctCtx& oct(mesh::Octant3 o);
+
+  const mesh::Mesh3D& mesh_;
+  GuidanceMode mode_;
+  std::array<std::unique_ptr<OctCtx>, 8> octs_;
+};
+
+// ---------------------------------------------------------------------------
+// Baseline
+
+/// Fault-oblivious dimension-order (e-cube) routing: the classic
+/// deterministic deadlock-free baseline. One deadlock class; only usable on
+/// fault-free meshes.
+class DorRouting3D final : public RoutingFunction3D {
+ public:
+  int vc_classes() const override { return 1; }
+  int vc_class(mesh::Coord3, mesh::Coord3) const override { return 0; }
+  size_t candidates(mesh::Coord3 u, mesh::Coord3 s, mesh::Coord3 d,
+                    std::array<mesh::Dir3, 3>& out) override;
+  bool feasible(mesh::Coord3 s, mesh::Coord3 d) override { return !(s == d); }
+};
+
+}  // namespace mcc::sim::wh

@@ -1,0 +1,32 @@
+#include "sim/wormhole/stats.h"
+
+namespace mcc::sim::wh {
+
+void LatencyHistogram::add(uint64_t latency) {
+  if (latency < counts_.size())
+    ++counts_[latency];
+  else
+    ++overflow_;
+  agg_.add(static_cast<double>(latency));
+}
+
+void LatencyHistogram::clear() {
+  counts_.assign(counts_.size(), 0);
+  overflow_ = 0;
+  agg_ = util::RunningStats();
+}
+
+uint64_t LatencyHistogram::percentile(double p) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  const auto target =
+      static_cast<uint64_t>(p * static_cast<double>(total) + 0.5);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) return i;
+  }
+  return counts_.size();  // inside the overflow bucket
+}
+
+}  // namespace mcc::sim::wh

@@ -1,0 +1,61 @@
+// Measurement pipeline of the wormhole simulator: per-packet latency
+// histograms and the aggregate counters a latency-throughput sweep needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace mcc::sim::wh {
+
+/// Exact latency histogram: unit buckets up to a cap plus an overflow
+/// bucket; mean/min/max come from the embedded RunningStats.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(uint64_t cap = 4096) : counts_(cap, 0) {}
+
+  void add(uint64_t latency);
+  void clear();
+
+  uint64_t count() const { return agg_.count(); }
+  double mean() const { return agg_.mean(); }
+  double stddev() const { return agg_.stddev(); }
+  uint64_t max() const {
+    return agg_.count() ? static_cast<uint64_t>(agg_.max()) : 0;
+  }
+  uint64_t overflow() const { return overflow_; }
+
+  /// Smallest latency L with cdf(L) >= p (overflow bucket reports the cap).
+  uint64_t percentile(double p) const;
+
+  const util::RunningStats& aggregate() const { return agg_; }
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t overflow_ = 0;
+  util::RunningStats agg_;
+};
+
+/// Counters the network maintains while it runs. `violations` holds
+/// human-readable descriptions of broken invariants (buffer overflow,
+/// reassembly errors, traffic into dead nodes) — always empty in a correct
+/// run; tests assert on it.
+struct NetStats {
+  uint64_t injected_packets = 0;
+  uint64_t injected_flits = 0;
+  uint64_t delivered_packets = 0;
+  uint64_t delivered_flits = 0;
+  uint64_t last_delivery_cycle = 0;
+  /// Head-of-VC waiting cycles with an empty admissible set, counted per
+  /// wedged head per cycle (so it can exceed the cycle count when several
+  /// heads are wedged at once). Non-zero means the routing function wedged
+  /// a packet — never happens for feasibility-filtered traffic under
+  /// Oracle/Model guidance.
+  uint64_t wedged_head_cycles = 0;
+  LatencyHistogram latency;
+  std::vector<std::string> violations;
+};
+
+}  // namespace mcc::sim::wh

@@ -1,0 +1,103 @@
+#include "sim/wormhole/traffic.h"
+
+#include "util/scenario.h"
+
+namespace mcc::sim::wh {
+
+using mesh::Coord3;
+
+const char* to_string(Pattern p) {
+  switch (p) {
+    case Pattern::Uniform: return "uniform";
+    case Pattern::Transpose: return "transpose";
+    case Pattern::BitComplement: return "bit-complement";
+    case Pattern::Hotspot: return "hotspot";
+  }
+  return "?";
+}
+
+TrafficGen3D::TrafficGen3D(const mesh::Mesh3D& mesh,
+                           const mesh::FaultSet3D& faults,
+                           RoutingFunction3D& routing, Pattern pattern,
+                           uint64_t seed, double hotspot_fraction,
+                           int hotspot_count)
+    : mesh_(mesh),
+      faults_(faults),
+      routing_(routing),
+      pattern_(pattern),
+      rng_(seed),
+      hotspot_fraction_(hotspot_fraction) {
+  for (size_t i = 0; i < mesh.node_count(); ++i) {
+    const Coord3 c = mesh.coord(i);
+    if (!faults.is_faulty(c)) sources_.push_back(c);
+  }
+  if (pattern_ == Pattern::Hotspot) {
+    // Fixed, seed-determined live hotspots, distinct from one another.
+    for (int h = 0; h < hotspot_count; ++h) {
+      const auto spot = util::sample_node3d(
+          mesh_, rng_,
+          [&](Coord3 c) {
+            if (faults_.is_faulty(c)) return false;
+            for (const Coord3 seen : hotspots_)
+              if (seen == c) return false;
+            return true;
+          },
+          64);
+      if (spot) hotspots_.push_back(*spot);
+    }
+    if (hotspots_.empty() && !sources_.empty())
+      hotspots_.push_back(sources_[sources_.size() / 2]);
+  }
+}
+
+std::optional<Coord3> TrafficGen3D::draw_dest(Coord3 s) {
+  switch (pattern_) {
+    case Pattern::Uniform:
+      return util::sample_node3d(mesh_, rng_, [&](Coord3 c) {
+        return !faults_.is_faulty(c) && !(c == s) && routing_.feasible(s, c);
+      });
+    case Pattern::Transpose: {
+      const Coord3 d{s.y, s.z, s.x};
+      if (!mesh_.contains(d) || d == s || faults_.is_faulty(d) ||
+          !routing_.feasible(s, d))
+        return std::nullopt;
+      return d;
+    }
+    case Pattern::BitComplement: {
+      const Coord3 d{mesh_.nx() - 1 - s.x, mesh_.ny() - 1 - s.y,
+                     mesh_.nz() - 1 - s.z};
+      if (d == s || faults_.is_faulty(d) || !routing_.feasible(s, d))
+        return std::nullopt;
+      return d;
+    }
+    case Pattern::Hotspot: {
+      if (!hotspots_.empty() && rng_.chance(hotspot_fraction_)) {
+        const Coord3 d = hotspots_[rng_.pick(hotspots_.size())];
+        if (!(d == s) && routing_.feasible(s, d)) return d;
+        return std::nullopt;
+      }
+      return util::sample_node3d(mesh_, rng_, [&](Coord3 c) {
+        return !faults_.is_faulty(c) && !(c == s) && routing_.feasible(s, c);
+      });
+    }
+  }
+  return std::nullopt;
+}
+
+int TrafficGen3D::tick(Network3D& net, double rate) {
+  int injected = 0;
+  for (const Coord3 s : sources_) {
+    if (!rng_.chance(rate)) continue;
+    ++offered_;
+    const auto d = draw_dest(s);
+    if (!d) {
+      ++filtered_;
+      continue;
+    }
+    net.inject(s, *d);
+    ++injected;
+  }
+  return injected;
+}
+
+}  // namespace mcc::sim::wh

@@ -1,0 +1,56 @@
+// Synthetic traffic for the wormhole network: the four classic patterns
+// with Bernoulli injection, made fault-aware — dead nodes neither inject
+// nor receive, and every candidate pair is filtered through the routing
+// function's feasibility test so offered load consists of deliverable
+// packets only (dropped draws are counted, not silently retried forever).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mesh/fault_set.h"
+#include "mesh/mesh.h"
+#include "sim/wormhole/network.h"
+#include "sim/wormhole/routing.h"
+#include "util/rng.h"
+
+namespace mcc::sim::wh {
+
+enum class Pattern : uint8_t { Uniform, Transpose, BitComplement, Hotspot };
+
+const char* to_string(Pattern p);
+
+class TrafficGen3D {
+ public:
+  /// `hotspot_fraction` of Hotspot packets target one of `hotspot_count`
+  /// fixed live nodes; the rest fall back to uniform.
+  TrafficGen3D(const mesh::Mesh3D& mesh, const mesh::FaultSet3D& faults,
+               RoutingFunction3D& routing, Pattern pattern, uint64_t seed,
+               double hotspot_fraction = 0.5, int hotspot_count = 2);
+
+  /// One injection cycle: every live node flips a Bernoulli(rate) coin and,
+  /// on success, tries to draw a feasible destination and inject a packet.
+  /// Returns the number of packets injected.
+  int tick(Network3D& net, double rate);
+
+  uint64_t offered() const { return offered_; }
+  uint64_t filtered() const { return filtered_; }
+  const std::vector<mesh::Coord3>& hotspots() const { return hotspots_; }
+
+ private:
+  std::optional<mesh::Coord3> draw_dest(mesh::Coord3 s);
+
+  const mesh::Mesh3D& mesh_;
+  const mesh::FaultSet3D& faults_;
+  RoutingFunction3D& routing_;
+  Pattern pattern_;
+  util::Rng rng_;
+  double hotspot_fraction_;
+  std::vector<mesh::Coord3> sources_;   // live nodes, fixed order
+  std::vector<mesh::Coord3> hotspots_;  // live hotspot destinations
+  uint64_t offered_ = 0;   // Bernoulli successes
+  uint64_t filtered_ = 0;  // draws dropped as infeasible/unroutable
+};
+
+}  // namespace mcc::sim::wh

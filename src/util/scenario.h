@@ -1,0 +1,111 @@
+// Seeded scenario helpers shared by bench/, tests/ and the wormhole traffic
+// generators: drawing canonical source/destination pairs and single nodes
+// from an explicit Rng, plus the sweep-parameter cell every parameterized
+// suite uses. Centralizing these keeps the draw order (and therefore every
+// seeded experiment) identical across call sites.
+//
+// Header-only and duck-typed on the label-field type so this file stays in
+// the bottom util layer without linking against mcc_core (`Labels` only
+// needs `labels.safe(coord)`). It does include the header-only mesh shape
+// types — the same pragmatism as ascii_viz.cc, which sits in util/ but is
+// compiled into mcc_core.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "mesh/coord.h"
+#include "mesh/mesh.h"
+#include "util/rng.h"
+
+namespace mcc::util {
+
+/// One cell of a randomized sweep: mesh edge length, fault rate, base seed
+/// and the number of (s, d) pairs to exercise.
+struct SweepParam {
+  int size;
+  double rate;
+  uint64_t seed;
+  int pairs;
+};
+
+/// Draws s with room to its upper-right, then d strictly beyond it in both
+/// axes: the canonical strict-offset pair. The draw order (s.x, s.y, d.x,
+/// d.y) is part of the contract — seeded sweeps depend on it.
+inline std::pair<mesh::Coord2, mesh::Coord2> random_strict_pair2d(
+    const mesh::Mesh2D& m, Rng& rng) {
+  const mesh::Coord2 s{rng.uniform_int(0, m.nx() - 2),
+                       rng.uniform_int(0, m.ny() - 2)};
+  const mesh::Coord2 d{rng.uniform_int(s.x + 1, m.nx() - 1),
+                       rng.uniform_int(s.y + 1, m.ny() - 1)};
+  return {s, d};
+}
+
+/// 3-D analog; draw order (s.x, s.y, s.z, d.x, d.y, d.z).
+inline std::pair<mesh::Coord3, mesh::Coord3> random_strict_pair3d(
+    const mesh::Mesh3D& m, Rng& rng) {
+  const mesh::Coord3 s{rng.uniform_int(0, m.nx() - 2),
+                       rng.uniform_int(0, m.ny() - 2),
+                       rng.uniform_int(0, m.nz() - 2)};
+  const mesh::Coord3 d{rng.uniform_int(s.x + 1, m.nx() - 1),
+                       rng.uniform_int(s.y + 1, m.ny() - 1),
+                       rng.uniform_int(s.z + 1, m.nz() - 1)};
+  return {s, d};
+}
+
+/// Draws a safe strict-offset pair at least `min_distance` apart; nullopt
+/// when the try budget runs out (dense fault patterns).
+template <class Labels>
+std::optional<std::pair<mesh::Coord2, mesh::Coord2>> sample_pair2d(
+    const mesh::Mesh2D& m, const Labels& labels, Rng& rng,
+    int min_distance = 4) {
+  for (int t = 0; t < 200; ++t) {
+    const auto [s, d] = random_strict_pair2d(m, rng);
+    if (manhattan(s, d) < min_distance) continue;
+    if (!labels.safe(s) || !labels.safe(d)) continue;
+    return std::make_pair(s, d);
+  }
+  return std::nullopt;
+}
+
+template <class Labels>
+std::optional<std::pair<mesh::Coord3, mesh::Coord3>> sample_pair3d(
+    const mesh::Mesh3D& m, const Labels& labels, Rng& rng,
+    int min_distance = 4) {
+  for (int t = 0; t < 200; ++t) {
+    const auto [s, d] = random_strict_pair3d(m, rng);
+    if (manhattan(s, d) < min_distance) continue;
+    if (!labels.safe(s) || !labels.safe(d)) continue;
+    return std::make_pair(s, d);
+  }
+  return std::nullopt;
+}
+
+/// Draws a node uniformly, retrying until `ok(c)` accepts it or the try
+/// budget runs out (used by the wormhole traffic generators to find live,
+/// reachable destinations).
+template <class Pred>
+std::optional<mesh::Coord2> sample_node2d(const mesh::Mesh2D& m, Rng& rng,
+                                          Pred&& ok, int tries = 8) {
+  for (int t = 0; t < tries; ++t) {
+    const mesh::Coord2 c{rng.uniform_int(0, m.nx() - 1),
+                         rng.uniform_int(0, m.ny() - 1)};
+    if (ok(c)) return c;
+  }
+  return std::nullopt;
+}
+
+template <class Pred>
+std::optional<mesh::Coord3> sample_node3d(const mesh::Mesh3D& m, Rng& rng,
+                                          Pred&& ok, int tries = 8) {
+  for (int t = 0; t < tries; ++t) {
+    const mesh::Coord3 c{rng.uniform_int(0, m.nx() - 1),
+                         rng.uniform_int(0, m.ny() - 1),
+                         rng.uniform_int(0, m.nz() - 1)};
+    if (ok(c)) return c;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mcc::util

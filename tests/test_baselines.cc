@@ -10,6 +10,7 @@
 #include "core/reachability.h"
 #include "mesh/fault_injection.h"
 #include "util/rng.h"
+#include "util/scenario.h"
 
 namespace mcc::baselines {
 namespace {
@@ -124,10 +125,7 @@ TEST_P(DominanceSweep2D, MccFeasibleWheneverBlocksFeasible) {
   util::Rng prng(seed * 3);
 
   for (int t = 0; t < 200; ++t) {
-    const Coord2 s{prng.uniform_int(0, size - 2),
-                   prng.uniform_int(0, size - 2)};
-    const Coord2 d{prng.uniform_int(s.x + 1, size - 1),
-                   prng.uniform_int(s.y + 1, size - 1)};
+    const auto [s, d] = util::random_strict_pair2d(m, prng);
     if (!l.safe(s) || !l.safe(d)) continue;
     if (block_feasible(m, blocks, s, d)) {
       EXPECT_TRUE(core::detect2d(m, l, s, d).feasible())

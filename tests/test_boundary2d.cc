@@ -7,6 +7,7 @@
 #include "core/reachability.h"
 #include "mesh/fault_injection.h"
 #include "util/rng.h"
+#include "util/scenario.h"
 
 namespace mcc::core {
 namespace {
@@ -156,12 +157,7 @@ TEST(Boundary2D, Theorem1CatchesMultiRegionTrap) {
   EXPECT_TRUE(t.b.theorem1_feasible({0, 0}, d));
 }
 
-struct SweepParam {
-  int size;
-  double rate;
-  uint64_t seed;
-  int pairs;
-};
+using util::SweepParam;
 
 class BoundarySweep : public ::testing::TestWithParam<SweepParam> {};
 
@@ -177,10 +173,7 @@ TEST_P(BoundarySweep, Theorem1MatchesOracle) {
   util::Rng prng(seed * 3 + 7);
 
   for (int t = 0; t < pairs * 10; ++t) {
-    const Coord2 s{prng.uniform_int(0, size - 2),
-                   prng.uniform_int(0, size - 2)};
-    const Coord2 d{prng.uniform_int(s.x + 1, size - 1),
-                   prng.uniform_int(s.y + 1, size - 1)};
+    const auto [s, d] = util::random_strict_pair2d(m, prng);
     if (!l.safe(s) || !l.safe(d)) continue;
     const ReachField2D oracle(m, l, d, NodeFilter::NonFaulty);
     EXPECT_EQ(b.theorem1_feasible(s, d), oracle.feasible(s))

@@ -10,6 +10,7 @@
 #include "core/reachability.h"
 #include "mesh/fault_injection.h"
 #include "util/rng.h"
+#include "util/scenario.h"
 
 namespace mcc::core {
 namespace {
@@ -113,12 +114,7 @@ TEST(Lemma1, MultiRegionTrapNeedsChains) {
   EXPECT_FALSE(lemma1_blocked(mccs, s, d).blocked);
 }
 
-struct SweepParam {
-  int size;
-  double rate;
-  uint64_t seed;
-  int pairs;
-};
+using util::SweepParam;
 
 class FeasibilitySweep2D : public ::testing::TestWithParam<SweepParam> {};
 
@@ -130,9 +126,7 @@ TEST_P(FeasibilitySweep2D, DetectMatchesOracle) {
 
   int checked = 0;
   for (int t = 0; t < pairs * 20 && checked < pairs; ++t) {
-    Coord2 s{rng.uniform_int(0, size - 2), rng.uniform_int(0, size - 2)};
-    Coord2 d{rng.uniform_int(s.x + 1, size - 1),
-             rng.uniform_int(s.y + 1, size - 1)};
+    const auto [s, d] = util::random_strict_pair2d(fx.m, rng);
     if (!fx.l.safe(s) || !fx.l.safe(d)) continue;
     ++checked;
     const ReachField2D oracle(fx.m, fx.l, d, NodeFilter::NonFaulty);
@@ -178,9 +172,7 @@ TEST_P(FeasibilityClustered2D, DetectMatchesOracleOnClusters) {
 
   int checked = 0;
   for (int t = 0; t < pairs * 20 && checked < pairs; ++t) {
-    Coord2 s{prng.uniform_int(0, size - 2), prng.uniform_int(0, size - 2)};
-    Coord2 d{prng.uniform_int(s.x + 1, size - 1),
-             prng.uniform_int(s.y + 1, size - 1)};
+    const auto [s, d] = util::random_strict_pair2d(m, prng);
     if (!l.safe(s) || !l.safe(d)) continue;
     ++checked;
     const ReachField2D oracle(m, l, d, NodeFilter::NonFaulty);

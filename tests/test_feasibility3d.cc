@@ -7,6 +7,7 @@
 #include "core/reachability.h"
 #include "mesh/fault_injection.h"
 #include "util/rng.h"
+#include "util/scenario.h"
 
 namespace mcc::core {
 namespace {
@@ -86,12 +87,7 @@ TEST(Detect3D, TwoStaggeredPlates) {
   EXPECT_EQ(detect3d(m, l, s, d).feasible(), oracle.feasible(s));
 }
 
-struct SweepParam {
-  int size;
-  double rate;
-  uint64_t seed;
-  int pairs;
-};
+using util::SweepParam;
 
 class FeasibilitySweep3D : public ::testing::TestWithParam<SweepParam> {};
 
@@ -105,12 +101,7 @@ TEST_P(FeasibilitySweep3D, DetectMatchesOracle) {
 
   int checked = 0;
   for (int t = 0; t < pairs * 20 && checked < pairs; ++t) {
-    const Coord3 s{prng.uniform_int(0, size - 2),
-                   prng.uniform_int(0, size - 2),
-                   prng.uniform_int(0, size - 2)};
-    const Coord3 d{prng.uniform_int(s.x + 1, size - 1),
-                   prng.uniform_int(s.y + 1, size - 1),
-                   prng.uniform_int(s.z + 1, size - 1)};
+    const auto [s, d] = util::random_strict_pair3d(m, prng);
     if (!l.safe(s) || !l.safe(d)) continue;
     ++checked;
     const ReachField3D oracle(m, l, d, NodeFilter::NonFaulty);
@@ -148,12 +139,7 @@ TEST_P(FeasibilityClustered3D, DetectMatchesOracleOnClusters) {
 
   int checked = 0;
   for (int t = 0; t < pairs * 20 && checked < pairs; ++t) {
-    const Coord3 s{prng.uniform_int(0, size - 2),
-                   prng.uniform_int(0, size - 2),
-                   prng.uniform_int(0, size - 2)};
-    const Coord3 d{prng.uniform_int(s.x + 1, size - 1),
-                   prng.uniform_int(s.y + 1, size - 1),
-                   prng.uniform_int(s.z + 1, size - 1)};
+    const auto [s, d] = util::random_strict_pair3d(m, prng);
     if (!l.safe(s) || !l.safe(d)) continue;
     ++checked;
     const ReachField3D oracle(m, l, d, NodeFilter::NonFaulty);
@@ -208,10 +194,7 @@ TEST(McFeasible3D, MatchesOracleOnMixedPatterns) {
   const LabelField3D l(m, f);
   util::Rng prng(91);
   for (int t = 0; t < 200; ++t) {
-    const Coord3 s{prng.uniform_int(0, 7), prng.uniform_int(0, 7),
-                   prng.uniform_int(0, 7)};
-    const Coord3 d{prng.uniform_int(s.x + 1, 8), prng.uniform_int(s.y + 1, 8),
-                   prng.uniform_int(s.z + 1, 8)};
+    const auto [s, d] = util::random_strict_pair3d(m, prng);
     if (!l.safe(s) || !l.safe(d)) continue;
     const ReachField3D oracle(m, l, d, NodeFilter::NonFaulty);
     EXPECT_EQ(mcc_feasible3d(m, f, l, s, d).feasible, oracle.feasible(s))

@@ -1,0 +1,104 @@
+// Golden cost-accounting tests for the E7 protocol stack: the exact
+// sim::RunStats (rounds / messages / payload words) of every distributed
+// phase on small fixed meshes. The protocols are deterministic, so any
+// change to these numbers is a real change to the protocol's cost model —
+// an optimization or a regression, but never noise. Update the constants
+// only after explaining the delta.
+#include <gtest/gtest.h>
+
+#include "mesh/fault_set.h"
+#include "proto/detect_route.h"
+#include "proto/stack2d.h"
+
+namespace mcc::proto {
+namespace {
+
+void expect_stats(const sim::RunStats& got, size_t rounds, size_t messages,
+                  size_t payload_words, const char* phase) {
+  EXPECT_EQ(got.rounds, rounds) << phase << " rounds";
+  EXPECT_EQ(got.messages, messages) << phase << " messages";
+  EXPECT_EQ(got.payload_words, payload_words) << phase << " payload";
+  EXPECT_TRUE(got.quiescent) << phase << " did not drain";
+}
+
+TEST(GoldenStats, FaultFree6x6StackIsPureBroadcast) {
+  const mesh::Mesh2D m(6, 6);
+  mesh::FaultSet2D f(m);
+  Stack2D st(m, f);
+  expect_stats(st.labeling_stats, 2, 156, 240, "labeling");
+  expect_stats(st.exchange_stats, 2, 96, 120, "exchange");
+  // No faults: identification and boundary phases send nothing.
+  expect_stats(st.ident_stats, 0, 0, 0, "ident");
+  expect_stats(st.boundary_stats, 0, 0, 0, "boundary");
+  EXPECT_EQ(st.total_messages(), 252u);
+  EXPECT_EQ(st.total_payload_words(), 360u);
+}
+
+TEST(GoldenStats, LBlockAndLoner8x8FullStack) {
+  const mesh::Mesh2D m(8, 8);
+  mesh::FaultSet2D f(m);
+  f.set_faulty({3, 3});
+  f.set_faulty({4, 3});
+  f.set_faulty({3, 4});
+  f.set_faulty({6, 6});
+  Stack2D st(m, f);
+  expect_stats(st.labeling_stats, 4, 354, 580, "labeling");
+  expect_stats(st.exchange_stats, 2, 176, 224, "exchange");
+  expect_stats(st.ident_stats, 13, 42, 416, "ident");
+  expect_stats(st.boundary_stats, 6, 16, 148, "boundary");
+  EXPECT_EQ(st.total_messages(), 588u);
+  EXPECT_EQ(st.total_payload_words(), 1368u);
+  EXPECT_EQ(st.ident.identified(), 2);
+  EXPECT_EQ(st.ident.discarded(), 0);
+}
+
+TEST(GoldenStats, DetectAndRouteMessageCost8x8) {
+  const mesh::Mesh2D m(8, 8);
+  mesh::FaultSet2D f(m);
+  f.set_faulty({3, 3});
+  f.set_faulty({4, 3});
+  f.set_faulty({3, 4});
+  f.set_faulty({6, 6});
+  Stack2D st(m, f);
+
+  const auto det = run_detect2d(m, st.labeling, {0, 0}, {7, 7});
+  EXPECT_TRUE(det.feasible());
+  expect_stats(det.stats, 8, 16, 64, "detect");
+
+  const auto rt = run_route2d(m, st.labeling, st.boundary, {0, 0}, {7, 7}, 5);
+  EXPECT_TRUE(rt.delivered);
+  EXPECT_EQ(rt.hops(), 14);  // minimal: Manhattan distance of (0,0)->(7,7)
+  expect_stats(rt.stats, 15, 15, 30, "route");
+}
+
+TEST(GoldenStats, TwoRegions12x12FullStack) {
+  const mesh::Mesh2D m(12, 12);
+  mesh::FaultSet2D f(m);
+  f.set_faulty({2, 2});
+  f.set_faulty({2, 3});
+  f.set_faulty({3, 2});
+  f.set_faulty({7, 8});
+  f.set_faulty({8, 8});
+  Stack2D st(m, f);
+  expect_stats(st.labeling_stats, 4, 756, 1224, "labeling");
+  expect_stats(st.exchange_stats, 2, 408, 528, "exchange");
+  expect_stats(st.ident_stats, 13, 46, 488, "ident");
+  expect_stats(st.boundary_stats, 8, 17, 180, "boundary");
+  EXPECT_EQ(st.total_messages(), 1227u);
+  EXPECT_EQ(st.total_payload_words(), 2420u);
+  EXPECT_EQ(st.ident.identified(), 2);
+  EXPECT_EQ(st.ident.discarded(), 0);
+}
+
+TEST(GoldenStats, Labeling3DChunk5x5x5) {
+  const mesh::Mesh3D m(5, 5, 5);
+  mesh::FaultSet3D f(m);
+  f.set_faulty({2, 2, 2});
+  f.set_faulty({3, 2, 2});
+  f.set_faulty({2, 3, 2});
+  LabelingProtocol3D lab(m, f);
+  expect_stats(lab.run(), 2, 725, 600, "labeling3d");
+}
+
+}  // namespace
+}  // namespace mcc::proto

@@ -10,6 +10,7 @@
 #include "mesh/fault_injection.h"
 #include "proto/stack2d.h"
 #include "util/rng.h"
+#include "util/scenario.h"
 
 namespace mcc::proto {
 namespace {
@@ -259,9 +260,7 @@ TEST(ProtoDetect2D, MatchesCentralizedWalkers) {
 
   util::Rng prng(642);
   for (int t = 0; t < 150; ++t) {
-    const Coord2 s{prng.uniform_int(0, 14), prng.uniform_int(0, 14)};
-    const Coord2 d{prng.uniform_int(s.x + 1, 15),
-                   prng.uniform_int(s.y + 1, 15)};
+    const auto [s, d] = util::random_strict_pair2d(m, prng);
     if (central.unsafe(s) || central.unsafe(d)) continue;
     const auto want = core::detect2d(m, central, s, d);
     const auto got = run_detect2d(m, labels, s, d);
@@ -324,10 +323,7 @@ TEST_P(ProtoRouteSweep, DeliversMinimalWheneverFeasible) {
   util::Rng prng(seed * 3 + 1);
   int routed = 0;
   for (int t = 0; t < 400 && routed < 40; ++t) {
-    const Coord2 s{prng.uniform_int(0, size - 2),
-                   prng.uniform_int(0, size - 2)};
-    const Coord2 d{prng.uniform_int(s.x + 1, size - 1),
-                   prng.uniform_int(s.y + 1, size - 1)};
+    const auto [s, d] = util::random_strict_pair2d(m, prng);
     if (central.unsafe(s) || central.unsafe(d)) continue;
     if (!run_detect2d(m, stack.labeling, s, d).feasible()) continue;
     ++routed;

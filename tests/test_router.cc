@@ -10,6 +10,7 @@
 #include "core/router.h"
 #include "mesh/fault_injection.h"
 #include "util/rng.h"
+#include "util/scenario.h"
 
 namespace mcc::core {
 namespace {
@@ -85,12 +86,7 @@ TEST(Router2D, AdaptivityStatsCountChoices) {
   EXPECT_GT(r.stats.candidate_sum, r.hops());
 }
 
-struct SweepParam {
-  int size;
-  double rate;
-  uint64_t seed;
-  int pairs;
-};
+using util::SweepParam;
 
 class RouterSweep2D : public ::testing::TestWithParam<SweepParam> {};
 
@@ -106,10 +102,7 @@ TEST_P(RouterSweep2D, DeliveryGuaranteeOracleAndRecords) {
 
   int feasible_pairs = 0;
   for (int t = 0; t < pairs * 10 && feasible_pairs < pairs; ++t) {
-    const Coord2 s{prng.uniform_int(0, size - 2),
-                   prng.uniform_int(0, size - 2)};
-    const Coord2 d{prng.uniform_int(s.x + 1, size - 1),
-                   prng.uniform_int(s.y + 1, size - 1)};
+    const auto [s, d] = util::random_strict_pair2d(m, prng);
     if (!l.safe(s) || !l.safe(d)) continue;
     if (!detect2d(m, l, s, d).feasible()) continue;
     ++feasible_pairs;
@@ -153,10 +146,7 @@ TEST_P(RouterClustered2D, RecordsSurviveClusteredFaults) {
   util::Rng prng(seed * 11 + 13);
 
   for (int t = 0; t < pairs * 10; ++t) {
-    const Coord2 s{prng.uniform_int(0, size - 2),
-                   prng.uniform_int(0, size - 2)};
-    const Coord2 d{prng.uniform_int(s.x + 1, size - 1),
-                   prng.uniform_int(s.y + 1, size - 1)};
+    const auto [s, d] = util::random_strict_pair2d(m, prng);
     if (!l.safe(s) || !l.safe(d)) continue;
     if (!detect2d(m, l, s, d).feasible()) continue;
     const RecordGuidance2D records(l, mccs, b, d);
@@ -213,12 +203,7 @@ TEST_P(RouterSweep3D, DeliveryGuaranteeOracleAndFlood) {
 
   int feasible_pairs = 0;
   for (int t = 0; t < pairs * 10 && feasible_pairs < pairs; ++t) {
-    const Coord3 s{prng.uniform_int(0, size - 2),
-                   prng.uniform_int(0, size - 2),
-                   prng.uniform_int(0, size - 2)};
-    const Coord3 d{prng.uniform_int(s.x + 1, size - 1),
-                   prng.uniform_int(s.y + 1, size - 1),
-                   prng.uniform_int(s.z + 1, size - 1)};
+    const auto [s, d] = util::random_strict_pair3d(m, prng);
     if (!l.safe(s) || !l.safe(d)) continue;
     if (!detect3d(m, l, s, d).feasible()) continue;
     ++feasible_pairs;

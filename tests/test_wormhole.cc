@@ -1,0 +1,274 @@
+// Wormhole simulator correctness: deadlock-freedom under stress (hotspot
+// traffic squeezed around MCC fault regions must keep making forward
+// progress and drain completely), flit-ordering/reassembly invariants (the
+// network self-checks every ejected flit and records violations), credit
+// conservation, and bit-exact determinism for a fixed seed.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mesh/fault_injection.h"
+#include "sim/wormhole/driver.h"
+#include "sim/wormhole/network.h"
+#include "sim/wormhole/routing.h"
+#include "sim/wormhole/traffic.h"
+#include "util/rng.h"
+#include "util/scenario.h"
+
+namespace mcc::sim::wh {
+namespace {
+
+using mesh::Coord2;
+using mesh::Coord3;
+
+void expect_clean(const NetStats& s) {
+  for (const std::string& v : s.violations) ADD_FAILURE() << v;
+}
+
+TEST(Wormhole3D, SinglePacketZeroLoadLatency) {
+  const mesh::Mesh3D m(4, 4, 4);
+  const mesh::FaultSet3D f(m);
+  DorRouting3D dor;
+  Config cfg;
+  Network3D net(m, f, dor, cfg, core::RoutePolicy::XFirst, 1);
+
+  net.inject({0, 0, 0}, {3, 3, 3});
+  for (int c = 0; c < 200 && !net.idle(); ++c) net.step();
+
+  ASSERT_TRUE(net.idle());
+  expect_clean(net.stats());
+  EXPECT_EQ(net.stats().delivered_packets, 1u);
+  EXPECT_EQ(net.stats().delivered_flits,
+            static_cast<uint64_t>(cfg.packet_size));
+  // 9 hops, one cycle each, plus pipeline/serialization overhead for the
+  // remaining flits of the packet.
+  EXPECT_GE(net.stats().latency.max(), 9u);
+  EXPECT_LE(net.stats().latency.max(), 9u + 3u * cfg.packet_size);
+  std::string err;
+  EXPECT_TRUE(net.check_credits(&err)) << err;
+}
+
+TEST(Wormhole3D, SingleFlitPackets) {
+  const mesh::Mesh3D m(4, 4, 4);
+  const mesh::FaultSet3D f(m);
+  MccRouting3D routing(m, f, GuidanceMode::Model);
+  Config cfg;
+  cfg.packet_size = 1;
+  Network3D net(m, f, routing, cfg, core::RoutePolicy::Balanced, 2);
+
+  util::Rng rng(7);
+  int injected = 0;
+  for (int t = 0; t < 40; ++t) {
+    const auto [s, d] = util::random_strict_pair3d(m, rng);
+    if (!routing.feasible(s, d)) continue;
+    net.inject(s, d);
+    ++injected;
+  }
+  ASSERT_GT(injected, 10);
+  for (int c = 0; c < 2000 && !net.idle(); ++c) net.step();
+  ASSERT_TRUE(net.idle());
+  expect_clean(net.stats());
+  EXPECT_EQ(net.stats().delivered_packets,
+            static_cast<uint64_t>(injected));
+}
+
+TEST(Wormhole3D, AllPoliciesDeliverUnderFaults) {
+  const mesh::Mesh3D m(6, 6, 6);
+  util::Rng frng(0x5EED);
+  const auto f = mesh::inject_clustered(m, 18, 3, frng);
+  MccRouting3D routing(m, f, GuidanceMode::Model);
+
+  for (const core::RoutePolicy p : core::kAllPolicies) {
+    Config cfg;
+    Network3D net(m, f, routing, cfg, p, 11);
+    util::Rng rng(23);
+    int injected = 0;
+    for (int t = 0; t < 120; ++t) {
+      const Coord3 s{rng.uniform_int(0, 5), rng.uniform_int(0, 5),
+                     rng.uniform_int(0, 5)};
+      const Coord3 d{rng.uniform_int(0, 5), rng.uniform_int(0, 5),
+                     rng.uniform_int(0, 5)};
+      if (!routing.feasible(s, d)) continue;
+      net.inject(s, d);
+      ++injected;
+    }
+    ASSERT_GT(injected, 30) << to_string(p);
+    for (int c = 0; c < 20000 && !net.idle(); ++c) net.step();
+    ASSERT_TRUE(net.idle()) << "policy " << to_string(p) << " left "
+                            << net.in_flight() << " packets stuck";
+    expect_clean(net.stats());
+    EXPECT_EQ(net.stats().wedged_head_cycles, 0u) << to_string(p);
+    std::string err;
+    EXPECT_TRUE(net.check_credits(&err)) << err;
+  }
+}
+
+// The acceptance-criteria stress: hotspot traffic + MCC fault regions with
+// the tightest VC budget (one VC per deadlock class). The network must keep
+// delivering while injection runs and drain completely afterwards — a
+// deadlock would freeze in_flight above zero until the budget runs out.
+TEST(Wormhole3D, DeadlockFreedomHotspotStress) {
+  const mesh::Mesh3D m(6, 6, 6);
+  util::Rng frng(0x57E55);
+  auto f = mesh::inject_clustered(m, 20, 2, frng);
+  mesh::add_plate_z(f, m, 1, 4, 1, 4, 3);
+  f.set_faulty({3, 3, 3}, false);  // plate with a hole: a known choke point
+  MccRouting3D routing(m, f, GuidanceMode::Model);
+
+  Config cfg;
+  cfg.vcs_per_class = 1;
+  cfg.buffer_depth = 2;
+  Network3D net(m, f, routing, cfg, core::RoutePolicy::Random, 3);
+  TrafficGen3D traffic(m, f, routing, Pattern::Hotspot, 0xB0B, 0.6, 2);
+
+  uint64_t last_progress_check = 0;
+  for (int c = 0; c < 3000; ++c) {
+    traffic.tick(net, 0.05);
+    net.step();
+    if (c % 500 == 499) {
+      // Forward progress within every 500-cycle window while loaded.
+      if (net.in_flight() > 0) {
+        EXPECT_GT(net.stats().delivered_flits, last_progress_check)
+            << "no forward progress in cycles " << c - 499 << ".." << c;
+      }
+      last_progress_check = net.stats().delivered_flits;
+    }
+  }
+  int drain = 0;
+  for (; drain < 60000 && !net.idle(); ++drain) net.step();
+  ASSERT_TRUE(net.idle()) << net.in_flight() << " packets wedged after "
+                          << drain << " drain cycles";
+  expect_clean(net.stats());
+  EXPECT_EQ(net.stats().wedged_head_cycles, 0u);
+  EXPECT_GT(net.stats().delivered_packets, 100u);
+  std::string err;
+  EXPECT_TRUE(net.check_credits(&err)) << err;
+}
+
+TEST(Wormhole3D, CreditConservationUnderLoad) {
+  const mesh::Mesh3D m(5, 5, 5);
+  util::Rng frng(99);
+  const auto f = mesh::inject_uniform(m, 0.06, frng);
+  MccRouting3D routing(m, f, GuidanceMode::Model);
+  Config cfg;
+  cfg.buffer_depth = 3;
+  Network3D net(m, f, routing, cfg, core::RoutePolicy::Alternate, 5);
+  TrafficGen3D traffic(m, f, routing, Pattern::Uniform, 0xCAFE);
+
+  std::string err;
+  for (int c = 0; c < 1200; ++c) {
+    traffic.tick(net, 0.04);
+    net.step();
+    if (c % 50 == 0) {
+      ASSERT_TRUE(net.check_credits(&err)) << "c=" << c << ": " << err;
+    }
+  }
+  for (int c = 0; c < 30000 && !net.idle(); ++c) net.step();
+  ASSERT_TRUE(net.idle());
+  ASSERT_TRUE(net.check_credits(&err)) << err;
+  expect_clean(net.stats());
+}
+
+TEST(Wormhole3D, DeterministicGivenSeed) {
+  const mesh::Mesh3D m(5, 5, 5);
+  util::Rng frng(4242);
+  const auto f = mesh::inject_clustered(m, 10, 2, frng);
+
+  auto run = [&](uint64_t seed) {
+    MccRouting3D routing(m, f, GuidanceMode::Model);
+    const LoadPoint load{0.03, 200, 800, 20000};
+    return run_load_point3d(m, f, routing, Pattern::Uniform, Config{},
+                            core::RoutePolicy::Random, load, seed);
+  };
+  const SimResult a = run(17);
+  const SimResult b = run(17);
+  EXPECT_EQ(a.delivered_packets, b.delivered_packets);
+  EXPECT_EQ(a.offered_flits, b.offered_flits);
+  EXPECT_EQ(a.accepted_flits, b.accepted_flits);
+  EXPECT_EQ(a.avg_latency, b.avg_latency);
+  EXPECT_EQ(a.p99_latency, b.p99_latency);
+  EXPECT_EQ(a.max_latency, b.max_latency);
+  EXPECT_EQ(a.filtered, b.filtered);
+  EXPECT_EQ(a.violations, 0u);
+  EXPECT_TRUE(a.drained);
+}
+
+// Oracle mode (cached reachability fields) and Model mode (per-hop exact
+// safe-reach sweep) implement the same routing decision two different ways;
+// identical seeds must therefore produce bit-identical simulations. This is
+// the routing.h equivalence contract, exercised end to end.
+TEST(Wormhole3D, ModelMatchesOracleBitExactly) {
+  const mesh::Mesh3D m(5, 5, 5);
+  util::Rng frng(777);
+  const auto f = mesh::inject_clustered(m, 12, 2, frng);
+
+  auto run = [&](GuidanceMode mode) {
+    MccRouting3D routing(m, f, mode);
+    const LoadPoint load{0.03, 200, 800, 20000, 1000};
+    return run_load_point3d(m, f, routing, Pattern::Hotspot, Config{},
+                            core::RoutePolicy::Random, load, 29);
+  };
+  const SimResult a = run(GuidanceMode::Model);
+  const SimResult b = run(GuidanceMode::Oracle);
+  EXPECT_EQ(a.delivered_packets, b.delivered_packets);
+  EXPECT_EQ(a.offered_flits, b.offered_flits);
+  EXPECT_EQ(a.accepted_flits, b.accepted_flits);
+  EXPECT_EQ(a.avg_latency, b.avg_latency);
+  EXPECT_EQ(a.p99_latency, b.p99_latency);
+  EXPECT_EQ(a.max_latency, b.max_latency);
+  EXPECT_EQ(a.filtered, b.filtered);
+  EXPECT_EQ(a.violations, 0u);
+  EXPECT_EQ(b.violations, 0u);
+}
+
+TEST(Wormhole3D, OracleModeNeverWedges) {
+  const mesh::Mesh3D m(6, 6, 6);
+  util::Rng frng(808);
+  const auto f = mesh::inject_uniform(m, 0.12, frng);
+  MccRouting3D routing(m, f, GuidanceMode::Oracle);
+  Config cfg;
+  Network3D net(m, f, routing, cfg, core::RoutePolicy::Random, 6);
+  TrafficGen3D traffic(m, f, routing, Pattern::Uniform, 0xACE);
+
+  for (int c = 0; c < 1000; ++c) {
+    traffic.tick(net, 0.03);
+    net.step();
+  }
+  for (int c = 0; c < 30000 && !net.idle(); ++c) net.step();
+  ASSERT_TRUE(net.idle());
+  EXPECT_EQ(net.stats().wedged_head_cycles, 0u);
+  expect_clean(net.stats());
+}
+
+TEST(Wormhole2D, ModelGuidanceDrainsAroundBlock) {
+  const mesh::Mesh2D m(10, 10);
+  mesh::FaultSet2D f(m);
+  for (int x = 4; x <= 6; ++x)
+    for (int y = 4; y <= 6; ++y) f.set_faulty({x, y});
+  MccRouting2D routing(m, f, GuidanceMode::Model);
+
+  Config cfg;
+  cfg.vcs_per_class = 2;
+  Network2D net(m, f, routing, cfg, core::RoutePolicy::Random, 9);
+
+  util::Rng rng(31);
+  int injected = 0;
+  for (int t = 0; t < 200; ++t) {
+    const Coord2 s{rng.uniform_int(0, 9), rng.uniform_int(0, 9)};
+    const Coord2 d{rng.uniform_int(0, 9), rng.uniform_int(0, 9)};
+    if (!routing.feasible(s, d)) continue;
+    net.inject(s, d);
+    ++injected;
+  }
+  ASSERT_GT(injected, 60);
+  for (int c = 0; c < 40000 && !net.idle(); ++c) net.step();
+  ASSERT_TRUE(net.idle());
+  expect_clean(net.stats());
+  EXPECT_EQ(net.stats().delivered_packets, static_cast<uint64_t>(injected));
+  EXPECT_EQ(net.stats().wedged_head_cycles, 0u);
+  std::string err;
+  EXPECT_TRUE(net.check_credits(&err)) << err;
+}
+
+}  // namespace
+}  // namespace mcc::sim::wh
