@@ -1,16 +1,31 @@
 # ASan + UBSan toggled by -DMCC_SANITIZE=ON (used by the `asan` preset and
-# the sanitizer CI job). Applied through the shared interface target so the
-# whole tree — libraries, tests, benches — is instrumented consistently.
+# the sanitizer CI job), ThreadSanitizer by -DMCC_TSAN=ON (the `tsan`
+# preset; exercises the sharded GuidanceCache under concurrent readers).
+# The two are mutually exclusive. Applied through the shared interface
+# target so the whole tree — libraries, tests, benches — is instrumented
+# consistently.
 
 function(mcc_apply_sanitizers target)
-  if(NOT MCC_SANITIZE)
-    return()
+  if(MCC_SANITIZE AND MCC_TSAN)
+    message(FATAL_ERROR "MCC_SANITIZE (ASan+UBSan) and MCC_TSAN cannot be combined")
   endif()
-  if(MSVC)
-    target_compile_options(${target} INTERFACE /fsanitize=address)
-  else()
-    set(flags -fsanitize=address,undefined -fno-omit-frame-pointer
-        -fno-sanitize-recover=all)
+  if(MCC_SANITIZE)
+    if(MSVC)
+      target_compile_options(${target} INTERFACE /fsanitize=address)
+    else()
+      set(flags -fsanitize=address,undefined -fno-omit-frame-pointer
+          -fno-sanitize-recover=all)
+      target_compile_options(${target} INTERFACE ${flags})
+      target_link_options(${target} INTERFACE ${flags})
+      # libstdc++ container bounds checks: ASan cannot see e.g. operator[]
+      # past size() but within a vector's retained capacity.
+      target_compile_definitions(${target} INTERFACE _GLIBCXX_ASSERTIONS)
+    endif()
+  elseif(MCC_TSAN)
+    if(MSVC)
+      message(FATAL_ERROR "MCC_TSAN requires GCC or Clang")
+    endif()
+    set(flags -fsanitize=thread -fno-omit-frame-pointer)
     target_compile_options(${target} INTERFACE ${flags})
     target_link_options(${target} INTERFACE ${flags})
   endif()

@@ -40,19 +40,106 @@ Boundary2D::Boundary2D(const mesh::Mesh2D& mesh, const LabelField2D& labels,
   // (merged regions lie below/west of the earlier segments, so the extra
   // members never filter a legal move there; see header).
   for (size_t i = 0; i < mccs.regions().size(); ++i) {
-    for (int pass = 0; pass < 2; ++pass) {
-      const Wall2D& w = pass == 0 ? y_walls_[i] : x_walls_[i];
-      if (!w.exists) continue;
-      const auto chain = std::make_shared<const std::vector<int>>(w.chain);
-      const Dir2 guard = pass == 0 ? Dir2::PosX : Dir2::PosY;
-      for (const Coord2 c : w.path) {
-        auto& recs = records_.at(c.x, c.y);
-        if (recs.empty()) ++nodes_with_records_;
-        recs.push_back({static_cast<int>(i), guard, chain});
-        ++record_count_;
+    deposit_wall_records(static_cast<int>(i), Dir2::PosX, y_walls_[i]);
+    deposit_wall_records(static_cast<int>(i), Dir2::PosY, x_walls_[i]);
+  }
+}
+
+size_t Boundary2D::deposit_wall_records(int owner, Dir2 guard,
+                                        const Wall2D& w) {
+  if (!w.exists) return 0;
+  const auto chain = std::make_shared<const std::vector<int>>(w.chain);
+  size_t added = 0;
+  for (const Coord2 c : w.path) {
+    auto& recs = records_.at(c.x, c.y);
+    if (recs.empty()) ++nodes_with_records_;
+    recs.push_back({owner, guard, chain});
+    ++record_count_;
+    ++added;
+  }
+  return added;
+}
+
+size_t Boundary2D::remove_wall_records(int owner, Dir2 guard,
+                                       const Wall2D& w) {
+  // A deflecting walk may revisit nodes, so records of one wall are
+  // removed by owner+guard match (unique per wall), not one-per-visit.
+  size_t removed = 0;
+  for (const Coord2 c : w.path) {
+    auto& recs = records_.at(c.x, c.y);
+    if (recs.empty()) continue;
+    const size_t before = recs.size();
+    recs.erase(std::remove_if(recs.begin(), recs.end(),
+                              [&](const Record2D& r) {
+                                return r.owner == owner && r.guard == guard;
+                              }),
+               recs.end());
+    const size_t erased = before - recs.size();
+    removed += erased;
+    record_count_ -= erased;
+    if (erased && recs.empty()) --nodes_with_records_;
+  }
+  return removed;
+}
+
+BoundaryUpdate Boundary2D::update(const std::vector<Coord2>& changed,
+                                  const RegionUpdate& regions) {
+  BoundaryUpdate up;
+  y_walls_.resize(mccs_.regions().size());
+  x_walls_.resize(mccs_.regions().size());
+  const size_t n = y_walls_.size();
+
+  // Rebuild triggers, evaluated against the PRE-update wall state:
+  // dirty regions (removed or added), label changes within one step of a
+  // wall's path, and walls that probed a dirty region.
+  std::vector<uint8_t> dirty_region(n, 0);
+  for (const int id : regions.removed)
+    if (id < static_cast<int>(n)) dirty_region[id] = 1;
+  for (const int id : regions.added) dirty_region[id] = 1;
+
+  // redo[i] bit 0: Y wall, bit 1: X wall.
+  std::vector<uint8_t> redo(n, 0);
+  for (const int id : regions.removed) redo[id] = 3;
+  for (const int id : regions.added) redo[id] = 3;
+  for (const Coord2 c : changed)
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dx = -1; dx <= 1; ++dx) {
+        const Coord2 nb{c.x + dx, c.y + dy};
+        if (!mesh_.contains(nb)) continue;
+        for (const Record2D& rec : records_.at(nb.x, nb.y))
+          redo[rec.owner] |= rec.guard == Dir2::PosX ? 1 : 2;
       }
+  for (size_t i = 0; i < n; ++i) {
+    for (int pass = 0; pass < 2; ++pass) {
+      if (redo[i] & (1 << pass)) continue;
+      const Wall2D& w = pass == 0 ? y_walls_[i] : x_walls_[i];
+      for (const int id : w.chain)
+        if (id < static_cast<int>(n) && dirty_region[id]) redo[i] |= 1 << pass;
+      for (const int id : w.touched)
+        if (id < static_cast<int>(n) && dirty_region[id]) redo[i] |= 1 << pass;
     }
   }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (!redo[i]) continue;
+    const bool alive = mccs_.live(static_cast<int>(i));
+    for (int pass = 0; pass < 2; ++pass) {
+      if (!(redo[i] & (1 << pass))) continue;
+      const Dir2 guard = pass == 0 ? Dir2::PosX : Dir2::PosY;
+      Wall2D& slot = pass == 0 ? y_walls_[i] : x_walls_[i];
+      up.records_removed +=
+          remove_wall_records(static_cast<int>(i), guard, slot);
+      if (alive) {
+        slot = build_wall(guard, mccs_.region(static_cast<int>(i)));
+        up.records_added +=
+            deposit_wall_records(static_cast<int>(i), guard, slot);
+      } else {
+        slot = Wall2D{};
+      }
+      up.walls.push_back({static_cast<int>(i), guard, !alive});
+    }
+  }
+  return up;
 }
 
 // Walks one wall. For Y walls (guard +X): start at the corner heading
@@ -73,8 +160,10 @@ Wall2D Boundary2D::build_wall(Dir2 guard, const MccRegion2D& region) {
 
   auto merge = [&](Coord2 c) {
     const int id = mccs_.region_at(c);
-    if (id < 0 ||
-        std::find(w.chain.begin(), w.chain.end(), id) != w.chain.end())
+    if (id < 0) return;
+    if (std::find(w.touched.begin(), w.touched.end(), id) == w.touched.end())
+      w.touched.push_back(id);
+    if (std::find(w.chain.begin(), w.chain.end(), id) != w.chain.end())
       return;
     // Downstream filter: a region joins the chain only when it can feed the
     // owner's forbidden region — it blocked a DESCENDING (resp. westward)

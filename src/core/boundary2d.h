@@ -43,8 +43,26 @@ struct Record2D {
 struct Wall2D {
   std::vector<mesh::Coord2> path;
   std::vector<int> chain;   // always contains the owner
+  // Every region the walk probed in its resume direction, merged or not.
+  // The walk's outcome depends only on the owner's geometry, the labels
+  // within one step of `path`, and these regions — which is exactly the
+  // dependency set the incremental `update` uses to decide rebuilds.
+  std::vector<int> touched;
   bool exists = false;      // false when the corner leaves the mesh
   bool complete = true;     // false when the walk hit its step cap
+};
+
+/// What one incremental `update` did to the wall/record stores (consumed
+/// by the runtime's event reports and the proto record-delta codec).
+struct BoundaryUpdate {
+  struct WallChange {
+    int region = -1;
+    mesh::Dir2 guard = mesh::Dir2::PosX;  // PosX = Y wall, PosY = X wall
+    bool removed = false;                 // owner died; no replacement wall
+  };
+  std::vector<WallChange> walls;
+  size_t records_removed = 0;
+  size_t records_added = 0;
 };
 
 class Boundary2D {
@@ -54,6 +72,17 @@ class Boundary2D {
 
   const Wall2D& y_wall(int region) const { return y_walls_[region]; }
   const Wall2D& x_wall(int region) const { return x_walls_[region]; }
+
+  /// Incrementally re-derives walls and records after an event changed the
+  /// labels at `changed` and re-partitioned the regions per `regions`. The
+  /// referenced LabelField2D/MccSet2D must already be updated in place. A
+  /// wall is rebuilt iff its owner changed, a changed cell lies within one
+  /// step of its path, or a region it probed was removed/added — the full
+  /// dependency set of the walk, so untouched walls are provably
+  /// identical. tests/test_runtime.cc proves record equivalence with a
+  /// fresh Boundary2D across randomized churn.
+  BoundaryUpdate update(const std::vector<mesh::Coord2>& changed,
+                        const RegionUpdate& regions);
 
   /// Records deposited at a node (empty for most nodes).
   const std::vector<Record2D>& records_at(mesh::Coord2 c) const {
@@ -72,6 +101,8 @@ class Boundary2D {
 
  private:
   Wall2D build_wall(mesh::Dir2 guard, const MccRegion2D& region);
+  size_t remove_wall_records(int owner, mesh::Dir2 guard, const Wall2D& w);
+  size_t deposit_wall_records(int owner, mesh::Dir2 guard, const Wall2D& w);
 
   const mesh::Mesh2D& mesh_;
   const LabelField2D& labels_;

@@ -1,6 +1,8 @@
 #include "core/labeling.h"
 
 #include <deque>
+#include <unordered_set>
+#include <utility>
 
 namespace mcc::core {
 
@@ -19,22 +21,26 @@ const char* to_string(NodeState s) {
 
 namespace {
 
-// Worklist fixpoint shared by both dimensions. The two label kinds never
-// interact (useless looks only at useless/faulty, can't-reach only at
-// can't-reach/faulty), so one pass with a combined worklist is exact.
+// Worklist fixpoint shared by both dimensions and by the incremental hooks.
+// The two label kinds propagate independently (useless looks only at
+// useless/faulty, can't-reach only at can't-reach/faulty); they interact
+// solely through claiming a node, which is why doubly-blocked cells make
+// the outcome schedule-dependent and are guarded against (see header).
 //
 // `blocked_pos(c)` must return true iff every in-mesh positive neighbor of
 // safe node c is faulty-or-useless; `blocked_neg` the mirror. Out-of-mesh
 // neighbors do not block (walls are not faults).
+//
+// `work` seeds the pass: the constructors enqueue every node in row-major
+// order, the incremental hooks only the cells an event can cascade from.
+// When `claimed` is non-null every cell this pass relabels is appended
+// (such cells were Safe when claimed).
 
 template <class MeshT, class CoordT, class Grid, class ForEachNb>
 void fixpoint(const MeshT& mesh, Grid& g, ForEachNb&& for_each_nb,
               auto&& blocked_pos, auto&& blocked_neg, int& useless,
-              int& cant_reach) {
-  std::deque<CoordT> work;
-  const size_t n = mesh.node_count();
-  for (size_t i = 0; i < n; ++i) work.push_back(mesh.coord(i));
-
+              int& cant_reach, std::deque<CoordT>& work,
+              std::vector<CoordT>* claimed = nullptr) {
   while (!work.empty()) {
     const CoordT c = work.front();
     work.pop_front();
@@ -50,94 +56,392 @@ void fixpoint(const MeshT& mesh, Grid& g, ForEachNb&& for_each_nb,
     }
     if (next == NodeState::Safe) continue;
     st = next;
+    if (claimed) claimed->push_back(c);
     // Only neighbors can be newly affected.
     for_each_nb(c, [&](CoordT nb) { work.push_back(nb); });
   }
+}
+
+// The blocking rules of Algorithm 1 / Algorithm 4 over the current grid.
+// Centralizing them keeps the constructors, the dynamic hooks and the
+// ambiguity guard on one definition.
+
+struct Rules2D {
+  const mesh::Mesh2D& mesh;
+  const util::Grid2<NodeState>& g;
+
+  bool blocks_pos(Coord2 c) const {
+    if (!mesh.contains(c)) return false;
+    const NodeState s = g.at(c.x, c.y);
+    return s == NodeState::Faulty || s == NodeState::Useless;
+  }
+  bool blocks_neg(Coord2 c) const {
+    if (!mesh.contains(c)) return false;
+    const NodeState s = g.at(c.x, c.y);
+    return s == NodeState::Faulty || s == NodeState::CantReach;
+  }
+  bool blocked_pos(Coord2 c) const {
+    const Coord2 px{c.x + 1, c.y}, py{c.x, c.y + 1};
+    // A direction that leaves the mesh cannot force a detour by itself:
+    // the wall is not a fault. Both in-mesh positive neighbors must block.
+    if (!mesh.contains(px) || !mesh.contains(py)) return false;
+    return blocks_pos(px) && blocks_pos(py);
+  }
+  bool blocked_neg(Coord2 c) const {
+    const Coord2 mx{c.x - 1, c.y}, my{c.x, c.y - 1};
+    if (!mesh.contains(mx) || !mesh.contains(my)) return false;
+    return blocks_neg(mx) && blocks_neg(my);
+  }
+};
+
+struct Rules3D {
+  const mesh::Mesh3D& mesh;
+  const util::Grid3<NodeState>& g;
+
+  bool blocks_pos(Coord3 c) const {
+    const NodeState s = g.at(c.x, c.y, c.z);
+    return s == NodeState::Faulty || s == NodeState::Useless;
+  }
+  bool blocks_neg(Coord3 c) const {
+    const NodeState s = g.at(c.x, c.y, c.z);
+    return s == NodeState::Faulty || s == NodeState::CantReach;
+  }
+  bool blocked_pos(Coord3 c) const {
+    const Coord3 px{c.x + 1, c.y, c.z}, py{c.x, c.y + 1, c.z},
+        pz{c.x, c.y, c.z + 1};
+    if (!mesh.contains(px) || !mesh.contains(py) || !mesh.contains(pz))
+      return false;
+    return blocks_pos(px) && blocks_pos(py) && blocks_pos(pz);
+  }
+  bool blocked_neg(Coord3 c) const {
+    const Coord3 mx{c.x - 1, c.y, c.z}, my{c.x, c.y - 1, c.z},
+        mz{c.x, c.y, c.z - 1};
+    if (!mesh.contains(mx) || !mesh.contains(my) || !mesh.contains(mz))
+      return false;
+    return blocks_neg(mx) && blocks_neg(my) && blocks_neg(mz);
+  }
+};
+
+template <class Rules, class CoordT>
+bool doubly_blocked(const Rules& rules, CoordT c) {
+  return rules.g[rules.mesh.index(c)] != NodeState::Faulty &&
+         rules.blocked_pos(c) && rules.blocked_neg(c);
+}
+
+// Orthogonally-connected unsafe component containing `c` — the support
+// closure of every label a repair at `c` can invalidate (see header).
+template <class MeshT, class CoordT, class Grid>
+std::vector<CoordT> unsafe_component(const MeshT& mesh, const Grid& g,
+                                     CoordT c) {
+  std::vector<CoordT> comp;
+  std::vector<uint8_t> seen(mesh.node_count(), 0);
+  std::deque<CoordT> work{c};
+  seen[mesh.index(c)] = 1;
+  while (!work.empty()) {
+    const CoordT u = work.front();
+    work.pop_front();
+    comp.push_back(u);
+    mesh.for_each_neighbor(u, [&](CoordT nb, auto) {
+      if (seen[mesh.index(nb)]) return;
+      if (g[mesh.index(nb)] == NodeState::Safe) return;
+      seen[mesh.index(nb)] = 1;
+      work.push_back(nb);
+    });
+  }
+  return comp;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// 2-D
+
+namespace {
+
+void fixpoint2d(const mesh::Mesh2D& mesh, util::Grid2<NodeState>& g,
+                std::deque<Coord2>& work, int& useless, int& cant_reach,
+                std::vector<Coord2>* claimed = nullptr) {
+  const Rules2D rules{mesh, g};
+  auto for_each_nb = [&](Coord2 c, auto&& fn) {
+    mesh.for_each_neighbor(c, [&](Coord2 nb, mesh::Dir2) { fn(nb); });
+  };
+  fixpoint<mesh::Mesh2D, Coord2>(
+      mesh, g, for_each_nb,
+      [&](Coord2 c) { return rules.blocked_pos(c); },
+      [&](Coord2 c) { return rules.blocked_neg(c); }, useless, cant_reach,
+      work, claimed);
 }
 
 }  // namespace
 
 LabelField2D::LabelField2D(const mesh::Mesh2D& mesh,
                            const mesh::FaultSet2D& faults)
-    : grid_(mesh.nx(), mesh.ny(), NodeState::Safe) {
+    : grid_(mesh.nx(), mesh.ny(), NodeState::Safe),
+      both_(mesh.nx(), mesh.ny(), uint8_t{0}) {
   for (int y = 0; y < mesh.ny(); ++y)
     for (int x = 0; x < mesh.nx(); ++x)
       if (faults.is_faulty({x, y})) grid_.at(x, y) = NodeState::Faulty;
 
-  auto is = [&](Coord2 c, NodeState s) {
-    return mesh.contains(c) && grid_.at(c.x, c.y) == s;
-  };
-  auto blocks_pos = [&](Coord2 c) {
-    return !mesh.contains(c) ? false
-                             : grid_.at(c.x, c.y) == NodeState::Faulty ||
-                                   grid_.at(c.x, c.y) == NodeState::Useless;
-  };
-  auto blocks_neg = [&](Coord2 c) {
-    return !mesh.contains(c) ? false
-                             : grid_.at(c.x, c.y) == NodeState::Faulty ||
-                                   grid_.at(c.x, c.y) == NodeState::CantReach;
-  };
-  (void)is;
-
-  auto blocked_pos = [&](Coord2 c) {
-    const Coord2 px{c.x + 1, c.y}, py{c.x, c.y + 1};
-    // A direction that leaves the mesh cannot force a detour by itself:
-    // the wall is not a fault. Both in-mesh positive neighbors must block.
-    if (!mesh.contains(px) || !mesh.contains(py)) return false;
-    return blocks_pos(px) && blocks_pos(py);
-  };
-  auto blocked_neg = [&](Coord2 c) {
-    const Coord2 mx{c.x - 1, c.y}, my{c.x, c.y - 1};
-    if (!mesh.contains(mx) || !mesh.contains(my)) return false;
-    return blocks_neg(mx) && blocks_neg(my);
-  };
-  auto for_each_nb = [&](Coord2 c, auto&& fn) {
-    mesh.for_each_neighbor(c, [&](Coord2 nb, mesh::Dir2) { fn(nb); });
-  };
-
-  fixpoint<mesh::Mesh2D, Coord2>(mesh, grid_, for_each_nb, blocked_pos,
-                                 blocked_neg, useless_, cant_reach_);
+  std::deque<Coord2> work;
+  for (size_t i = 0; i < mesh.node_count(); ++i) work.push_back(mesh.coord(i));
+  fixpoint2d(mesh, grid_, work, useless_, cant_reach_);
   healthy_unsafe_ = useless_ + cant_reach_;
+
+  const Rules2D rules{mesh, grid_};
+  for (size_t i = 0; i < mesh.node_count(); ++i)
+    if (doubly_blocked(rules, mesh.coord(i))) {
+      both_[i] = 1;
+      ++ambiguous_;
+    }
 }
+
+namespace {
+
+// Shared tail of the incremental hooks: re-evaluate the doubly-blocked
+// flags wherever the event could have changed them, and on any ambiguity
+// (pre-existing or new) redo the event as a constructor-equivalent full
+// relabel so the result is bit-identical to a fresh build by definition.
+// `revert` maps the already-applied grid mutations back to the pre-event
+// state; `changed` is rewritten with the full diff when the fallback runs.
+
+template <class Field, class MeshT, class CoordT, class FaultsT, class Rules>
+bool finish_event(Field& self, const MeshT& mesh, auto& grid, auto& both,
+                  int& ambiguous,
+                  const std::vector<std::pair<CoordT, NodeState>>& revert,
+                  std::vector<CoordT>& changed, bool had_ambiguity) {
+  const Rules rules{mesh, grid};
+  auto refresh = [&](CoordT c) {
+    const uint8_t now = doubly_blocked(rules, c) ? 1 : 0;
+    uint8_t& flag = both[mesh.index(c)];
+    if (now != flag) {
+      ambiguous += now ? 1 : -1;
+      flag = now;
+    }
+  };
+  for (const CoordT c : changed) {
+    refresh(c);
+    mesh.for_each_neighbor(c, [&](CoordT nb, auto) { refresh(nb); });
+  }
+  if (!had_ambiguity && ambiguous == 0) return false;
+
+  // Fallback: reconstruct the pre-event grid, rebuild from the fault flags
+  // with the constructor (row-major schedule), and report the exact diff.
+  auto pre = grid;
+  for (const auto& [c, old] : revert) pre[mesh.index(c)] = old;
+  FaultsT faults(mesh);
+  for (size_t i = 0; i < mesh.node_count(); ++i)
+    if (grid[i] == NodeState::Faulty) faults.set_faulty(mesh.coord(i));
+  const Field fresh(mesh, faults);
+  changed.clear();
+  for (size_t i = 0; i < mesh.node_count(); ++i)
+    if (fresh.grid()[i] != pre[i]) changed.push_back(mesh.coord(i));
+  self = fresh;
+  return true;
+}
+
+}  // namespace
+
+std::vector<Coord2> LabelField2D::apply_fault(const mesh::Mesh2D& mesh,
+                                              Coord2 c) {
+  std::vector<Coord2> changed;
+  NodeState& st = grid_.at(c.x, c.y);
+  if (st == NodeState::Faulty) return changed;
+  const bool had_ambiguity = ambiguous_ != 0;
+  const NodeState old = st;
+  if (st == NodeState::Useless) --useless_;
+  if (st == NodeState::CantReach) --cant_reach_;
+  st = NodeState::Faulty;
+  changed.push_back(c);
+
+  if (!had_ambiguity) {
+    std::deque<Coord2> work;
+    mesh.for_each_neighbor(c,
+                           [&](Coord2 nb, mesh::Dir2) { work.push_back(nb); });
+    fixpoint2d(mesh, grid_, work, useless_, cant_reach_, &changed);
+  }
+  std::vector<std::pair<Coord2, NodeState>> revert{{c, old}};
+  for (size_t i = 1; i < changed.size(); ++i)
+    revert.emplace_back(changed[i], NodeState::Safe);
+  fell_back_ = finish_event<LabelField2D, mesh::Mesh2D, Coord2, mesh::FaultSet2D, Rules2D>(
+      *this, mesh, grid_, both_, ambiguous_, revert, changed, had_ambiguity);
+  healthy_unsafe_ = useless_ + cant_reach_;
+  return changed;
+}
+
+std::vector<Coord2> LabelField2D::apply_repair(const mesh::Mesh2D& mesh,
+                                               Coord2 c) {
+  std::vector<Coord2> changed;
+  if (grid_.at(c.x, c.y) != NodeState::Faulty) return changed;
+  const bool had_ambiguity = ambiguous_ != 0;
+
+  std::vector<std::pair<Coord2, NodeState>> revert;
+  std::vector<Coord2> claimed;
+  if (!had_ambiguity) {
+    const std::vector<Coord2> comp =
+        unsafe_component<mesh::Mesh2D, Coord2>(mesh, grid_, c);
+    std::deque<Coord2> work;
+    for (const Coord2 u : comp) {
+      NodeState& st = grid_[mesh.index(u)];
+      if (u == c) {
+        revert.emplace_back(u, NodeState::Faulty);
+        st = NodeState::Safe;
+      } else if (st == NodeState::Useless) {
+        revert.emplace_back(u, st);
+        --useless_;
+        st = NodeState::Safe;
+      } else if (st == NodeState::CantReach) {
+        revert.emplace_back(u, st);
+        --cant_reach_;
+        st = NodeState::Safe;
+      }
+      // Still-faulty members keep their label but their safe-reset
+      // neighbors re-enter the pass, so every support chain is re-derived.
+      if (st == NodeState::Safe) work.push_back(u);
+    }
+    fixpoint2d(mesh, grid_, work, useless_, cant_reach_, &claimed);
+    // Reverted cells changed unless re-claimed identically; claims outside
+    // the reverted set were Safe before and always changed.
+    std::unordered_set<size_t> reset;
+    for (const auto& [u, old] : revert) {
+      reset.insert(mesh.index(u));
+      if (grid_[mesh.index(u)] != old) changed.push_back(u);
+    }
+    for (const Coord2 u : claimed)
+      if (!reset.count(mesh.index(u))) {
+        changed.push_back(u);
+        revert.emplace_back(u, NodeState::Safe);
+      }
+  } else {
+    NodeState& st = grid_.at(c.x, c.y);
+    revert.emplace_back(c, st);
+    st = NodeState::Safe;
+    changed.push_back(c);
+  }
+  fell_back_ = finish_event<LabelField2D, mesh::Mesh2D, Coord2, mesh::FaultSet2D, Rules2D>(
+      *this, mesh, grid_, both_, ambiguous_, revert, changed, had_ambiguity);
+  healthy_unsafe_ = useless_ + cant_reach_;
+  return changed;
+}
+
+// ---------------------------------------------------------------------------
+// 3-D
+
+namespace {
+
+void fixpoint3d(const mesh::Mesh3D& mesh, util::Grid3<NodeState>& g,
+                std::deque<Coord3>& work, int& useless, int& cant_reach,
+                std::vector<Coord3>* claimed = nullptr) {
+  const Rules3D rules{mesh, g};
+  auto for_each_nb = [&](Coord3 c, auto&& fn) {
+    mesh.for_each_neighbor(c, [&](Coord3 nb, mesh::Dir3) { fn(nb); });
+  };
+  fixpoint<mesh::Mesh3D, Coord3>(
+      mesh, g, for_each_nb,
+      [&](Coord3 c) { return rules.blocked_pos(c); },
+      [&](Coord3 c) { return rules.blocked_neg(c); }, useless, cant_reach,
+      work, claimed);
+}
+
+}  // namespace
 
 LabelField3D::LabelField3D(const mesh::Mesh3D& mesh,
                            const mesh::FaultSet3D& faults)
-    : grid_(mesh.nx(), mesh.ny(), mesh.nz(), NodeState::Safe) {
+    : grid_(mesh.nx(), mesh.ny(), mesh.nz(), NodeState::Safe),
+      both_(mesh.nx(), mesh.ny(), mesh.nz(), uint8_t{0}) {
   for (int z = 0; z < mesh.nz(); ++z)
     for (int y = 0; y < mesh.ny(); ++y)
       for (int x = 0; x < mesh.nx(); ++x)
         if (faults.is_faulty({x, y, z})) grid_.at(x, y, z) = NodeState::Faulty;
 
-  auto blocks_pos = [&](Coord3 c) {
-    return grid_.at(c.x, c.y, c.z) == NodeState::Faulty ||
-           grid_.at(c.x, c.y, c.z) == NodeState::Useless;
-  };
-  auto blocks_neg = [&](Coord3 c) {
-    return grid_.at(c.x, c.y, c.z) == NodeState::Faulty ||
-           grid_.at(c.x, c.y, c.z) == NodeState::CantReach;
-  };
-
-  auto blocked_pos = [&](Coord3 c) {
-    const Coord3 px{c.x + 1, c.y, c.z}, py{c.x, c.y + 1, c.z},
-        pz{c.x, c.y, c.z + 1};
-    if (!mesh.contains(px) || !mesh.contains(py) || !mesh.contains(pz))
-      return false;
-    return blocks_pos(px) && blocks_pos(py) && blocks_pos(pz);
-  };
-  auto blocked_neg = [&](Coord3 c) {
-    const Coord3 mx{c.x - 1, c.y, c.z}, my{c.x, c.y - 1, c.z},
-        mz{c.x, c.y, c.z - 1};
-    if (!mesh.contains(mx) || !mesh.contains(my) || !mesh.contains(mz))
-      return false;
-    return blocks_neg(mx) && blocks_neg(my) && blocks_neg(mz);
-  };
-  auto for_each_nb = [&](Coord3 c, auto&& fn) {
-    mesh.for_each_neighbor(c, [&](Coord3 nb, mesh::Dir3) { fn(nb); });
-  };
-
-  fixpoint<mesh::Mesh3D, Coord3>(mesh, grid_, for_each_nb, blocked_pos,
-                                 blocked_neg, useless_, cant_reach_);
+  std::deque<Coord3> work;
+  for (size_t i = 0; i < mesh.node_count(); ++i) work.push_back(mesh.coord(i));
+  fixpoint3d(mesh, grid_, work, useless_, cant_reach_);
   healthy_unsafe_ = useless_ + cant_reach_;
+
+  const Rules3D rules{mesh, grid_};
+  for (size_t i = 0; i < mesh.node_count(); ++i)
+    if (doubly_blocked(rules, mesh.coord(i))) {
+      both_[i] = 1;
+      ++ambiguous_;
+    }
+}
+
+std::vector<Coord3> LabelField3D::apply_fault(const mesh::Mesh3D& mesh,
+                                              Coord3 c) {
+  std::vector<Coord3> changed;
+  NodeState& st = grid_.at(c.x, c.y, c.z);
+  if (st == NodeState::Faulty) return changed;
+  const bool had_ambiguity = ambiguous_ != 0;
+  const NodeState old = st;
+  if (st == NodeState::Useless) --useless_;
+  if (st == NodeState::CantReach) --cant_reach_;
+  st = NodeState::Faulty;
+  changed.push_back(c);
+
+  if (!had_ambiguity) {
+    std::deque<Coord3> work;
+    mesh.for_each_neighbor(c,
+                           [&](Coord3 nb, mesh::Dir3) { work.push_back(nb); });
+    fixpoint3d(mesh, grid_, work, useless_, cant_reach_, &changed);
+  }
+  std::vector<std::pair<Coord3, NodeState>> revert{{c, old}};
+  for (size_t i = 1; i < changed.size(); ++i)
+    revert.emplace_back(changed[i], NodeState::Safe);
+  fell_back_ = finish_event<LabelField3D, mesh::Mesh3D, Coord3, mesh::FaultSet3D, Rules3D>(
+      *this, mesh, grid_, both_, ambiguous_, revert, changed, had_ambiguity);
+  healthy_unsafe_ = useless_ + cant_reach_;
+  return changed;
+}
+
+std::vector<Coord3> LabelField3D::apply_repair(const mesh::Mesh3D& mesh,
+                                               Coord3 c) {
+  std::vector<Coord3> changed;
+  if (grid_.at(c.x, c.y, c.z) != NodeState::Faulty) return changed;
+  const bool had_ambiguity = ambiguous_ != 0;
+
+  std::vector<std::pair<Coord3, NodeState>> revert;
+  std::vector<Coord3> claimed;
+  if (!had_ambiguity) {
+    const std::vector<Coord3> comp =
+        unsafe_component<mesh::Mesh3D, Coord3>(mesh, grid_, c);
+    std::deque<Coord3> work;
+    for (const Coord3 u : comp) {
+      NodeState& st = grid_[mesh.index(u)];
+      if (u == c) {
+        revert.emplace_back(u, NodeState::Faulty);
+        st = NodeState::Safe;
+      } else if (st == NodeState::Useless) {
+        revert.emplace_back(u, st);
+        --useless_;
+        st = NodeState::Safe;
+      } else if (st == NodeState::CantReach) {
+        revert.emplace_back(u, st);
+        --cant_reach_;
+        st = NodeState::Safe;
+      }
+      if (st == NodeState::Safe) work.push_back(u);
+    }
+    fixpoint3d(mesh, grid_, work, useless_, cant_reach_, &claimed);
+    std::unordered_set<size_t> reset;
+    for (const auto& [u, old] : revert) {
+      reset.insert(mesh.index(u));
+      if (grid_[mesh.index(u)] != old) changed.push_back(u);
+    }
+    for (const Coord3 u : claimed)
+      if (!reset.count(mesh.index(u))) {
+        changed.push_back(u);
+        revert.emplace_back(u, NodeState::Safe);
+      }
+  } else {
+    NodeState& st = grid_.at(c.x, c.y, c.z);
+    revert.emplace_back(c, st);
+    st = NodeState::Safe;
+    changed.push_back(c);
+  }
+  fell_back_ = finish_event<LabelField3D, mesh::Mesh3D, Coord3, mesh::FaultSet3D, Rules3D>(
+      *this, mesh, grid_, both_, ambiguous_, revert, changed, had_ambiguity);
+  healthy_unsafe_ = useless_ + cant_reach_;
+  return changed;
 }
 
 }  // namespace mcc::core

@@ -13,9 +13,32 @@
 //
 // Mesh walls do NOT count as faulty (see DESIGN.md §2/§8): a border node
 // keeps its safe label even though a direction is missing.
+//
+// Dynamic faults: apply_fault / apply_repair relabel incrementally. A new
+// fault only strengthens the blocking predicates, so a worklist seeded at
+// the struck node's neighbors reaches exactly the cascade (Safe -> unsafe
+// transitions are monotone). A repair can only weaken them, and every
+// unsafe label's support chain stays inside the orthogonally-connected
+// unsafe component of the repaired node, so resetting that component to
+// Safe and re-running the same fixpoint from those seeds is exact. Both
+// hooks return the cells whose label changed; tests/test_runtime.cc proves
+// the result bit-identical to a fresh rebuild across randomized churn.
+//
+// One caveat makes the hooks guard themselves: when a healthy node is
+// simultaneously useless-forced AND can't-reach-forced (every positive
+// neighbor faulty-or-useless and every negative neighbor faulty-or-
+// can't-reach — only possible in dense fault pockets), the kind it is
+// claimed with depends on the worklist schedule, so a seeded pass could
+// disagree with the constructor's row-major pass. The fields therefore
+// track the count of such doubly-blocked cells; whenever an event touches
+// or leaves a configuration containing any, the hook falls back to a full
+// constructor-equivalent relabel, which is bit-identical to a fresh build
+// by definition. At the paper's operating fault rates the count is zero
+// and the fallback never triggers (bench_e12 reports how often it does).
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "mesh/fault_set.h"
 #include "mesh/mesh.h"
@@ -45,6 +68,16 @@ class LabelField2D {
   bool unsafe(mesh::Coord2 c) const { return is_unsafe(state(c)); }
   bool safe(mesh::Coord2 c) const { return !unsafe(c); }
 
+  /// Incremental relabel after node c fails (no-op when already faulty).
+  /// Returns every cell whose label changed, the struck node included;
+  /// ordering is unspecified (the ambiguity fallback reports a scan-order
+  /// diff, the incremental pass its cascade order).
+  std::vector<mesh::Coord2> apply_fault(const mesh::Mesh2D& mesh,
+                                        mesh::Coord2 c);
+  /// Incremental relabel after node c is repaired (no-op unless faulty).
+  std::vector<mesh::Coord2> apply_repair(const mesh::Mesh2D& mesh,
+                                         mesh::Coord2 c);
+
   /// Number of healthy nodes absorbed into fault regions (useless +
   /// can't-reach). This is the paper's headline "non-faulty nodes included
   /// in MCCs" metric.
@@ -54,11 +87,23 @@ class LabelField2D {
 
   const util::Grid2<NodeState>& grid() const { return grid_; }
 
+  /// Healthy cells currently forced by BOTH label systems (see header).
+  /// Non-zero means incremental events fall back to full relabels.
+  int ambiguous_count() const { return ambiguous_; }
+
+  /// True when the most recent apply_fault/apply_repair took the full-
+  /// relabel fallback (the event started in or produced an ambiguous
+  /// configuration). bench_e12 reports the frequency.
+  bool last_event_fell_back() const { return fell_back_; }
+
  private:
   util::Grid2<NodeState> grid_;
+  util::Grid2<uint8_t> both_;  // doubly-blocked flags backing ambiguous_
   int healthy_unsafe_ = 0;
   int useless_ = 0;
   int cant_reach_ = 0;
+  int ambiguous_ = 0;
+  bool fell_back_ = false;
 };
 
 /// Per-node labels for one orientation class of a 3-D mesh (Algorithm 4).
@@ -70,17 +115,29 @@ class LabelField3D {
   bool unsafe(mesh::Coord3 c) const { return is_unsafe(state(c)); }
   bool safe(mesh::Coord3 c) const { return !unsafe(c); }
 
+  std::vector<mesh::Coord3> apply_fault(const mesh::Mesh3D& mesh,
+                                        mesh::Coord3 c);
+  std::vector<mesh::Coord3> apply_repair(const mesh::Mesh3D& mesh,
+                                         mesh::Coord3 c);
+
   int healthy_unsafe_count() const { return healthy_unsafe_; }
   int useless_count() const { return useless_; }
   int cant_reach_count() const { return cant_reach_; }
 
   const util::Grid3<NodeState>& grid() const { return grid_; }
 
+  int ambiguous_count() const { return ambiguous_; }
+
+  bool last_event_fell_back() const { return fell_back_; }
+
  private:
   util::Grid3<NodeState> grid_;
+  util::Grid3<uint8_t> both_;
   int healthy_unsafe_ = 0;
   int useless_ = 0;
   int cant_reach_ = 0;
+  int ambiguous_ = 0;
+  bool fell_back_ = false;
 };
 
 }  // namespace mcc::core

@@ -3,163 +3,308 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <unordered_set>
 
 namespace mcc::core {
 
 using mesh::Coord2;
 using mesh::Coord3;
 
+namespace {
+
+// One component flood + contour derivation, shared by the constructor scan
+// and the incremental update (both must produce byte-identical regions for
+// the same seed and labels).
+MccRegion2D extract2d(const mesh::Mesh2D& mesh, const LabelField2D& labels,
+                      util::Grid2<int32_t>& comp, Coord2 seed, int id,
+                      Connectivity conn) {
+  MccRegion2D r;
+  r.id = id;
+  r.x0 = r.x1 = seed.x;
+  r.y0 = r.y1 = seed.y;
+
+  std::deque<Coord2> work{seed};
+  comp.at(seed.x, seed.y) = id;
+  while (!work.empty()) {
+    const Coord2 c = work.front();
+    work.pop_front();
+    r.cells.push_back(c);
+    if (labels.state(c) == NodeState::Faulty)
+      ++r.faulty_cells;
+    else
+      ++r.healthy_cells;
+    r.x0 = std::min(r.x0, c.x);
+    r.x1 = std::max(r.x1, c.x);
+    r.y0 = std::min(r.y0, c.y);
+    r.y1 = std::max(r.y1, c.y);
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0) continue;
+        if (conn == Connectivity::Ortho && dx != 0 && dy != 0) continue;
+        const Coord2 nb{c.x + dx, c.y + dy};
+        if (!mesh.contains(nb)) continue;
+        if (labels.unsafe(nb) && comp.at(nb.x, nb.y) == -1) {
+          comp.at(nb.x, nb.y) = id;
+          work.push_back(nb);
+        }
+      }
+  }
+
+  const int w = r.width(), h = r.height();
+  r.bot.assign(w, std::numeric_limits<int>::max());
+  r.top.assign(w, std::numeric_limits<int>::min());
+  r.left.assign(h, std::numeric_limits<int>::max());
+  r.right.assign(h, std::numeric_limits<int>::min());
+  util::Grid2<uint8_t> mask(w, h, uint8_t{0});
+  for (const Coord2 c : r.cells) {
+    const int cx = c.x - r.x0, cy = c.y - r.y0;
+    mask.at(cx, cy) = 1;
+    r.bot[cx] = std::min(r.bot[cx], c.y);
+    r.top[cx] = std::max(r.top[cx], c.y);
+    r.left[cy] = std::min(r.left[cy], c.x);
+    r.right[cy] = std::max(r.right[cy], c.x);
+  }
+
+  // Staircase invariants (see header). Columns/rows of a component are
+  // never empty because components are built over their bounding box by
+  // connectivity, but we still guard against gaps defensively.
+  for (int cx = 0; cx < w; ++cx) {
+    for (int cy = r.bot[cx] - r.y0; cy <= r.top[cx] - r.y0; ++cy)
+      if (!mask.at(cx, cy)) r.column_spans_contiguous = false;
+    if (cx > 0 && (r.bot[cx] < r.bot[cx - 1] || r.top[cx] < r.top[cx - 1]))
+      r.monotone_ascending = false;
+  }
+  for (int cy = 0; cy < h; ++cy) {
+    for (int cx = r.left[cy] - r.x0; cx <= r.right[cy] - r.x0; ++cx)
+      if (!mask.at(cx, cy)) r.row_spans_contiguous = false;
+    if (cy > 0 && (r.left[cy] < r.left[cy - 1] || r.right[cy] < r.right[cy - 1]))
+      r.monotone_ascending = false;
+  }
+  return r;
+}
+
+MccRegion3D extract3d(const mesh::Mesh3D& mesh, const LabelField3D& labels,
+                      util::Grid3<int32_t>& comp, Coord3 seed, int id) {
+  MccRegion3D r;
+  r.id = id;
+  r.x0 = r.x1 = seed.x;
+  r.y0 = r.y1 = seed.y;
+  r.z0 = r.z1 = seed.z;
+
+  std::deque<Coord3> work{seed};
+  comp.at(seed.x, seed.y, seed.z) = id;
+  while (!work.empty()) {
+    const Coord3 c = work.front();
+    work.pop_front();
+    r.cells.push_back(c);
+    if (labels.state(c) == NodeState::Faulty)
+      ++r.faulty_cells;
+    else
+      ++r.healthy_cells;
+    r.x0 = std::min(r.x0, c.x);
+    r.x1 = std::max(r.x1, c.x);
+    r.y0 = std::min(r.y0, c.y);
+    r.y1 = std::max(r.y1, c.y);
+    r.z0 = std::min(r.z0, c.z);
+    r.z1 = std::max(r.z1, c.z);
+    // 18-adjacency (faces + edges, no corners): the paper's Figure 5
+    // groups diagonally-touching cells of one plane section into the
+    // same MCC ((6,7,5) with (5,6,5)), yet keeps the corner-touching
+    // fault (7,8,4) separate.
+    for (int dz = -1; dz <= 1; ++dz)
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int changed = (dx != 0) + (dy != 0) + (dz != 0);
+          if (changed == 0 || changed == 3) continue;
+          const Coord3 nb{c.x + dx, c.y + dy, c.z + dz};
+          if (!mesh.contains(nb)) continue;
+          if (labels.unsafe(nb) && comp.at(nb.x, nb.y, nb.z) == -1) {
+            comp.at(nb.x, nb.y, nb.z) = id;
+            work.push_back(nb);
+          }
+        }
+  }
+
+  const int w = r.x1 - r.x0 + 1;
+  const int h = r.y1 - r.y0 + 1;
+  const int dpt = r.z1 - r.z0 + 1;
+  const std::pair<int16_t, int16_t> empty{1, 0};
+  r.z_span = util::Grid2<std::pair<int16_t, int16_t>>(w, h, empty);
+  r.y_span = util::Grid2<std::pair<int16_t, int16_t>>(w, dpt, empty);
+  r.x_span = util::Grid2<std::pair<int16_t, int16_t>>(h, dpt, empty);
+  auto widen = [](std::pair<int16_t, int16_t>& s, int v) {
+    if (s.first > s.second) {
+      s = {static_cast<int16_t>(v), static_cast<int16_t>(v)};
+    } else {
+      s.first = std::min<int16_t>(s.first, static_cast<int16_t>(v));
+      s.second = std::max<int16_t>(s.second, static_cast<int16_t>(v));
+    }
+  };
+  for (const Coord3 c : r.cells) {
+    widen(r.z_span.at(c.x - r.x0, c.y - r.y0), c.z);
+    widen(r.y_span.at(c.x - r.x0, c.z - r.z0), c.y);
+    widen(r.x_span.at(c.y - r.y0, c.z - r.z0), c.x);
+  }
+  return r;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// 2-D
+
 MccSet2D::MccSet2D(const mesh::Mesh2D& mesh, const LabelField2D& labels,
                    Connectivity conn)
-    : comp_(mesh.nx(), mesh.ny(), int32_t{-1}) {
-  for (int ys = 0; ys < mesh.ny(); ++ys) {
+    : comp_(mesh.nx(), mesh.ny(), int32_t{-1}), conn_(conn) {
+  for (int ys = 0; ys < mesh.ny(); ++ys)
     for (int xs = 0; xs < mesh.nx(); ++xs) {
       const Coord2 seed{xs, ys};
       if (!labels.unsafe(seed) || comp_.at(xs, ys) != -1) continue;
-
-      MccRegion2D r;
-      r.id = static_cast<int>(regions_.size());
-      r.x0 = r.x1 = xs;
-      r.y0 = r.y1 = ys;
-
-      std::deque<Coord2> work{seed};
-      comp_.at(xs, ys) = r.id;
-      while (!work.empty()) {
-        const Coord2 c = work.front();
-        work.pop_front();
-        r.cells.push_back(c);
-        if (labels.state(c) == NodeState::Faulty)
-          ++r.faulty_cells;
-        else
-          ++r.healthy_cells;
-        r.x0 = std::min(r.x0, c.x);
-        r.x1 = std::max(r.x1, c.x);
-        r.y0 = std::min(r.y0, c.y);
-        r.y1 = std::max(r.y1, c.y);
-        for (int dy = -1; dy <= 1; ++dy)
-          for (int dx = -1; dx <= 1; ++dx) {
-            if (dx == 0 && dy == 0) continue;
-            if (conn == Connectivity::Ortho && dx != 0 && dy != 0) continue;
-            const Coord2 nb{c.x + dx, c.y + dy};
-            if (!mesh.contains(nb)) continue;
-            if (labels.unsafe(nb) && comp_.at(nb.x, nb.y) == -1) {
-              comp_.at(nb.x, nb.y) = r.id;
-              work.push_back(nb);
-            }
-          }
-      }
-
-      const int w = r.width(), h = r.height();
-      r.bot.assign(w, std::numeric_limits<int>::max());
-      r.top.assign(w, std::numeric_limits<int>::min());
-      r.left.assign(h, std::numeric_limits<int>::max());
-      r.right.assign(h, std::numeric_limits<int>::min());
-      util::Grid2<uint8_t> mask(w, h, uint8_t{0});
-      for (const Coord2 c : r.cells) {
-        const int cx = c.x - r.x0, cy = c.y - r.y0;
-        mask.at(cx, cy) = 1;
-        r.bot[cx] = std::min(r.bot[cx], c.y);
-        r.top[cx] = std::max(r.top[cx], c.y);
-        r.left[cy] = std::min(r.left[cy], c.x);
-        r.right[cy] = std::max(r.right[cy], c.x);
-      }
-
-      // Staircase invariants (see header). Columns/rows of a component are
-      // never empty because components are built over their bounding box by
-      // connectivity, but we still guard against gaps defensively.
-      for (int cx = 0; cx < w; ++cx) {
-        for (int cy = r.bot[cx] - r.y0; cy <= r.top[cx] - r.y0; ++cy)
-          if (!mask.at(cx, cy)) r.column_spans_contiguous = false;
-        if (cx > 0 &&
-            (r.bot[cx] < r.bot[cx - 1] || r.top[cx] < r.top[cx - 1]))
-          r.monotone_ascending = false;
-      }
-      for (int cy = 0; cy < h; ++cy) {
-        for (int cx = r.left[cy] - r.x0; cx <= r.right[cy] - r.x0; ++cx)
-          if (!mask.at(cx, cy)) r.row_spans_contiguous = false;
-        if (cy > 0 &&
-            (r.left[cy] < r.left[cy - 1] || r.right[cy] < r.right[cy - 1]))
-          r.monotone_ascending = false;
-      }
-
-      regions_.push_back(std::move(r));
+      regions_.push_back(extract2d(mesh, labels, comp_, seed,
+                                   static_cast<int>(regions_.size()), conn_));
     }
-  }
 }
+
+int MccSet2D::alloc_id() {
+  if (!free_ids_.empty()) {
+    const int id = free_ids_.back();
+    free_ids_.pop_back();
+    return id;
+  }
+  regions_.emplace_back();
+  return static_cast<int>(regions_.size()) - 1;
+}
+
+RegionUpdate MccSet2D::update(const mesh::Mesh2D& mesh,
+                              const LabelField2D& labels,
+                              const std::vector<Coord2>& changed) {
+  RegionUpdate rep;
+  if (changed.empty()) return rep;
+
+  // 1. Every region holding a changed cell dies (split/shrink), and every
+  //    region adjacent to a cell that BECAME unsafe dies too (it merges
+  //    with the new cell). Two live regions are never conn-adjacent, so no
+  //    other region's cell set can be affected.
+  std::unordered_set<int> dead;
+  auto note = [&](Coord2 c) {
+    const int id = comp_.at(c.x, c.y);
+    if (id >= 0) dead.insert(id);
+  };
+  for (const Coord2 c : changed) {
+    note(c);
+    if (!labels.unsafe(c)) continue;
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0) continue;
+        if (conn_ == Connectivity::Ortho && dx != 0 && dy != 0) continue;
+        const Coord2 nb{c.x + dx, c.y + dy};
+        if (mesh.contains(nb)) note(nb);
+      }
+  }
+
+  // 2. Clear the dead regions; their cells plus the changed cells are the
+  //    only possible seeds of re-extraction.
+  std::vector<Coord2> domain(changed);
+  for (const int id : dead) {
+    for (const Coord2 c : regions_[id].cells) {
+      comp_.at(c.x, c.y) = -1;
+      domain.push_back(c);
+    }
+    regions_[id] = MccRegion2D{};
+    rep.removed.push_back(id);
+  }
+  std::sort(rep.removed.begin(), rep.removed.end());
+
+  // 3. Deterministic re-extraction in row-major seed order. Freed ids are
+  //    recycled only by LATER events so one event never reports the same
+  //    id as removed and added.
+  std::sort(domain.begin(), domain.end(), [&](Coord2 a, Coord2 b) {
+    return mesh.index(a) < mesh.index(b);
+  });
+  for (const Coord2 seed : domain) {
+    if (!labels.unsafe(seed) || comp_.at(seed.x, seed.y) != -1) continue;
+    const int id = alloc_id();
+    regions_[id] = extract2d(mesh, labels, comp_, seed, id, conn_);
+    rep.added.push_back(id);
+  }
+  for (const int id : rep.removed) free_ids_.push_back(id);
+  std::sort(free_ids_.begin(), free_ids_.end(), std::greater<int>());
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// 3-D
 
 MccSet3D::MccSet3D(const mesh::Mesh3D& mesh, const LabelField3D& labels)
     : comp_(mesh.nx(), mesh.ny(), mesh.nz(), int32_t{-1}) {
-  for (int zs = 0; zs < mesh.nz(); ++zs) {
-    for (int ys = 0; ys < mesh.ny(); ++ys) {
+  for (int zs = 0; zs < mesh.nz(); ++zs)
+    for (int ys = 0; ys < mesh.ny(); ++ys)
       for (int xs = 0; xs < mesh.nx(); ++xs) {
         const Coord3 seed{xs, ys, zs};
         if (!labels.unsafe(seed) || comp_.at(xs, ys, zs) != -1) continue;
-
-        MccRegion3D r;
-        r.id = static_cast<int>(regions_.size());
-        r.x0 = r.x1 = xs;
-        r.y0 = r.y1 = ys;
-        r.z0 = r.z1 = zs;
-
-        std::deque<Coord3> work{seed};
-        comp_.at(xs, ys, zs) = r.id;
-        while (!work.empty()) {
-          const Coord3 c = work.front();
-          work.pop_front();
-          r.cells.push_back(c);
-          if (labels.state(c) == NodeState::Faulty)
-            ++r.faulty_cells;
-          else
-            ++r.healthy_cells;
-          r.x0 = std::min(r.x0, c.x);
-          r.x1 = std::max(r.x1, c.x);
-          r.y0 = std::min(r.y0, c.y);
-          r.y1 = std::max(r.y1, c.y);
-          r.z0 = std::min(r.z0, c.z);
-          r.z1 = std::max(r.z1, c.z);
-          // 18-adjacency (faces + edges, no corners): the paper's Figure 5
-          // groups diagonally-touching cells of one plane section into the
-          // same MCC ((6,7,5) with (5,6,5)), yet keeps the corner-touching
-          // fault (7,8,4) separate.
-          for (int dz = -1; dz <= 1; ++dz)
-            for (int dy = -1; dy <= 1; ++dy)
-              for (int dx = -1; dx <= 1; ++dx) {
-                const int changed = (dx != 0) + (dy != 0) + (dz != 0);
-                if (changed == 0 || changed == 3) continue;
-                const Coord3 nb{c.x + dx, c.y + dy, c.z + dz};
-                if (!mesh.contains(nb)) continue;
-                if (labels.unsafe(nb) && comp_.at(nb.x, nb.y, nb.z) == -1) {
-                  comp_.at(nb.x, nb.y, nb.z) = r.id;
-                  work.push_back(nb);
-                }
-              }
-        }
-
-        const int w = r.x1 - r.x0 + 1;
-        const int h = r.y1 - r.y0 + 1;
-        const int dpt = r.z1 - r.z0 + 1;
-        const std::pair<int16_t, int16_t> empty{1, 0};
-        r.z_span = util::Grid2<std::pair<int16_t, int16_t>>(w, h, empty);
-        r.y_span = util::Grid2<std::pair<int16_t, int16_t>>(w, dpt, empty);
-        r.x_span = util::Grid2<std::pair<int16_t, int16_t>>(h, dpt, empty);
-        auto widen = [](std::pair<int16_t, int16_t>& s, int v) {
-          if (s.first > s.second) {
-            s = {static_cast<int16_t>(v), static_cast<int16_t>(v)};
-          } else {
-            s.first = std::min<int16_t>(s.first, static_cast<int16_t>(v));
-            s.second = std::max<int16_t>(s.second, static_cast<int16_t>(v));
-          }
-        };
-        for (const Coord3 c : r.cells) {
-          widen(r.z_span.at(c.x - r.x0, c.y - r.y0), c.z);
-          widen(r.y_span.at(c.x - r.x0, c.z - r.z0), c.y);
-          widen(r.x_span.at(c.y - r.y0, c.z - r.z0), c.x);
-        }
-
-        regions_.push_back(std::move(r));
+        regions_.push_back(extract3d(mesh, labels, comp_, seed,
+                                     static_cast<int>(regions_.size())));
       }
-    }
+}
+
+int MccSet3D::alloc_id() {
+  if (!free_ids_.empty()) {
+    const int id = free_ids_.back();
+    free_ids_.pop_back();
+    return id;
   }
+  regions_.emplace_back();
+  return static_cast<int>(regions_.size()) - 1;
+}
+
+RegionUpdate MccSet3D::update(const mesh::Mesh3D& mesh,
+                              const LabelField3D& labels,
+                              const std::vector<Coord3>& changed) {
+  RegionUpdate rep;
+  if (changed.empty()) return rep;
+
+  std::unordered_set<int> dead;
+  auto note = [&](Coord3 c) {
+    const int id = comp_.at(c.x, c.y, c.z);
+    if (id >= 0) dead.insert(id);
+  };
+  for (const Coord3 c : changed) {
+    note(c);
+    if (!labels.unsafe(c)) continue;
+    for (int dz = -1; dz <= 1; ++dz)
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int moved = (dx != 0) + (dy != 0) + (dz != 0);
+          if (moved == 0 || moved == 3) continue;
+          const Coord3 nb{c.x + dx, c.y + dy, c.z + dz};
+          if (mesh.contains(nb)) note(nb);
+        }
+  }
+
+  std::vector<Coord3> domain(changed);
+  for (const int id : dead) {
+    for (const Coord3 c : regions_[id].cells) {
+      comp_.at(c.x, c.y, c.z) = -1;
+      domain.push_back(c);
+    }
+    regions_[id] = MccRegion3D{};
+    rep.removed.push_back(id);
+  }
+  std::sort(rep.removed.begin(), rep.removed.end());
+
+  std::sort(domain.begin(), domain.end(), [&](Coord3 a, Coord3 b) {
+    return mesh.index(a) < mesh.index(b);
+  });
+  for (const Coord3 seed : domain) {
+    if (!labels.unsafe(seed) || comp_.at(seed.x, seed.y, seed.z) != -1)
+      continue;
+    const int id = alloc_id();
+    regions_[id] = extract3d(mesh, labels, comp_, seed, id);
+    rep.added.push_back(id);
+  }
+  for (const int id : rep.removed) free_ids_.push_back(id);
+  std::sort(free_ids_.begin(), free_ids_.end(), std::greater<int>());
+  return rep;
 }
 
 }  // namespace mcc::core

@@ -81,7 +81,27 @@ struct MccRegion2D {
 /// the distributed protocols validate against it.
 enum class Connectivity : uint8_t { Ortho, Eight };
 
+/// Merge/split report of one incremental `update` call (the dynamic
+/// runtime's region hook). A region whose cell set changed in any way is
+/// reported as removed and re-added under a fresh id; ids of untouched
+/// regions are stable across events. A merge therefore shows up as N
+/// removed + 1 added, a split as 1 removed + N added.
+struct RegionUpdate {
+  std::vector<int> removed;
+  std::vector<int> added;
+
+  bool empty() const { return removed.empty() && added.empty(); }
+};
+
 /// All MCCs of one labelled 2-D mesh plus the cell->region index.
+///
+/// After construction the set can be maintained incrementally: `update`
+/// re-derives exactly the components that gained or lost cells, keeping
+/// every other region's id, geometry and contours untouched (dead ids
+/// become tombstone entries whose predicates are all-false; freed ids are
+/// recycled by later events). A fresh MccSet2D over the same labels yields
+/// the same partition up to the id bijection — tests/test_runtime.cc
+/// proves it across randomized churn.
 class MccSet2D {
  public:
   MccSet2D(const mesh::Mesh2D& mesh, const LabelField2D& labels,
@@ -94,9 +114,24 @@ class MccSet2D {
 
   const MccRegion2D& region(int id) const { return regions_[id]; }
 
+  /// True when `id` names a live region (tombstones and out-of-range fail).
+  bool live(int id) const {
+    return id >= 0 && id < static_cast<int>(regions_.size()) &&
+           regions_[id].id == id;
+  }
+
+  /// Incrementally re-partitions after the cells in `changed` flipped
+  /// their safe/unsafe label. `labels` must already be updated.
+  RegionUpdate update(const mesh::Mesh2D& mesh, const LabelField2D& labels,
+                      const std::vector<mesh::Coord2>& changed);
+
  private:
+  int alloc_id();
+
   util::Grid2<int32_t> comp_;
   std::vector<MccRegion2D> regions_;
+  Connectivity conn_ = Connectivity::Ortho;
+  std::vector<int> free_ids_;  // tombstone slots available for reuse
 };
 
 /// One 3-D MCC. Shadow contours give, for each axis-aligned line through
@@ -168,9 +203,21 @@ class MccSet3D {
   int region_at(mesh::Coord3 c) const { return comp_.at(c.x, c.y, c.z); }
   const MccRegion3D& region(int id) const { return regions_[id]; }
 
+  bool live(int id) const {
+    return id >= 0 && id < static_cast<int>(regions_.size()) &&
+           regions_[id].id == id;
+  }
+
+  /// 3-D analogue of MccSet2D::update (18-adjacency, shadow spans).
+  RegionUpdate update(const mesh::Mesh3D& mesh, const LabelField3D& labels,
+                      const std::vector<mesh::Coord3>& changed);
+
  private:
+  int alloc_id();
+
   util::Grid3<int32_t> comp_;
   std::vector<MccRegion3D> regions_;
+  std::vector<int> free_ids_;
 };
 
 }  // namespace mcc::core

@@ -34,15 +34,26 @@ const OctantModel2D& MccModel2D::octant(mesh::Octant2 o) const {
 
 FeasibilityResult MccModel2D::feasible(Coord2 s, Coord2 d) const {
   const mesh::Octant2 o = mesh::Octant2::from_pair(s, d);
-  const OctantModel2D& m = octant(o);
-  return mcc_feasible2d(mesh_, m.labels, o.transform(s, mesh_),
-                        o.transform(d, mesh_));
+  return feasible_in_octant(mesh_, octant(o), o, s, d);
+}
+
+FeasibilityResult feasible_in_octant(const mesh::Mesh2D& mesh,
+                                     const OctantModel2D& m, mesh::Octant2 o,
+                                     Coord2 s, Coord2 d) {
+  return mcc_feasible2d(mesh, m.labels, o.transform(s, mesh),
+                        o.transform(d, mesh));
 }
 
 RouteResult2D MccModel2D::route(Coord2 s, Coord2 d, RouterKind kind,
                                 RoutePolicy policy, uint64_t seed) const {
   const mesh::Octant2 o = mesh::Octant2::from_pair(s, d);
-  const OctantModel2D& m = octant(o);
+  return route_in_octant(mesh_, octant(o), o, s, d, kind, policy, seed);
+}
+
+RouteResult2D route_in_octant(const mesh::Mesh2D& mesh_,
+                              const OctantModel2D& m, mesh::Octant2 o,
+                              Coord2 s, Coord2 d, RouterKind kind,
+                              RoutePolicy policy, uint64_t seed) {
   const Coord2 cs = o.transform(s, mesh_);
   const Coord2 cd = o.transform(d, mesh_);
 
@@ -118,15 +129,26 @@ const OctantModel3D& MccModel3D::octant(mesh::Octant3 o) const {
 
 FeasibilityResult MccModel3D::feasible(Coord3 s, Coord3 d) const {
   const mesh::Octant3 o = mesh::Octant3::from_pair(s, d);
-  const OctantModel3D& m = octant(o);
-  return mcc_feasible3d(mesh_, m.faults, m.labels, o.transform(s, mesh_),
-                        o.transform(d, mesh_));
+  return feasible_in_octant(mesh_, octant(o), o, s, d);
+}
+
+FeasibilityResult feasible_in_octant(const mesh::Mesh3D& mesh,
+                                     const OctantModel3D& m, mesh::Octant3 o,
+                                     Coord3 s, Coord3 d) {
+  return mcc_feasible3d(mesh, m.faults, m.labels, o.transform(s, mesh),
+                        o.transform(d, mesh));
 }
 
 RouteResult3D MccModel3D::route(Coord3 s, Coord3 d, RouterKind kind,
                                 RoutePolicy policy, uint64_t seed) const {
   const mesh::Octant3 o = mesh::Octant3::from_pair(s, d);
-  const OctantModel3D& m = octant(o);
+  return route_in_octant(mesh_, octant(o), o, s, d, kind, policy, seed);
+}
+
+RouteResult3D route_in_octant(const mesh::Mesh3D& mesh_,
+                              const OctantModel3D& m, mesh::Octant3 o,
+                              Coord3 s, Coord3 d, RouterKind kind,
+                              RoutePolicy policy, uint64_t seed) {
   const Coord3 cs = o.transform(s, mesh_);
   const Coord3 cd = o.transform(d, mesh_);
 

@@ -51,6 +51,19 @@ struct OctantModel2D {
         boundary(mesh, labels, mccs) {}
 };
 
+/// Feasibility/routing against one prepared orientation-class model, in
+/// PHYSICAL coordinates (the octant describes how s/d map into the
+/// canonical frame the model was built for). Shared by MccModel2D/3D and
+/// the dynamic runtime (runtime::DynamicModel2D/3D), so the static and
+/// incrementally-maintained stacks route byte-identically.
+FeasibilityResult feasible_in_octant(const mesh::Mesh2D& mesh,
+                                     const OctantModel2D& m, mesh::Octant2 o,
+                                     mesh::Coord2 s, mesh::Coord2 d);
+RouteResult2D route_in_octant(const mesh::Mesh2D& mesh,
+                              const OctantModel2D& m, mesh::Octant2 o,
+                              mesh::Coord2 s, mesh::Coord2 d, RouterKind kind,
+                              RoutePolicy policy, uint64_t seed);
+
 class MccModel2D {
  public:
   MccModel2D(const mesh::Mesh2D& mesh, mesh::FaultSet2D faults);
@@ -83,6 +96,14 @@ struct OctantModel3D {
   OctantModel3D(const mesh::Mesh3D& mesh, mesh::FaultSet3D f)
       : faults(std::move(f)), labels(mesh, faults), mccs(mesh, labels) {}
 };
+
+FeasibilityResult feasible_in_octant(const mesh::Mesh3D& mesh,
+                                     const OctantModel3D& m, mesh::Octant3 o,
+                                     mesh::Coord3 s, mesh::Coord3 d);
+RouteResult3D route_in_octant(const mesh::Mesh3D& mesh,
+                              const OctantModel3D& m, mesh::Octant3 o,
+                              mesh::Coord3 s, mesh::Coord3 d, RouterKind kind,
+                              RoutePolicy policy, uint64_t seed);
 
 class MccModel3D {
  public:

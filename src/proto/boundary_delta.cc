@@ -1,0 +1,113 @@
+#include "proto/boundary_delta.h"
+
+#include <algorithm>
+
+namespace mcc::proto {
+
+using mesh::Coord2;
+using mesh::Dir2;
+
+namespace {
+
+uint64_t wall_key(int owner, Dir2 guard) {
+  return (static_cast<uint64_t>(owner) << 1) |
+         (guard == Dir2::PosY ? 1u : 0u);
+}
+
+}  // namespace
+
+BoundaryDelta make_boundary_delta(const core::Boundary2D& boundary,
+                                  const core::BoundaryUpdate& update) {
+  BoundaryDelta delta;
+  delta.messages.reserve(update.walls.size());
+  for (const core::BoundaryUpdate::WallChange& wc : update.walls) {
+    std::vector<int32_t> msg;
+    msg.push_back(wc.region);
+    msg.push_back(wc.guard == Dir2::PosY ? 1 : 0);
+    msg.push_back(wc.removed ? 1 : 0);
+    if (wc.removed) {
+      msg.push_back(0);  // no replacement path
+      msg.push_back(0);  // no chain
+    } else {
+      const core::Wall2D& w = wc.guard == Dir2::PosX
+                                  ? boundary.y_wall(wc.region)
+                                  : boundary.x_wall(wc.region);
+      if (!w.exists) {
+        msg.push_back(0);
+        msg.push_back(0);
+      } else {
+        msg.push_back(static_cast<int32_t>(w.path.size()));
+        for (const Coord2 c : w.path) {
+          msg.push_back(c.x);
+          msg.push_back(c.y);
+        }
+        msg.push_back(static_cast<int32_t>(w.chain.size()));
+        for (const int id : w.chain) msg.push_back(id);
+      }
+    }
+    delta.messages.push_back(std::move(msg));
+  }
+  return delta;
+}
+
+RecordReplica2D::RecordReplica2D(const mesh::Mesh2D& mesh)
+    : mesh_(mesh), records_(mesh.nx(), mesh.ny()) {}
+
+void RecordReplica2D::snapshot(const core::Boundary2D& boundary) {
+  for (auto& recs : records_) recs.clear();
+  wall_paths_.clear();
+  record_count_ = 0;
+  for (int y = 0; y < mesh_.ny(); ++y)
+    for (int x = 0; x < mesh_.nx(); ++x)
+      for (const core::Record2D& r : boundary.records_at({x, y})) {
+        records_.at(x, y).push_back({r.owner, r.guard, *r.chain});
+        wall_paths_[wall_key(r.owner, r.guard)].push_back({x, y});
+        ++record_count_;
+      }
+}
+
+void RecordReplica2D::drop_wall(int owner, Dir2 guard) {
+  const auto it = wall_paths_.find(wall_key(owner, guard));
+  if (it == wall_paths_.end()) return;
+  for (const Coord2 c : it->second) {
+    auto& recs = records_.at(c.x, c.y);
+    const size_t before = recs.size();
+    recs.erase(std::remove_if(recs.begin(), recs.end(),
+                              [&](const Rec& r) {
+                                return r.owner == owner && r.guard == guard;
+                              }),
+               recs.end());
+    record_count_ -= before - recs.size();
+  }
+  wall_paths_.erase(it);
+}
+
+void RecordReplica2D::apply(const BoundaryDelta& delta) {
+  for (const std::vector<int32_t>& msg : delta.messages) {
+    size_t at = 0;
+    const int owner = msg[at++];
+    const Dir2 guard = msg[at++] ? Dir2::PosY : Dir2::PosX;
+    const bool removed = msg[at++] != 0;
+    drop_wall(owner, guard);
+    if (removed) continue;
+    const int path_n = msg[at++];
+    if (path_n == 0) continue;  // wall exists=false: nothing deposited
+    std::vector<Coord2> path(static_cast<size_t>(path_n));
+    for (auto& c : path) {
+      c.x = msg[at++];
+      c.y = msg[at++];
+    }
+    // chain length sits after the path in the message layout.
+    const int chain_n = msg[at++];
+    std::vector<int> chain(static_cast<size_t>(chain_n));
+    for (int& id : chain) id = msg[at++];
+    auto& stored = wall_paths_[wall_key(owner, guard)];
+    for (const Coord2 c : path) {
+      records_.at(c.x, c.y).push_back({owner, guard, chain});
+      stored.push_back(c);
+      ++record_count_;
+    }
+  }
+}
+
+}  // namespace mcc::proto

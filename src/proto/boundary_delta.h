@@ -1,0 +1,76 @@
+// Incremental boundary-record deltas — the update messages a distributed
+// deployment would broadcast after a fault/repair event instead of
+// re-running the full boundary protocol.
+//
+// The dynamic runtime's Boundary2D::update already computes the minimal
+// set of walls an event invalidated; this codec turns that report into
+// per-wall messages ([owner, guard, removed, |path|, path, |chain|,
+// chain], int32 words — the same cost unit E7 accounts for the static
+// protocol) and RecordReplica2D plays the consumer side: a record store
+// kept consistent purely by applying deltas. tests/test_runtime.cc proves
+// a replica seeded once and fed every event's delta stays bit-equal to
+// the authoritative incremental store; bench_e12 reports the per-event
+// payload, i.e. the wire cost of keeping the limited-global-information
+// model current under churn.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/boundary2d.h"
+#include "mesh/mesh.h"
+#include "util/grid.h"
+
+namespace mcc::proto {
+
+/// One event's delta stream: one message per rebuilt/removed wall.
+struct BoundaryDelta {
+  std::vector<std::vector<int32_t>> messages;
+
+  size_t payload_ints() const {
+    size_t n = 0;
+    for (const auto& m : messages) n += m.size();
+    return n;
+  }
+};
+
+/// Encodes the walls `update` touched, reading their new state from the
+/// (already updated) authoritative boundary.
+BoundaryDelta make_boundary_delta(const core::Boundary2D& boundary,
+                                  const core::BoundaryUpdate& update);
+
+/// Passive record store maintained by snapshot + deltas only.
+class RecordReplica2D {
+ public:
+  struct Rec {
+    int owner = -1;
+    mesh::Dir2 guard = mesh::Dir2::PosX;
+    std::vector<int> chain;
+  };
+
+  explicit RecordReplica2D(const mesh::Mesh2D& mesh);
+
+  /// Seeds from the authoritative store (what one full protocol run
+  /// leaves behind); subsequent consistency comes from apply() alone.
+  void snapshot(const core::Boundary2D& boundary);
+
+  void apply(const BoundaryDelta& delta);
+
+  const std::vector<Rec>& records_at(mesh::Coord2 c) const {
+    return records_.at(c.x, c.y);
+  }
+  size_t record_count() const { return record_count_; }
+
+ private:
+  void drop_wall(int owner, mesh::Dir2 guard);
+
+  const mesh::Mesh2D& mesh_;
+  util::Grid2<std::vector<Rec>> records_;
+  // Current path of each wall ((owner << 1) | pass) so a delta can retire
+  // the wall's old records without scanning the mesh.
+  std::unordered_map<uint64_t, std::vector<mesh::Coord2>> wall_paths_;
+  size_t record_count_ = 0;
+};
+
+}  // namespace mcc::proto

@@ -1,0 +1,163 @@
+#include "runtime/dynamic_model.h"
+
+#include "mesh/octant.h"
+
+namespace mcc::runtime {
+
+using mesh::Coord2;
+using mesh::Coord3;
+using mesh::Octant2;
+using mesh::Octant3;
+
+// ---------------------------------------------------------------------------
+// 2-D
+
+DynamicModel2D::DynamicModel2D(const mesh::Mesh2D& mesh,
+                               const mesh::FaultSet2D& initial,
+                               size_t cache_capacity)
+    : mesh_(mesh),
+      faults_(initial),
+      cache_(cache_capacity ? cache_capacity : 4 * mesh.node_count()) {
+  for (const bool fx : {false, true})
+    for (const bool fy : {false, true}) {
+      const Octant2 o{fx, fy};
+      octants_[o.id()] = std::make_unique<core::OctantModel2D>(
+          mesh_, mesh::materialize(faults_, mesh_, o));
+    }
+}
+
+DynamicModel2D::EventReport DynamicModel2D::apply(Coord2 c, bool repair) {
+  EventReport rep;
+  rep.repair = repair;
+  rep.node = c;
+  if (faults_.is_faulty(c) != repair) return rep;  // no-op event
+  faults_.set_faulty(c, !repair);
+
+  for (const bool fx : {false, true})
+    for (const bool fy : {false, true}) {
+      const Octant2 o{fx, fy};
+      core::OctantModel2D& m = *octants_[o.id()];
+      const Coord2 fc = o.transform(c, mesh_);
+      m.faults.set_faulty(fc, !repair);
+      OctantDeltaT<Coord2>& delta = rep.octants[o.id()];
+      delta.relabeled = repair ? m.labels.apply_repair(mesh_, fc)
+                               : m.labels.apply_fault(mesh_, fc);
+      delta.label_fallback = m.labels.last_event_fell_back();
+      delta.regions = m.mccs.update(mesh_, m.labels, delta.relabeled);
+      delta.boundary = m.boundary.update(delta.relabeled, delta.regions);
+    }
+
+  rep.epoch = ++epoch_;
+  // Every cached field is keyed with a pre-bump epoch and can never be hit
+  // again; reclaim the memory in one sweep.
+  cache_.clear();
+  return rep;
+}
+
+DynamicModel2D::EventReport DynamicModel2D::fail(Coord2 c) {
+  return apply(c, false);
+}
+
+DynamicModel2D::EventReport DynamicModel2D::repair(Coord2 c) {
+  return apply(c, true);
+}
+
+core::FeasibilityResult DynamicModel2D::feasible(Coord2 s, Coord2 d) const {
+  const Octant2 o = Octant2::from_pair(s, d);
+  return core::feasible_in_octant(mesh_, octant(o), o, s, d);
+}
+
+core::RouteResult2D DynamicModel2D::route(Coord2 s, Coord2 d,
+                                          core::RouterKind kind,
+                                          core::RoutePolicy policy,
+                                          uint64_t seed) const {
+  const Octant2 o = Octant2::from_pair(s, d);
+  return core::route_in_octant(mesh_, octant(o), o, s, d, kind, policy, seed);
+}
+
+std::shared_ptr<const core::ReachField2D> DynamicModel2D::cached_field(
+    Octant2 o, Coord2 dest_canonical) const {
+  const core::OctantModel2D& m = octant(o);
+  return cache_.get_or_build(
+      epoch_, o.id(), mesh_.index(dest_canonical), [&] {
+        return core::ReachField2D(mesh_, m.labels, dest_canonical,
+                                  core::NodeFilter::SafeOnly);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// 3-D
+
+DynamicModel3D::DynamicModel3D(const mesh::Mesh3D& mesh,
+                               const mesh::FaultSet3D& initial,
+                               size_t cache_capacity)
+    : mesh_(mesh),
+      faults_(initial),
+      cache_(cache_capacity ? cache_capacity : 8 * mesh.node_count()) {
+  for (const bool fx : {false, true})
+    for (const bool fy : {false, true})
+      for (const bool fz : {false, true}) {
+        const Octant3 o{fx, fy, fz};
+        octants_[o.id()] = std::make_unique<core::OctantModel3D>(
+            mesh_, mesh::materialize(faults_, mesh_, o));
+      }
+}
+
+DynamicModel3D::EventReport DynamicModel3D::apply(Coord3 c, bool repair) {
+  EventReport rep;
+  rep.repair = repair;
+  rep.node = c;
+  if (faults_.is_faulty(c) != repair) return rep;
+  faults_.set_faulty(c, !repair);
+
+  for (const bool fx : {false, true})
+    for (const bool fy : {false, true})
+      for (const bool fz : {false, true}) {
+        const Octant3 o{fx, fy, fz};
+        core::OctantModel3D& m = *octants_[o.id()];
+        const Coord3 fc = o.transform(c, mesh_);
+        m.faults.set_faulty(fc, !repair);
+        OctantDeltaT<Coord3>& delta = rep.octants[o.id()];
+        delta.relabeled = repair ? m.labels.apply_repair(mesh_, fc)
+                                 : m.labels.apply_fault(mesh_, fc);
+        delta.label_fallback = m.labels.last_event_fell_back();
+        delta.regions = m.mccs.update(mesh_, m.labels, delta.relabeled);
+      }
+
+  rep.epoch = ++epoch_;
+  cache_.clear();
+  return rep;
+}
+
+DynamicModel3D::EventReport DynamicModel3D::fail(Coord3 c) {
+  return apply(c, false);
+}
+
+DynamicModel3D::EventReport DynamicModel3D::repair(Coord3 c) {
+  return apply(c, true);
+}
+
+core::FeasibilityResult DynamicModel3D::feasible(Coord3 s, Coord3 d) const {
+  const Octant3 o = Octant3::from_pair(s, d);
+  return core::feasible_in_octant(mesh_, octant(o), o, s, d);
+}
+
+core::RouteResult3D DynamicModel3D::route(Coord3 s, Coord3 d,
+                                          core::RouterKind kind,
+                                          core::RoutePolicy policy,
+                                          uint64_t seed) const {
+  const Octant3 o = Octant3::from_pair(s, d);
+  return core::route_in_octant(mesh_, octant(o), o, s, d, kind, policy, seed);
+}
+
+std::shared_ptr<const core::ReachField3D> DynamicModel3D::cached_field(
+    Octant3 o, Coord3 dest_canonical) const {
+  const core::OctantModel3D& m = octant(o);
+  return cache_.get_or_build(
+      epoch_, o.id(), mesh_.index(dest_canonical), [&] {
+        return core::ReachField3D(mesh_, m.labels, dest_canonical,
+                                  core::NodeFilter::SafeOnly);
+      });
+}
+
+}  // namespace mcc::runtime

@@ -1,0 +1,166 @@
+// Dynamic-fault runtime: the paper's future-work scenario ("all the faulty
+// components can occur during the routing process") served as a
+// first-class subsystem instead of rebuild-from-scratch.
+//
+// DynamicModel2D/3D own a mutable fault set and keep the full MCC stack —
+// per-octant flipped fault sets, label fields, MCC regions and (2-D)
+// boundary records — consistent across fault/repair events by calling the
+// core layer's incremental hooks:
+//
+//   LabelField::apply_fault/apply_repair   relabels only the event's
+//                                          cascade neighborhood;
+//   MccSet::update                         merges/splits exactly the
+//                                          affected regions (stable ids);
+//   Boundary2D::update                     rebuilds exactly the walls whose
+//                                          dependency set the event touched.
+//
+// Every event bumps a monotonically increasing epoch; the embedded
+// GuidanceCache keys reachability fields on (epoch, octant, destination),
+// so guidance consumers (the wormhole's Model mode, DynamicMccRouting)
+// can never read pre-event fields. Queries mirror MccModel2D/3D exactly —
+// both call the shared core::feasible_in_octant / route_in_octant — and
+// tests/test_runtime.cc proves the maintained stack equivalent to a fresh
+// MccModel after every event of randomized churn schedules.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/model.h"
+#include "runtime/guidance_cache.h"
+
+namespace mcc::runtime {
+
+/// Per-octant effect of one event, in that octant's canonical frame.
+template <class Coord>
+struct OctantDeltaT {
+  std::vector<Coord> relabeled;     // cells whose label changed
+  core::RegionUpdate regions;       // MCC merges/splits
+  core::BoundaryUpdate boundary;    // wall/record rebuilds (2-D only)
+  bool label_fallback = false;      // label hook took the full relabel
+};
+
+template <class Coord, size_t N>
+struct EventReportT {
+  uint64_t epoch = 0;  // epoch AFTER the event (0 = event was a no-op)
+  bool repair = false;
+  Coord node{};
+  std::array<OctantDeltaT<Coord>, N> octants;
+
+  size_t relabeled_total() const {
+    size_t n = 0;
+    for (const auto& o : octants) n += o.relabeled.size();
+    return n;
+  }
+  size_t walls_rebuilt() const {
+    size_t n = 0;
+    for (const auto& o : octants) n += o.boundary.walls.size();
+    return n;
+  }
+  /// True when any octant's label hook fell back to a full relabel
+  /// (ambiguous doubly-blocked regime; see core/labeling.h).
+  bool any_label_fallback() const {
+    for (const auto& o : octants)
+      if (o.label_fallback) return true;
+    return false;
+  }
+};
+
+class DynamicModel2D {
+ public:
+  using EventReport = EventReportT<mesh::Coord2, 4>;
+
+  /// Materializes all four octant models eagerly (an event touches every
+  /// orientation class, unlike the lazily-built static MccModel2D).
+  /// `cache_capacity` 0 sizes the guidance cache to one epoch's full key
+  /// space (octants x destinations) so it never thrashes within an epoch.
+  DynamicModel2D(const mesh::Mesh2D& mesh, const mesh::FaultSet2D& initial,
+                 size_t cache_capacity = 0);
+
+  // Pinned: each octant's Boundary2D holds references into mesh_ and its
+  // sibling members, so a moved model would leave them dangling.
+  DynamicModel2D(const DynamicModel2D&) = delete;
+  DynamicModel2D& operator=(const DynamicModel2D&) = delete;
+
+  const mesh::Mesh2D& mesh() const { return mesh_; }
+  const mesh::FaultSet2D& faults() const { return faults_; }
+  uint64_t epoch() const { return epoch_; }
+
+  const core::OctantModel2D& octant(mesh::Octant2 o) const {
+    return *octants_[o.id()];
+  }
+
+  /// Applies one event incrementally and bumps the epoch. Striking an
+  /// already-faulty node / repairing a healthy one is a no-op (report
+  /// epoch 0, epoch unchanged).
+  EventReport fail(mesh::Coord2 c);
+  EventReport repair(mesh::Coord2 c);
+
+  /// Same contracts as MccModel2D (shared core implementation).
+  core::FeasibilityResult feasible(mesh::Coord2 s, mesh::Coord2 d) const;
+  core::RouteResult2D route(mesh::Coord2 s, mesh::Coord2 d,
+                            core::RouterKind kind, core::RoutePolicy policy,
+                            uint64_t seed) const;
+
+  /// Epoch-keyed safe-only reachability field toward `dest_canonical` in
+  /// octant `o`'s frame — the per-destination guidance surface served to
+  /// the core router's per-hop consumers and the wormhole sim.
+  std::shared_ptr<const core::ReachField2D> cached_field(
+      mesh::Octant2 o, mesh::Coord2 dest_canonical) const;
+
+  GuidanceCache2D& cache() const { return cache_; }
+
+ private:
+  EventReport apply(mesh::Coord2 c, bool repair);
+
+  mesh::Mesh2D mesh_;
+  mesh::FaultSet2D faults_;
+  std::array<std::unique_ptr<core::OctantModel2D>, 4> octants_;
+  uint64_t epoch_ = 1;
+  mutable GuidanceCache2D cache_;
+};
+
+class DynamicModel3D {
+ public:
+  using EventReport = EventReportT<mesh::Coord3, 8>;
+
+  DynamicModel3D(const mesh::Mesh3D& mesh, const mesh::FaultSet3D& initial,
+                 size_t cache_capacity = 0);
+
+  DynamicModel3D(const DynamicModel3D&) = delete;
+  DynamicModel3D& operator=(const DynamicModel3D&) = delete;
+
+  const mesh::Mesh3D& mesh() const { return mesh_; }
+  const mesh::FaultSet3D& faults() const { return faults_; }
+  uint64_t epoch() const { return epoch_; }
+
+  const core::OctantModel3D& octant(mesh::Octant3 o) const {
+    return *octants_[o.id()];
+  }
+
+  EventReport fail(mesh::Coord3 c);
+  EventReport repair(mesh::Coord3 c);
+
+  core::FeasibilityResult feasible(mesh::Coord3 s, mesh::Coord3 d) const;
+  core::RouteResult3D route(mesh::Coord3 s, mesh::Coord3 d,
+                            core::RouterKind kind, core::RoutePolicy policy,
+                            uint64_t seed) const;
+
+  std::shared_ptr<const core::ReachField3D> cached_field(
+      mesh::Octant3 o, mesh::Coord3 dest_canonical) const;
+
+  GuidanceCache3D& cache() const { return cache_; }
+
+ private:
+  EventReport apply(mesh::Coord3 c, bool repair);
+
+  mesh::Mesh3D mesh_;
+  mesh::FaultSet3D faults_;
+  std::array<std::unique_ptr<core::OctantModel3D>, 8> octants_;
+  uint64_t epoch_ = 1;
+  mutable GuidanceCache3D cache_;
+};
+
+}  // namespace mcc::runtime

@@ -1,0 +1,153 @@
+// Epoch-versioned guidance cache — the runtime's answer to the ROADMAP's
+// "cache per-destination fields octant-wide behind a shared LRU" item.
+//
+// Keys are (epoch, octant, destination): the epoch is the dynamic model's
+// monotonically increasing event counter, so a cached reachability field
+// can never be served across a fault/repair boundary — invalidation is by
+// construction, not by tracking. Entries are spread over independently
+// locked shards (key-hash striping) so concurrent per-hop consumers — the
+// wormhole's routing functions, parallel sweep workers — contend only when
+// they hash to the same shard; a miss builds the field while holding that
+// shard's lock, which also deduplicates concurrent builds of the same
+// destination. Each shard evicts LRU beyond its capacity slice.
+//
+// The CI ThreadSanitizer job drives GuidanceCacheConcurrent.* in
+// tests/test_runtime.cc against exactly this code.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/reachability.h"
+
+namespace mcc::runtime {
+
+struct GuidanceCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+
+  double hit_rate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+template <class Field>
+class GuidanceCacheT {
+ public:
+  explicit GuidanceCacheT(size_t capacity = 4096, size_t shard_count = 8)
+      : per_shard_cap_(std::max<size_t>(1, capacity / std::max<size_t>(1, shard_count))) {
+    shards_.reserve(std::max<size_t>(1, shard_count));
+    for (size_t i = 0; i < std::max<size_t>(1, shard_count); ++i)
+      shards_.push_back(std::make_unique<Shard>());
+  }
+
+  /// Returns the field for (epoch, octant, dest), building it via
+  /// `build()` (which must return a Field) on a miss. The returned
+  /// shared_ptr stays valid after eviction.
+  template <class Build>
+  std::shared_ptr<const Field> get_or_build(uint64_t epoch, int octant,
+                                            size_t dest, Build&& build) {
+    const Key key{epoch, static_cast<uint32_t>(octant),
+                  static_cast<uint64_t>(dest)};
+    Shard& s = *shards_[shard_of(key)];
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      s.lru.splice(s.lru.begin(), s.lru, it->second.where);
+      return it->second.field;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    auto field = std::make_shared<const Field>(build());
+    s.lru.push_front(key);
+    s.map.emplace(key, Entry{field, s.lru.begin()});
+    while (s.map.size() > per_shard_cap_) {
+      s.map.erase(s.lru.back());
+      s.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return field;
+  }
+
+  /// Drops every entry (the dynamic model calls this on each event: all
+  /// cached fields carry a pre-bump epoch and could never be hit again).
+  void clear() {
+    for (auto& sp : shards_) {
+      std::lock_guard<std::mutex> lock(sp->mu);
+      sp->map.clear();
+      sp->lru.clear();
+    }
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const auto& sp : shards_) {
+      std::lock_guard<std::mutex> lock(sp->mu);
+      n += sp->map.size();
+    }
+    return n;
+  }
+
+  size_t shard_count() const { return shards_.size(); }
+  size_t capacity() const { return per_shard_cap_ * shards_.size(); }
+
+  GuidanceCacheStats stats() const {
+    return {hits_.load(std::memory_order_relaxed),
+            misses_.load(std::memory_order_relaxed),
+            evictions_.load(std::memory_order_relaxed)};
+  }
+
+  void reset_stats() {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Key {
+    uint64_t epoch = 0;
+    uint32_t octant = 0;
+    uint64_t dest = 0;
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = k.epoch * 0x9e3779b97f4a7c15ULL;
+      h ^= (static_cast<uint64_t>(k.octant) << 56) ^ k.dest;
+      h *= 0xc2b2ae3d27d4eb4fULL;
+      return static_cast<size_t>(h ^ (h >> 29));
+    }
+  };
+  struct Entry {
+    std::shared_ptr<const Field> field;
+    typename std::list<Key>::iterator where;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Key> lru;  // front = most recently used
+    std::unordered_map<Key, Entry, KeyHash> map;
+  };
+
+  size_t shard_of(const Key& k) const {
+    return KeyHash{}(k) % shards_.size();
+  }
+
+  size_t per_shard_cap_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+using GuidanceCache2D = GuidanceCacheT<core::ReachField2D>;
+using GuidanceCache3D = GuidanceCacheT<core::ReachField3D>;
+
+}  // namespace mcc::runtime

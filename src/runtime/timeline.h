@@ -1,0 +1,67 @@
+// Fault/repair event schedules in mesh coordinates, driving the dynamic
+// runtime and the wormhole's churn mode. The schedule itself is sampled by
+// util::sample_churn (Poisson arrivals, bounded repairs) so every consumer
+// — bench_e12, the examples, tests/test_runtime.cc — draws identically
+// from a seed; this header only binds it to a mesh shape and adds the
+// cursor interface a cycle-driven simulation needs.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mesh/fault_set.h"
+#include "mesh/mesh.h"
+#include "util/rng.h"
+#include "util/scenario.h"
+
+namespace mcc::runtime {
+
+template <class MeshT, class CoordT, class FaultsT>
+class FaultTimelineT {
+ public:
+  struct Event {
+    uint64_t cycle = 0;
+    CoordT node{};
+    bool repair = false;
+  };
+
+  FaultTimelineT() = default;
+  explicit FaultTimelineT(std::vector<Event> events)
+      : events_(std::move(events)) {}
+
+  /// Samples a schedule over the live nodes of `initial` (initially-faulty
+  /// nodes are never struck; they are the static part of the fault set).
+  static FaultTimelineT sample(const MeshT& mesh, const FaultsT& initial,
+                               util::Rng& rng, const util::ChurnParams& p) {
+    const std::vector<util::ChurnEvent> raw = util::sample_churn(
+        mesh, rng, p, [&](CoordT c) { return !initial.is_faulty(c); });
+    std::vector<Event> events;
+    events.reserve(raw.size());
+    for (const util::ChurnEvent& e : raw)
+      events.push_back({e.cycle, mesh.coord(e.node), e.repair});
+    return FaultTimelineT(std::move(events));
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  bool done() const { return cursor_ >= events_.size(); }
+  void reset() { cursor_ = 0; }
+
+  /// Returns the next event due at or before `cycle` and advances the
+  /// cursor, or nullptr when none is due (call repeatedly per cycle).
+  const Event* next_due(uint64_t cycle) {
+    if (done() || events_[cursor_].cycle > cycle) return nullptr;
+    return &events_[cursor_++];
+  }
+
+ private:
+  std::vector<Event> events_;
+  size_t cursor_ = 0;
+};
+
+using FaultTimeline2D =
+    FaultTimelineT<mesh::Mesh2D, mesh::Coord2, mesh::FaultSet2D>;
+using FaultTimeline3D =
+    FaultTimelineT<mesh::Mesh3D, mesh::Coord3, mesh::FaultSet3D>;
+
+}  // namespace mcc::runtime

@@ -6,29 +6,44 @@
 
 namespace mcc::sim::wh {
 
-SimResult run_load_point3d(const mesh::Mesh3D& mesh,
-                           const mesh::FaultSet3D& faults,
-                           RoutingFunction3D& routing, Pattern pattern,
-                           const Config& cfg, core::RoutePolicy policy,
-                           const LoadPoint& load, uint64_t seed) {
-  Network3D net(mesh, faults, routing, cfg, policy, seed);
-  TrafficGen3D traffic(mesh, faults, routing, pattern, seed * 11400714819323198485ULL + 1);
+namespace {
 
-  const auto live = static_cast<double>(mesh.node_count()) -
-                    static_cast<double>(faults.count());
-
+// Shared measurement loop for the static and churn drivers: warmup,
+// measurement window, drain with stall-based deadlock detection, stats
+// extraction. Keeping it in one place keeps the deadlock/saturation
+// definitions identical between the two sweeps. `before_cycle` runs first
+// every cycle (event application in churn mode, no-op statically),
+// `on_window_open` right before the measurement window (cache-stat
+// snapshots), and `live_nodes` supplies the per-cycle population the
+// offered/accepted rates are normalized by (constant statically; under
+// churn the live count changes inside the window, so the rates integrate
+// live-node-cycles).
+template <class BeforeCycle, class OnWindowOpen, class LiveNodes>
+SimResult run_measurement(Network3D& net, TrafficGen3D& traffic,
+                          const LoadPoint& load, BeforeCycle&& before_cycle,
+                          OnWindowOpen&& on_window_open,
+                          LiveNodes&& live_nodes) {
   for (int c = 0; c < load.warmup; ++c) {
+    before_cycle();
     traffic.tick(net, load.rate);
     net.step();
   }
 
+  on_window_open();
   const auto [inj0, del0] = net.begin_window();
+  double live_node_cycles = 0;
   for (int c = 0; c < load.measure; ++c) {
+    before_cycle();
+    live_node_cycles += live_nodes();
     traffic.tick(net, load.rate);
     net.step();
   }
   const uint64_t offered_window = net.stats().injected_flits - inj0;
-  const uint64_t accepted_window = net.stats().delivered_flits - del0;
+  // delivered_flits can retreat when a partially-ejected packet is dropped
+  // by an event, so the window diff is clamped at zero.
+  const uint64_t accepted_window =
+      net.stats().delivered_flits > del0 ? net.stats().delivered_flits - del0
+                                         : 0;
 
   SimResult r;
 
@@ -36,7 +51,9 @@ SimResult run_load_point3d(const mesh::Mesh3D& mesh,
   // knee) can hold a backlog far larger than the budget; that is congestion,
   // not deadlock. Deadlock is the absence of forward progress — measured
   // from drain entry, so a quiet pre-drain stretch (low-rate runs whose
-  // last delivery is long past) cannot masquerade as a stall.
+  // last delivery is long past) cannot masquerade as a stall. Events keep
+  // firing during a churn drain (a repair can be what unblocks the
+  // backlog).
   const uint64_t drain_start = net.cycle();
   const auto progress_ref = [&] {
     return std::max(net.stats().last_delivery_cycle, drain_start);
@@ -44,6 +61,7 @@ SimResult run_load_point3d(const mesh::Mesh3D& mesh,
   int spent = 0;
   while (!net.idle() && spent < load.drain &&
          net.cycle() - progress_ref() < static_cast<uint64_t>(load.stall)) {
+    before_cycle();
     net.step();
     ++spent;
   }
@@ -58,16 +76,81 @@ SimResult run_load_point3d(const mesh::Mesh3D& mesh,
   r.max_latency = net.stats().latency.max();
   r.delivered_packets = net.stats().latency.count();
 
-  const double denom = live * load.measure;
+  const double denom = std::max(live_node_cycles, 1.0);
   r.offered_flits = static_cast<double>(offered_window) / denom;
   r.accepted_flits = static_cast<double>(accepted_window) / denom;
   r.filtered = traffic.filtered();
   r.wedged_head_cycles = net.stats().wedged_head_cycles;
   r.violations = net.stats().violations.size();
   r.drained = net.idle();
-  r.saturated =
-      accepted_window < static_cast<uint64_t>(0.9 * static_cast<double>(offered_window));
+  r.saturated = accepted_window <
+                static_cast<uint64_t>(0.9 * static_cast<double>(offered_window));
   return r;
+}
+
+}  // namespace
+
+SimResult run_load_point3d(const mesh::Mesh3D& mesh,
+                           const mesh::FaultSet3D& faults,
+                           RoutingFunction3D& routing, Pattern pattern,
+                           const Config& cfg, core::RoutePolicy policy,
+                           const LoadPoint& load, uint64_t seed) {
+  Network3D net(mesh, faults, routing, cfg, policy, seed);
+  TrafficGen3D traffic(mesh, faults, routing, pattern, seed * 11400714819323198485ULL + 1);
+
+  const auto live = static_cast<double>(mesh.node_count()) -
+                    static_cast<double>(faults.count());
+  return run_measurement(
+      net, traffic, load, [] {}, [] {}, [&] { return live; });
+}
+
+ChurnResult run_churn_load_point3d(runtime::DynamicModel3D& model,
+                                   RoutingFunction3D& routing,
+                                   Pattern pattern, Config cfg,
+                                   core::RoutePolicy policy,
+                                   const LoadPoint& load,
+                                   runtime::FaultTimeline3D timeline,
+                                   uint64_t seed) {
+  cfg.drop_infeasible = true;
+  const mesh::Mesh3D& mesh = model.mesh();
+  // The traffic generator reads the model's fault set by reference, so
+  // dead sources stop injecting and revived ones resume.
+  Network3D net(mesh, model.faults(), routing, cfg, policy, seed);
+  TrafficGen3D traffic(mesh, model.faults(), routing, pattern,
+                       seed * 11400714819323198485ULL + 1);
+
+  timeline.reset();
+  const auto apply_due_events = [&] {
+    while (const auto* e = timeline.next_due(net.cycle())) {
+      if (e->repair) {
+        if (model.repair(e->node).epoch != 0) net.apply_repair(e->node);
+      } else {
+        if (model.fail(e->node).epoch != 0) net.apply_fault(e->node);
+      }
+    }
+  };
+
+  ChurnResult out;
+  // Cache stats cover measurement + drain only, so the reported hit rate
+  // excludes the warmup's cold misses (the interval matches the
+  // throughput/latency columns it is tabulated beside).
+  auto cache0 = model.cache().stats();
+  out.sim = run_measurement(
+      net, traffic, load, apply_due_events,
+      [&] { cache0 = model.cache().stats(); },
+      [&] {
+        return static_cast<double>(mesh.node_count()) -
+               static_cast<double>(model.faults().count());
+      });
+
+  out.fault_events = net.stats().fault_events;
+  out.repair_events = net.stats().repair_events;
+  out.dropped_packets = net.stats().dropped_packets;
+  out.dropped_flits = net.stats().dropped_flits;
+  const auto cache1 = model.cache().stats();
+  out.cache = {cache1.hits - cache0.hits, cache1.misses - cache0.misses,
+               cache1.evictions - cache0.evictions};
+  return out;
 }
 
 }  // namespace mcc::sim::wh

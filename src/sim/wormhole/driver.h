@@ -11,6 +11,8 @@
 #include "core/router.h"
 #include "mesh/fault_set.h"
 #include "mesh/mesh.h"
+#include "runtime/dynamic_model.h"
+#include "runtime/timeline.h"
 #include "sim/wormhole/flit.h"
 #include "sim/wormhole/routing.h"
 #include "sim/wormhole/traffic.h"
@@ -49,5 +51,32 @@ SimResult run_load_point3d(const mesh::Mesh3D& mesh,
                            RoutingFunction3D& routing, Pattern pattern,
                            const Config& cfg, core::RoutePolicy policy,
                            const LoadPoint& load, uint64_t seed);
+
+/// A load point under churn: fault/repair events from `timeline` fire at
+/// their cycles, updating the dynamic model (epoch bump, incremental MCC
+/// maintenance) and then the network (worm flush / node revival) in one
+/// atomic step between cycles.
+struct ChurnResult {
+  SimResult sim;
+  // Whole-run totals (warmup + measurement + drain).
+  uint64_t fault_events = 0;
+  uint64_t repair_events = 0;
+  uint64_t dropped_packets = 0;
+  uint64_t dropped_flits = 0;
+  // The model's cache over measurement + drain (warmup cold misses
+  // excluded — the same interval the latency columns cover).
+  runtime::GuidanceCacheStats cache;
+};
+
+/// Drives `routing` (normally a DynamicMccRouting3D over `model`) through
+/// warmup + measurement + drain while applying the timeline. Forces
+/// Config::drop_infeasible so severed worms drain instead of wedging.
+ChurnResult run_churn_load_point3d(runtime::DynamicModel3D& model,
+                                   RoutingFunction3D& routing,
+                                   Pattern pattern, Config cfg,
+                                   core::RoutePolicy policy,
+                                   const LoadPoint& load,
+                                   runtime::FaultTimeline3D timeline,
+                                   uint64_t seed);
 
 }  // namespace mcc::sim::wh

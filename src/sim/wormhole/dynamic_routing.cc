@@ -1,0 +1,79 @@
+#include "sim/wormhole/dynamic_routing.h"
+
+#include <algorithm>
+
+namespace mcc::sim::wh {
+
+using core::NodeState;
+using mesh::Coord2;
+using mesh::Coord3;
+using mesh::Dir2;
+using mesh::Dir3;
+using mesh::Octant2;
+using mesh::Octant3;
+
+size_t DynamicMccRouting2D::candidates(Coord2 u, Coord2 s, Coord2 d,
+                                       std::array<Dir2, 2>& out) {
+  const Octant2 o = Octant2::from_pair(s, d);
+  const Coord2 uc = o.transform(u, model_.mesh());
+  const Coord2 dc = o.transform(d, model_.mesh());
+  const auto field = model_.cached_field(o, dc);
+  const FieldGuidance2D g(*field);
+  const size_t n = core::admissible2d(uc, dc, g, out);
+  for (size_t i = 0; i < n; ++i) out[i] = physical(out[i], o);
+  return n;
+}
+
+bool DynamicMccRouting2D::feasible_in(Octant2 o, Coord2 u, Coord2 d) const {
+  const core::LabelField2D& labels = model_.octant(o).labels;
+  const Coord2 uc = o.transform(u, model_.mesh());
+  const Coord2 dc = o.transform(d, model_.mesh());
+  if (labels.state(uc) == NodeState::Faulty ||
+      labels.state(dc) == NodeState::Faulty)
+    return false;
+  return model_.cached_field(o, dc)->feasible(uc);
+}
+
+bool DynamicMccRouting2D::feasible(Coord2 s, Coord2 d) {
+  if (s == d) return false;
+  return feasible_in(Octant2::from_pair(s, d), s, d);
+}
+
+bool DynamicMccRouting2D::completable(Coord2 u, Coord2 s, Coord2 d) {
+  if (u == d) return true;
+  return feasible_in(Octant2::from_pair(s, d), u, d);
+}
+
+size_t DynamicMccRouting3D::candidates(Coord3 u, Coord3 s, Coord3 d,
+                                       std::array<Dir3, 3>& out) {
+  const Octant3 o = Octant3::from_pair(s, d);
+  const Coord3 uc = o.transform(u, model_.mesh());
+  const Coord3 dc = o.transform(d, model_.mesh());
+  const auto field = model_.cached_field(o, dc);
+  const FieldGuidance3D g(*field);
+  const size_t n = core::admissible3d(uc, dc, g, out);
+  for (size_t i = 0; i < n; ++i) out[i] = physical(out[i], o);
+  return n;
+}
+
+bool DynamicMccRouting3D::feasible_in(Octant3 o, Coord3 u, Coord3 d) const {
+  const core::LabelField3D& labels = model_.octant(o).labels;
+  const Coord3 uc = o.transform(u, model_.mesh());
+  const Coord3 dc = o.transform(d, model_.mesh());
+  if (labels.state(uc) == NodeState::Faulty ||
+      labels.state(dc) == NodeState::Faulty)
+    return false;
+  return model_.cached_field(o, dc)->feasible(uc);
+}
+
+bool DynamicMccRouting3D::feasible(Coord3 s, Coord3 d) {
+  if (s == d) return false;
+  return feasible_in(Octant3::from_pair(s, d), s, d);
+}
+
+bool DynamicMccRouting3D::completable(Coord3 u, Coord3 s, Coord3 d) {
+  if (u == d) return true;
+  return feasible_in(Octant3::from_pair(s, d), u, d);
+}
+
+}  // namespace mcc::sim::wh

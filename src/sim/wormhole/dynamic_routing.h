@@ -1,0 +1,66 @@
+// Routing functions backed by the dynamic-fault runtime.
+//
+// DynamicMccRouting2D/3D adapt a runtime::DynamicModel the way
+// MccRouting2D/3D adapt a static fault set, but every per-hop decision
+// reads an epoch-keyed reachability field from the model's GuidanceCache:
+// after a fault/repair event bumps the epoch, the next head decision of
+// every in-flight worm is served from fields built over the incrementally
+// maintained labels — stale guidance cannot be read by construction.
+//
+// Deadlock classes are structural (antipodal octant pairs) and unaffected
+// by events: a packet keeps the class of its injection-time (s, d) pair,
+// and every hop of a minimal route still strictly increases its octant
+// potential, so the per-class channel-dependency argument of
+// docs/wormhole.md carries over epoch boundaries unchanged — the worms
+// that an event makes undeliverable are flushed by the network instead of
+// blocking (docs/dynamic.md spells this out).
+#pragma once
+
+#include "runtime/dynamic_model.h"
+#include "sim/wormhole/routing.h"
+
+namespace mcc::sim::wh {
+
+class DynamicMccRouting2D final : public RoutingFunction2D {
+ public:
+  explicit DynamicMccRouting2D(const runtime::DynamicModel2D& model)
+      : model_(model) {}
+
+  int vc_classes() const override { return 2; }
+  int vc_class(mesh::Coord2 s, mesh::Coord2 d) const override {
+    const int id = mesh::Octant2::from_pair(s, d).id();
+    return std::min(id, 3 - id);
+  }
+  size_t candidates(mesh::Coord2 u, mesh::Coord2 s, mesh::Coord2 d,
+                    std::array<mesh::Dir2, 2>& out) override;
+  bool feasible(mesh::Coord2 s, mesh::Coord2 d) override;
+  bool completable(mesh::Coord2 u, mesh::Coord2 s, mesh::Coord2 d) override;
+
+ private:
+  bool feasible_in(mesh::Octant2 o, mesh::Coord2 u, mesh::Coord2 d) const;
+
+  const runtime::DynamicModel2D& model_;
+};
+
+class DynamicMccRouting3D final : public RoutingFunction3D {
+ public:
+  explicit DynamicMccRouting3D(const runtime::DynamicModel3D& model)
+      : model_(model) {}
+
+  int vc_classes() const override { return 4; }
+  int vc_class(mesh::Coord3 s, mesh::Coord3 d) const override {
+    const int id = mesh::Octant3::from_pair(s, d).id();
+    return std::min(id, 7 - id);
+  }
+  size_t candidates(mesh::Coord3 u, mesh::Coord3 s, mesh::Coord3 d,
+                    std::array<mesh::Dir3, 3>& out) override;
+  bool feasible(mesh::Coord3 s, mesh::Coord3 d) override;
+  bool completable(mesh::Coord3 u, mesh::Coord3 s, mesh::Coord3 d) override;
+
+ private:
+  bool feasible_in(mesh::Octant3 o, mesh::Coord3 u, mesh::Coord3 d) const;
+
+  const runtime::DynamicModel3D& model_;
+};
+
+}  // namespace mcc::sim::wh

@@ -32,6 +32,11 @@ struct Config {
   int vcs_per_class = 2;  // adaptive VCs inside each deadlock class
   int buffer_depth = 4;   // flits of buffering per input VC
   int packet_size = 4;    // flits per packet (>= 1)
+  // Dynamic-fault mode: a head whose admissible set is empty AND whose
+  // remaining pair the routing function declares infeasible is dropped
+  // (the worm is flushed network-wide) instead of wedging its VC forever.
+  // Off by default so static experiments keep their exact behavior.
+  bool drop_infeasible = false;
 };
 
 }  // namespace mcc::sim::wh

@@ -29,6 +29,8 @@
 #include <cstdlib>
 #include <deque>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/router.h"
@@ -106,9 +108,11 @@ class Network {
   const NetStats& stats() const { return stats_; }
   int total_vcs() const { return vcs_; }
 
-  /// Packets injected but not yet fully ejected (source queues included).
+  /// Packets injected but not yet fully ejected or dropped (source queues
+  /// included).
   uint64_t in_flight() const {
-    return stats_.injected_packets - stats_.delivered_packets;
+    return stats_.injected_packets - stats_.delivered_packets -
+           stats_.dropped_packets;
   }
   bool idle() const { return in_flight() == 0; }
 
@@ -155,6 +159,132 @@ class Network {
     allocate_vcs();
     traverse();
     ++cycle_;
+  }
+
+  // -------------------------------------------------------------------------
+  // Mid-run fault/repair events. Callers must update the routing function's
+  // model FIRST (new epoch), then apply the matching network event between
+  // steps; every in-flight head re-asks the routing function at its next
+  // decision (route caches are invalidated), so surviving worms re-route
+  // under the new fault set while worms that lost their node, destination
+  // or (see Config::drop_infeasible) every minimal completion drain away.
+
+  /// Kills a node: its buffered flits vanish, every worm that occupies it,
+  /// was allocated toward it, or is destined to it is flushed network-wide
+  /// (counted as dropped), link state is reset to pristine and credits are
+  /// recomputed from ground truth so check_credits() stays exact.
+  void apply_fault(Coord c) {
+    const size_t ci = mesh_.index(c);
+    Node& nd = nodes_[ci];
+    if (!nd.alive) return;  // no-op: no counter bump, no cache clear
+    ++stats_.fault_events;
+    invalidate_routes();
+
+    // Doomed worms: any flit or VC hold at the dead node, any allocation
+    // pointing at it from a neighbor, any wire flit touching it, and any
+    // in-flight packet destined to it.
+    std::unordered_set<PacketId> doomed;
+    for (const InVc& vc : nd.in) {
+      for (const Flit& f : vc.buf) doomed.insert(f.packet);
+      if (vc.cur_packet) doomed.insert(vc.cur_packet);
+    }
+    for (int q = 0; q < kDirs; ++q) {
+      const Coord w = mesh::step(c, static_cast<Dir>(q));
+      if (!mesh_.contains(w)) continue;
+      Node& nb = nodes_[mesh_.index(w)];
+      if (!nb.alive) continue;
+      const int toward = static_cast<int>(opposite(static_cast<Dir>(q)));
+      for (const InVc& vc : nb.in)
+        if (vc.active && vc.out_port == toward && vc.cur_packet)
+          doomed.insert(vc.cur_packet);
+    }
+    for (const FlitArrival& a : flit_wire_) {
+      if (a.node == ci) doomed.insert(a.flit.packet);
+      if (a.flit.dst == c) doomed.insert(a.flit.packet);
+    }
+    for (const Node& node : nodes_) {
+      if (!node.alive) continue;
+      for (const InVc& vc : node.in)
+        for (const Flit& f : vc.buf)
+          if (f.dst == c) doomed.insert(f.packet);
+    }
+
+    // Kill the node: its own buffered flits are gone for good.
+    for (const InVc& vc : nd.in)
+      stats_.dropped_flits += static_cast<uint64_t>(vc.buf.size());
+    nd.alive = false;
+    nd.in.clear();
+    nd.out.clear();
+    nd.in_rr.clear();
+    nd.out_rr.clear();
+    nd.eject.clear();
+
+    // Wires touching the dead node disappear with it.
+    for (size_t i = 0; i < flit_wire_.size();) {
+      if (flit_wire_[i].node == ci) {
+        ++stats_.dropped_flits;
+        flit_wire_[i] = flit_wire_.back();
+        flit_wire_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    for (size_t i = 0; i < credit_wire_.size();) {
+      const CreditReturn& cr = credit_wire_[i];
+      bool dead_link = cr.node == ci;
+      if (!dead_link) {
+        const Coord owner = mesh_.coord(cr.node);
+        if (cr.port < kDirs &&
+            mesh::step(owner, static_cast<Dir>(cr.port)) == c)
+          dead_link = true;
+      }
+      if (dead_link) {
+        credit_wire_[i] = credit_wire_.back();
+        credit_wire_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+
+    flush_packets(doomed);
+    // recompute_credits() also returns every link into the dead node to
+    // pristine (check_credits demands exactly that while it stays dead).
+    recompute_credits();
+  }
+
+  /// Revives a node with pristine router state. Credits are then rebuilt
+  /// from ground truth: a surviving worm (one whose tail had already left
+  /// the node before it died) may still hold flits in a neighbor's input
+  /// buffer on a link from this node, and those flits must stay debited
+  /// against the fresh credit counters.
+  void apply_repair(Coord c) {
+    Node& nd = nodes_[mesh_.index(c)];
+    if (nd.alive) return;  // no-op: no counter bump, no cache clear
+    ++stats_.repair_events;
+    invalidate_routes();
+    nd.alive = true;
+    nd.in.assign(static_cast<size_t>(kPorts) * vcs_, InVc{});
+    nd.out.assign(static_cast<size_t>(kPorts) * vcs_, OutVc{});
+    for (int p = 0; p < kDirs; ++p)
+      for (int v = 0; v < vcs_; ++v)
+        nd.out[static_cast<size_t>(p) * vcs_ + v].credits = cfg_.buffer_depth;
+    nd.in_rr.assign(kPorts, 0);
+    nd.out_rr.assign(kPorts, 0);
+    nd.eject.assign(vcs_, Reassembly{});
+    recompute_credits();
+  }
+
+  /// Clears every head's cached route so the next decision re-asks the
+  /// routing function (called by both event paths; also useful after an
+  /// external epoch bump).
+  void invalidate_routes() {
+    for (Node& node : nodes_) {
+      if (!node.alive) continue;
+      for (InVc& vc : node.in) {
+        vc.routed_packet = 0;
+        vc.cand_n = 0;
+      }
+    }
   }
 
   /// Credit-conservation invariant: for every link VC, credits held
@@ -211,6 +341,9 @@ class Network {
     bool active = false;  // holds an output VC
     int out_port = -1;
     int out_vc = -1;
+    // Packet currently holding this VC (0 when idle) — lets fault events
+    // find and flush every hop of a doomed worm.
+    PacketId cur_packet = 0;
     // Route-computation cache: a head's candidate set depends only on
     // (node, src, dst), so a head blocked on VC availability must not
     // re-run the routing function (Model mode sweeps the remaining box)
@@ -274,6 +407,10 @@ class Network {
     }
     flit_wire_.clear();
     for (const CreditReturn& c : credit_wire_) {
+      // A surviving worm can still drain flits it buffered beyond a node
+      // that has since died; the credits it returns toward the dead node
+      // are dropped with it (repair rebuilds counters from ground truth).
+      if (!nodes_[c.node].alive) continue;
       OutVc& ov = nodes_[c.node].out[in_index(c.port, c.vc)];
       if (ov.credits >= cfg_.buffer_depth) {
         fail("credit counter overflow");
@@ -285,6 +422,10 @@ class Network {
   }
 
   void allocate_vcs() {
+    // Worms found undeliverable this pass (drop_infeasible) are flushed in
+    // one batch after the loop: a single event can sever many worms, and
+    // flush + credit recompute are network-wide.
+    std::unordered_set<PacketId> doomed;
     for (size_t i = 0; i < nodes_.size(); ++i) {
       Node& nd = nodes_[i];
       if (!nd.alive) continue;
@@ -296,13 +437,14 @@ class Network {
           const Flit& head = vc.buf.front();
           if (head.kind != FlitKind::Head && head.kind != FlitKind::HeadTail)
             continue;
+          if (doomed.count(head.packet)) continue;
 
           const int base = head.vc_class * cfg_.vcs_per_class;
           if (head.dst == u) {
             // Ejection: grab a free ejection VC in the packet's class.
             for (int ov = base; ov < base + cfg_.vcs_per_class; ++ov) {
               if (!nd.out[in_index(kDirs, ov)].busy) {
-                grant(nd, vc, kDirs, ov);
+                grant(nd, vc, kDirs, ov, head.packet);
                 break;
               }
             }
@@ -313,6 +455,15 @@ class Network {
             vc.cand_n = static_cast<uint8_t>(
                 routing_.candidates(u, head.src, head.dst, vc.cand));
             vc.routed_packet = head.packet;
+            if (vc.cand_n == 0 && cfg_.drop_infeasible &&
+                !routing_.completable(u, head.src, head.dst)) {
+              // A fault event severed every minimal completion (judged in
+              // the worm's injection octant — the frame its remaining
+              // moves are constrained to): drain the worm instead of
+              // wedging its VCs forever.
+              doomed.insert(head.packet);
+              continue;
+            }
           }
           const size_t n = vc.cand_n;
           if (n == 0) {
@@ -332,7 +483,7 @@ class Network {
             const int q = static_cast<int>(dir);
             for (int ov = base; ov < base + cfg_.vcs_per_class; ++ov) {
               if (!nd.out[in_index(q, ov)].busy) {
-                grant(nd, vc, q, ov);
+                grant(nd, vc, q, ov, head.packet);
                 break;
               }
             }
@@ -340,13 +491,121 @@ class Network {
         }
       }
     }
+    if (!doomed.empty()) {
+      flush_packets(doomed);
+      recompute_credits();
+    }
   }
 
-  void grant(Node& nd, InVc& vc, int out_port, int out_vc) {
+  void grant(Node& nd, InVc& vc, int out_port, int out_vc, PacketId packet) {
     vc.active = true;
     vc.out_port = out_port;
     vc.out_vc = out_vc;
+    vc.cur_packet = packet;
     nd.out[in_index(out_port, out_vc)].busy = true;
+  }
+
+  /// Removes every trace of the given packets from the network: buffered
+  /// and wire flits, VC holds, reassembly state and route caches. Callers
+  /// must recompute_credits() afterwards.
+  void flush_packets(const std::unordered_set<PacketId>& doomed) {
+    if (doomed.empty()) return;
+    stats_.dropped_packets += static_cast<uint64_t>(doomed.size());
+    for (Node& node : nodes_) {
+      if (!node.alive) continue;
+      for (InVc& vc : node.in) {
+        for (size_t i = 0; i < vc.buf.size();) {
+          if (doomed.count(vc.buf[i].packet)) {
+            ++stats_.dropped_flits;
+            vc.buf.erase(vc.buf.begin() + static_cast<long>(i));
+          } else {
+            ++i;
+          }
+        }
+        if (vc.cur_packet && doomed.count(vc.cur_packet)) {
+          vc.active = false;
+          vc.out_port = vc.out_vc = -1;
+          vc.cur_packet = 0;
+        }
+        if (vc.routed_packet && doomed.count(vc.routed_packet)) {
+          vc.routed_packet = 0;
+          vc.cand_n = 0;
+        }
+      }
+      for (Reassembly& r : node.eject)
+        if (r.open && doomed.count(r.packet)) {
+          // Flits this packet already ejected move from delivered to
+          // dropped, keeping flit conservation exact:
+          // injected == delivered + dropped + buffered + on-wire.
+          stats_.delivered_flits -= r.next_seq;
+          stats_.dropped_flits += r.next_seq;
+          r.open = false;
+          r.packet = 0;
+          r.next_seq = 0;
+        }
+    }
+    for (size_t i = 0; i < flit_wire_.size();) {
+      if (doomed.count(flit_wire_[i].flit.packet)) {
+        ++stats_.dropped_flits;
+        flit_wire_[i] = flit_wire_.back();
+        flit_wire_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  /// Re-derives busy flags and credit counters from ground truth (buffer
+  /// occupancy plus both wire directions) — events tear worms out of the
+  /// middle of the credit loop, so the counters are rebuilt rather than
+  /// patched. check_credits() holds again immediately afterwards.
+  void recompute_credits() {
+    for (Node& node : nodes_) {
+      if (!node.alive) continue;
+      for (OutVc& ov : node.out) ov.busy = false;
+      for (const InVc& vc : node.in)
+        if (vc.active) node.out[in_index(vc.out_port, vc.out_vc)].busy = true;
+    }
+    // One pass over the wires, tallied per downstream (node, port, vc) so
+    // the per-link loop below stays O(1) per VC.
+    std::unordered_map<size_t, int> wire_inflight;
+    const auto slot = [this](size_t node, int port, int vc) {
+      return (node * kPorts + static_cast<size_t>(port)) * vcs_ + vc;
+    };
+    for (const FlitArrival& a : flit_wire_) ++wire_inflight[slot(a.node, a.port, a.vc)];
+    for (const CreditReturn& cr : credit_wire_) {
+      // A credit in flight toward (cr.node, cr.port) belongs to the
+      // downstream side of that link.
+      const Coord owner = mesh_.coord(cr.node);
+      const Coord w = mesh::step(owner, static_cast<Dir>(cr.port));
+      const int pw = static_cast<int>(opposite(static_cast<Dir>(cr.port)));
+      ++wire_inflight[slot(mesh_.index(w), pw, cr.vc)];
+    }
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      Node& node = nodes_[i];
+      if (!node.alive) continue;
+      const Coord u = mesh_.coord(i);
+      for (int q = 0; q < kDirs; ++q) {
+        const Coord w = mesh::step(u, static_cast<Dir>(q));
+        const bool live_link =
+            mesh_.contains(w) && nodes_[mesh_.index(w)].alive;
+        for (int v = 0; v < vcs_; ++v) {
+          OutVc& ov = node.out[in_index(q, v)];
+          if (!live_link) {
+            ov.busy = false;
+            ov.credits = cfg_.buffer_depth;
+            continue;
+          }
+          const int pw = static_cast<int>(opposite(static_cast<Dir>(q)));
+          const size_t wi = mesh_.index(w);
+          int inflight =
+              static_cast<int>(nodes_[wi].in[in_index(pw, v)].buf.size());
+          const auto it = wire_inflight.find(slot(wi, pw, v));
+          if (it != wire_inflight.end()) inflight += it->second;
+          ov.credits = cfg_.buffer_depth - inflight;
+        }
+      }
+    }
   }
 
   void traverse() {
@@ -420,6 +679,7 @@ class Network {
       nd.out[in_index(q, ov)].busy = false;
       vc.active = false;
       vc.out_port = vc.out_vc = -1;
+      vc.cur_packet = 0;
     }
   }
 

@@ -1,6 +1,7 @@
 #include "sim/wormhole/routing.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace mcc::sim::wh {
 
@@ -25,40 +26,15 @@ const char* to_string(GuidanceMode m) {
 
 namespace {
 
-// Canonical positive direction -> physical direction under an octant flip.
-Dir2 physical(Dir2 dir, Octant2 o) {
-  const bool flip = axis_of(dir) == 0 ? o.flip_x : o.flip_y;
-  return flip ? opposite(dir) : dir;
+// True when the MCC_NOCACHE environment escape hatch disables the
+// GuidanceCache behind Model mode (restoring the per-hop exact sweep).
+bool nocache_env() {
+  const char* v = std::getenv("MCC_NOCACHE");
+  return v != nullptr && *v != '\0' && *v != '0';
 }
 
-Dir3 physical(Dir3 dir, Octant3 o) {
-  bool flip = false;
-  switch (axis_of(dir)) {
-    case 0: flip = o.flip_x; break;
-    case 1: flip = o.flip_y; break;
-    default: flip = o.flip_z; break;
-  }
-  return flip ? opposite(dir) : dir;
-}
-
-// Guidance over a cached reachability field (Oracle mode).
-struct FieldGuidance2D final : core::Guidance2D {
-  explicit FieldGuidance2D(const core::ReachField2D& field) : f(field) {}
-  bool exclude(Coord2, Dir2, Coord2 next) const override {
-    return !f.feasible(next);
-  }
-  const core::ReachField2D& f;
-};
-
-struct FieldGuidance3D final : core::Guidance3D {
-  explicit FieldGuidance3D(const core::ReachField3D& field) : f(field) {}
-  bool exclude(Coord3, Dir3, Coord3 next) const override {
-    return !f.feasible(next);
-  }
-  const core::ReachField3D& f;
-};
-
-// Model mode: the MCC model's safe-only per-hop decision, computed exactly
+// Model mode (MCC_NOCACHE path): the MCC model's safe-only per-hop
+// decision, computed exactly
 // by a monotone sweep of the remaining box. The message-passing walkers and
 // floods (DetectGuidance2D / FloodGuidance3D) approximate exactly this
 // decision and are evaluated at the core-router layer; a wormhole head that
@@ -109,8 +85,14 @@ struct MccRouting2D::QuadCtx {
 };
 
 MccRouting2D::MccRouting2D(const mesh::Mesh2D& mesh,
-                           const mesh::FaultSet2D& faults, GuidanceMode mode)
-    : mesh_(mesh), mode_(mode) {
+                           const mesh::FaultSet2D& faults, GuidanceMode mode,
+                           std::optional<bool> use_cache)
+    : mesh_(mesh),
+      mode_(mode),
+      use_cache_(use_cache.value_or(!nocache_env())),
+      // The static key space is exactly (quadrant, destination): sizing to
+      // it means Model-mode sweeps never thrash the LRU.
+      cache_(4 * mesh.node_count()) {
   for (const bool fx : {false, true})
     for (const bool fy : {false, true}) {
       const Octant2 o{fx, fy};
@@ -141,8 +123,19 @@ size_t MccRouting2D::candidates(Coord2 u, Coord2 s, Coord2 d,
     const FieldGuidance2D g(q.field(mesh_, dc));
     n = core::admissible2d(uc, dc, g, out);
   } else if (mode_ == GuidanceMode::Model) {
-    const SafeReachGuidance2D g(q.labels, dc);
-    n = core::admissible2d(uc, dc, g, out);
+    if (use_cache_) {
+      // One cached safe-only field per destination replaces the O(box)
+      // per-hop sweep; decisions are bit-identical to SafeReachGuidance2D.
+      const auto field = cache_.get_or_build(0, o.id(), mesh_.index(dc), [&] {
+        return core::ReachField2D(mesh_, q.labels, dc,
+                                  core::NodeFilter::SafeOnly);
+      });
+      const FieldGuidance2D g(*field);
+      n = core::admissible2d(uc, dc, g, out);
+    } else {
+      const SafeReachGuidance2D g(q.labels, dc);
+      n = core::admissible2d(uc, dc, g, out);
+    }
   } else {
     const LabelsOnlyGuidance2D g(q.labels, dc);
     n = core::admissible2d(uc, dc, g, out);
@@ -151,17 +144,32 @@ size_t MccRouting2D::candidates(Coord2 u, Coord2 s, Coord2 d,
   return n;
 }
 
-bool MccRouting2D::feasible(Coord2 s, Coord2 d) {
-  if (s == d) return false;
-  const Octant2 o = Octant2::from_pair(s, d);
+bool MccRouting2D::feasible_in(Octant2 o, Coord2 u, Coord2 d) {
   QuadCtx& q = quad(o);
-  const Coord2 sc = o.transform(s, mesh_);
+  const Coord2 uc = o.transform(u, mesh_);
   const Coord2 dc = o.transform(d, mesh_);
-  if (q.labels.state(sc) == NodeState::Faulty ||
+  if (q.labels.state(uc) == NodeState::Faulty ||
       q.labels.state(dc) == NodeState::Faulty)
     return false;
-  if (mode_ == GuidanceMode::Oracle) return q.field(mesh_, dc).feasible(sc);
-  return core::safe_reach_box2(q.labels, sc, dc);
+  if (mode_ == GuidanceMode::Oracle) return q.field(mesh_, dc).feasible(uc);
+  if (mode_ == GuidanceMode::Model && use_cache_) {
+    const auto field = cache_.get_or_build(0, o.id(), mesh_.index(dc), [&] {
+      return core::ReachField2D(mesh_, q.labels, dc,
+                                core::NodeFilter::SafeOnly);
+    });
+    return field->feasible(uc);
+  }
+  return core::safe_reach_box2(q.labels, uc, dc);
+}
+
+bool MccRouting2D::feasible(Coord2 s, Coord2 d) {
+  if (s == d) return false;
+  return feasible_in(Octant2::from_pair(s, d), s, d);
+}
+
+bool MccRouting2D::completable(Coord2 u, Coord2 s, Coord2 d) {
+  if (u == d) return true;
+  return feasible_in(Octant2::from_pair(s, d), u, d);
 }
 
 // ---------------------------------------------------------------------------
@@ -183,8 +191,12 @@ struct MccRouting3D::OctCtx {
 };
 
 MccRouting3D::MccRouting3D(const mesh::Mesh3D& mesh,
-                           const mesh::FaultSet3D& faults, GuidanceMode mode)
-    : mesh_(mesh), mode_(mode) {
+                           const mesh::FaultSet3D& faults, GuidanceMode mode,
+                           std::optional<bool> use_cache)
+    : mesh_(mesh),
+      mode_(mode),
+      use_cache_(use_cache.value_or(!nocache_env())),
+      cache_(8 * mesh.node_count()) {
   for (const bool fx : {false, true})
     for (const bool fy : {false, true})
       for (const bool fz : {false, true}) {
@@ -215,8 +227,17 @@ size_t MccRouting3D::candidates(Coord3 u, Coord3 s, Coord3 d,
     const FieldGuidance3D g(q.field(mesh_, dc));
     n = core::admissible3d(uc, dc, g, out);
   } else if (mode_ == GuidanceMode::Model) {
-    const SafeReachGuidance3D g(q.labels, dc);
-    n = core::admissible3d(uc, dc, g, out);
+    if (use_cache_) {
+      const auto field = cache_.get_or_build(0, o.id(), mesh_.index(dc), [&] {
+        return core::ReachField3D(mesh_, q.labels, dc,
+                                  core::NodeFilter::SafeOnly);
+      });
+      const FieldGuidance3D g(*field);
+      n = core::admissible3d(uc, dc, g, out);
+    } else {
+      const SafeReachGuidance3D g(q.labels, dc);
+      n = core::admissible3d(uc, dc, g, out);
+    }
   } else {
     const LabelsOnlyGuidance3D g(q.labels, dc);
     n = core::admissible3d(uc, dc, g, out);
@@ -225,17 +246,32 @@ size_t MccRouting3D::candidates(Coord3 u, Coord3 s, Coord3 d,
   return n;
 }
 
-bool MccRouting3D::feasible(Coord3 s, Coord3 d) {
-  if (s == d) return false;
-  const Octant3 o = Octant3::from_pair(s, d);
+bool MccRouting3D::feasible_in(Octant3 o, Coord3 u, Coord3 d) {
   OctCtx& q = oct(o);
-  const Coord3 sc = o.transform(s, mesh_);
+  const Coord3 uc = o.transform(u, mesh_);
   const Coord3 dc = o.transform(d, mesh_);
-  if (q.labels.state(sc) == NodeState::Faulty ||
+  if (q.labels.state(uc) == NodeState::Faulty ||
       q.labels.state(dc) == NodeState::Faulty)
     return false;
-  if (mode_ == GuidanceMode::Oracle) return q.field(mesh_, dc).feasible(sc);
-  return core::safe_reach_box3(q.labels, sc, dc);
+  if (mode_ == GuidanceMode::Oracle) return q.field(mesh_, dc).feasible(uc);
+  if (mode_ == GuidanceMode::Model && use_cache_) {
+    const auto field = cache_.get_or_build(0, o.id(), mesh_.index(dc), [&] {
+      return core::ReachField3D(mesh_, q.labels, dc,
+                                core::NodeFilter::SafeOnly);
+    });
+    return field->feasible(uc);
+  }
+  return core::safe_reach_box3(q.labels, uc, dc);
+}
+
+bool MccRouting3D::feasible(Coord3 s, Coord3 d) {
+  if (s == d) return false;
+  return feasible_in(Octant3::from_pair(s, d), s, d);
+}
+
+bool MccRouting3D::completable(Coord3 u, Coord3 s, Coord3 d) {
+  if (u == d) return true;
+  return feasible_in(Octant3::from_pair(s, d), u, d);
 }
 
 // ---------------------------------------------------------------------------

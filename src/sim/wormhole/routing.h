@@ -27,6 +27,7 @@
 
 #include <array>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "core/feasibility2d.h"
@@ -37,17 +38,55 @@
 #include "mesh/fault_set.h"
 #include "mesh/mesh.h"
 #include "mesh/octant.h"
+#include "runtime/guidance_cache.h"
 
 namespace mcc::sim::wh {
 
 /// Which core guidance drives per-hop choices.
 enum class GuidanceMode : uint8_t {
   Oracle,      // cached reachability fields — the gold standard
-  Model,       // the model's safe-only decision, evaluated per hop
+  Model,       // the model's safe-only decision, served by the shared
+               // GuidanceCache (MCC_NOCACHE=1 restores the per-hop sweep;
+               // the two are bit-identical — test_runtime proves it)
   LabelsOnly,  // ablation: avoid unsafe neighbors only (can wedge)
 };
 
 const char* to_string(GuidanceMode m);
+
+/// Canonical positive direction -> physical direction under an octant flip
+/// (shared by every octant-adapting routing function).
+inline mesh::Dir2 physical(mesh::Dir2 dir, mesh::Octant2 o) {
+  const bool flip = axis_of(dir) == 0 ? o.flip_x : o.flip_y;
+  return flip ? opposite(dir) : dir;
+}
+
+inline mesh::Dir3 physical(mesh::Dir3 dir, mesh::Octant3 o) {
+  bool flip = false;
+  switch (axis_of(dir)) {
+    case 0: flip = o.flip_x; break;
+    case 1: flip = o.flip_y; break;
+    default: flip = o.flip_z; break;
+  }
+  return flip ? opposite(dir) : dir;
+}
+
+/// Guidance over a prepared reachability field (Oracle mode, the cached
+/// Model mode, and the dynamic routing functions).
+struct FieldGuidance2D final : core::Guidance2D {
+  explicit FieldGuidance2D(const core::ReachField2D& field) : f(field) {}
+  bool exclude(mesh::Coord2, mesh::Dir2, mesh::Coord2 next) const override {
+    return !f.feasible(next);
+  }
+  const core::ReachField2D& f;
+};
+
+struct FieldGuidance3D final : core::Guidance3D {
+  explicit FieldGuidance3D(const core::ReachField3D& field) : f(field) {}
+  bool exclude(mesh::Coord3, mesh::Dir3, mesh::Coord3 next) const override {
+    return !f.feasible(next);
+  }
+  const core::ReachField3D& f;
+};
 
 // ---------------------------------------------------------------------------
 // Interfaces
@@ -65,6 +104,15 @@ class RoutingFunction2D {
                             std::array<mesh::Dir2, 2>& out) = 0;
   /// Injection filter: true when this function can deliver s -> d.
   virtual bool feasible(mesh::Coord2 s, mesh::Coord2 d) = 0;
+  /// Can a packet injected as s -> d still complete from u? Evaluated in
+  /// the INJECTION octant — a worm's remaining moves are constrained to
+  /// that frame's preferred directions, so `feasible(u, d)` (which would
+  /// re-derive the octant from the remaining pair, with different labels)
+  /// is the wrong question. Drives Config::drop_infeasible.
+  virtual bool completable(mesh::Coord2 u, mesh::Coord2 /*s*/,
+                           mesh::Coord2 d) {
+    return feasible(u, d);
+  }
 };
 
 class RoutingFunction3D {
@@ -75,6 +123,10 @@ class RoutingFunction3D {
   virtual size_t candidates(mesh::Coord3 u, mesh::Coord3 s, mesh::Coord3 d,
                             std::array<mesh::Dir3, 3>& out) = 0;
   virtual bool feasible(mesh::Coord3 s, mesh::Coord3 d) = 0;
+  virtual bool completable(mesh::Coord3 u, mesh::Coord3 /*s*/,
+                           mesh::Coord3 d) {
+    return feasible(u, d);
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -82,8 +134,10 @@ class RoutingFunction3D {
 
 class MccRouting2D final : public RoutingFunction2D {
  public:
+  /// `use_cache` overrides the MCC_NOCACHE environment escape hatch for
+  /// Model mode (tests compare both paths; they must be bit-identical).
   MccRouting2D(const mesh::Mesh2D& mesh, const mesh::FaultSet2D& faults,
-               GuidanceMode mode);
+               GuidanceMode mode, std::optional<bool> use_cache = {});
   ~MccRouting2D() override;
 
   /// Antipodal quadrant pairs {++,--} and {+-,-+} share a class: their
@@ -93,20 +147,27 @@ class MccRouting2D final : public RoutingFunction2D {
   size_t candidates(mesh::Coord2 u, mesh::Coord2 s, mesh::Coord2 d,
                     std::array<mesh::Dir2, 2>& out) override;
   bool feasible(mesh::Coord2 s, mesh::Coord2 d) override;
+  bool completable(mesh::Coord2 u, mesh::Coord2 s, mesh::Coord2 d) override;
+
+  /// Cache behind Model mode (hit-rate reporting for bench_e12).
+  const runtime::GuidanceCache2D& cache() const { return cache_; }
 
  private:
   struct QuadCtx;
   QuadCtx& quad(mesh::Octant2 o);
+  bool feasible_in(mesh::Octant2 o, mesh::Coord2 u, mesh::Coord2 d);
 
   const mesh::Mesh2D& mesh_;
   GuidanceMode mode_;
+  bool use_cache_;
+  runtime::GuidanceCache2D cache_;
   std::array<std::unique_ptr<QuadCtx>, 4> quads_;
 };
 
 class MccRouting3D final : public RoutingFunction3D {
  public:
   MccRouting3D(const mesh::Mesh3D& mesh, const mesh::FaultSet3D& faults,
-               GuidanceMode mode);
+               GuidanceMode mode, std::optional<bool> use_cache = {});
   ~MccRouting3D() override;
 
   /// Antipodal octant pairs share a class: four classes in 3-D.
@@ -115,13 +176,19 @@ class MccRouting3D final : public RoutingFunction3D {
   size_t candidates(mesh::Coord3 u, mesh::Coord3 s, mesh::Coord3 d,
                     std::array<mesh::Dir3, 3>& out) override;
   bool feasible(mesh::Coord3 s, mesh::Coord3 d) override;
+  bool completable(mesh::Coord3 u, mesh::Coord3 s, mesh::Coord3 d) override;
+
+  const runtime::GuidanceCache3D& cache() const { return cache_; }
 
  private:
   struct OctCtx;
   OctCtx& oct(mesh::Octant3 o);
+  bool feasible_in(mesh::Octant3 o, mesh::Coord3 u, mesh::Coord3 d);
 
   const mesh::Mesh3D& mesh_;
   GuidanceMode mode_;
+  bool use_cache_;
+  runtime::GuidanceCache3D cache_;
   std::array<std::unique_ptr<OctCtx>, 8> octs_;
 };
 

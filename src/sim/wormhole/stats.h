@@ -54,6 +54,13 @@ struct NetStats {
   /// a packet — never happens for feasibility-filtered traffic under
   /// Oracle/Model guidance.
   uint64_t wedged_head_cycles = 0;
+  /// Dynamic-fault accounting: packets/flits discarded because a fault
+  /// event killed their node, their destination, or (with
+  /// Config::drop_infeasible) every minimal completion of their route.
+  uint64_t dropped_packets = 0;
+  uint64_t dropped_flits = 0;
+  uint64_t fault_events = 0;
+  uint64_t repair_events = 0;
   LatencyHistogram latency;
   std::vector<std::string> violations;
 };

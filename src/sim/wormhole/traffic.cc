@@ -87,6 +87,10 @@ std::optional<Coord3> TrafficGen3D::draw_dest(Coord3 s) {
 int TrafficGen3D::tick(Network3D& net, double rate) {
   int injected = 0;
   for (const Coord3 s : sources_) {
+    // A source that died mid-run (dynamic-fault mode) stops injecting and
+    // consumes no randomness; static runs never hit this (sources_ holds
+    // live nodes only), so seeded static sweeps draw identically.
+    if (faults_.is_faulty(s)) continue;
     if (!rng_.chance(rate)) continue;
     ++offered_;
     const auto d = draw_dest(s);

@@ -11,9 +11,12 @@
 // compiled into mcc_core.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "mesh/coord.h"
 #include "mesh/mesh.h"
@@ -106,6 +109,74 @@ std::optional<mesh::Coord3> sample_node3d(const mesh::Mesh3D& m, Rng& rng,
     if (ok(c)) return c;
   }
   return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Churn schedules (dynamic-fault runtime; shared by bench_e12, the examples
+// and tests/test_runtime.cc so every seeded churn run draws identically).
+
+/// Parameters of a sampled fault/repair schedule: Poisson fault arrivals at
+/// `rate` expected strikes per cycle over `horizon` cycles, each strike
+/// followed by a repair after a bounded uniform delay drawn between
+/// repair_min and repair_max cycles (ordered either way; repair_max == 0
+/// disables repairs; a struck node cannot be struck again before its
+/// repair has fired).
+struct ChurnParams {
+  double rate = 0.002;
+  uint64_t horizon = 4000;
+  uint64_t repair_min = 100;
+  uint64_t repair_max = 800;
+  int max_events = 1 << 20;
+};
+
+/// One schedule entry in node-index form (shape-agnostic; the runtime's
+/// FaultTimeline converts to coordinates).
+struct ChurnEvent {
+  uint64_t cycle = 0;
+  size_t node = 0;
+  bool repair = false;
+};
+
+/// Draws a churn schedule, sorted by cycle (faults keep their sampling
+/// order on ties; a repair never precedes its own fault). `can_fail(coord)`
+/// lets callers protect nodes (endpoints, already-faulty nodes, ...).
+template <class MeshT, class Pred>
+std::vector<ChurnEvent> sample_churn(const MeshT& m, Rng& rng,
+                                     const ChurnParams& p, Pred&& can_fail) {
+  std::vector<ChurnEvent> events;
+  if (p.rate <= 0) return events;  // zero-churn baseline: empty schedule
+  // Cycle from which a node may (again) be struck: 0 = now, ~0 = never.
+  std::vector<uint64_t> up_at(m.node_count(), 0);
+  const bool repairs = p.repair_max > 0;
+  const uint64_t delay_lo = std::min(p.repair_min, p.repair_max);
+  const uint64_t delay_hi = std::max(p.repair_min, p.repair_max);
+  double t = 0;
+  // A strike emits up to two entries (fault + repair); never exceed the cap.
+  while (static_cast<int>(events.size()) + (repairs ? 2 : 1) <=
+         p.max_events) {
+    t += -std::log1p(-rng.uniform()) / p.rate;  // exponential inter-arrival
+    const uint64_t cycle = static_cast<uint64_t>(t) + 1;
+    if (cycle > p.horizon) break;
+    std::optional<size_t> target;
+    for (int tries = 0; tries < 64 && !target; ++tries) {
+      const size_t i = rng.pick(m.node_count());
+      if (up_at[i] <= cycle && can_fail(m.coord(i))) target = i;
+    }
+    if (!target) continue;
+    events.push_back({cycle, *target, false});
+    if (repairs) {
+      const uint64_t delay = delay_lo + rng.pick(delay_hi - delay_lo + 1);
+      events.push_back({cycle + delay, *target, true});
+      up_at[*target] = cycle + delay + 1;
+    } else {
+      up_at[*target] = ~uint64_t{0};
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.cycle < b.cycle;
+                   });
+  return events;
 }
 
 }  // namespace mcc::util

@@ -1,47 +1,56 @@
 // Dynamic faults — the paper's future-work scenario ("all the faulty
-// components can occur during the routing process"), served compositionally
-// by the library: when a fault appears mid-route, the prefix already
-// travelled is still minimal, so re-running feasibility + routing from the
-// current node either completes the minimal path or proves that no minimal
-// completion survives the new fault.
+// components can occur during the routing process"), served by the
+// dynamic-fault runtime: a DynamicModel2D absorbs each strike
+// incrementally (no rebuild), and re-running feasibility + routing from
+// the current node either completes the minimal path or proves that no
+// minimal completion survives the new fault. The rebuild-per-event legacy
+// path is covered only via the differential suite in test_runtime.cc,
+// which proves the incremental stack bit-equivalent to it.
 #include <gtest/gtest.h>
 
-#include "core/model.h"
 #include "core/reachability.h"
 #include "mesh/fault_injection.h"
+#include "runtime/dynamic_model.h"
 #include "util/rng.h"
 
-namespace mcc::core {
+namespace mcc {
 namespace {
 
+using core::LabelField2D;
+using core::MccModel2D;
+using core::ReachField2D;
 using mesh::Coord2;
+using runtime::DynamicModel2D;
 
 TEST(DynamicFaults, RerouteAroundFaultAppearingAhead) {
   const mesh::Mesh2D m(12, 12);
-  mesh::FaultSet2D f(m);
+  const mesh::FaultSet2D f(m);
   const Coord2 s{0, 0}, d{11, 11};
 
   // Balanced policy keeps the path interior, so a single strike ahead
   // leaves room to reroute (an x-first path hugs the mesh boundary, where
   // a strike on the final column genuinely kills every minimal completion).
-  const MccModel2D before(m, f);
-  auto r1 = before.route(s, d, RouterKind::Records, RoutePolicy::Balanced, 1);
+  DynamicModel2D model(m, f);
+  auto r1 = model.route(s, d, core::RouterKind::Records,
+                        core::RoutePolicy::Balanced, 1);
   ASSERT_TRUE(r1.delivered);
 
-  // A fault strikes the node three hops ahead of the midpoint.
+  // A fault strikes the node three hops ahead of the midpoint; the model
+  // absorbs it in place (epoch bump, no rebuild).
   const Coord2 mid = r1.path[r1.path.size() / 2];
   const Coord2 hit = r1.path[r1.path.size() / 2 + 3];
-  f.set_faulty(hit);
+  const uint64_t epoch_before = model.epoch();
+  ASSERT_NE(model.fail(hit).epoch, 0u);
+  EXPECT_EQ(model.epoch(), epoch_before + 1);
 
-  const MccModel2D after(m, f);
-  ASSERT_TRUE(after.feasible(mid, d).feasible);
-  const auto r2 =
-      after.route(mid, d, RouterKind::Records, RoutePolicy::Balanced, 2);
+  ASSERT_TRUE(model.feasible(mid, d).feasible);
+  const auto r2 = model.route(mid, d, core::RouterKind::Records,
+                              core::RoutePolicy::Balanced, 2);
   ASSERT_TRUE(r2.delivered);
   // The combined journey is still minimal: prefix + re-routed suffix.
   const int prefix = manhattan(s, mid);
   EXPECT_EQ(prefix + r2.hops(), manhattan(s, d));
-  for (const Coord2 c : r2.path) EXPECT_FALSE(f.is_faulty(c));
+  for (const Coord2 c : r2.path) EXPECT_FALSE(model.faults().is_faulty(c));
 }
 
 TEST(DynamicFaults, DetectsWhenNewFaultKillsAllMinimalCompletions) {
@@ -51,29 +60,34 @@ TEST(DynamicFaults, DetectsWhenNewFaultKillsAllMinimalCompletions) {
   for (int x = 0; x < 8; ++x)
     if (x != 4) f.set_faulty({x, 4});
   const Coord2 s{0, 0}, d{7, 7};
-  const MccModel2D before(m, f);
-  ASSERT_TRUE(before.feasible(s, d).feasible);
+  DynamicModel2D model(m, f);
+  ASSERT_TRUE(model.feasible(s, d).feasible);
 
-  f.set_faulty({4, 4});  // the corridor dies
-  const MccModel2D after(m, f);
-  EXPECT_FALSE(after.feasible(s, d).feasible);
+  ASSERT_NE(model.fail({4, 4}).epoch, 0u);  // the corridor dies
+  EXPECT_FALSE(model.feasible(s, d).feasible);
   // From any prefix position the verdict is the same.
-  EXPECT_FALSE(after.feasible({2, 2}, d).feasible);
+  EXPECT_FALSE(model.feasible({2, 2}, d).feasible);
+
+  // The repair restores the corridor — and the verdict.
+  ASSERT_NE(model.repair({4, 4}).epoch, 0u);
+  EXPECT_TRUE(model.feasible(s, d).feasible);
 }
 
 TEST(DynamicFaults, RepeatedStrikesUntilDisconnection) {
   const mesh::Mesh2D m(16, 16);
   util::Rng rng(77);
-  mesh::FaultSet2D f(m);
+  const mesh::FaultSet2D f(m);
   const Coord2 s{0, 0}, d{15, 15};
 
+  DynamicModel2D model(m, f);
   Coord2 at = s;
   int travelled = 0;
   for (int strike = 0; strike < 60; ++strike) {
-    const MccModel2D model(m, f);
     const auto feas = model.feasible(at, d);
-    const LabelField2D labels(m, f);
-    const ReachField2D oracle(m, labels, d, NodeFilter::NonFaulty);
+    // The canonical (no-flip) octant's labels ARE the labels of the
+    // current fault set; the oracle is built over them directly.
+    const LabelField2D& labels = model.octant({false, false}).labels;
+    const ReachField2D oracle(m, labels, d, core::NodeFilter::NonFaulty);
     // The model verdict from the current position always matches truth
     // (safe endpoints; the strike loop keeps at/d alive).
     if (labels.safe(at) && labels.safe(d)) {
@@ -81,8 +95,8 @@ TEST(DynamicFaults, RepeatedStrikesUntilDisconnection) {
     }
     if (!feas.feasible) return;  // disconnected: correctly detected
 
-    const auto r =
-        model.route(at, d, RouterKind::Oracle, RoutePolicy::Random, strike);
+    const auto r = model.route(at, d, core::RouterKind::Oracle,
+                               core::RoutePolicy::Random, strike);
     ASSERT_TRUE(r.delivered);
     EXPECT_EQ(travelled + r.hops(), manhattan(s, d));
 
@@ -94,8 +108,8 @@ TEST(DynamicFaults, RepeatedStrikesUntilDisconnection) {
     if (at == d) return;
     for (int tries = 0; tries < 50; ++tries) {
       const Coord2 c = m.coord(rng.pick(m.node_count()));
-      if (!f.is_faulty(c) && !(c == at) && !(c == d)) {
-        f.set_faulty(c);
+      if (!model.faults().is_faulty(c) && !(c == at) && !(c == d)) {
+        ASSERT_NE(model.fail(c).epoch, 0u);
         break;
       }
     }
@@ -103,4 +117,4 @@ TEST(DynamicFaults, RepeatedStrikesUntilDisconnection) {
 }
 
 }  // namespace
-}  // namespace mcc::core
+}  // namespace mcc

@@ -1,0 +1,814 @@
+// Dynamic-fault runtime: the randomized differential suite proving that
+// incremental maintenance (DynamicModel2D/3D driving the core event hooks)
+// is equivalent to a full rebuild after EVERY event of randomized churn
+// schedules — labels bit-identical, region partitions identical up to the
+// stable-id bijection, boundary records identical per node, feasibility
+// and routed paths identical — plus the GuidanceCache contract (epoch
+// isolation, LRU bounds, concurrent readers: the CI TSan job runs the
+// GuidanceCacheConcurrent suite), the cache-vs-nocache bit-identity of the
+// wormhole's Model mode, mid-run wormhole fault/repair events, the proto
+// record-delta replica, and the churn-schedule sampler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/model.h"
+#include "mesh/fault_injection.h"
+#include "proto/boundary_delta.h"
+#include "runtime/dynamic_model.h"
+#include "runtime/timeline.h"
+#include "sim/wormhole/driver.h"
+#include "sim/wormhole/dynamic_routing.h"
+#include "sim/wormhole/network.h"
+#include "util/rng.h"
+#include "util/scenario.h"
+
+namespace mcc {
+namespace {
+
+using core::MccModel2D;
+using core::MccModel3D;
+using mesh::Coord2;
+using mesh::Coord3;
+using runtime::DynamicModel2D;
+using runtime::DynamicModel3D;
+
+// ---------------------------------------------------------------------------
+// Differential equivalence checkers
+
+// Maps each live region id to the row-major index of its smallest cell —
+// the canonical name under which incrementally-maintained (stable-id) and
+// freshly-built (scan-order-id) regions are matched.
+template <class MeshT, class SetT>
+std::map<size_t, int> region_reps(const MeshT& mesh, const SetT& set) {
+  std::map<size_t, int> reps;
+  for (const auto& r : set.regions()) {
+    if (r.id < 0) continue;  // tombstone
+    size_t best = ~size_t{0};
+    for (const auto c : r.cells) best = std::min(best, mesh.index(c));
+    reps[best] = r.id;
+  }
+  return reps;
+}
+
+template <class CellT>
+std::vector<CellT> sorted_cells(std::vector<CellT> cells, auto&& index) {
+  std::sort(cells.begin(), cells.end(),
+            [&](const CellT& a, const CellT& b) { return index(a) < index(b); });
+  return cells;
+}
+
+void expect_equivalent2d(const mesh::Mesh2D& mesh, const DynamicModel2D& dyn,
+                         uint64_t seed, const std::string& ctx) {
+  const MccModel2D fresh(mesh, dyn.faults());
+  for (const bool fx : {false, true})
+    for (const bool fy : {false, true}) {
+      const mesh::Octant2 o{fx, fy};
+      const core::OctantModel2D& dm = dyn.octant(o);
+      const core::OctantModel2D& fm = fresh.octant(o);
+      const std::string octx = ctx + " octant " + std::to_string(o.id());
+
+      // Labels: bit-identical grids and counters.
+      ASSERT_TRUE(dm.labels.grid() == fm.labels.grid()) << octx;
+      ASSERT_EQ(dm.labels.useless_count(), fm.labels.useless_count()) << octx;
+      ASSERT_EQ(dm.labels.cant_reach_count(), fm.labels.cant_reach_count())
+          << octx;
+      ASSERT_EQ(dm.labels.ambiguous_count(), fm.labels.ambiguous_count())
+          << octx;
+
+      // Regions: identical partition up to the stable-id bijection.
+      const auto dyn_reps = region_reps(mesh, dm.mccs);
+      const auto fresh_reps = region_reps(mesh, fm.mccs);
+      ASSERT_EQ(dyn_reps.size(), fresh_reps.size()) << octx;
+      std::map<int, int> to_fresh;
+      for (const auto& [rep, did] : dyn_reps) {
+        const auto it = fresh_reps.find(rep);
+        ASSERT_TRUE(it != fresh_reps.end()) << octx;
+        to_fresh[did] = it->second;
+
+        const core::MccRegion2D& dr = dm.mccs.region(did);
+        const core::MccRegion2D& fr = fm.mccs.region(it->second);
+        ASSERT_EQ(dr.x0, fr.x0) << octx;
+        ASSERT_EQ(dr.x1, fr.x1) << octx;
+        ASSERT_EQ(dr.y0, fr.y0) << octx;
+        ASSERT_EQ(dr.y1, fr.y1) << octx;
+        ASSERT_EQ(dr.bot, fr.bot) << octx;
+        ASSERT_EQ(dr.top, fr.top) << octx;
+        ASSERT_EQ(dr.left, fr.left) << octx;
+        ASSERT_EQ(dr.right, fr.right) << octx;
+        ASSERT_EQ(dr.faulty_cells, fr.faulty_cells) << octx;
+        ASSERT_EQ(dr.healthy_cells, fr.healthy_cells) << octx;
+        const auto idx = [&](Coord2 c) { return mesh.index(c); };
+        ASSERT_EQ(sorted_cells(dr.cells, idx), sorted_cells(fr.cells, idx))
+            << octx;
+      }
+      for (size_t i = 0; i < mesh.node_count(); ++i) {
+        const Coord2 c = mesh.coord(i);
+        const int did = dm.mccs.region_at(c);
+        const int fid = fm.mccs.region_at(c);
+        if (did < 0) {
+          ASSERT_EQ(fid, -1) << octx << " cell " << c.x << "," << c.y;
+        } else {
+          ASSERT_EQ(to_fresh.at(did), fid) << octx << " cell " << c.x << ","
+                                           << c.y;
+        }
+      }
+
+      // Walls: identical walks and (mapped) merge chains per live region.
+      for (const auto& [did, fid] : to_fresh) {
+        for (int pass = 0; pass < 2; ++pass) {
+          const core::Wall2D& dw =
+              pass == 0 ? dm.boundary.y_wall(did) : dm.boundary.x_wall(did);
+          const core::Wall2D& fw =
+              pass == 0 ? fm.boundary.y_wall(fid) : fm.boundary.x_wall(fid);
+          ASSERT_EQ(dw.exists, fw.exists) << octx << " wall of " << did;
+          ASSERT_EQ(dw.complete, fw.complete) << octx;
+          ASSERT_EQ(dw.path.size(), fw.path.size()) << octx;
+          for (size_t k = 0; k < dw.path.size(); ++k)
+            ASSERT_TRUE(dw.path[k] == fw.path[k]) << octx;
+          ASSERT_EQ(dw.chain.size(), fw.chain.size()) << octx;
+          for (size_t k = 0; k < dw.chain.size(); ++k)
+            ASSERT_EQ(to_fresh.at(dw.chain[k]), fw.chain[k]) << octx;
+        }
+      }
+
+      // Records: identical per-node multisets under the id bijection.
+      ASSERT_EQ(dm.boundary.record_count(), fm.boundary.record_count())
+          << octx;
+      ASSERT_EQ(dm.boundary.nodes_with_records(),
+                fm.boundary.nodes_with_records())
+          << octx;
+      using CanonRec = std::pair<std::pair<int, int>, std::vector<int>>;
+      for (size_t i = 0; i < mesh.node_count(); ++i) {
+        const Coord2 c = mesh.coord(i);
+        auto canon = [&](const std::vector<core::Record2D>& recs,
+                         bool map_ids) {
+          std::vector<CanonRec> out;
+          for (const core::Record2D& r : recs) {
+            std::vector<int> chain = *r.chain;
+            int owner = r.owner;
+            if (map_ids) {
+              owner = to_fresh.at(owner);
+              for (int& id : chain) id = to_fresh.at(id);
+            }
+            out.push_back({{owner, static_cast<int>(r.guard)}, chain});
+          }
+          std::sort(out.begin(), out.end());
+          return out;
+        };
+        ASSERT_EQ(canon(dm.boundary.records_at(c), true),
+                  canon(fm.boundary.records_at(c), false))
+            << octx << " records at " << c.x << "," << c.y;
+      }
+    }
+
+  // Feasibility + routed paths over arbitrary-orientation pairs.
+  util::Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  for (int t = 0; t < 24; ++t) {
+    const Coord2 s{rng.uniform_int(0, mesh.nx() - 1),
+                   rng.uniform_int(0, mesh.ny() - 1)};
+    const Coord2 d{rng.uniform_int(0, mesh.nx() - 1),
+                   rng.uniform_int(0, mesh.ny() - 1)};
+    const auto df = dyn.feasible(s, d);
+    const auto ff = fresh.feasible(s, d);
+    ASSERT_EQ(df.feasible, ff.feasible) << ctx;
+    ASSERT_EQ(static_cast<int>(df.basis), static_cast<int>(ff.basis)) << ctx;
+    if (!df.feasible) continue;
+    const auto dr = dyn.route(s, d, core::RouterKind::Records,
+                              core::RoutePolicy::Balanced, seed + t);
+    const auto fr = fresh.route(s, d, core::RouterKind::Records,
+                                core::RoutePolicy::Balanced, seed + t);
+    ASSERT_EQ(dr.delivered, fr.delivered) << ctx;
+    ASSERT_EQ(dr.path.size(), fr.path.size()) << ctx;
+    for (size_t k = 0; k < dr.path.size(); ++k)
+      ASSERT_TRUE(dr.path[k] == fr.path[k]) << ctx;
+  }
+}
+
+void expect_equivalent3d(const mesh::Mesh3D& mesh, const DynamicModel3D& dyn,
+                         uint64_t seed, const std::string& ctx) {
+  const MccModel3D fresh(mesh, dyn.faults());
+  for (int id = 0; id < 8; ++id) {
+    const mesh::Octant3 o{(id & 1) != 0, (id & 2) != 0, (id & 4) != 0};
+    const core::OctantModel3D& dm = dyn.octant(o);
+    const core::OctantModel3D& fm = fresh.octant(o);
+    const std::string octx = ctx + " octant " + std::to_string(id);
+
+    ASSERT_TRUE(dm.labels.grid() == fm.labels.grid()) << octx;
+    ASSERT_EQ(dm.labels.useless_count(), fm.labels.useless_count()) << octx;
+    ASSERT_EQ(dm.labels.cant_reach_count(), fm.labels.cant_reach_count())
+        << octx;
+
+    const auto dyn_reps = region_reps(mesh, dm.mccs);
+    const auto fresh_reps = region_reps(mesh, fm.mccs);
+    ASSERT_EQ(dyn_reps.size(), fresh_reps.size()) << octx;
+    std::map<int, int> to_fresh;
+    for (const auto& [rep, did] : dyn_reps) {
+      const auto it = fresh_reps.find(rep);
+      ASSERT_TRUE(it != fresh_reps.end()) << octx;
+      to_fresh[did] = it->second;
+
+      const core::MccRegion3D& dr = dm.mccs.region(did);
+      const core::MccRegion3D& fr = fm.mccs.region(it->second);
+      ASSERT_EQ(dr.x0, fr.x0) << octx;
+      ASSERT_EQ(dr.x1, fr.x1) << octx;
+      ASSERT_EQ(dr.y0, fr.y0) << octx;
+      ASSERT_EQ(dr.y1, fr.y1) << octx;
+      ASSERT_EQ(dr.z0, fr.z0) << octx;
+      ASSERT_EQ(dr.z1, fr.z1) << octx;
+      ASSERT_TRUE(dr.z_span == fr.z_span) << octx;
+      ASSERT_TRUE(dr.y_span == fr.y_span) << octx;
+      ASSERT_TRUE(dr.x_span == fr.x_span) << octx;
+      ASSERT_EQ(dr.faulty_cells, fr.faulty_cells) << octx;
+      ASSERT_EQ(dr.healthy_cells, fr.healthy_cells) << octx;
+      const auto idx = [&](Coord3 c) { return mesh.index(c); };
+      ASSERT_EQ(sorted_cells(dr.cells, idx), sorted_cells(fr.cells, idx))
+          << octx;
+    }
+    for (size_t i = 0; i < mesh.node_count(); ++i) {
+      const Coord3 c = mesh.coord(i);
+      const int did = dm.mccs.region_at(c);
+      const int fid = fm.mccs.region_at(c);
+      if (did < 0) {
+        ASSERT_EQ(fid, -1) << octx;
+      } else {
+        ASSERT_EQ(to_fresh.at(did), fid) << octx;
+      }
+    }
+  }
+
+  util::Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  for (int t = 0; t < 16; ++t) {
+    const Coord3 s{rng.uniform_int(0, mesh.nx() - 1),
+                   rng.uniform_int(0, mesh.ny() - 1),
+                   rng.uniform_int(0, mesh.nz() - 1)};
+    const Coord3 d{rng.uniform_int(0, mesh.nx() - 1),
+                   rng.uniform_int(0, mesh.ny() - 1),
+                   rng.uniform_int(0, mesh.nz() - 1)};
+    const auto df = dyn.feasible(s, d);
+    const auto ff = fresh.feasible(s, d);
+    ASSERT_EQ(df.feasible, ff.feasible) << ctx;
+    ASSERT_EQ(static_cast<int>(df.basis), static_cast<int>(ff.basis)) << ctx;
+    if (!df.feasible) continue;
+    const auto dr = dyn.route(s, d, core::RouterKind::Oracle,
+                              core::RoutePolicy::Random, seed + t);
+    const auto fr = fresh.route(s, d, core::RouterKind::Oracle,
+                                core::RoutePolicy::Random, seed + t);
+    ASSERT_EQ(dr.delivered, fr.delivered) << ctx;
+    ASSERT_EQ(dr.path.size(), fr.path.size()) << ctx;
+    for (size_t k = 0; k < dr.path.size(); ++k)
+      ASSERT_TRUE(dr.path[k] == fr.path[k]) << ctx;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential churn (the acceptance gate: 200+ schedules)
+
+TEST(DynamicRuntime2D, DifferentialChurn) {
+  int schedules = 0;
+  for (const int size : {8, 12, 16})
+    for (const double rate : {0.04, 0.08, 0.14})
+      for (int rep = 0; rep < 14; ++rep) {
+        const uint64_t seed =
+            0x2D00 + static_cast<uint64_t>(size) * 1000 +
+            static_cast<uint64_t>(rate * 1000) * 131 + static_cast<uint64_t>(rep);
+        util::Rng rng(seed);
+        const mesh::Mesh2D mesh(size, size);
+        const mesh::FaultSet2D initial =
+            mesh::inject_uniform(mesh, rate, rng);
+        DynamicModel2D dyn(mesh, initial);
+
+        util::ChurnParams p;
+        p.rate = 0.02;
+        p.horizon = 400;
+        p.repair_min = 40;
+        p.repair_max = 200;
+        const auto timeline =
+            runtime::FaultTimeline2D::sample(mesh, initial, rng, p);
+        ++schedules;
+
+        int ev = 0;
+        for (const auto& e : timeline.events()) {
+          const auto rep_before = dyn.epoch();
+          if (e.repair)
+            dyn.repair(e.node);
+          else
+            dyn.fail(e.node);
+          ASSERT_EQ(dyn.epoch(), rep_before + 1);
+          expect_equivalent2d(mesh, dyn, seed + static_cast<uint64_t>(ev),
+                              "seed " + std::to_string(seed) + " event " +
+                                  std::to_string(ev));
+          if (HasFatalFailure()) return;
+          ++ev;
+        }
+      }
+  EXPECT_GE(schedules, 126);
+}
+
+TEST(DynamicRuntime3D, DifferentialChurn) {
+  int schedules = 0;
+  for (const int size : {5, 6, 7})
+    for (const double rate : {0.04, 0.08})
+      for (int rep = 0; rep < 17; ++rep) {
+        const uint64_t seed =
+            0x3D00 + static_cast<uint64_t>(size) * 1000 +
+            static_cast<uint64_t>(rate * 1000) * 131 + static_cast<uint64_t>(rep);
+        util::Rng rng(seed);
+        const mesh::Mesh3D mesh(size, size, size);
+        const mesh::FaultSet3D initial =
+            mesh::inject_uniform(mesh, rate, rng);
+        DynamicModel3D dyn(mesh, initial);
+
+        util::ChurnParams p;
+        p.rate = 0.03;
+        p.horizon = 300;
+        p.repair_min = 30;
+        p.repair_max = 150;
+        const auto timeline =
+            runtime::FaultTimeline3D::sample(mesh, initial, rng, p);
+        ++schedules;
+
+        int ev = 0;
+        for (const auto& e : timeline.events()) {
+          if (e.repair)
+            dyn.repair(e.node);
+          else
+            dyn.fail(e.node);
+          expect_equivalent3d(mesh, dyn, seed + static_cast<uint64_t>(ev),
+                              "seed " + std::to_string(seed) + " event " +
+                                  std::to_string(ev));
+          if (HasFatalFailure()) return;
+          ++ev;
+        }
+      }
+  EXPECT_GE(schedules, 102);
+}
+
+// Dense interlocked patterns push the label fixpoint into its ambiguous
+// (doubly-blocked) regime, where the hooks must take the constructor-
+// equivalent fallback — the differential contract must hold there too.
+TEST(DynamicRuntime2D, DenseChurnExercisesFallback) {
+  for (int rep = 0; rep < 10; ++rep) {
+    const uint64_t seed = 0xD05E + static_cast<uint64_t>(rep);
+    util::Rng rng(seed);
+    const mesh::Mesh2D mesh(10, 10);
+    const mesh::FaultSet2D initial = mesh::inject_uniform(mesh, 0.25, rng);
+    DynamicModel2D dyn(mesh, initial);
+
+    util::ChurnParams p;
+    p.rate = 0.05;
+    p.horizon = 300;
+    p.repair_min = 20;
+    p.repair_max = 120;
+    const auto timeline =
+        runtime::FaultTimeline2D::sample(mesh, initial, rng, p);
+    int ev = 0;
+    for (const auto& e : timeline.events()) {
+      if (e.repair)
+        dyn.repair(e.node);
+      else
+        dyn.fail(e.node);
+      expect_equivalent2d(mesh, dyn, seed + static_cast<uint64_t>(ev),
+                          "dense seed " + std::to_string(seed) + " event " +
+                              std::to_string(ev));
+      if (HasFatalFailure()) return;
+      ++ev;
+    }
+  }
+}
+
+TEST(DynamicRuntime2D, NoOpEventsDoNotBumpEpoch) {
+  const mesh::Mesh2D mesh(8, 8);
+  mesh::FaultSet2D f(mesh);
+  f.set_faulty({3, 3});
+  DynamicModel2D dyn(mesh, f);
+  const uint64_t e0 = dyn.epoch();
+  EXPECT_EQ(dyn.fail({3, 3}).epoch, 0u);       // already faulty
+  EXPECT_EQ(dyn.repair({5, 5}).epoch, 0u);     // healthy
+  EXPECT_EQ(dyn.epoch(), e0);
+  EXPECT_NE(dyn.repair({3, 3}).epoch, 0u);
+  EXPECT_EQ(dyn.epoch(), e0 + 1);
+}
+
+TEST(DynamicRuntime2D, EventReportNamesAffectedStructures) {
+  const mesh::Mesh2D mesh(12, 12);
+  mesh::FaultSet2D f(mesh);
+  f.set_faulty({4, 4});
+  f.set_faulty({6, 4});
+  DynamicModel2D dyn(mesh, f);
+  // Bridging the gap merges two single-cell regions into one.
+  const auto rep = dyn.fail({5, 4});
+  ASSERT_NE(rep.epoch, 0u);
+  const auto& delta = rep.octants[0];  // canonical (no-flip) quadrant
+  EXPECT_GE(delta.relabeled.size(), 1u);
+  EXPECT_EQ(delta.regions.removed.size(), 2u);
+  EXPECT_EQ(delta.regions.added.size(), 1u);
+  EXPECT_GE(rep.walls_rebuilt(), 1u);
+
+  // Un-bridging splits it again.
+  const auto rep2 = dyn.repair({5, 4});
+  ASSERT_NE(rep2.epoch, 0u);
+  EXPECT_EQ(rep2.octants[0].regions.removed.size(), 1u);
+  EXPECT_EQ(rep2.octants[0].regions.added.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// GuidanceCache
+
+TEST(GuidanceCache, HitMissAndEpochIsolation) {
+  const mesh::Mesh2D mesh(8, 8);
+  const mesh::FaultSet2D faults(mesh);
+  const core::LabelField2D labels(mesh, faults);
+  runtime::GuidanceCache2D cache(64, 4);
+
+  int builds = 0;
+  auto build = [&] {
+    ++builds;
+    return core::ReachField2D(mesh, labels, {7, 7},
+                              core::NodeFilter::SafeOnly);
+  };
+  const auto f1 = cache.get_or_build(1, 0, mesh.index({7, 7}), build);
+  const auto f2 = cache.get_or_build(1, 0, mesh.index({7, 7}), build);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(f1.get(), f2.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // A new epoch can never be served the old field.
+  const auto f3 = cache.get_or_build(2, 0, mesh.index({7, 7}), build);
+  EXPECT_EQ(builds, 2);
+  EXPECT_NE(f3.get(), f1.get());
+
+  // Distinct octants and destinations are distinct entries.
+  cache.get_or_build(2, 1, mesh.index({7, 7}), build);
+  cache.get_or_build(2, 0, mesh.index({6, 6}), build);
+  EXPECT_EQ(builds, 4);
+
+  // clear() (what the model does on every event) drops everything.
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(GuidanceCache, LruEvictionRespectsCapacity) {
+  const mesh::Mesh2D mesh(6, 6);
+  const mesh::FaultSet2D faults(mesh);
+  const core::LabelField2D labels(mesh, faults);
+  runtime::GuidanceCache2D cache(8, 2);  // 4 entries per shard
+
+  for (int x = 0; x < 6; ++x)
+    for (int y = 0; y < 6; ++y)
+      cache.get_or_build(1, 0, mesh.index({x, y}), [&] {
+        return core::ReachField2D(mesh, labels, {x, y},
+                                  core::NodeFilter::SafeOnly);
+      });
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(GuidanceCacheConcurrent, SharedReadersAreRaceFree) {
+  const mesh::Mesh2D mesh(12, 12);
+  util::Rng seed_rng(99);
+  const mesh::FaultSet2D faults = mesh::inject_uniform(mesh, 0.08, seed_rng);
+  const core::LabelField2D labels(mesh, faults);
+  runtime::GuidanceCache2D cache(32, 4);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> workers;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Rng rng(1000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kIters; ++i) {
+        const Coord2 d{rng.uniform_int(4, mesh.nx() - 1),
+                       rng.uniform_int(4, mesh.ny() - 1)};
+        const uint64_t epoch = 1 + (i % 3);
+        const auto field =
+            cache.get_or_build(epoch, 0, mesh.index(d), [&] {
+              return core::ReachField2D(mesh, labels, d,
+                                        core::NodeFilter::SafeOnly);
+            });
+        // Every served field must be the right one for its key.
+        if (!(field->destination() == d)) mismatches.fetch_add(1);
+        if (field->feasible(d) !=
+            (labels.state(d) != core::NodeState::Faulty))
+          mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const auto st = cache.stats();
+  EXPECT_EQ(st.hits + st.misses,
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+// ---------------------------------------------------------------------------
+// Wormhole: cached Model mode must be bit-identical to the per-hop sweep
+
+TEST(WormholeModelCache, CachedAndNocacheRunsBitIdentical) {
+  const mesh::Mesh3D mesh(8, 8, 8);
+  util::Rng rng(404);
+  const mesh::FaultSet3D faults = mesh::inject_clustered(mesh, 24, 3, rng);
+
+  sim::wh::Config cfg;
+  sim::wh::LoadPoint load;
+  load.rate = 0.02;
+  load.warmup = 200;
+  load.measure = 600;
+  load.drain = 20000;
+
+  sim::wh::MccRouting3D cached(mesh, faults, sim::wh::GuidanceMode::Model,
+                               true);
+  sim::wh::MccRouting3D nocache(mesh, faults, sim::wh::GuidanceMode::Model,
+                                false);
+  const auto a = sim::wh::run_load_point3d(
+      mesh, faults, cached, sim::wh::Pattern::Uniform, cfg,
+      core::RoutePolicy::Random, load, 7);
+  const auto b = sim::wh::run_load_point3d(
+      mesh, faults, nocache, sim::wh::Pattern::Uniform, cfg,
+      core::RoutePolicy::Random, load, 7);
+
+  EXPECT_EQ(a.delivered_packets, b.delivered_packets);
+  EXPECT_EQ(a.offered_flits, b.offered_flits);
+  EXPECT_EQ(a.accepted_flits, b.accepted_flits);
+  EXPECT_EQ(a.avg_latency, b.avg_latency);
+  EXPECT_EQ(a.p99_latency, b.p99_latency);
+  EXPECT_EQ(a.max_latency, b.max_latency);
+  EXPECT_EQ(a.filtered, b.filtered);
+  EXPECT_EQ(a.wedged_head_cycles, b.wedged_head_cycles);
+  EXPECT_EQ(a.violations, 0u);
+  EXPECT_EQ(b.violations, 0u);
+  EXPECT_TRUE(a.drained);
+  // The cached run must actually have exercised the cache.
+  EXPECT_GT(cached.cache().stats().hits, 0u);
+  EXPECT_EQ(nocache.cache().stats().hits + nocache.cache().stats().misses,
+            0u);
+}
+
+// ---------------------------------------------------------------------------
+// Wormhole churn: mid-run fault/repair events
+
+TEST(WormholeDynamic, ChurnRunDrainsCleanAndDeterministic) {
+  const mesh::Mesh3D mesh(6, 6, 6);
+  util::Rng rng(777);
+  const mesh::FaultSet3D initial = mesh::inject_uniform(mesh, 0.03, rng);
+
+  util::ChurnParams p;
+  p.rate = 0.01;
+  p.horizon = 700;
+  p.repair_min = 60;
+  p.repair_max = 300;
+
+  sim::wh::Config cfg;
+  sim::wh::LoadPoint load;
+  load.rate = 0.02;
+  load.warmup = 100;
+  load.measure = 600;
+  load.drain = 20000;
+
+  auto run_once = [&] {
+    util::Rng trng(778);
+    runtime::DynamicModel3D model(mesh, initial);
+    sim::wh::DynamicMccRouting3D routing(model);
+    const auto timeline =
+        runtime::FaultTimeline3D::sample(mesh, initial, trng, p);
+    return sim::wh::run_churn_load_point3d(model, routing,
+                                           sim::wh::Pattern::Uniform, cfg,
+                                           core::RoutePolicy::Random, load,
+                                           timeline, 42);
+  };
+  const auto r1 = run_once();
+  const auto r2 = run_once();
+
+  EXPECT_GT(r1.fault_events, 0u);
+  EXPECT_GT(r1.sim.delivered_packets, 0u);
+  EXPECT_EQ(r1.sim.violations, 0u);
+  EXPECT_TRUE(r1.sim.drained);
+  EXPECT_FALSE(r1.sim.deadlocked);
+  EXPECT_GT(r1.cache.hits, 0u);
+
+  // Deterministic given identical seeds/timeline.
+  EXPECT_EQ(r1.sim.delivered_packets, r2.sim.delivered_packets);
+  EXPECT_EQ(r1.sim.avg_latency, r2.sim.avg_latency);
+  EXPECT_EQ(r1.dropped_packets, r2.dropped_packets);
+  EXPECT_EQ(r1.fault_events, r2.fault_events);
+  EXPECT_EQ(r1.repair_events, r2.repair_events);
+}
+
+TEST(WormholeDynamic, CreditConservationHoldsAcrossEvents) {
+  const mesh::Mesh2D mesh(8, 8);
+  const mesh::FaultSet2D faults(mesh);
+  runtime::DynamicModel2D model(mesh, faults);
+  sim::wh::DynamicMccRouting2D routing(model);
+  sim::wh::Config cfg;
+  cfg.drop_infeasible = true;
+  sim::wh::Network2D net(mesh, model.faults(), routing, cfg,
+                         core::RoutePolicy::Random, 5);
+
+  util::Rng rng(55);
+  std::string err;
+  auto inject_some = [&] {
+    for (int k = 0; k < 6; ++k) {
+      const Coord2 s{rng.uniform_int(0, 7), rng.uniform_int(0, 7)};
+      const Coord2 d{rng.uniform_int(0, 7), rng.uniform_int(0, 7)};
+      if (!(s == d) && routing.feasible(s, d)) net.inject(s, d);
+    }
+  };
+  const Coord2 victims[] = {{3, 3}, {4, 2}, {5, 5}};
+  for (const Coord2 v : victims) {
+    inject_some();
+    for (int c = 0; c < 12; ++c) {
+      net.step();
+      ASSERT_TRUE(net.check_credits(&err)) << err;
+    }
+    model.fail(v);
+    net.apply_fault(v);
+    ASSERT_TRUE(net.check_credits(&err)) << "after fault: " << err;
+    for (int c = 0; c < 12; ++c) {
+      net.step();
+      ASSERT_TRUE(net.check_credits(&err)) << err;
+    }
+    model.repair(v);
+    net.apply_repair(v);
+    ASSERT_TRUE(net.check_credits(&err)) << "after repair: " << err;
+  }
+  for (int c = 0; c < 3000 && !net.idle(); ++c) {
+    net.step();
+    ASSERT_TRUE(net.check_credits(&err)) << err;
+  }
+  EXPECT_TRUE(net.idle());
+  EXPECT_EQ(net.stats().violations.size(), 0u);
+}
+
+// Regression: a worm whose tail has already left a node keeps flits
+// buffered downstream of it and is (correctly) NOT flushed when that node
+// dies. Draining those flits must not return credits into the dead node's
+// cleared state, and a repair must re-debit them against the revived
+// node's fresh counters instead of granting the full buffer depth. Both
+// variants — fault-then-drain and fault+repair-then-drain — are swept
+// over every strike cycle of the worm's transit.
+TEST(WormholeDynamic, SurvivingDownstreamFlitsAcrossFaultAndRepair) {
+  const mesh::Mesh2D mesh(5, 1);
+  const mesh::FaultSet2D none(mesh);
+  const Coord2 victim{2, 0};
+  sim::wh::Config cfg;
+  cfg.packet_size = 6;
+  cfg.buffer_depth = 8;
+  cfg.drop_infeasible = true;
+
+  std::string err;
+  for (const bool repair : {false, true}) {
+    for (int k = 1; k <= 20; ++k) {
+      runtime::DynamicModel2D model(mesh, none);
+      sim::wh::DynamicMccRouting2D routing(model);
+      sim::wh::Network2D net(mesh, model.faults(), routing, cfg,
+                             core::RoutePolicy::XFirst, 1);
+      ASSERT_TRUE(routing.feasible({0, 0}, {4, 0}));
+      net.inject({0, 0}, {4, 0});
+      for (int c = 0; c < k; ++c) net.step();
+
+      model.fail(victim);
+      net.apply_fault(victim);
+      ASSERT_TRUE(net.check_credits(&err)) << "k=" << k << " fault: " << err;
+      if (repair) {
+        model.repair(victim);
+        net.apply_repair(victim);
+        ASSERT_TRUE(net.check_credits(&err))
+            << "k=" << k << " repair: " << err;
+      }
+
+      for (int c = 0; c < 200 && !net.idle(); ++c) {
+        net.step();
+        ASSERT_TRUE(net.check_credits(&err))
+            << "k=" << k << " repair=" << repair << ": " << err;
+      }
+      EXPECT_TRUE(net.idle()) << "k=" << k << " repair=" << repair;
+      EXPECT_EQ(net.stats().violations.size(), 0u) << "k=" << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Proto: record deltas keep a replica bit-equal to the authoritative store
+
+TEST(BoundaryDelta, ReplicaStaysConsistentAcrossChurn) {
+  const uint64_t seed = 0xBDE1;
+  util::Rng rng(seed);
+  const mesh::Mesh2D mesh(14, 14);
+  const mesh::FaultSet2D initial = mesh::inject_uniform(mesh, 0.08, rng);
+  DynamicModel2D dyn(mesh, initial);
+
+  // Replicate the canonical (no-flip) quadrant's record store.
+  const mesh::Octant2 canon{false, false};
+  proto::RecordReplica2D replica(mesh);
+  replica.snapshot(dyn.octant(canon).boundary);
+
+  util::ChurnParams p;
+  p.rate = 0.03;
+  p.horizon = 400;
+  p.repair_min = 30;
+  p.repair_max = 150;
+  const auto timeline = runtime::FaultTimeline2D::sample(mesh, initial, rng, p);
+  ASSERT_FALSE(timeline.events().empty());
+
+  size_t total_payload = 0;
+  for (const auto& e : timeline.events()) {
+    const auto rep = e.repair ? dyn.repair(e.node) : dyn.fail(e.node);
+    if (rep.epoch == 0) continue;
+    const auto delta = proto::make_boundary_delta(
+        dyn.octant(canon).boundary, rep.octants[canon.id()].boundary);
+    total_payload += delta.payload_ints();
+    replica.apply(delta);
+
+    // Replica == authoritative, node by node (order-insensitive).
+    const auto& authoritative = dyn.octant(canon).boundary;
+    ASSERT_EQ(replica.record_count(), authoritative.record_count());
+    for (size_t i = 0; i < mesh.node_count(); ++i) {
+      const Coord2 c = mesh.coord(i);
+      auto canon_auth = [&] {
+        std::vector<std::pair<std::pair<int, int>, std::vector<int>>> out;
+        for (const core::Record2D& r : authoritative.records_at(c))
+          out.push_back({{r.owner, static_cast<int>(r.guard)}, *r.chain});
+        std::sort(out.begin(), out.end());
+        return out;
+      }();
+      auto canon_rep = [&] {
+        std::vector<std::pair<std::pair<int, int>, std::vector<int>>> out;
+        for (const auto& r : replica.records_at(c))
+          out.push_back({{r.owner, static_cast<int>(r.guard)}, r.chain});
+        std::sort(out.begin(), out.end());
+        return out;
+      }();
+      ASSERT_EQ(canon_rep, canon_auth)
+          << "node " << c.x << "," << c.y << " after event at " << e.node.x
+          << "," << e.node.y;
+    }
+  }
+  // Deltas must be incremental: far below re-broadcasting every record.
+  EXPECT_GT(total_payload, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Churn sampler properties
+
+TEST(ChurnSampler, SortedBoundedAndConsistent) {
+  const mesh::Mesh3D mesh(8, 8, 8);
+  util::Rng rng(31337);
+  util::ChurnParams p;
+  p.rate = 0.05;
+  p.horizon = 2000;
+  p.repair_min = 50;
+  p.repair_max = 400;
+  const auto events =
+      util::sample_churn(mesh, rng, p, [](Coord3) { return true; });
+  ASSERT_FALSE(events.empty());
+
+  std::map<size_t, uint64_t> down_since;  // node -> fault cycle
+  uint64_t prev = 0;
+  for (const auto& e : events) {
+    EXPECT_GE(e.cycle, prev);
+    prev = e.cycle;
+    if (!e.repair) {
+      // Never strike a node that is already down.
+      EXPECT_FALSE(down_since.count(e.node)) << "node " << e.node;
+      down_since[e.node] = e.cycle;
+    } else {
+      ASSERT_TRUE(down_since.count(e.node));
+      const uint64_t delay = e.cycle - down_since[e.node];
+      EXPECT_GE(delay, p.repair_min);
+      EXPECT_LE(delay, p.repair_max);
+      down_since.erase(e.node);
+    }
+  }
+
+  // Fault count should be in the right ballpark for a Poisson process.
+  size_t fault_count = 0;
+  for (const auto& e : events)
+    if (!e.repair) ++fault_count;
+  const double expected = p.rate * static_cast<double>(p.horizon);
+  EXPECT_GT(static_cast<double>(fault_count), expected * 0.5);
+  EXPECT_LT(static_cast<double>(fault_count), expected * 1.5);
+}
+
+TEST(ChurnSampler, RespectsProtectedNodes) {
+  const mesh::Mesh2D mesh(6, 6);
+  util::Rng rng(9);
+  util::ChurnParams p;
+  p.rate = 0.1;
+  p.horizon = 500;
+  const Coord2 protected_node{0, 0};
+  const auto events = util::sample_churn(
+      mesh, rng, p, [&](Coord2 c) { return !(c == protected_node); });
+  for (const auto& e : events)
+    EXPECT_NE(e.node, mesh.index(protected_node));
+}
+
+}  // namespace
+}  // namespace mcc
