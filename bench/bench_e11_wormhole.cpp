@@ -1,95 +1,26 @@
 // E11 — flit-level wormhole evaluation: latency-throughput curves for the
 // MCC-guided adaptive minimal router under sustained traffic, with and
-// without injected fault regions. This extends the paper's E7-E9 evaluation
-// (path existence, construction cost, path quality) with the dimension a
-// production interconnect is actually judged by: saturation behavior under
-// load, congestion around fault regions, and deadlock-free drainage.
-// Deterministic given the seed constants below; rerunning reproduces the
-// tables bit for bit.
+// without injected fault regions.
+//
+// Thin front over the experiment API: the scenario (mesh, fault
+// environments, traffic patterns, load points, seeds — and its CI smoke
+// shape via smoke.* pins) lives in configs/e11_wormhole.cfg; this main
+// adds only the BENCH_*.json emission. Output is byte-identical with the
+// pre-redesign bench (tests/test_api_differential.cc pins it).
 #include <iostream>
-#include <string>
 
-#include "bench/common.h"
-#include "mesh/fault_injection.h"
-#include "sim/wormhole/driver.h"
-#include "util/table.h"
+#include "api/experiment.h"
 
-int main() {
+int main() try {
   using namespace mcc;
-  using sim::wh::Config;
-  using sim::wh::GuidanceMode;
-  using sim::wh::LoadPoint;
-  using sim::wh::Pattern;
-  using sim::wh::SimResult;
-
-  const bool smoke = bench::smoke();
-  const int k = smoke ? 5 : 8;
-  const mesh::Mesh3D m(k, k, k);
-
-  const std::vector<double> rates =
-      smoke ? std::vector<double>{0.01}
-            : std::vector<double>{0.002, 0.005, 0.01, 0.02, 0.035, 0.05};
-  const Pattern patterns[] = {Pattern::Uniform, Pattern::Transpose,
-                              Pattern::BitComplement, Pattern::Hotspot};
-
-  Config cfg;
-  cfg.vcs_per_class = 2;
-  cfg.buffer_depth = 4;
-  cfg.packet_size = 4;
-  LoadPoint base;
-  base.warmup = smoke ? 100 : 500;
-  base.measure = smoke ? 300 : 2000;
-  base.drain = smoke ? 10000 : 30000;
-
-  std::cout << "# E11: wormhole latency-throughput (" << k << "x" << k << "x"
-            << k << " mesh, " << cfg.packet_size << "-flit packets, "
-            << cfg.vcs_per_class << " VCs/class, depth " << cfg.buffer_depth
-            << ")\n";
-
-  for (const bool faulty : {false, true}) {
-    mesh::FaultSet3D f(m);
-    if (faulty) {
-      util::Rng frng(0xE11);
-      f = mesh::inject_clustered(m, smoke ? 8 : 30, 3, frng);
-    }
-    sim::wh::MccRouting3D routing(m, f, GuidanceMode::Model);
-
-    std::cout << "\n## " << (faulty ? "clustered MCC fault regions ("
-                                    : "fault-free (")
-              << f.count() << " dead nodes)\n\n";
-    util::Table t({"pattern", "offered (f/n/c)", "accepted (f/n/c)",
-                   "avg lat", "p99 lat", "max lat", "packets", "filtered",
-                   "state"});
-    for (const Pattern p : patterns) {
-      for (const double rate : rates) {
-        LoadPoint load = base;
-        load.rate = rate;
-        const SimResult r = sim::wh::run_load_point3d(
-            m, f, routing, p, cfg, core::RoutePolicy::Random, load,
-            0xE1100 + static_cast<uint64_t>(rate * 10000));
-        t.add_row({to_string(p), util::Table::fmt(r.offered_flits, 4),
-                   util::Table::fmt(r.accepted_flits, 4),
-                   util::Table::fmt(r.avg_latency, 1),
-                   std::to_string(r.p99_latency),
-                   std::to_string(r.max_latency),
-                   std::to_string(r.delivered_packets),
-                   std::to_string(r.filtered),
-                   std::string(r.violations   ? "VIOLATION"
-                               : r.deadlocked ? "DEADLOCK"
-                               : !r.drained   ? "backlogged"
-                               : r.saturated  ? "saturated"
-                                              : "stable")});
-        if (r.violations != 0 || r.deadlocked) return 1;  // must never happen
-      }
-    }
-    t.render(std::cout);
-  }
-
-  std::cout << "\nExpected shape: latency flat near zero-load, rising toward "
-               "the saturation knee; fault regions\nlower the knee (fewer "
-               "links, detours concentrate load around MCC boundaries) and "
-               "raise p99 first.\nEvery load point drains completely after "
-               "injection stops — the VC-class scheme keeps the\nadaptive "
-               "router deadlock-free even past saturation.\n";
-  return 0;
+  api::Configuration cfg;
+  cfg.load_file(std::string(MCC_CONFIG_DIR) + "/e11_wormhole.cfg");
+  api::RunReport report = api::Experiment(std::move(cfg)).run();
+  report.render(std::cout);
+  api::RunReport::write_bench_json("BENCH_e11_wormhole.json", "e11_wormhole",
+                                   {&report});
+  return report.failed() ? 1 : 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
 }

@@ -1,233 +1,41 @@
-// E12 — dynamic-fault runtime: cost of absorbing a fault/repair event.
+// E12 — dynamic-fault runtime: cost of absorbing a fault/repair event
+// (parts A1/A2, incremental vs rebuild, via driver=event_cost) and the
+// wormhole under live churn over the epoch-versioned guidance cache
+// (part B, driver=wormhole_churn).
 //
-// Part A sweeps churn over 2-D and 3-D meshes (up to 16^3) at several
-// initial fault rates and measures, per event, the incremental update
-// (DynamicModel: cascade relabel + region merge/split + wall rebuilds +
-// record deltas) against a full rebuild (fresh MccModel with every octant
-// forced), plus the proto-layer record-delta payload a distributed
-// deployment would broadcast (2-D). Part B runs the wormhole simulator
-// under live churn with the epoch-versioned GuidanceCache serving every
-// per-hop decision and reports delivery/drop behavior and cache hit rates.
-// Deterministic given the seed constants; rerunning reproduces the tables
-// bit for bit (timings vary, counts do not).
-#include <chrono>
+// Thin front over the experiment API: the three scenarios live in
+// configs/e12_event2d.cfg, e12_event3d.cfg and e12_churn.cfg; this main
+// sequences them, prints the shared heading and merges the reports into
+// BENCH_e12_dynamic.json. Counts are deterministic given the seeds;
+// timing columns vary run to run.
 #include <iostream>
-#include <string>
-#include <vector>
 
-#include "bench/common.h"
-#include "mesh/fault_injection.h"
-#include "proto/boundary_delta.h"
-#include "runtime/dynamic_model.h"
-#include "runtime/timeline.h"
-#include "sim/wormhole/driver.h"
-#include "sim/wormhole/dynamic_routing.h"
-#include "util/table.h"
+#include "api/experiment.h"
 
-namespace {
-
-double ms_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-}  // namespace
-
-int main() {
+int main() try {
   using namespace mcc;
-  const bool smoke = bench::smoke();
-
   std::cout << "# E12: dynamic-fault runtime — incremental MCC maintenance "
                "vs full rebuild, epoch-versioned guidance cache\n";
 
-  // -------------------------------------------------------------------------
-  // Part A1: 2-D incremental vs rebuild (+ record-delta payload)
-  {
-    std::cout << "\n## A1: per-event cost, 2-D (all 4 quadrant models "
-                 "maintained; rebuild = fresh MccModel2D, all octants "
-                 "forced)\n\n";
-    util::Table t({"mesh", "rate", "events", "fallback ev", "relabel/ev",
-                   "regions/ev", "walls/ev", "delta ints/ev", "incr ms/ev",
-                   "rebuild ms/ev", "speedup"});
-    const std::vector<int> sizes = smoke ? std::vector<int>{12}
-                                         : std::vector<int>{16, 32, 48};
-    for (const int k : sizes) {
-      for (const double rate : {0.02, 0.06}) {
-        const mesh::Mesh2D mesh(k, k);
-        util::Rng rng(0xE1201 + static_cast<uint64_t>(k * 977 + rate * 1000));
-        const mesh::FaultSet2D initial = mesh::inject_uniform(mesh, rate, rng);
-        runtime::DynamicModel2D dyn(mesh, initial);
-
-        util::ChurnParams p;
-        p.rate = 0.05;
-        p.horizon = smoke ? 200 : 1200;
-        p.repair_min = 20;
-        p.repair_max = 200;
-        auto timeline = runtime::FaultTimeline2D::sample(mesh, initial, rng, p);
-
-        size_t events = 0, ambiguous = 0, relabeled = 0, regions = 0,
-               walls = 0, delta = 0;
-        double incr_ms = 0, rebuild_ms = 0;
-        const mesh::Octant2 canon{false, false};
-        for (const auto& e : timeline.events()) {
-          const auto t0 = std::chrono::steady_clock::now();
-          const auto rep = e.repair ? dyn.repair(e.node) : dyn.fail(e.node);
-          incr_ms += ms_since(t0);
-          if (rep.epoch == 0) continue;
-          ++events;
-          // Events absorbed via the full-relabel fallback (doubly-blocked
-          // ambiguous regime, labeling.h) — zero at the paper's operating
-          // fault rates.
-          if (rep.any_label_fallback()) ++ambiguous;
-          relabeled += rep.relabeled_total();
-          for (const auto& od : rep.octants)
-            regions += od.regions.removed.size() + od.regions.added.size();
-          walls += rep.walls_rebuilt();
-          delta += proto::make_boundary_delta(dyn.octant(canon).boundary,
-                                              rep.octants[canon.id()].boundary)
-                       .payload_ints();
-
-          const auto t1 = std::chrono::steady_clock::now();
-          const core::MccModel2D fresh(mesh, dyn.faults());
-          for (const bool fx : {false, true})
-            for (const bool fy : {false, true})
-              (void)fresh.octant(mesh::Octant2{fx, fy});
-          rebuild_ms += ms_since(t1);
-        }
-        if (events == 0) continue;
-        const double n = static_cast<double>(events);
-        t.add_row({std::to_string(k) + "x" + std::to_string(k),
-                   util::Table::pct(rate), std::to_string(events),
-                   std::to_string(ambiguous),
-                   util::Table::fmt(static_cast<double>(relabeled) / n, 2),
-                   util::Table::fmt(static_cast<double>(regions) / n, 2),
-                   util::Table::fmt(static_cast<double>(walls) / n, 2),
-                   util::Table::fmt(static_cast<double>(delta) / n, 1),
-                   util::Table::fmt(incr_ms / n, 4),
-                   util::Table::fmt(rebuild_ms / n, 4),
-                   util::Table::fmt(rebuild_ms / std::max(incr_ms, 1e-9), 1) +
-                       "x"});
-      }
-    }
-    t.render(std::cout);
+  std::vector<api::RunReport> reports;
+  for (const char* preset :
+       {"/e12_event2d.cfg", "/e12_event3d.cfg", "/e12_churn.cfg"}) {
+    api::Configuration cfg;
+    cfg.load_file(std::string(MCC_CONFIG_DIR) + preset);
+    reports.push_back(api::Experiment(std::move(cfg)).run());
+    reports.back().render(std::cout);
   }
 
-  // -------------------------------------------------------------------------
-  // Part A2: 3-D incremental vs rebuild up to 16^3
-  {
-    std::cout << "\n## A2: per-event cost, 3-D (all 8 octant models "
-                 "maintained; rebuild = fresh MccModel3D, all octants "
-                 "forced)\n\n";
-    util::Table t({"mesh", "rate", "events", "fallback ev", "relabel/ev",
-                   "regions/ev", "incr ms/ev", "rebuild ms/ev", "speedup"});
-    const std::vector<int> sizes =
-        smoke ? std::vector<int>{6} : std::vector<int>{8, 12, 16};
-    for (const int k : sizes) {
-      for (const double rate : {0.02, 0.05}) {
-        const mesh::Mesh3D mesh(k, k, k);
-        util::Rng rng(0xE1202 + static_cast<uint64_t>(k * 977 + rate * 1000));
-        const mesh::FaultSet3D initial = mesh::inject_uniform(mesh, rate, rng);
-        runtime::DynamicModel3D dyn(mesh, initial);
-
-        util::ChurnParams p;
-        p.rate = 0.05;
-        p.horizon = smoke ? 200 : 1000;
-        p.repair_min = 20;
-        p.repair_max = 200;
-        auto timeline = runtime::FaultTimeline3D::sample(mesh, initial, rng, p);
-
-        size_t events = 0, ambiguous = 0, relabeled = 0, regions = 0;
-        double incr_ms = 0, rebuild_ms = 0;
-        for (const auto& e : timeline.events()) {
-          const auto t0 = std::chrono::steady_clock::now();
-          const auto rep = e.repair ? dyn.repair(e.node) : dyn.fail(e.node);
-          incr_ms += ms_since(t0);
-          if (rep.epoch == 0) continue;
-          ++events;
-          if (rep.any_label_fallback()) ++ambiguous;
-          relabeled += rep.relabeled_total();
-          for (const auto& od : rep.octants)
-            regions += od.regions.removed.size() + od.regions.added.size();
-
-          const auto t1 = std::chrono::steady_clock::now();
-          const core::MccModel3D fresh(mesh, dyn.faults());
-          for (int id = 0; id < 8; ++id)
-            (void)fresh.octant(
-                mesh::Octant3{(id & 1) != 0, (id & 2) != 0, (id & 4) != 0});
-          rebuild_ms += ms_since(t1);
-        }
-        if (events == 0) continue;
-        const double n = static_cast<double>(events);
-        t.add_row({std::to_string(k) + "^3", util::Table::pct(rate),
-                   std::to_string(events), std::to_string(ambiguous),
-                   util::Table::fmt(static_cast<double>(relabeled) / n, 2),
-                   util::Table::fmt(static_cast<double>(regions) / n, 2),
-                   util::Table::fmt(incr_ms / n, 4),
-                   util::Table::fmt(rebuild_ms / n, 4),
-                   util::Table::fmt(rebuild_ms / std::max(incr_ms, 1e-9), 1) +
-                       "x"});
-      }
-    }
-    t.render(std::cout);
+  std::vector<const api::RunReport*> runs;
+  bool failed = false;
+  for (const api::RunReport& r : reports) {
+    runs.push_back(&r);
+    failed = failed || r.failed();
   }
-
-  // -------------------------------------------------------------------------
-  // Part B: wormhole under churn, guidance served by the epoch cache
-  {
-    std::cout << "\n## B: wormhole churn runs (uniform traffic, "
-                 "DynamicMccRouting3D over the epoch-versioned cache)\n\n";
-    util::Table t({"mesh", "churn/kcyc", "events (f+r)", "delivered",
-                   "dropped", "accepted (f/n/c)", "avg lat", "cache hit%",
-                   "state"});
-    sim::wh::Config cfg;
-    sim::wh::LoadPoint load;
-    load.rate = 0.01;
-    load.warmup = smoke ? 100 : 500;
-    load.measure = smoke ? 300 : 2000;
-    load.drain = smoke ? 10000 : 30000;
-
-    const std::vector<int> sizes =
-        smoke ? std::vector<int>{5} : std::vector<int>{8, 12, 16};
-    for (const int k : sizes) {
-      for (const double churn : {2.0, 10.0}) {  // events per 1000 cycles
-        const mesh::Mesh3D mesh(k, k, k);
-        util::Rng rng(0xE1203 + static_cast<uint64_t>(k * 31 + churn));
-        const mesh::FaultSet3D initial =
-            mesh::inject_uniform(mesh, 0.02, rng);
-        runtime::DynamicModel3D model(mesh, initial);
-        sim::wh::DynamicMccRouting3D routing(model);
-
-        util::ChurnParams p;
-        p.rate = churn / 1000.0;
-        p.horizon =
-            static_cast<uint64_t>(load.warmup + load.measure + load.drain / 4);
-        p.repair_min = 100;
-        p.repair_max = 1000;
-        auto timeline =
-            runtime::FaultTimeline3D::sample(mesh, initial, rng, p);
-
-        const auto r = sim::wh::run_churn_load_point3d(
-            model, routing, sim::wh::Pattern::Uniform, cfg,
-            core::RoutePolicy::Random, load, timeline,
-            0xE12B0 + static_cast<uint64_t>(k));
-        t.add_row(
-            {std::to_string(k) + "^3", util::Table::fmt(churn, 1),
-             std::to_string(r.fault_events) + "+" +
-                 std::to_string(r.repair_events),
-             std::to_string(r.sim.delivered_packets),
-             std::to_string(r.dropped_packets),
-             util::Table::fmt(r.sim.accepted_flits, 4),
-             util::Table::fmt(r.sim.avg_latency, 1),
-             util::Table::pct(r.cache.hit_rate()),
-             std::string(r.sim.violations    ? "VIOLATION"
-                         : r.sim.deadlocked  ? "DEADLOCK"
-                         : !r.sim.drained    ? "backlogged"
-                                             : "ok")});
-      }
-    }
-    t.render(std::cout);
-  }
-
-  return 0;
+  api::RunReport::write_bench_json("BENCH_e12_dynamic.json", "e12_dynamic",
+                                   runs);
+  return failed ? 1 : 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
 }

@@ -1,113 +1,25 @@
 // E8 — routing quality: delivery, path-length optimality and the
 // adaptivity left to the selection policy under each guidance mode.
+//
+// Thin front over the experiment API: the scenario lives in
+// configs/e8_routing_quality.cfg (single source of truth, also runnable as
+// `mcc_run configs/e8_routing_quality.cfg`); this main adds only the
+// BENCH_*.json emission. MCC_SMOKE=1 still works as the deprecated alias
+// of smoke=1 and applies the preset's smoke.* pins.
 #include <iostream>
-#include <mutex>
-#include <set>
 
-#include "bench/common.h"
-#include "core/model.h"
-#include "mesh/fault_injection.h"
-#include "util/parallel.h"
-#include "util/stats.h"
-#include "util/table.h"
+#include "api/experiment.h"
 
-int main() {
+int main() try {
   using namespace mcc;
-  const int kTrials = bench::trials(25);
-  constexpr int kPairs = 25;
-  const int k = 24;
-  const mesh::Mesh2D m(k, k);
-
-  std::cout << "# E8: routing quality, 2-D " << k << "x" << k << "\n\n";
-
-  util::Table t({"fault rate", "router", "delivered", "minimal",
-                 "multi-choice hops", "mean candidates/hop"});
-
-  for (const double rate : {0.05, 0.10, 0.15}) {
-    for (const core::RouterKind kind :
-         {core::RouterKind::Oracle, core::RouterKind::Records,
-          core::RouterKind::LabelsOnly}) {
-      util::RunningStats delivered, minimal, multi, cand;
-      std::mutex mu;
-      util::parallel_for(kTrials, [&](size_t trial) {
-        util::Rng rng(0xE8000 + static_cast<uint64_t>(rate * 1000) * 7 +
-                      trial);
-        const auto f = mesh::inject_uniform(m, rate, rng);
-        const core::MccModel2D model(m, f);
-        const auto& oct = model.octant(mesh::Octant2{false, false});
-        long n = 0, del = 0, min_ok = 0;
-        util::RunningStats mstat, cstat;
-        for (int i = 0; i < kPairs; ++i) {
-          const auto pr = bench::sample_pair2d(m, oct.labels, rng);
-          if (!pr) continue;
-          const auto [s, d] = *pr;
-          if (!model.feasible(s, d).feasible) continue;
-          ++n;
-          const auto r = model.route(s, d, kind, core::RoutePolicy::Random,
-                                     trial * 1000 + i);
-          del += r.delivered;
-          if (r.delivered) {
-            min_ok += r.hops() == manhattan(s, d);
-            if (r.hops() > 0) {
-              mstat.add(double(r.stats.multi_choice_hops) / r.hops());
-              cstat.add(double(r.stats.candidate_sum) / r.hops());
-            }
-          }
-        }
-        if (n == 0) return;
-        std::lock_guard<std::mutex> lock(mu);
-        delivered.add(double(del) / n);
-        minimal.add(del ? double(min_ok) / del : 0.0);
-        if (mstat.count()) multi.add(mstat.mean());
-        if (cstat.count()) cand.add(cstat.mean());
-      });
-      t.add_row({util::Table::pct(rate, 0), core::to_string(kind),
-                 util::Table::pct(delivered.mean(), 1),
-                 util::Table::pct(minimal.mean(), 1),
-                 util::Table::pct(multi.mean(), 1),
-                 util::Table::fmt(cand.mean(), 2)});
-    }
-  }
-  t.render(std::cout);
-
-  // Path diversity: distinct minimal paths found by the random policy.
-  util::Table t2({"fault rate", "distinct paths (20 tries)", "path length"});
-  for (const double rate : {0.0, 0.10}) {
-    util::RunningStats distinct, len;
-    std::mutex mu;
-    util::parallel_for(kTrials, [&](size_t trial) {
-      util::Rng rng(0xE8700 + static_cast<uint64_t>(rate * 1000) + trial);
-      const auto f = mesh::inject_uniform(m, rate, rng);
-      const core::MccModel2D model(m, f);
-      const auto& oct = model.octant(mesh::Octant2{false, false});
-      const auto pr = bench::sample_pair2d(m, oct.labels, rng, 12);
-      if (!pr || !model.feasible(pr->first, pr->second).feasible) return;
-      std::set<std::vector<int>> paths;
-      int hops = 0;
-      for (int i = 0; i < 20; ++i) {
-        const auto r = model.route(pr->first, pr->second,
-                                   core::RouterKind::Records,
-                                   core::RoutePolicy::Random, trial * 77 + i);
-        if (!r.delivered) continue;
-        hops = r.hops();
-        std::vector<int> key;
-        for (const auto c : r.path) key.push_back(c.y * k + c.x);
-        paths.insert(key);
-      }
-      std::lock_guard<std::mutex> lock(mu);
-      if (!paths.empty()) {
-        distinct.add(static_cast<double>(paths.size()));
-        len.add(hops);
-      }
-    });
-    t2.add_row({util::Table::pct(rate, 0),
-                util::Table::mean_ci(distinct.mean(), distinct.ci95(), 1),
-                util::Table::fmt(len.mean(), 1)});
-  }
-  std::cout << "\n";
-  t2.render(std::cout);
-  std::cout << "\nExpected shape: oracle and record routers deliver 100% "
-               "minimal; labels-only loses messages to\nmulti-region traps; "
-               "adaptivity (choice-rich hops) shrinks as faults densify.\n";
-  return 0;
+  api::Configuration cfg;
+  cfg.load_file(std::string(MCC_CONFIG_DIR) + "/e8_routing_quality.cfg");
+  api::RunReport report = api::Experiment(std::move(cfg)).run();
+  report.render(std::cout);
+  api::RunReport::write_bench_json("BENCH_e8_routing_quality.json",
+                                   "e8_routing_quality", {&report});
+  return report.failed() ? 1 : 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
 }

@@ -1,76 +1,38 @@
 // Distributed stack demo: runs the paper's protocols — labelling by status
 // exchange, identification by two-head-on contour messages, boundary
 // construction, detection and routing — as real neighbor messages on the
-// synchronous simulator, and prints the cost of every phase.
+// synchronous simulator, and prints the cost of every phase plus a
+// rendered instance (driver=protocol_cost with render=1).
 //
 //   $ ./distributed_protocol [seed]
 #include <cstdlib>
 #include <iostream>
 
-#include "core/labeling.h"
-#include "mesh/fault_injection.h"
-#include "proto/stack2d.h"
-#include "util/ascii_viz.h"
-
-using namespace mcc;
+#include "api/experiment.h"
 
 int main(int argc, char** argv) {
+  using namespace mcc;
   const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
-  const mesh::Mesh2D mesh(20, 14);
-  util::Rng rng(seed);
-  auto faults = mesh::inject_uniform(mesh, 0.07, rng);
-  // Keep the border clear so every region ring is walkable (DESIGN.md §8).
-  for (int x = 0; x < mesh.nx(); ++x) {
-    faults.set_faulty({x, 0}, false);
-    faults.set_faulty({x, mesh.ny() - 1}, false);
-  }
-  for (int y = 0; y < mesh.ny(); ++y) {
-    faults.set_faulty({0, y}, false);
-    faults.set_faulty({mesh.nx() - 1, y}, false);
-  }
 
-  proto::Stack2D stack(mesh, faults);
+  api::Configuration cfg;
+  cfg.load_text(R"(
+    driver = protocol_cost
+    name = distributed_protocol
+    dims = 2
+    fault_rates = 0.07
+    trials = 1
+    render = 1            # one labelled mesh + per-phase costs + a route
+    nx = 20
+    ny = 14
+    fault_pattern = uniform
+    fault_rate = 0.07
+    clear_border = 1      # keep every region ring walkable (DESIGN.md §8)
+  )",
+                "distributed_protocol");
+  cfg.set("seed", std::to_string(seed));
+  cfg.set("fault_seed", std::to_string(seed));
 
-  const core::LabelField2D reference(mesh, faults);
-  std::cout << "mesh 20x14, " << faults.count() << " faults\n";
-  std::cout << util::render_mesh(mesh, reference);
-
-  auto phase = [](const char* name, const sim::RunStats& s) {
-    std::cout << "  " << name << ": " << s.rounds << " rounds, "
-              << s.messages << " messages, " << s.payload_words
-              << " payload words\n";
-  };
-  std::cout << "protocol phases:\n";
-  phase("labelling     ", stack.labeling_stats);
-  phase("neighborhood  ", stack.exchange_stats);
-  phase("identification", stack.ident_stats);
-  phase("boundaries    ", stack.boundary_stats);
-  std::cout << "  corners found: " << stack.ident.corners().size()
-            << ", regions identified: " << stack.ident.identified()
-            << ", discarded: " << stack.ident.discarded()
-            << ", records deposited: " << stack.boundary.record_count()
-            << "\n\n";
-
-  // Detection + routing as messages.
-  const mesh::Coord2 s{1, 1};
-  const mesh::Coord2 d{mesh.nx() - 2, mesh.ny() - 2};
-  const auto det = proto::run_detect2d(mesh, stack.labeling, s, d);
-  std::cout << "detection " << s << " -> " << d << ": +Y walker "
-            << (det.y_walker_ok ? "ok" : "blocked") << ", +X walker "
-            << (det.x_walker_ok ? "ok" : "blocked") << " ("
-            << det.stats.messages << " messages)\n";
-  if (det.feasible()) {
-    const auto route =
-        proto::run_route2d(mesh, stack.labeling, stack.boundary, s, d, seed);
-    std::cout << "routing: " << (route.delivered ? "delivered" : "stuck")
-              << " in " << route.hops() << " hops (distance "
-              << manhattan(s, d) << ")\n";
-    util::VizOptions opts;
-    opts.boundary = nullptr;
-    opts.path = route.path;
-    opts.source = s;
-    opts.destination = d;
-    std::cout << util::render_mesh(mesh, reference, opts);
-  }
-  return 0;
+  api::RunReport report = api::Experiment(std::move(cfg)).run();
+  report.render(std::cout);
+  return report.failed() ? 1 : 0;
 }

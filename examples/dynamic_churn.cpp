@@ -1,86 +1,45 @@
 // Live churn demo: a 3-D wormhole network absorbing fault and repair
-// events mid-run. A FaultTimeline (Poisson arrivals, bounded repairs)
+// events mid-run. The FaultTimeline (Poisson arrivals, bounded repairs)
 // drives the DynamicModel3D — each event relabels only its cascade
-// neighborhood, merges/splits the affected MCCs and bumps the epoch — and
-// the network flushes the worms the event severed while every surviving
-// head re-routes from epoch-fresh cached guidance at its next decision.
+// neighborhood and bumps the epoch — while the network flushes severed
+// worms and every surviving head re-routes from epoch-fresh cached
+// guidance. The whole scenario is one wormhole_churn config; swap
+// policy=fault_block or dims=2 to churn the baselines or a 2-D mesh.
 //
 // Usage: dynamic_churn [seed]
-#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 
-#include "mesh/fault_injection.h"
-#include "runtime/dynamic_model.h"
-#include "runtime/timeline.h"
-#include "sim/wormhole/dynamic_routing.h"
-#include "sim/wormhole/network.h"
-#include "sim/wormhole/traffic.h"
-#include "util/scenario.h"
+#include "api/experiment.h"
 
 int main(int argc, char** argv) {
   using namespace mcc;
   const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
 
-  const mesh::Mesh3D mesh(8, 8, 8);
-  util::Rng rng(seed);
-  const mesh::FaultSet3D initial = mesh::inject_uniform(mesh, 0.02, rng);
+  api::Configuration cfg;
+  cfg.load_text(R"(
+    driver = wormhole_churn
+    name = dynamic_churn
+    dims = 3
+    k = 8
+    fault_model = dynamic
+    fault_rate = 0.02
+    policy = model          # DynamicMccRouting3D over the epoch cache
+    traffic = uniform
+    rates = 0.015
+    churn = 4               # ~4 strikes per 1000 cycles
+    churn_horizon = 1500
+    repair_min = 150
+    repair_max = 600
+    warmup = 300
+    measure = 1300
+    drain = 20000
+  )",
+                "dynamic_churn");
+  cfg.set("seed", std::to_string(seed));
+  cfg.set("fault_seed", std::to_string(seed));
 
-  runtime::DynamicModel3D model(mesh, initial);
-  sim::wh::DynamicMccRouting3D routing(model);
-
-  sim::wh::Config cfg;
-  cfg.drop_infeasible = true;
-  sim::wh::Network3D net(mesh, model.faults(), routing, cfg,
-                         core::RoutePolicy::Random, seed);
-  sim::wh::TrafficGen3D traffic(mesh, model.faults(), routing,
-                                sim::wh::Pattern::Uniform, seed + 1);
-
-  util::ChurnParams p;
-  p.rate = 0.004;  // ~4 strikes per 1000 cycles
-  p.horizon = 1500;
-  p.repair_min = 150;
-  p.repair_max = 600;
-  auto timeline = runtime::FaultTimeline3D::sample(mesh, initial, rng, p);
-
-  std::cout << "8x8x8 wormhole under churn: " << initial.count()
-            << " initial faults, " << timeline.events().size()
-            << " scheduled events, seed " << seed << "\n\n";
-
-  const uint64_t run_cycles = 2200;
-  while (net.cycle() < run_cycles) {
-    while (const auto* e = timeline.next_due(net.cycle())) {
-      const auto rep =
-          e->repair ? model.repair(e->node) : model.fail(e->node);
-      if (rep.epoch == 0) continue;
-      if (e->repair)
-        net.apply_repair(e->node);
-      else
-        net.apply_fault(e->node);
-      std::cout << "cycle " << net.cycle() << ": "
-                << (e->repair ? "REPAIR" : "FAULT ") << " at (" << e->node.x
-                << "," << e->node.y << "," << e->node.z << ")  epoch "
-                << rep.epoch << ", relabeled " << rep.relabeled_total()
-                << " cells across 8 octants, in flight "
-                << net.in_flight() << ", dropped so far "
-                << net.stats().dropped_packets << "\n";
-    }
-    if (net.cycle() < run_cycles - 600) traffic.tick(net, 0.015);
-    net.step();
-  }
-  while (!net.idle() && net.cycle() < run_cycles + 20000) net.step();
-
-  const auto& st = net.stats();
-  const auto cache = model.cache().stats();
-  std::cout << "\ninjected " << st.injected_packets << " packets, delivered "
-            << st.delivered_packets << ", dropped by events "
-            << st.dropped_packets << " (" << st.dropped_flits << " flits)\n"
-            << "fault events " << st.fault_events << ", repair events "
-            << st.repair_events << ", violations " << st.violations.size()
-            << ", drained " << (net.idle() ? "yes" : "NO") << "\n"
-            << "guidance cache: " << cache.hits << " hits / " << cache.misses
-            << " misses (hit rate "
-            << static_cast<int>(cache.hit_rate() * 100 + 0.5) << "%), final epoch "
-            << model.epoch() << "\n";
-  return st.violations.empty() && net.idle() ? 0 : 1;
+  api::RunReport report = api::Experiment(std::move(cfg)).run();
+  report.render(std::cout);
+  return report.failed() ? 1 : 0;
 }

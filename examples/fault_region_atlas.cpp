@@ -1,39 +1,32 @@
-// Fault-region atlas: renders the canonical fault patterns of the paper and
-// shows how the MCC model absorbs fewer healthy nodes than the rectangular
-// block models (Figure 1 of the paper, live).
+// Fault-region atlas: renders the canonical fault patterns of the paper
+// and shows how the MCC model absorbs fewer healthy nodes than the
+// rectangular block models (Figure 1 of the paper, live). Each pattern is
+// one region_atlas config — the patterns themselves are registry entries,
+// so a new adversarial shape is one Registry::add() away.
 //
 //   $ ./fault_region_atlas [seed]
 #include <cstdlib>
 #include <iostream>
 
-#include "baselines/fault_block.h"
-#include "core/boundary2d.h"
-#include "mesh/fault_injection.h"
-#include "util/ascii_viz.h"
-#include "util/rng.h"
-
-using namespace mcc;
+#include "api/experiment.h"
 
 namespace {
 
-void show(const char* title, const mesh::Mesh2D& m,
-          const mesh::FaultSet2D& f, bool with_boundaries = false) {
-  const core::LabelField2D labels(m, f);
-  const core::MccSet2D mccs(m, labels);
-  const core::Boundary2D boundary(m, labels, mccs);
-  const auto safety = baselines::safety_fill(m, f);
-  const auto bbox = baselines::bounding_box_fill(m, f);
-
-  std::cout << "== " << title << "\n";
-  util::VizOptions opts;
-  if (with_boundaries) opts.boundary = &boundary;
-  std::cout << util::render_mesh(m, labels, opts);
-  std::cout << "faults=" << f.count()
-            << "  MCC healthy-absorbed=" << labels.healthy_unsafe_count()
-            << "  safety-blocks=" << safety.healthy_unsafe_count()
-            << "  bounding-box=" << bbox.healthy_unsafe_count()
-            << "  regions=" << mccs.regions().size()
-            << "  boundary records=" << boundary.record_count() << "\n\n";
+int show(const std::string& name, const std::string& pattern, int nx, int ny,
+         uint64_t fault_seed, double rate = 0) {
+  mcc::api::Configuration cfg;
+  cfg.set("driver", "region_atlas");
+  cfg.set("name", name);
+  cfg.set("dims", "2");
+  cfg.set("nx", std::to_string(nx));
+  cfg.set("ny", std::to_string(ny));
+  cfg.set("fault_pattern", pattern);
+  cfg.set("fault_rate", std::to_string(rate));
+  cfg.set("fault_seed", std::to_string(fault_seed));
+  cfg.set("render", pattern == "uniform" ? "1" : "0");
+  mcc::api::RunReport report = mcc::api::Experiment(std::move(cfg)).run();
+  report.render(std::cout);
+  return report.failed() ? 1 : 0;
 }
 
 }  // namespace
@@ -41,43 +34,20 @@ void show(const char* title, const mesh::Mesh2D& m,
 int main(int argc, char** argv) {
   const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2026;
 
-  {
-    // Descending staircase: worst case for the (+,+) quadrant — the MCC
-    // fill absorbs the whole shadow, as does every block model.
-    const mesh::Mesh2D m(12, 10);
-    mesh::FaultSet2D f(m);
-    for (const mesh::Coord2 c :
-         {mesh::Coord2{3, 7}, mesh::Coord2{4, 6}, mesh::Coord2{5, 5},
-          mesh::Coord2{6, 4}})
-      f.set_faulty(c);
-    show("descending staircase (fills: the diagonal is impassable NE)", m,
-         f);
-  }
-  {
-    // Ascending staircase: every diagonal gap is passable toward NE; the
-    // MCC model absorbs nothing while the bounding box swallows 4x4.
-    const mesh::Mesh2D m(12, 10);
-    mesh::FaultSet2D f(m);
-    for (const mesh::Coord2 c :
-         {mesh::Coord2{3, 3}, mesh::Coord2{4, 4}, mesh::Coord2{5, 5},
-          mesh::Coord2{6, 6}})
-      f.set_faulty(c);
-    show("ascending staircase (no fill: orientation-awareness)", m, f);
-  }
-  {
-    // Concave pocket: the fill closes the trap exactly.
-    const mesh::Mesh2D m(12, 10);
-    mesh::FaultSet2D f(m);
-    mesh::add_wall_x(f, m, 3, 2, 6);
-    mesh::add_wall_y(f, m, 3, 7, 2);
-    show("L-shaped wall (the pocket fills as can't-reach)", m, f);
-  }
-  {
-    // Random field with boundary records marked.
-    const mesh::Mesh2D m(24, 16);
-    util::Rng rng(seed);
-    const auto f = mesh::inject_uniform(m, 0.08, rng);
-    show("random 8% faults with boundary records ('r')", m, f, true);
-  }
-  return 0;
+  int rc = 0;
+  // Descending staircase: worst case for the (+,+) quadrant — the MCC fill
+  // absorbs the whole shadow, as does every block model.
+  rc |= show("descending staircase (fills: the diagonal is impassable NE)",
+             "staircase_down", 12, 10, 1);
+  // Ascending staircase: every diagonal gap is passable toward NE; the MCC
+  // model absorbs nothing while the bounding box swallows 4x4.
+  rc |= show("ascending staircase (no fill: orientation-awareness)",
+             "staircase_up", 12, 10, 1);
+  // Concave pocket: the fill closes the trap exactly.
+  rc |= show("L-shaped wall (the pocket fills as can't-reach)", "lshape", 12,
+             10, 1);
+  // Random field with boundary records marked.
+  rc |= show("random 8% faults with boundary records ('r')", "uniform", 24,
+             16, seed, 0.08);
+  return rc;
 }

@@ -1,43 +1,34 @@
 // Quickstart: build a mesh, inject faults, inspect the MCC fault regions,
-// check minimal-path feasibility and route a message.
+// check minimal-path feasibility and route a message — all through the
+// experiment API's one front door. The same scenario is runnable as
+// `mcc_run configs/quickstart.cfg`, and any key can be overridden the same
+// way (`mcc_run configs/quickstart.cfg k=32 fault_rate=0.12`).
 //
 //   $ ./quickstart [seed]
 #include <cstdlib>
 #include <iostream>
 
-#include "core/model.h"
-#include "mesh/fault_injection.h"
+#include "api/experiment.h"
 
 int main(int argc, char** argv) {
   using namespace mcc;
   const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
 
-  // A 16x16 2-D mesh with 8% random node faults; the corners we route
-  // between stay alive.
-  const mesh::Mesh2D mesh(16, 16);
-  util::Rng rng(seed);
-  const mesh::Coord2 s{0, 0}, d{15, 15};
-  auto faults = mesh::inject_uniform(mesh, 0.08, rng, {s, d});
-  std::cout << "mesh 16x16, " << faults.count() << " faulty nodes\n";
+  api::Configuration cfg;
+  cfg.load_text(R"(
+    driver = route_demo
+    name = quickstart
+    dims = 2
+    k = 16
+    fault_pattern = uniform
+    fault_rate = 0.08
+    policy = model        # the paper's record rule in 2-D
+    route_policy = random
+  )",
+                "quickstart");
+  cfg.set("seed", std::to_string(seed));
 
-  const core::MccModel2D model(mesh, faults);
-
-  // The canonical-octant view for routing s -> d.
-  const auto& oct = model.octant(mesh::Octant2::from_pair(s, d));
-  std::cout << "MCC fault regions: " << oct.mccs.regions().size()
-            << " (healthy nodes absorbed: "
-            << oct.labels.healthy_unsafe_count() << ")\n";
-
-  const auto feas = model.feasible(s, d);
-  std::cout << "minimal path s->d exists: " << (feas.feasible ? "yes" : "no")
-            << "\n";
-  if (!feas.feasible) return 0;
-
-  const auto route = model.route(s, d, core::RouterKind::Records,
-                                 core::RoutePolicy::Random, seed);
-  std::cout << "routed in " << route.hops() << " hops (distance "
-            << manhattan(s, d) << ")\npath:";
-  for (const auto c : route.path) std::cout << ' ' << c;
-  std::cout << '\n';
-  return route.delivered ? 0 : 1;
+  api::RunReport report = api::Experiment(std::move(cfg)).run();
+  report.render(std::cout);
+  return report.failed() ? 1 : 0;
 }

@@ -1,64 +1,31 @@
 // 3-D routing demo on the paper's own example (Figure 5): the fault set
 // {(5,5,6),(6,5,5),(5,6,5),(6,7,5),(7,6,5),(5,4,7),(4,5,7),(7,8,4)} in a
-// 10x10x10 mesh. Shows the labelling, the two MCCs, the feasibility
-// surfaces and several adaptively routed minimal paths.
+// 10x10x10 mesh, registered as fault_pattern=figure5 in the experiment
+// API. Shows the labelling counts (the paper's useless/can't-reach nodes),
+// the MCC regions and an adaptively routed minimal path via the per-hop
+// detection floods (policy=model in 3-D).
 //
 //   $ ./routing_3d
 #include <iostream>
 
-#include "core/feasibility3d.h"
-#include "core/model.h"
-#include "mesh/fault_injection.h"
-
-using namespace mcc;
+#include "api/experiment.h"
 
 int main() {
-  const mesh::Mesh3D mesh(10, 10, 10);
-  mesh::FaultSet3D faults(mesh);
-  for (const mesh::Coord3 c :
-       {mesh::Coord3{5, 5, 6}, mesh::Coord3{6, 5, 5}, mesh::Coord3{5, 6, 5},
-        mesh::Coord3{6, 7, 5}, mesh::Coord3{7, 6, 5}, mesh::Coord3{5, 4, 7},
-        mesh::Coord3{4, 5, 7}, mesh::Coord3{7, 8, 4}})
-    faults.set_faulty(c);
+  using namespace mcc;
+  api::Configuration cfg;
+  cfg.load_text(R"(
+    driver = route_demo
+    name = routing_3d (paper Figure 5)
+    dims = 3
+    k = 10
+    fault_pattern = figure5
+    policy = model        # Algorithm 6's detection floods per hop
+    route_policy = balanced
+    seed = 7
+  )",
+                "routing_3d");
 
-  const core::MccModel3D model(mesh, faults);
-  const auto& oct = model.octant(mesh::Octant3{});
-
-  std::cout << "Figure-5 fault set: " << faults.count() << " faults\n";
-  std::cout << "labelling: " << oct.labels.useless_count() << " useless ("
-            << "(5,5,5) per the paper), " << oct.labels.cant_reach_count()
-            << " can't-reach ((5,5,7))\n";
-  std::cout << "MCC regions: " << oct.mccs.regions().size()
-            << " (the 9-cell component and the lone fault (7,8,4))\n\n";
-
-  const mesh::Coord3 s{0, 0, 0};
-  for (const mesh::Coord3 d :
-       {mesh::Coord3{9, 9, 9}, mesh::Coord3{6, 6, 8}, mesh::Coord3{8, 9, 6}}) {
-    const auto det = core::detect3d(mesh, oct.labels, s, d);
-    std::cout << "s=" << s << " d=" << d
-              << "  surfaces: (-X)->" << (det.x_surface_ok ? "yes" : "no")
-              << " (-Y)->" << (det.y_surface_ok ? "yes" : "no")
-              << " (-Z)->" << (det.z_surface_ok ? "yes" : "no") << "\n";
-    if (!det.feasible()) continue;
-    for (const core::RoutePolicy policy :
-         {core::RoutePolicy::XFirst, core::RoutePolicy::Balanced,
-          core::RoutePolicy::Random}) {
-      const auto r = model.route(s, d, core::RouterKind::Flood, policy, 7);
-      std::cout << "  " << core::to_string(policy) << " (" << r.hops()
-                << " hops):";
-      for (const auto c : r.path) std::cout << ' ' << c;
-      std::cout << '\n';
-    }
-  }
-
-  // A destination whose minimal rectangle is sealed: feasibility says no
-  // and the router refuses to inject the message.
-  mesh::FaultSet3D sealed(mesh);
-  mesh::add_plate_z(sealed, mesh, 0, 5, 0, 5, 3);
-  const core::MccModel3D blocked(mesh, sealed);
-  const auto verdict = blocked.feasible({0, 0, 0}, {5, 5, 5});
-  std::cout << "\nfull plate under (5,5,5): feasible="
-            << (verdict.feasible ? "yes" : "no")
-            << " (detection rejects at the source, Algorithm 6 phase 1)\n";
-  return 0;
+  api::RunReport report = api::Experiment(std::move(cfg)).run();
+  report.render(std::cout);
+  return report.failed() ? 1 : 0;
 }

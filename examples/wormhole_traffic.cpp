@@ -1,52 +1,38 @@
 // Wormhole demo: drive Bernoulli uniform and hotspot traffic through the
 // flit-level simulator on a small 3-D mesh with a clustered fault region,
-// and print the latency/throughput picture at two load points.
+// and print the latency/throughput picture at two load points — one
+// config through the experiment façade instead of a hand-wired main.
 //
 //   ./wormhole_traffic [seed]
 #include <cstdlib>
 #include <iostream>
 
-#include "mesh/fault_injection.h"
-#include "sim/wormhole/driver.h"
+#include "api/experiment.h"
 
 int main(int argc, char** argv) {
   using namespace mcc;
-  using sim::wh::Config;
-  using sim::wh::GuidanceMode;
-  using sim::wh::LoadPoint;
-  using sim::wh::Pattern;
-
   const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
 
-  const mesh::Mesh3D m(6, 6, 6);
-  util::Rng frng(seed);
-  const auto faults = mesh::inject_clustered(m, 14, 2, frng);
-  sim::wh::MccRouting3D routing(m, faults, GuidanceMode::Model);
+  api::Configuration cfg;
+  cfg.load_text(R"(
+    driver = wormhole_load
+    name = wormhole_traffic
+    dims = 3
+    k = 6
+    fault_pattern = clustered
+    fault_count = 14
+    fault_clusters = 2
+    policy = model
+    traffic = uniform, hotspot
+    rates = 0.01, 0.04
+    warmup = 200
+    measure = 1000
+  )",
+                "wormhole_traffic");
+  cfg.set("seed", std::to_string(seed));
+  cfg.set("fault_seed", std::to_string(seed));
 
-  std::cout << "6x6x6 mesh, " << faults.count()
-            << " dead nodes (clustered), MCC-guided adaptive minimal "
-               "routing, 4-flit packets\n\n";
-
-  Config cfg;
-  for (const Pattern p : {Pattern::Uniform, Pattern::Hotspot}) {
-    for (const double rate : {0.01, 0.04}) {
-      LoadPoint load;
-      load.rate = rate;
-      load.warmup = 200;
-      load.measure = 1000;
-      const auto r = sim::wh::run_load_point3d(
-          m, faults, routing, p, cfg, core::RoutePolicy::Random, load, seed);
-      std::cout << to_string(p) << " @ " << rate << " pkt/node/cycle:"
-                << "  accepted " << r.accepted_flits << " flits/node/cycle"
-                << ", avg latency " << r.avg_latency << " cycles"
-                << ", p99 " << r.p99_latency << ", "
-                << (r.saturated ? "saturated" : "stable")
-                << (r.deadlocked ? " [DEADLOCK]" : "") << "\n";
-      if (r.deadlocked || r.violations != 0) return 1;
-    }
-  }
-  std::cout << "\nAll load points drained completely after injection "
-               "stopped: the per-octant VC classes keep\nthe adaptive "
-               "wormhole network deadlock-free around the fault regions.\n";
-  return 0;
+  api::RunReport report = api::Experiment(std::move(cfg)).run();
+  report.render(std::cout);
+  return report.failed() ? 1 : 0;
 }

@@ -1,0 +1,500 @@
+#include "api/config.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace mcc::api {
+
+const char* to_string(KeyType t) {
+  switch (t) {
+    case KeyType::Bool: return "bool";
+    case KeyType::Int: return "int";
+    case KeyType::UInt64: return "uint64";
+    case KeyType::Double: return "double";
+    case KeyType::String: return "string";
+    case KeyType::IntList: return "int list";
+    case KeyType::DoubleList: return "double list";
+    case KeyType::StringList: return "string list";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string trim(const std::string& s) {
+  size_t a = 0, b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a])) != 0) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1])) != 0)
+    --b;
+  return s.substr(a, b - a);
+}
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == ',') {
+      out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  const std::string last = trim(cur);
+  // An entirely empty string means the empty list; otherwise every
+  // element (including a trailing empty one) is kept for validation.
+  if (!out.empty() || !last.empty()) out.push_back(last);
+  return out;
+}
+
+bool parse_bool(const std::string& v, bool& out) {
+  if (v == "1" || v == "true" || v == "on" || v == "yes") {
+    out = true;
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "off" || v == "no") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+bool parse_i64(const std::string& v, long long& out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtoll(v.c_str(), &end, 0);  // base 0: 0x... accepted
+  return errno != ERANGE && end != nullptr && *end == '\0';
+}
+
+bool parse_u64(const std::string& v, uint64_t& out) {
+  if (v.empty() || v[0] == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtoull(v.c_str(), &end, 0);
+  return errno != ERANGE && end != nullptr && *end == '\0';
+}
+
+bool parse_f64(const std::string& v, double& out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtod(v.c_str(), &end);
+  return errno != ERANGE && end != nullptr && *end == '\0';
+}
+
+[[noreturn]] void bad_value(const std::string& key, const KeySpec& spec,
+                            const std::string& value, const char* why) {
+  throw ConfigError("config: key '" + key + "' " + why + " (type " +
+                    to_string(spec.type) + ", got '" + value + "')");
+}
+
+void check_range(const std::string& key, const KeySpec& spec, double v,
+                 const std::string& raw) {
+  if (v < spec.min || v > spec.max) {
+    std::ostringstream os;
+    os << "config: key '" << key << "' value " << raw << " out of range ["
+       << spec.min << ", " << spec.max << "]";
+    throw ConfigError(os.str());
+  }
+}
+
+/// Type/range-validates `value` for `spec`; throws ConfigError otherwise.
+void validate(const std::string& key, const KeySpec& spec,
+              const std::string& value) {
+  switch (spec.type) {
+    case KeyType::Bool: {
+      bool b = false;
+      if (!parse_bool(value, b))
+        bad_value(key, spec, value, "expects a boolean (0/1/true/false)");
+      return;
+    }
+    case KeyType::Int: {
+      long long i = 0;
+      if (!parse_i64(value, i)) bad_value(key, spec, value, "is not an int");
+      check_range(key, spec, static_cast<double>(i), value);
+      return;
+    }
+    case KeyType::UInt64: {
+      uint64_t u = 0;
+      if (!parse_u64(value, u))
+        bad_value(key, spec, value, "is not a uint64");
+      return;
+    }
+    case KeyType::Double: {
+      double d = 0;
+      if (!parse_f64(value, d))
+        bad_value(key, spec, value, "is not a double");
+      check_range(key, spec, d, value);
+      return;
+    }
+    case KeyType::String:
+      return;
+    case KeyType::IntList: {
+      for (const std::string& item : split_list(value)) {
+        long long i = 0;
+        if (!parse_i64(item, i))
+          bad_value(key, spec, item, "has a non-int element");
+        check_range(key, spec, static_cast<double>(i), item);
+      }
+      return;
+    }
+    case KeyType::DoubleList: {
+      for (const std::string& item : split_list(value)) {
+        double d = 0;
+        if (!parse_f64(item, d))
+          bad_value(key, spec, item, "has a non-double element");
+        check_range(key, spec, d, item);
+      }
+      return;
+    }
+    case KeyType::StringList:
+      return;
+  }
+}
+
+/// Edit distance for the unknown-key suggestion (small strings only).
+size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+std::atomic<int> g_env_warnings{0};
+
+/// True when the alias env var is present and non-empty.
+bool env_alias_present(const KeySpec& spec) {
+  if (spec.env_alias == nullptr) return false;
+  const char* v = std::getenv(spec.env_alias);
+  return v != nullptr && *v != '\0';
+}
+
+/// Reads a deprecated env alias; warns once per process per alias name
+/// (the hint is derived from the key the alias stands for, so new aliases
+/// need no special-casing here).
+bool env_alias_value(const std::string& key, const KeySpec& spec,
+                     bool& out) {
+  if (!env_alias_present(spec)) return false;
+  const bool truthy = *std::getenv(spec.env_alias) != '0';
+  {
+    static std::mutex mu;
+    static std::set<std::string> warned;
+    std::lock_guard<std::mutex> lock(mu);
+    if (warned.insert(spec.env_alias).second) {
+      ++g_env_warnings;
+      std::cerr << "mcc: warning: " << spec.env_alias
+                << " is deprecated; use the config key instead (" << key
+                << (spec.env_inverted ? "=0" : "=1") << ")\n";
+    }
+  }
+  out = spec.env_inverted ? !truthy : truthy;
+  return true;
+}
+
+}  // namespace
+
+const std::map<std::string, KeySpec>& Configuration::schema() {
+  static const std::map<std::string, KeySpec> kSchema = {
+      // --- run identity / IO ------------------------------------------------
+      {"driver", {KeyType::String, "", "experiment driver (see mcc_run --list)"}},
+      {"name", {KeyType::String, "", "run name for the report (default: driver)"}},
+      {"report_json", {KeyType::String, "", "write the RunReport JSON here"}},
+      {"bench_json", {KeyType::String, "", "write BENCH_<value>.json (schema mcc.bench/1)"}},
+      {"render", {KeyType::Bool, "0", "include ASCII mesh renderings where supported"}},
+      {"detail", {KeyType::Bool, "0", "include optional secondary tables"}},
+      // --- mesh -------------------------------------------------------------
+      {"dims", {KeyType::Int, "3", "mesh dimensionality", 2, 3}},
+      {"k", {KeyType::Int, "16", "edge length (square/cubic mesh)", 2, 512}},
+      {"nx", {KeyType::Int, "0", "mesh x size override (0 = k)", 0, 512}},
+      {"ny", {KeyType::Int, "0", "mesh y size override (0 = k)", 0, 512}},
+      {"nz", {KeyType::Int, "0", "mesh z size override (0 = k)", 0, 512}},
+      {"ks", {KeyType::IntList, "", "mesh edge sweep (empty = [k])", 2, 512}},
+      // --- seeds / modes ----------------------------------------------------
+      {"seed", {KeyType::UInt64, "1", "base seed of the run"}},
+      {"seed2", {KeyType::UInt64, "0", "secondary seed (0 = derived from seed)"}},
+      {"fault_seed", {KeyType::UInt64, "0", "fault-injection seed (0 = derived from seed)"}},
+      {"smoke",
+       {KeyType::Bool, "0", "CI smoke mode: smoke.* pins apply", 0, 1,
+        "MCC_SMOKE"}},
+      {"guidance_cache",
+       {KeyType::Bool, "1", "serve Model-mode guidance from the epoch cache",
+        0, 1, "MCC_NOCACHE", /*env_inverted=*/true}},
+      // --- fault axis -------------------------------------------------------
+      {"fault_model", {KeyType::String, "static", "fault model registry: static | dynamic"}},
+      {"fault_pattern",
+       {KeyType::String, "uniform",
+        "fault injection registry: none | uniform | clustered | exact | "
+        "figure5 | staircase_up | staircase_down | lshape"}},
+      {"fault_rate", {KeyType::Double, "0", "per-node fault probability", 0, 0.95}},
+      {"fault_rates", {KeyType::DoubleList, "", "fault-rate sweep (empty = [fault_rate])", 0, 0.95}},
+      {"fault_count", {KeyType::Int, "0", "faults for exact/clustered patterns", 0, 1000000}},
+      {"fault_clusters", {KeyType::Int, "1", "cluster count for the clustered pattern", 1, 1000000}},
+      {"fault_envs",
+       {KeyType::StringList, "",
+        "wormhole_load fault environments: none | faults (empty = one env "
+        "from the fault_* keys)"}},
+      {"clear_border", {KeyType::Bool, "0", "keep the mesh border fault-free (2-D)"}},
+      // --- policy / traffic axes -------------------------------------------
+      {"policy",
+       {KeyType::String, "model",
+        "guidance policy registry: oracle | model | labels_only | "
+        "fault_block | dor"}},
+      {"policies", {KeyType::StringList, "", "policy sweep (empty = [policy])"}},
+      {"route_policy",
+       {KeyType::String, "random",
+        "candidate selection: xfirst | yfirst | random | balanced | alternate"}},
+      {"block_fill", {KeyType::String, "safety", "fault_block fill: safety | bbox"}},
+      {"traffic",
+       {KeyType::StringList, "uniform",
+        "traffic pattern registry: uniform | transpose | bit_complement | "
+        "hotspot"}},
+      {"hotspot_fraction", {KeyType::Double, "0.5", "hotspot packet fraction", 0, 1}},
+      {"hotspot_count", {KeyType::Int, "2", "hotspot destination count", 1, 64}},
+      // --- route_quality / protocol_cost -----------------------------------
+      {"trials", {KeyType::Int, "25", "Monte-Carlo repetitions", 1, 1000000}},
+      {"pairs", {KeyType::Int, "25", "(s,d) pairs per trial", 1, 1000000}},
+      {"min_distance", {KeyType::Int, "4", "minimum pair Manhattan distance", 1, 4096}},
+      {"diversity", {KeyType::Bool, "0", "route_quality: add the path-diversity table"}},
+      // --- wormhole ---------------------------------------------------------
+      {"rates", {KeyType::DoubleList, "0.01", "injection rates (pkt/node/cycle)", 0, 1}},
+      {"vcs_per_class", {KeyType::Int, "2", "virtual channels per deadlock class", 1, 16}},
+      {"buffer_depth", {KeyType::Int, "4", "flit buffer depth per VC", 1, 256}},
+      {"packet_size", {KeyType::Int, "4", "flits per packet", 1, 256}},
+      {"warmup", {KeyType::Int, "500", "warmup cycles", 0, 100000000}},
+      {"measure", {KeyType::Int, "2000", "measurement window cycles", 1, 100000000}},
+      {"drain", {KeyType::Int, "30000", "drain cycle budget", 0, 1000000000}},
+      {"stall", {KeyType::Int, "1000", "drain stall cycles = deadlock", 1, 100000000}},
+      // --- churn ------------------------------------------------------------
+      {"churn", {KeyType::DoubleList, "2", "fault strikes per 1000 cycles", 0, 1000}},
+      {"churn_horizon", {KeyType::UInt64, "0", "churn schedule horizon in cycles (0 = driver default)"}},
+      {"repair_min", {KeyType::Int, "100", "minimum repair delay, cycles", 0, 100000000}},
+      {"repair_max", {KeyType::Int, "1000", "maximum repair delay, cycles (0 = no repairs)", 0, 100000000}},
+  };
+  return kSchema;
+}
+
+namespace {
+
+const KeySpec& spec_for(const std::string& key) {
+  const auto& schema = Configuration::schema();
+  const std::string base =
+      key.rfind("smoke.", 0) == 0 ? key.substr(6) : key;
+  const auto it = schema.find(base);
+  if (it == schema.end()) {
+    std::string best;
+    size_t best_d = 4;  // suggest only close matches
+    for (const auto& [name, spec] : schema) {
+      (void)spec;
+      const size_t d = edit_distance(base, name);
+      if (d < best_d) {
+        best_d = d;
+        best = name;
+      }
+    }
+    std::string msg = "config: unknown key '" + base + "'";
+    if (!best.empty()) msg += " (did you mean '" + best + "'?)";
+    msg += "; run mcc_run --list for the key reference";
+    throw ConfigError(msg);
+  }
+  return it->second;
+}
+
+}  // namespace
+
+void Configuration::set(const std::string& key, const std::string& value) {
+  const KeySpec& spec = spec_for(key);
+  validate(key, spec, value);
+  values_[key] = Entry{value, next_seq_++};
+}
+
+void Configuration::load_text(const std::string& text,
+                              const std::string& origin) {
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos)
+      throw ConfigError("config: " + origin + ":" + std::to_string(lineno) +
+                        ": expected 'key = value', got '" + line + "'");
+    try {
+      set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+    } catch (const ConfigError& e) {
+      throw ConfigError(origin + ":" + std::to_string(lineno) + ": " +
+                        e.what());
+    }
+  }
+}
+
+void Configuration::load_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw ConfigError("config: cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  load_text(ss.str(), path);
+}
+
+void Configuration::apply_overrides(const std::vector<std::string>& tokens) {
+  for (const std::string& tok : tokens) {
+    const size_t eq = tok.find('=');
+    if (eq == std::string::npos)
+      throw ConfigError("config: override '" + tok +
+                        "' is not of the form key=value");
+    set(trim(tok.substr(0, eq)), trim(tok.substr(eq + 1)));
+  }
+}
+
+bool Configuration::smoke() const {
+  const auto it = values_.find("smoke");
+  if (it != values_.end()) {
+    bool b = false;
+    parse_bool(it->second.value, b);
+    return b;
+  }
+  bool from_env = false;
+  if (env_alias_value("smoke", schema().at("smoke"), from_env))
+    return from_env;
+  return false;
+}
+
+bool Configuration::is_set(const std::string& key) const {
+  (void)spec_for(key);
+  if (smoke() && values_.count("smoke." + key) != 0) return true;
+  return values_.count(key) != 0;
+}
+
+std::string Configuration::resolved_raw(const std::string& key,
+                                        const KeySpec& spec) const {
+  const auto it = values_.find(key);
+  if (key != "smoke" && smoke()) {
+    const auto pin = values_.find("smoke." + key);
+    // Last writer wins between the base key and its pin: a preset's pin
+    // (written below the base line) applies under smoke=1, while a later
+    // explicit override of the base key beats the pin again.
+    if (pin != values_.end() &&
+        (it == values_.end() || pin->second.seq > it->second.seq))
+      return pin->second.value;
+  }
+  if (it != values_.end()) return it->second.value;
+  bool from_env = false;
+  if (env_alias_value(key, spec, from_env)) return from_env ? "1" : "0";
+  return spec.def;
+}
+
+bool Configuration::get_bool(const std::string& key) const {
+  const KeySpec& spec = spec_for(key);
+  if (spec.type != KeyType::Bool)
+    throw ConfigError("config: key '" + key + "' is not a bool");
+  bool b = false;
+  parse_bool(resolved_raw(key, spec), b);
+  return b;
+}
+
+int Configuration::get_int(const std::string& key) const {
+  const KeySpec& spec = spec_for(key);
+  if (spec.type != KeyType::Int)
+    throw ConfigError("config: key '" + key + "' is not an int");
+  long long i = 0;
+  parse_i64(resolved_raw(key, spec), i);
+  return static_cast<int>(i);
+}
+
+uint64_t Configuration::get_uint64(const std::string& key) const {
+  const KeySpec& spec = spec_for(key);
+  if (spec.type != KeyType::UInt64)
+    throw ConfigError("config: key '" + key + "' is not a uint64");
+  uint64_t u = 0;
+  parse_u64(resolved_raw(key, spec), u);
+  return u;
+}
+
+double Configuration::get_double(const std::string& key) const {
+  const KeySpec& spec = spec_for(key);
+  if (spec.type != KeyType::Double)
+    throw ConfigError("config: key '" + key + "' is not a double");
+  double d = 0;
+  parse_f64(resolved_raw(key, spec), d);
+  return d;
+}
+
+std::string Configuration::get_string(const std::string& key) const {
+  const KeySpec& spec = spec_for(key);
+  if (spec.type != KeyType::String)
+    throw ConfigError("config: key '" + key + "' is not a string");
+  return resolved_raw(key, spec);
+}
+
+std::vector<int> Configuration::get_int_list(const std::string& key) const {
+  const KeySpec& spec = spec_for(key);
+  if (spec.type != KeyType::IntList)
+    throw ConfigError("config: key '" + key + "' is not an int list");
+  std::vector<int> out;
+  for (const std::string& item : split_list(resolved_raw(key, spec))) {
+    long long i = 0;
+    parse_i64(item, i);
+    out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<double> Configuration::get_double_list(
+    const std::string& key) const {
+  const KeySpec& spec = spec_for(key);
+  if (spec.type != KeyType::DoubleList)
+    throw ConfigError("config: key '" + key + "' is not a double list");
+  std::vector<double> out;
+  for (const std::string& item : split_list(resolved_raw(key, spec))) {
+    double d = 0;
+    parse_f64(item, d);
+    out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<std::string> Configuration::get_string_list(
+    const std::string& key) const {
+  const KeySpec& spec = spec_for(key);
+  if (spec.type != KeyType::StringList)
+    throw ConfigError("config: key '" + key + "' is not a string list");
+  return split_list(resolved_raw(key, spec));
+}
+
+std::vector<std::pair<std::string, std::string>> Configuration::echo() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [key, spec] : schema()) {
+    bool explicitly = values_.count(key) != 0;
+    if (smoke() && values_.count("smoke." + key) != 0) explicitly = true;
+    // A value resolved from a deprecated env alias is part of the run's
+    // effective configuration: echo it so replaying the echoed config
+    // reproduces the run without the environment.
+    if (env_alias_present(spec)) explicitly = true;
+    if (!explicitly) continue;
+    out.emplace_back(key, resolved_raw(key, spec));
+  }
+  return out;
+}
+
+int Configuration::env_alias_warning_count() { return g_env_warnings.load(); }
+
+}  // namespace mcc::api

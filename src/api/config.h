@@ -1,0 +1,119 @@
+// Typed key=value configuration for the experiment API (booksim-style "one
+// front door": every run is a config file plus overrides, never a bespoke
+// main()).
+//
+// Rules, all enforced as hard failures (ConfigError):
+//   * unknown keys are errors (with a nearest-key suggestion);
+//   * values must parse as the key's declared type and sit in its range;
+//   * `smoke.<key>` pins the value a key takes when smoke=1, so one preset
+//     file carries both the full sweep and its CI smoke shape;
+//   * the legacy environment variables MCC_SMOKE / MCC_NOCACHE remain as
+//     deprecated aliases of smoke= / guidance_cache= that warn once per
+//     process; an explicit config value always wins over the environment.
+//
+// File syntax: one `key = value` per line, `#` starts a comment, blank
+// lines ignored. Override syntax (CLI / Experiment): `key=value` tokens.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mcc::api {
+
+/// Every configuration/registry failure surfaces as this type; mcc_run
+/// maps it to exit code 2, tests assert on it.
+struct ConfigError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+enum class KeyType : uint8_t {
+  Bool,
+  Int,
+  UInt64,
+  Double,
+  String,
+  IntList,
+  DoubleList,
+  StringList,
+};
+
+const char* to_string(KeyType t);
+
+struct KeySpec {
+  KeyType type = KeyType::String;
+  std::string def;   // default, in value syntax ("" = empty list for lists)
+  std::string help;
+  double min = -1e300;  // numeric range (applies per element for lists)
+  double max = 1e300;
+  const char* env_alias = nullptr;  // deprecated environment fallback
+  bool env_inverted = false;        // truthy env means key=false (MCC_NOCACHE)
+};
+
+class Configuration {
+ public:
+  /// Starts with every key at its default.
+  Configuration() = default;
+
+  /// The full key reference (name -> spec), ordered by name.
+  static const std::map<std::string, KeySpec>& schema();
+
+  /// Sets one key from its text form. Accepts `smoke.<key>` prefixed names.
+  /// Throws ConfigError on unknown key, type mismatch or range violation.
+  void set(const std::string& key, const std::string& value);
+
+  /// Parses `key = value` lines. `origin` names the source in errors.
+  void load_text(const std::string& text, const std::string& origin);
+  void load_file(const std::string& path);
+
+  /// Applies `key=value` override tokens (CLI tail), left to right.
+  void apply_overrides(const std::vector<std::string>& tokens);
+
+  /// True when the key (or, with smoke active, its smoke.* pin) was set
+  /// explicitly rather than defaulted.
+  bool is_set(const std::string& key) const;
+
+  // Typed getters over the RESOLVED view: the later of the explicit value
+  // and (when smoke is on) its smoke.* pin, then the env alias (warning
+  // once), then the default. Throws ConfigError on unknown key or
+  // getter/type mismatch.
+  bool get_bool(const std::string& key) const;
+  int get_int(const std::string& key) const;
+  uint64_t get_uint64(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  std::string get_string(const std::string& key) const;
+  std::vector<int> get_int_list(const std::string& key) const;
+  std::vector<double> get_double_list(const std::string& key) const;
+  std::vector<std::string> get_string_list(const std::string& key) const;
+
+  /// True when smoke mode is active (smoke=1 or the MCC_SMOKE alias).
+  bool smoke() const;
+
+  /// Resolved (key, value-text) pairs of every explicitly-set base key in
+  /// sorted order — the config echo embedded in RunReport JSON. Values are
+  /// post-resolution: smoke pins substituted when smoke is on.
+  std::vector<std::pair<std::string, std::string>> echo() const;
+
+  /// Process-wide count of deprecated-env-alias warnings (test hook).
+  static int env_alias_warning_count();
+
+ private:
+  struct Entry {
+    std::string value;
+    int seq = 0;  // set() order; later writes beat earlier smoke pins
+  };
+
+  std::string resolved_raw(const std::string& key, const KeySpec& spec) const;
+
+  // Explicit values by key; smoke pins stored under their "smoke." name.
+  // The sequence number makes precedence last-writer-wins between a key
+  // and its smoke pin: a preset's smoke.k pin (written after its k line)
+  // beats the preset's k when smoke is on, and a later CLI override k=6
+  // beats the pin again — so inline overrides always work as documented.
+  std::map<std::string, Entry> values_;
+  int next_seq_ = 0;
+};
+
+}  // namespace mcc::api

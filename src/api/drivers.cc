@@ -1,0 +1,765 @@
+// Built-in experiment drivers over the core routing stack: route_quality
+// (E8 and its 3-D/dynamic/baseline generalizations), route_demo (the
+// quickstart path), region_atlas (fault-pattern comparisons) and
+// protocol_cost (E7). The wormhole drivers live in drivers_wormhole.cc.
+//
+// The rewired benches must stay byte-identical with their pre-redesign
+// output, so the E8 code path reproduces the legacy bench loop exactly:
+// same seed arithmetic, same draw order, same Table formatting calls
+// (tests/test_api_differential.cc pins this).
+#include <cmath>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <type_traits>
+
+#include "api/experiment.h"
+#include "baselines/fault_block.h"
+#include "core/labeling.h"
+#include "mesh/fault_injection.h"
+#include "proto/stack2d.h"
+#include "sim/wormhole/baseline_routing.h"
+#include "util/ascii_viz.h"
+#include "util/parallel.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace mcc::api {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small topology adapters so route_quality is written once for 2-D/3-D and
+// once for the static/dynamic models.
+
+struct Axes2 {
+  using Mesh = mesh::Mesh2D;
+  using Coord = mesh::Coord2;
+  using Dir = mesh::Dir2;
+  using Octant = mesh::Octant2;
+  using StaticModel = core::MccModel2D;
+  using DynamicModel = runtime::DynamicModel2D;
+  using Timeline = runtime::FaultTimeline2D;
+  using BlockField = baselines::BlockField2D;
+  static constexpr size_t kMaxCand = 2;
+};
+
+struct Axes3 {
+  using Mesh = mesh::Mesh3D;
+  using Coord = mesh::Coord3;
+  using Dir = mesh::Dir3;
+  using Octant = mesh::Octant3;
+  using StaticModel = core::MccModel3D;
+  using DynamicModel = runtime::DynamicModel3D;
+  using Timeline = runtime::FaultTimeline3D;
+  using BlockField = baselines::BlockField3D;
+  static constexpr size_t kMaxCand = 3;
+};
+
+mesh::Mesh2D square_mesh(Axes2, const Scenario& s) { return s.mesh2(); }
+mesh::Mesh3D square_mesh(Axes3, const Scenario& s) { return s.mesh3(); }
+
+mesh::FaultSet2D scenario_faults(const mesh::Mesh2D& m, const Scenario& s,
+                                 util::Rng& rng,
+                                 const std::vector<mesh::Coord2>& protect) {
+  return s.make_faults2(m, rng, protect);
+}
+mesh::FaultSet3D scenario_faults(const mesh::Mesh3D& m, const Scenario& s,
+                                 util::Rng& rng,
+                                 const std::vector<mesh::Coord3>& protect) {
+  return s.make_faults3(m, rng, protect);
+}
+
+std::optional<std::pair<mesh::Coord2, mesh::Coord2>> sample_pair(
+    const mesh::Mesh2D& m, const core::LabelField2D& labels, util::Rng& rng,
+    int min_distance) {
+  return util::sample_pair2d(m, labels, rng, min_distance);
+}
+std::optional<std::pair<mesh::Coord3, mesh::Coord3>> sample_pair(
+    const mesh::Mesh3D& m, const core::LabelField3D& labels, util::Rng& rng,
+    int min_distance) {
+  return util::sample_pair3d(m, labels, rng, min_distance);
+}
+
+baselines::BlockField2D make_block_field(const mesh::Mesh2D& m,
+                                         const mesh::FaultSet2D& f,
+                                         sim::wh::BlockFill fill) {
+  return fill == sim::wh::BlockFill::BoundingBox
+             ? baselines::bounding_box_fill(m, f)
+             : baselines::safety_fill(m, f);
+}
+baselines::BlockField3D make_block_field(const mesh::Mesh3D& m,
+                                         const mesh::FaultSet3D& f,
+                                         sim::wh::BlockFill fill) {
+  return fill == sim::wh::BlockFill::BoundingBox
+             ? baselines::bounding_box_fill(m, f)
+             : baselines::safety_fill(m, f);
+}
+
+core::RouterKind router_kind_for(const Scenario& s, const std::string& policy,
+                                 int dims) {
+  const PolicySpec& spec = s.policy_spec(policy);
+  const auto kind = dims == 2 ? spec.router_kind2d : spec.router_kind3d;
+  if (!kind)
+    throw ConfigError("config: policy '" + policy +
+                      "' has no core path router; route_quality serves it "
+                      "through its baseline branch only");
+  return *kind;
+}
+
+int component(mesh::Coord2 c, int axis) { return axis == 0 ? c.x : c.y; }
+int component(mesh::Coord3 c, int axis) {
+  return axis == 0 ? c.x : axis == 1 ? c.y : c.z;
+}
+
+template <class Coord>
+Coord step_toward(Coord u, const Coord& d, int axis) {
+  Coord n = u;
+  if constexpr (std::is_same_v<Coord, mesh::Coord2>) {
+    if (axis == 0) n.x += u.x < d.x ? 1 : -1;
+    else n.y += u.y < d.y ? 1 : -1;
+  } else {
+    if (axis == 0) n.x += u.x < d.x ? 1 : -1;
+    else if (axis == 1) n.y += u.y < d.y ? 1 : -1;
+    else n.z += u.z < d.z ? 1 : -1;
+  }
+  return n;
+}
+
+/// Minimal-adaptive walk through a block field (per-hop feasibility via the
+/// same monotone reachability E3/E4 compare with); used by the fault_block
+/// rows of route_quality. Precondition: block_feasible(s, d).
+template <class AxesT>
+core::RouteStats block_walk(const typename AxesT::Mesh& m,
+                            const typename AxesT::BlockField& field,
+                            typename AxesT::Coord s, typename AxesT::Coord d,
+                            core::RoutePolicy policy, uint64_t seed,
+                            int& hops) {
+  constexpr int kDims = std::is_same_v<AxesT, Axes2> ? 2 : 3;
+  util::Rng rng(seed);
+  core::RouteStats stats;
+  auto u = s;
+  int last_axis = -1;
+  hops = 0;
+  while (!(u == d)) {
+    std::array<int, 3> axes{};
+    size_t n = 0;
+    for (int axis = 0; axis < kDims; ++axis) {
+      if (component(u, axis) == component(d, axis)) continue;
+      const auto next = step_toward(u, d, axis);
+      if (baselines::block_feasible(m, field, next, d)) axes[n++] = axis;
+    }
+    if (n == 0) {
+      hops = -1;  // cannot happen when block_feasible(s, d) held
+      return stats;
+    }
+    if (n >= 2) ++stats.multi_choice_hops;
+    stats.candidate_sum += static_cast<int>(n);
+    // Same selection semantics as core::select_candidate, with axis
+    // indices standing in for directions.
+    size_t pick = 0;
+    switch (policy) {
+      case core::RoutePolicy::XFirst: pick = 0; break;
+      case core::RoutePolicy::YFirst: pick = n - 1; break;
+      case core::RoutePolicy::Random: pick = rng.pick(n); break;
+      case core::RoutePolicy::Balanced: {
+        int best = -1;
+        for (size_t i = 0; i < n; ++i) {
+          const int rem = std::abs(component(d, axes[i]) - component(u, axes[i]));
+          if (rem > best) {
+            best = rem;
+            pick = i;
+          }
+        }
+        break;
+      }
+      case core::RoutePolicy::Alternate:
+        for (size_t i = 0; i < n; ++i)
+          if (axes[i] != last_axis) {
+            pick = i;
+            break;
+          }
+        break;
+    }
+    last_axis = axes[pick];
+    u = step_toward(u, d, axes[pick]);
+    ++hops;
+  }
+  return stats;
+}
+
+/// Fault-oblivious dimension-order walk: delivered iff every node of the
+/// deterministic path is alive.
+template <class AxesT, class Faults>
+bool dor_walk(const Faults& faults, typename AxesT::Coord s,
+              typename AxesT::Coord d, int& hops) {
+  constexpr int kDims = std::is_same_v<AxesT, Axes2> ? 2 : 3;
+  auto u = s;
+  hops = 0;
+  while (!(u == d)) {
+    int axis = 0;
+    while (axis < kDims && component(u, axis) == component(d, axis)) ++axis;
+    u = step_toward(u, d, axis);
+    if (faults.is_faulty(u)) return false;
+    ++hops;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// route_quality
+
+/// One (fault-rate, policy) table cell, shared by the static and dynamic
+/// model paths. ModelT is core::MccModel*D or runtime::DynamicModel*D —
+/// both expose octant()/feasible()/route() with identical semantics.
+template <class AxesT, class MakeModel>
+void route_quality_cell(const Scenario& scn, const typename AxesT::Mesh& m,
+                        const std::string& policy, double rate,
+                        MakeModel&& make_model, util::Table& t) {
+  util::RunningStats delivered, minimal, multi, cand;
+  std::mutex mu;
+  const bool is_block = policy == "fault_block";
+  const bool is_dor = policy == "dor";
+  const int dims = std::is_same_v<AxesT, Axes2> ? 2 : 3;
+  const std::optional<core::RouterKind> kind =
+      is_block || is_dor
+          ? std::nullopt
+          : std::optional<core::RouterKind>(
+                router_kind_for(scn, policy, dims));
+
+  util::parallel_for(
+      static_cast<size_t>(scn.trials), [&](size_t trial) {
+        util::Rng rng(scn.seed + static_cast<uint64_t>(rate * 1000) * 7 +
+                      trial);
+        Scenario cell = scn;
+        cell.fault_rate = rate;
+        const auto f = scenario_faults(m, cell, rng, {});
+        const auto model = make_model(m, f, trial);
+        const auto& oct = model->octant(typename AxesT::Octant{});
+        const std::optional<typename AxesT::BlockField> field =
+            is_block ? std::optional<typename AxesT::BlockField>(
+                           make_block_field(m, model->faults(),
+                                            scn.block_fill_kind))
+                     : std::nullopt;
+        long n = 0, del = 0, min_ok = 0;
+        util::RunningStats mstat, cstat;
+        for (int i = 0; i < scn.pairs; ++i) {
+          const auto pr = sample_pair(m, oct.labels, rng, scn.min_distance);
+          if (!pr) continue;
+          const auto [s, d] = *pr;
+          if (!model->feasible(s, d).feasible) continue;
+          ++n;
+          const uint64_t route_seed = trial * 1000 + static_cast<uint64_t>(i);
+          if (is_block) {
+            if (!baselines::block_feasible(m, *field, s, d)) continue;
+            ++del;
+            int hops = 0;
+            const core::RouteStats st = block_walk<AxesT>(
+                m, *field, s, d, scn.route_policy, route_seed, hops);
+            if (hops > 0) {
+              ++min_ok;  // the walk is minimal by construction
+              mstat.add(double(st.multi_choice_hops) / hops);
+              cstat.add(double(st.candidate_sum) / hops);
+            }
+          } else if (is_dor) {
+            int hops = 0;
+            if (!dor_walk<AxesT>(model->faults(), s, d, hops)) continue;
+            ++del;
+            if (hops > 0) {
+              ++min_ok;
+              mstat.add(0.0);  // a deterministic path has no choice hops
+              cstat.add(1.0);
+            }
+          } else {
+            const auto r =
+                model->route(s, d, *kind, scn.route_policy, route_seed);
+            del += r.delivered;
+            if (r.delivered) {
+              min_ok += r.hops() == manhattan(s, d);
+              if (r.hops() > 0) {
+                mstat.add(double(r.stats.multi_choice_hops) / r.hops());
+                cstat.add(double(r.stats.candidate_sum) / r.hops());
+              }
+            }
+          }
+        }
+        if (n == 0) return;
+        std::lock_guard<std::mutex> lock(mu);
+        delivered.add(double(del) / n);
+        minimal.add(del ? double(min_ok) / del : 0.0);
+        if (mstat.count()) multi.add(mstat.mean());
+        if (cstat.count()) cand.add(cstat.mean());
+      });
+
+  const std::string router_cell =
+      is_block ? (scn.block_fill_kind == sim::wh::BlockFill::BoundingBox
+                      ? "fault-block (bbox)"
+                      : "fault-block")
+      : is_dor ? "dor"
+               : core::to_string(router_kind_for(scn, policy, dims));
+  t.add_row({util::Table::pct(rate, 0), router_cell,
+             util::Table::pct(delivered.mean(), 1),
+             util::Table::pct(minimal.mean(), 1),
+             util::Table::pct(multi.mean(), 1),
+             util::Table::fmt(cand.mean(), 2)});
+}
+
+template <class AxesT>
+void run_route_quality(const Scenario& scn, RunReport& report) {
+  const typename AxesT::Mesh m = square_mesh(AxesT{}, scn);
+  const int dims = std::is_same_v<AxesT, Axes2> ? 2 : 3;
+
+  std::ostringstream head;
+  head << "# " << scn.name << ": routing quality, " << dims << "-D "
+       << m.nx() << "x" << m.ny();
+  if constexpr (std::is_same_v<AxesT, Axes3>) head << "x" << m.nz();
+  head << "\n\n";
+  report.text(head.str());
+
+  util::Table& t =
+      report.table("routing_quality",
+                   {"fault rate", "router", "delivered", "minimal",
+                    "multi-choice hops", "mean candidates/hop"});
+
+  // Model factory: static MccModel or DynamicModel with the churn schedule
+  // already absorbed (every event applied through the incremental hooks).
+  if (scn.dynamic && scn.churn.size() != 1)
+    throw ConfigError(
+        "config: route_quality applies one churn rate per run; sweep churn "
+        "with separate configs (or driver=wormhole_churn)");
+
+  const auto make_model = [&](const typename AxesT::Mesh& mesh,
+                              const auto& faults, size_t) {
+    using Model = std::conditional_t<std::is_same_v<AxesT, Axes2>,
+                                     core::MccModel2D, core::MccModel3D>;
+    return std::make_unique<Model>(mesh, faults);
+  };
+  const auto make_dynamic = [&](const typename AxesT::Mesh& mesh,
+                                const auto& faults, size_t trial) {
+    auto dyn = std::make_unique<typename AxesT::DynamicModel>(mesh, faults);
+    util::ChurnParams p;
+    p.rate = scn.churn.front() / 1000.0;
+    p.horizon = scn.churn_horizon != 0 ? scn.churn_horizon : 1000;
+    p.repair_min = static_cast<uint64_t>(scn.repair_min);
+    p.repair_max = static_cast<uint64_t>(scn.repair_max);
+    // Per-trial schedule (trial mixed into the seed so Monte-Carlo
+    // replicates draw independent churn), identical across policies for a
+    // fair comparison at the same trial index.
+    util::Rng crng(scn.seed2 ^ ((trial + 1) * 0x9E3779B97F4A7C15ULL));
+    using Timeline = typename AxesT::Timeline;
+    const auto timeline = Timeline::sample(mesh, faults, crng, p);
+    for (const auto& e : timeline.events()) {
+      if (e.repair)
+        (void)dyn->repair(e.node);
+      else
+        (void)dyn->fail(e.node);
+    }
+    return dyn;
+  };
+
+  for (const double rate : scn.fault_rates) {
+    for (const std::string& policy : scn.policy_list) {
+      if (scn.dynamic)
+        route_quality_cell<AxesT>(scn, m, policy, rate, make_dynamic, t);
+      else
+        route_quality_cell<AxesT>(scn, m, policy, rate, make_model, t);
+    }
+  }
+
+  // Path diversity: distinct minimal paths found by the random policy.
+  // Fixed supplementary diagnostic (rates 0% and 10%, distance >= 12,
+  // 20 tries), exactly the legacy E8 second table.
+  if (scn.diversity) {
+    report.text("\n");
+    util::Table& t2 = report.table(
+        "path_diversity",
+        {"fault rate", "distinct paths (20 tries)", "path length"});
+    const core::RouterKind kind = router_kind_for(scn, "model", dims);
+    for (const double rate : {0.0, 0.10}) {
+      util::RunningStats distinct, len;
+      std::mutex mu;
+      util::parallel_for(
+          static_cast<size_t>(scn.trials), [&](size_t trial) {
+            util::Rng rng(scn.seed2 + static_cast<uint64_t>(rate * 1000) +
+                          trial);
+            Scenario cell = scn;
+            cell.fault_rate = rate;
+            const auto f = scenario_faults(m, cell, rng, {});
+            // Same model kind as the main table (post-churn dynamic when
+            // fault_model=dynamic), so both tables describe one network.
+            const auto probe = [&](const auto& model) {
+              const auto& oct = model->octant(typename AxesT::Octant{});
+              const auto pr = sample_pair(m, oct.labels, rng, 12);
+              if (!pr || !model->feasible(pr->first, pr->second).feasible)
+                return;
+              std::set<std::vector<int>> paths;
+              int hops = 0;
+              for (int i = 0; i < 20; ++i) {
+                const auto r =
+                    model->route(pr->first, pr->second, kind,
+                                 core::RoutePolicy::Random, trial * 77 + i);
+                if (!r.delivered) continue;
+                hops = r.hops();
+                std::vector<int> key;
+                for (const auto c : r.path) {
+                  int idx = component(c, 1) * m.nx() + component(c, 0);
+                  if constexpr (std::is_same_v<AxesT, Axes3>)
+                    idx += component(c, 2) * m.nx() * m.ny();
+                  key.push_back(idx);
+                }
+                paths.insert(key);
+              }
+              std::lock_guard<std::mutex> lock(mu);
+              if (!paths.empty()) {
+                distinct.add(static_cast<double>(paths.size()));
+                len.add(hops);
+              }
+            };
+            if (scn.dynamic)
+              probe(make_dynamic(m, f, trial));
+            else
+              probe(make_model(m, f, trial));
+          });
+      t2.add_row({util::Table::pct(rate, 0),
+                  util::Table::mean_ci(distinct.mean(), distinct.ci95(), 1),
+                  util::Table::fmt(len.mean(), 1)});
+    }
+  }
+  report.text(
+      "\nExpected shape: oracle and record routers deliver 100% minimal; "
+      "labels-only loses messages to\nmulti-region traps; adaptivity "
+      "(choice-rich hops) shrinks as faults densify.\n");
+}
+
+void route_quality_driver(const Scenario& scn, RunReport& report) {
+  if (scn.dims == 2)
+    run_route_quality<Axes2>(scn, report);
+  else
+    run_route_quality<Axes3>(scn, report);
+}
+
+// ---------------------------------------------------------------------------
+// route_demo (quickstart / figure-5 walkthrough)
+
+template <class AxesT>
+void run_route_demo(const Scenario& scn, RunReport& report) {
+  const typename AxesT::Mesh m = square_mesh(AxesT{}, scn);
+  const int dims = std::is_same_v<AxesT, Axes2> ? 2 : 3;
+  typename AxesT::Coord s{}, d{};
+  if constexpr (std::is_same_v<AxesT, Axes2>) {
+    d = {m.nx() - 1, m.ny() - 1};
+  } else {
+    d = {m.nx() - 1, m.ny() - 1, m.nz() - 1};
+  }
+
+  util::Rng rng(scn.seed);
+  const auto faults = scenario_faults(m, scn, rng, {s, d});
+
+  std::ostringstream os;
+  os << "mesh ";
+  if constexpr (std::is_same_v<AxesT, Axes2>)
+    os << m.nx() << "x" << m.ny();
+  else
+    os << m.nx() << "x" << m.ny() << "x" << m.nz();
+  os << ", " << faults.count() << " faulty nodes (" << scn.fault_pattern
+     << ")\n";
+
+  // Static or dynamic model behind one query surface — the point of the
+  // demo is that the config picks the stack.
+  std::unique_ptr<typename AxesT::StaticModel> stat;
+  std::unique_ptr<typename AxesT::DynamicModel> dyn;
+  if (scn.dynamic)
+    dyn = std::make_unique<typename AxesT::DynamicModel>(m, faults);
+  else
+    stat = std::make_unique<typename AxesT::StaticModel>(m, faults);
+
+  const auto& oct = scn.dynamic ? dyn->octant(typename AxesT::Octant{})
+                                : stat->octant(typename AxesT::Octant{});
+  os << "MCC fault regions: " << oct.mccs.regions().size()
+     << " (healthy nodes absorbed: " << oct.labels.healthy_unsafe_count();
+  if (dims == 3)
+    os << "; useless " << oct.labels.useless_count() << ", can't-reach "
+       << oct.labels.cant_reach_count();
+  os << ")\n";
+
+  const auto feas =
+      scn.dynamic ? dyn->feasible(s, d) : stat->feasible(s, d);
+  os << "minimal path s->d exists: " << (feas.feasible ? "yes" : "no")
+     << "\n";
+  report.metric("feasible", feas.feasible ? 1 : 0);
+  if (!feas.feasible) {
+    report.text(os.str());
+    return;
+  }
+
+  const core::RouterKind kind = router_kind_for(scn, scn.policy, dims);
+  const auto route = scn.dynamic
+                         ? dyn->route(s, d, kind, scn.route_policy, scn.seed)
+                         : stat->route(s, d, kind, scn.route_policy,
+                                       scn.seed);
+  os << "routed in " << route.hops() << " hops (distance " << manhattan(s, d)
+     << ") via " << core::to_string(kind) << "/"
+     << core::to_string(scn.route_policy) << "\npath:";
+  for (const auto c : route.path) os << ' ' << c;
+  os << '\n';
+  report.metric("delivered", route.delivered ? 1 : 0);
+  report.metric("hops", route.hops());
+  if (!route.delivered) report.fail("feasible pair not delivered");
+  report.text(os.str());
+}
+
+void route_demo_driver(const Scenario& scn, RunReport& report) {
+  if (scn.dims == 2)
+    run_route_demo<Axes2>(scn, report);
+  else
+    run_route_demo<Axes3>(scn, report);
+}
+
+// ---------------------------------------------------------------------------
+// region_atlas (2-D fault-pattern comparison, the old fault_region_atlas)
+
+void region_atlas_driver(const Scenario& scn, RunReport& report) {
+  if (scn.dims != 2)
+    throw ConfigError("config: driver region_atlas supports dims=2 only");
+  const mesh::Mesh2D m = scn.mesh2();
+  util::Rng rng(scn.fault_seed);
+  const auto f = scenario_faults(m, scn, rng, {});
+
+  const core::LabelField2D labels(m, f);
+  const core::MccSet2D mccs(m, labels);
+  const core::Boundary2D boundary(m, labels, mccs);
+  const auto safety = baselines::safety_fill(m, f);
+  const auto bbox = baselines::bounding_box_fill(m, f);
+
+  std::ostringstream os;
+  os << "== " << scn.name << "\n";
+  if (scn.render) {
+    util::VizOptions opts;
+    opts.boundary = &boundary;
+    os << util::render_mesh(m, labels, opts);
+  } else {
+    os << util::render_mesh(m, labels);
+  }
+  os << "faults=" << f.count()
+     << "  MCC healthy-absorbed=" << labels.healthy_unsafe_count()
+     << "  safety-blocks=" << safety.healthy_unsafe_count()
+     << "  bounding-box=" << bbox.healthy_unsafe_count()
+     << "  regions=" << mccs.regions().size()
+     << "  boundary records=" << boundary.record_count() << "\n\n";
+  report.text(os.str());
+
+  util::Table& t = report.table(
+      "absorption", {"faults", "mcc absorbed", "safety blocks",
+                     "bounding box", "regions", "records"});
+  t.add_row({std::to_string(f.count()),
+             std::to_string(labels.healthy_unsafe_count()),
+             std::to_string(safety.healthy_unsafe_count()),
+             std::to_string(bbox.healthy_unsafe_count()),
+             std::to_string(mccs.regions().size()),
+             std::to_string(boundary.record_count())});
+  report.metric("mcc_absorbed", labels.healthy_unsafe_count());
+  report.metric("safety_absorbed", safety.healthy_unsafe_count());
+  report.metric("bbox_absorbed", bbox.healthy_unsafe_count());
+}
+
+// ---------------------------------------------------------------------------
+// protocol_cost (E7)
+
+void protocol_cost_driver(const Scenario& scn, RunReport& report) {
+  if (scn.dims != 2)
+    throw ConfigError(
+        "config: driver protocol_cost runs the 2-D stack (dims=2); its "
+        "detail table includes the 3-D flood costs");
+  if (scn.dynamic)
+    throw ConfigError(
+        "config: driver protocol_cost requires fault_model=static");
+
+  report.text("# " + scn.name + ": distributed protocol cost (2-D stack)\n\n");
+
+  util::Table& t = report.table(
+      "protocol_cost",
+      {"mesh", "fault rate", "label msgs", "label rounds", "ident msgs",
+       "boundary msgs", "total payload (words)", "msgs/node", "identified",
+       "discarded"});
+
+  // The cost table sweeps square ks; with no explicit ks it covers the
+  // single configured mesh (nx/ny), so a render-mode instance and the
+  // table describe the same network.
+  std::vector<mesh::Mesh2D> meshes;
+  if (scn.ks_set)
+    for (const int k : scn.ks) meshes.push_back(mesh::Mesh2D(k, k));
+  else
+    meshes.push_back(scn.mesh2());
+  for (const mesh::Mesh2D& m : meshes) {
+    const int k = m.nx();
+    for (const double rate : scn.fault_rates) {
+      util::RunningStats lab_m, lab_r, id_m, bd_m, payload, per_node, ident,
+          disc;
+      std::mutex mu;
+      util::parallel_for(
+          static_cast<size_t>(scn.trials), [&](size_t trial) {
+            util::Rng rng(scn.seed + static_cast<uint64_t>(k) * 100 +
+                          static_cast<uint64_t>(rate * 1000) * 17 + trial);
+            Scenario cell = scn;
+            cell.fault_rate = rate;
+            const auto f = scenario_faults(m, cell, rng, {});
+            proto::Stack2D stack(m, f);
+            std::lock_guard<std::mutex> lock(mu);
+            lab_m.add(static_cast<double>(stack.labeling_stats.messages));
+            lab_r.add(static_cast<double>(stack.labeling_stats.rounds));
+            id_m.add(static_cast<double>(stack.ident_stats.messages));
+            bd_m.add(static_cast<double>(stack.boundary_stats.messages));
+            payload.add(static_cast<double>(stack.total_payload_words()));
+            per_node.add(static_cast<double>(stack.total_messages()) /
+                         static_cast<double>(m.node_count()));
+            ident.add(stack.ident.identified());
+            disc.add(stack.ident.discarded());
+          });
+      t.add_row({std::to_string(m.nx()) + "x" + std::to_string(m.ny()),
+                 util::Table::pct(rate, 0),
+                 util::Table::fmt(lab_m.mean(), 0),
+                 util::Table::fmt(lab_r.mean(), 1),
+                 util::Table::fmt(id_m.mean(), 0),
+                 util::Table::fmt(bd_m.mean(), 0),
+                 util::Table::fmt(payload.mean(), 0),
+                 util::Table::fmt(per_node.mean(), 2),
+                 util::Table::fmt(ident.mean(), 1),
+                 util::Table::fmt(disc.mean(), 1)});
+    }
+  }
+
+  // Detection / routing message cost for individual queries (fixed shapes,
+  // the legacy E7 second table).
+  if (scn.detail) {
+    util::Table& t2 = report.table(
+        "query_cost", {"mesh", "fault rate", "detect msgs (2D)",
+                       "route msgs (2D)", "detect msgs (3D flood)"});
+    for (const double rate : {0.05, 0.10}) {
+      const int k = 24;
+      const mesh::Mesh2D m2(k, k);
+      const mesh::Mesh3D m3(10, 10, 10);
+      util::RunningStats det2, rt2, det3;
+      std::mutex mu;
+      util::parallel_for(
+          static_cast<size_t>(scn.trials), [&](size_t trial) {
+            util::Rng rng(scn.seed2 + static_cast<uint64_t>(rate * 1000) +
+                          trial);
+            const auto f2 = mesh::inject_uniform(m2, rate, rng);
+            proto::Stack2D stack(m2, f2);
+            const core::LabelField2D labels(m2, f2);
+            util::RunningStats d2, r2;
+            for (int i = 0; i < 10; ++i) {
+              const auto pr = util::sample_pair2d(m2, labels, rng);
+              if (!pr) continue;
+              const auto det = proto::run_detect2d(m2, stack.labeling,
+                                                   pr->first, pr->second);
+              d2.add(static_cast<double>(det.stats.messages));
+              if (det.feasible()) {
+                const auto rt = proto::run_route2d(
+                    m2, stack.labeling, stack.boundary, pr->first,
+                    pr->second, trial * 31 + static_cast<uint64_t>(i));
+                if (rt.delivered)
+                  r2.add(static_cast<double>(rt.stats.messages));
+              }
+            }
+            const auto f3 = mesh::inject_uniform(m3, rate, rng);
+            proto::LabelingProtocol3D lab3(m3, f3);
+            lab3.run();
+            const core::LabelField3D labels3(m3, f3);
+            util::RunningStats d3;
+            for (int i = 0; i < 5; ++i) {
+              const auto pr = util::sample_pair3d(m3, labels3, rng);
+              if (!pr) continue;
+              const auto det =
+                  proto::run_detect3d(m3, lab3, pr->first, pr->second);
+              d3.add(static_cast<double>(det.stats.messages));
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            if (d2.count()) det2.add(d2.mean());
+            if (r2.count()) rt2.add(r2.mean());
+            if (d3.count()) det3.add(d3.mean());
+          });
+      t2.add_row({"24x24 / 10^3", util::Table::pct(rate, 0),
+                  util::Table::fmt(det2.mean(), 1),
+                  util::Table::fmt(rt2.mean(), 1),
+                  util::Table::fmt(det3.mean(), 1)});
+    }
+  }
+
+  // One rendered instance of the full stack (the old distributed_protocol
+  // example): labelled mesh, per-phase costs, one detection + routed path.
+  if (scn.render) {
+    const mesh::Mesh2D m = scn.mesh2();
+    util::Rng rng(scn.fault_seed);
+    const auto faults = scenario_faults(m, scn, rng, {});
+    proto::Stack2D stack(m, faults);
+    const core::LabelField2D reference(m, faults);
+
+    std::ostringstream os;
+    os << "\nmesh " << m.nx() << "x" << m.ny() << ", " << faults.count()
+       << " faults\n";
+    os << util::render_mesh(m, reference);
+    const auto phase = [&os](const char* pname, const sim::RunStats& st) {
+      os << "  " << pname << ": " << st.rounds << " rounds, " << st.messages
+         << " messages, " << st.payload_words << " payload words\n";
+    };
+    os << "protocol phases:\n";
+    phase("labelling     ", stack.labeling_stats);
+    phase("neighborhood  ", stack.exchange_stats);
+    phase("identification", stack.ident_stats);
+    phase("boundaries    ", stack.boundary_stats);
+    os << "  corners found: " << stack.ident.corners().size()
+       << ", regions identified: " << stack.ident.identified()
+       << ", discarded: " << stack.ident.discarded()
+       << ", records deposited: " << stack.boundary.record_count() << "\n\n";
+
+    const mesh::Coord2 s{1, 1};
+    const mesh::Coord2 d{m.nx() - 2, m.ny() - 2};
+    const auto det = proto::run_detect2d(m, stack.labeling, s, d);
+    os << "detection " << s << " -> " << d << ": +Y walker "
+       << (det.y_walker_ok ? "ok" : "blocked") << ", +X walker "
+       << (det.x_walker_ok ? "ok" : "blocked") << " (" << det.stats.messages
+       << " messages)\n";
+    if (det.feasible()) {
+      const auto route = proto::run_route2d(m, stack.labeling, stack.boundary,
+                                            s, d, scn.seed);
+      os << "routing: " << (route.delivered ? "delivered" : "stuck")
+         << " in " << route.hops() << " hops (distance " << manhattan(s, d)
+         << ")\n";
+      util::VizOptions opts;
+      opts.boundary = nullptr;
+      opts.path = route.path;
+      opts.source = s;
+      opts.destination = d;
+      os << util::render_mesh(m, reference, opts);
+    }
+    report.text(os.str());
+  }
+
+  report.text(
+      "\nExpected shape: labelling costs ~1 broadcast wave per node plus "
+      "fill cascades; identification and\nboundary messages scale with "
+      "fault-region perimeter, not mesh volume; routing costs ~path "
+      "length.\n");
+}
+
+}  // namespace
+
+void register_wormhole_drivers();  // drivers_wormhole.cc
+
+void register_builtin_drivers() {
+  drivers().add("route_quality", route_quality_driver,
+                "delivery/minimality/adaptivity per fault rate and policy "
+                "(E8; 2-D/3-D, static/dynamic, baselines)");
+  drivers().add("route_demo", route_demo_driver,
+                "route one corner-to-corner pair and show the MCC stack "
+                "(quickstart)");
+  drivers().add("region_atlas", region_atlas_driver,
+                "render a fault pattern and compare MCC absorption against "
+                "the block fills");
+  drivers().add("protocol_cost", protocol_cost_driver,
+                "distributed construction cost per protocol phase (E7)");
+  register_wormhole_drivers();
+}
+
+}  // namespace mcc::api

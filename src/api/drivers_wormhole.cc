@@ -1,0 +1,470 @@
+// Wormhole and dynamic-runtime experiment drivers: wormhole_load (E11),
+// wormhole_churn (E12 part B, 2-D and 3-D, any churn-capable policy) and
+// event_cost (E12 parts A1/A2). The rewired benches E11/E12 must stay
+// byte-identical with their pre-redesign output, so the sweep structure,
+// seed arithmetic and Table formatting mirror the legacy bench mains
+// (tests/test_api_differential.cc pins the cells).
+#include <chrono>
+#include <sstream>
+#include <type_traits>
+
+#include "api/experiment.h"
+#include "mesh/fault_injection.h"
+#include "proto/boundary_delta.h"
+#include "runtime/timeline.h"
+#include "sim/wormhole/baseline_routing.h"
+#include "sim/wormhole/dynamic_routing.h"
+#include "util/table.h"
+
+namespace mcc::api {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string state_cell(const sim::wh::SimResult& r) {
+  return std::string(r.violations   ? "VIOLATION"
+                     : r.deadlocked ? "DEADLOCK"
+                     : !r.drained   ? "backlogged"
+                     : r.saturated  ? "saturated"
+                                    : "stable");
+}
+
+// ---------------------------------------------------------------------------
+// wormhole_load (E11)
+
+template <int Dims>
+void run_wormhole_load(const Scenario& scn, RunReport& report) {
+  using Mesh = std::conditional_t<Dims == 2, mesh::Mesh2D, mesh::Mesh3D>;
+  using Faults =
+      std::conditional_t<Dims == 2, mesh::FaultSet2D, mesh::FaultSet3D>;
+  const Mesh m = [&] {
+    if constexpr (Dims == 2)
+      return scn.mesh2();
+    else
+      return scn.mesh3();
+  }();
+
+  std::ostringstream head;
+  head << "# " << scn.name << ": wormhole latency-throughput (" << m.nx()
+       << "x" << m.ny();
+  if constexpr (Dims == 3) head << "x" << m.nz();
+  head << " mesh, " << scn.wh.packet_size << "-flit packets, "
+       << scn.wh.vcs_per_class << " VCs/class, depth " << scn.wh.buffer_depth
+       << ")\n";
+  report.text(head.str());
+
+  std::vector<std::string> envs = scn.fault_envs;
+  if (envs.empty())
+    envs = {scn.fault_pattern == "none" ? std::string("none")
+                                        : std::string("faults")};
+
+  const PolicySpec& pol = scn.policy_spec(scn.policy);
+  uint64_t delivered_total = 0;
+
+  for (const std::string& env : envs) {
+    Faults f(m);
+    if (env == "faults") {
+      util::Rng frng(scn.fault_seed);
+      if constexpr (Dims == 2)
+        f = scn.make_faults2(m, frng);
+      else
+        f = scn.make_faults3(m, frng);
+    }
+    auto routing = [&] {
+      if constexpr (Dims == 2) {
+        if (!pol.wormhole2d)
+          throw ConfigError("config: policy '" + scn.policy +
+                            "' has no 2-D wormhole routing function");
+        return pol.wormhole2d(scn, m, f);
+      } else {
+        if (!pol.wormhole3d)
+          throw ConfigError("config: policy '" + scn.policy +
+                            "' has no 3-D wormhole routing function");
+        return pol.wormhole3d(scn, m, f);
+      }
+    }();
+
+    std::ostringstream sec;
+    sec << "\n## "
+        << (env == "none" ? "fault-free ("
+            : scn.fault_pattern == "clustered"
+                ? "clustered MCC fault regions ("
+                : scn.fault_pattern + " fault regions (")
+        << f.count() << " dead nodes)\n\n";
+    report.text(sec.str());
+
+    util::Table& t = report.table(
+        "load_" + env,
+        {"pattern", "offered (f/n/c)", "accepted (f/n/c)", "avg lat",
+         "p99 lat", "max lat", "packets", "filtered", "state"});
+    for (const std::string& pattern_name : scn.traffic) {
+      const sim::wh::Pattern p = traffic_patterns().get(pattern_name).pattern;
+      for (const double rate : scn.rates) {
+        sim::wh::LoadPoint load = scn.load;
+        load.rate = rate;
+        const uint64_t seed =
+            scn.seed + static_cast<uint64_t>(rate * 10000);
+        sim::wh::SimResult r;
+        if constexpr (Dims == 2)
+          r = sim::wh::run_load_point2d(m, f, *routing, p, scn.wh,
+                                        scn.route_policy, load, seed,
+                                        scn.hotspot_fraction,
+                                        scn.hotspot_count);
+        else
+          r = sim::wh::run_load_point3d(m, f, *routing, p, scn.wh,
+                                        scn.route_policy, load, seed,
+                                        scn.hotspot_fraction,
+                                        scn.hotspot_count);
+        t.add_row({to_string(p), util::Table::fmt(r.offered_flits, 4),
+                   util::Table::fmt(r.accepted_flits, 4),
+                   util::Table::fmt(r.avg_latency, 1),
+                   std::to_string(r.p99_latency),
+                   std::to_string(r.max_latency),
+                   std::to_string(r.delivered_packets),
+                   std::to_string(r.filtered), state_cell(r)});
+        delivered_total += r.delivered_packets;
+        if (r.violations != 0 || r.deadlocked) {  // must never happen
+          report.fail(r.violations != 0 ? "ordering/credit violation"
+                                        : "deadlock");
+          return;
+        }
+      }
+    }
+  }
+
+  report.metric("delivered_packets", static_cast<double>(delivered_total));
+  report.text(
+      "\nExpected shape: latency flat near zero-load, rising toward the "
+      "saturation knee; fault regions\nlower the knee (fewer links, detours "
+      "concentrate load around MCC boundaries) and raise p99 first.\nEvery "
+      "load point drains completely after injection stops — the VC-class "
+      "scheme keeps the\nadaptive router deadlock-free even past "
+      "saturation.\n");
+}
+
+void wormhole_load_driver(const Scenario& scn, RunReport& report) {
+  if (scn.dynamic)
+    throw ConfigError(
+        "config: wormhole_load runs a static fault environment; use "
+        "driver=wormhole_churn for fault_model=dynamic");
+  if (scn.dims == 2)
+    run_wormhole_load<2>(scn, report);
+  else
+    run_wormhole_load<3>(scn, report);
+}
+
+// ---------------------------------------------------------------------------
+// wormhole_churn (E12 part B; 2-D closes the ROADMAP churn item)
+
+template <int Dims>
+void run_wormhole_churn(const Scenario& scn, RunReport& report) {
+  using Mesh = std::conditional_t<Dims == 2, mesh::Mesh2D, mesh::Mesh3D>;
+  using Model = std::conditional_t<Dims == 2, runtime::DynamicModel2D,
+                                   runtime::DynamicModel3D>;
+  using Timeline = std::conditional_t<Dims == 2, runtime::FaultTimeline2D,
+                                      runtime::FaultTimeline3D>;
+
+  const PolicySpec& pol = scn.policy_spec(scn.policy);
+  const sim::wh::Pattern pattern =
+      traffic_patterns().get(scn.traffic.front()).pattern;
+
+  const std::string routing_desc =
+      scn.policy == "fault_block"
+          ? "fault-block baseline, full refill per event"
+          : std::string("DynamicMccRouting") + (Dims == 2 ? "2" : "3") +
+                "D over the epoch-versioned cache";
+  report.text("\n## " + scn.name + ": wormhole churn runs (" +
+              scn.traffic.front() + " traffic, " + routing_desc + ")\n\n");
+
+  util::Table& t = report.table(
+      "churn", {"mesh", "churn/kcyc", "events (f+r)", "delivered", "dropped",
+                "accepted (f/n/c)", "avg lat", "cache hit%", "state"});
+
+  sim::wh::LoadPoint load = scn.load;
+  load.rate = scn.rates.front();
+
+  bool ok = true;
+  uint64_t delivered_total = 0, dropped_total = 0;
+  for (const int k : scn.ks) {
+    for (const double churn : scn.churn) {  // events per 1000 cycles
+      const Mesh mesh = [&] {
+        if constexpr (Dims == 2)
+          return scn.mesh2(k);
+        else
+          return scn.mesh3(k);
+      }();
+      // Legacy integral-churn seed formula kept bit-for-bit (the E12-B
+      // differential pin); the sub-integer part of a fractional churn
+      // rate is mixed in separately (zero for integral rates) so sweep
+      // points like 2 and 2.5 draw independent streams.
+      const uint64_t churn_frac = static_cast<uint64_t>(churn * 1000) -
+                                  static_cast<uint64_t>(churn) * 1000;
+      util::Rng rng(scn.seed + static_cast<uint64_t>(k * 31 + churn) +
+                    churn_frac * 0x9E3779B9ULL);
+      Scenario cell = scn;
+      cell.k = k;
+      const auto initial = [&] {
+        if constexpr (Dims == 2)
+          return cell.make_faults2(mesh, rng);
+        else
+          return cell.make_faults3(mesh, rng);
+      }();
+      Model model(mesh, initial);
+      auto routing = [&] {
+        if constexpr (Dims == 2) {
+          if (!pol.churn2d)
+            throw ConfigError("config: policy '" + scn.policy +
+                              "' cannot route under churn (2-D)");
+          return pol.churn2d(scn, model);
+        } else {
+          if (!pol.churn3d)
+            throw ConfigError("config: policy '" + scn.policy +
+                              "' cannot route under churn (3-D)");
+          return pol.churn3d(scn, model);
+        }
+      }();
+
+      util::ChurnParams p;
+      p.rate = churn / 1000.0;
+      p.horizon = scn.churn_horizon != 0
+                      ? scn.churn_horizon
+                      : static_cast<uint64_t>(load.warmup + load.measure +
+                                              load.drain / 4);
+      p.repair_min = static_cast<uint64_t>(scn.repair_min);
+      p.repair_max = static_cast<uint64_t>(scn.repair_max);
+      auto timeline = Timeline::sample(mesh, initial, rng, p);
+
+      sim::wh::ChurnResult r;
+      const uint64_t run_seed = scn.seed2 + static_cast<uint64_t>(k);
+      if constexpr (Dims == 2)
+        r = sim::wh::run_churn_load_point2d(
+            model, *routing, pattern, scn.wh, scn.route_policy, load,
+            std::move(timeline), run_seed, scn.hotspot_fraction,
+            scn.hotspot_count);
+      else
+        r = sim::wh::run_churn_load_point3d(
+            model, *routing, pattern, scn.wh, scn.route_policy, load,
+            std::move(timeline), run_seed, scn.hotspot_fraction,
+            scn.hotspot_count);
+
+      std::string mesh_cell = std::to_string(k);
+      if (Dims == 2) {
+        mesh_cell += "x";
+        mesh_cell += std::to_string(k);
+      } else {
+        mesh_cell += "^3";
+      }
+      t.add_row({mesh_cell, util::Table::fmt(churn, 1),
+                 std::to_string(r.fault_events) + "+" +
+                     std::to_string(r.repair_events),
+                 std::to_string(r.sim.delivered_packets),
+                 std::to_string(r.dropped_packets),
+                 util::Table::fmt(r.sim.accepted_flits, 4),
+                 util::Table::fmt(r.sim.avg_latency, 1),
+                 util::Table::pct(r.cache.hit_rate()),
+                 std::string(r.sim.violations    ? "VIOLATION"
+                             : r.sim.deadlocked  ? "DEADLOCK"
+                             : !r.sim.drained    ? "backlogged"
+                                                 : "ok")});
+      delivered_total += r.sim.delivered_packets;
+      dropped_total += r.dropped_packets;
+      // With drop_infeasible forced and repairs still firing through the
+      // drain, a churn run must empty; a backlog that outlives the budget
+      // is a wedge even if the stall detector never formally fired.
+      if (r.sim.violations != 0 || r.sim.deadlocked || !r.sim.drained)
+        ok = false;
+    }
+  }
+  report.metric("delivered_packets", static_cast<double>(delivered_total));
+  report.metric("dropped_packets", static_cast<double>(dropped_total));
+  if (!ok) report.fail("churn run hit a violation, deadlock or backlog");
+}
+
+void wormhole_churn_driver(const Scenario& scn, RunReport& report) {
+  if (!scn.dynamic)
+    throw ConfigError(
+        "config: wormhole_churn requires fault_model=dynamic (use "
+        "driver=wormhole_load for a static environment)");
+  if (scn.traffic.size() != 1 || scn.rates.size() != 1)
+    throw ConfigError(
+        "config: wormhole_churn sweeps sizes x churn rates; give exactly "
+        "one traffic pattern and one injection rate per run");
+  if (scn.dims == 2)
+    run_wormhole_churn<2>(scn, report);
+  else
+    run_wormhole_churn<3>(scn, report);
+}
+
+// ---------------------------------------------------------------------------
+// event_cost (E12 parts A1/A2: incremental maintenance vs full rebuild)
+
+void run_event_cost2d(const Scenario& scn, RunReport& report) {
+  report.text(
+      "\n## " + scn.name +
+      ": per-event cost, 2-D (all 4 quadrant models maintained; rebuild = "
+      "fresh MccModel2D, all octants forced)\n\n");
+  util::Table& t = report.table(
+      "event_cost_2d",
+      {"mesh", "rate", "events", "fallback ev", "relabel/ev", "regions/ev",
+       "walls/ev", "delta ints/ev", "incr ms/ev", "rebuild ms/ev",
+       "speedup"});
+  util::RunningStats speedups;
+  for (const int k : scn.ks) {
+    for (const double rate : scn.fault_rates) {
+      const mesh::Mesh2D mesh(k, k);
+      util::Rng rng(scn.seed + static_cast<uint64_t>(k * 977 + rate * 1000));
+      Scenario cell = scn;
+      cell.fault_rate = rate;
+      const mesh::FaultSet2D initial = cell.make_faults2(mesh, rng);
+      runtime::DynamicModel2D dyn(mesh, initial);
+
+      util::ChurnParams p;
+      p.rate = scn.churn.front() / 1000.0;
+      p.horizon = scn.churn_horizon != 0 ? scn.churn_horizon : 1200;
+      p.repair_min = static_cast<uint64_t>(scn.repair_min);
+      p.repair_max = static_cast<uint64_t>(scn.repair_max);
+      auto timeline =
+          runtime::FaultTimeline2D::sample(mesh, initial, rng, p);
+
+      size_t events = 0, ambiguous = 0, relabeled = 0, regions = 0,
+             walls = 0, delta = 0;
+      double incr_ms = 0, rebuild_ms = 0;
+      const mesh::Octant2 canon{false, false};
+      for (const auto& e : timeline.events()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto rep = e.repair ? dyn.repair(e.node) : dyn.fail(e.node);
+        incr_ms += ms_since(t0);
+        if (rep.epoch == 0) continue;
+        ++events;
+        // Events absorbed via the full-relabel fallback (doubly-blocked
+        // ambiguous regime, labeling.h) — zero at the paper's operating
+        // fault rates.
+        if (rep.any_label_fallback()) ++ambiguous;
+        relabeled += rep.relabeled_total();
+        for (const auto& od : rep.octants)
+          regions += od.regions.removed.size() + od.regions.added.size();
+        walls += rep.walls_rebuilt();
+        delta += proto::make_boundary_delta(dyn.octant(canon).boundary,
+                                            rep.octants[canon.id()].boundary)
+                     .payload_ints();
+
+        const auto t1 = std::chrono::steady_clock::now();
+        const core::MccModel2D fresh(mesh, dyn.faults());
+        for (const bool fx : {false, true})
+          for (const bool fy : {false, true})
+            (void)fresh.octant(mesh::Octant2{fx, fy});
+        rebuild_ms += ms_since(t1);
+      }
+      if (events == 0) continue;
+      const double n = static_cast<double>(events);
+      speedups.add(rebuild_ms / std::max(incr_ms, 1e-9));
+      t.add_row({std::to_string(k) + "x" + std::to_string(k),
+                 util::Table::pct(rate), std::to_string(events),
+                 std::to_string(ambiguous),
+                 util::Table::fmt(static_cast<double>(relabeled) / n, 2),
+                 util::Table::fmt(static_cast<double>(regions) / n, 2),
+                 util::Table::fmt(static_cast<double>(walls) / n, 2),
+                 util::Table::fmt(static_cast<double>(delta) / n, 1),
+                 util::Table::fmt(incr_ms / n, 4),
+                 util::Table::fmt(rebuild_ms / n, 4),
+                 util::Table::fmt(rebuild_ms / std::max(incr_ms, 1e-9), 1) +
+                     "x"});
+    }
+  }
+  report.metric("mean_speedup", speedups.mean());
+}
+
+void run_event_cost3d(const Scenario& scn, RunReport& report) {
+  report.text(
+      "\n## " + scn.name +
+      ": per-event cost, 3-D (all 8 octant models maintained; rebuild = "
+      "fresh MccModel3D, all octants forced)\n\n");
+  util::Table& t = report.table(
+      "event_cost_3d", {"mesh", "rate", "events", "fallback ev",
+                        "relabel/ev", "regions/ev", "incr ms/ev",
+                        "rebuild ms/ev", "speedup"});
+  util::RunningStats speedups;
+  for (const int k : scn.ks) {
+    for (const double rate : scn.fault_rates) {
+      const mesh::Mesh3D mesh(k, k, k);
+      util::Rng rng(scn.seed + static_cast<uint64_t>(k * 977 + rate * 1000));
+      Scenario cell = scn;
+      cell.fault_rate = rate;
+      const mesh::FaultSet3D initial = cell.make_faults3(mesh, rng);
+      runtime::DynamicModel3D dyn(mesh, initial);
+
+      util::ChurnParams p;
+      p.rate = scn.churn.front() / 1000.0;
+      p.horizon = scn.churn_horizon != 0 ? scn.churn_horizon : 1000;
+      p.repair_min = static_cast<uint64_t>(scn.repair_min);
+      p.repair_max = static_cast<uint64_t>(scn.repair_max);
+      auto timeline =
+          runtime::FaultTimeline3D::sample(mesh, initial, rng, p);
+
+      size_t events = 0, ambiguous = 0, relabeled = 0, regions = 0;
+      double incr_ms = 0, rebuild_ms = 0;
+      for (const auto& e : timeline.events()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto rep = e.repair ? dyn.repair(e.node) : dyn.fail(e.node);
+        incr_ms += ms_since(t0);
+        if (rep.epoch == 0) continue;
+        ++events;
+        if (rep.any_label_fallback()) ++ambiguous;
+        relabeled += rep.relabeled_total();
+        for (const auto& od : rep.octants)
+          regions += od.regions.removed.size() + od.regions.added.size();
+
+        const auto t1 = std::chrono::steady_clock::now();
+        const core::MccModel3D fresh(mesh, dyn.faults());
+        for (int id = 0; id < 8; ++id)
+          (void)fresh.octant(
+              mesh::Octant3{(id & 1) != 0, (id & 2) != 0, (id & 4) != 0});
+        rebuild_ms += ms_since(t1);
+      }
+      if (events == 0) continue;
+      const double n = static_cast<double>(events);
+      speedups.add(rebuild_ms / std::max(incr_ms, 1e-9));
+      t.add_row({std::to_string(k) + "^3", util::Table::pct(rate),
+                 std::to_string(events), std::to_string(ambiguous),
+                 util::Table::fmt(static_cast<double>(relabeled) / n, 2),
+                 util::Table::fmt(static_cast<double>(regions) / n, 2),
+                 util::Table::fmt(incr_ms / n, 4),
+                 util::Table::fmt(rebuild_ms / n, 4),
+                 util::Table::fmt(rebuild_ms / std::max(incr_ms, 1e-9), 1) +
+                     "x"});
+    }
+  }
+  report.metric("mean_speedup", speedups.mean());
+}
+
+void event_cost_driver(const Scenario& scn, RunReport& report) {
+  if (!scn.dynamic)
+    throw ConfigError(
+        "config: event_cost measures the dynamic runtime; set "
+        "fault_model=dynamic");
+  if (scn.dims == 2)
+    run_event_cost2d(scn, report);
+  else
+    run_event_cost3d(scn, report);
+}
+
+}  // namespace
+
+void register_wormhole_drivers() {
+  drivers().add("wormhole_load", wormhole_load_driver,
+                "flit-level latency-throughput sweep (E11; 2-D/3-D, any "
+                "policy, fault_envs sections)");
+  drivers().add("wormhole_churn", wormhole_churn_driver,
+                "wormhole under live churn over the dynamic runtime (E12 "
+                "part B; 2-D/3-D, mcc or fault_block policies)");
+  drivers().add("event_cost", event_cost_driver,
+                "incremental MCC maintenance vs full rebuild per event "
+                "(E12 parts A1/A2)");
+}
+
+}  // namespace mcc::api

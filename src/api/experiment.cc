@@ -1,0 +1,516 @@
+#include "api/experiment.h"
+
+#include <fstream>
+#include <mutex>
+
+#include "mesh/fault_injection.h"
+#include "sim/wormhole/baseline_routing.h"
+#include "sim/wormhole/dynamic_routing.h"
+
+namespace mcc::api {
+
+// Defined in drivers.cc (same library).
+void register_builtin_drivers();
+
+Registry<DriverFn>& drivers() {
+  static Registry<DriverFn> r("driver");
+  return r;
+}
+Registry<FaultModelSpec>& fault_models() {
+  static Registry<FaultModelSpec> r("fault model");
+  return r;
+}
+Registry<FaultPatternSpec>& fault_patterns() {
+  static Registry<FaultPatternSpec> r("fault pattern");
+  return r;
+}
+Registry<PolicySpec>& policies() {
+  static Registry<PolicySpec> r("policy");
+  return r;
+}
+Registry<TrafficSpec>& traffic_patterns() {
+  static Registry<TrafficSpec> r("traffic pattern");
+  return r;
+}
+
+namespace {
+
+void register_builtin_axes() {
+  // --- fault models --------------------------------------------------------
+  fault_models().add("static", {false}, "immutable fault set");
+  fault_models().add("dynamic", {true},
+                     "runtime::DynamicModel with churn events");
+
+  // --- fault patterns ------------------------------------------------------
+  {
+    FaultPatternSpec p;
+    p.fill2d = [](const mesh::Mesh2D& m, const Scenario&, util::Rng&,
+                  const std::vector<mesh::Coord2>&) {
+      return mesh::FaultSet2D(m);
+    };
+    p.fill3d = [](const mesh::Mesh3D& m, const Scenario&, util::Rng&,
+                  const std::vector<mesh::Coord3>&) {
+      return mesh::FaultSet3D(m);
+    };
+    fault_patterns().add("none", std::move(p), "fault-free mesh");
+  }
+  {
+    FaultPatternSpec p;
+    p.fill2d = [](const mesh::Mesh2D& m, const Scenario& s, util::Rng& rng,
+                  const std::vector<mesh::Coord2>& protect) {
+      auto f = mesh::inject_uniform(m, s.fault_rate, rng, protect);
+      if (s.clear_border) {
+        for (int x = 0; x < m.nx(); ++x) {
+          f.set_faulty({x, 0}, false);
+          f.set_faulty({x, m.ny() - 1}, false);
+        }
+        for (int y = 0; y < m.ny(); ++y) {
+          f.set_faulty({0, y}, false);
+          f.set_faulty({m.nx() - 1, y}, false);
+        }
+      }
+      return f;
+    };
+    p.fill3d = [](const mesh::Mesh3D& m, const Scenario& s, util::Rng& rng,
+                  const std::vector<mesh::Coord3>& protect) {
+      return mesh::inject_uniform(m, s.fault_rate, rng, protect);
+    };
+    fault_patterns().add("uniform", std::move(p),
+                         "Bernoulli(fault_rate) node faults");
+  }
+  {
+    FaultPatternSpec p;
+    p.fill2d = [](const mesh::Mesh2D& m, const Scenario& s, util::Rng& rng,
+                  const std::vector<mesh::Coord2>& protect) {
+      return mesh::inject_clustered(m, s.fault_count, s.fault_clusters, rng,
+                                    protect);
+    };
+    p.fill3d = [](const mesh::Mesh3D& m, const Scenario& s, util::Rng& rng,
+                  const std::vector<mesh::Coord3>& protect) {
+      return mesh::inject_clustered(m, s.fault_count, s.fault_clusters, rng,
+                                    protect);
+    };
+    fault_patterns().add("clustered",
+                         std::move(p),
+                         "fault_count faults in fault_clusters clusters");
+  }
+  {
+    FaultPatternSpec p;
+    p.fill2d = [](const mesh::Mesh2D& m, const Scenario& s, util::Rng& rng,
+                  const std::vector<mesh::Coord2>& protect) {
+      return mesh::inject_exact(m, s.fault_count, rng, protect);
+    };
+    p.fill3d = [](const mesh::Mesh3D& m, const Scenario& s, util::Rng& rng,
+                  const std::vector<mesh::Coord3>& protect) {
+      return mesh::inject_exact(m, s.fault_count, rng, protect);
+    };
+    fault_patterns().add("exact", std::move(p),
+                         "exactly fault_count uniform faults");
+  }
+  {
+    FaultPatternSpec p;
+    p.fill3d = [](const mesh::Mesh3D& m, const Scenario&, util::Rng&,
+                  const std::vector<mesh::Coord3>&) {
+      mesh::FaultSet3D f(m);
+      for (const mesh::Coord3 c :
+           {mesh::Coord3{5, 5, 6}, mesh::Coord3{6, 5, 5},
+            mesh::Coord3{5, 6, 5}, mesh::Coord3{6, 7, 5},
+            mesh::Coord3{7, 6, 5}, mesh::Coord3{5, 4, 7},
+            mesh::Coord3{4, 5, 7}, mesh::Coord3{7, 8, 4}}) {
+        if (!m.contains(c))
+          throw ConfigError(
+              "config: fault_pattern=figure5 needs a mesh of at least "
+              "10x10x10");
+        f.set_faulty(c);
+      }
+      return f;
+    };
+    fault_patterns().add("figure5", std::move(p),
+                         "the paper's Figure-5 fault set (3-D, >= 10^3)");
+  }
+  {
+    FaultPatternSpec p;
+    p.fill2d = [](const mesh::Mesh2D& m, const Scenario&, util::Rng&,
+                  const std::vector<mesh::Coord2>&) {
+      mesh::FaultSet2D f(m);
+      for (const mesh::Coord2 c :
+           {mesh::Coord2{3, 7}, mesh::Coord2{4, 6}, mesh::Coord2{5, 5},
+            mesh::Coord2{6, 4}}) {
+        if (!m.contains(c))
+          throw ConfigError(
+              "config: fault_pattern=staircase_down needs a mesh of at "
+              "least 7x8");
+        f.set_faulty(c);
+      }
+      return f;
+    };
+    fault_patterns().add("staircase_down", std::move(p),
+                         "descending diagonal (worst case for ++)");
+  }
+  {
+    FaultPatternSpec p;
+    p.fill2d = [](const mesh::Mesh2D& m, const Scenario&, util::Rng&,
+                  const std::vector<mesh::Coord2>&) {
+      mesh::FaultSet2D f(m);
+      for (const mesh::Coord2 c :
+           {mesh::Coord2{3, 3}, mesh::Coord2{4, 4}, mesh::Coord2{5, 5},
+            mesh::Coord2{6, 6}}) {
+        if (!m.contains(c))
+          throw ConfigError(
+              "config: fault_pattern=staircase_up needs a mesh of at least "
+              "7x7");
+        f.set_faulty(c);
+      }
+      return f;
+    };
+    fault_patterns().add("staircase_up", std::move(p),
+                         "ascending diagonal (no fill toward ++)");
+  }
+  {
+    FaultPatternSpec p;
+    p.fill2d = [](const mesh::Mesh2D& m, const Scenario&, util::Rng&,
+                  const std::vector<mesh::Coord2>&) {
+      if (m.nx() < 8 || m.ny() < 7)
+        throw ConfigError(
+            "config: fault_pattern=lshape needs a mesh of at least 8x7");
+      mesh::FaultSet2D f(m);
+      mesh::add_wall_x(f, m, 3, 2, 6);
+      mesh::add_wall_y(f, m, 3, 7, 2);
+      return f;
+    };
+    fault_patterns().add("lshape", std::move(p),
+                         "L-shaped wall with a concave pocket");
+  }
+
+  // --- guidance policies ---------------------------------------------------
+  {
+    PolicySpec p;
+    p.router_kind2d = core::RouterKind::Oracle;
+    p.router_kind3d = core::RouterKind::Oracle;
+    p.wormhole2d = [](const Scenario& s, const mesh::Mesh2D& m,
+                      const mesh::FaultSet2D& f) {
+      return std::make_unique<sim::wh::MccRouting2D>(
+          m, f, sim::wh::GuidanceMode::Oracle,
+          std::optional<bool>{s.guidance_cache});
+    };
+    p.wormhole3d = [](const Scenario& s, const mesh::Mesh3D& m,
+                      const mesh::FaultSet3D& f) {
+      return std::make_unique<sim::wh::MccRouting3D>(
+          m, f, sim::wh::GuidanceMode::Oracle,
+          std::optional<bool>{s.guidance_cache});
+    };
+    p.churn2d = [](const Scenario&, runtime::DynamicModel2D& m) {
+      return std::make_unique<sim::wh::DynamicMccRouting2D>(m);
+    };
+    p.churn3d = [](const Scenario&, runtime::DynamicModel3D& m) {
+      return std::make_unique<sim::wh::DynamicMccRouting3D>(m);
+    };
+    policies().add("oracle", std::move(p),
+                   "reachability-field guidance (gold standard)");
+  }
+  {
+    PolicySpec p;
+    p.router_kind2d = core::RouterKind::Records;
+    p.router_kind3d = core::RouterKind::Flood;
+    p.wormhole2d = [](const Scenario& s, const mesh::Mesh2D& m,
+                      const mesh::FaultSet2D& f) {
+      return std::make_unique<sim::wh::MccRouting2D>(
+          m, f, sim::wh::GuidanceMode::Model,
+          std::optional<bool>{s.guidance_cache});
+    };
+    p.wormhole3d = [](const Scenario& s, const mesh::Mesh3D& m,
+                      const mesh::FaultSet3D& f) {
+      return std::make_unique<sim::wh::MccRouting3D>(
+          m, f, sim::wh::GuidanceMode::Model,
+          std::optional<bool>{s.guidance_cache});
+    };
+    p.churn2d = [](const Scenario&, runtime::DynamicModel2D& m) {
+      return std::make_unique<sim::wh::DynamicMccRouting2D>(m);
+    };
+    p.churn3d = [](const Scenario&, runtime::DynamicModel3D& m) {
+      return std::make_unique<sim::wh::DynamicMccRouting3D>(m);
+    };
+    policies().add("model",
+                   std::move(p),
+                   "the MCC model's guidance (records in 2-D, floods in "
+                   "3-D, exact safe-reach in the wormhole)");
+  }
+  {
+    PolicySpec p;
+    p.router_kind2d = core::RouterKind::LabelsOnly;
+    p.router_kind3d = core::RouterKind::LabelsOnly;
+    p.wormhole2d = [](const Scenario& s, const mesh::Mesh2D& m,
+                      const mesh::FaultSet2D& f) {
+      return std::make_unique<sim::wh::MccRouting2D>(
+          m, f, sim::wh::GuidanceMode::LabelsOnly,
+          std::optional<bool>{s.guidance_cache});
+    };
+    p.wormhole3d = [](const Scenario& s, const mesh::Mesh3D& m,
+                      const mesh::FaultSet3D& f) {
+      return std::make_unique<sim::wh::MccRouting3D>(
+          m, f, sim::wh::GuidanceMode::LabelsOnly,
+          std::optional<bool>{s.guidance_cache});
+    };
+    // No churn builders: a labels-only head can wedge, and inside a
+    // wormhole under churn a wedged head blocks a VC forever.
+    policies().add("labels_only", std::move(p),
+                   "ablation: labels but no boundary information");
+  }
+  {
+    PolicySpec p;
+    p.wormhole2d = [](const Scenario& s, const mesh::Mesh2D& m,
+                      const mesh::FaultSet2D& f) {
+      return std::make_unique<sim::wh::FaultBlockRouting2D>(
+          m, f, s.block_fill_kind);
+    };
+    p.wormhole3d = [](const Scenario& s, const mesh::Mesh3D& m,
+                      const mesh::FaultSet3D& f) {
+      return std::make_unique<sim::wh::FaultBlockRouting3D>(
+          m, f, s.block_fill_kind);
+    };
+    p.churn2d = [](const Scenario& s, runtime::DynamicModel2D& m) {
+      return std::make_unique<sim::wh::FaultBlockRouting2D>(
+          m.mesh(), m.faults(), s.block_fill_kind);
+    };
+    p.churn3d = [](const Scenario& s, runtime::DynamicModel3D& m) {
+      return std::make_unique<sim::wh::FaultBlockRouting3D>(
+          m.mesh(), m.faults(), s.block_fill_kind);
+    };
+    policies().add("fault_block", std::move(p),
+                   "rectangular fault-block baseline (block_fill= selects "
+                   "safety or bbox fill)");
+  }
+  {
+    PolicySpec p;
+    p.wormhole2d = [](const Scenario&, const mesh::Mesh2D&,
+                      const mesh::FaultSet2D& f)
+        -> std::unique_ptr<sim::wh::RoutingFunction2D> {
+      if (f.count() != 0)
+        throw ConfigError(
+            "config: policy 'dor' is fault-oblivious; wormhole runs "
+            "require a fault-free mesh (fault_pattern=none)");
+      return std::make_unique<sim::wh::DorRouting2D>();
+    };
+    p.wormhole3d = [](const Scenario&, const mesh::Mesh3D&,
+                      const mesh::FaultSet3D& f)
+        -> std::unique_ptr<sim::wh::RoutingFunction3D> {
+      if (f.count() != 0)
+        throw ConfigError(
+            "config: policy 'dor' is fault-oblivious; wormhole runs "
+            "require a fault-free mesh (fault_pattern=none)");
+      return std::make_unique<sim::wh::DorRouting3D>();
+    };
+    // No churn builders: dor cannot survive node deaths.
+    policies().add("dor",
+                   std::move(p),
+                   "fault-oblivious dimension-order baseline (fault-free "
+                   "wormhole only; route_quality scores it at any rate)");
+  }
+
+  // --- traffic patterns ----------------------------------------------------
+  traffic_patterns().add("uniform", {sim::wh::Pattern::Uniform},
+                         "uniform random destinations");
+  traffic_patterns().add("transpose", {sim::wh::Pattern::Transpose},
+                         "axis-rotated destinations");
+  traffic_patterns().add("bit_complement", {sim::wh::Pattern::BitComplement},
+                         "mirror-image destinations");
+  traffic_patterns().add("hotspot", {sim::wh::Pattern::Hotspot},
+                         "hotspot_fraction of packets to hotspot_count "
+                         "fixed nodes");
+}
+
+}  // namespace
+
+void register_builtins() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    register_builtin_axes();
+    register_builtin_drivers();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Scenario
+
+mesh::Mesh2D Scenario::mesh2() const {
+  return mesh::Mesh2D(nx > 0 ? nx : k, ny > 0 ? ny : k);
+}
+mesh::Mesh3D Scenario::mesh3() const {
+  return mesh::Mesh3D(nx > 0 ? nx : k, ny > 0 ? ny : k, nz > 0 ? nz : k);
+}
+mesh::Mesh2D Scenario::mesh2(int edge) const {
+  return mesh::Mesh2D(edge, edge);
+}
+mesh::Mesh3D Scenario::mesh3(int edge) const {
+  return mesh::Mesh3D(edge, edge, edge);
+}
+
+mesh::FaultSet2D Scenario::make_faults2(
+    const mesh::Mesh2D& m, util::Rng& rng,
+    const std::vector<mesh::Coord2>& protect) const {
+  const FaultPatternSpec& spec = fault_patterns().get(fault_pattern);
+  if (!spec.fill2d)
+    throw ConfigError("config: fault_pattern '" + fault_pattern +
+                      "' is not available in 2-D");
+  return spec.fill2d(m, *this, rng, protect);
+}
+
+mesh::FaultSet3D Scenario::make_faults3(
+    const mesh::Mesh3D& m, util::Rng& rng,
+    const std::vector<mesh::Coord3>& protect) const {
+  const FaultPatternSpec& spec = fault_patterns().get(fault_pattern);
+  if (!spec.fill3d)
+    throw ConfigError("config: fault_pattern '" + fault_pattern +
+                      "' is not available in 3-D");
+  return spec.fill3d(m, *this, rng, protect);
+}
+
+const PolicySpec& Scenario::policy_spec(const std::string& n) const {
+  return policies().get(n);
+}
+
+// ---------------------------------------------------------------------------
+// Experiment
+
+namespace {
+
+core::RoutePolicy parse_route_policy(const std::string& v) {
+  if (v == "xfirst") return core::RoutePolicy::XFirst;
+  if (v == "yfirst") return core::RoutePolicy::YFirst;
+  if (v == "random") return core::RoutePolicy::Random;
+  if (v == "balanced") return core::RoutePolicy::Balanced;
+  if (v == "alternate") return core::RoutePolicy::Alternate;
+  throw ConfigError(
+      "config: route_policy must be xfirst | yfirst | random | balanced | "
+      "alternate, got '" +
+      v + "'");
+}
+
+Scenario build_scenario(const Configuration& cfg) {
+  Scenario s;
+  s.cfg = &cfg;
+  s.driver = cfg.get_string("driver");
+  if (s.driver.empty())
+    throw ConfigError("config: 'driver' must be set (see mcc_run --list)");
+  (void)drivers().get(s.driver);  // unknown driver fails here
+
+  s.name = cfg.get_string("name");
+  if (s.name.empty()) s.name = s.driver;
+
+  s.dims = cfg.get_int("dims");
+  s.k = cfg.get_int("k");
+  s.nx = cfg.get_int("nx");
+  s.ny = cfg.get_int("ny");
+  s.nz = cfg.get_int("nz");
+  s.ks = cfg.get_int_list("ks");
+  s.ks_set = !s.ks.empty();
+  if (s.ks.empty()) s.ks = {s.k};
+
+  s.seed = cfg.get_uint64("seed");
+  s.seed2 = cfg.get_uint64("seed2");
+  if (s.seed2 == 0) s.seed2 = s.seed ^ 0x9E3779B97F4A7C15ULL;
+  s.fault_seed = cfg.get_uint64("fault_seed");
+  if (s.fault_seed == 0) s.fault_seed = s.seed * 2654435761ULL + 17;
+
+  s.smoke = cfg.smoke();
+  s.guidance_cache = cfg.get_bool("guidance_cache");
+  s.render = cfg.get_bool("render");
+  s.detail = cfg.get_bool("detail");
+  s.diversity = cfg.get_bool("diversity");
+
+  s.fault_model = cfg.get_string("fault_model");
+  s.dynamic = fault_models().get(s.fault_model).dynamic;
+  s.fault_pattern = cfg.get_string("fault_pattern");
+  (void)fault_patterns().get(s.fault_pattern);
+  s.fault_rate = cfg.get_double("fault_rate");
+  s.fault_rates = cfg.get_double_list("fault_rates");
+  if (s.fault_rates.empty()) s.fault_rates = {s.fault_rate};
+  s.fault_count = cfg.get_int("fault_count");
+  s.fault_clusters = cfg.get_int("fault_clusters");
+  s.clear_border = cfg.get_bool("clear_border");
+  s.fault_envs = cfg.get_string_list("fault_envs");
+  for (const std::string& env : s.fault_envs)
+    if (env != "none" && env != "faults")
+      throw ConfigError("config: fault_envs entries must be 'none' or "
+                        "'faults', got '" +
+                        env + "'");
+
+  s.policy = cfg.get_string("policy");
+  s.policy_list = cfg.get_string_list("policies");
+  if (s.policy_list.empty()) s.policy_list = {s.policy};
+  for (const std::string& p : s.policy_list) (void)policies().get(p);
+  s.route_policy = parse_route_policy(cfg.get_string("route_policy"));
+  s.block_fill = cfg.get_string("block_fill");
+  if (s.block_fill == "safety") {
+    s.block_fill_kind = sim::wh::BlockFill::Safety;
+  } else if (s.block_fill == "bbox") {
+    s.block_fill_kind = sim::wh::BlockFill::BoundingBox;
+  } else {
+    throw ConfigError("config: block_fill must be 'safety' or 'bbox', got '" +
+                      s.block_fill + "'");
+  }
+  s.traffic = cfg.get_string_list("traffic");
+  if (s.traffic.empty())
+    throw ConfigError("config: 'traffic' must name at least one pattern");
+  for (const std::string& t : s.traffic) (void)traffic_patterns().get(t);
+
+  s.rates = cfg.get_double_list("rates");
+  if (s.rates.empty())
+    throw ConfigError("config: 'rates' must hold at least one rate");
+  s.wh.vcs_per_class = cfg.get_int("vcs_per_class");
+  s.wh.buffer_depth = cfg.get_int("buffer_depth");
+  s.wh.packet_size = cfg.get_int("packet_size");
+  s.load.warmup = cfg.get_int("warmup");
+  s.load.measure = cfg.get_int("measure");
+  s.load.drain = cfg.get_int("drain");
+  s.load.stall = cfg.get_int("stall");
+  s.hotspot_fraction = cfg.get_double("hotspot_fraction");
+  s.hotspot_count = cfg.get_int("hotspot_count");
+
+  s.churn = cfg.get_double_list("churn");
+  if (s.churn.empty()) s.churn = {2.0};
+  s.churn_horizon = cfg.get_uint64("churn_horizon");
+  s.repair_min = cfg.get_int("repair_min");
+  s.repair_max = cfg.get_int("repair_max");
+
+  s.trials = cfg.get_int("trials");
+  s.pairs = cfg.get_int("pairs");
+  s.min_distance = cfg.get_int("min_distance");
+  return s;
+}
+
+}  // namespace
+
+Experiment::Experiment(Configuration cfg) : cfg_(std::move(cfg)) {
+  register_builtins();
+  scenario_ = build_scenario(cfg_);
+}
+
+RunReport Experiment::run() {
+  RunReport report(scenario_.name, scenario_.driver, scenario_.seed);
+  report.set_config_echo(cfg_.echo());
+  const DriverFn& driver = drivers().get(scenario_.driver);
+  driver(scenario_, report);
+
+  const std::string json_path = cfg_.get_string("report_json");
+  if (!json_path.empty()) {
+    const Json doc = report.to_json();
+    // A schema violation here is an API bug, not a user error; surface it
+    // loudly rather than writing an invalid file.
+    const auto problems = validate_report_json(doc);
+    if (!problems.empty())
+      throw std::logic_error("RunReport JSON failed its own schema: " +
+                             problems.front());
+    std::ofstream f(json_path);
+    if (!f) throw ConfigError("config: cannot write '" + json_path + "'");
+    f << doc.dump_pretty();
+  }
+
+  const std::string bench_name = cfg_.get_string("bench_json");
+  if (!bench_name.empty())
+    RunReport::write_bench_json("BENCH_" + bench_name + ".json", bench_name,
+                                {&report});
+  return report;
+}
+
+}  // namespace mcc::api

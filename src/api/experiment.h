@@ -1,0 +1,185 @@
+// The experiment façade: one front door over the static, dynamic, baseline
+// and wormhole stacks.
+//
+//   api::Configuration cfg;
+//   cfg.load_file("configs/e11_wormhole.cfg");
+//   cfg.apply_overrides({"smoke=1"});
+//   api::RunReport report = api::Experiment(std::move(cfg)).run();
+//   report.render(std::cout);
+//
+// An Experiment resolves the config against the axis registries —
+//   driver         route_quality | wormhole_load | wormhole_churn |
+//                  event_cost | protocol_cost | region_atlas | route_demo
+//   fault_model    static | dynamic
+//   fault_pattern  none | uniform | clustered | exact | figure5 |
+//                  staircase_up | staircase_down | lshape
+//   policy         oracle | model | labels_only | fault_block | dor
+//   traffic        uniform | transpose | bit_complement | hotspot
+// — owns seeds and smoke resolution, and returns the driver's RunReport.
+// Unknown names and unsupported combinations are hard ConfigErrors; new
+// scenario combinations within the registered axes need no new C++ at all,
+// and a new axis value is one Registry::add() call (docs/api.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/config.h"
+#include "api/registry.h"
+#include "api/run_report.h"
+#include "core/model.h"
+#include "mesh/fault_set.h"
+#include "mesh/mesh.h"
+#include "runtime/dynamic_model.h"
+#include "sim/wormhole/baseline_routing.h"
+#include "sim/wormhole/driver.h"
+#include "sim/wormhole/routing.h"
+#include "util/rng.h"
+
+namespace mcc::api {
+
+struct Scenario;
+
+/// A driver fills the report from a resolved scenario. Throw ConfigError
+/// for unsupported combinations; call report.fail() for runtime failures
+/// (deadlock, violations) so mcc_run exits non-zero.
+using DriverFn = std::function<void(const Scenario&, RunReport&)>;
+
+/// Fault model axis: whether the scenario maintains a dynamic runtime.
+struct FaultModelSpec {
+  bool dynamic = false;
+};
+
+/// Fault injection axis. A pattern unsupported in some dimensionality
+/// leaves that builder empty (using it is a ConfigError).
+struct FaultPatternSpec {
+  std::function<mesh::FaultSet2D(const mesh::Mesh2D&, const Scenario&,
+                                 util::Rng&,
+                                 const std::vector<mesh::Coord2>&)>
+      fill2d;
+  std::function<mesh::FaultSet3D(const mesh::Mesh3D&, const Scenario&,
+                                 util::Rng&,
+                                 const std::vector<mesh::Coord3>&)>
+      fill3d;
+};
+
+/// Guidance policy axis. Each stack that can serve the policy provides a
+/// builder; an empty builder means the combination is a ConfigError.
+struct PolicySpec {
+  /// Core path router used by route_quality/route_demo (oracle, model,
+  /// labels_only). Policies routed outside the MCC core (fault_block, dor)
+  /// leave this empty and are handled by their own route_quality branch.
+  std::optional<core::RouterKind> router_kind2d;
+  std::optional<core::RouterKind> router_kind3d;
+
+  /// Static wormhole routing functions.
+  std::function<std::unique_ptr<sim::wh::RoutingFunction2D>(
+      const Scenario&, const mesh::Mesh2D&, const mesh::FaultSet2D&)>
+      wormhole2d;
+  std::function<std::unique_ptr<sim::wh::RoutingFunction3D>(
+      const Scenario&, const mesh::Mesh3D&, const mesh::FaultSet3D&)>
+      wormhole3d;
+
+  /// Churn wormhole routing functions over the dynamic runtime.
+  std::function<std::unique_ptr<sim::wh::RoutingFunction2D>(
+      const Scenario&, runtime::DynamicModel2D&)>
+      churn2d;
+  std::function<std::unique_ptr<sim::wh::RoutingFunction3D>(
+      const Scenario&, runtime::DynamicModel3D&)>
+      churn3d;
+};
+
+struct TrafficSpec {
+  sim::wh::Pattern pattern;
+};
+
+// The global axis registries. register_builtins() populates them once
+// (idempotent; Experiment calls it, tools and tests may too).
+Registry<DriverFn>& drivers();
+Registry<FaultModelSpec>& fault_models();
+Registry<FaultPatternSpec>& fault_patterns();
+Registry<PolicySpec>& policies();
+Registry<TrafficSpec>& traffic_patterns();
+void register_builtins();
+
+/// The resolved, typed view of a Configuration that drivers consume.
+struct Scenario {
+  const Configuration* cfg = nullptr;
+
+  std::string name, driver;
+  int dims = 3;
+  int k = 16, nx = 0, ny = 0, nz = 0;   // nx/ny/nz of 0 mean k
+  std::vector<int> ks;                  // size sweep (>= 1 entry)
+  bool ks_set = false;                  // ks came from the config
+  uint64_t seed = 1, seed2 = 0, fault_seed = 0;
+  bool smoke = false, guidance_cache = true;
+  bool render = false, detail = false, diversity = false;
+
+  std::string fault_model, fault_pattern;
+  bool dynamic = false;  // resolved fault_model
+  double fault_rate = 0;
+  std::vector<double> fault_rates;  // sweep (>= 1 entry)
+  int fault_count = 0, fault_clusters = 1;
+  bool clear_border = false;
+  std::vector<std::string> fault_envs;
+
+  std::string policy;
+  std::vector<std::string> policy_list;  // sweep (>= 1 entry)
+  core::RoutePolicy route_policy = core::RoutePolicy::Random;
+  std::string block_fill;  // safety | bbox (raw text)
+  sim::wh::BlockFill block_fill_kind = sim::wh::BlockFill::Safety;
+  std::vector<std::string> traffic;
+
+  std::vector<double> rates;
+  sim::wh::Config wh;
+  sim::wh::LoadPoint load;  // rate filled per point by drivers
+  double hotspot_fraction = 0.5;
+  int hotspot_count = 2;
+
+  std::vector<double> churn;  // strikes per 1000 cycles
+  uint64_t churn_horizon = 0;
+  int repair_min = 100, repair_max = 1000;
+
+  int trials = 25, pairs = 25, min_distance = 4;
+
+  // Mesh shapes (k or the explicit overrides).
+  mesh::Mesh2D mesh2() const;
+  mesh::Mesh3D mesh3() const;
+  mesh::Mesh2D mesh2(int edge) const;  // sweep helper: square of `edge`
+  mesh::Mesh3D mesh3(int edge) const;
+
+  // Fault injection through the fault_pattern registry.
+  mesh::FaultSet2D make_faults2(
+      const mesh::Mesh2D& m, util::Rng& rng,
+      const std::vector<mesh::Coord2>& protect = {}) const;
+  mesh::FaultSet3D make_faults3(
+      const mesh::Mesh3D& m, util::Rng& rng,
+      const std::vector<mesh::Coord3>& protect = {}) const;
+
+  /// The policy spec for `name` (checked at Scenario build time too).
+  const PolicySpec& policy_spec(const std::string& name) const;
+};
+
+class Experiment {
+ public:
+  /// Resolves and validates the configuration (axis names, dims support).
+  /// Throws ConfigError on any problem.
+  explicit Experiment(Configuration cfg);
+
+  const Scenario& scenario() const { return scenario_; }
+
+  /// Runs the driver and returns its report (config echo and identity
+  /// filled in). Honors report_json= by writing the JSON file after the
+  /// run (validated against the schema first).
+  RunReport run();
+
+ private:
+  Configuration cfg_;
+  Scenario scenario_;
+};
+
+}  // namespace mcc::api

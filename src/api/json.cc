@@ -1,0 +1,417 @@
+#include "api/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace mcc::api {
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.type_ = Type::Bool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.type_ = Type::Number;
+  j.num_ = v;
+  // Small non-negative integers round-trip exactly and read better as
+  // integers ("4" not "4.0"); everything else keeps shortest-round-trip
+  // double form.
+  if (v >= 0 && v <= 9007199254740992.0 && std::floor(v) == v) {
+    j.integral_ = true;
+    j.u64_ = static_cast<uint64_t>(v);
+  }
+  return j;
+}
+
+Json Json::number(uint64_t v) {
+  Json j;
+  j.type_ = Type::Number;
+  j.num_ = static_cast<double>(v);
+  j.u64_ = v;
+  j.integral_ = true;
+  return j;
+}
+
+Json Json::string(std::string s) {
+  Json j;
+  j.type_ = Type::String;
+  j.str_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::Array;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::Object;
+  return j;
+}
+
+void Json::set(const std::string& key, Json v) {
+  for (auto& [k, old] : obj_) {
+    if (k == key) {
+      old = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+const Json* Json::find(const std::string& key) const {
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void Json::write(std::string& out, int indent, int depth) const {
+  std::string pad, close_pad;
+  if (indent > 0) {
+    pad.push_back('\n');
+    pad.append(static_cast<size_t>(indent) * (static_cast<size_t>(depth) + 1),
+               ' ');
+    close_pad.push_back('\n');
+    close_pad.append(static_cast<size_t>(indent) * static_cast<size_t>(depth),
+                     ' ');
+  }
+  switch (type_) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += bool_ ? "true" : "false"; break;
+    case Type::Number: {
+      if (integral_) {
+        char buf[24];
+        const auto r = std::to_chars(buf, buf + sizeof buf, u64_);
+        out.append(buf, r.ptr);
+      } else if (std::isfinite(num_)) {
+        char buf[48];
+        const auto r = std::to_chars(buf, buf + sizeof buf, num_);
+        out.append(buf, r.ptr);
+      } else {
+        out += "null";  // JSON has no inf/nan
+      }
+      break;
+    }
+    case Type::String: escape_into(out, str_); break;
+    case Type::Array: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        out += pad;
+        arr_[i].write(out, indent, depth + 1);
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        out += pad;
+        escape_into(out, obj_[i].first);
+        out += ':';
+        if (indent > 0) out += ' ';
+        obj_[i].second.write(out, indent, depth + 1);
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  write(out, 0, 0);
+  return out;
+}
+
+std::string Json::dump_pretty() const {
+  std::string out;
+  write(out, 2, 0);
+  out += '\n';
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent)
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& why) {
+    if (error.empty())
+      error = why + " at offset " + std::to_string(pos);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool literal(const char* lit) {
+    const size_t n = std::char_traits<char>::length(lit);
+    if (text.compare(pos, n, lit) != 0) return fail("invalid literal");
+    pos += n;
+    return true;
+  }
+
+  /// Reads 4 hex digits at pos into `v`.
+  bool hex4(unsigned& v) {
+    if (pos + 4 > text.size()) return fail("short \\u escape");
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text[pos++];
+      v <<= 4;
+      if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+      else return fail("bad \\u escape");
+    }
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos >= text.size() || text[pos] != '"')
+      return fail("expected string");
+    ++pos;
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return fail("dangling escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            unsigned v = 0;
+            if (!hex4(v)) return false;
+            // Surrogate pair -> one supplementary-plane codepoint.
+            uint32_t cp = v;
+            if (v >= 0xD800 && v <= 0xDBFF) {
+              if (text.compare(pos, 2, "\\u") != 0)
+                return fail("lone high surrogate");
+              pos += 2;
+              unsigned lo = 0;
+              if (!hex4(lo)) return false;
+              if (lo < 0xDC00 || lo > 0xDFFF)
+                return fail("bad low surrogate");
+              cp = 0x10000 + ((v - 0xD800) << 10) + (lo - 0xDC00);
+            } else if (v >= 0xDC00 && v <= 0xDFFF) {
+              return fail("lone low surrogate");
+            }
+            // UTF-8 encode.
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else if (cp < 0x10000) {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xF0 | (cp >> 18));
+              out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(Json& out) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == 'n') {
+      if (!literal("null")) return false;
+      out = Json();
+      return true;
+    }
+    if (c == 't') {
+      if (!literal("true")) return false;
+      out = Json::boolean(true);
+      return true;
+    }
+    if (c == 'f') {
+      if (!literal("false")) return false;
+      out = Json::boolean(false);
+      return true;
+    }
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out = Json::string(std::move(s));
+      return true;
+    }
+    if (c == '[') {
+      ++pos;
+      out = Json::array();
+      skip_ws();
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        Json item;
+        if (!parse_value(item)) return false;
+        out.push_back(std::move(item));
+        skip_ws();
+        if (pos >= text.size()) return fail("unterminated array");
+        if (text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (text[pos] == ']') {
+          ++pos;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '{') {
+      ++pos;
+      out = Json::object();
+      skip_ws();
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (pos >= text.size() || text[pos] != ':')
+          return fail("expected ':'");
+        ++pos;
+        Json value;
+        if (!parse_value(value)) return false;
+        out.set(key, std::move(value));
+        skip_ws();
+        if (pos >= text.size()) return fail("unterminated object");
+        if (text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (text[pos] == '}') {
+          ++pos;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    // Number.
+    const size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    bool fractional = false;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      if (text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E')
+        fractional = true;
+      ++pos;
+    }
+    if (pos == start) return fail("unexpected character");
+    const std::string tok = text.substr(start, pos - start);
+    if (!fractional && tok[0] != '-') {
+      uint64_t u = 0;
+      const auto r = std::from_chars(tok.data(), tok.data() + tok.size(), u);
+      if (r.ec == std::errc() && r.ptr == tok.data() + tok.size()) {
+        out = Json::number(u);
+        return true;
+      }
+    }
+    double d = 0;
+    const auto r = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (r.ec != std::errc() || r.ptr != tok.data() + tok.size())
+      return fail("malformed number '" + tok + "'");
+    Json j = Json::number(d);
+    out = std::move(j);
+    return true;
+  }
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text, std::string& error) {
+  Parser p{text, 0, std::string()};
+  Json out;
+  if (!p.parse_value(out)) {
+    error = p.error;
+    return Json();
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    error = "trailing characters at offset " + std::to_string(p.pos);
+    return Json();
+  }
+  error.clear();
+  return out;
+}
+
+}  // namespace mcc::api

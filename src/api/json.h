@@ -1,0 +1,81 @@
+// Minimal JSON value used by the experiment API: RunReport serialization,
+// the mcc_run --validate schema check, and the round-trip tests. Objects
+// preserve insertion order so emitted reports are stable byte-for-byte
+// given the same inputs (the differential tests depend on it). This is not
+// a general-purpose JSON library — it supports exactly what the report
+// schema needs (no \uXXXX escapes beyond pass-through, no comments).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mcc::api {
+
+class Json {
+ public:
+  enum class Type : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  static Json boolean(bool b);
+  static Json number(double v);
+  static Json number(uint64_t v);
+  static Json number(int v) { return number(static_cast<double>(v)); }
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  /// Exact when the value was built from / parsed as a non-negative
+  /// integer (seeds are 64-bit; doubles only hold 53 bits).
+  uint64_t as_uint64() const { return u64_; }
+  bool is_integral() const { return integral_; }
+  const std::string& as_string() const { return str_; }
+
+  // Array access/building.
+  const std::vector<Json>& items() const { return arr_; }
+  void push_back(Json v) { arr_.push_back(std::move(v)); }
+
+  // Object access/building (insertion-ordered; set replaces in place).
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return obj_;
+  }
+  void set(const std::string& key, Json v);
+  /// nullptr when absent.
+  const Json* find(const std::string& key) const;
+
+  /// Serializes compactly (no whitespace) with sorted? No — insertion
+  /// order, which the builders keep schema-stable.
+  std::string dump() const;
+  /// Pretty form for humans (2-space indent).
+  std::string dump_pretty() const;
+
+  /// Parses `text`; on failure returns null and sets `error` (position +
+  /// reason). An empty error string signals success.
+  static Json parse(const std::string& text, std::string& error);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  uint64_t u64_ = 0;       // exact value when integral_
+  bool integral_ = false;  // emitted without decimal point
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace mcc::api

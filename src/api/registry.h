@@ -1,0 +1,61 @@
+// Name -> factory registries for the experiment axes (driver, guidance
+// policy, traffic pattern, fault model, fault pattern). Duplicate names are
+// rejected hard (a second registration of "model" would silently shadow
+// the first otherwise); lookups of unknown names throw a ConfigError that
+// lists what IS registered, so a typo in a config file reads like a help
+// message.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/config.h"
+
+namespace mcc::api {
+
+template <class Value>
+class Registry {
+ public:
+  explicit Registry(std::string axis) : axis_(std::move(axis)) {}
+
+  void add(const std::string& name, Value value, std::string help = "") {
+    for (const auto& e : entries_)
+      if (e.name == name)
+        throw ConfigError("registry '" + axis_ + "': duplicate name '" +
+                          name + "'");
+    entries_.push_back({name, std::move(value), std::move(help)});
+  }
+
+  bool contains(const std::string& name) const {
+    for (const auto& e : entries_)
+      if (e.name == name) return true;
+    return false;
+  }
+
+  const Value& get(const std::string& name) const {
+    for (const auto& e : entries_)
+      if (e.name == name) return e.value;
+    std::string known;
+    for (const auto& e : entries_) {
+      if (!known.empty()) known += " | ";
+      known += e.name;
+    }
+    throw ConfigError("config: unknown " + axis_ + " '" + name +
+                      "' (registered: " + known + ")");
+  }
+
+  struct Entry {
+    std::string name;
+    Value value;
+    std::string help;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+  const std::string& axis() const { return axis_; }
+
+ private:
+  std::string axis_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace mcc::api

@@ -1,0 +1,226 @@
+#include "api/run_report.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "api/config.h"
+
+namespace mcc::api {
+
+void RunReport::text(std::string t) {
+  Block b;
+  b.text = std::move(t);
+  blocks_.push_back(std::move(b));
+}
+
+util::Table& RunReport::table(std::string title,
+                              std::vector<std::string> headers) {
+  Block b;
+  b.table_index = static_cast<int>(tables_.size());
+  blocks_.push_back(b);
+  tables_.push_back({std::move(title), util::Table(std::move(headers))});
+  return tables_.back().table;
+}
+
+void RunReport::metric(const std::string& key, double value) {
+  for (auto& [k, v] : metrics_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  metrics_.emplace_back(key, value);
+}
+
+void RunReport::note(std::string n) { notes_.push_back(std::move(n)); }
+
+void RunReport::fail(std::string why) {
+  failed_ = true;
+  if (failure_.empty()) failure_ = std::move(why);
+}
+
+void RunReport::render(std::ostream& os) const {
+  for (const Block& b : blocks_) {
+    if (b.table_index >= 0)
+      tables_[static_cast<size_t>(b.table_index)].table.render(os);
+    else
+      os << b.text;
+  }
+}
+
+Json RunReport::to_json() const {
+  Json doc = Json::object();
+  doc.set("schema", Json::string(kRunReportSchema));
+  doc.set("name", Json::string(name_));
+  doc.set("driver", Json::string(driver_));
+  doc.set("seed", Json::number(seed_));
+
+  Json cfg = Json::object();
+  for (const auto& [k, v] : config_) cfg.set(k, Json::string(v));
+  doc.set("config", std::move(cfg));
+
+  Json tables = Json::array();
+  for (const TableBlock& tb : tables_) {
+    Json jt = Json::object();
+    jt.set("title", Json::string(tb.title));
+    Json headers = Json::array();
+    for (const std::string& h : tb.table.headers())
+      headers.push_back(Json::string(h));
+    jt.set("headers", std::move(headers));
+    Json rows = Json::array();
+    for (const auto& row : tb.table.rows()) {
+      Json jr = Json::array();
+      for (const std::string& cell : row) jr.push_back(Json::string(cell));
+      rows.push_back(std::move(jr));
+    }
+    jt.set("rows", std::move(rows));
+    tables.push_back(std::move(jt));
+  }
+  doc.set("tables", std::move(tables));
+
+  Json metrics = Json::object();
+  for (const auto& [k, v] : metrics_) metrics.set(k, Json::number(v));
+  doc.set("metrics", std::move(metrics));
+
+  Json notes = Json::array();
+  for (const std::string& n : notes_) notes.push_back(Json::string(n));
+  doc.set("notes", std::move(notes));
+
+  doc.set("failed", Json::boolean(failed_));
+  if (failed_) doc.set("failure", Json::string(failure_));
+  return doc;
+}
+
+void RunReport::write_bench_json(const std::string& path,
+                                 const std::string& name,
+                                 const std::vector<const RunReport*>& runs) {
+  Json doc = Json::object();
+  doc.set("schema", Json::string(kBenchSchema));
+  doc.set("name", Json::string(name));
+  Json arr = Json::array();
+  for (const RunReport* r : runs) arr.push_back(r->to_json());
+  doc.set("runs", std::move(arr));
+  std::ofstream f(path);
+  if (!f)
+    throw ConfigError("report: cannot write '" + path + "'");
+  f << doc.dump_pretty();
+}
+
+// ---------------------------------------------------------------------------
+// Schema validation
+
+namespace {
+
+void require(std::vector<std::string>& problems, bool ok, const char* what) {
+  if (!ok) problems.push_back(what);
+}
+
+void validate_one_report(const Json& doc, std::vector<std::string>& problems,
+                         const std::string& where) {
+  auto miss = [&](const char* key) {
+    problems.push_back(where + ": missing key '" + key + "'");
+  };
+  const Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    miss("schema");
+    return;
+  }
+  if (schema->as_string() != kRunReportSchema) {
+    problems.push_back(where + ": unexpected schema '" +
+                       schema->as_string() + "'");
+    return;
+  }
+  const Json* name = doc.find("name");
+  if (name == nullptr || !name->is_string()) miss("name");
+  const Json* driver = doc.find("driver");
+  if (driver == nullptr || !driver->is_string()) miss("driver");
+  const Json* seed = doc.find("seed");
+  if (seed == nullptr || !seed->is_number()) miss("seed");
+  const Json* cfg = doc.find("config");
+  if (cfg == nullptr || !cfg->is_object()) {
+    miss("config");
+  } else {
+    for (const auto& [k, v] : cfg->members())
+      require(problems, v.is_string(),
+              "config values must be strings (resolved text form)");
+  }
+  const Json* tables = doc.find("tables");
+  if (tables == nullptr || !tables->is_array()) {
+    miss("tables");
+  } else {
+    for (const Json& t : tables->items()) {
+      if (!t.is_object()) {
+        problems.push_back(where + ": table entries must be objects");
+        continue;
+      }
+      const Json* headers = t.find("headers");
+      const Json* rows = t.find("rows");
+      const Json* title = t.find("title");
+      require(problems, title != nullptr && title->is_string(),
+              "table.title must be a string");
+      if (headers == nullptr || !headers->is_array() || rows == nullptr ||
+          !rows->is_array()) {
+        problems.push_back(where + ": table needs headers[] and rows[]");
+        continue;
+      }
+      const size_t width = headers->items().size();
+      for (const Json& row : rows->items()) {
+        require(problems, row.is_array() && row.items().size() == width,
+                "table row width must match headers");
+        if (!row.is_array()) continue;
+        for (const Json& cell : row.items())
+          require(problems, cell.is_string(), "table cells must be strings");
+      }
+    }
+  }
+  const Json* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    miss("metrics");
+  } else {
+    for (const auto& [k, v] : metrics->members())
+      require(problems, v.is_number(), "metrics values must be numbers");
+  }
+  const Json* notes = doc.find("notes");
+  if (notes == nullptr || !notes->is_array()) miss("notes");
+  const Json* failed = doc.find("failed");
+  if (failed == nullptr || !failed->is_bool()) miss("failed");
+}
+
+}  // namespace
+
+std::vector<std::string> validate_report_json(const Json& doc) {
+  std::vector<std::string> problems;
+  if (!doc.is_object()) {
+    problems.push_back("document is not a JSON object");
+    return problems;
+  }
+  const Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    problems.push_back("missing string key 'schema'");
+    return problems;
+  }
+  if (schema->as_string() == kBenchSchema) {
+    const Json* name = doc.find("name");
+    if (name == nullptr || !name->is_string())
+      problems.push_back("bench: missing key 'name'");
+    const Json* runs = doc.find("runs");
+    if (runs == nullptr || !runs->is_array() || runs->items().empty()) {
+      problems.push_back("bench: 'runs' must be a non-empty array");
+      return problems;
+    }
+    int i = 0;
+    for (const Json& run : runs->items()) {
+      if (!run.is_object()) {
+        problems.push_back("bench: run entries must be objects");
+        continue;
+      }
+      validate_one_report(run, problems, "runs[" + std::to_string(i) + "]");
+      ++i;
+    }
+    return problems;
+  }
+  validate_one_report(doc, problems, "report");
+  return problems;
+}
+
+}  // namespace mcc::api

@@ -1,0 +1,105 @@
+// RunReport: the single versioned result object every driver produces.
+//
+// A report is an ordered sequence of blocks — free text (headings,
+// commentary; rendered verbatim so the rewired benches stay byte-identical
+// with their pre-redesign output) and titled tables — plus flat scalar
+// metrics. It serializes two ways:
+//   * render(os)      — the human form (markdown headings + tables);
+//   * to_json()       — schema "mcc.run_report/1": name, driver, seed,
+//                       config echo, tables (title/headers/rows), metrics,
+//                       notes, failed.
+// write_bench_json() wraps one or more reports in the "mcc.bench/1"
+// envelope benches persist as BENCH_<name>.json, recording the perf
+// trajectory machine-readably.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/json.h"
+#include "util/table.h"
+
+namespace mcc::api {
+
+inline constexpr const char* kRunReportSchema = "mcc.run_report/1";
+inline constexpr const char* kBenchSchema = "mcc.bench/1";
+
+class RunReport {
+ public:
+  RunReport() = default;
+  RunReport(std::string name, std::string driver, uint64_t seed)
+      : name_(std::move(name)), driver_(std::move(driver)), seed_(seed) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& driver() const { return driver_; }
+  uint64_t seed() const { return seed_; }
+
+  /// The resolved configuration echoed into the JSON (set by Experiment).
+  void set_config_echo(std::vector<std::pair<std::string, std::string>> e) {
+    config_ = std::move(e);
+  }
+
+  /// Appends free text, rendered verbatim (include your own newlines).
+  void text(std::string t);
+
+  /// Appends a titled table and returns it for row filling. `title` names
+  /// the table in JSON; the human rendering shows only preceding text
+  /// blocks, so add a heading with text() if one is wanted.
+  util::Table& table(std::string title, std::vector<std::string> headers);
+
+  /// Records a flat scalar metric (stable insertion order).
+  void metric(const std::string& key, double value);
+
+  /// Appends a short machine-readable note string.
+  void note(std::string n);
+
+  /// Marks the run failed (deadlock/violation/...); mcc_run exits 1.
+  void fail(std::string why);
+  bool failed() const { return failed_; }
+  const std::string& failure() const { return failure_; }
+
+  /// Tables in insertion order (differential tests read cells off these).
+  /// Stored in a deque so the reference table() returns stays valid when
+  /// later tables are added (drivers may build several side by side).
+  struct TableBlock {
+    std::string title;
+    util::Table table;
+  };
+  const std::deque<TableBlock>& tables() const { return tables_; }
+
+  void render(std::ostream& os) const;
+  Json to_json() const;
+
+  /// Writes {"schema":"mcc.bench/1","name":...,"runs":[...]} to `path`.
+  static void write_bench_json(const std::string& path,
+                               const std::string& name,
+                               const std::vector<const RunReport*>& runs);
+
+ private:
+  struct Block {
+    std::string text;    // used when table_index < 0
+    int table_index = -1;
+  };
+
+  std::string name_;
+  std::string driver_;
+  uint64_t seed_ = 0;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<Block> blocks_;
+  std::deque<TableBlock> tables_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::string> notes_;
+  bool failed_ = false;
+  std::string failure_;
+};
+
+/// Structural schema check for a parsed report or bench JSON document.
+/// Returns human-readable problems; empty means valid.
+std::vector<std::string> validate_report_json(const Json& doc);
+
+}  // namespace mcc::api

@@ -1,0 +1,121 @@
+#include "sim/wormhole/baseline_routing.h"
+
+#include <algorithm>
+
+namespace mcc::sim::wh {
+
+using mesh::Coord2;
+using mesh::Coord3;
+using mesh::Dir2;
+using mesh::Dir3;
+
+const char* to_string(BlockFill f) {
+  switch (f) {
+    case BlockFill::Safety: return "safety";
+    case BlockFill::BoundingBox: return "bounding-box";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// 2-D
+
+FaultBlockRouting2D::FaultBlockRouting2D(const mesh::Mesh2D& mesh,
+                                         const mesh::FaultSet2D& faults,
+                                         BlockFill fill)
+    : mesh_(mesh), faults_(faults), fill_(fill) {}
+
+const baselines::BlockField2D& FaultBlockRouting2D::field() {
+  if (dirty_) {
+    field_.emplace(fill_ == BlockFill::Safety
+                       ? baselines::safety_fill(mesh_, faults_)
+                       : baselines::bounding_box_fill(mesh_, faults_));
+    dirty_ = false;
+  }
+  return *field_;
+}
+
+int FaultBlockRouting2D::vc_class(Coord2 s, Coord2 d) const {
+  const int id = mesh::Octant2::from_pair(s, d).id();
+  return std::min(id, 3 - id);
+}
+
+size_t FaultBlockRouting2D::candidates(Coord2 u, Coord2, Coord2 d,
+                                       std::array<Dir2, 2>& out) {
+  const baselines::BlockField2D& f = field();
+  size_t n = 0;
+  if (u.x != d.x) {
+    const Coord2 next{u.x + (u.x < d.x ? 1 : -1), u.y};
+    if (baselines::block_feasible(mesh_, f, next, d))
+      out[n++] = u.x < d.x ? Dir2::PosX : Dir2::NegX;
+  }
+  if (u.y != d.y) {
+    const Coord2 next{u.x, u.y + (u.y < d.y ? 1 : -1)};
+    if (baselines::block_feasible(mesh_, f, next, d))
+      out[n++] = u.y < d.y ? Dir2::PosY : Dir2::NegY;
+  }
+  return n;
+}
+
+bool FaultBlockRouting2D::feasible(Coord2 s, Coord2 d) {
+  return !(s == d) && baselines::block_feasible(mesh_, field(), s, d);
+}
+
+bool FaultBlockRouting2D::completable(Coord2 u, Coord2, Coord2 d) {
+  return u == d || baselines::block_feasible(mesh_, field(), u, d);
+}
+
+// ---------------------------------------------------------------------------
+// 3-D
+
+FaultBlockRouting3D::FaultBlockRouting3D(const mesh::Mesh3D& mesh,
+                                         const mesh::FaultSet3D& faults,
+                                         BlockFill fill)
+    : mesh_(mesh), faults_(faults), fill_(fill) {}
+
+const baselines::BlockField3D& FaultBlockRouting3D::field() {
+  if (dirty_) {
+    field_.emplace(fill_ == BlockFill::Safety
+                       ? baselines::safety_fill(mesh_, faults_)
+                       : baselines::bounding_box_fill(mesh_, faults_));
+    dirty_ = false;
+  }
+  return *field_;
+}
+
+int FaultBlockRouting3D::vc_class(Coord3 s, Coord3 d) const {
+  const int id = mesh::Octant3::from_pair(s, d).id();
+  return std::min(id, 7 - id);
+}
+
+size_t FaultBlockRouting3D::candidates(Coord3 u, Coord3, Coord3 d,
+                                       std::array<Dir3, 3>& out) {
+  const baselines::BlockField3D& f = field();
+  size_t n = 0;
+  if (u.x != d.x) {
+    const Coord3 next{u.x + (u.x < d.x ? 1 : -1), u.y, u.z};
+    if (baselines::block_feasible(mesh_, f, next, d))
+      out[n++] = u.x < d.x ? Dir3::PosX : Dir3::NegX;
+  }
+  if (u.y != d.y) {
+    const Coord3 next{u.x, u.y + (u.y < d.y ? 1 : -1), u.z};
+    if (baselines::block_feasible(mesh_, f, next, d))
+      out[n++] = u.y < d.y ? Dir3::PosY : Dir3::NegY;
+  }
+  if (u.z != d.z) {
+    const Coord3 next{u.x, u.y, u.z + (u.z < d.z ? 1 : -1)};
+    if (baselines::block_feasible(mesh_, f, next, d))
+      out[n++] = u.z < d.z ? Dir3::PosZ : Dir3::NegZ;
+  }
+  return n;
+}
+
+bool FaultBlockRouting3D::feasible(Coord3 s, Coord3 d) {
+  return !(s == d) && baselines::block_feasible(mesh_, field(), s, d);
+}
+
+bool FaultBlockRouting3D::completable(Coord3 u, Coord3, Coord3 d) {
+  return u == d || baselines::block_feasible(mesh_, field(), u, d);
+}
+
+}  // namespace mcc::sim::wh

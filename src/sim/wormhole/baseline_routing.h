@@ -1,0 +1,84 @@
+// Wormhole routing functions for the classic rectangular fault-block
+// baselines (safety-rule fill / bounding-box fill, src/baselines).
+//
+// FaultBlockRouting2D/3D route minimally and adaptively through the nodes a
+// block fill leaves enabled: a productive direction survives iff a minimal
+// completion through non-unsafe nodes still exists from the next hop
+// (monotone DAG reachability, the same comparator E3/E4 use). Deadlock
+// classes are the antipodal octant pairs of the MCC routers — every hop of
+// a minimal route strictly increases its octant potential, so the
+// per-class channel-dependency argument of docs/wormhole.md applies to any
+// minimal-adaptive function, this one included.
+//
+// The block field is derived from a LIVE fault-set reference: under churn
+// the driver applies each event to the fault state and then calls
+// on_network_event(), which marks the field dirty; the next per-hop query
+// rebuilds it. (The classic models have no incremental maintenance story —
+// a full refill per event is exactly the cost a fault-block deployment
+// would pay, and the comparison should charge it.)
+#pragma once
+
+#include <optional>
+
+#include "baselines/fault_block.h"
+#include "mesh/fault_set.h"
+#include "mesh/mesh.h"
+#include "sim/wormhole/routing.h"
+
+namespace mcc::sim::wh {
+
+enum class BlockFill : uint8_t { Safety, BoundingBox };
+
+const char* to_string(BlockFill f);
+
+class FaultBlockRouting2D final : public RoutingFunction2D {
+ public:
+  FaultBlockRouting2D(const mesh::Mesh2D& mesh,
+                      const mesh::FaultSet2D& faults,
+                      BlockFill fill = BlockFill::Safety);
+
+  /// Antipodal quadrant pairs share a class, as in MccRouting2D.
+  int vc_classes() const override { return 2; }
+  int vc_class(mesh::Coord2 s, mesh::Coord2 d) const override;
+  size_t candidates(mesh::Coord2 u, mesh::Coord2 s, mesh::Coord2 d,
+                    std::array<mesh::Dir2, 2>& out) override;
+  bool feasible(mesh::Coord2 s, mesh::Coord2 d) override;
+  bool completable(mesh::Coord2 u, mesh::Coord2 s, mesh::Coord2 d) override;
+  void on_network_event() override { dirty_ = true; }
+
+ private:
+  const baselines::BlockField2D& field();
+
+  const mesh::Mesh2D& mesh_;
+  const mesh::FaultSet2D& faults_;
+  BlockFill fill_;
+  bool dirty_ = true;
+  std::optional<baselines::BlockField2D> field_;
+};
+
+class FaultBlockRouting3D final : public RoutingFunction3D {
+ public:
+  FaultBlockRouting3D(const mesh::Mesh3D& mesh,
+                      const mesh::FaultSet3D& faults,
+                      BlockFill fill = BlockFill::Safety);
+
+  /// Antipodal octant pairs share a class, as in MccRouting3D.
+  int vc_classes() const override { return 4; }
+  int vc_class(mesh::Coord3 s, mesh::Coord3 d) const override;
+  size_t candidates(mesh::Coord3 u, mesh::Coord3 s, mesh::Coord3 d,
+                    std::array<mesh::Dir3, 3>& out) override;
+  bool feasible(mesh::Coord3 s, mesh::Coord3 d) override;
+  bool completable(mesh::Coord3 u, mesh::Coord3 s, mesh::Coord3 d) override;
+  void on_network_event() override { dirty_ = true; }
+
+ private:
+  const baselines::BlockField3D& field();
+
+  const mesh::Mesh3D& mesh_;
+  const mesh::FaultSet3D& faults_;
+  BlockFill fill_;
+  bool dirty_ = true;
+  std::optional<baselines::BlockField3D> field_;
+};
+
+}  // namespace mcc::sim::wh

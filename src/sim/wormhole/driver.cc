@@ -1,6 +1,7 @@
 #include "sim/wormhole/driver.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "sim/wormhole/network.h"
 
@@ -18,8 +19,8 @@ namespace {
 // offered/accepted rates are normalized by (constant statically; under
 // churn the live count changes inside the window, so the rates integrate
 // live-node-cycles).
-template <class BeforeCycle, class OnWindowOpen, class LiveNodes>
-SimResult run_measurement(Network3D& net, TrafficGen3D& traffic,
+template <class Topo, class BeforeCycle, class OnWindowOpen, class LiveNodes>
+SimResult run_measurement(Network<Topo>& net, TrafficGenT<Topo>& traffic,
                           const LoadPoint& load, BeforeCycle&& before_cycle,
                           OnWindowOpen&& on_window_open,
                           LiveNodes&& live_nodes) {
@@ -88,15 +89,18 @@ SimResult run_measurement(Network3D& net, TrafficGen3D& traffic,
   return r;
 }
 
-}  // namespace
-
-SimResult run_load_point3d(const mesh::Mesh3D& mesh,
-                           const mesh::FaultSet3D& faults,
-                           RoutingFunction3D& routing, Pattern pattern,
-                           const Config& cfg, core::RoutePolicy policy,
-                           const LoadPoint& load, uint64_t seed) {
-  Network3D net(mesh, faults, routing, cfg, policy, seed);
-  TrafficGen3D traffic(mesh, faults, routing, pattern, seed * 11400714819323198485ULL + 1);
+// Topology glue shared by the named 2-D/3-D entry points.
+template <class Topo>
+SimResult run_load_point(const typename Topo::Mesh& mesh,
+                         const typename Topo::Faults& faults,
+                         typename Topo::Routing& routing, Pattern pattern,
+                         const Config& cfg, core::RoutePolicy policy,
+                         const LoadPoint& load, uint64_t seed,
+                         double hotspot_fraction, int hotspot_count) {
+  Network<Topo> net(mesh, faults, routing, cfg, policy, seed);
+  TrafficGenT<Topo> traffic(mesh, faults, routing, pattern,
+                            seed * 11400714819323198485ULL + 1,
+                            hotspot_fraction, hotspot_count);
 
   const auto live = static_cast<double>(mesh.node_count()) -
                     static_cast<double>(faults.count());
@@ -104,29 +108,34 @@ SimResult run_load_point3d(const mesh::Mesh3D& mesh,
       net, traffic, load, [] {}, [] {}, [&] { return live; });
 }
 
-ChurnResult run_churn_load_point3d(runtime::DynamicModel3D& model,
-                                   RoutingFunction3D& routing,
-                                   Pattern pattern, Config cfg,
-                                   core::RoutePolicy policy,
-                                   const LoadPoint& load,
-                                   runtime::FaultTimeline3D timeline,
-                                   uint64_t seed) {
+template <class Topo, class Model, class Timeline>
+ChurnResult run_churn_load_point(Model& model,
+                                 typename Topo::Routing& routing,
+                                 Pattern pattern, Config cfg,
+                                 core::RoutePolicy policy,
+                                 const LoadPoint& load, Timeline timeline,
+                                 uint64_t seed, double hotspot_fraction,
+                                 int hotspot_count) {
   cfg.drop_infeasible = true;
-  const mesh::Mesh3D& mesh = model.mesh();
+  const auto& mesh = model.mesh();
   // The traffic generator reads the model's fault set by reference, so
   // dead sources stop injecting and revived ones resume.
-  Network3D net(mesh, model.faults(), routing, cfg, policy, seed);
-  TrafficGen3D traffic(mesh, model.faults(), routing, pattern,
-                       seed * 11400714819323198485ULL + 1);
+  Network<Topo> net(mesh, model.faults(), routing, cfg, policy, seed);
+  TrafficGenT<Topo> traffic(mesh, model.faults(), routing, pattern,
+                            seed * 11400714819323198485ULL + 1,
+                            hotspot_fraction, hotspot_count);
 
   timeline.reset();
   const auto apply_due_events = [&] {
     while (const auto* e = timeline.next_due(net.cycle())) {
       if (e->repair) {
-        if (model.repair(e->node).epoch != 0) net.apply_repair(e->node);
+        if (model.repair(e->node).epoch == 0) continue;
+        net.apply_repair(e->node);
       } else {
-        if (model.fail(e->node).epoch != 0) net.apply_fault(e->node);
+        if (model.fail(e->node).epoch == 0) continue;
+        net.apply_fault(e->node);
       }
+      routing.on_network_event();
     }
   };
 
@@ -151,6 +160,54 @@ ChurnResult run_churn_load_point3d(runtime::DynamicModel3D& model,
   out.cache = {cache1.hits - cache0.hits, cache1.misses - cache0.misses,
                cache1.evictions - cache0.evictions};
   return out;
+}
+
+}  // namespace
+
+SimResult run_load_point3d(const mesh::Mesh3D& mesh,
+                           const mesh::FaultSet3D& faults,
+                           RoutingFunction3D& routing, Pattern pattern,
+                           const Config& cfg, core::RoutePolicy policy,
+                           const LoadPoint& load, uint64_t seed,
+                           double hotspot_fraction, int hotspot_count) {
+  return run_load_point<Topo3>(mesh, faults, routing, pattern, cfg, policy,
+                               load, seed, hotspot_fraction, hotspot_count);
+}
+
+SimResult run_load_point2d(const mesh::Mesh2D& mesh,
+                           const mesh::FaultSet2D& faults,
+                           RoutingFunction2D& routing, Pattern pattern,
+                           const Config& cfg, core::RoutePolicy policy,
+                           const LoadPoint& load, uint64_t seed,
+                           double hotspot_fraction, int hotspot_count) {
+  return run_load_point<Topo2>(mesh, faults, routing, pattern, cfg, policy,
+                               load, seed, hotspot_fraction, hotspot_count);
+}
+
+ChurnResult run_churn_load_point3d(runtime::DynamicModel3D& model,
+                                   RoutingFunction3D& routing,
+                                   Pattern pattern, Config cfg,
+                                   core::RoutePolicy policy,
+                                   const LoadPoint& load,
+                                   runtime::FaultTimeline3D timeline,
+                                   uint64_t seed, double hotspot_fraction,
+                                   int hotspot_count) {
+  return run_churn_load_point<Topo3>(model, routing, pattern, cfg, policy,
+                                     load, std::move(timeline), seed,
+                                     hotspot_fraction, hotspot_count);
+}
+
+ChurnResult run_churn_load_point2d(runtime::DynamicModel2D& model,
+                                   RoutingFunction2D& routing,
+                                   Pattern pattern, Config cfg,
+                                   core::RoutePolicy policy,
+                                   const LoadPoint& load,
+                                   runtime::FaultTimeline2D timeline,
+                                   uint64_t seed, double hotspot_fraction,
+                                   int hotspot_count) {
+  return run_churn_load_point<Topo2>(model, routing, pattern, cfg, policy,
+                                     load, std::move(timeline), seed,
+                                     hotspot_fraction, hotspot_count);
 }
 
 }  // namespace mcc::sim::wh

@@ -50,7 +50,18 @@ SimResult run_load_point3d(const mesh::Mesh3D& mesh,
                            const mesh::FaultSet3D& faults,
                            RoutingFunction3D& routing, Pattern pattern,
                            const Config& cfg, core::RoutePolicy policy,
-                           const LoadPoint& load, uint64_t seed);
+                           const LoadPoint& load, uint64_t seed,
+                           double hotspot_fraction = 0.5,
+                           int hotspot_count = 2);
+
+/// 2-D variant over Network2D/TrafficGen2D (same measurement loop).
+SimResult run_load_point2d(const mesh::Mesh2D& mesh,
+                           const mesh::FaultSet2D& faults,
+                           RoutingFunction2D& routing, Pattern pattern,
+                           const Config& cfg, core::RoutePolicy policy,
+                           const LoadPoint& load, uint64_t seed,
+                           double hotspot_fraction = 0.5,
+                           int hotspot_count = 2);
 
 /// A load point under churn: fault/repair events from `timeline` fire at
 /// their cycles, updating the dynamic model (epoch bump, incremental MCC
@@ -71,12 +82,28 @@ struct ChurnResult {
 /// Drives `routing` (normally a DynamicMccRouting3D over `model`) through
 /// warmup + measurement + drain while applying the timeline. Forces
 /// Config::drop_infeasible so severed worms drain instead of wedging.
+/// After each applied event the routing function's on_network_event() hook
+/// fires, so fault-set-derived baselines (FaultBlockRouting) refresh too.
 ChurnResult run_churn_load_point3d(runtime::DynamicModel3D& model,
                                    RoutingFunction3D& routing,
                                    Pattern pattern, Config cfg,
                                    core::RoutePolicy policy,
                                    const LoadPoint& load,
                                    runtime::FaultTimeline3D timeline,
-                                   uint64_t seed);
+                                   uint64_t seed,
+                                   double hotspot_fraction = 0.5,
+                                   int hotspot_count = 2);
+
+/// 2-D churn variant (same measurement loop; closes the ROADMAP item on
+/// extending the wormhole churn driver to 2-D networks).
+ChurnResult run_churn_load_point2d(runtime::DynamicModel2D& model,
+                                   RoutingFunction2D& routing,
+                                   Pattern pattern, Config cfg,
+                                   core::RoutePolicy policy,
+                                   const LoadPoint& load,
+                                   runtime::FaultTimeline2D timeline,
+                                   uint64_t seed,
+                                   double hotspot_fraction = 0.5,
+                                   int hotspot_count = 2);
 
 }  // namespace mcc::sim::wh

@@ -275,7 +275,18 @@ bool MccRouting3D::completable(Coord3 u, Coord3 s, Coord3 d) {
 }
 
 // ---------------------------------------------------------------------------
-// DorRouting3D
+// DorRouting2D / DorRouting3D
+
+size_t DorRouting2D::candidates(Coord2 u, Coord2, Coord2 d,
+                                std::array<Dir2, 2>& out) {
+  if (u.x != d.x)
+    out[0] = u.x < d.x ? Dir2::PosX : Dir2::NegX;
+  else if (u.y != d.y)
+    out[0] = u.y < d.y ? Dir2::PosY : Dir2::NegY;
+  else
+    return 0;
+  return 1;
+}
 
 size_t DorRouting3D::candidates(Coord3 u, Coord3, Coord3 d,
                                 std::array<Dir3, 3>& out) {

@@ -113,6 +113,12 @@ class RoutingFunction2D {
                            mesh::Coord2 d) {
     return feasible(u, d);
   }
+  /// Called by the churn driver after a fault/repair event has been applied
+  /// to the fault state and the network. Routing functions that derive
+  /// their guidance from the fault set outside the epoch-versioned cache
+  /// (the fault-block baselines) rebuild here; the MCC functions need
+  /// nothing (the epoch bump already invalidates their cached fields).
+  virtual void on_network_event() {}
 };
 
 class RoutingFunction3D {
@@ -127,6 +133,7 @@ class RoutingFunction3D {
                            mesh::Coord3 d) {
     return feasible(u, d);
   }
+  virtual void on_network_event() {}
 };
 
 // ---------------------------------------------------------------------------
@@ -198,6 +205,15 @@ class MccRouting3D final : public RoutingFunction3D {
 /// Fault-oblivious dimension-order (e-cube) routing: the classic
 /// deterministic deadlock-free baseline. One deadlock class; only usable on
 /// fault-free meshes.
+class DorRouting2D final : public RoutingFunction2D {
+ public:
+  int vc_classes() const override { return 1; }
+  int vc_class(mesh::Coord2, mesh::Coord2) const override { return 0; }
+  size_t candidates(mesh::Coord2 u, mesh::Coord2 s, mesh::Coord2 d,
+                    std::array<mesh::Dir2, 2>& out) override;
+  bool feasible(mesh::Coord2 s, mesh::Coord2 d) override { return !(s == d); }
+};
+
 class DorRouting3D final : public RoutingFunction3D {
  public:
   int vc_classes() const override { return 1; }

@@ -1,9 +1,12 @@
 #include "sim/wormhole/traffic.h"
 
+#include <utility>
+
 #include "util/scenario.h"
 
 namespace mcc::sim::wh {
 
+using mesh::Coord2;
 using mesh::Coord3;
 
 const char* to_string(Pattern p) {
@@ -16,11 +19,42 @@ const char* to_string(Pattern p) {
   return "?";
 }
 
-TrafficGen3D::TrafficGen3D(const mesh::Mesh3D& mesh,
-                           const mesh::FaultSet3D& faults,
-                           RoutingFunction3D& routing, Pattern pattern,
-                           uint64_t seed, double hotspot_fraction,
-                           int hotspot_count)
+namespace {
+
+// Per-topology pattern geometry. Transpose rotates the axes (the 3-D form
+// (x,y,z) -> (y,z,x) matches the original generator); bit-complement
+// mirrors every axis. sample_any dispatches to the shared seeded node
+// samplers so the draw order stays identical across topologies.
+template <class Pred>
+std::optional<Coord2> sample_any(const mesh::Mesh2D& m, util::Rng& rng,
+                                 Pred&& ok, int tries) {
+  return util::sample_node2d(m, rng, std::forward<Pred>(ok), tries);
+}
+template <class Pred>
+std::optional<Coord3> sample_any(const mesh::Mesh3D& m, util::Rng& rng,
+                                 Pred&& ok, int tries) {
+  return util::sample_node3d(m, rng, std::forward<Pred>(ok), tries);
+}
+
+Coord2 transpose_of(const mesh::Mesh2D&, Coord2 s) { return {s.y, s.x}; }
+Coord3 transpose_of(const mesh::Mesh3D&, Coord3 s) {
+  return {s.y, s.z, s.x};
+}
+
+Coord2 complement_of(const mesh::Mesh2D& m, Coord2 s) {
+  return {m.nx() - 1 - s.x, m.ny() - 1 - s.y};
+}
+Coord3 complement_of(const mesh::Mesh3D& m, Coord3 s) {
+  return {m.nx() - 1 - s.x, m.ny() - 1 - s.y, m.nz() - 1 - s.z};
+}
+
+}  // namespace
+
+template <class Topo>
+TrafficGenT<Topo>::TrafficGenT(const Mesh& mesh, const Faults& faults,
+                               Routing& routing, Pattern pattern,
+                               uint64_t seed, double hotspot_fraction,
+                               int hotspot_count)
     : mesh_(mesh),
       faults_(faults),
       routing_(routing),
@@ -28,17 +62,17 @@ TrafficGen3D::TrafficGen3D(const mesh::Mesh3D& mesh,
       rng_(seed),
       hotspot_fraction_(hotspot_fraction) {
   for (size_t i = 0; i < mesh.node_count(); ++i) {
-    const Coord3 c = mesh.coord(i);
+    const Coord c = mesh.coord(i);
     if (!faults.is_faulty(c)) sources_.push_back(c);
   }
   if (pattern_ == Pattern::Hotspot) {
     // Fixed, seed-determined live hotspots, distinct from one another.
     for (int h = 0; h < hotspot_count; ++h) {
-      const auto spot = util::sample_node3d(
+      const auto spot = sample_any(
           mesh_, rng_,
-          [&](Coord3 c) {
+          [&](Coord c) {
             if (faults_.is_faulty(c)) return false;
-            for (const Coord3 seen : hotspots_)
+            for (const Coord seen : hotspots_)
               if (seen == c) return false;
             return true;
           },
@@ -50,43 +84,52 @@ TrafficGen3D::TrafficGen3D(const mesh::Mesh3D& mesh,
   }
 }
 
-std::optional<Coord3> TrafficGen3D::draw_dest(Coord3 s) {
+template <class Topo>
+std::optional<typename Topo::Coord> TrafficGenT<Topo>::draw_dest(Coord s) {
   switch (pattern_) {
     case Pattern::Uniform:
-      return util::sample_node3d(mesh_, rng_, [&](Coord3 c) {
-        return !faults_.is_faulty(c) && !(c == s) && routing_.feasible(s, c);
-      });
+      return sample_any(
+          mesh_, rng_,
+          [&](Coord c) {
+            return !faults_.is_faulty(c) && !(c == s) &&
+                   routing_.feasible(s, c);
+          },
+          8);
     case Pattern::Transpose: {
-      const Coord3 d{s.y, s.z, s.x};
+      const Coord d = transpose_of(mesh_, s);
       if (!mesh_.contains(d) || d == s || faults_.is_faulty(d) ||
           !routing_.feasible(s, d))
         return std::nullopt;
       return d;
     }
     case Pattern::BitComplement: {
-      const Coord3 d{mesh_.nx() - 1 - s.x, mesh_.ny() - 1 - s.y,
-                     mesh_.nz() - 1 - s.z};
+      const Coord d = complement_of(mesh_, s);
       if (d == s || faults_.is_faulty(d) || !routing_.feasible(s, d))
         return std::nullopt;
       return d;
     }
     case Pattern::Hotspot: {
       if (!hotspots_.empty() && rng_.chance(hotspot_fraction_)) {
-        const Coord3 d = hotspots_[rng_.pick(hotspots_.size())];
+        const Coord d = hotspots_[rng_.pick(hotspots_.size())];
         if (!(d == s) && routing_.feasible(s, d)) return d;
         return std::nullopt;
       }
-      return util::sample_node3d(mesh_, rng_, [&](Coord3 c) {
-        return !faults_.is_faulty(c) && !(c == s) && routing_.feasible(s, c);
-      });
+      return sample_any(
+          mesh_, rng_,
+          [&](Coord c) {
+            return !faults_.is_faulty(c) && !(c == s) &&
+                   routing_.feasible(s, c);
+          },
+          8);
     }
   }
   return std::nullopt;
 }
 
-int TrafficGen3D::tick(Network3D& net, double rate) {
+template <class Topo>
+int TrafficGenT<Topo>::tick(Network<Topo>& net, double rate) {
   int injected = 0;
-  for (const Coord3 s : sources_) {
+  for (const Coord s : sources_) {
     // A source that died mid-run (dynamic-fault mode) stops injecting and
     // consumes no randomness; static runs never hit this (sources_ holds
     // live nodes only), so seeded static sweeps draw identically.
@@ -103,5 +146,8 @@ int TrafficGen3D::tick(Network3D& net, double rate) {
   }
   return injected;
 }
+
+template class TrafficGenT<Topo2>;
+template class TrafficGenT<Topo3>;
 
 }  // namespace mcc::sim::wh

@@ -3,6 +3,10 @@
 // nor receive, and every candidate pair is filtered through the routing
 // function's feasibility test so offered load consists of deliverable
 // packets only (dropped draws are counted, not silently retried forever).
+//
+// One template serves both topologies (TrafficGen2D / TrafficGen3D); the
+// 3-D draw order is part of the seeded-experiment contract and unchanged
+// from the original hand-written generator.
 #pragma once
 
 #include <cstdint>
@@ -21,36 +25,45 @@ enum class Pattern : uint8_t { Uniform, Transpose, BitComplement, Hotspot };
 
 const char* to_string(Pattern p);
 
-class TrafficGen3D {
+template <class Topo>
+class TrafficGenT {
  public:
+  using Mesh = typename Topo::Mesh;
+  using Coord = typename Topo::Coord;
+  using Faults = typename Topo::Faults;
+  using Routing = typename Topo::Routing;
+
   /// `hotspot_fraction` of Hotspot packets target one of `hotspot_count`
   /// fixed live nodes; the rest fall back to uniform.
-  TrafficGen3D(const mesh::Mesh3D& mesh, const mesh::FaultSet3D& faults,
-               RoutingFunction3D& routing, Pattern pattern, uint64_t seed,
-               double hotspot_fraction = 0.5, int hotspot_count = 2);
+  TrafficGenT(const Mesh& mesh, const Faults& faults, Routing& routing,
+              Pattern pattern, uint64_t seed, double hotspot_fraction = 0.5,
+              int hotspot_count = 2);
 
   /// One injection cycle: every live node flips a Bernoulli(rate) coin and,
   /// on success, tries to draw a feasible destination and inject a packet.
   /// Returns the number of packets injected.
-  int tick(Network3D& net, double rate);
+  int tick(Network<Topo>& net, double rate);
 
   uint64_t offered() const { return offered_; }
   uint64_t filtered() const { return filtered_; }
-  const std::vector<mesh::Coord3>& hotspots() const { return hotspots_; }
+  const std::vector<Coord>& hotspots() const { return hotspots_; }
 
  private:
-  std::optional<mesh::Coord3> draw_dest(mesh::Coord3 s);
+  std::optional<Coord> draw_dest(Coord s);
 
-  const mesh::Mesh3D& mesh_;
-  const mesh::FaultSet3D& faults_;
-  RoutingFunction3D& routing_;
+  const Mesh& mesh_;
+  const Faults& faults_;
+  Routing& routing_;
   Pattern pattern_;
   util::Rng rng_;
   double hotspot_fraction_;
-  std::vector<mesh::Coord3> sources_;   // live nodes, fixed order
-  std::vector<mesh::Coord3> hotspots_;  // live hotspot destinations
+  std::vector<Coord> sources_;   // live nodes, fixed order
+  std::vector<Coord> hotspots_;  // live hotspot destinations
   uint64_t offered_ = 0;   // Bernoulli successes
   uint64_t filtered_ = 0;  // draws dropped as infeasible/unroutable
 };
+
+using TrafficGen2D = TrafficGenT<Topo2>;
+using TrafficGen3D = TrafficGenT<Topo3>;
 
 }  // namespace mcc::sim::wh

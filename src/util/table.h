@@ -25,6 +25,11 @@ class Table {
   void render(std::ostream& os) const;
   std::string to_string() const;
 
+  /// Structured access for serializers (RunReport JSON) and the
+  /// differential tests that pin cells.
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,415 @@
+// Experiment-API unit suite: Configuration parsing (round trips and every
+// hard-failure class), smoke.* pins, deprecated env aliases, Registry
+// duplicate/unknown handling, the JSON layer, RunReport schema validation
+// and Experiment-level combination errors.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "api/experiment.h"
+
+namespace mcc::api {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Configuration: types, errors, round trips
+
+TEST(Config, DefaultsResolve) {
+  Configuration cfg;
+  EXPECT_EQ(cfg.get_int("dims"), 3);
+  EXPECT_EQ(cfg.get_int("k"), 16);
+  EXPECT_EQ(cfg.get_uint64("seed"), 1u);
+  EXPECT_TRUE(cfg.get_bool("guidance_cache"));
+  EXPECT_FALSE(cfg.get_bool("smoke"));
+  EXPECT_EQ(cfg.get_string("fault_model"), "static");
+  EXPECT_TRUE(cfg.get_int_list("ks").empty());
+  EXPECT_EQ(cfg.get_double_list("rates"), std::vector<double>{0.01});
+}
+
+TEST(Config, SetAndGetEveryType) {
+  Configuration cfg;
+  cfg.set("dims", "2");
+  cfg.set("seed", "0xE8000");  // hex accepted
+  cfg.set("fault_rate", "0.125");
+  cfg.set("driver", "route_quality");
+  cfg.set("smoke", "true");
+  cfg.set("ks", "8, 12, 16");
+  cfg.set("rates", "0.01,0.02");
+  cfg.set("traffic", "uniform, hotspot");
+  EXPECT_EQ(cfg.get_int("dims"), 2);
+  EXPECT_EQ(cfg.get_uint64("seed"), 0xE8000u);
+  EXPECT_DOUBLE_EQ(cfg.get_double("fault_rate"), 0.125);
+  EXPECT_EQ(cfg.get_string("driver"), "route_quality");
+  EXPECT_TRUE(cfg.get_bool("smoke"));
+  EXPECT_EQ(cfg.get_int_list("ks"), (std::vector<int>{8, 12, 16}));
+  EXPECT_EQ(cfg.get_double_list("rates"), (std::vector<double>{0.01, 0.02}));
+  EXPECT_EQ(cfg.get_string_list("traffic"),
+            (std::vector<std::string>{"uniform", "hotspot"}));
+}
+
+TEST(Config, UnknownKeyIsHardError) {
+  Configuration cfg;
+  EXPECT_THROW(cfg.set("drvier", "x"), ConfigError);
+  try {
+    cfg.set("drvier", "x");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    // The nearest-key suggestion should find the typo.
+    EXPECT_NE(std::string(e.what()).find("driver"), std::string::npos);
+  }
+}
+
+TEST(Config, TypeErrorsAreHard) {
+  Configuration cfg;
+  EXPECT_THROW(cfg.set("k", "twelve"), ConfigError);
+  EXPECT_THROW(cfg.set("fault_rate", "lots"), ConfigError);
+  EXPECT_THROW(cfg.set("smoke", "maybe"), ConfigError);
+  EXPECT_THROW(cfg.set("seed", "-1"), ConfigError);
+  // Out-of-range literals must not silently saturate (ERANGE is an error).
+  EXPECT_THROW(cfg.set("seed", "99999999999999999999999"), ConfigError);
+  EXPECT_THROW(cfg.set("fault_rate", "1e999"), ConfigError);
+  EXPECT_THROW(cfg.set("ks", "8, twelve"), ConfigError);
+  EXPECT_THROW(cfg.set("rates", "0.01, x"), ConfigError);
+}
+
+TEST(Config, RangeErrorsAreHard) {
+  Configuration cfg;
+  EXPECT_THROW(cfg.set("dims", "4"), ConfigError);
+  EXPECT_THROW(cfg.set("dims", "1"), ConfigError);
+  EXPECT_THROW(cfg.set("fault_rate", "0.99"), ConfigError);
+  EXPECT_THROW(cfg.set("k", "1"), ConfigError);
+  EXPECT_THROW(cfg.set("hotspot_fraction", "1.5"), ConfigError);
+  EXPECT_THROW(cfg.set("ks", "8, 1024"), ConfigError);  // per element
+}
+
+TEST(Config, FileSyntaxErrors) {
+  Configuration cfg;
+  EXPECT_THROW(cfg.load_text("driver route_quality", "t"), ConfigError);
+  EXPECT_THROW(cfg.load_text("bogus_key = 1", "t"), ConfigError);
+  EXPECT_THROW(cfg.load_file("/nonexistent/path.cfg"), ConfigError);
+  // Comments, blank lines and inline comments parse.
+  cfg.load_text("# comment\n\ndriver = route_demo  # trailing\nk = 12\n",
+                "t");
+  EXPECT_EQ(cfg.get_string("driver"), "route_demo");
+  EXPECT_EQ(cfg.get_int("k"), 12);
+}
+
+TEST(Config, OverridesApplyLeftToRight) {
+  Configuration cfg;
+  cfg.apply_overrides({"k=8", "k=24", "driver=route_demo"});
+  EXPECT_EQ(cfg.get_int("k"), 24);
+  EXPECT_THROW(cfg.apply_overrides({"notakeyvalue"}), ConfigError);
+}
+
+TEST(Config, SmokePinsApplyOnlyWhenSmokeIsOn) {
+  Configuration cfg;
+  cfg.set("k", "24");
+  cfg.set("smoke.k", "5");
+  EXPECT_EQ(cfg.get_int("k"), 24);
+  cfg.set("smoke", "1");
+  EXPECT_EQ(cfg.get_int("k"), 5);
+  cfg.set("smoke", "0");
+  EXPECT_EQ(cfg.get_int("k"), 24);
+  // smoke.* values are validated against the base key's spec.
+  EXPECT_THROW(cfg.set("smoke.k", "not_an_int"), ConfigError);
+  EXPECT_THROW(cfg.set("smoke.bogus", "1"), ConfigError);
+}
+
+TEST(Config, LaterOverrideBeatsSmokePin) {
+  // The documented `mcc_run preset.cfg smoke=1 k=6` flow: the CLI
+  // override is written AFTER the preset's smoke.k pin, so it wins.
+  Configuration cfg;
+  cfg.load_text("k = 24\nsmoke.k = 5\nsmoke = 1\n", "preset");
+  EXPECT_EQ(cfg.get_int("k"), 5);
+  cfg.apply_overrides({"k=6"});
+  EXPECT_EQ(cfg.get_int("k"), 6);
+  // Re-pinning after the override flips it back (last writer wins).
+  cfg.set("smoke.k", "4");
+  EXPECT_EQ(cfg.get_int("k"), 4);
+}
+
+TEST(Config, EchoRoundTrips) {
+  Configuration cfg;
+  cfg.load_text(
+      "driver = wormhole_load\nk = 8\nrates = 0.002, 0.01\nseed = 0xE1100\n"
+      "traffic = uniform, hotspot\n",
+      "t");
+  Configuration again;
+  for (const auto& [k, v] : cfg.echo()) again.set(k, v);
+  EXPECT_EQ(again.get_string("driver"), "wormhole_load");
+  EXPECT_EQ(again.get_int("k"), 8);
+  EXPECT_EQ(again.get_double_list("rates"),
+            (std::vector<double>{0.002, 0.01}));
+  EXPECT_EQ(again.get_uint64("seed"), 0xE1100u);
+  EXPECT_EQ(again.echo(), cfg.echo());
+}
+
+TEST(Config, EnvAliasesAreDeprecatedFallbacks) {
+  // Explicit config beats the environment; the env alias fills in
+  // otherwise (warning once per process — count only moves forward).
+  const int warnings_before = Configuration::env_alias_warning_count();
+  ::setenv("MCC_SMOKE", "1", 1);
+  ::setenv("MCC_NOCACHE", "1", 1);
+  Configuration cfg;
+  EXPECT_TRUE(cfg.get_bool("smoke"));
+  EXPECT_FALSE(cfg.get_bool("guidance_cache"));  // inverted alias
+  cfg.set("smoke", "0");
+  cfg.set("guidance_cache", "1");
+  EXPECT_FALSE(cfg.get_bool("smoke"));
+  EXPECT_TRUE(cfg.get_bool("guidance_cache"));
+  ::unsetenv("MCC_SMOKE");
+  ::unsetenv("MCC_NOCACHE");
+  Configuration clean;
+  EXPECT_FALSE(clean.get_bool("smoke"));
+  EXPECT_TRUE(clean.get_bool("guidance_cache"));
+  // At most one warning per alias per process, ever.
+  EXPECT_LE(Configuration::env_alias_warning_count() - warnings_before, 2);
+  EXPECT_LE(Configuration::env_alias_warning_count(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(Registry, DuplicateNamesRejected) {
+  Registry<int> r("toy axis");
+  r.add("one", 1, "first");
+  EXPECT_THROW(r.add("one", 2), ConfigError);
+  EXPECT_EQ(r.get("one"), 1);
+}
+
+TEST(Registry, UnknownLookupListsRegisteredNames) {
+  Registry<int> r("toy axis");
+  r.add("alpha", 1);
+  r.add("beta", 2);
+  try {
+    (void)r.get("gamma");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("alpha"), std::string::npos);
+    EXPECT_NE(msg.find("beta"), std::string::npos);
+    EXPECT_NE(msg.find("toy axis"), std::string::npos);
+  }
+}
+
+TEST(Registry, BuiltinsAreRegisteredOnce) {
+  register_builtins();
+  register_builtins();  // idempotent
+  EXPECT_TRUE(drivers().contains("route_quality"));
+  EXPECT_TRUE(drivers().contains("wormhole_load"));
+  EXPECT_TRUE(drivers().contains("wormhole_churn"));
+  EXPECT_TRUE(drivers().contains("event_cost"));
+  EXPECT_TRUE(drivers().contains("protocol_cost"));
+  EXPECT_TRUE(policies().contains("oracle"));
+  EXPECT_TRUE(policies().contains("model"));
+  EXPECT_TRUE(policies().contains("labels_only"));
+  EXPECT_TRUE(policies().contains("fault_block"));
+  EXPECT_TRUE(policies().contains("dor"));
+  EXPECT_TRUE(fault_models().contains("static"));
+  EXPECT_TRUE(fault_models().contains("dynamic"));
+  EXPECT_TRUE(traffic_patterns().contains("bit_complement"));
+  EXPECT_TRUE(fault_patterns().contains("figure5"));
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+
+TEST(Json, RoundTrip) {
+  Json doc = Json::object();
+  doc.set("schema", Json::string("x/1"));
+  doc.set("count", Json::number(uint64_t{18446744073709551615ULL}));
+  doc.set("pi", Json::number(3.25));
+  doc.set("neg", Json::number(-1.5));
+  doc.set("flag", Json::boolean(true));
+  doc.set("none", Json());
+  Json arr = Json::array();
+  arr.push_back(Json::string("a\"b\\c\nd"));
+  arr.push_back(Json::number(0));
+  doc.set("items", std::move(arr));
+
+  const std::string text = doc.dump();
+  std::string error;
+  const Json back = Json::parse(text, error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(back.find("schema")->as_string(), "x/1");
+  EXPECT_EQ(back.find("count")->as_uint64(), 18446744073709551615ULL);
+  EXPECT_DOUBLE_EQ(back.find("pi")->as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(back.find("neg")->as_number(), -1.5);
+  EXPECT_TRUE(back.find("flag")->as_bool());
+  EXPECT_TRUE(back.find("none")->is_null());
+  EXPECT_EQ(back.find("items")->items()[0].as_string(), "a\"b\\c\nd");
+  // Serialization is stable: dump(parse(dump)) == dump.
+  EXPECT_EQ(back.dump(), text);
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  std::string error;
+  const Json j = Json::parse("\"caf\\u00e9 \\u20ac \\ud83d\\ude00\"", error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(j.as_string(),
+            "caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80");  // é € 😀
+  Json::parse("\"\\ud83d\"", error);  // lone high surrogate
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  Json::parse("\"\\ude00\"", error);  // lone low surrogate
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, ParseErrors) {
+  std::string error;
+  Json::parse("{", error);
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  Json::parse("{\"a\":1,}", error);
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  Json::parse("[1, 2] trailing", error);
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  Json::parse("\"unterminated", error);
+  EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// RunReport + schema validation
+
+TEST(RunReport, JsonIsSchemaValid) {
+  RunReport r("demo", "route_demo", 42);
+  r.set_config_echo({{"driver", "route_demo"}, {"k", "16"}});
+  r.text("# heading\n");
+  util::Table& t = r.table("cells", {"a", "b"});
+  t.add_row({"1", "2"});
+  r.metric("delivered", 1.0);
+  r.note("a note");
+  const Json doc = r.to_json();
+  EXPECT_TRUE(validate_report_json(doc).empty());
+
+  // Round trip through text and re-validate.
+  std::string error;
+  const Json back = Json::parse(doc.dump_pretty(), error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_TRUE(validate_report_json(back).empty());
+  EXPECT_EQ(back.find("seed")->as_uint64(), 42u);
+  EXPECT_EQ(back.find("tables")->items().size(), 1u);
+}
+
+TEST(RunReport, ValidatorRejectsBrokenDocuments) {
+  RunReport r("demo", "route_demo", 1);
+  util::Table& t = r.table("cells", {"a", "b"});
+  t.add_row({"1", "2"});
+  Json doc = r.to_json();
+
+  Json no_schema = doc;
+  no_schema.set("schema", Json::number(3));
+  EXPECT_FALSE(validate_report_json(no_schema).empty());
+
+  Json bad_metrics = doc;
+  Json metrics = Json::object();
+  metrics.set("x", Json::string("not a number"));
+  bad_metrics.set("metrics", std::move(metrics));
+  EXPECT_FALSE(validate_report_json(bad_metrics).empty());
+
+  Json not_object;
+  EXPECT_FALSE(validate_report_json(not_object).empty());
+}
+
+TEST(RunReport, FailureStateSurvivesSerialization) {
+  RunReport r("x", "wormhole_load", 1);
+  r.fail("deadlock");
+  const Json doc = r.to_json();
+  EXPECT_TRUE(doc.find("failed")->as_bool());
+  EXPECT_EQ(doc.find("failure")->as_string(), "deadlock");
+  EXPECT_TRUE(validate_report_json(doc).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Experiment-level validation of axis names and combinations
+
+Configuration base_cfg(const std::string& extra = "") {
+  Configuration cfg;
+  cfg.load_text("driver = route_demo\nk = 8\nfault_rate = 0.05\n" + extra,
+                "test");
+  return cfg;
+}
+
+TEST(Experiment, UnknownAxisValuesAreHardErrors) {
+  EXPECT_THROW(Experiment(base_cfg("driver = no_such_driver\n")),
+               ConfigError);
+  EXPECT_THROW(Experiment(base_cfg("policy = psychic\n")), ConfigError);
+  EXPECT_THROW(Experiment(base_cfg("fault_model = flaky\n")), ConfigError);
+  EXPECT_THROW(Experiment(base_cfg("fault_pattern = salt\n")), ConfigError);
+  EXPECT_THROW(Experiment(base_cfg("traffic = rushhour\n")), ConfigError);
+  EXPECT_THROW(Experiment(base_cfg("route_policy = scenic\n")), ConfigError);
+  EXPECT_THROW(Experiment(base_cfg("block_fill = round\n")), ConfigError);
+}
+
+TEST(Experiment, UnsupportedCombinationsAreHardErrors) {
+  // figure5 is 3-D only.
+  {
+    Configuration cfg = base_cfg("dims = 2\nfault_pattern = figure5\n");
+    Experiment exp(std::move(cfg));
+    EXPECT_THROW(exp.run(), ConfigError);
+  }
+  // dor in a faulty wormhole is rejected (fault-oblivious).
+  {
+    Configuration cfg;
+    cfg.load_text(
+        "driver = wormhole_load\ndims = 3\nk = 4\npolicy = dor\n"
+        "fault_pattern = exact\nfault_count = 2\nwarmup = 10\n"
+        "measure = 20\n",
+        "test");
+    Experiment exp(std::move(cfg));
+    EXPECT_THROW(exp.run(), ConfigError);
+  }
+  // labels_only cannot route a wormhole under churn (wedge risk).
+  {
+    Configuration cfg;
+    cfg.load_text(
+        "driver = wormhole_churn\ndims = 2\nk = 6\nfault_model = dynamic\n"
+        "policy = labels_only\nwarmup = 10\nmeasure = 20\n",
+        "test");
+    Experiment exp(std::move(cfg));
+    EXPECT_THROW(exp.run(), ConfigError);
+  }
+  // wormhole_churn needs the dynamic fault model.
+  {
+    Configuration cfg;
+    cfg.load_text("driver = wormhole_churn\ndims = 2\nk = 6\n", "test");
+    Experiment exp(std::move(cfg));
+    EXPECT_THROW(exp.run(), ConfigError);
+  }
+}
+
+TEST(Experiment, DorWormholeRunsFaultFree) {
+  Configuration cfg;
+  cfg.load_text(
+      "driver = wormhole_load\ndims = 3\nk = 4\npolicy = dor\n"
+      "fault_pattern = none\nrates = 0.02\nwarmup = 20\nmeasure = 50\n"
+      "drain = 2000\nname = dor-smoke\n",
+      "test");
+  RunReport report = Experiment(std::move(cfg)).run();
+  EXPECT_FALSE(report.failed());
+  ASSERT_EQ(report.tables().size(), 1u);
+  EXPECT_EQ(report.tables()[0].table.rows().size(), 1u);
+}
+
+TEST(Experiment, GuidanceCacheKeyMatchesEnvEscapeHatch) {
+  // guidance_cache=0 must route exactly like the cached default (the two
+  // paths are bit-identical by the runtime suite; here we pin the config
+  // plumbing end to end).
+  const auto run = [](const char* extra) {
+    Configuration cfg;
+    cfg.load_text(std::string("driver = wormhole_load\ndims = 3\nk = 5\n"
+                              "fault_pattern = exact\nfault_count = 6\n"
+                              "policy = model\nrates = 0.02\nwarmup = 30\n"
+                              "measure = 100\ndrain = 5000\nseed = 9\n") +
+                      extra,
+                  "test");
+    RunReport r = Experiment(std::move(cfg)).run();
+    return r.tables().at(0).table.rows();
+  };
+  EXPECT_EQ(run(""), run("guidance_cache = 0\n"));
+}
+
+}  // namespace
+}  // namespace mcc::api

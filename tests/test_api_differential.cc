@@ -1,0 +1,322 @@
+// Differential pins for the api_redesign: the mcc_run preset path must
+// reproduce the PRE-REDESIGN bench computations bit for bit. Each test
+// reconstructs the legacy bench loop inline (the code the old bench main
+// ran, at its smoke operating point) and compares the formatted table
+// cells against what Experiment produces from the corresponding preset in
+// configs/. Timing columns (E12 part A) are excluded by construction —
+// every pinned cell here is a deterministic count or a formatted mean of
+// deterministic values.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+
+#include "api/experiment.h"
+#include "core/model.h"
+#include "mesh/fault_injection.h"
+#include "runtime/dynamic_model.h"
+#include "runtime/timeline.h"
+#include "sim/wormhole/driver.h"
+#include "sim/wormhole/dynamic_routing.h"
+#include "sim/wormhole/routing.h"
+#include "util/parallel.h"
+#include "util/scenario.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace mcc {
+namespace {
+
+api::RunReport run_preset(const std::string& file) {
+  api::Configuration cfg;
+  cfg.load_file(std::string(MCC_CONFIG_DIR) + "/" + file);
+  cfg.set("smoke", "1");
+  return api::Experiment(std::move(cfg)).run();
+}
+
+// ---------------------------------------------------------------------------
+// E8: the legacy bench loop (smoke shape: one trial), verbatim.
+
+TEST(ApiDifferential, E8PresetMatchesLegacyBenchPath) {
+  const api::RunReport report = run_preset("e8_routing_quality.cfg");
+  ASSERT_EQ(report.tables().size(), 2u);
+  const util::Table& got = report.tables()[0].table;
+  const util::Table& got_div = report.tables()[1].table;
+
+  const int kTrials = 1;  // MCC_SMOKE shape of the legacy bench
+  constexpr int kPairs = 25;
+  const int k = 24;
+  const mesh::Mesh2D m(k, k);
+
+  util::Table want({"fault rate", "router", "delivered", "minimal",
+                    "multi-choice hops", "mean candidates/hop"});
+  for (const double rate : {0.05, 0.10, 0.15}) {
+    for (const core::RouterKind kind :
+         {core::RouterKind::Oracle, core::RouterKind::Records,
+          core::RouterKind::LabelsOnly}) {
+      util::RunningStats delivered, minimal, multi, cand;
+      std::mutex mu;
+      util::parallel_for(kTrials, [&](size_t trial) {
+        util::Rng rng(0xE8000 + static_cast<uint64_t>(rate * 1000) * 7 +
+                      trial);
+        const auto f = mesh::inject_uniform(m, rate, rng);
+        const core::MccModel2D model(m, f);
+        const auto& oct = model.octant(mesh::Octant2{false, false});
+        long n = 0, del = 0, min_ok = 0;
+        util::RunningStats mstat, cstat;
+        for (int i = 0; i < kPairs; ++i) {
+          const auto pr = util::sample_pair2d(m, oct.labels, rng);
+          if (!pr) continue;
+          const auto [s, d] = *pr;
+          if (!model.feasible(s, d).feasible) continue;
+          ++n;
+          const auto r = model.route(s, d, kind, core::RoutePolicy::Random,
+                                     trial * 1000 + i);
+          del += r.delivered;
+          if (r.delivered) {
+            min_ok += r.hops() == manhattan(s, d);
+            if (r.hops() > 0) {
+              mstat.add(double(r.stats.multi_choice_hops) / r.hops());
+              cstat.add(double(r.stats.candidate_sum) / r.hops());
+            }
+          }
+        }
+        if (n == 0) return;
+        std::lock_guard<std::mutex> lock(mu);
+        delivered.add(double(del) / n);
+        minimal.add(del ? double(min_ok) / del : 0.0);
+        if (mstat.count()) multi.add(mstat.mean());
+        if (cstat.count()) cand.add(cstat.mean());
+      });
+      want.add_row({util::Table::pct(rate, 0), core::to_string(kind),
+                    util::Table::pct(delivered.mean(), 1),
+                    util::Table::pct(minimal.mean(), 1),
+                    util::Table::pct(multi.mean(), 1),
+                    util::Table::fmt(cand.mean(), 2)});
+    }
+  }
+  EXPECT_EQ(got.headers(), want.headers());
+  EXPECT_EQ(got.rows(), want.rows());
+
+  // Path diversity table.
+  util::Table want_div(
+      {"fault rate", "distinct paths (20 tries)", "path length"});
+  for (const double rate : {0.0, 0.10}) {
+    util::RunningStats distinct, len;
+    std::mutex mu;
+    util::parallel_for(kTrials, [&](size_t trial) {
+      util::Rng rng(0xE8700 + static_cast<uint64_t>(rate * 1000) + trial);
+      const auto f = mesh::inject_uniform(m, rate, rng);
+      const core::MccModel2D model(m, f);
+      const auto& oct = model.octant(mesh::Octant2{false, false});
+      const auto pr = util::sample_pair2d(m, oct.labels, rng, 12);
+      if (!pr || !model.feasible(pr->first, pr->second).feasible) return;
+      std::set<std::vector<int>> paths;
+      int hops = 0;
+      for (int i = 0; i < 20; ++i) {
+        const auto r = model.route(pr->first, pr->second,
+                                   core::RouterKind::Records,
+                                   core::RoutePolicy::Random, trial * 77 + i);
+        if (!r.delivered) continue;
+        hops = r.hops();
+        std::vector<int> key;
+        for (const auto c : r.path) key.push_back(c.y * k + c.x);
+        paths.insert(key);
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (!paths.empty()) {
+        distinct.add(static_cast<double>(paths.size()));
+        len.add(hops);
+      }
+    });
+    want_div.add_row(
+        {util::Table::pct(rate, 0),
+         util::Table::mean_ci(distinct.mean(), distinct.ci95(), 1),
+         util::Table::fmt(len.mean(), 1)});
+  }
+  EXPECT_EQ(got_div.rows(), want_div.rows());
+}
+
+// ---------------------------------------------------------------------------
+// E11: the legacy bench loop (smoke shape), verbatim.
+
+TEST(ApiDifferential, E11PresetMatchesLegacyBenchPath) {
+  const api::RunReport report = run_preset("e11_wormhole.cfg");
+  ASSERT_EQ(report.tables().size(), 2u);  // fault-free + clustered
+
+  using sim::wh::Config;
+  using sim::wh::GuidanceMode;
+  using sim::wh::LoadPoint;
+  using sim::wh::Pattern;
+  using sim::wh::SimResult;
+
+  const int k = 5;  // smoke shape
+  const mesh::Mesh3D m(k, k, k);
+  const std::vector<double> rates{0.01};
+  const Pattern patterns[] = {Pattern::Uniform, Pattern::Transpose,
+                              Pattern::BitComplement, Pattern::Hotspot};
+
+  Config cfg;
+  cfg.vcs_per_class = 2;
+  cfg.buffer_depth = 4;
+  cfg.packet_size = 4;
+  LoadPoint base;
+  base.warmup = 100;
+  base.measure = 300;
+  base.drain = 10000;
+
+  int table_index = 0;
+  for (const bool faulty : {false, true}) {
+    mesh::FaultSet3D f(m);
+    if (faulty) {
+      util::Rng frng(0xE11);
+      f = mesh::inject_clustered(m, 8, 3, frng);
+    }
+    sim::wh::MccRouting3D routing(m, f, GuidanceMode::Model);
+
+    util::Table want({"pattern", "offered (f/n/c)", "accepted (f/n/c)",
+                      "avg lat", "p99 lat", "max lat", "packets", "filtered",
+                      "state"});
+    for (const Pattern p : patterns) {
+      for (const double rate : rates) {
+        LoadPoint load = base;
+        load.rate = rate;
+        const SimResult r = sim::wh::run_load_point3d(
+            m, f, routing, p, cfg, core::RoutePolicy::Random, load,
+            0xE1100 + static_cast<uint64_t>(rate * 10000));
+        want.add_row({to_string(p), util::Table::fmt(r.offered_flits, 4),
+                      util::Table::fmt(r.accepted_flits, 4),
+                      util::Table::fmt(r.avg_latency, 1),
+                      std::to_string(r.p99_latency),
+                      std::to_string(r.max_latency),
+                      std::to_string(r.delivered_packets),
+                      std::to_string(r.filtered),
+                      std::string(r.violations   ? "VIOLATION"
+                                  : r.deadlocked ? "DEADLOCK"
+                                  : !r.drained   ? "backlogged"
+                                  : r.saturated  ? "saturated"
+                                                 : "stable")});
+        ASSERT_EQ(r.violations, 0u);
+        ASSERT_FALSE(r.deadlocked);
+      }
+    }
+    const util::Table& got = report.tables()[table_index].table;
+    EXPECT_EQ(got.headers(), want.headers());
+    EXPECT_EQ(got.rows(), want.rows()) << "fault env " << table_index;
+    ++table_index;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// E12 part B: the legacy churn loop (smoke shape) — every column of the B
+// table is a deterministic count given the seeds.
+
+TEST(ApiDifferential, E12ChurnPresetMatchesLegacyBenchPath) {
+  const api::RunReport report = run_preset("e12_churn.cfg");
+  ASSERT_EQ(report.tables().size(), 1u);
+  const util::Table& got = report.tables()[0].table;
+
+  sim::wh::Config cfg;
+  sim::wh::LoadPoint load;
+  load.rate = 0.01;
+  load.warmup = 100;
+  load.measure = 300;
+  load.drain = 10000;
+
+  util::Table want({"mesh", "churn/kcyc", "events (f+r)", "delivered",
+                    "dropped", "accepted (f/n/c)", "avg lat", "cache hit%",
+                    "state"});
+  for (const int k : {5}) {
+    for (const double churn : {2.0, 10.0}) {
+      const mesh::Mesh3D mesh(k, k, k);
+      util::Rng rng(0xE1203 + static_cast<uint64_t>(k * 31 + churn));
+      const mesh::FaultSet3D initial = mesh::inject_uniform(mesh, 0.02, rng);
+      runtime::DynamicModel3D model(mesh, initial);
+      sim::wh::DynamicMccRouting3D routing(model);
+
+      util::ChurnParams p;
+      p.rate = churn / 1000.0;
+      p.horizon =
+          static_cast<uint64_t>(load.warmup + load.measure + load.drain / 4);
+      p.repair_min = 100;
+      p.repair_max = 1000;
+      auto timeline = runtime::FaultTimeline3D::sample(mesh, initial, rng, p);
+
+      const auto r = sim::wh::run_churn_load_point3d(
+          model, routing, sim::wh::Pattern::Uniform, cfg,
+          core::RoutePolicy::Random, load, std::move(timeline),
+          0xE12B0 + static_cast<uint64_t>(k));
+      want.add_row({std::to_string(k) + "^3", util::Table::fmt(churn, 1),
+                    std::to_string(r.fault_events) + "+" +
+                        std::to_string(r.repair_events),
+                    std::to_string(r.sim.delivered_packets),
+                    std::to_string(r.dropped_packets),
+                    util::Table::fmt(r.sim.accepted_flits, 4),
+                    util::Table::fmt(r.sim.avg_latency, 1),
+                    util::Table::pct(r.cache.hit_rate()),
+                    std::string(r.sim.violations   ? "VIOLATION"
+                                : r.sim.deadlocked ? "DEADLOCK"
+                                : !r.sim.drained   ? "backlogged"
+                                                   : "ok")});
+    }
+  }
+  EXPECT_EQ(got.headers(), want.headers());
+  EXPECT_EQ(got.rows(), want.rows());
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance combination — dynamic fault model, fault-block baseline,
+// hotspot traffic, 2-D — has no bespoke main() anywhere; it must run end
+// to end, be deterministic, and emit schema-valid JSON.
+
+api::RunReport run_acceptance_combo() {
+  api::Configuration cfg;
+  cfg.load_text(
+      "driver = wormhole_churn\nname = combo\ndims = 2\nk = 8\n"
+      "fault_model = dynamic\npolicy = fault_block\ntraffic = hotspot\n"
+      "fault_rate = 0.05\nrates = 0.02\nchurn = 5\nwarmup = 100\n"
+      "measure = 300\ndrain = 10000\nrepair_min = 100\nrepair_max = 600\n"
+      "seed = 77\n",
+      "combo");
+  return api::Experiment(std::move(cfg)).run();
+}
+
+TEST(ApiDifferential, DynamicFaultBlockHotspot2DRunsEndToEnd) {
+  const api::RunReport report = run_acceptance_combo();
+  EXPECT_FALSE(report.failed()) << report.failure();
+  ASSERT_EQ(report.tables().size(), 1u);
+  const auto& rows = report.tables()[0].table.rows();
+  ASSERT_EQ(rows.size(), 1u);
+  // Packets were actually delivered through the block-field router.
+  EXPECT_GT(std::stoull(rows[0][3]), 0u);
+
+  const api::Json doc = report.to_json();
+  EXPECT_TRUE(api::validate_report_json(doc).empty());
+
+  // Deterministic: a second run serializes byte-identically.
+  const api::RunReport again = run_acceptance_combo();
+  EXPECT_EQ(doc.dump(), again.to_json().dump());
+}
+
+// The 2-D churn driver must also serve the MCC policies (the ROADMAP's
+// "extend the wormhole churn driver to 2-D networks" item).
+TEST(ApiDifferential, WormholeChurn2DModelPolicyRuns) {
+  api::Configuration cfg;
+  cfg.load_text(
+      "driver = wormhole_churn\nname = churn2d\ndims = 2\nk = 8\n"
+      "fault_model = dynamic\npolicy = model\ntraffic = uniform\n"
+      "fault_rate = 0.04\nrates = 0.02\nchurn = 6\nwarmup = 100\n"
+      "measure = 400\ndrain = 10000\nseed = 5\n",
+      "churn2d");
+  const api::RunReport report = api::Experiment(std::move(cfg)).run();
+  EXPECT_FALSE(report.failed()) << report.failure();
+  const auto& rows = report.tables().at(0).table.rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_GT(std::stoull(rows[0][3]), 0u);  // delivered
+  EXPECT_EQ(rows[0][8], "ok");
+  // The dynamic 2-D path serves per-hop guidance from the epoch cache.
+  EXPECT_NE(rows[0][7], "0.0%");
+}
+
+}  // namespace
+}  // namespace mcc

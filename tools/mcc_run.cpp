@@ -1,0 +1,164 @@
+// mcc_run — the one front door to every experiment in this repository.
+//
+//   mcc_run [config.cfg] [key=value ...]   run a scenario
+//   mcc_run --list                         show registries + key reference
+//   mcc_run --dump-config [cfg] [k=v ...]  print the resolved config, no run
+//   mcc_run --validate report.json         schema-check an emitted JSON file
+//
+// Exit codes: 0 success, 1 run failed (deadlock/violation/undelivered),
+// 2 configuration error, 3 validation error.
+//
+// Any combination the registries span works without new C++, e.g.
+//   mcc_run dims=2 driver=wormhole_churn fault_model=dynamic
+//           policy=fault_block traffic=hotspot fault_rate=0.05
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/experiment.h"
+
+namespace {
+
+using mcc::api::Configuration;
+using mcc::api::Json;
+
+int list_registries() {
+  mcc::api::register_builtins();
+  const auto show = [](const auto& registry) {
+    std::cout << registry.axis() << ":\n";
+    for (const auto& e : registry.entries())
+      std::cout << "  " << e.name << "  — " << e.help << "\n";
+    std::cout << "\n";
+  };
+  show(mcc::api::drivers());
+  show(mcc::api::fault_models());
+  show(mcc::api::fault_patterns());
+  show(mcc::api::policies());
+  show(mcc::api::traffic_patterns());
+
+  std::cout << "config keys (key = default — help):\n";
+  for (const auto& [name, spec] : Configuration::schema()) {
+    std::cout << "  " << name << " = "
+              << (spec.def.empty() ? "\"\"" : spec.def) << "  ["
+              << to_string(spec.type) << "] — " << spec.help;
+    if (spec.env_alias != nullptr)
+      std::cout << " (deprecated env alias: " << spec.env_alias << ")";
+    std::cout << "\n";
+  }
+  std::cout << "\nsmoke.<key> = <value> pins the value a key takes when "
+               "smoke=1 (CI smoke shape).\n";
+  return 0;
+}
+
+int validate_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::cerr << "mcc_run: cannot open '" << path << "'\n";
+    return 3;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  std::string error;
+  const Json doc = Json::parse(ss.str(), error);
+  if (!error.empty()) {
+    std::cerr << "mcc_run: " << path << ": JSON parse error: " << error
+              << "\n";
+    return 3;
+  }
+  const auto problems = mcc::api::validate_report_json(doc);
+  if (!problems.empty()) {
+    std::cerr << "mcc_run: " << path << ": schema violations:\n";
+    for (const auto& p : problems) std::cerr << "  - " << p << "\n";
+    return 3;
+  }
+  std::cout << path << ": valid ("
+            << doc.find("schema")->as_string() << ")\n";
+  return 0;
+}
+
+// An argument is an override only when the text before '=' is a real
+// config key (or a smoke.* pin); anything else — including a config-file
+// path that happens to contain '=' — is treated as a file.
+bool is_override(const std::string& a) {
+  const size_t eq = a.find('=');
+  if (eq == std::string::npos) return false;
+  std::string key = a.substr(0, eq);
+  if (key.rfind("smoke.", 0) == 0) key = key.substr(6);
+  return Configuration::schema().count(key) != 0;
+}
+
+Configuration parse_command_line(const std::vector<std::string>& args) {
+  Configuration cfg;
+  std::vector<std::string> overrides;
+  for (const std::string& a : args) {
+    if (is_override(a)) {
+      overrides.push_back(a);
+    } else {
+      cfg.load_file(a);
+      if (!cfg.is_set("name")) {
+        // Default the run name to the config file's stem.
+        std::string stem = a;
+        const size_t slash = stem.find_last_of('/');
+        if (slash != std::string::npos) stem = stem.substr(slash + 1);
+        const size_t dot = stem.find_last_of('.');
+        if (dot != std::string::npos) stem = stem.substr(0, dot);
+        cfg.set("name", stem);
+      }
+    }
+  }
+  cfg.apply_overrides(overrides);
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  bool dump_only = false;
+
+  if (!args.empty() && args[0] == "--list") return list_registries();
+  if (!args.empty() && args[0] == "--validate") {
+    if (args.size() != 2) {
+      std::cerr << "usage: mcc_run --validate report.json\n";
+      return 3;
+    }
+    return validate_file(args[1]);
+  }
+  if (!args.empty() && args[0] == "--dump-config") {
+    dump_only = true;
+    args.erase(args.begin());
+  }
+  if (args.empty()) {
+    std::cerr << "usage: mcc_run [--list | --validate file | --dump-config] "
+                 "[config.cfg] [key=value ...]\n";
+    return 2;
+  }
+
+  try {
+    Configuration cfg = parse_command_line(args);
+    if (dump_only) {
+      mcc::api::Experiment exp(std::move(cfg));  // validates everything
+      for (const auto& [k, v] : exp.scenario().cfg->echo())
+        std::cout << k << " = " << v << "\n";
+      return 0;
+    }
+    mcc::api::Experiment exp(std::move(cfg));
+    const mcc::api::RunReport report = exp.run();
+    report.render(std::cout);
+    if (report.failed()) {
+      std::cerr << "mcc_run: run failed: " << report.failure() << "\n";
+      return 1;
+    }
+    return 0;
+  } catch (const mcc::api::ConfigError& e) {
+    std::cerr << "mcc_run: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    // Anything else (an IO failure, an internal schema self-check) is a
+    // failed run, not a config error — keep the 0/1/2/3 contract.
+    std::cerr << "mcc_run: error: " << e.what() << "\n";
+    return 1;
+  }
+}
