@@ -1,73 +1,24 @@
 // E1 — healthy nodes captured inside fault regions, 2-D.
 //
-// Reproduces the Wang'03-style comparison the paper builds on (§1: the MCC
-// model "includes much fewer non-faulty nodes in its fault region than the
-// conventional rectangular model"). For each mesh size and fault rate we
-// report the mean number of healthy nodes absorbed by
-//   - the MCC labelling (this paper),
-//   - the safety-rule rectangular fault blocks (Wu/Boppana-Chalasani),
-//   - bounding-box blocks (most conservative classic model).
+// Thin front over the experiment API: the scenario lives in
+// configs/e1_fill2d.cfg (single source of truth, also runnable as
+// `mcc_run configs/e1_fill2d.cfg`); this main adds only the BENCH_*.json
+// emission. Output is byte-identical with the pre-redesign bench
+// (tests/test_api_differential.cc pins it).
 #include <iostream>
-#include <mutex>
 
-#include "bench/common.h"
-#include "baselines/fault_block.h"
-#include "core/labeling.h"
-#include "mesh/fault_injection.h"
-#include "util/parallel.h"
-#include "util/rng.h"
-#include "util/stats.h"
-#include "util/table.h"
+#include "api/experiment.h"
 
-int main() {
+int main() try {
   using namespace mcc;
-  const int kTrials = bench::trials(100);
-  const int sizes[] = {16, 32, 48};
-  const double rates[] = {0.01, 0.02, 0.05, 0.10, 0.15, 0.20};
-
-  util::Table table({"mesh", "fault rate", "faults", "MCC healthy",
-                     "safety-block healthy", "bbox healthy",
-                     "MCC/safety ratio"});
-
-  for (const int k : sizes) {
-    const mesh::Mesh2D m(k, k);
-    for (const double rate : rates) {
-      util::RunningStats faults, mcc_fill, safety_fill_stat, bbox_fill;
-      std::mutex mu;
-      util::parallel_for(kTrials, [&](size_t t) {
-        util::Rng rng(0xE1000 + static_cast<uint64_t>(k) * 1000 +
-                      static_cast<uint64_t>(rate * 1000) * 7919 + t);
-        const auto f = mesh::inject_uniform(m, rate, rng);
-        const core::LabelField2D labels(m, f);
-        const auto safety = baselines::safety_fill(m, f);
-        const auto bbox = baselines::bounding_box_fill(m, f);
-        std::lock_guard<std::mutex> lock(mu);
-        faults.add(f.count());
-        mcc_fill.add(labels.healthy_unsafe_count());
-        safety_fill_stat.add(safety.healthy_unsafe_count());
-        bbox_fill.add(bbox.healthy_unsafe_count());
-      });
-      const double ratio =
-          safety_fill_stat.mean() > 0
-              ? mcc_fill.mean() / safety_fill_stat.mean()
-              : 1.0;
-      table.add_row({std::to_string(k) + "x" + std::to_string(k),
-                     util::Table::pct(rate, 0),
-                     util::Table::fmt(faults.mean(), 1),
-                     util::Table::mean_ci(mcc_fill.mean(), mcc_fill.ci95(), 2),
-                     util::Table::mean_ci(safety_fill_stat.mean(),
-                                          safety_fill_stat.ci95(), 2),
-                     util::Table::mean_ci(bbox_fill.mean(), bbox_fill.ci95(),
-                                          2),
-                     util::Table::fmt(ratio, 3)});
-    }
-  }
-
-  std::cout << "# E1: healthy nodes absorbed into fault regions (2-D, "
-               "uniform faults, "
-            << kTrials << " seeds)\n\n";
-  table.render(std::cout);
-  std::cout << "\nExpected shape: MCC << safety blocks <= bounding boxes, "
-               "gap widening with fault rate.\n";
-  return 0;
+  api::Configuration cfg;
+  cfg.load_file(std::string(MCC_CONFIG_DIR) + "/e1_fill2d.cfg");
+  api::RunReport report = api::Experiment(std::move(cfg)).run();
+  report.render(std::cout);
+  api::RunReport::write_bench_json("BENCH_e1_fill2d.json", "e1_fill2d",
+                                   {&report});
+  return report.failed() ? 1 : 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
 }

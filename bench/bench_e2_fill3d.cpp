@@ -1,65 +1,23 @@
 // E2 — healthy nodes captured inside fault regions, 3-D (the paper's
-// headline simulation: "the number of non-faulty nodes included in MCCs in
-// 3-D meshes ... compared with the best existing known result").
+// headline simulation).
+//
+// Thin front over the experiment API: the scenario lives in
+// configs/e2_fill3d.cfg; this main adds only the BENCH_*.json emission.
+// Output is byte-identical with the pre-redesign bench.
 #include <iostream>
-#include <mutex>
 
-#include "bench/common.h"
-#include "baselines/fault_block.h"
-#include "core/labeling.h"
-#include "mesh/fault_injection.h"
-#include "util/parallel.h"
-#include "util/rng.h"
-#include "util/stats.h"
-#include "util/table.h"
+#include "api/experiment.h"
 
-int main() {
+int main() try {
   using namespace mcc;
-  const int kTrials = bench::trials(60);
-  const int sizes[] = {8, 12, 16};
-  const double rates[] = {0.01, 0.02, 0.05, 0.10, 0.15};
-
-  util::Table table({"mesh", "fault rate", "faults", "MCC healthy",
-                     "safety-block healthy", "bbox healthy",
-                     "MCC/safety ratio"});
-
-  for (const int k : sizes) {
-    const mesh::Mesh3D m(k, k, k);
-    for (const double rate : rates) {
-      util::RunningStats faults, mcc_fill, safety, bbox;
-      std::mutex mu;
-      util::parallel_for(kTrials, [&](size_t t) {
-        util::Rng rng(0xE2000 + static_cast<uint64_t>(k) * 1000 +
-                      static_cast<uint64_t>(rate * 1000) * 7919 + t);
-        const auto f = mesh::inject_uniform(m, rate, rng);
-        const core::LabelField3D labels(m, f);
-        const auto sf = baselines::safety_fill(m, f);
-        const auto bb = baselines::bounding_box_fill(m, f);
-        std::lock_guard<std::mutex> lock(mu);
-        faults.add(f.count());
-        mcc_fill.add(labels.healthy_unsafe_count());
-        safety.add(sf.healthy_unsafe_count());
-        bbox.add(bb.healthy_unsafe_count());
-      });
-      const double ratio =
-          safety.mean() > 0 ? mcc_fill.mean() / safety.mean() : 1.0;
-      table.add_row(
-          {std::to_string(k) + "^3", util::Table::pct(rate, 0),
-           util::Table::fmt(faults.mean(), 1),
-           util::Table::mean_ci(mcc_fill.mean(), mcc_fill.ci95(), 2),
-           util::Table::mean_ci(safety.mean(), safety.ci95(), 2),
-           util::Table::mean_ci(bbox.mean(), bbox.ci95(), 2),
-           util::Table::fmt(ratio, 3)});
-    }
-  }
-
-  std::cout << "# E2: healthy nodes absorbed into fault regions (3-D, "
-               "uniform faults, "
-            << kTrials << " seeds)\n\n";
-  table.render(std::cout);
-  std::cout << "\nExpected shape: the 3-D labelling needs all THREE positive "
-               "(negative) neighbors blocked,\nso MCC absorbs near-zero "
-               "healthy nodes at realistic fault rates — far fewer than "
-               "block models.\n";
-  return 0;
+  api::Configuration cfg;
+  cfg.load_file(std::string(MCC_CONFIG_DIR) + "/e2_fill3d.cfg");
+  api::RunReport report = api::Experiment(std::move(cfg)).run();
+  report.render(std::cout);
+  api::RunReport::write_bench_json("BENCH_e2_fill3d.json", "e2_fill3d",
+                                   {&report});
+  return report.failed() ? 1 : 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
 }

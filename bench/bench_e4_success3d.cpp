@@ -1,81 +1,22 @@
-// E4 — minimal-routing success rate in 3-D (the paper's headline claim:
-// the detection floods admit a minimal route exactly when one exists).
+// E4 — minimal-routing success rate in 3-D (the paper's headline claim).
+//
+// Thin front over the experiment API: the scenario lives in
+// configs/e4_success3d.cfg; this main adds only the BENCH_*.json
+// emission. Output is byte-identical with the pre-redesign bench.
 #include <iostream>
-#include <mutex>
 
-#include "baselines/fault_block.h"
-#include "baselines/simple_routers.h"
-#include "bench/common.h"
-#include "core/feasibility3d.h"
-#include "core/reachability.h"
-#include "mesh/fault_injection.h"
-#include "util/parallel.h"
-#include "util/stats.h"
-#include "util/table.h"
+#include "api/experiment.h"
 
-int main() {
+int main() try {
   using namespace mcc;
-  const int kTrials = bench::trials(30);
-  constexpr int kPairs = 40;
-  const int k = 12;
-  const double rates[] = {0.01, 0.02, 0.05, 0.10, 0.15};
-
-  util::Table table({"fault rate", "oracle", "MCC model", "safety blocks",
-                     "bbox blocks", "greedy local", "dim-order"});
-  const mesh::Mesh3D m(k, k, k);
-
-  std::cout << "# E4: minimal-routing success rate, 3-D " << k << "^3 ("
-            << kTrials << " seeds x " << kPairs
-            << " safe pairs, uniform faults)\n\n";
-
-  for (const double rate : rates) {
-    util::RunningStats oracle_s, mcc_s, safety_s, bbox_s, greedy_s, dor_s;
-    std::mutex mu;
-    util::parallel_for(kTrials, [&](size_t t) {
-      util::Rng rng(0xE4000 + static_cast<uint64_t>(rate * 1000) * 131 + t);
-      const auto f = mesh::inject_uniform(m, rate, rng);
-      const core::LabelField3D labels(m, f);
-      const auto safety = baselines::safety_fill(m, f);
-      const auto bbox = baselines::bounding_box_fill(m, f);
-
-      int n = 0, n_oracle = 0, n_mcc = 0, n_safety = 0, n_bbox = 0,
-          n_greedy = 0, n_dor = 0;
-      for (int p = 0; p < kPairs; ++p) {
-        const auto pair = bench::sample_pair3d(m, labels, rng);
-        if (!pair) continue;
-        const auto [s, d] = *pair;
-        ++n;
-        const core::ReachField3D oracle(m, labels, d,
-                                        core::NodeFilter::NonFaulty);
-        n_oracle += oracle.feasible(s);
-        n_mcc += core::detect3d(m, labels, s, d).feasible();
-        n_safety += baselines::block_feasible(m, safety, s, d);
-        n_bbox += baselines::block_feasible(m, bbox, s, d);
-        util::Rng grng(rng.fork());
-        n_greedy += baselines::greedy_route(m, f, s, d, grng);
-        n_dor += baselines::dimension_order_route(m, f, s, d);
-      }
-      if (n == 0) return;
-      std::lock_guard<std::mutex> lock(mu);
-      oracle_s.add(double(n_oracle) / n);
-      mcc_s.add(double(n_mcc) / n);
-      safety_s.add(double(n_safety) / n);
-      bbox_s.add(double(n_bbox) / n);
-      greedy_s.add(double(n_greedy) / n);
-      dor_s.add(double(n_dor) / n);
-    });
-    table.add_row({util::Table::pct(rate, 0),
-                   util::Table::pct(oracle_s.mean(), 1),
-                   util::Table::pct(mcc_s.mean(), 1),
-                   util::Table::pct(safety_s.mean(), 1),
-                   util::Table::pct(bbox_s.mean(), 1),
-                   util::Table::pct(greedy_s.mean(), 1),
-                   util::Table::pct(dor_s.mean(), 1)});
-  }
-
-  table.render(std::cout);
-  std::cout << "\nExpected shape: 3-D meshes route around faults far more "
-               "easily than 2-D; MCC tracks the oracle;\nthe conservative "
-               "block models lose feasible pairs as blocks inflate.\n";
-  return 0;
+  api::Configuration cfg;
+  cfg.load_file(std::string(MCC_CONFIG_DIR) + "/e4_success3d.cfg");
+  api::RunReport report = api::Experiment(std::move(cfg)).run();
+  report.render(std::cout);
+  api::RunReport::write_bench_json("BENCH_e4_success3d.json", "e4_success3d",
+                                   {&report});
+  return report.failed() ? 1 : 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
 }

@@ -1,108 +1,23 @@
-// E5 — fault-region geometry: how many MCCs form, how large they get, how
-// many healthy nodes each absorbs, and the per-orientation asymmetry
+// E5 — fault-region geometry and the per-orientation asymmetry
 // (Figure 1/5 of the paper, quantified).
+//
+// Thin front over the experiment API: the scenario lives in
+// configs/e5_regions.cfg; this main adds only the BENCH_*.json emission.
+// Output is byte-identical with the pre-redesign bench.
 #include <iostream>
-#include <mutex>
 
-#include "bench/common.h"
-#include "core/mcc_region.h"
-#include "mesh/fault_injection.h"
-#include "mesh/octant.h"
-#include "util/parallel.h"
-#include "util/rng.h"
-#include "util/stats.h"
-#include "util/table.h"
+#include "api/experiment.h"
 
-int main() {
+int main() try {
   using namespace mcc;
-  const int kTrials = bench::trials(50);
-  const int k = 32;
-  const mesh::Mesh2D m(k, k);
-  const double rates[] = {0.02, 0.05, 0.10, 0.15, 0.20};
-
-  util::Table table({"fault rate", "regions", "largest region",
-                     "healthy/region", "width x height", "multi-fault %"});
-
-  for (const double rate : rates) {
-    util::RunningStats regions, largest, healthy_per, width, height, multi;
-    std::mutex mu;
-    util::parallel_for(kTrials, [&](size_t t) {
-      util::Rng rng(0xE5000 + static_cast<uint64_t>(rate * 1000) * 37 + t);
-      const auto f = mesh::inject_uniform(m, rate, rng);
-      const core::LabelField2D labels(m, f);
-      const core::MccSet2D mccs(m, labels);
-      size_t big = 0;
-      int multi_fault = 0;
-      util::RunningStats h, w, ht;
-      for (const auto& r : mccs.regions()) {
-        big = std::max(big, r.cells.size());
-        h.add(r.healthy_cells);
-        w.add(r.width());
-        ht.add(r.height());
-        multi_fault += r.faulty_cells > 1;
-      }
-      std::lock_guard<std::mutex> lock(mu);
-      regions.add(static_cast<double>(mccs.regions().size()));
-      largest.add(static_cast<double>(big));
-      if (h.count()) {
-        healthy_per.add(h.mean());
-        width.add(w.mean());
-        height.add(ht.mean());
-        multi.add(double(multi_fault) /
-                  static_cast<double>(mccs.regions().size()));
-      }
-    });
-    table.add_row({util::Table::pct(rate, 0),
-                   util::Table::mean_ci(regions.mean(), regions.ci95(), 1),
-                   util::Table::fmt(largest.mean(), 1),
-                   util::Table::fmt(healthy_per.mean(), 2),
-                   util::Table::fmt(width.mean(), 2) + " x " +
-                       util::Table::fmt(height.mean(), 2),
-                   util::Table::pct(multi.mean(), 1)});
-  }
-
-  std::cout << "# E5a: 2-D MCC geometry, " << k << "x" << k << ", "
-            << kTrials << " seeds\n\n";
-  table.render(std::cout);
-
-  // Orientation asymmetry: the same fault pattern labelled for all four
-  // quadrant classes absorbs different healthy node counts.
-  util::Table table2({"fault rate", "octant ++", "octant -+", "octant +-",
-                      "octant --", "max/min ratio"});
-  for (const double rate : {0.10, 0.20}) {
-    util::RunningStats per_oct[4], ratio;
-    std::mutex mu;
-    util::parallel_for(kTrials, [&](size_t t) {
-      util::Rng rng(0xE5500 + static_cast<uint64_t>(rate * 1000) * 37 + t);
-      const auto f = mesh::inject_uniform(m, rate, rng);
-      double counts[4];
-      for (int o = 0; o < 4; ++o) {
-        const mesh::Octant2 oct{(o & 1) != 0, (o & 2) != 0};
-        const auto flipped = materialize(f, m, oct);
-        const core::LabelField2D labels(m, flipped);
-        counts[o] = labels.healthy_unsafe_count();
-      }
-      std::lock_guard<std::mutex> lock(mu);
-      double lo = counts[0], hi = counts[0];
-      for (int o = 0; o < 4; ++o) {
-        per_oct[o].add(counts[o]);
-        lo = std::min(lo, counts[o]);
-        hi = std::max(hi, counts[o]);
-      }
-      if (lo > 0) ratio.add(hi / lo);
-    });
-    table2.add_row({util::Table::pct(rate, 0),
-                    util::Table::fmt(per_oct[0].mean(), 2),
-                    util::Table::fmt(per_oct[1].mean(), 2),
-                    util::Table::fmt(per_oct[2].mean(), 2),
-                    util::Table::fmt(per_oct[3].mean(), 2),
-                    util::Table::fmt(ratio.count() ? ratio.mean() : 1.0, 2)});
-  }
-  std::cout << "\n# E5b: per-orientation fill (same faults, four quadrant "
-               "classes)\n\n";
-  table2.render(std::cout);
-  std::cout << "\nExpected shape: fills are orientation-specific (a "
-               "staircase ascending for one quadrant descends for the "
-               "mirrored one), but symmetric in distribution.\n";
-  return 0;
+  api::Configuration cfg;
+  cfg.load_file(std::string(MCC_CONFIG_DIR) + "/e5_regions.cfg");
+  api::RunReport report = api::Experiment(std::move(cfg)).run();
+  report.render(std::cout);
+  api::RunReport::write_bench_json("BENCH_e5_regions.json", "e5_regions",
+                                   {&report});
+  return report.failed() ? 1 : 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
 }

@@ -1,154 +1,23 @@
 // E6 — model-vs-oracle agreement: empirical validation of Lemma 1 /
 // Theorem 1 / Theorem 2 over random and adversarial workloads.
 //
-//   * lemma1      : single-region static test — sound (never blocks a
-//                   feasible pair) but incomplete for multi-region traps;
-//   * theorem1    : merged-chain static test — exact;
-//   * detect (2D) : Algorithm 3 walkers — exact;
-//   * detect (3D) : Algorithm 6 floods with RMP-face deflection — exact
-//                   (without the face rule they under-approximate, see
-//                   EXPERIMENTS.md finding F2).
+// Thin front over the experiment API: the scenario lives in
+// configs/e6_agreement.cfg; this main adds only the BENCH_*.json
+// emission. Output is byte-identical with the pre-redesign bench.
 #include <iostream>
-#include <mutex>
 
-#include "bench/common.h"
-#include "core/boundary2d.h"
-#include "core/feasibility2d.h"
-#include "core/feasibility3d.h"
-#include "core/reachability.h"
-#include "mesh/fault_injection.h"
-#include "util/parallel.h"
-#include "util/stats.h"
-#include "util/table.h"
+#include "api/experiment.h"
 
-int main() {
+int main() try {
   using namespace mcc;
-  const int kTrials = bench::trials(40);
-  constexpr int kPairs = 60;
-
-  std::cout << "# E6: feasibility-condition agreement with the oracle\n\n";
-
-  {
-    const mesh::Mesh2D m(24, 24);
-    util::Table t({"fault rate", "pairs", "oracle feasible",
-                   "detect==oracle", "thm1==oracle", "lemma1 sound",
-                   "lemma1 complete"});
-    for (const double rate : {0.05, 0.10, 0.20, 0.30}) {
-      std::mutex mu;
-      long pairs = 0, feas = 0, det_ok = 0, thm_ok = 0, l1_sound = 0,
-           l1_complete = 0, blocked = 0;
-      util::parallel_for(kTrials, [&](size_t trial) {
-        util::Rng rng(0xE6000 + static_cast<uint64_t>(rate * 1000) * 13 +
-                      trial);
-        const auto f = mesh::inject_uniform(m, rate, rng);
-        const core::LabelField2D labels(m, f);
-        const core::MccSet2D mccs(m, labels);
-        const core::Boundary2D boundary(m, labels, mccs);
-        long p = 0, fe = 0, d_ok = 0, t_ok = 0, s_ok = 0, c_ok = 0, bl = 0;
-        for (int i = 0; i < kPairs; ++i) {
-          const auto pr = bench::sample_pair2d(m, labels, rng);
-          if (!pr) continue;
-          const auto [s, d] = *pr;
-          ++p;
-          const core::ReachField2D oracle(m, labels, d,
-                                          core::NodeFilter::NonFaulty);
-          const bool truth = oracle.feasible(s);
-          fe += truth;
-          d_ok += core::detect2d(m, labels, s, d).feasible() == truth;
-          t_ok += boundary.theorem1_feasible(s, d) == truth;
-          const bool l1 = core::lemma1_blocked(mccs, s, d).blocked;
-          if (l1) s_ok += !truth;  // soundness: lemma1-block implies blocked
-          if (!truth) {
-            ++bl;
-            c_ok += l1;  // completeness: blocked implies lemma1-block?
-          }
-        }
-        std::lock_guard<std::mutex> lock(mu);
-        pairs += p;
-        feas += fe;
-        det_ok += d_ok;
-        thm_ok += t_ok;
-        l1_sound += s_ok;
-        l1_complete += c_ok;
-        blocked += bl;
-      });
-      auto frac = [](long a, long b) {
-        return b == 0 ? 1.0 : double(a) / double(b);
-      };
-      long l1_blocks = l1_sound;  // sound cases counted where lemma fired
-      (void)l1_blocks;
-      t.add_row({util::Table::pct(rate, 0), std::to_string(pairs),
-                 util::Table::pct(frac(feas, pairs), 1),
-                 util::Table::pct(frac(det_ok, pairs), 2),
-                 util::Table::pct(frac(thm_ok, pairs), 2),
-                 blocked == 0 ? "n/a"
-                              : util::Table::pct(frac(l1_sound, l1_sound), 2),
-                 blocked == 0
-                     ? "n/a"
-                     : util::Table::pct(frac(l1_complete, blocked), 2)});
-    }
-    std::cout << "## 2-D (24x24, uniform)\n\n";
-    t.render(std::cout);
-    std::cout << "\n";
-  }
-
-  {
-    const mesh::Mesh3D m(10, 10, 10);
-    util::Table t({"workload", "pairs", "oracle feasible",
-                   "detect3d==oracle"});
-    struct Work {
-      const char* name;
-      double rate;
-      bool clustered;
-    };
-    for (const Work w : {Work{"uniform 5%", 0.05, false},
-                         Work{"uniform 15%", 0.15, false},
-                         Work{"uniform 25%", 0.25, false},
-                         Work{"clustered 15%", 0.15, true}}) {
-      std::mutex mu;
-      long pairs = 0, feas = 0, agree = 0;
-      util::parallel_for(kTrials, [&](size_t trial) {
-        util::Rng rng(0xE6700 + static_cast<uint64_t>(w.rate * 1000) * 13 +
-                      (w.clustered ? 7777 : 0) + trial);
-        const auto f =
-            w.clustered
-                ? mesh::inject_clustered(
-                      m, static_cast<int>(w.rate * m.node_count()), 4, rng)
-                : mesh::inject_uniform(m, w.rate, rng);
-        const core::LabelField3D labels(m, f);
-        long p = 0, fe = 0, ag = 0;
-        for (int i = 0; i < kPairs; ++i) {
-          const auto pr = bench::sample_pair3d(m, labels, rng);
-          if (!pr) continue;
-          const auto [s, d] = *pr;
-          ++p;
-          const core::ReachField3D oracle(m, labels, d,
-                                          core::NodeFilter::NonFaulty);
-          const bool truth = oracle.feasible(s);
-          fe += truth;
-          ag += core::detect3d(m, labels, s, d).feasible() == truth;
-        }
-        std::lock_guard<std::mutex> lock(mu);
-        pairs += p;
-        feas += fe;
-        agree += ag;
-      });
-      t.add_row({w.name, std::to_string(pairs),
-                 util::Table::pct(pairs ? double(feas) / pairs : 0, 1),
-                 util::Table::pct(pairs ? double(agree) / pairs : 1, 2)});
-    }
-    std::cout << "## 3-D (10^3)\n\n";
-    t.render(std::cout);
-  }
-
-  std::cout
-      << "\nExpected shape: 2-D detection is EXACT (100%) at every rate — "
-         "Wang's theory holds. Single-region\nlemma-1 is 100% sound but "
-         "misses a growing share of multi-region traps. The chain-form "
-         "static test\nis sound but conservative in dense fields. The 3-D "
-         "floods (Algorithm 6 as described) deviate from\nthe oracle in "
-         "BOTH directions at high fault rates (finding F3 in "
-         "EXPERIMENTS.md): the paper's\noperational 3-D check is "
-         "approximate, unlike its exact 2-D counterpart.\n";
-  return 0;
+  api::Configuration cfg;
+  cfg.load_file(std::string(MCC_CONFIG_DIR) + "/e6_agreement.cfg");
+  api::RunReport report = api::Experiment(std::move(cfg)).run();
+  report.render(std::cout);
+  api::RunReport::write_bench_json("BENCH_e6_agreement.json", "e6_agreement",
+                                   {&report});
+  return report.failed() ? 1 : 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
 }

@@ -1,116 +1,25 @@
 // E7 — distributed construction cost: rounds, messages and payload volume
 // per protocol phase (the paper's "practical and efficient implementation
 // in a system where each node knows only the status of its neighbors").
+//
+// Thin front over the experiment API: the scenario lives in
+// configs/e7_protocol_cost.cfg (single source of truth, also runnable as
+// `mcc_run configs/e7_protocol_cost.cfg`); this main adds only the
+// BENCH_*.json emission.
 #include <iostream>
-#include <mutex>
 
-#include "bench/common.h"
-#include "mesh/fault_injection.h"
-#include "proto/stack2d.h"
-#include "util/parallel.h"
-#include "util/stats.h"
-#include "util/table.h"
+#include "api/experiment.h"
 
-int main() {
+int main() try {
   using namespace mcc;
-  const int kTrials = bench::trials(20);
-
-  std::cout << "# E7: distributed protocol cost (2-D stack)\n\n";
-
-  util::Table t({"mesh", "fault rate", "label msgs", "label rounds",
-                 "ident msgs", "boundary msgs", "total payload (words)",
-                 "msgs/node", "identified", "discarded"});
-
-  for (const int k : {16, 24, 32}) {
-    const mesh::Mesh2D m(k, k);
-    for (const double rate : {0.02, 0.05, 0.10, 0.15}) {
-      util::RunningStats lab_m, lab_r, id_m, bd_m, payload, per_node, ident,
-          disc;
-      std::mutex mu;
-      util::parallel_for(kTrials, [&](size_t trial) {
-        util::Rng rng(0xE7000 + static_cast<uint64_t>(k) * 100 +
-                      static_cast<uint64_t>(rate * 1000) * 17 + trial);
-        const auto f = mesh::inject_uniform(m, rate, rng);
-        proto::Stack2D stack(m, f);
-        std::lock_guard<std::mutex> lock(mu);
-        lab_m.add(static_cast<double>(stack.labeling_stats.messages));
-        lab_r.add(static_cast<double>(stack.labeling_stats.rounds));
-        id_m.add(static_cast<double>(stack.ident_stats.messages));
-        bd_m.add(static_cast<double>(stack.boundary_stats.messages));
-        payload.add(static_cast<double>(stack.total_payload_words()));
-        per_node.add(static_cast<double>(stack.total_messages()) /
-                     static_cast<double>(m.node_count()));
-        ident.add(stack.ident.identified());
-        disc.add(stack.ident.discarded());
-      });
-      t.add_row({std::to_string(k) + "x" + std::to_string(k),
-                 util::Table::pct(rate, 0), util::Table::fmt(lab_m.mean(), 0),
-                 util::Table::fmt(lab_r.mean(), 1),
-                 util::Table::fmt(id_m.mean(), 0),
-                 util::Table::fmt(bd_m.mean(), 0),
-                 util::Table::fmt(payload.mean(), 0),
-                 util::Table::fmt(per_node.mean(), 2),
-                 util::Table::fmt(ident.mean(), 1),
-                 util::Table::fmt(disc.mean(), 1)});
-    }
-  }
-  t.render(std::cout);
-
-  // Detection / routing message cost for individual queries.
-  util::Table t2({"mesh", "fault rate", "detect msgs (2D)",
-                  "route msgs (2D)", "detect msgs (3D flood)"});
-  for (const double rate : {0.05, 0.10}) {
-    const int k = 24;
-    const mesh::Mesh2D m2(k, k);
-    const mesh::Mesh3D m3(10, 10, 10);
-    util::RunningStats det2, rt2, det3;
-    std::mutex mu;
-    util::parallel_for(kTrials, [&](size_t trial) {
-      util::Rng rng(0xE7900 + static_cast<uint64_t>(rate * 1000) + trial);
-      const auto f2 = mesh::inject_uniform(m2, rate, rng);
-      proto::Stack2D stack(m2, f2);
-      const core::LabelField2D labels(m2, f2);
-      util::RunningStats d2, r2;
-      for (int i = 0; i < 10; ++i) {
-        const auto pr = bench::sample_pair2d(m2, labels, rng);
-        if (!pr) continue;
-        const auto det = proto::run_detect2d(m2, stack.labeling, pr->first,
-                                             pr->second);
-        d2.add(static_cast<double>(det.stats.messages));
-        if (det.feasible()) {
-          const auto rt =
-              proto::run_route2d(m2, stack.labeling, stack.boundary,
-                                 pr->first, pr->second, trial * 31 + i);
-          if (rt.delivered) r2.add(static_cast<double>(rt.stats.messages));
-        }
-      }
-      const auto f3 = mesh::inject_uniform(m3, rate, rng);
-      proto::LabelingProtocol3D lab3(m3, f3);
-      lab3.run();
-      const core::LabelField3D labels3(m3, f3);
-      util::RunningStats d3;
-      for (int i = 0; i < 5; ++i) {
-        const auto pr = bench::sample_pair3d(m3, labels3, rng);
-        if (!pr) continue;
-        const auto det =
-            proto::run_detect3d(m3, lab3, pr->first, pr->second);
-        d3.add(static_cast<double>(det.stats.messages));
-      }
-      std::lock_guard<std::mutex> lock(mu);
-      if (d2.count()) det2.add(d2.mean());
-      if (r2.count()) rt2.add(r2.mean());
-      if (d3.count()) det3.add(d3.mean());
-    });
-    t2.add_row({"24x24 / 10^3", util::Table::pct(rate, 0),
-                util::Table::fmt(det2.mean(), 1),
-                util::Table::fmt(rt2.mean(), 1),
-                util::Table::fmt(det3.mean(), 1)});
-  }
-  std::cout << "\n";
-  t2.render(std::cout);
-  std::cout << "\nExpected shape: labelling costs ~1 broadcast wave per node "
-               "plus fill cascades; identification and\nboundary messages "
-               "scale with fault-region perimeter, not mesh volume; routing "
-               "costs ~path length.\n";
-  return 0;
+  api::Configuration cfg;
+  cfg.load_file(std::string(MCC_CONFIG_DIR) + "/e7_protocol_cost.cfg");
+  api::RunReport report = api::Experiment(std::move(cfg)).run();
+  report.render(std::cout);
+  api::RunReport::write_bench_json("BENCH_e7_protocol_cost.json",
+                                   "e7_protocol_cost", {&report});
+  return report.failed() ? 1 : 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
 }

@@ -1,159 +1,23 @@
-// E9 — ablations of the design choices DESIGN.md calls out:
-//   (a) information ablation: full records vs labels-only vs fault-only
-//       greedy routing, on pairs the model certifies feasible;
-//   (b) fill ablation: how much of the model's precision comes from the
-//       useless/can't-reach fill (no-fill treats only faulty nodes as
-//       unsafe, the fill-less "MCC" degenerates to raw components);
-//   (c) connectivity ablation: orthogonal vs eight-connected grouping.
+// E9 — ablations of the design choices DESIGN.md calls out: information,
+// fill and connectivity ablations of the MCC model.
+//
+// Thin front over the experiment API: the scenario lives in
+// configs/e9_ablation.cfg; this main adds only the BENCH_*.json emission.
+// Output is byte-identical with the pre-redesign bench.
 #include <iostream>
-#include <mutex>
 
-#include "baselines/simple_routers.h"
-#include "bench/common.h"
-#include "core/model.h"
-#include "mesh/fault_injection.h"
-#include "util/parallel.h"
-#include "util/stats.h"
-#include "util/table.h"
+#include "api/experiment.h"
 
-int main() {
+int main() try {
   using namespace mcc;
-  const int kTrials = bench::trials(30);
-  constexpr int kPairs = 30;
-  const int k = 24;
-  const mesh::Mesh2D m(k, k);
-
-  std::cout << "# E9: ablations (2-D " << k << "x" << k << ")\n\n";
-
-  // (a) information ablation on certified-feasible pairs.
-  util::Table t({"fault rate", "records router", "labels-only router",
-                 "greedy (fault info only)"});
-  for (const double rate : {0.05, 0.10, 0.15, 0.20}) {
-    util::RunningStats rec_s, lab_s, greedy_s;
-    std::mutex mu;
-    util::parallel_for(kTrials, [&](size_t trial) {
-      util::Rng rng(0xE9000 + static_cast<uint64_t>(rate * 1000) * 3 +
-                    trial);
-      const auto f = mesh::inject_uniform(m, rate, rng);
-      const core::MccModel2D model(m, f);
-      const auto& oct = model.octant(mesh::Octant2{false, false});
-      long n = 0, rec = 0, lab = 0, gr = 0;
-      for (int i = 0; i < kPairs; ++i) {
-        const auto pr = bench::sample_pair2d(m, oct.labels, rng);
-        if (!pr) continue;
-        const auto [s, d] = *pr;
-        if (!model.feasible(s, d).feasible) continue;
-        ++n;
-        rec += model
-                   .route(s, d, core::RouterKind::Records,
-                          core::RoutePolicy::Random, trial * 97 + i)
-                   .delivered;
-        lab += model
-                   .route(s, d, core::RouterKind::LabelsOnly,
-                          core::RoutePolicy::Random, trial * 97 + i)
-                   .delivered;
-        util::Rng grng(trial * 131 + i);
-        gr += baselines::greedy_route(m, f, s, d, grng);
-      }
-      if (n == 0) return;
-      std::lock_guard<std::mutex> lock(mu);
-      rec_s.add(double(rec) / n);
-      lab_s.add(double(lab) / n);
-      greedy_s.add(double(gr) / n);
-    });
-    t.add_row({util::Table::pct(rate, 0), util::Table::pct(rec_s.mean(), 1),
-               util::Table::pct(lab_s.mean(), 1),
-               util::Table::pct(greedy_s.mean(), 1)});
-  }
-  std::cout << "## (a) routing success on pairs the model certifies "
-               "feasible\n\n";
-  t.render(std::cout);
-
-  // (b) fill ablation: fraction of blocked pairs a fill-less model would
-  // wrongly certify, i.e., raw-fault reachability vs safe reachability.
-  util::Table t2({"fault rate", "blocked pairs", "no-fill wrongly feasible"});
-  for (const double rate : {0.10, 0.20, 0.30}) {
-    std::mutex mu;
-    long blocked = 0, wrong = 0;
-    util::parallel_for(kTrials, [&](size_t trial) {
-      util::Rng rng(0xE9500 + static_cast<uint64_t>(rate * 1000) * 3 +
-                    trial);
-      const auto f = mesh::inject_uniform(m, rate, rng);
-      const core::LabelField2D labels(m, f);
-      long bl = 0, wr = 0;
-      for (int i = 0; i < kPairs; ++i) {
-        const auto pr = bench::sample_pair2d(m, labels, rng);
-        if (!pr) continue;
-        const auto [s, d] = *pr;
-        const core::ReachField2D oracle(m, labels, d,
-                                        core::NodeFilter::NonFaulty);
-        if (oracle.feasible(s)) continue;
-        ++bl;
-        // A fill-less model sees only faulty nodes: it would accept the
-        // pair whenever a monotone path over non-faulty nodes exists in
-        // SOME relaxation — here: whether a plain greedy walk could be
-        // fooled is already covered by (a); we count the pairs where the
-        // labelling (the fill) is what identifies the blockage, i.e.,
-        // safe-reachability differs from a hypothetical fill-less check
-        // that only looks for a fault-free staircase of width 1 along the
-        // two detection lines.
-        const bool line_x_clear = [&] {
-          for (int x = s.x; x <= d.x; ++x)
-            if (labels.state({x, s.y}) == core::NodeState::Faulty)
-              return false;
-          return true;
-        }();
-        const bool line_y_clear = [&] {
-          for (int y = s.y; y <= d.y; ++y)
-            if (labels.state({s.x, y}) == core::NodeState::Faulty)
-              return false;
-          return true;
-        }();
-        wr += line_x_clear || line_y_clear;
-      }
-      std::lock_guard<std::mutex> lock(mu);
-      blocked += bl;
-      wrong += wr;
-    });
-    t2.add_row({util::Table::pct(rate, 0), std::to_string(blocked),
-                blocked ? util::Table::pct(double(wrong) / blocked, 1)
-                        : "n/a"});
-  }
-  std::cout << "\n## (b) blocked pairs a naive fault-only check misses\n\n";
-  t2.render(std::cout);
-
-  // (c) connectivity ablation.
-  util::Table t3({"fault rate", "regions (ortho)", "regions (eight)",
-                  "largest (ortho)", "largest (eight)"});
-  for (const double rate : {0.05, 0.15, 0.25}) {
-    util::RunningStats ro, re, lo, le;
-    std::mutex mu;
-    util::parallel_for(kTrials, [&](size_t trial) {
-      util::Rng rng(0xE9900 + static_cast<uint64_t>(rate * 1000) * 3 +
-                    trial);
-      const auto f = mesh::inject_uniform(m, rate, rng);
-      const core::LabelField2D labels(m, f);
-      const core::MccSet2D ortho(m, labels, core::Connectivity::Ortho);
-      const core::MccSet2D eight(m, labels, core::Connectivity::Eight);
-      size_t biggest_o = 0, biggest_e = 0;
-      for (const auto& r : ortho.regions())
-        biggest_o = std::max(biggest_o, r.cells.size());
-      for (const auto& r : eight.regions())
-        biggest_e = std::max(biggest_e, r.cells.size());
-      std::lock_guard<std::mutex> lock(mu);
-      ro.add(static_cast<double>(ortho.regions().size()));
-      re.add(static_cast<double>(eight.regions().size()));
-      lo.add(static_cast<double>(biggest_o));
-      le.add(static_cast<double>(biggest_e));
-    });
-    t3.add_row({util::Table::pct(rate, 0), util::Table::fmt(ro.mean(), 1),
-                util::Table::fmt(re.mean(), 1), util::Table::fmt(lo.mean(), 1),
-                util::Table::fmt(le.mean(), 1)});
-  }
-  std::cout << "\n## (c) region grouping: orthogonal vs eight-connected\n\n";
-  t3.render(std::cout);
-  std::cout << "\nExpected shape: records are what guarantees delivery; the "
-               "fill is what catches staircase traps;\neight-connectivity "
-               "merges diagonal chains into fewer, larger regions.\n";
-  return 0;
+  api::Configuration cfg;
+  cfg.load_file(std::string(MCC_CONFIG_DIR) + "/e9_ablation.cfg");
+  api::RunReport report = api::Experiment(std::move(cfg)).run();
+  report.render(std::cout);
+  api::RunReport::write_bench_json("BENCH_e9_ablation.json", "e9_ablation",
+                                   {&report});
+  return report.failed() ? 1 : 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
 }

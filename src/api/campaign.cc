@@ -1,0 +1,472 @@
+#include "api/campaign.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+
+#include "api/experiment.h"
+#include "util/table.h"
+
+namespace mcc::api {
+
+uint64_t derive_point_seed(
+    uint64_t base_seed,
+    const std::vector<std::pair<std::string, std::string>>& coords) {
+  // FNV-1a over the base seed and the coordinates in sorted-key order:
+  // independent of axis declaration order, value order and point index.
+  uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  unsigned char seed_bytes[8];
+  for (int i = 0; i < 8; ++i)
+    seed_bytes[i] = static_cast<unsigned char>(base_seed >> (8 * i));
+  mix(seed_bytes, sizeof seed_bytes);
+  std::vector<std::pair<std::string, std::string>> sorted = coords;
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& [key, value] : sorted) {
+    mix(key.data(), key.size());
+    mix("\x1f", 1);
+    mix(value.data(), value.size());
+    mix("\x1e", 1);
+  }
+  if (h == 0) h = 0x9E3779B97F4A7C15ULL;  // seed 0 means "derive" downstream
+  return h;
+}
+
+namespace {
+
+std::string coords_label(
+    const std::vector<std::pair<std::string, std::string>>& coords) {
+  std::string label;
+  for (const auto& [key, value] : coords) {
+    if (!label.empty()) label += ",";
+    label += key + "=" + value;
+  }
+  return label;
+}
+
+}  // namespace
+
+Campaign::Campaign(Configuration base) : cfg_(std::move(base)) {
+  register_builtins();
+  axes_ = cfg_.sweep_axes();
+  if (axes_.empty())
+    throw ConfigError(
+        "config: no sweep.* axes — run this configuration as a single "
+        "Experiment (mcc_run picks the right layer automatically)");
+  std::set<std::string> swept;
+  for (const SweepAxis& axis : axes_)
+    for (const std::string& key : axis.keys)
+      if (!swept.insert(key).second)
+        throw ConfigError("config: key '" + key +
+                          "' appears in more than one sweep axis");
+
+  name_ = cfg_.get_string("name");
+  if (name_.empty()) name_ = cfg_.get_string("driver");
+  if (name_.empty()) name_ = "campaign";
+  base_seed_ = cfg_.get_uint64("seed");
+
+  const auto cap = static_cast<uint64_t>(cfg_.get_int("max_points"));
+  uint64_t count = 1;
+  for (const SweepAxis& axis : axes_) {
+    count *= axis.points.size();
+    if (count > cap)
+      throw ConfigError(
+          "config: campaign expands past max_points=" + std::to_string(cap) +
+          " (axis '" + axis.label +
+          "' alone brings the product to " + std::to_string(count) +
+          "+); raise max_points= if the grid is intended");
+  }
+
+  const Configuration stripped = cfg_.strip_sweeps();
+  points_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    CampaignPoint pt;
+    pt.index = i;
+    // Row-major expansion: the first-declared axis varies slowest.
+    std::vector<size_t> digit(axes_.size(), 0);
+    uint64_t rem = i;
+    for (size_t a = axes_.size(); a-- > 0;) {
+      digit[a] = rem % axes_[a].points.size();
+      rem /= axes_[a].points.size();
+    }
+    for (size_t a = 0; a < axes_.size(); ++a)
+      for (size_t k = 0; k < axes_[a].keys.size(); ++k)
+        pt.coords.emplace_back(axes_[a].keys[k],
+                               axes_[a].points[digit[a]][k]);
+
+    Configuration pc = stripped;
+    for (const auto& [key, value] : pt.coords) pc.set(key, value);
+    pt.seed = derive_point_seed(base_seed_, pt.coords);
+    pc.set("seed", std::to_string(pt.seed));
+    // A point never writes its own files; the campaign owns the outputs.
+    pc.set("report_json", "");
+    pc.set("bench_json", "");
+    pc.set("campaign_json", "");
+    pc.set("name", name_ + "@" + coords_label(pt.coords));
+    pt.config = std::move(pc);
+
+    // Resolve the point against the registries now, so a bad combination
+    // fails before any sibling burns compute.
+    Experiment probe(pt.config);
+    (void)probe;
+    points_.push_back(std::move(pt));
+  }
+}
+
+std::string Campaign::json_path() const {
+  std::string path = cfg_.get_string("campaign_json");
+  if (path.empty()) path = cfg_.get_string("report_json");
+  return path;
+}
+
+std::vector<Campaign::PointResult> Campaign::run_shard(
+    int shard, int shard_count, std::ostream* progress) const {
+  if (shard_count < 1 || shard < 1 || shard > shard_count)
+    throw ConfigError("campaign: shard must be i/N with 1 <= i <= N");
+  std::vector<PointResult> out;
+  for (const CampaignPoint& pt : points_) {
+    if (pt.index % static_cast<size_t>(shard_count) !=
+        static_cast<size_t>(shard - 1))
+      continue;
+    const std::string label = coords_label(pt.coords);
+    PointResult r;
+    r.index = pt.index;
+    std::string status;
+    try {
+      Experiment exp(pt.config);
+      const RunReport report = exp.run();
+      r.failed = report.failed();
+      r.report = report.to_json();
+      status = r.failed ? "FAILED: " + report.failure() : "ok";
+    } catch (const std::exception& e) {
+      // A point that throws is a failed point, not a failed campaign: the
+      // siblings still run and the merged document flags this one.
+      RunReport report(pt.config.get_string("name"),
+                       pt.config.get_string("driver"), pt.seed);
+      report.set_config_echo(pt.config.echo());
+      report.fail(e.what());
+      r.failed = true;
+      r.report = report.to_json();
+      status = std::string("FAILED: ") + e.what();
+    }
+    if (progress != nullptr)
+      *progress << "[" << pt.index + 1 << "/" << points_.size() << "] "
+                << label << ": " << status << "\n";
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<Campaign::PointResult> Campaign::run(
+    int jobs, std::ostream* progress) const {
+  if (jobs < 1) jobs = 1;
+  jobs = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(jobs), points_.size()));
+  if (jobs <= 1) return run_shard(1, 1, progress);
+
+  // One forked worker per shard. Workers are forked before any point has
+  // run, so no thread pool exists yet (parallel_for pools are per-call);
+  // each worker ships its partial document back over a pipe and exits
+  // without running atexit handlers.
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1;
+  };
+  std::vector<Worker> workers;
+  for (int j = 0; j < jobs; ++j) {
+    int fds[2];
+    if (pipe(fds) != 0) throw ConfigError("campaign: pipe() failed");
+    const pid_t pid = fork();
+    if (pid < 0) throw ConfigError("campaign: fork() failed");
+    if (pid == 0) {
+      close(fds[0]);
+      int code = 0;
+      try {
+        const auto results = run_shard(j + 1, jobs, nullptr);
+        const std::string doc = to_json(results, j + 1, jobs).dump();
+        size_t off = 0;
+        while (off < doc.size()) {
+          const ssize_t n =
+              write(fds[1], doc.data() + off, doc.size() - off);
+          if (n < 0 && errno == EINTR) continue;
+          if (n <= 0) {
+            code = 3;
+            break;
+          }
+          off += static_cast<size_t>(n);
+        }
+      } catch (...) {
+        code = 3;
+      }
+      close(fds[1]);
+      _exit(code);
+    }
+    close(fds[1]);
+    workers.push_back({pid, fds[0]});
+  }
+
+  std::vector<Json> partials;
+  std::string problem;
+  for (const Worker& w : workers) {
+    std::string doc;
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t n = read(w.fd, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        problem = "campaign: worker pipe read failed";
+        break;
+      }
+      if (n == 0) break;
+      doc.append(buf, static_cast<size_t>(n));
+    }
+    close(w.fd);
+    int status = 0;
+    waitpid(w.pid, &status, 0);
+    if (!(WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
+      problem = "campaign: a worker process died";
+      continue;
+    }
+    std::string error;
+    Json parsed = Json::parse(doc, error);
+    if (!error.empty()) {
+      problem = "campaign: worker emitted unparsable JSON: " + error;
+      continue;
+    }
+    partials.push_back(std::move(parsed));
+  }
+  // Worker death / pipe loss is a RUN failure, not a configuration error:
+  // surface it on the exit-1 path, so retrying harnesses classify it.
+  if (!problem.empty()) throw std::runtime_error(problem);
+
+  const Json merged = merge(partials);
+  std::vector<PointResult> out;
+  for (const Json& p : merged.find("points")->items()) {
+    PointResult r;
+    r.index = static_cast<size_t>(p.find("index")->as_uint64());
+    r.failed = p.find("failed")->as_bool();
+    r.report = *p.find("report");
+    if (progress != nullptr) {
+      const Json* failure = r.report.find("failure");
+      *progress << "[" << r.index + 1 << "/" << points_.size() << "] "
+                << coords_label(points_[r.index].coords) << ": "
+                << (r.failed ? "FAILED: " + (failure != nullptr
+                                                 ? failure->as_string()
+                                                 : std::string("?"))
+                             : std::string("ok"))
+                << "\n";
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Json Campaign::to_json(const std::vector<PointResult>& results, int shard,
+                       int shard_count) const {
+  Json doc = Json::object();
+  doc.set("schema", Json::string(kCampaignSchema));
+  doc.set("name", Json::string(name_));
+  doc.set("seed", Json::number(base_seed_));
+  Json cfg = Json::object();
+  // The header describes the scenario grid; where THIS process wrote its
+  // file is not part of it (shards pass different paths, and the merged
+  // document must be byte-identical across shard counts).
+  for (const auto& [k, v] : cfg_.echo())
+    if (k != "report_json" && k != "campaign_json" && k != "bench_json")
+      cfg.set(k, Json::string(v));
+  doc.set("config", std::move(cfg));
+  Json axes = Json::array();
+  for (const SweepAxis& axis : axes_) {
+    Json ja = Json::object();
+    ja.set("label", Json::string(axis.label));
+    Json keys = Json::array();
+    for (const std::string& k : axis.keys) keys.push_back(Json::string(k));
+    ja.set("keys", std::move(keys));
+    Json values = Json::array();
+    for (const auto& row : axis.points) {
+      Json jr = Json::array();
+      for (const std::string& v : row) jr.push_back(Json::string(v));
+      values.push_back(std::move(jr));
+    }
+    ja.set("values", std::move(values));
+    axes.push_back(std::move(ja));
+  }
+  doc.set("axes", std::move(axes));
+  doc.set("point_count", Json::number(static_cast<uint64_t>(points_.size())));
+  doc.set("shard", Json::string(std::to_string(shard) + "/" +
+                                std::to_string(shard_count)));
+  bool failed = false;
+  for (const PointResult& r : results) failed = failed || r.failed;
+  doc.set("failed", Json::boolean(failed));
+  Json pts = Json::array();
+  for (const PointResult& r : results) {
+    Json p = Json::object();
+    p.set("index", Json::number(static_cast<uint64_t>(r.index)));
+    Json coords = Json::object();
+    for (const auto& [k, v] : points_[r.index].coords)
+      coords.set(k, Json::string(v));
+    p.set("coords", std::move(coords));
+    p.set("seed", Json::number(points_[r.index].seed));
+    p.set("failed", Json::boolean(r.failed));
+    p.set("report", r.report);
+    pts.push_back(std::move(p));
+  }
+  doc.set("points", std::move(pts));
+  return doc;
+}
+
+Json Campaign::merge(const std::vector<Json>& partials) {
+  if (partials.empty())
+    throw ConfigError("campaign: merge needs at least one partial document");
+  static constexpr const char* kHeader[] = {"schema", "name",  "seed",
+                                            "config", "axes", "point_count"};
+  for (const Json& p : partials) {
+    if (!p.is_object())
+      throw ConfigError("campaign: merge input is not a JSON object");
+    for (const char* key : kHeader)
+      if (p.find(key) == nullptr)
+        throw ConfigError(std::string("campaign: merge input misses '") +
+                          key + "'");
+    const Json* schema = p.find("schema");
+    if (!schema->is_string() || schema->as_string() != kCampaignSchema)
+      throw ConfigError("campaign: merge input is not " +
+                        std::string(kCampaignSchema));
+  }
+  const Json& first = partials.front();
+  for (const Json& p : partials)
+    for (const char* key : kHeader)
+      if (p.find(key)->dump() != first.find(key)->dump())
+        throw ConfigError(std::string("campaign: partials disagree on '") +
+                          key + "' — they come from different campaigns");
+
+  const auto point_count =
+      static_cast<uint64_t>(first.find("point_count")->as_uint64());
+  // Sizes the index table below; max_points= bounds real campaigns at
+  // 1e8, so anything larger is a corrupt partial, not a grid.
+  if (point_count > 100000000)
+    throw ConfigError("campaign: implausible point_count " +
+                      std::to_string(point_count) + " in a partial");
+  std::vector<const Json*> by_index(point_count, nullptr);
+  for (const Json& p : partials) {
+    const Json* pts = p.find("points");
+    if (pts == nullptr || !pts->is_array())
+      throw ConfigError("campaign: merge input misses points[]");
+    for (const Json& pt : pts->items()) {
+      const Json* idx = pt.find("index");
+      if (idx == nullptr || !idx->is_number())
+        throw ConfigError("campaign: a merged point misses its index");
+      const uint64_t i = idx->as_uint64();
+      if (i >= point_count)
+        throw ConfigError("campaign: point index " + std::to_string(i) +
+                          " out of range (point_count " +
+                          std::to_string(point_count) + ")");
+      if (by_index[i] != nullptr)
+        throw ConfigError("campaign: point " + std::to_string(i) +
+                          " appears in more than one partial");
+      by_index[i] = &pt;
+    }
+  }
+  std::string missing;
+  for (uint64_t i = 0; i < point_count; ++i)
+    if (by_index[i] == nullptr) {
+      if (!missing.empty()) missing += ", ";
+      missing += std::to_string(i);
+    }
+  if (!missing.empty())
+    throw ConfigError("campaign: merge is missing points " + missing +
+                      " — run (or pass) the remaining shards");
+
+  // Rebuilt fresh with a fixed member order, so the merged document is
+  // byte-identical for every shard count and partial order.
+  Json doc = Json::object();
+  doc.set("schema", *first.find("schema"));
+  doc.set("name", *first.find("name"));
+  doc.set("seed", *first.find("seed"));
+  doc.set("config", *first.find("config"));
+  doc.set("axes", *first.find("axes"));
+  doc.set("point_count", *first.find("point_count"));
+  bool failed = false;
+  for (const Json* pt : by_index) {
+    const Json* f = pt->find("failed");
+    failed = failed || (f != nullptr && f->is_bool() && f->as_bool());
+  }
+  doc.set("failed", Json::boolean(failed));
+  Json pts = Json::array();
+  for (const Json* pt : by_index) pts.push_back(*pt);
+  doc.set("points", std::move(pts));
+  return doc;
+}
+
+void Campaign::render_summary(const Json& doc, std::ostream& os) {
+  const Json* name = doc.find("name");
+  const Json* points = doc.find("points");
+  const Json* axes = doc.find("axes");
+  const Json* count = doc.find("point_count");
+  if (name == nullptr || points == nullptr || axes == nullptr ||
+      count == nullptr)
+    return;
+  std::vector<std::string> keys;
+  std::string axis_desc;
+  for (const Json& axis : axes->items()) {
+    const Json* label = axis.find("label");
+    if (label != nullptr) {
+      if (!axis_desc.empty()) axis_desc += " x ";
+      axis_desc += label->as_string();
+    }
+    const Json* ak = axis.find("keys");
+    if (ak != nullptr)
+      for (const Json& k : ak->items()) keys.push_back(k.as_string());
+  }
+  os << "\n# campaign " << name->as_string() << ": "
+     << static_cast<uint64_t>(count->as_uint64()) << " points over "
+     << axis_desc;
+  const Json* shard = doc.find("shard");
+  if (shard != nullptr && shard->is_string() &&
+      shard->as_string() != "1/1")
+    os << " — shard " << shard->as_string() << " ("
+       << points->items().size() << " points)";
+  os << "\n\n";
+
+  std::vector<std::string> headers{"point"};
+  headers.insert(headers.end(), keys.begin(), keys.end());
+  headers.push_back("seed");
+  headers.push_back("status");
+  util::Table t(std::move(headers));
+  for (const Json& pt : points->items()) {
+    std::vector<std::string> row;
+    const Json* idx = pt.find("index");
+    row.push_back(idx != nullptr ? std::to_string(idx->as_uint64()) : "?");
+    const Json* coords = pt.find("coords");
+    for (const std::string& k : keys) {
+      const Json* v = coords != nullptr ? coords->find(k) : nullptr;
+      row.push_back(v != nullptr ? v->as_string() : "?");
+    }
+    const Json* seed = pt.find("seed");
+    row.push_back(seed != nullptr ? std::to_string(seed->as_uint64()) : "?");
+    const Json* failed = pt.find("failed");
+    std::string status = "ok";
+    if (failed != nullptr && failed->as_bool()) {
+      const Json* report = pt.find("report");
+      const Json* why =
+          report != nullptr ? report->find("failure") : nullptr;
+      status = "FAILED: " + (why != nullptr ? why->as_string()
+                                            : std::string("?"));
+    }
+    row.push_back(std::move(status));
+    t.add_row(std::move(row));
+  }
+  t.render(os);
+}
+
+}  // namespace mcc::api

@@ -1,0 +1,108 @@
+// Campaign: the grid layer over Experiment. A configuration with sweep.*
+// axes expands into an ordered vector of single-scenario points (cartesian
+// product of its axes, zip groups locked together; the axis declared first
+// varies slowest), each with a deterministic seed derived from the BASE
+// seed and the point's coordinates — not its index — so permuting a sweep
+// value list never changes any point's result.
+//
+//   api::Configuration cfg;
+//   cfg.load_file("configs/churn_saturation.cfg");
+//   api::Campaign campaign(std::move(cfg));
+//   auto results = campaign.run(/*jobs=*/4, &std::cerr);
+//   api::Json doc = api::Campaign::merge({campaign.to_json(results, 1, 1)});
+//
+// Execution is shard-friendly: run_shard(i, N) runs the points with
+// index % N == i-1 and to_json() wraps the results as a PARTIAL
+// mcc.campaign/1 document (a "shard":"i/N" marker); merge() combines
+// partials into the complete document, byte-identical regardless of shard
+// count and input order. run(jobs) forks `jobs` local worker processes
+// (one shard each) and merges their partials in-process.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/config.h"
+#include "api/json.h"
+#include "api/run_report.h"  // kCampaignSchema, validate_report_json
+
+namespace mcc::api {
+
+/// One expanded grid point: its position in the expansion order, its
+/// (key, value) coordinates in axis order, the derived seed and the fully
+/// resolved single-scenario configuration (sweeps stripped, seed set,
+/// output paths cleared).
+struct CampaignPoint {
+  size_t index = 0;
+  std::vector<std::pair<std::string, std::string>> coords;
+  uint64_t seed = 0;
+  Configuration config;
+};
+
+/// Derives a point seed: FNV-1a over the base seed and the coordinate
+/// `key=value` pairs in sorted-key order (independent of axis declaration
+/// and value order). Exposed for the determinism tests.
+uint64_t derive_point_seed(
+    uint64_t base_seed,
+    const std::vector<std::pair<std::string, std::string>>& coords);
+
+class Campaign {
+ public:
+  /// Expands and validates the campaign: every point's configuration is
+  /// resolved against the registries (a bad combination fails here, before
+  /// anything runs) and the point count is checked against max_points=.
+  /// Throws ConfigError on any problem, including a sweep-free config.
+  explicit Campaign(Configuration base);
+
+  const std::string& name() const { return name_; }
+  const std::vector<SweepAxis>& axes() const { return axes_; }
+  const std::vector<CampaignPoint>& points() const { return points_; }
+
+  /// Where the campaign JSON goes: campaign_json=, else report_json=,
+  /// else empty (no file).
+  std::string json_path() const;
+
+  struct PointResult {
+    size_t index = 0;
+    bool failed = false;
+    Json report;  // mcc.run_report/1 document of the point's run
+  };
+
+  /// Runs shard `shard` of `shard_count` (1-based; points with
+  /// index % shard_count == shard-1) serially in-process. Never throws on
+  /// a failing point: the point's report carries failed/failure and the
+  /// siblings still run. `progress` (optional) gets one line per point.
+  std::vector<PointResult> run_shard(int shard, int shard_count,
+                                     std::ostream* progress) const;
+
+  /// Runs every point across `jobs` forked worker processes (jobs <= 1:
+  /// serial in-process). Results come back complete and in point order.
+  std::vector<PointResult> run(int jobs, std::ostream* progress) const;
+
+  /// Wraps `results` as an mcc.campaign/1 document for shard
+  /// `shard`/`shard_count` (the complete serial run is shard 1/1; merge()
+  /// strips the shard marker).
+  Json to_json(const std::vector<PointResult>& results, int shard,
+               int shard_count) const;
+
+  /// Merges partial documents into the complete campaign document. The
+  /// output is byte-identical for any shard count and input order. Throws
+  /// ConfigError on header mismatches, duplicate or missing points.
+  static Json merge(const std::vector<Json>& partials);
+
+  /// The human summary of a (complete or partial) campaign document:
+  /// heading plus one table row per point (coordinates, seed, status).
+  static void render_summary(const Json& doc, std::ostream& os);
+
+ private:
+  Configuration cfg_;
+  std::string name_;
+  uint64_t base_seed_ = 0;
+  std::vector<SweepAxis> axes_;
+  std::vector<CampaignPoint> points_;
+};
+
+}  // namespace mcc::api

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <mutex>
 #include <set>
 #include <cctype>
@@ -215,6 +216,13 @@ const std::map<std::string, KeySpec>& Configuration::schema() {
       {"driver", {KeyType::String, "", "experiment driver (see mcc_run --list)"}},
       {"name", {KeyType::String, "", "run name for the report (default: driver)"}},
       {"report_json", {KeyType::String, "", "write the RunReport JSON here"}},
+      {"campaign_json",
+       {KeyType::String, "",
+        "write the merged mcc.campaign/1 JSON here (campaigns; falls back "
+        "to report_json)"}},
+      {"max_points",
+       {KeyType::Int, "4096", "campaign expansion cap (guards cartesian "
+        "blow-ups)", 1, 100000000}},
       {"bench_json", {KeyType::String, "", "write BENCH_<value>.json (schema mcc.bench/1)"}},
       {"render", {KeyType::Bool, "0", "include ASCII mesh renderings where supported"}},
       {"detail", {KeyType::Bool, "0", "include optional secondary tables"}},
@@ -291,35 +299,124 @@ const std::map<std::string, KeySpec>& Configuration::schema() {
 
 namespace {
 
-const KeySpec& spec_for(const std::string& key) {
-  const auto& schema = Configuration::schema();
-  const std::string base =
-      key.rfind("smoke.", 0) == 0 ? key.substr(6) : key;
-  const auto it = schema.find(base);
-  if (it == schema.end()) {
-    std::string best;
-    size_t best_d = 4;  // suggest only close matches
-    for (const auto& [name, spec] : schema) {
-      (void)spec;
-      const size_t d = edit_distance(base, name);
-      if (d < best_d) {
-        best_d = d;
-        best = name;
-      }
-    }
-    std::string msg = "config: unknown key '" + base + "'";
-    if (!best.empty()) msg += " (did you mean '" + best + "'?)";
-    msg += "; run mcc_run --list for the key reference";
-    throw ConfigError(msg);
+/// The decomposed form of a (possibly prefixed) key name. `base` is the
+/// schema key candidate; `zip` is only non-empty for sweep.zip.* members.
+struct KeyName {
+  bool smoke = false;
+  bool sweep = false;
+  std::string zip;
+  std::string base;
+};
+
+/// Splits smoke./sweep./sweep.zip.<group>. prefixes off `key`. Returns
+/// false on malformed sweep.zip syntax (missing group or member key); does
+/// NOT check that `base` names a schema key.
+bool split_key_name(const std::string& key, KeyName& out) {
+  out = KeyName{};
+  std::string rest = key;
+  if (rest.rfind("smoke.", 0) == 0) {
+    out.smoke = true;
+    rest = rest.substr(6);
   }
-  return it->second;
+  if (rest.rfind("sweep.", 0) == 0) {
+    out.sweep = true;
+    rest = rest.substr(6);
+    if (rest.rfind("zip.", 0) == 0) {
+      rest = rest.substr(4);
+      const size_t dot = rest.find('.');
+      if (dot == 0 || dot == std::string::npos ||
+          dot + 1 == rest.size())
+        return false;
+      out.zip = rest.substr(0, dot);
+      rest = rest.substr(dot + 1);
+    }
+  }
+  out.base = rest;
+  return !out.base.empty();
+}
+
+[[noreturn]] void unknown_key(const std::string& base) {
+  const auto& schema = Configuration::schema();
+  std::string best;
+  size_t best_d = 4;  // suggest only close matches
+  for (const auto& [name, spec] : schema) {
+    (void)spec;
+    const size_t d = edit_distance(base, name);
+    if (d < best_d) {
+      best_d = d;
+      best = name;
+    }
+  }
+  std::string msg = "config: unknown key '" + base + "'";
+  if (!best.empty()) msg += " (did you mean '" + best + "'?)";
+  msg += "; run mcc_run --list for the key reference";
+  throw ConfigError(msg);
+}
+
+/// Parses `key` and resolves its base against the schema, throwing the
+/// suggestion-bearing ConfigError on failure.
+KeyName parse_key(const std::string& key) {
+  KeyName name;
+  if (!split_key_name(key, name))
+    throw ConfigError("config: malformed sweep key '" + key +
+                      "' (expected sweep.<key> or sweep.zip.<group>.<key>)");
+  if (Configuration::schema().count(name.base) == 0) unknown_key(name.base);
+  return name;
+}
+
+const KeySpec& spec_for(const std::string& key) {
+  return Configuration::schema().at(parse_key(key).base);
+}
+
+/// Splits a sweep axis value into its elements: on ';' when one is
+/// present (so list-typed keys can sweep whole lists), else on ','.
+std::vector<std::string> split_sweep_elements(const std::string& s) {
+  const char sep = s.find(';') != std::string::npos ? ';' : ',';
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == sep) {
+      out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(trim(cur));
+  return out;
+}
+
+/// Keys whose semantics are per-run plumbing, not scenario shape; sweeping
+/// them would make campaign points fight over output files or recurse.
+bool sweepable(const std::string& base) {
+  return base != "smoke" && base != "report_json" && base != "bench_json" &&
+         base != "campaign_json" && base != "max_points" && base != "name";
 }
 
 }  // namespace
 
+bool Configuration::is_valid_key_name(const std::string& key) {
+  KeyName name;
+  return split_key_name(key, name) && schema().count(name.base) != 0;
+}
+
 void Configuration::set(const std::string& key, const std::string& value) {
-  const KeySpec& spec = spec_for(key);
-  validate(key, spec, value);
+  const KeyName name = parse_key(key);
+  const KeySpec& spec = schema().at(name.base);
+  if (name.sweep) {
+    if (!sweepable(name.base))
+      throw ConfigError("config: key '" + name.base +
+                        "' cannot be swept (run-plumbing key)");
+    const std::vector<std::string> elements = split_sweep_elements(value);
+    for (const std::string& e : elements) {
+      if (e.empty())
+        throw ConfigError("config: sweep axis '" + key +
+                          "' has an empty element in '" + value + "'");
+      validate(name.base, spec, e);
+    }
+  } else {
+    validate(key, spec, value);
+  }
   values_[key] = Entry{value, next_seq_++};
 }
 
@@ -376,6 +473,99 @@ bool Configuration::smoke() const {
   if (env_alias_value("smoke", schema().at("smoke"), from_env))
     return from_env;
   return false;
+}
+
+std::vector<Configuration::SweepMember> Configuration::resolved_sweeps()
+    const {
+  // Pair every declared axis member with its smoke pin, resolve the winner
+  // (same last-writer-wins rule as scalar keys), and order members by
+  // their first declaration so expansion order is the file order.
+  struct Decl {
+    const Entry* base = nullptr;
+    const Entry* pin = nullptr;
+    std::string zip, key;
+    int order = std::numeric_limits<int>::max();
+  };
+  std::map<std::string, Decl> decls;  // canonical member name -> decl
+  for (const auto& [name, entry] : values_) {
+    KeyName kn;
+    if (!split_key_name(name, kn) || !kn.sweep) continue;
+    const std::string canonical =
+        "sweep." + (kn.zip.empty() ? "" : "zip." + kn.zip + ".") + kn.base;
+    Decl& d = decls[canonical];
+    d.zip = kn.zip;
+    d.key = kn.base;
+    d.order = std::min(d.order, entry.seq);
+    (kn.smoke ? d.pin : d.base) = &entry;
+  }
+  const bool smoke_on = smoke();
+  std::vector<SweepMember> out;
+  for (const auto& [canonical, d] : decls) {
+    const Entry* winner = d.base;
+    if (smoke_on && d.pin != nullptr &&
+        (winner == nullptr || d.pin->seq > winner->seq))
+      winner = d.pin;
+    if (winner == nullptr) continue;  // pin-only axis outside smoke mode
+    out.push_back({canonical, d.zip, d.key, winner->value, d.order});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SweepMember& a, const SweepMember& b) {
+              return a.order < b.order;
+            });
+  return out;
+}
+
+bool Configuration::has_sweeps() const { return !resolved_sweeps().empty(); }
+
+std::vector<SweepAxis> Configuration::sweep_axes() const {
+  std::vector<SweepAxis> axes;
+  std::vector<bool> is_zip;  // parallel: a zip group never merges with a
+                             // plain axis that happens to share its label
+  const auto zip_axis_for = [&](const std::string& label) -> SweepAxis& {
+    for (size_t i = 0; i < axes.size(); ++i)
+      if (is_zip[i] && axes[i].label == label) return axes[i];
+    axes.push_back({label, {}, {}});
+    is_zip.push_back(true);
+    return axes.back();
+  };
+  for (const SweepMember& m : resolved_sweeps()) {
+    std::vector<std::string> values = split_sweep_elements(m.raw);
+    if (m.zip.empty()) {
+      SweepAxis axis{m.key, {m.key}, {}};
+      for (std::string& v : values) axis.points.push_back({std::move(v)});
+      axes.push_back(std::move(axis));
+      is_zip.push_back(false);
+      continue;
+    }
+    SweepAxis& axis = zip_axis_for(m.zip);
+    if (!axis.points.empty() && axis.points.size() != values.size())
+      throw ConfigError(
+          "config: zip group '" + m.zip + "' members disagree on length (" +
+          m.key + " has " + std::to_string(values.size()) + " values, " +
+          axis.keys.front() + " has " + std::to_string(axis.points.size()) +
+          ")");
+    if (axis.points.empty())
+      axis.points.resize(values.size());
+    axis.keys.push_back(m.key);
+    for (size_t j = 0; j < values.size(); ++j)
+      axis.points[j].push_back(std::move(values[j]));
+  }
+  for (const SweepAxis& a : axes)
+    if (a.points.empty())
+      throw ConfigError("config: sweep axis '" + a.label + "' has no values");
+  return axes;
+}
+
+Configuration Configuration::strip_sweeps() const {
+  Configuration out = *this;
+  for (auto it = out.values_.begin(); it != out.values_.end();) {
+    KeyName kn;
+    if (split_key_name(it->first, kn) && kn.sweep)
+      it = out.values_.erase(it);
+    else
+      ++it;
+  }
+  return out;
 }
 
 bool Configuration::is_set(const std::string& key) const {
@@ -492,6 +682,9 @@ std::vector<std::pair<std::string, std::string>> Configuration::echo() const {
     if (!explicitly) continue;
     out.emplace_back(key, resolved_raw(key, spec));
   }
+  // Sweep axes follow the base keys under their canonical sweep.* names
+  // (declaration order), so an echoed campaign config replays as one.
+  for (const SweepMember& m : resolved_sweeps()) out.emplace_back(m.name, m.raw);
   return out;
 }
 

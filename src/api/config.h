@@ -11,6 +11,15 @@
 //     deprecated aliases of smoke= / guidance_cache= that warn once per
 //     process; an explicit config value always wins over the environment.
 //
+// Campaign grids: `sweep.<key> = v1, v2, ...` declares a sweep axis over
+// any schema key (each element is one full value for the key; elements
+// split on ';' when one is present, else on ','). `sweep.zip.<group>.<key>`
+// axes in the same group advance together (equal lengths required) and the
+// group counts as one axis of the cartesian product. `smoke.sweep.<key>`
+// pins an axis's value list under smoke=1 exactly like `smoke.<key>` does
+// for scalars. A config with sweep axes is a campaign: Experiment rejects
+// it, api::Campaign expands it (axis declared first varies slowest).
+//
 // File syntax: one `key = value` per line, `#` starts a comment, blank
 // lines ignored. Override syntax (CLI / Experiment): `key=value` tokens.
 #pragma once
@@ -52,6 +61,15 @@ struct KeySpec {
   bool env_inverted = false;        // truthy env means key=false (MCC_NOCACHE)
 };
 
+/// One resolved campaign sweep axis: a single swept key (label == keys[0])
+/// or a zip group (label == the group name). Point j of the axis assigns
+/// keys[i] = points[j][i] for every i.
+struct SweepAxis {
+  std::string label;
+  std::vector<std::string> keys;
+  std::vector<std::vector<std::string>> points;
+};
+
 class Configuration {
  public:
   /// Starts with every key at its default.
@@ -60,8 +78,14 @@ class Configuration {
   /// The full key reference (name -> spec), ordered by name.
   static const std::map<std::string, KeySpec>& schema();
 
-  /// Sets one key from its text form. Accepts `smoke.<key>` prefixed names.
-  /// Throws ConfigError on unknown key, type mismatch or range violation.
+  /// True when `key` (with any smoke./sweep./sweep.zip.<g>. prefixes) names
+  /// a schema key — the predicate mcc_run uses to tell overrides from file
+  /// paths. Never throws.
+  static bool is_valid_key_name(const std::string& key);
+
+  /// Sets one key from its text form. Accepts `smoke.<key>` pins and
+  /// `sweep.*` axis declarations. Throws ConfigError on unknown key, type
+  /// mismatch or range violation (sweep elements validate per element).
   void set(const std::string& key, const std::string& value);
 
   /// Parses `key = value` lines. `origin` names the source in errors.
@@ -91,9 +115,24 @@ class Configuration {
   /// True when smoke mode is active (smoke=1 or the MCC_SMOKE alias).
   bool smoke() const;
 
+  /// True when the resolved view declares at least one sweep axis (a
+  /// campaign configuration; Experiment rejects it, Campaign expands it).
+  bool has_sweeps() const;
+
+  /// The resolved sweep axes in declaration order (smoke pins applied, zip
+  /// groups assembled and length-checked). Throws ConfigError on zip
+  /// length mismatches or empty axes.
+  std::vector<SweepAxis> sweep_axes() const;
+
+  /// A copy with every sweep.* entry removed — the base a Campaign builds
+  /// its per-point configurations from.
+  Configuration strip_sweeps() const;
+
   /// Resolved (key, value-text) pairs of every explicitly-set base key in
   /// sorted order — the config echo embedded in RunReport JSON. Values are
-  /// post-resolution: smoke pins substituted when smoke is on.
+  /// post-resolution: smoke pins substituted when smoke is on. Sweep axes
+  /// are echoed after the base keys under their `sweep.*` names (so
+  /// replaying an echoed campaign config reproduces the campaign).
   std::vector<std::pair<std::string, std::string>> echo() const;
 
   /// Process-wide count of deprecated-env-alias warnings (test hook).
@@ -104,6 +143,15 @@ class Configuration {
     std::string value;
     int seq = 0;  // set() order; later writes beat earlier smoke pins
   };
+
+  /// One active sweep axis member after smoke resolution: its canonical
+  /// `sweep.[zip.<group>.]key` name, zip group (empty = own axis), base
+  /// key, winning raw value text and declaration order.
+  struct SweepMember {
+    std::string name, zip, key, raw;
+    int order = 0;
+  };
+  std::vector<SweepMember> resolved_sweeps() const;
 
   std::string resolved_raw(const std::string& key, const KeySpec& spec) const;
 

@@ -629,8 +629,10 @@ void protocol_cost_driver(const Scenario& scn, RunReport& report) {
   }
 
   // Detection / routing message cost for individual queries (fixed shapes,
-  // the legacy E7 second table).
+  // the legacy E7 second table, blank-line separated as the legacy bench
+  // printed it).
   if (scn.detail) {
+    report.text("\n");
     util::Table& t2 = report.table(
         "query_cost", {"mesh", "fault rate", "detect msgs (2D)",
                        "route msgs (2D)", "detect msgs (3D flood)"});
@@ -746,6 +748,7 @@ void protocol_cost_driver(const Scenario& scn, RunReport& report) {
 }  // namespace
 
 void register_wormhole_drivers();  // drivers_wormhole.cc
+void register_eval_drivers();      // drivers_eval.cc (E1-E6, E9)
 
 void register_builtin_drivers() {
   drivers().add("route_quality", route_quality_driver,
@@ -760,6 +763,7 @@ void register_builtin_drivers() {
   drivers().add("protocol_cost", protocol_cost_driver,
                 "distributed construction cost per protocol phase (E7)");
   register_wormhole_drivers();
+  register_eval_drivers();
 }
 
 }  // namespace mcc::api

@@ -483,6 +483,11 @@ Scenario build_scenario(const Configuration& cfg) {
 
 Experiment::Experiment(Configuration cfg) : cfg_(std::move(cfg)) {
   register_builtins();
+  if (cfg_.has_sweeps())
+    throw ConfigError(
+        "config: sweep.* axes declare a campaign grid — run it through "
+        "api::Campaign (mcc_run does so automatically); Experiment takes a "
+        "single point");
   scenario_ = build_scenario(cfg_);
 }
 

@@ -186,6 +186,128 @@ void validate_one_report(const Json& doc, std::vector<std::string>& problems,
   if (failed == nullptr || !failed->is_bool()) miss("failed");
 }
 
+void validate_campaign(const Json& doc, std::vector<std::string>& problems) {
+  const auto miss = [&](const char* key) {
+    problems.push_back(std::string("campaign: missing key '") + key + "'");
+  };
+  const Json* name = doc.find("name");
+  if (name == nullptr || !name->is_string()) miss("name");
+  const Json* seed = doc.find("seed");
+  if (seed == nullptr || !seed->is_number()) miss("seed");
+  const Json* cfg = doc.find("config");
+  if (cfg == nullptr || !cfg->is_object()) {
+    miss("config");
+  } else {
+    for (const auto& [k, v] : cfg->members()) {
+      (void)k;
+      require(problems, v.is_string(),
+              "campaign: config values must be strings");
+    }
+  }
+  const Json* axes = doc.find("axes");
+  if (axes == nullptr || !axes->is_array()) {
+    miss("axes");
+  } else {
+    for (const Json& axis : axes->items()) {
+      if (!axis.is_object()) {
+        problems.push_back("campaign: axes entries must be objects");
+        continue;
+      }
+      const Json* label = axis.find("label");
+      require(problems, label != nullptr && label->is_string(),
+              "campaign: axis.label must be a string");
+      const Json* keys = axis.find("keys");
+      const Json* values = axis.find("values");
+      if (keys == nullptr || !keys->is_array() || values == nullptr ||
+          !values->is_array()) {
+        problems.push_back("campaign: axis needs keys[] and values[]");
+        continue;
+      }
+      for (const Json& row : values->items())
+        require(problems,
+                row.is_array() && row.items().size() == keys->items().size(),
+                "campaign: axis value row width must match keys");
+    }
+  }
+  const Json* count = doc.find("point_count");
+  if (count == nullptr || !count->is_number()) {
+    miss("point_count");
+    return;
+  }
+  const uint64_t point_count = count->as_uint64();
+  // point_count sizes allocations below and max_points= caps real
+  // campaigns at 1e8 — anything bigger is a corrupt document, not a grid.
+  if (point_count > 100000000) {
+    problems.push_back("campaign: implausible point_count " +
+                       std::to_string(point_count));
+    return;
+  }
+  const Json* shard = doc.find("shard");
+  const bool partial = shard != nullptr;
+  if (partial)
+    require(problems,
+            shard->is_string() &&
+                shard->as_string().find('/') != std::string::npos,
+            "campaign: shard must be a string of the form i/N");
+  const Json* failed = doc.find("failed");
+  if (failed == nullptr || !failed->is_bool()) miss("failed");
+  const Json* points = doc.find("points");
+  if (points == nullptr || !points->is_array()) {
+    miss("points");
+    return;
+  }
+  // A sharded partial may legitimately hold fewer points than point_count
+  // (even zero, when N exceeds the grid); a complete document holds every
+  // index exactly once (a duplicate index means a point was silently
+  // lost, even when the count happens to match).
+  if (!partial && points->items().size() != point_count)
+    problems.push_back("campaign: complete document must hold point_count "
+                       "points");
+  std::vector<bool> seen(point_count, false);
+  int i = 0;
+  for (const Json& pt : points->items()) {
+    const std::string where = "points[" + std::to_string(i) + "]";
+    if (!pt.is_object()) {
+      problems.push_back("campaign: " + where + " must be an object");
+      ++i;
+      continue;
+    }
+    const Json* idx = pt.find("index");
+    if (idx == nullptr || !idx->is_number()) {
+      problems.push_back("campaign: " + where + " misses index");
+    } else if (idx->as_uint64() >= point_count) {
+      problems.push_back("campaign: " + where + " index out of range");
+    } else if (seen[idx->as_uint64()]) {
+      problems.push_back("campaign: " + where + " duplicates index " +
+                         std::to_string(idx->as_uint64()));
+    } else {
+      seen[idx->as_uint64()] = true;
+    }
+    const Json* coords = pt.find("coords");
+    if (coords == nullptr || !coords->is_object()) {
+      problems.push_back("campaign: " + where + " misses coords{}");
+    } else {
+      for (const auto& [k, v] : coords->members()) {
+        (void)k;
+        require(problems, v.is_string(),
+                "campaign: coords values must be strings");
+      }
+    }
+    const Json* pseed = pt.find("seed");
+    if (pseed == nullptr || !pseed->is_number())
+      problems.push_back("campaign: " + where + " misses seed");
+    const Json* pfailed = pt.find("failed");
+    if (pfailed == nullptr || !pfailed->is_bool())
+      problems.push_back("campaign: " + where + " misses failed");
+    const Json* report = pt.find("report");
+    if (report == nullptr || !report->is_object())
+      problems.push_back("campaign: " + where + " misses report{}");
+    else
+      validate_one_report(*report, problems, where + ".report");
+    ++i;
+  }
+}
+
 }  // namespace
 
 std::vector<std::string> validate_report_json(const Json& doc) {
@@ -197,6 +319,10 @@ std::vector<std::string> validate_report_json(const Json& doc) {
   const Json* schema = doc.find("schema");
   if (schema == nullptr || !schema->is_string()) {
     problems.push_back("missing string key 'schema'");
+    return problems;
+  }
+  if (schema->as_string() == kCampaignSchema) {
+    validate_campaign(doc, problems);
     return problems;
   }
   if (schema->as_string() == kBenchSchema) {

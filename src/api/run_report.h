@@ -28,6 +28,7 @@ namespace mcc::api {
 
 inline constexpr const char* kRunReportSchema = "mcc.run_report/1";
 inline constexpr const char* kBenchSchema = "mcc.bench/1";
+inline constexpr const char* kCampaignSchema = "mcc.campaign/1";
 
 class RunReport {
  public:
@@ -98,8 +99,9 @@ class RunReport {
   std::string failure_;
 };
 
-/// Structural schema check for a parsed report or bench JSON document.
-/// Returns human-readable problems; empty means valid.
+/// Structural schema check for a parsed report, bench or campaign JSON
+/// document (mcc.run_report/1, mcc.bench/1, mcc.campaign/1 — complete or
+/// sharded partial). Returns human-readable problems; empty means valid.
 std::vector<std::string> validate_report_json(const Json& doc);
 
 }  // namespace mcc::api

@@ -25,12 +25,13 @@
 namespace mcc::util {
 
 /// One cell of a randomized sweep: mesh edge length, fault rate, base seed
-/// and the number of (s, d) pairs to exercise.
+/// and the number of (s, d) pairs to exercise (suites that derive their
+/// own pair counts leave it defaulted).
 struct SweepParam {
-  int size;
-  double rate;
-  uint64_t seed;
-  int pairs;
+  int size = 0;
+  double rate = 0;
+  uint64_t seed = 0;
+  int pairs = 0;
 };
 
 /// Draws s with room to its upper-right, then d strictly beyond it in both

@@ -12,8 +12,17 @@
 #include <set>
 
 #include "api/experiment.h"
+#include "baselines/fault_block.h"
+#include "baselines/simple_routers.h"
+#include "core/boundary2d.h"
+#include "core/feasibility2d.h"
+#include "core/feasibility3d.h"
+#include "core/labeling.h"
+#include "core/mcc_region.h"
 #include "core/model.h"
+#include "core/reachability.h"
 #include "mesh/fault_injection.h"
+#include "mesh/octant.h"
 #include "runtime/dynamic_model.h"
 #include "runtime/timeline.h"
 #include "sim/wormhole/driver.h"
@@ -316,6 +325,521 @@ TEST(ApiDifferential, WormholeChurn2DModelPolicyRuns) {
   EXPECT_EQ(rows[0][8], "ok");
   // The dynamic 2-D path serves per-hop guidance from the epoch cache.
   EXPECT_NE(rows[0][7], "0.0%");
+}
+
+// ---------------------------------------------------------------------------
+// E1/E2: the legacy region-fill bench loops (smoke shape: one trial),
+// verbatim. This PR rewired bench_e1..e6/e9 onto drivers; these pins hold
+// the preset path to the pre-redesign computations bit for bit.
+
+TEST(ApiDifferential, E1PresetMatchesLegacyBenchPath) {
+  const api::RunReport report = run_preset("e1_fill2d.cfg");
+  ASSERT_EQ(report.tables().size(), 1u);
+
+  const int kTrials = 1;  // MCC_SMOKE shape of the legacy bench
+  util::Table want({"mesh", "fault rate", "faults", "MCC healthy",
+                    "safety-block healthy", "bbox healthy",
+                    "MCC/safety ratio"});
+  for (const int k : {16, 32, 48}) {
+    const mesh::Mesh2D m(k, k);
+    for (const double rate : {0.01, 0.02, 0.05, 0.10, 0.15, 0.20}) {
+      util::RunningStats faults, mcc_fill, safety_fill_stat, bbox_fill;
+      std::mutex mu;
+      util::parallel_for(kTrials, [&](size_t t) {
+        util::Rng rng(0xE1000 + static_cast<uint64_t>(k) * 1000 +
+                      static_cast<uint64_t>(rate * 1000) * 7919 + t);
+        const auto f = mesh::inject_uniform(m, rate, rng);
+        const core::LabelField2D labels(m, f);
+        const auto safety = baselines::safety_fill(m, f);
+        const auto bbox = baselines::bounding_box_fill(m, f);
+        std::lock_guard<std::mutex> lock(mu);
+        faults.add(f.count());
+        mcc_fill.add(labels.healthy_unsafe_count());
+        safety_fill_stat.add(safety.healthy_unsafe_count());
+        bbox_fill.add(bbox.healthy_unsafe_count());
+      });
+      const double ratio = safety_fill_stat.mean() > 0
+                               ? mcc_fill.mean() / safety_fill_stat.mean()
+                               : 1.0;
+      want.add_row(
+          {std::to_string(k) + "x" + std::to_string(k),
+           util::Table::pct(rate, 0), util::Table::fmt(faults.mean(), 1),
+           util::Table::mean_ci(mcc_fill.mean(), mcc_fill.ci95(), 2),
+           util::Table::mean_ci(safety_fill_stat.mean(),
+                                safety_fill_stat.ci95(), 2),
+           util::Table::mean_ci(bbox_fill.mean(), bbox_fill.ci95(), 2),
+           util::Table::fmt(ratio, 3)});
+    }
+  }
+  EXPECT_EQ(report.tables()[0].table.headers(), want.headers());
+  EXPECT_EQ(report.tables()[0].table.rows(), want.rows());
+}
+
+TEST(ApiDifferential, E2PresetMatchesLegacyBenchPath) {
+  const api::RunReport report = run_preset("e2_fill3d.cfg");
+  ASSERT_EQ(report.tables().size(), 1u);
+
+  const int kTrials = 1;
+  util::Table want({"mesh", "fault rate", "faults", "MCC healthy",
+                    "safety-block healthy", "bbox healthy",
+                    "MCC/safety ratio"});
+  for (const int k : {8, 12, 16}) {
+    const mesh::Mesh3D m(k, k, k);
+    for (const double rate : {0.01, 0.02, 0.05, 0.10, 0.15}) {
+      util::RunningStats faults, mcc_fill, safety, bbox;
+      std::mutex mu;
+      util::parallel_for(kTrials, [&](size_t t) {
+        util::Rng rng(0xE2000 + static_cast<uint64_t>(k) * 1000 +
+                      static_cast<uint64_t>(rate * 1000) * 7919 + t);
+        const auto f = mesh::inject_uniform(m, rate, rng);
+        const core::LabelField3D labels(m, f);
+        const auto sf = baselines::safety_fill(m, f);
+        const auto bb = baselines::bounding_box_fill(m, f);
+        std::lock_guard<std::mutex> lock(mu);
+        faults.add(f.count());
+        mcc_fill.add(labels.healthy_unsafe_count());
+        safety.add(sf.healthy_unsafe_count());
+        bbox.add(bb.healthy_unsafe_count());
+      });
+      const double ratio =
+          safety.mean() > 0 ? mcc_fill.mean() / safety.mean() : 1.0;
+      want.add_row(
+          {std::to_string(k) + "^3", util::Table::pct(rate, 0),
+           util::Table::fmt(faults.mean(), 1),
+           util::Table::mean_ci(mcc_fill.mean(), mcc_fill.ci95(), 2),
+           util::Table::mean_ci(safety.mean(), safety.ci95(), 2),
+           util::Table::mean_ci(bbox.mean(), bbox.ci95(), 2),
+           util::Table::fmt(ratio, 3)});
+    }
+  }
+  EXPECT_EQ(report.tables()[0].table.rows(), want.rows());
+}
+
+// ---------------------------------------------------------------------------
+// E3/E4: the legacy success-rate bench loops (smoke shape), verbatim.
+
+template <class Mesh, class Labels, class Detect, class Sample>
+util::Table legacy_success_table(const Mesh& m, uint64_t seed_base,
+                                 const std::vector<double>& rates, int pairs,
+                                 Detect&& detect, Sample&& sample) {
+  const int kTrials = 1;
+  util::Table want({"fault rate", "oracle", "MCC model", "safety blocks",
+                    "bbox blocks", "greedy local", "dim-order"});
+  for (const double rate : rates) {
+    util::RunningStats oracle_s, mcc_s, safety_s, bbox_s, greedy_s, dor_s;
+    std::mutex mu;
+    util::parallel_for(kTrials, [&](size_t t) {
+      util::Rng rng(seed_base + static_cast<uint64_t>(rate * 1000) * 131 + t);
+      const auto f = mesh::inject_uniform(m, rate, rng);
+      const Labels labels(m, f);
+      const auto safety = baselines::safety_fill(m, f);
+      const auto bbox = baselines::bounding_box_fill(m, f);
+      int n = 0, n_oracle = 0, n_mcc = 0, n_safety = 0, n_bbox = 0,
+          n_greedy = 0, n_dor = 0;
+      for (int p = 0; p < pairs; ++p) {
+        const auto pair = sample(m, labels, rng);
+        if (!pair) continue;
+        const auto [s, d] = *pair;
+        ++n;
+        n_oracle += detect(m, labels, s, d, true);
+        n_mcc += detect(m, labels, s, d, false);
+        n_safety += baselines::block_feasible(m, safety, s, d);
+        n_bbox += baselines::block_feasible(m, bbox, s, d);
+        util::Rng grng(rng.fork());
+        n_greedy += baselines::greedy_route(m, f, s, d, grng);
+        n_dor += baselines::dimension_order_route(m, f, s, d);
+      }
+      if (n == 0) return;
+      std::lock_guard<std::mutex> lock(mu);
+      oracle_s.add(double(n_oracle) / n);
+      mcc_s.add(double(n_mcc) / n);
+      safety_s.add(double(n_safety) / n);
+      bbox_s.add(double(n_bbox) / n);
+      greedy_s.add(double(n_greedy) / n);
+      dor_s.add(double(n_dor) / n);
+    });
+    want.add_row({util::Table::pct(rate, 0),
+                  util::Table::pct(oracle_s.mean(), 1),
+                  util::Table::pct(mcc_s.mean(), 1),
+                  util::Table::pct(safety_s.mean(), 1),
+                  util::Table::pct(bbox_s.mean(), 1),
+                  util::Table::pct(greedy_s.mean(), 1),
+                  util::Table::pct(dor_s.mean(), 1)});
+  }
+  return want;
+}
+
+TEST(ApiDifferential, E3PresetMatchesLegacyBenchPath) {
+  const api::RunReport report = run_preset("e3_success2d.cfg");
+  ASSERT_EQ(report.tables().size(), 1u);
+  const mesh::Mesh2D m(32, 32);
+  const util::Table want = legacy_success_table<mesh::Mesh2D,
+                                                core::LabelField2D>(
+      m, 0xE3000, {0.01, 0.02, 0.05, 0.10, 0.15, 0.20}, 50,
+      [](const mesh::Mesh2D& mm, const core::LabelField2D& labels,
+         mesh::Coord2 s, mesh::Coord2 d, bool oracle) {
+        if (oracle) {
+          const core::ReachField2D reach(mm, labels, d,
+                                         core::NodeFilter::NonFaulty);
+          return static_cast<int>(reach.feasible(s));
+        }
+        return static_cast<int>(core::detect2d(mm, labels, s, d).feasible());
+      },
+      [](const mesh::Mesh2D& mm, const core::LabelField2D& labels,
+         util::Rng& rng) { return util::sample_pair2d(mm, labels, rng); });
+  EXPECT_EQ(report.tables()[0].table.rows(), want.rows());
+}
+
+TEST(ApiDifferential, E4PresetMatchesLegacyBenchPath) {
+  const api::RunReport report = run_preset("e4_success3d.cfg");
+  ASSERT_EQ(report.tables().size(), 1u);
+  const mesh::Mesh3D m(12, 12, 12);
+  const util::Table want = legacy_success_table<mesh::Mesh3D,
+                                                core::LabelField3D>(
+      m, 0xE4000, {0.01, 0.02, 0.05, 0.10, 0.15}, 40,
+      [](const mesh::Mesh3D& mm, const core::LabelField3D& labels,
+         mesh::Coord3 s, mesh::Coord3 d, bool oracle) {
+        if (oracle) {
+          const core::ReachField3D reach(mm, labels, d,
+                                         core::NodeFilter::NonFaulty);
+          return static_cast<int>(reach.feasible(s));
+        }
+        return static_cast<int>(core::detect3d(mm, labels, s, d).feasible());
+      },
+      [](const mesh::Mesh3D& mm, const core::LabelField3D& labels,
+         util::Rng& rng) { return util::sample_pair3d(mm, labels, rng); });
+  EXPECT_EQ(report.tables()[0].table.rows(), want.rows());
+}
+
+// ---------------------------------------------------------------------------
+// E5: the legacy region-geometry bench (smoke shape), verbatim.
+
+TEST(ApiDifferential, E5PresetMatchesLegacyBenchPath) {
+  const api::RunReport report = run_preset("e5_regions.cfg");
+  ASSERT_EQ(report.tables().size(), 2u);
+
+  const int kTrials = 1;
+  const int k = 32;
+  const mesh::Mesh2D m(k, k);
+  util::Table want({"fault rate", "regions", "largest region",
+                    "healthy/region", "width x height", "multi-fault %"});
+  for (const double rate : {0.02, 0.05, 0.10, 0.15, 0.20}) {
+    util::RunningStats regions, largest, healthy_per, width, height, multi;
+    std::mutex mu;
+    util::parallel_for(kTrials, [&](size_t t) {
+      util::Rng rng(0xE5000 + static_cast<uint64_t>(rate * 1000) * 37 + t);
+      const auto f = mesh::inject_uniform(m, rate, rng);
+      const core::LabelField2D labels(m, f);
+      const core::MccSet2D mccs(m, labels);
+      size_t big = 0;
+      int multi_fault = 0;
+      util::RunningStats h, w, ht;
+      for (const auto& r : mccs.regions()) {
+        big = std::max(big, r.cells.size());
+        h.add(r.healthy_cells);
+        w.add(r.width());
+        ht.add(r.height());
+        multi_fault += r.faulty_cells > 1;
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      regions.add(static_cast<double>(mccs.regions().size()));
+      largest.add(static_cast<double>(big));
+      if (h.count()) {
+        healthy_per.add(h.mean());
+        width.add(w.mean());
+        height.add(ht.mean());
+        multi.add(double(multi_fault) /
+                  static_cast<double>(mccs.regions().size()));
+      }
+    });
+    want.add_row({util::Table::pct(rate, 0),
+                  util::Table::mean_ci(regions.mean(), regions.ci95(), 1),
+                  util::Table::fmt(largest.mean(), 1),
+                  util::Table::fmt(healthy_per.mean(), 2),
+                  util::Table::fmt(width.mean(), 2) + " x " +
+                      util::Table::fmt(height.mean(), 2),
+                  util::Table::pct(multi.mean(), 1)});
+  }
+  EXPECT_EQ(report.tables()[0].table.rows(), want.rows());
+
+  util::Table want2({"fault rate", "octant ++", "octant -+", "octant +-",
+                     "octant --", "max/min ratio"});
+  for (const double rate : {0.10, 0.20}) {
+    util::RunningStats per_oct[4], ratio;
+    std::mutex mu;
+    util::parallel_for(kTrials, [&](size_t t) {
+      util::Rng rng(0xE5500 + static_cast<uint64_t>(rate * 1000) * 37 + t);
+      const auto f = mesh::inject_uniform(m, rate, rng);
+      double counts[4];
+      for (int o = 0; o < 4; ++o) {
+        const mesh::Octant2 oct{(o & 1) != 0, (o & 2) != 0};
+        const auto flipped = materialize(f, m, oct);
+        const core::LabelField2D labels(m, flipped);
+        counts[o] = labels.healthy_unsafe_count();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      double lo = counts[0], hi = counts[0];
+      for (int o = 0; o < 4; ++o) {
+        per_oct[o].add(counts[o]);
+        lo = std::min(lo, counts[o]);
+        hi = std::max(hi, counts[o]);
+      }
+      if (lo > 0) ratio.add(hi / lo);
+    });
+    want2.add_row(
+        {util::Table::pct(rate, 0), util::Table::fmt(per_oct[0].mean(), 2),
+         util::Table::fmt(per_oct[1].mean(), 2),
+         util::Table::fmt(per_oct[2].mean(), 2),
+         util::Table::fmt(per_oct[3].mean(), 2),
+         util::Table::fmt(ratio.count() ? ratio.mean() : 1.0, 2)});
+  }
+  EXPECT_EQ(report.tables()[1].table.rows(), want2.rows());
+}
+
+// ---------------------------------------------------------------------------
+// E6: the legacy agreement bench (smoke shape), verbatim.
+
+TEST(ApiDifferential, E6PresetMatchesLegacyBenchPath) {
+  const api::RunReport report = run_preset("e6_agreement.cfg");
+  ASSERT_EQ(report.tables().size(), 2u);
+
+  const int kTrials = 1;
+  constexpr int kPairs = 60;
+  {
+    const mesh::Mesh2D m(24, 24);
+    util::Table want({"fault rate", "pairs", "oracle feasible",
+                      "detect==oracle", "thm1==oracle", "lemma1 sound",
+                      "lemma1 complete"});
+    for (const double rate : {0.05, 0.10, 0.20, 0.30}) {
+      std::mutex mu;
+      long pairs = 0, feas = 0, det_ok = 0, thm_ok = 0, l1_sound = 0,
+           l1_complete = 0, blocked = 0;
+      util::parallel_for(kTrials, [&](size_t trial) {
+        util::Rng rng(0xE6000 + static_cast<uint64_t>(rate * 1000) * 13 +
+                      trial);
+        const auto f = mesh::inject_uniform(m, rate, rng);
+        const core::LabelField2D labels(m, f);
+        const core::MccSet2D mccs(m, labels);
+        const core::Boundary2D boundary(m, labels, mccs);
+        long p = 0, fe = 0, d_ok = 0, t_ok = 0, s_ok = 0, c_ok = 0, bl = 0;
+        for (int i = 0; i < kPairs; ++i) {
+          const auto pr = util::sample_pair2d(m, labels, rng);
+          if (!pr) continue;
+          const auto [s, d] = *pr;
+          ++p;
+          const core::ReachField2D oracle(m, labels, d,
+                                          core::NodeFilter::NonFaulty);
+          const bool truth = oracle.feasible(s);
+          fe += truth;
+          d_ok += core::detect2d(m, labels, s, d).feasible() == truth;
+          t_ok += boundary.theorem1_feasible(s, d) == truth;
+          const bool l1 = core::lemma1_blocked(mccs, s, d).blocked;
+          if (l1) s_ok += !truth;
+          if (!truth) {
+            ++bl;
+            c_ok += l1;
+          }
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        pairs += p;
+        feas += fe;
+        det_ok += d_ok;
+        thm_ok += t_ok;
+        l1_sound += s_ok;
+        l1_complete += c_ok;
+        blocked += bl;
+      });
+      auto frac = [](long a, long b) {
+        return b == 0 ? 1.0 : double(a) / double(b);
+      };
+      want.add_row({util::Table::pct(rate, 0), std::to_string(pairs),
+                    util::Table::pct(frac(feas, pairs), 1),
+                    util::Table::pct(frac(det_ok, pairs), 2),
+                    util::Table::pct(frac(thm_ok, pairs), 2),
+                    blocked == 0
+                        ? "n/a"
+                        : util::Table::pct(frac(l1_sound, l1_sound), 2),
+                    blocked == 0
+                        ? "n/a"
+                        : util::Table::pct(frac(l1_complete, blocked), 2)});
+    }
+    EXPECT_EQ(report.tables()[0].table.rows(), want.rows());
+  }
+  {
+    const mesh::Mesh3D m(10, 10, 10);
+    util::Table want({"workload", "pairs", "oracle feasible",
+                      "detect3d==oracle"});
+    struct Work {
+      const char* name;
+      double rate;
+      bool clustered;
+    };
+    for (const Work w : {Work{"uniform 5%", 0.05, false},
+                         Work{"uniform 15%", 0.15, false},
+                         Work{"uniform 25%", 0.25, false},
+                         Work{"clustered 15%", 0.15, true}}) {
+      std::mutex mu;
+      long pairs = 0, feas = 0, agree = 0;
+      util::parallel_for(kTrials, [&](size_t trial) {
+        util::Rng rng(0xE6700 + static_cast<uint64_t>(w.rate * 1000) * 13 +
+                      (w.clustered ? 7777 : 0) + trial);
+        const auto f =
+            w.clustered
+                ? mesh::inject_clustered(
+                      m, static_cast<int>(w.rate * m.node_count()), 4, rng)
+                : mesh::inject_uniform(m, w.rate, rng);
+        const core::LabelField3D labels(m, f);
+        long p = 0, fe = 0, ag = 0;
+        for (int i = 0; i < kPairs; ++i) {
+          const auto pr = util::sample_pair3d(m, labels, rng);
+          if (!pr) continue;
+          const auto [s, d] = *pr;
+          ++p;
+          const core::ReachField3D oracle(m, labels, d,
+                                          core::NodeFilter::NonFaulty);
+          const bool truth = oracle.feasible(s);
+          fe += truth;
+          ag += core::detect3d(m, labels, s, d).feasible() == truth;
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        pairs += p;
+        feas += fe;
+        agree += ag;
+      });
+      want.add_row({w.name, std::to_string(pairs),
+                    util::Table::pct(pairs ? double(feas) / pairs : 0, 1),
+                    util::Table::pct(pairs ? double(agree) / pairs : 1, 2)});
+    }
+    EXPECT_EQ(report.tables()[1].table.rows(), want.rows());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// E9: the legacy ablation bench (smoke shape), verbatim.
+
+TEST(ApiDifferential, E9PresetMatchesLegacyBenchPath) {
+  const api::RunReport report = run_preset("e9_ablation.cfg");
+  ASSERT_EQ(report.tables().size(), 3u);
+
+  const int kTrials = 1;
+  constexpr int kPairs = 30;
+  const int k = 24;
+  const mesh::Mesh2D m(k, k);
+
+  util::Table want({"fault rate", "records router", "labels-only router",
+                    "greedy (fault info only)"});
+  for (const double rate : {0.05, 0.10, 0.15, 0.20}) {
+    util::RunningStats rec_s, lab_s, greedy_s;
+    std::mutex mu;
+    util::parallel_for(kTrials, [&](size_t trial) {
+      util::Rng rng(0xE9000 + static_cast<uint64_t>(rate * 1000) * 3 +
+                    trial);
+      const auto f = mesh::inject_uniform(m, rate, rng);
+      const core::MccModel2D model(m, f);
+      const auto& oct = model.octant(mesh::Octant2{false, false});
+      long n = 0, rec = 0, lab = 0, gr = 0;
+      for (int i = 0; i < kPairs; ++i) {
+        const auto pr = util::sample_pair2d(m, oct.labels, rng);
+        if (!pr) continue;
+        const auto [s, d] = *pr;
+        if (!model.feasible(s, d).feasible) continue;
+        ++n;
+        rec += model
+                   .route(s, d, core::RouterKind::Records,
+                          core::RoutePolicy::Random, trial * 97 + i)
+                   .delivered;
+        lab += model
+                   .route(s, d, core::RouterKind::LabelsOnly,
+                          core::RoutePolicy::Random, trial * 97 + i)
+                   .delivered;
+        util::Rng grng(trial * 131 + i);
+        gr += baselines::greedy_route(m, f, s, d, grng);
+      }
+      if (n == 0) return;
+      std::lock_guard<std::mutex> lock(mu);
+      rec_s.add(double(rec) / n);
+      lab_s.add(double(lab) / n);
+      greedy_s.add(double(gr) / n);
+    });
+    want.add_row({util::Table::pct(rate, 0),
+                  util::Table::pct(rec_s.mean(), 1),
+                  util::Table::pct(lab_s.mean(), 1),
+                  util::Table::pct(greedy_s.mean(), 1)});
+  }
+  EXPECT_EQ(report.tables()[0].table.rows(), want.rows());
+
+  util::Table want2({"fault rate", "blocked pairs",
+                     "no-fill wrongly feasible"});
+  for (const double rate : {0.10, 0.20, 0.30}) {
+    std::mutex mu;
+    long blocked = 0, wrong = 0;
+    util::parallel_for(kTrials, [&](size_t trial) {
+      util::Rng rng(0xE9500 + static_cast<uint64_t>(rate * 1000) * 3 +
+                    trial);
+      const auto f = mesh::inject_uniform(m, rate, rng);
+      const core::LabelField2D labels(m, f);
+      long bl = 0, wr = 0;
+      for (int i = 0; i < kPairs; ++i) {
+        const auto pr = util::sample_pair2d(m, labels, rng);
+        if (!pr) continue;
+        const auto [s, d] = *pr;
+        const core::ReachField2D oracle(m, labels, d,
+                                        core::NodeFilter::NonFaulty);
+        if (oracle.feasible(s)) continue;
+        ++bl;
+        const bool line_x_clear = [&, s = s, d = d] {
+          for (int x = s.x; x <= d.x; ++x)
+            if (labels.state({x, s.y}) == core::NodeState::Faulty)
+              return false;
+          return true;
+        }();
+        const bool line_y_clear = [&, s = s, d = d] {
+          for (int y = s.y; y <= d.y; ++y)
+            if (labels.state({s.x, y}) == core::NodeState::Faulty)
+              return false;
+          return true;
+        }();
+        wr += line_x_clear || line_y_clear;
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      blocked += bl;
+      wrong += wr;
+    });
+    want2.add_row({util::Table::pct(rate, 0), std::to_string(blocked),
+                   blocked ? util::Table::pct(double(wrong) / blocked, 1)
+                           : "n/a"});
+  }
+  EXPECT_EQ(report.tables()[1].table.rows(), want2.rows());
+
+  util::Table want3({"fault rate", "regions (ortho)", "regions (eight)",
+                     "largest (ortho)", "largest (eight)"});
+  for (const double rate : {0.05, 0.15, 0.25}) {
+    util::RunningStats ro, re, lo, le;
+    std::mutex mu;
+    util::parallel_for(kTrials, [&](size_t trial) {
+      util::Rng rng(0xE9900 + static_cast<uint64_t>(rate * 1000) * 3 +
+                    trial);
+      const auto f = mesh::inject_uniform(m, rate, rng);
+      const core::LabelField2D labels(m, f);
+      const core::MccSet2D ortho(m, labels, core::Connectivity::Ortho);
+      const core::MccSet2D eight(m, labels, core::Connectivity::Eight);
+      size_t biggest_o = 0, biggest_e = 0;
+      for (const auto& r : ortho.regions())
+        biggest_o = std::max(biggest_o, r.cells.size());
+      for (const auto& r : eight.regions())
+        biggest_e = std::max(biggest_e, r.cells.size());
+      std::lock_guard<std::mutex> lock(mu);
+      ro.add(static_cast<double>(ortho.regions().size()));
+      re.add(static_cast<double>(eight.regions().size()));
+      lo.add(static_cast<double>(biggest_o));
+      le.add(static_cast<double>(biggest_e));
+    });
+    want3.add_row({util::Table::pct(rate, 0), util::Table::fmt(ro.mean(), 1),
+                   util::Table::fmt(re.mean(), 1),
+                   util::Table::fmt(lo.mean(), 1),
+                   util::Table::fmt(le.mean(), 1)});
+  }
+  EXPECT_EQ(report.tables()[2].table.rows(), want3.rows());
 }
 
 }  // namespace

@@ -87,18 +87,15 @@ TEST(BoundingBoxFill3D, MergesTouchingBoxes) {
   EXPECT_EQ(b.healthy_unsafe_count(), 6);  // 2x2x2 box minus 2 faults
 }
 
-struct SweepParam {
-  int size;
-  double rate;
-  uint64_t seed;
-};
+using util::SweepParam;  // the shared sweep cell (scenario.h); pairs unused
 
 class DominanceSweep2D : public ::testing::TestWithParam<SweepParam> {};
 
 // The paper's core claim: MCC absorbs a subset of the healthy nodes any
 // rectangular model absorbs.
 TEST_P(DominanceSweep2D, MccUnsafeSubsetOfSafetyBlocks) {
-  const auto [size, rate, seed] = GetParam();
+  const auto [size, rate, seed, param_pairs] = GetParam();
+  (void)param_pairs;
   const mesh::Mesh2D m(size, size);
   util::Rng rng(seed);
   const auto f = mesh::inject_uniform(m, rate, rng);
@@ -116,7 +113,8 @@ TEST_P(DominanceSweep2D, MccUnsafeSubsetOfSafetyBlocks) {
 }
 
 TEST_P(DominanceSweep2D, MccFeasibleWheneverBlocksFeasible) {
-  const auto [size, rate, seed] = GetParam();
+  const auto [size, rate, seed, param_pairs] = GetParam();
+  (void)param_pairs;
   const mesh::Mesh2D m(size, size);
   util::Rng rng(seed + 1);
   const auto f = mesh::inject_uniform(m, rate, rng);
@@ -144,7 +142,8 @@ INSTANTIATE_TEST_SUITE_P(
 class DominanceSweep3D : public ::testing::TestWithParam<SweepParam> {};
 
 TEST_P(DominanceSweep3D, MccUnsafeSubsetOfSafetyBlocks) {
-  const auto [size, rate, seed] = GetParam();
+  const auto [size, rate, seed, param_pairs] = GetParam();
+  (void)param_pairs;
   const mesh::Mesh3D m(size, size, size);
   util::Rng rng(seed);
   const auto f = mesh::inject_uniform(m, rate, rng);

@@ -1,0 +1,450 @@
+// Campaign layer tests: sweep.* parsing and resolution, grid expansion,
+// coordinate-derived seeds (permutation invariance), shard-count-invariant
+// merging, the failure-point path, mcc.campaign/1 schema validation, and
+// the golden pin of the churn_saturation campaign at its CI smoke shape
+// (the ROADMAP's large-mesh saturation-vs-churn sweep; full shape in
+// docs/api.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "api/campaign.h"
+#include "api/experiment.h"
+
+namespace mcc::api {
+namespace {
+
+Configuration demo_base() {
+  Configuration cfg;
+  cfg.set("driver", "route_demo");
+  cfg.set("dims", "2");
+  cfg.set("k", "12");
+  cfg.set("fault_rate", "0.05");
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// sweep.* parsing and resolution
+
+TEST(SweepConfig, UnknownBaseKeyGetsSuggestion) {
+  Configuration cfg;
+  try {
+    cfg.set("sweep.fault_rte", "0.1, 0.2");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("fault_rate"), std::string::npos);
+  }
+}
+
+TEST(SweepConfig, ElementsValidatePerElement) {
+  Configuration cfg;
+  EXPECT_THROW(cfg.set("sweep.k", "8, banana"), ConfigError);
+  EXPECT_THROW(cfg.set("sweep.fault_rate", "0.1, 7.0"), ConfigError);  // range
+  EXPECT_THROW(cfg.set("sweep.k", "8,, 12"), ConfigError);  // empty element
+  EXPECT_NO_THROW(cfg.set("sweep.k", "8, 12"));
+}
+
+TEST(SweepConfig, PlumbingKeysCannotBeSwept) {
+  Configuration cfg;
+  EXPECT_THROW(cfg.set("sweep.report_json", "a.json, b.json"), ConfigError);
+  EXPECT_THROW(cfg.set("sweep.smoke", "0, 1"), ConfigError);
+  EXPECT_THROW(cfg.set("sweep.max_points", "4, 8"), ConfigError);
+}
+
+TEST(SweepConfig, MalformedZipNamesAreErrors) {
+  Configuration cfg;
+  EXPECT_THROW(cfg.set("sweep.zip.k", "1, 2"), ConfigError);   // no member
+  EXPECT_THROW(cfg.set("sweep.zip..k", "1, 2"), ConfigError);  // empty group
+}
+
+TEST(SweepConfig, SemicolonSweepsWholeLists) {
+  Configuration cfg = demo_base();
+  cfg.set("sweep.rates", "0.01, 0.02; 0.05, 0.06");
+  const auto axes = cfg.sweep_axes();
+  ASSERT_EQ(axes.size(), 1u);
+  ASSERT_EQ(axes[0].points.size(), 2u);
+  EXPECT_EQ(axes[0].points[0][0], "0.01, 0.02");
+  EXPECT_EQ(axes[0].points[1][0], "0.05, 0.06");
+  // Comma-only splits element-wise even for list-typed keys.
+  cfg.set("sweep.rates", "0.01, 0.02");
+  const auto axes2 = cfg.sweep_axes();
+  ASSERT_EQ(axes2[0].points.size(), 2u);
+  EXPECT_EQ(axes2[0].points[0][0], "0.01");
+}
+
+TEST(SweepConfig, ZipGroupsAssembleAndLengthCheck) {
+  Configuration cfg = demo_base();
+  cfg.set("sweep.zip.mesh.k", "8, 12, 16");
+  cfg.set("sweep.zip.mesh.fault_rate", "0.02, 0.05, 0.10");
+  const auto axes = cfg.sweep_axes();
+  ASSERT_EQ(axes.size(), 1u);
+  EXPECT_EQ(axes[0].label, "mesh");
+  ASSERT_EQ(axes[0].keys, (std::vector<std::string>{"k", "fault_rate"}));
+  ASSERT_EQ(axes[0].points.size(), 3u);
+  EXPECT_EQ(axes[0].points[1],
+            (std::vector<std::string>{"12", "0.05"}));
+
+  cfg.set("sweep.zip.mesh.fault_rate", "0.02, 0.05");  // now mismatched
+  EXPECT_THROW(cfg.sweep_axes(), ConfigError);
+}
+
+TEST(SweepConfig, SmokePinsApplyUnderSmokeOnly) {
+  Configuration cfg = demo_base();
+  cfg.set("sweep.k", "8, 12, 16");
+  cfg.set("smoke.sweep.k", "6");
+  EXPECT_EQ(cfg.sweep_axes()[0].points.size(), 3u);
+  cfg.set("smoke", "1");
+  ASSERT_EQ(cfg.sweep_axes()[0].points.size(), 1u);
+  EXPECT_EQ(cfg.sweep_axes()[0].points[0][0], "6");
+  // A later explicit sweep line beats the pin (last writer wins).
+  cfg.set("sweep.k", "10, 14");
+  EXPECT_EQ(cfg.sweep_axes()[0].points.size(), 2u);
+}
+
+TEST(SweepConfig, EchoCarriesSweepLinesAndStripRemovesThem) {
+  Configuration cfg = demo_base();
+  cfg.set("sweep.k", "8, 12");
+  const auto echoed = cfg.echo();
+  const auto it = std::find_if(
+      echoed.begin(), echoed.end(),
+      [](const auto& kv) { return kv.first == "sweep.k"; });
+  ASSERT_NE(it, echoed.end());
+  EXPECT_EQ(it->second, "8, 12");
+  // Replaying the echo reproduces the sweep.
+  Configuration replay;
+  for (const auto& [k, v] : echoed) replay.set(k, v);
+  EXPECT_TRUE(replay.has_sweeps());
+
+  EXPECT_FALSE(cfg.strip_sweeps().has_sweeps());
+  EXPECT_TRUE(cfg.has_sweeps());
+}
+
+TEST(SweepConfig, ExperimentRejectsCampaignConfigs) {
+  Configuration cfg = demo_base();
+  cfg.set("sweep.k", "8, 12");
+  EXPECT_THROW(Experiment{std::move(cfg)}, ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// expansion
+
+TEST(CampaignExpansion, FirstDeclaredAxisVariesSlowest) {
+  Configuration cfg = demo_base();
+  cfg.set("sweep.fault_rate", "0.05, 0.10");
+  cfg.set("sweep.k", "8, 12, 16");
+  const Campaign campaign(std::move(cfg));
+  ASSERT_EQ(campaign.points().size(), 6u);
+  using Coords = std::vector<std::pair<std::string, std::string>>;
+  EXPECT_EQ(campaign.points()[0].coords,
+            (Coords{{"fault_rate", "0.05"}, {"k", "8"}}));
+  EXPECT_EQ(campaign.points()[1].coords,
+            (Coords{{"fault_rate", "0.05"}, {"k", "12"}}));
+  EXPECT_EQ(campaign.points()[3].coords,
+            (Coords{{"fault_rate", "0.10"}, {"k", "8"}}));
+}
+
+TEST(CampaignExpansion, ZipGroupIsOneAxis) {
+  Configuration cfg = demo_base();
+  cfg.set("sweep.zip.mesh.k", "8, 12");
+  cfg.set("sweep.zip.mesh.fault_rate", "0.02, 0.08");
+  cfg.set("sweep.policy", "model, oracle");
+  const Campaign campaign(std::move(cfg));
+  ASSERT_EQ(campaign.points().size(), 4u);  // 2 (zip) x 2, not 2 x 2 x 2
+  using Coords = std::vector<std::pair<std::string, std::string>>;
+  EXPECT_EQ(campaign.points()[3].coords,
+            (Coords{{"k", "12"}, {"fault_rate", "0.08"}, {"policy",
+                                                          "oracle"}}));
+}
+
+TEST(CampaignExpansion, MaxPointsCapTrips) {
+  Configuration cfg = demo_base();
+  cfg.set("sweep.k", "8, 10, 12, 14");
+  cfg.set("max_points", "3");
+  EXPECT_THROW(Campaign{std::move(cfg)}, ConfigError);
+}
+
+TEST(CampaignExpansion, DuplicateSweptKeyRejected) {
+  Configuration cfg = demo_base();
+  cfg.set("sweep.k", "8, 12");
+  cfg.set("sweep.zip.g.k", "8, 12");
+  EXPECT_THROW(Campaign{std::move(cfg)}, ConfigError);
+}
+
+TEST(CampaignExpansion, UnknownAxisValueFailsBeforeRunning) {
+  Configuration cfg = demo_base();
+  // Registry resolution happens at expansion: no sibling burns compute.
+  cfg.set("sweep.policy", "model, bogus");
+  EXPECT_THROW(Campaign{std::move(cfg)}, ConfigError);
+}
+
+TEST(CampaignExpansion, RuntimeOnlyBadCombinationBecomesAFailedPoint) {
+  Configuration cfg = demo_base();
+  // figure5 exists only in 3-D; the pattern's dims support is checked when
+  // faults are drawn, so the point fails at run time — flagged, siblings
+  // intact (the failure-point contract).
+  cfg.set("sweep.fault_pattern", "uniform, figure5");
+  const Campaign campaign(std::move(cfg));
+  const auto results = campaign.run_shard(1, 1, nullptr);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].failed);
+  EXPECT_TRUE(results[1].failed);
+}
+
+// ---------------------------------------------------------------------------
+// coordinate-derived seeds
+
+TEST(CampaignSeeds, CoordOrderDoesNotMatter) {
+  const std::vector<std::pair<std::string, std::string>> a{{"k", "8"},
+                                                           {"churn", "2"}};
+  const std::vector<std::pair<std::string, std::string>> b{{"churn", "2"},
+                                                           {"k", "8"}};
+  EXPECT_EQ(derive_point_seed(7, a), derive_point_seed(7, b));
+  EXPECT_NE(derive_point_seed(7, a), derive_point_seed(8, a));
+  const std::vector<std::pair<std::string, std::string>> c{{"churn", "2"},
+                                                           {"k", "12"}};
+  EXPECT_NE(derive_point_seed(7, a), derive_point_seed(7, c));
+}
+
+/// Runs a route_demo campaign serially and indexes seed + report dump by
+/// a canonical (sorted) coordinate label.
+std::map<std::string, std::pair<uint64_t, std::string>> run_by_coords(
+    const std::vector<std::string>& sweeps) {
+  Configuration cfg = demo_base();
+  for (size_t i = 0; i < sweeps.size(); i += 2)
+    cfg.set(sweeps[i], sweeps[i + 1]);
+  const Campaign campaign(std::move(cfg));
+  const auto results = campaign.run_shard(1, 1, nullptr);
+  std::map<std::string, std::pair<uint64_t, std::string>> out;
+  for (const auto& r : results) {
+    auto coords = campaign.points()[r.index].coords;
+    std::sort(coords.begin(), coords.end());
+    std::string label;
+    for (const auto& [k, v] : coords) label += k + "=" + v + ";";
+    out[label] = {campaign.points()[r.index].seed, r.report.dump()};
+  }
+  return out;
+}
+
+TEST(CampaignSeeds, PermutingSweepValuesLeavesEveryPointIntact) {
+  // Same axes, values listed in a different order: every point keeps its
+  // seed AND its entire report, bit for bit (only indices move).
+  const auto forward =
+      run_by_coords({"sweep.fault_rate", "0.05, 0.10", "sweep.k", "8, 12"});
+  const auto shuffled =
+      run_by_coords({"sweep.fault_rate", "0.10, 0.05", "sweep.k", "12, 8"});
+  ASSERT_EQ(forward.size(), 4u);
+  ASSERT_EQ(shuffled.size(), 4u);
+  for (const auto& [label, seed_and_report] : forward) {
+    const auto it = shuffled.find(label);
+    ASSERT_NE(it, shuffled.end()) << label;
+    EXPECT_EQ(it->second.first, seed_and_report.first) << label;
+    EXPECT_EQ(it->second.second, seed_and_report.second) << label;
+  }
+}
+
+TEST(CampaignSeeds, AxisDeclarationOrderDoesNotChangeSeeds) {
+  // Swapping which axis is declared first reorders points and their
+  // names, but each coordinate combination keeps its derived seed.
+  const auto forward =
+      run_by_coords({"sweep.fault_rate", "0.05, 0.10", "sweep.k", "8, 12"});
+  const auto swapped =
+      run_by_coords({"sweep.k", "8, 12", "sweep.fault_rate", "0.05, 0.10"});
+  ASSERT_EQ(forward.size(), swapped.size());
+  for (const auto& [label, seed_and_report] : forward) {
+    const auto it = swapped.find(label);
+    ASSERT_NE(it, swapped.end()) << label;
+    EXPECT_EQ(it->second.first, seed_and_report.first) << label;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// sharding and merging
+
+TEST(CampaignSharding, MergeIsShardCountAndOrderInvariant) {
+  Configuration cfg = demo_base();
+  cfg.set("sweep.fault_rate", "0.05, 0.10");
+  cfg.set("sweep.policy", "model, oracle");
+  const Campaign campaign(std::move(cfg));
+
+  const Json serial =
+      Campaign::merge({campaign.to_json(campaign.run_shard(1, 1, nullptr),
+                                        1, 1)});
+  const std::string want = serial.dump_pretty();
+
+  for (const int n : {2, 3, 4}) {
+    std::vector<Json> partials;
+    for (int s = n; s >= 1; --s)  // reversed completion order on purpose
+      partials.push_back(
+          campaign.to_json(campaign.run_shard(s, n, nullptr), s, n));
+    EXPECT_EQ(Campaign::merge(partials).dump_pretty(), want) << n;
+  }
+}
+
+TEST(CampaignSharding, MergeRejectsMissingDuplicateAndForeignPoints) {
+  Configuration cfg = demo_base();
+  cfg.set("sweep.fault_rate", "0.05, 0.10");
+  const Campaign campaign(std::move(cfg));
+  const Json p1 = campaign.to_json(campaign.run_shard(1, 2, nullptr), 1, 2);
+  const Json p2 = campaign.to_json(campaign.run_shard(2, 2, nullptr), 2, 2);
+  EXPECT_THROW(Campaign::merge({p1}), ConfigError);           // missing 1
+  EXPECT_THROW(Campaign::merge({p1, p2, p1}), ConfigError);   // duplicate
+
+  Configuration other = demo_base();
+  other.set("sweep.fault_rate", "0.05, 0.20");
+  const Campaign foreign(std::move(other));
+  const Json f2 = foreign.to_json(foreign.run_shard(2, 2, nullptr), 2, 2);
+  EXPECT_THROW(Campaign::merge({p1, f2}), ConfigError);       // header clash
+}
+
+TEST(CampaignSharding, EmptyShardOfASmallGridIsAValidPartial) {
+  Configuration cfg = demo_base();
+  cfg.set("sweep.fault_rate", "0.05, 0.10");
+  const Campaign campaign(std::move(cfg));
+  const auto results = campaign.run_shard(3, 5, nullptr);  // index 2 of 2
+  EXPECT_TRUE(results.empty());
+  const Json doc = campaign.to_json(results, 3, 5);
+  EXPECT_TRUE(validate_report_json(doc).empty());
+}
+
+// ---------------------------------------------------------------------------
+// failure-point path
+
+void register_flaky_driver() {
+  register_builtins();
+  if (drivers().contains("campaign_test_flaky")) return;
+  drivers().add("campaign_test_flaky",
+                [](const Scenario& scn, RunReport& report) {
+                  report.metric("k", scn.k);
+                  if (scn.k % 2 != 0) report.fail("odd k rejected");
+                },
+                "test-only: fails on odd mesh edges");
+}
+
+TEST(CampaignFailure, FailedPointFlagsCampaignWithoutLosingSiblings) {
+  register_flaky_driver();
+  Configuration cfg;
+  cfg.set("driver", "campaign_test_flaky");
+  cfg.set("sweep.k", "8, 9, 10");
+  const Campaign campaign(std::move(cfg));
+  const auto results = campaign.run_shard(1, 1, nullptr);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_FALSE(results[0].failed);
+  EXPECT_TRUE(results[1].failed);
+  EXPECT_FALSE(results[2].failed);
+
+  const Json doc = Campaign::merge({campaign.to_json(results, 1, 1)});
+  EXPECT_TRUE(validate_report_json(doc).empty());
+  EXPECT_TRUE(doc.find("failed")->as_bool());
+  const auto& pts = doc.find("points")->items();
+  EXPECT_FALSE(pts[0].find("failed")->as_bool());
+  EXPECT_TRUE(pts[1].find("failed")->as_bool());
+  EXPECT_EQ(pts[1].find("report")->find("failure")->as_string(),
+            "odd k rejected");
+  EXPECT_FALSE(pts[2].find("failed")->as_bool());
+}
+
+// ---------------------------------------------------------------------------
+// mcc.campaign/1 schema validation
+
+TEST(CampaignSchema, CorruptDocumentsAreRejected) {
+  Configuration cfg = demo_base();
+  cfg.set("sweep.fault_rate", "0.05, 0.10");
+  const Campaign campaign(std::move(cfg));
+  const Json good =
+      Campaign::merge({campaign.to_json(campaign.run_shard(1, 1, nullptr),
+                                        1, 1)});
+  ASSERT_TRUE(validate_report_json(good).empty());
+
+  const std::string dump = good.dump();
+  const auto reparse = [](std::string text) {
+    std::string error;
+    Json doc = Json::parse(text, error);
+    EXPECT_TRUE(error.empty()) << error;
+    return doc;
+  };
+  {  // missing point_count
+    std::string t = dump;
+    const size_t pos = t.find("\"point_count\"");
+    t.replace(pos, 13, "\"point_kount\"");
+    EXPECT_FALSE(validate_report_json(reparse(t)).empty());
+  }
+  {  // complete document with a point missing
+    Json doc = reparse(dump);
+    Json pts = Json::array();
+    pts.push_back(doc.find("points")->items()[0]);
+    doc.set("points", std::move(pts));
+    EXPECT_FALSE(validate_report_json(doc).empty());
+  }
+  {  // coords values must be strings (corrupt inside points[], not the
+     // header config echo, which also holds a fault_rate entry)
+    std::string t = dump;
+    const size_t points = t.find("\"points\"");
+    ASSERT_NE(points, std::string::npos);
+    const size_t pos = t.find("\"fault_rate\":\"0.05\"", points);
+    ASSERT_NE(pos, std::string::npos);
+    t.replace(pos, 19, "\"fault_rate\":0.0500");
+    EXPECT_FALSE(validate_report_json(reparse(t)).empty());
+  }
+  {  // an invalid nested report poisons the campaign
+    std::string t = dump;
+    const size_t pos = t.find("\"mcc.run_report/1\"");
+    ASSERT_NE(pos, std::string::npos);
+    t.replace(pos, 18, "\"mcc.run_report/9\"");
+    EXPECT_FALSE(validate_report_json(reparse(t)).empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// golden: the churn_saturation campaign at its CI smoke shape. Pins the
+// ROADMAP's saturation-vs-churn sweep end to end: sweep resolution under
+// smoke pins, expansion, coordinate seeds, the wormhole churn runs
+// themselves (bit-stable) and the merged document.
+
+TEST(CampaignGolden, ChurnSaturationSmokeShape) {
+  Configuration cfg;
+  cfg.load_file(std::string(MCC_CONFIG_DIR) + "/churn_saturation.cfg");
+  cfg.set("smoke", "1");
+  const Campaign campaign(std::move(cfg));
+  ASSERT_EQ(campaign.points().size(), 4u);
+  ASSERT_EQ(campaign.axes().size(), 2u);
+  EXPECT_EQ(campaign.axes()[0].label, "churn");
+  EXPECT_EQ(campaign.axes()[1].label, "rates");
+
+  const auto results = campaign.run_shard(1, 1, nullptr);
+  const Json doc = Campaign::merge({campaign.to_json(results, 1, 1)});
+  ASSERT_TRUE(validate_report_json(doc).empty());
+  EXPECT_FALSE(doc.find("failed")->as_bool());
+
+  // One churn-table row per point (smoke pins ks to the single 10x10
+  // mesh). Every cell is deterministic — the wormhole is bit-stable.
+  const std::vector<std::vector<std::string>> want = {
+      {"10x10", "2.0", "1+0", "335", "0", "0.0458", "11.1", "92.1%", "ok"},
+      {"10x10", "2.0", "0+0", "616", "0", "0.0810", "14.1", "97.4%", "ok"},
+      {"10x10", "10.0", "5+1", "272", "1", "0.0364", "11.3", "88.1%", "ok"},
+      {"10x10", "10.0", "5+2", "588", "3", "0.0762", "13.1", "89.7%", "ok"},
+  };
+  const auto& pts = doc.find("points")->items();
+  ASSERT_EQ(pts.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    const Json* tables = pts[i].find("report")->find("tables");
+    ASSERT_NE(tables, nullptr);
+    const Json& churn = tables->items().front();
+    EXPECT_EQ(churn.find("title")->as_string(), "churn");
+    const auto& rows = churn.find("rows")->items();
+    ASSERT_EQ(rows.size(), 1u) << "point " << i;
+    std::vector<std::string> got;
+    for (const Json& cell : rows[0].items())
+      got.push_back(cell.as_string());
+    EXPECT_EQ(got, want[i]) << "point " << i;
+  }
+
+  // Shard-split execution of the same campaign merges byte-identically.
+  std::vector<Json> partials;
+  for (int s = 2; s >= 1; --s)
+    partials.push_back(
+        campaign.to_json(campaign.run_shard(s, 2, nullptr), s, 2));
+  EXPECT_EQ(Campaign::merge(partials).dump_pretty(), doc.dump_pretty());
+}
+
+}  // namespace
+}  // namespace mcc::api

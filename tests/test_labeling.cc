@@ -5,6 +5,7 @@
 #include "core/labeling.h"
 #include "mesh/fault_injection.h"
 #include "util/rng.h"
+#include "util/scenario.h"
 
 namespace mcc::core {
 namespace {
@@ -158,16 +159,13 @@ TEST(Labeling3D, Figure5Example) {
 // ---------------------------------------------------------------------------
 // Properties
 
-struct SweepParam {
-  int size;
-  double rate;
-  uint64_t seed;
-};
+using util::SweepParam;  // the shared sweep cell (scenario.h); pairs unused
 
 class LabelingSweep2D : public ::testing::TestWithParam<SweepParam> {};
 
 TEST_P(LabelingSweep2D, RulesHoldAtFixpoint) {
-  const auto [size, rate, seed] = GetParam();
+  const auto [size, rate, seed, param_pairs] = GetParam();
+  (void)param_pairs;
   const mesh::Mesh2D m(size, size);
   util::Rng rng(seed);
   const auto f = mesh::inject_uniform(m, rate, rng);
@@ -223,7 +221,8 @@ INSTANTIATE_TEST_SUITE_P(
 class LabelingSweep3D : public ::testing::TestWithParam<SweepParam> {};
 
 TEST_P(LabelingSweep3D, RulesHoldAtFixpoint) {
-  const auto [size, rate, seed] = GetParam();
+  const auto [size, rate, seed, param_pairs] = GetParam();
+  (void)param_pairs;
   const mesh::Mesh3D m(size, size, size);
   util::Rng rng(seed);
   const auto f = mesh::inject_uniform(m, rate, rng);

@@ -5,6 +5,7 @@
 #include "core/mcc_region.h"
 #include "mesh/fault_injection.h"
 #include "util/rng.h"
+#include "util/scenario.h"
 
 namespace mcc::core {
 namespace {
@@ -76,16 +77,13 @@ TEST(MccRegion2D, RegionPredicates) {
   EXPECT_EQ(r.corner(), (Coord2{2, 2}));
 }
 
-struct SweepParam {
-  int size;
-  double rate;
-  uint64_t seed;
-};
+using util::SweepParam;  // the shared sweep cell (scenario.h); pairs unused
 
 class RegionSweep2D : public ::testing::TestWithParam<SweepParam> {};
 
 TEST_P(RegionSweep2D, StaircaseInvariantsHold) {
-  const auto [size, rate, seed] = GetParam();
+  const auto [size, rate, seed, param_pairs] = GetParam();
+  (void)param_pairs;
   const mesh::Mesh2D m(size, size);
   util::Rng rng(seed);
   const auto f = mesh::inject_uniform(m, rate, rng);
@@ -120,7 +118,8 @@ TEST_P(RegionSweep2D, StaircaseInvariantsHold) {
 }
 
 TEST_P(RegionSweep2D, RegionPairsAreDisjoint) {
-  const auto [size, rate, seed] = GetParam();
+  const auto [size, rate, seed, param_pairs] = GetParam();
+  (void)param_pairs;
   const mesh::Mesh2D m(size, size);
   util::Rng rng(seed + 1000);
   const auto f = mesh::inject_uniform(m, rate, rng);
@@ -200,7 +199,8 @@ TEST(MccRegion3D, ShadowSpans) {
 class RegionSweep3D : public ::testing::TestWithParam<SweepParam> {};
 
 TEST_P(RegionSweep3D, PartitionIsExact) {
-  const auto [size, rate, seed] = GetParam();
+  const auto [size, rate, seed, param_pairs] = GetParam();
+  (void)param_pairs;
   const mesh::Mesh3D m(size, size, size);
   util::Rng rng(seed);
   const auto f = mesh::inject_uniform(m, rate, rng);

@@ -19,16 +19,13 @@ using core::NodeState;
 using mesh::Coord2;
 using mesh::Coord3;
 
-struct SweepParam {
-  int size;
-  double rate;
-  uint64_t seed;
-};
+using util::SweepParam;  // the shared sweep cell (scenario.h); pairs unused
 
 class ProtoLabelSweep2D : public ::testing::TestWithParam<SweepParam> {};
 
 TEST_P(ProtoLabelSweep2D, MatchesCentralizedLabels) {
-  const auto [size, rate, seed] = GetParam();
+  const auto [size, rate, seed, param_pairs] = GetParam();
+  (void)param_pairs;
   const mesh::Mesh2D m(size, size);
   util::Rng rng(seed);
   const auto f = mesh::inject_uniform(m, rate, rng);
@@ -87,7 +84,8 @@ TEST_P(ProtoLabelSweep2D, MatchesCentralizedLabels) {
 }
 
 TEST_P(ProtoLabelSweep2D, NeighborhoodExchangeGivesDiagonals) {
-  const auto [size, rate, seed] = GetParam();
+  const auto [size, rate, seed, param_pairs] = GetParam();
+  (void)param_pairs;
   const mesh::Mesh2D m(size, size);
   util::Rng rng(seed + 40);
   const auto f = mesh::inject_uniform(m, rate, rng);
@@ -116,7 +114,8 @@ INSTANTIATE_TEST_SUITE_P(
 class ProtoLabelSweep3D : public ::testing::TestWithParam<SweepParam> {};
 
 TEST_P(ProtoLabelSweep3D, MatchesCentralizedLabels) {
-  const auto [size, rate, seed] = GetParam();
+  const auto [size, rate, seed, param_pairs] = GetParam();
+  (void)param_pairs;
   const mesh::Mesh3D m(size, size, size);
   util::Rng rng(seed);
   const auto f = mesh::inject_uniform(m, rate, rng);
@@ -196,7 +195,8 @@ class ProtoIdentSweep : public ::testing::TestWithParam<SweepParam> {};
 // the mesh edge (edge-touching rings are broken; the paper leaves them
 // open and the protocol discards them).
 TEST_P(ProtoIdentSweep, ShapesMatchCentralizedEightConnected) {
-  const auto [size, rate, seed] = GetParam();
+  const auto [size, rate, seed, param_pairs] = GetParam();
+  (void)param_pairs;
   const mesh::Mesh2D m(size, size);
   util::Rng rng(seed);
   const auto f = mesh::inject_uniform(m, rate, rng);
@@ -297,7 +297,8 @@ class ProtoRouteSweep : public ::testing::TestWithParam<SweepParam> {};
 // Configurations where any region corner is swallowed by a diagonal
 // neighbor are skipped (known distributed-layer limitation; DESIGN.md §8).
 TEST_P(ProtoRouteSweep, DeliversMinimalWheneverFeasible) {
-  const auto [size, rate, seed] = GetParam();
+  const auto [size, rate, seed, param_pairs] = GetParam();
+  (void)param_pairs;
   const mesh::Mesh2D m(size, size);
   util::Rng rng(seed);
   // Keep a one-node clear border so no region touches a mesh edge (the

@@ -1,0 +1,234 @@
+// bench_trend — the CI trend gate over emitted experiment JSON.
+//
+//   bench_trend <baseline.json> <candidate.json>
+//
+// Compares a freshly emitted document (mcc.bench/1, mcc.run_report/1 or
+// mcc.campaign/1) against the committed baseline under bench/baselines/:
+// every structural field, table cell and metric must match EXACTLY —
+// except timing-valued columns/metrics (wall-clock measurements: headers
+// or metric names with an ms/us/ns token, "time" or "speedup"), which are
+// reported informationally but never fail the gate. Simulated-time values
+// (latency in cycles, delivered counts) are deterministic and stay exact.
+//
+// Exit codes: 0 = no drift (timing diffs allowed), 1 = metric drift,
+// 2 = usage / IO / parse / schema error.
+//
+// Baselines are generated at the CI smoke shape (deterministic: one
+// Monte-Carlo repetition, bit-stable simulators); to regenerate after an
+// intentional change, re-run the bench with MCC_SMOKE=1 (or the campaign
+// with smoke=1) and copy the emitted JSON over the baseline.
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/run_report.h"
+
+namespace {
+
+using mcc::api::Json;
+
+int g_drift = 0;
+int g_timing = 0;
+
+void drift(const std::string& where, const std::string& what) {
+  std::cerr << "DRIFT " << where << ": " << what << "\n";
+  ++g_drift;
+}
+
+void timing_note(const std::string& where, const std::string& what) {
+  std::cout << "note (timing) " << where << ": " << what << "\n";
+  ++g_timing;
+}
+
+/// True for labels that measure wall-clock: an isolated ms/us/ns/time/
+/// speedup token ("incr ms/ev", "mean_speedup" — but not "label msgs" or
+/// a hypothetical "timeline events", which stay exact).
+bool is_timing_label(const std::string& label) {
+  std::string token;
+  const auto check = [&token] {
+    return token == "ms" || token == "us" || token == "ns" ||
+           token == "time" || token == "speedup";
+  };
+  for (const char c : label) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      token += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      if (check()) return true;
+      token.clear();
+    }
+  }
+  return check();
+}
+
+Json load(const std::string& path, bool& ok) {
+  ok = false;
+  std::ifstream f(path);
+  if (!f) {
+    std::cerr << "bench_trend: cannot open '" << path << "'\n";
+    return Json();
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  std::string error;
+  Json doc = Json::parse(ss.str(), error);
+  if (!error.empty()) {
+    std::cerr << "bench_trend: " << path << ": JSON parse error: " << error
+              << "\n";
+    return Json();
+  }
+  const auto problems = mcc::api::validate_report_json(doc);
+  if (!problems.empty()) {
+    std::cerr << "bench_trend: " << path << ": schema violations:\n";
+    for (const auto& p : problems) std::cerr << "  - " << p << "\n";
+    return Json();
+  }
+  ok = true;
+  return doc;
+}
+
+/// Flattens a document into its run reports: a bench envelope's runs, a
+/// campaign's per-point reports, or the single report itself.
+std::vector<std::pair<std::string, const Json*>> collect_reports(
+    const Json& doc) {
+  std::vector<std::pair<std::string, const Json*>> out;
+  const std::string schema = doc.find("schema")->as_string();
+  if (schema == mcc::api::kBenchSchema) {
+    int i = 0;
+    for (const Json& run : doc.find("runs")->items())
+      out.emplace_back("runs[" + std::to_string(i++) + "]", &run);
+  } else if (schema == mcc::api::kCampaignSchema) {
+    for (const Json& pt : doc.find("points")->items())
+      out.emplace_back(
+          "point " + std::to_string(pt.find("index")->as_uint64()),
+          pt.find("report"));
+  } else {
+    out.emplace_back("report", &doc);
+  }
+  return out;
+}
+
+void compare_reports(const std::string& where, const Json& base,
+                     const Json& cand) {
+  for (const char* key : {"name", "driver"}) {
+    const std::string b = base.find(key)->as_string();
+    const std::string c = cand.find(key)->as_string();
+    if (b != c) drift(where, std::string(key) + " '" + b + "' -> '" + c + "'");
+  }
+  // A config change makes the numbers incomparable — that is drift too:
+  // either the baseline needs regenerating or the change is unintended.
+  if (base.find("config")->dump() != cand.find("config")->dump())
+    drift(where, "config echo changed (regenerate the baseline if intended)");
+  if (base.find("failed")->as_bool() != cand.find("failed")->as_bool())
+    drift(where, "failed flag changed");
+
+  const auto& bt = base.find("tables")->items();
+  const auto& ct = cand.find("tables")->items();
+  if (bt.size() != ct.size()) {
+    drift(where, "table count " + std::to_string(bt.size()) + " -> " +
+                     std::to_string(ct.size()));
+    return;
+  }
+  for (size_t t = 0; t < bt.size(); ++t) {
+    const std::string title = bt[t].find("title")->as_string();
+    const std::string tw = where + " table '" + title + "'";
+    if (title != ct[t].find("title")->as_string()) {
+      drift(tw, "title changed to '" + ct[t].find("title")->as_string() +
+                    "'");
+      continue;
+    }
+    const auto& bh = bt[t].find("headers")->items();
+    if (bt[t].find("headers")->dump() != ct[t].find("headers")->dump()) {
+      drift(tw, "headers changed");
+      continue;
+    }
+    const auto& br = bt[t].find("rows")->items();
+    const auto& cr = ct[t].find("rows")->items();
+    if (br.size() != cr.size()) {
+      drift(tw, "row count " + std::to_string(br.size()) + " -> " +
+                    std::to_string(cr.size()));
+      continue;
+    }
+    for (size_t r = 0; r < br.size(); ++r) {
+      const auto& bc = br[r].items();
+      const auto& cc = cr[r].items();
+      for (size_t col = 0; col < bc.size() && col < cc.size(); ++col) {
+        const std::string& bv = bc[col].as_string();
+        const std::string& cv = cc[col].as_string();
+        if (bv == cv) continue;
+        const std::string header = bh[col].as_string();
+        const std::string msg = "row " + std::to_string(r) + " '" + header +
+                                "': '" + bv + "' -> '" + cv + "'";
+        if (is_timing_label(header))
+          timing_note(tw, msg);
+        else
+          drift(tw, msg);
+      }
+    }
+  }
+
+  const auto& bm = base.find("metrics")->members();
+  const auto& cm = cand.find("metrics")->members();
+  if (bm.size() != cm.size()) {
+    drift(where, "metric count changed");
+    return;
+  }
+  for (size_t i = 0; i < bm.size(); ++i) {
+    if (bm[i].first != cm[i].first) {
+      drift(where, "metric '" + bm[i].first + "' -> '" + cm[i].first + "'");
+      continue;
+    }
+    if (bm[i].second.dump() == cm[i].second.dump()) continue;
+    const std::string msg = "metric '" + bm[i].first + "': " +
+                            bm[i].second.dump() + " -> " +
+                            cm[i].second.dump();
+    if (is_timing_label(bm[i].first))
+      timing_note(where, msg);
+    else
+      drift(where, msg);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: bench_trend <baseline.json> <candidate.json>\n";
+    return 2;
+  }
+  bool ok = false;
+  const Json base = load(argv[1], ok);
+  if (!ok) return 2;
+  const Json cand = load(argv[2], ok);
+  if (!ok) return 2;
+
+  const std::string bs = base.find("schema")->as_string();
+  const std::string cs = cand.find("schema")->as_string();
+  if (bs != cs) {
+    std::cerr << "bench_trend: schema mismatch (" << bs << " vs " << cs
+              << ")\n";
+    return 2;
+  }
+
+  const auto breps = collect_reports(base);
+  const auto creps = collect_reports(cand);
+  if (breps.size() != creps.size())
+    drift("document", "run/point count " + std::to_string(breps.size()) +
+                          " -> " + std::to_string(creps.size()));
+  const size_t n = std::min(breps.size(), creps.size());
+  for (size_t i = 0; i < n; ++i)
+    compare_reports(breps[i].first, *breps[i].second, *creps[i].second);
+
+  if (g_drift != 0) {
+    std::cerr << "bench_trend: " << argv[2] << ": " << g_drift
+              << " metric drift(s) vs " << argv[1] << "\n";
+    return 1;
+  }
+  std::cout << argv[2] << ": no metric drift vs baseline";
+  if (g_timing != 0)
+    std::cout << " (" << g_timing << " timing diffs, informational)";
+  std::cout << "\n";
+  return 0;
+}

@@ -1,26 +1,41 @@
 // mcc_run — the one front door to every experiment in this repository.
 //
-//   mcc_run [config.cfg] [key=value ...]   run a scenario
+//   mcc_run [config.cfg] [key=value ...]   run a scenario or a campaign
+//   mcc_run --jobs N cfg [k=v ...]         campaign across N local workers
+//   mcc_run --shard i/N cfg [k=v ...]      run one campaign shard (partial)
+//   mcc_run --merge out.json part.json...  merge shard partials
 //   mcc_run --list                         show registries + key reference
 //   mcc_run --dump-config [cfg] [k=v ...]  print the resolved config, no run
-//   mcc_run --validate report.json         schema-check an emitted JSON file
+//   mcc_run --validate file                schema-check a JSON report, or
+//                                          validate a .cfg (campaigns show
+//                                          their expanded point count)
 //
-// Exit codes: 0 success, 1 run failed (deadlock/violation/undelivered),
-// 2 configuration error, 3 validation error.
+// A configuration with sweep.* axes is a campaign: the grid expands to one
+// Experiment per point (deterministic per-point seeds derived from the
+// coordinates), runs serially / sharded / forked, and the merged
+// mcc.campaign/1 JSON is byte-identical for every shard count.
+//
+// Exit codes: 0 success, 1 run failed (deadlock/violation/failed point),
+// 2 configuration error, 3 validation/merge error.
 //
 // Any combination the registries span works without new C++, e.g.
 //   mcc_run dims=2 driver=wormhole_churn fault_model=dynamic
-//           policy=fault_block traffic=hotspot fault_rate=0.05
+//           policy=fault_block traffic=hotspot sweep.churn=1,5,20
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "api/campaign.h"
 #include "api/experiment.h"
 
 namespace {
 
+using mcc::api::Campaign;
 using mcc::api::Configuration;
 using mcc::api::Json;
 
@@ -49,10 +64,21 @@ int list_registries() {
   }
   std::cout << "\nsmoke.<key> = <value> pins the value a key takes when "
                "smoke=1 (CI smoke shape).\n";
+  std::cout << "\ncampaign grids (sweep expansion, mcc.campaign/1 output):\n"
+               "  sweep.<key> = v1, v2, ...          cartesian axis over "
+               "<key> (first-declared axis varies slowest)\n"
+               "  sweep.zip.<g>.<key> = v1, v2, ...  axes of group <g> "
+               "advance together (equal lengths)\n"
+               "  smoke.sweep.<key> = ...            smoke-mode pin of a "
+               "sweep axis\n"
+               "Elements split on ';' when present, else on ',' (';' lets "
+               "list-typed keys sweep whole lists).\n"
+               "max_points= caps the expansion; --shard i/N and --jobs N "
+               "shard the run; --merge combines partials.\n";
   return 0;
 }
 
-int validate_file(const std::string& path) {
+int validate_json_file(const std::string& path) {
   std::ifstream f(path);
   if (!f) {
     std::cerr << "mcc_run: cannot open '" << path << "'\n";
@@ -78,15 +104,94 @@ int validate_file(const std::string& path) {
   return 0;
 }
 
+/// Validates a configuration file: single scenarios resolve against the
+/// registries, campaigns additionally expand (reporting the point count
+/// and tripping on cartesian blow-ups past max_points=).
+int validate_config_file(const std::string& path) {
+  try {
+    Configuration cfg;
+    cfg.load_file(path);
+    if (cfg.has_sweeps()) {
+      const Campaign campaign(std::move(cfg));
+      std::cout << path << ": valid campaign — "
+                << campaign.points().size() << " points over "
+                << campaign.axes().size() << " axes (";
+      bool first = true;
+      for (const auto& axis : campaign.axes()) {
+        if (!first) std::cout << " x ";
+        std::cout << axis.label << "[" << axis.points.size() << "]";
+        first = false;
+      }
+      std::cout << ")\n";
+    } else {
+      const mcc::api::Experiment exp(std::move(cfg));
+      std::cout << path << ": valid scenario (driver "
+                << exp.scenario().driver << ")\n";
+    }
+    return 0;
+  } catch (const mcc::api::ConfigError& e) {
+    std::cerr << "mcc_run: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+int merge_partials(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    std::cerr << "usage: mcc_run --merge out.json partial.json...\n";
+    return 3;
+  }
+  try {
+    std::vector<Json> partials;
+    for (size_t i = 1; i < args.size(); ++i) {
+      std::ifstream f(args[i]);
+      if (!f) {
+        std::cerr << "mcc_run: cannot open '" << args[i] << "'\n";
+        return 3;
+      }
+      std::ostringstream ss;
+      ss << f.rdbuf();
+      std::string error;
+      Json doc = Json::parse(ss.str(), error);
+      if (!error.empty()) {
+        std::cerr << "mcc_run: " << args[i] << ": JSON parse error: "
+                  << error << "\n";
+        return 3;
+      }
+      partials.push_back(std::move(doc));
+    }
+    const Json merged = Campaign::merge(partials);
+    // Merge only checks headers and index coverage; a hand-edited or
+    // truncated partial can still carry malformed points. That is bad
+    // input, not an internal bug — report it on the 3 exit path.
+    const auto problems = mcc::api::validate_report_json(merged);
+    if (!problems.empty()) {
+      std::cerr << "mcc_run: merged campaign violates its schema (bad "
+                   "partial input?):\n";
+      for (const auto& p : problems) std::cerr << "  - " << p << "\n";
+      return 3;
+    }
+    std::ofstream out(args[0]);
+    if (!out) {
+      std::cerr << "mcc_run: cannot write '" << args[0] << "'\n";
+      return 3;
+    }
+    out << merged.dump_pretty();
+    Campaign::render_summary(merged, std::cout);
+    return 0;
+  } catch (const mcc::api::ConfigError& e) {
+    std::cerr << "mcc_run: " << e.what() << "\n";
+    return 3;
+  }
+}
+
 // An argument is an override only when the text before '=' is a real
-// config key (or a smoke.* pin); anything else — including a config-file
-// path that happens to contain '=' — is treated as a file.
+// config key (or a smoke./sweep. prefixed form of one); anything else —
+// including a config-file path that happens to contain '=' — is treated
+// as a file.
 bool is_override(const std::string& a) {
   const size_t eq = a.find('=');
   if (eq == std::string::npos) return false;
-  std::string key = a.substr(0, eq);
-  if (key.rfind("smoke.", 0) == 0) key = key.substr(6);
-  return Configuration::schema().count(key) != 0;
+  return Configuration::is_valid_key_name(a.substr(0, eq));
 }
 
 Configuration parse_command_line(const std::vector<std::string>& args) {
@@ -112,37 +217,145 @@ Configuration parse_command_line(const std::vector<std::string>& args) {
   return cfg;
 }
 
+/// Whole-string positive int parse — rejects trailing garbage ("2.5",
+/// "4x") that std::stoi would silently truncate.
+bool parse_positive_int(const std::string& text, int& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0') return false;
+  if (v < 1 || v > std::numeric_limits<int>::max()) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+bool parse_shard(const std::string& text, int& shard, int& count) {
+  const size_t slash = text.find('/');
+  if (slash == std::string::npos) return false;
+  return parse_positive_int(text.substr(0, slash), shard) &&
+         parse_positive_int(text.substr(slash + 1), count) && shard <= count;
+}
+
+/// Runs a campaign: serial, one shard, or forked across --jobs workers.
+/// Writes the mcc.campaign/1 document to campaign_json= (falling back to
+/// report_json=, so generic preset harnesses work unchanged).
+int run_campaign(Configuration cfg, int shard, int shard_count, int jobs) {
+  if (shard_count > 1 && jobs > 1) {
+    std::cerr << "mcc_run: --shard runs one partial serially; --jobs "
+                 "parallelizes a whole-campaign run — drop one of the two "
+                 "flags\n";
+    return 2;
+  }
+  Campaign campaign(std::move(cfg));
+  const bool partial = shard_count > 1;
+  const std::string path = campaign.json_path();
+  if (partial && path.empty()) {
+    std::cerr << "mcc_run: --shard needs campaign_json= (or report_json=) "
+                 "to write the partial document\n";
+    return 2;
+  }
+
+  std::vector<Campaign::PointResult> results;
+  Json doc;
+  if (partial) {
+    results = campaign.run_shard(shard, shard_count, &std::cout);
+    doc = campaign.to_json(results, shard, shard_count);
+  } else {
+    results = campaign.run(jobs, &std::cout);
+    doc = Campaign::merge({campaign.to_json(results, 1, 1)});
+  }
+  const auto problems = mcc::api::validate_report_json(doc);
+  if (!problems.empty())
+    throw std::logic_error("campaign JSON failed its own schema: " +
+                           problems.front());
+  if (!path.empty()) {
+    std::ofstream f(path);
+    if (!f) throw mcc::api::ConfigError("config: cannot write '" + path +
+                                        "'");
+    f << doc.dump_pretty();
+  }
+  Campaign::render_summary(doc, std::cout);
+
+  bool failed = false;
+  for (const auto& r : results) failed = failed || r.failed;
+  if (failed) {
+    std::cerr << "mcc_run: campaign has failed points (see the summary "
+                 "table and the JSON failure flags)\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   bool dump_only = false;
+  int shard = 1, shard_count = 1, jobs = 1;
 
   if (!args.empty() && args[0] == "--list") return list_registries();
   if (!args.empty() && args[0] == "--validate") {
     if (args.size() != 2) {
-      std::cerr << "usage: mcc_run --validate report.json\n";
+      std::cerr << "usage: mcc_run --validate <report.json | config.cfg>\n";
       return 3;
     }
-    return validate_file(args[1]);
+    const std::string& path = args[1];
+    const bool is_cfg =
+        path.size() >= 4 && path.compare(path.size() - 4, 4, ".cfg") == 0;
+    return is_cfg ? validate_config_file(path) : validate_json_file(path);
   }
-  if (!args.empty() && args[0] == "--dump-config") {
-    dump_only = true;
-    args.erase(args.begin());
+  if (!args.empty() && args[0] == "--merge")
+    return merge_partials({args.begin() + 1, args.end()});
+
+  // Flags may appear anywhere before/between config tokens.
+  std::vector<std::string> rest;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--dump-config") {
+      dump_only = true;
+    } else if (args[i] == "--shard" && i + 1 < args.size()) {
+      if (!parse_shard(args[++i], shard, shard_count)) {
+        std::cerr << "mcc_run: --shard expects i/N with 1 <= i <= N\n";
+        return 2;
+      }
+    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      if (!parse_positive_int(args[++i], jobs)) {
+        std::cerr << "mcc_run: --jobs expects a positive worker count\n";
+        return 2;
+      }
+    } else {
+      rest.push_back(args[i]);
+    }
   }
-  if (args.empty()) {
-    std::cerr << "usage: mcc_run [--list | --validate file | --dump-config] "
+  if (rest.empty()) {
+    std::cerr << "usage: mcc_run [--list | --validate file | --merge out "
+                 "partials... | --dump-config | --shard i/N | --jobs N] "
                  "[config.cfg] [key=value ...]\n";
     return 2;
   }
 
   try {
-    Configuration cfg = parse_command_line(args);
+    Configuration cfg = parse_command_line(rest);
+    const bool campaign = cfg.has_sweeps();
     if (dump_only) {
-      mcc::api::Experiment exp(std::move(cfg));  // validates everything
-      for (const auto& [k, v] : exp.scenario().cfg->echo())
-        std::cout << k << " = " << v << "\n";
+      if (campaign) {
+        const auto echoed = cfg.echo();
+        Campaign camp(std::move(cfg));  // validates the full expansion
+        for (const auto& [k, v] : echoed) std::cout << k << " = " << v << "\n";
+        std::cout << "# campaign: " << camp.points().size() << " points\n";
+      } else {
+        mcc::api::Experiment exp(std::move(cfg));  // validates everything
+        for (const auto& [k, v] : exp.scenario().cfg->echo())
+          std::cout << k << " = " << v << "\n";
+      }
       return 0;
+    }
+    if (campaign)
+      return run_campaign(std::move(cfg), shard, shard_count, jobs);
+    if (shard_count > 1) {
+      std::cerr << "mcc_run: --shard applies to campaigns (sweep.* axes); "
+                   "this configuration is a single scenario\n";
+      return 2;
     }
     mcc::api::Experiment exp(std::move(cfg));
     const mcc::api::RunReport report = exp.run();
