@@ -1,0 +1,40 @@
+// E13 — guidance-as-a-service: sustained route/feasibility queries per
+// second and tail latency (p50/p95/p99/max) from concurrent readers over
+// RCU epoch snapshots while a writer applies live churn, plus the 2-D
+// boundary_delta replica payload.
+//
+// Thin front over the experiment API: the two scenarios live in
+// configs/e13_serve2d.cfg and e13_serve3d.cfg; this main sequences them
+// and merges the reports into BENCH_e13_serving.json. Counts (queries,
+// events, epochs, delta payload) are deterministic given the seeds;
+// QPS/latency columns vary run to run.
+#include <iostream>
+
+#include "api/experiment.h"
+
+int main() try {
+  using namespace mcc;
+  std::cout << "# E13: guidance-as-a-service — epoch-snapshot serving "
+               "under concurrent churn\n";
+
+  std::vector<api::RunReport> reports;
+  for (const char* preset : {"/e13_serve2d.cfg", "/e13_serve3d.cfg"}) {
+    api::Configuration cfg;
+    cfg.load_file(std::string(MCC_CONFIG_DIR) + preset);
+    reports.push_back(api::Experiment(std::move(cfg)).run());
+    reports.back().render(std::cout);
+  }
+
+  std::vector<const api::RunReport*> runs;
+  bool failed = false;
+  for (const api::RunReport& r : reports) {
+    runs.push_back(&r);
+    failed = failed || r.failed();
+  }
+  api::RunReport::write_bench_json("BENCH_e13_serving.json", "e13_serving",
+                                   runs);
+  return failed ? 1 : 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

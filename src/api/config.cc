@@ -293,6 +293,17 @@ const std::map<std::string, KeySpec>& Configuration::schema() {
       {"churn_horizon", {KeyType::UInt64, "0", "churn schedule horizon in cycles (0 = driver default)"}},
       {"repair_min", {KeyType::Int, "100", "minimum repair delay, cycles", 0, 100000000}},
       {"repair_max", {KeyType::Int, "1000", "maximum repair delay, cycles (0 = no repairs)", 0, 100000000}},
+      // --- serving ----------------------------------------------------------
+      {"readers", {KeyType::Int, "4", "serve_load: concurrent reader threads", 1, 256}},
+      {"queries", {KeyType::Int, "2000", "serve_load: queries per reader", 1, 100000000}},
+      {"query_mix",
+       {KeyType::String, "mixed",
+        "serve_load query mix: feasible | route | mixed"}},
+      {"target_qps", {KeyType::Double, "0", "serve_load aggregate query-rate cap (0 = unthrottled)", 0, 1000000000}},
+      {"event_interval_us",
+       {KeyType::Int, "0",
+        "serve_load: writer pause between fault events, microseconds "
+        "(0 = back-to-back)", 0, 100000000}},
   };
   return kSchema;
 }

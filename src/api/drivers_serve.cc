@@ -1,0 +1,193 @@
+// serve_load (E13): the Guidance-as-a-service workload through the front
+// door. One writer thread applies the churn timeline to the serve layer's
+// RCU snapshot store while `readers` threads answer `queries` route/
+// feasibility queries each against their current epoch snapshot.
+//
+// Report discipline (bench_trend gates this run): counts that depend only
+// on the seeds — queries, events, epochs, the 2-D delta payload — are
+// exact metrics/columns; anything wall-clock or interleaving dependent
+// (QPS, latency percentiles, epoch lag, buffer growth) is either a
+// timing-labelled column/metric (informational for the gate) or a note.
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "api/experiment.h"
+#include "serve/load.h"
+#include "util/table.h"
+
+namespace mcc::api {
+
+namespace {
+
+serve::LoadConfig make_load_config(const Scenario& scn) {
+  serve::LoadConfig cfg;
+  cfg.readers = scn.readers;
+  cfg.queries_per_reader = static_cast<uint64_t>(scn.queries);
+  if (!serve::parse_query_mix(scn.query_mix, cfg.mix))
+    throw ConfigError("config: query_mix must be feasible | route | mixed "
+                      "(got '" + scn.query_mix + "')");
+  cfg.target_qps = scn.target_qps;
+  cfg.event_interval_us = static_cast<uint64_t>(scn.event_interval_us);
+  cfg.seed = scn.seed;
+  cfg.policy = scn.route_policy;
+  const PolicySpec& p = scn.policy_spec(scn.policy);
+  if (!p.router_kind2d.has_value() || !p.router_kind3d.has_value())
+    throw ConfigError("config: serve_load answers queries with the core "
+                      "router; use policy oracle | model | labels_only");
+  cfg.kind2d = *p.router_kind2d;
+  cfg.kind3d = *p.router_kind3d;
+  return cfg;
+}
+
+util::ChurnParams churn_params(const Scenario& scn) {
+  if (scn.churn.size() != 1)
+    throw ConfigError(
+        "config: serve_load runs one churn process; give a single churn "
+        "value");
+  util::ChurnParams p;
+  p.rate = scn.churn.front() / 1000.0;
+  p.horizon = scn.churn_horizon != 0 ? scn.churn_horizon : 2000;
+  p.repair_min = static_cast<uint64_t>(scn.repair_min);
+  p.repair_max = static_cast<uint64_t>(scn.repair_max);
+  return p;
+}
+
+/// Human-facing latency histogram (text block: rendered, never in JSON).
+std::string render_histogram(const serve::LatencyHist& h) {
+  struct Bin {
+    uint64_t lo, hi, count;
+  };
+  std::vector<Bin> bins;
+  const auto& b = h.buckets();
+  size_t i = 0;
+  for (uint64_t lo = 0, hi = 1; i < b.size(); lo = hi, hi *= 2) {
+    uint64_t count = 0;
+    for (; i < b.size() && i < hi; ++i) count += b[i];
+    bins.push_back({lo, hi, count});
+  }
+  while (!bins.empty() && bins.back().count == 0) bins.pop_back();
+  uint64_t peak = 1;
+  for (const Bin& bin : bins) peak = std::max(peak, bin.count);
+  std::ostringstream os;
+  os << "latency histogram (us, power-of-two bins):\n";
+  for (const Bin& bin : bins) {
+    const auto width = static_cast<size_t>(bin.count * 40 / peak);
+    std::string label =
+        "  [" + std::to_string(bin.lo) + "," + std::to_string(bin.hi) + ")";
+    label.resize(std::max<size_t>(label.size() + 1, 16), ' ');
+    os << label << std::string(width, '#') << " " << bin.count << "\n";
+  }
+  if (h.overflow() != 0)
+    os << "  >= " << b.size() << ": " << h.overflow() << "\n";
+  return os.str();
+}
+
+template <class Mesh, class Faults, class Timeline>
+void run_serve_load(const Scenario& scn, RunReport& report, const Mesh& mesh,
+                    const Faults& initial, const Timeline& timeline) {
+  const serve::LoadConfig cfg = make_load_config(scn);
+  const serve::LoadResult r = run_load(mesh, initial, timeline, cfg);
+
+  std::ostringstream head;
+  head << "\n## " << scn.name << ": guidance-as-a-service — 1 writer / "
+       << r.readers.size() << " readers, epoch snapshots under churn ("
+       << r.events_applied << " events applied, final epoch "
+       << r.final_epoch << ")\n\n";
+  report.text(head.str());
+
+  util::Table& t = report.table(
+      "serve_readers",
+      {"reader", "queries", "p50 us", "p95 us", "p99 us", "max us"});
+  for (size_t i = 0; i < r.readers.size(); ++i) {
+    const serve::ReaderResult& me = r.readers[i];
+    t.add_row({std::to_string(i), std::to_string(me.queries),
+               std::to_string(me.latency.percentile(0.50)),
+               std::to_string(me.latency.percentile(0.95)),
+               std::to_string(me.latency.percentile(0.99)),
+               std::to_string(me.latency.max())});
+  }
+  std::string hist = "\n";
+  hist += render_histogram(r.latency);
+  report.text(hist);
+
+  // Deterministic counters: the bench_trend gate compares these exactly.
+  report.metric("readers", static_cast<double>(r.readers.size()));
+  report.metric("queries_total", static_cast<double>(r.queries_total));
+  report.metric("events_total", static_cast<double>(r.events_total));
+  report.metric("events_applied", static_cast<double>(r.events_applied));
+  report.metric("final_epoch", static_cast<double>(r.final_epoch));
+  report.metric("publishes", static_cast<double>(r.publishes));
+  if (r.replica_checked) {
+    report.metric("delta_payload_ints",
+                  static_cast<double>(r.delta_payload_ints));
+    report.metric("replica_records", static_cast<double>(r.replica_records));
+  }
+
+  // Wall-clock measurements: timing-labelled, informational for the gate.
+  report.metric("qps_time", r.qps);
+  report.metric("wall_ms", r.wall_seconds * 1000.0);
+  report.metric("p50_us", static_cast<double>(r.latency.percentile(0.50)));
+  report.metric("p95_us", static_cast<double>(r.latency.percentile(0.95)));
+  report.metric("p99_us", static_cast<double>(r.latency.percentile(0.99)));
+  report.metric("max_us", static_cast<double>(r.latency.max()));
+  report.metric("mean_us", r.latency.mean());
+
+  // Interleaving-dependent observability counters -> notes (reported,
+  // serialized, never compared).
+  uint64_t feasible_yes = 0, routed = 0, delivered = 0;
+  for (const serve::ReaderResult& me : r.readers) {
+    feasible_yes += me.feasible_yes;
+    routed += me.routed;
+    delivered += me.delivered;
+  }
+  report.note("max_reader_lag=" + std::to_string(r.max_reader_lag));
+  report.note("snapshot_buffers=" + std::to_string(r.buffers));
+  report.note("buffers_grown=" + std::to_string(r.buffers_grown));
+  report.note("feasible_yes=" + std::to_string(feasible_yes));
+  report.note("routed=" + std::to_string(routed));
+  report.note("delivered=" + std::to_string(delivered));
+
+  if (r.replica_checked && !r.replica_consistent)
+    report.fail("boundary_delta replica diverged from the authoritative "
+                "boundary records");
+  // Oracle/Model guidance delivers every feasible pair (labels_only may
+  // legitimately wedge — see the router ablation).
+  if (scn.policy != "labels_only" && routed != delivered)
+    report.fail("a feasible routed query was not delivered");
+}
+
+void serve_load_driver(const Scenario& scn, RunReport& report) {
+  if (!scn.dynamic)
+    throw ConfigError(
+        "config: serve_load serves snapshots of the dynamic runtime; set "
+        "fault_model=dynamic");
+  const util::ChurnParams p = churn_params(scn);
+  if (scn.dims == 2) {
+    const mesh::Mesh2D mesh = scn.mesh2();
+    util::Rng rng(scn.seed + 0xE13);
+    const mesh::FaultSet2D initial = scn.make_faults2(mesh, rng);
+    const auto timeline =
+        runtime::FaultTimeline2D::sample(mesh, initial, rng, p);
+    run_serve_load(scn, report, mesh, initial, timeline);
+  } else {
+    const mesh::Mesh3D mesh = scn.mesh3();
+    util::Rng rng(scn.seed + 0xE13);
+    const mesh::FaultSet3D initial = scn.make_faults3(mesh, rng);
+    const auto timeline =
+        runtime::FaultTimeline3D::sample(mesh, initial, rng, p);
+    run_serve_load(scn, report, mesh, initial, timeline);
+  }
+}
+
+}  // namespace
+
+void register_serve_drivers() {
+  drivers().add("serve_load",
+                serve_load_driver,
+                "guidance-as-a-service: reader threads answering route/"
+                "feasibility queries against RCU epoch snapshots under "
+                "live churn (E13)");
+}
+
+}  // namespace mcc::api

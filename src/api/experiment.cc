@@ -473,6 +473,12 @@ Scenario build_scenario(const Configuration& cfg) {
   s.repair_min = cfg.get_int("repair_min");
   s.repair_max = cfg.get_int("repair_max");
 
+  s.readers = cfg.get_int("readers");
+  s.queries = cfg.get_int("queries");
+  s.query_mix = cfg.get_string("query_mix");
+  s.target_qps = cfg.get_double("target_qps");
+  s.event_interval_us = cfg.get_int("event_interval_us");
+
   s.trials = cfg.get_int("trials");
   s.pairs = cfg.get_int("pairs");
   s.min_distance = cfg.get_int("min_distance");

@@ -144,6 +144,12 @@ struct Scenario {
   uint64_t churn_horizon = 0;
   int repair_min = 100, repair_max = 1000;
 
+  // serve_load (Guidance-as-a-service harness).
+  int readers = 4, queries = 2000;
+  std::string query_mix = "mixed";
+  double target_qps = 0;
+  int event_interval_us = 0;
+
   int trials = 25, pairs = 25, min_distance = 4;
 
   // Mesh shapes (k or the explicit overrides).

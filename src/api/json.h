@@ -3,7 +3,8 @@
 // preserve insertion order so emitted reports are stable byte-for-byte
 // given the same inputs (the differential tests depend on it). This is not
 // a general-purpose JSON library — it supports exactly what the report
-// schema needs (no \uXXXX escapes beyond pass-through, no comments).
+// schema needs (\uXXXX escapes, surrogate pairs included, decode to
+// UTF-8 on parse; no comments).
 #pragma once
 
 #include <cstdint>

@@ -6,16 +6,20 @@
 // can never be served across a fault/repair boundary — invalidation is by
 // construction, not by tracking. Entries are spread over independently
 // locked shards (key-hash striping) so concurrent per-hop consumers — the
-// wormhole's routing functions, parallel sweep workers — contend only when
-// they hash to the same shard; a miss builds the field while holding that
-// shard's lock, which also deduplicates concurrent builds of the same
-// destination. Each shard evicts LRU beyond its capacity slice.
+// wormhole's routing functions, parallel sweep workers, serve readers —
+// contend only when they hash to the same shard. A miss builds the field
+// *outside* the shard lock: the missing caller registers a per-key
+// in-flight latch, drops the lock, builds, then publishes — so distinct
+// destinations that stripe to the same shard build concurrently, while
+// concurrent misses of the *same* key block on the latch and share the
+// one build. Each shard evicts LRU beyond its capacity slice.
 //
 // The CI ThreadSanitizer job drives GuidanceCacheConcurrent.* in
 // tests/test_runtime.cc against exactly this code.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -49,40 +53,60 @@ class GuidanceCacheT {
   }
 
   /// Returns the field for (epoch, octant, dest), building it via
-  /// `build()` (which must return a Field) on a miss. The returned
-  /// shared_ptr stays valid after eviction.
+  /// `build()` (which must return a Field) on a miss. The build runs
+  /// without the shard lock held; a per-key latch deduplicates
+  /// concurrent builds of the same key. The returned shared_ptr stays
+  /// valid after eviction.
   template <class Build>
   std::shared_ptr<const Field> get_or_build(uint64_t epoch, int octant,
                                             size_t dest, Build&& build) {
     const Key key{epoch, static_cast<uint32_t>(octant),
                   static_cast<uint64_t>(dest)};
     Shard& s = *shards_[shard_of(key)];
-    std::lock_guard<std::mutex> lock(s.mu);
-    auto it = s.map.find(key);
-    if (it != s.map.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      s.lru.splice(s.lru.begin(), s.lru, it->second.where);
-      return it->second.field;
+    for (;;) {
+      std::shared_ptr<Latch> latch;
+      {
+        std::unique_lock<std::mutex> lock(s.mu);
+        auto it = s.map.find(key);
+        if (it != s.map.end()) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          s.lru.splice(s.lru.begin(), s.lru, it->second.where);
+          return it->second.field;
+        }
+        auto bit = s.building.find(key);
+        if (bit == s.building.end()) {
+          latch = std::make_shared<Latch>();
+          s.building.emplace(key, latch);
+          lock.unlock();
+          return run_build(s, key, std::move(latch),
+                           std::forward<Build>(build));
+        }
+        latch = bit->second;
+      }
+      // Someone else is building this exact key: wait on its latch and
+      // share the result (counted as a hit — one build served N calls).
+      std::unique_lock<std::mutex> lk(latch->mu);
+      latch->cv.wait(lk, [&] { return latch->ready; });
+      if (!latch->failed) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return latch->field;
+      }
+      // The builder threw; retry from scratch (stats counted on the
+      // path that finally produces a field).
     }
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    auto field = std::make_shared<const Field>(build());
-    s.lru.push_front(key);
-    s.map.emplace(key, Entry{field, s.lru.begin()});
-    while (s.map.size() > per_shard_cap_) {
-      s.map.erase(s.lru.back());
-      s.lru.pop_back();
-      evictions_.fetch_add(1, std::memory_order_relaxed);
-    }
-    return field;
   }
 
   /// Drops every entry (the dynamic model calls this on each event: all
   /// cached fields carry a pre-bump epoch and could never be hit again).
+  /// In-flight builds are deregistered too: their waiters still receive
+  /// the built field through the latch, but the stale-epoch result is
+  /// not inserted.
   void clear() {
     for (auto& sp : shards_) {
       std::lock_guard<std::mutex> lock(sp->mu);
       sp->map.clear();
       sp->lru.clear();
+      sp->building.clear();
     }
   }
 
@@ -130,14 +154,74 @@ class GuidanceCacheT {
     std::shared_ptr<const Field> field;
     typename std::list<Key>::iterator where;
   };
+  /// One in-flight build: the builder publishes through `field`/`ready`,
+  /// waiters block on `cv`. Lives on past clear() via shared_ptr.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::shared_ptr<const Field> field;
+    bool ready = false;
+    bool failed = false;
+  };
   struct Shard {
     mutable std::mutex mu;
     std::list<Key> lru;  // front = most recently used
     std::unordered_map<Key, Entry, KeyHash> map;
+    std::unordered_map<Key, std::shared_ptr<Latch>, KeyHash> building;
   };
 
   size_t shard_of(const Key& k) const {
     return KeyHash{}(k) % shards_.size();
+  }
+
+  /// The miss path, entered with this thread registered as the builder
+  /// for `key` and the shard lock released. Builds, re-locks to publish
+  /// into the LRU (unless clear() deregistered the build meanwhile),
+  /// then wakes any same-key waiters.
+  template <class Build>
+  std::shared_ptr<const Field> run_build(Shard& s, const Key& key,
+                                         std::shared_ptr<Latch> latch,
+                                         Build&& build) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<const Field> field;
+    try {
+      field = std::make_shared<const Field>(build());
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(s.mu);
+        auto cur = s.building.find(key);
+        if (cur != s.building.end() && cur->second == latch)
+          s.building.erase(cur);
+      }
+      {
+        std::lock_guard<std::mutex> lk(latch->mu);
+        latch->failed = true;
+        latch->ready = true;
+      }
+      latch->cv.notify_all();
+      throw;
+    }
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      auto cur = s.building.find(key);
+      if (cur != s.building.end() && cur->second == latch) {
+        s.building.erase(cur);
+        s.lru.push_front(key);
+        s.map.emplace(key, Entry{field, s.lru.begin()});
+        while (s.map.size() > per_shard_cap_) {
+          s.map.erase(s.lru.back());
+          s.lru.pop_back();
+          evictions_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(latch->mu);
+      latch->field = field;
+      latch->ready = true;
+    }
+    latch->cv.notify_all();
+    return field;
   }
 
   size_t per_shard_cap_;

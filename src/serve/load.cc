@@ -1,0 +1,228 @@
+#include "serve/load.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "proto/boundary_delta.h"
+#include "util/rng.h"
+
+namespace mcc::serve {
+
+void LatencyHist::add(uint64_t us) {
+  if (us < counts_.size())
+    ++counts_[us];
+  else
+    ++overflow_;
+  ++count_;
+  sum_ += static_cast<double>(us);
+  max_ = std::max(max_, us);
+}
+
+void LatencyHist::merge(const LatencyHist& other) {
+  if (counts_.size() < other.counts_.size())
+    counts_.resize(other.counts_.size(), 0);
+  for (size_t i = 0; i < other.counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+uint64_t LatencyHist::percentile(double p) const {
+  if (count_ == 0) return 0;
+  const auto want = static_cast<uint64_t>(
+      p * static_cast<double>(count_) + 0.5);
+  uint64_t seen = 0;
+  for (size_t us = 0; us < counts_.size(); ++us) {
+    seen += counts_[us];
+    if (seen >= want) return us;
+  }
+  return counts_.size();  // landed in the overflow bucket
+}
+
+bool parse_query_mix(const std::string& text, QueryMix& out) {
+  if (text == "feasible") out = QueryMix::Feasible;
+  else if (text == "route") out = QueryMix::Route;
+  else if (text == "mixed") out = QueryMix::Mixed;
+  else return false;
+  return true;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Writer-side consumer of the 2-D boundary_delta stream: a passive
+/// canonical-quadrant record replica kept consistent by apply() alone,
+/// verified record-for-record against the final snapshot.
+struct ReplicaFeed2D {
+  explicit ReplicaFeed2D(const mesh::Mesh2D& mesh) : replica(mesh) {}
+
+  void seed(const runtime::DynamicModel2D& model) {
+    replica.snapshot(model.octant(canon).boundary);
+  }
+  void on_event(const runtime::DynamicModel2D& model,
+                const runtime::DynamicModel2D::EventReport& report) {
+    const proto::BoundaryDelta delta = proto::make_boundary_delta(
+        model.octant(canon).boundary, report.octants[canon.id()].boundary);
+    payload += delta.payload_ints();
+    replica.apply(delta);
+  }
+  void finish(const mesh::Mesh2D& mesh,
+              const runtime::DynamicModel2D& model, LoadResult& out) const {
+    const core::Boundary2D& auth = model.octant(canon).boundary;
+    out.replica_checked = true;
+    out.delta_payload_ints = payload;
+    out.replica_records = replica.record_count();
+    bool ok = replica.record_count() == auth.record_count();
+    using CanonRec = std::pair<std::pair<int, int>, std::vector<int>>;
+    for (size_t i = 0; ok && i < mesh.node_count(); ++i) {
+      const mesh::Coord2 c = mesh.coord(i);
+      std::vector<CanonRec> a, r;
+      for (const core::Record2D& rec : auth.records_at(c))
+        a.push_back({{rec.owner, static_cast<int>(rec.guard)}, *rec.chain});
+      for (const auto& rec : replica.records_at(c))
+        r.push_back({{rec.owner, static_cast<int>(rec.guard)}, rec.chain});
+      std::sort(a.begin(), a.end());
+      std::sort(r.begin(), r.end());
+      ok = a == r;
+    }
+    out.replica_consistent = ok;
+  }
+
+  const mesh::Octant2 canon{false, false};
+  proto::RecordReplica2D replica;
+  size_t payload = 0;
+};
+
+struct NoReplicaFeed {
+  template <class Model>
+  void seed(const Model&) {}
+  template <class Model, class Report>
+  void on_event(const Model&, const Report&) {}
+  template <class Mesh, class Model>
+  void finish(const Mesh&, const Model&, LoadResult&) const {}
+};
+
+template <class T, class Feed>
+LoadResult run_load_impl(const typename T::Mesh& mesh,
+                         const typename T::Faults& initial,
+                         const typename T::Timeline& timeline,
+                         const LoadConfig& cfg, Feed feed) {
+  using Coord = typename T::Coord;
+  SnapshotStoreT<T> store(mesh, initial, cfg.pool_size, cfg.cache_capacity);
+
+  LoadResult out;
+  out.events_total = timeline.events().size();
+  out.readers.resize(static_cast<size_t>(std::max(1, cfg.readers)));
+
+  const auto t0 = Clock::now();
+
+  std::thread writer([&] {
+    feed.seed(*store.snapshot());
+    for (const auto& e : timeline.events()) {
+      const auto res = store.apply(e.node, e.repair);
+      if (res.report.epoch != 0) {
+        ++out.events_applied;
+        feed.on_event(*res.model, res.report);
+      }
+      if (cfg.event_interval_us != 0)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(cfg.event_interval_us));
+    }
+  });
+
+  // Aggregate target_qps split evenly over the readers.
+  const auto query_interval =
+      cfg.target_qps > 0
+          ? std::chrono::nanoseconds(static_cast<uint64_t>(
+                static_cast<double>(out.readers.size()) * 1e9 /
+                cfg.target_qps))
+          : std::chrono::nanoseconds(0);
+
+  std::vector<std::thread> pool;
+  for (size_t r = 0; r < out.readers.size(); ++r) {
+    pool.emplace_back([&, r] {
+      ReaderResult& me = out.readers[r];
+      util::Rng rng(cfg.seed * 0x9e3779b97f4a7c15ULL + 0xC0FFEE + r);
+      const size_t nodes = mesh.node_count();
+      Clock::time_point next = Clock::now();
+      for (uint64_t q = 0; q < cfg.queries_per_reader; ++q) {
+        if (query_interval.count() != 0) {
+          std::this_thread::sleep_until(next);
+          next += query_interval;
+        }
+        const Coord s = mesh.coord(rng.pick(nodes));
+        const Coord d = mesh.coord(rng.pick(nodes));
+        const uint64_t route_seed = rng.fork();
+        const bool want_route =
+            cfg.mix == QueryMix::Route ||
+            (cfg.mix == QueryMix::Mixed && (q & 1) == 0);
+
+        const auto q0 = Clock::now();
+        const auto v = store.view();
+        const core::FeasibilityResult fr = v.snap->feasible(s, d);
+        if (fr.feasible) {
+          ++me.feasible_yes;
+          if (want_route) {
+            constexpr bool k2d = std::is_same_v<T, Serve2D>;
+            const auto route = v.snap->route(
+                s, d, k2d ? cfg.kind2d : cfg.kind3d, cfg.policy, route_seed);
+            ++me.routed;
+            if (route.delivered) {
+              ++me.delivered;
+              me.hops += static_cast<uint64_t>(route.hops());
+            }
+          }
+        }
+        const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            Clock::now() - q0)
+                            .count();
+        me.latency.add(static_cast<uint64_t>(us));
+        me.max_lag = std::max(me.max_lag, v.lag);
+        ++me.queries;
+      }
+    });
+  }
+
+  writer.join();
+  for (auto& w : pool) w.join();
+  out.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  for (const ReaderResult& me : out.readers) {
+    out.queries_total += me.queries;
+    out.latency.merge(me.latency);
+    out.max_reader_lag = std::max(out.max_reader_lag, me.max_lag);
+  }
+  out.qps = out.wall_seconds > 0
+                ? static_cast<double>(out.queries_total) / out.wall_seconds
+                : 0;
+  out.final_epoch = store.writer_epoch();
+  out.publishes = store.publishes();
+  out.buffers = store.buffer_count();
+  out.buffers_grown = store.buffers_grown();
+  feed.finish(mesh, *store.snapshot(), out);
+  return out;
+}
+
+}  // namespace
+
+LoadResult run_load(const mesh::Mesh2D& mesh, const mesh::FaultSet2D& initial,
+                    const runtime::FaultTimeline2D& timeline,
+                    const LoadConfig& cfg) {
+  return run_load_impl<Serve2D>(mesh, initial, timeline, cfg,
+                                ReplicaFeed2D(mesh));
+}
+
+LoadResult run_load(const mesh::Mesh3D& mesh, const mesh::FaultSet3D& initial,
+                    const runtime::FaultTimeline3D& timeline,
+                    const LoadConfig& cfg) {
+  return run_load_impl<Serve3D>(mesh, initial, timeline, cfg,
+                                NoReplicaFeed{});
+}
+
+}  // namespace mcc::serve

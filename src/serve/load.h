@@ -1,0 +1,114 @@
+// The serving load harness over SnapshotStoreT: one writer thread feeding
+// FaultTimeline events into the store (and, in 2-D, the boundary_delta
+// stream into a passive RecordReplica2D), N reader threads answering a
+// fixed number of feasibility/route queries each against their current
+// snapshot. Per-query latency lands in an exact microsecond histogram;
+// counts (queries, events, final epoch, delta payload) are deterministic
+// given the seeds, wall-clock numbers (QPS, percentiles, epoch lag,
+// buffer growth) vary run to run — the serve_load driver keeps the two
+// apart so bench_trend can gate the former and report the latter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "core/router.h"
+#include "serve/snapshot_store.h"
+
+namespace mcc::serve {
+
+/// Exact latency histogram: unit microsecond buckets up to a cap plus an
+/// overflow bucket (same shape as the wormhole's cycle histogram).
+class LatencyHist {
+ public:
+  explicit LatencyHist(size_t cap = 8192) : counts_(cap, 0) {}
+
+  void add(uint64_t us);
+  void merge(const LatencyHist& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t max() const { return max_; }
+  uint64_t overflow() const { return overflow_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  /// Smallest latency L with cdf(L) >= p (overflow reports the cap).
+  uint64_t percentile(double p) const;
+  const std::vector<uint64_t>& buckets() const { return counts_; }
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t overflow_ = 0;
+  uint64_t count_ = 0;
+  uint64_t max_ = 0;
+  double sum_ = 0;
+};
+
+enum class QueryMix : uint8_t {
+  Feasible,  // feasibility checks only
+  Route,     // feasibility + a full route for every feasible pair
+  Mixed,     // alternate: every other query also routes
+};
+
+/// Parses "feasible" | "route" | "mixed"; false on anything else.
+bool parse_query_mix(const std::string& text, QueryMix& out);
+
+struct LoadConfig {
+  int readers = 4;
+  uint64_t queries_per_reader = 2000;
+  QueryMix mix = QueryMix::Mixed;
+  double target_qps = 0;           // aggregate cap; 0 = unthrottled
+  uint64_t event_interval_us = 0;  // writer pacing; 0 = back-to-back
+  uint64_t seed = 1;
+  core::RouterKind kind2d = core::RouterKind::Records;
+  core::RouterKind kind3d = core::RouterKind::Flood;
+  core::RoutePolicy policy = core::RoutePolicy::Random;
+  size_t pool_size = 3;
+  size_t cache_capacity = 0;
+};
+
+struct ReaderResult {
+  uint64_t queries = 0;
+  uint64_t feasible_yes = 0;
+  uint64_t routed = 0;
+  uint64_t delivered = 0;
+  uint64_t hops = 0;
+  uint64_t max_lag = 0;
+  LatencyHist latency;
+};
+
+struct LoadResult {
+  std::vector<ReaderResult> readers;
+  LatencyHist latency;  // merged over readers
+
+  // Deterministic counters (gateable).
+  uint64_t queries_total = 0;
+  uint64_t events_total = 0;    // timeline length
+  uint64_t events_applied = 0;  // non-no-op events
+  uint64_t final_epoch = 1;
+  uint64_t publishes = 0;  // events_applied-dependent, still deterministic
+
+  // Wall-clock / interleaving-dependent observability.
+  double wall_seconds = 0;
+  double qps = 0;
+  uint64_t max_reader_lag = 0;
+  uint64_t buffers = 0;
+  uint64_t buffers_grown = 0;
+
+  // 2-D canonical-quadrant delta replica (unchecked in 3-D).
+  bool replica_checked = false;
+  bool replica_consistent = true;
+  uint64_t delta_payload_ints = 0;
+  uint64_t replica_records = 0;
+};
+
+LoadResult run_load(const mesh::Mesh2D& mesh, const mesh::FaultSet2D& initial,
+                    const runtime::FaultTimeline2D& timeline,
+                    const LoadConfig& cfg);
+LoadResult run_load(const mesh::Mesh3D& mesh, const mesh::FaultSet3D& initial,
+                    const runtime::FaultTimeline3D& timeline,
+                    const LoadConfig& cfg);
+
+}  // namespace mcc::serve

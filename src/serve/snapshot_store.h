@@ -1,0 +1,273 @@
+// Guidance-as-a-service: the RCU-style epoch-snapshot store at the heart
+// of the serving core (ROADMAP "Guidance-as-a-service" item).
+//
+// One writer thread applies FaultTimeline events through apply(); each
+// event is appended to a writer-owned log and replayed onto a DynamicModel
+// buffer with no outstanding readers, which is then published as the
+// current snapshot through an atomic shared_ptr slot (SnapshotSlotT — the
+// std::atomic<std::shared_ptr> design with TSan-visible lock-bit
+// ordering; see its comment). Readers call snapshot()/view() — one
+// lock-bit exchange, no mutex, readers never block each other — and
+// answer feasibility/route queries against the immutable model they hold;
+// the snapshot they got stays valid (and bit-stable) for as long as they
+// hold the shared_ptr, however many events the writer publishes meanwhile.
+//
+// Buffer lifecycle: DynamicModel2D/3D is pinned (its Boundary2D holds
+// references into sibling members), so buffers are never copied — the
+// store keeps a pool of models all constructed from the same initial
+// fault set, each tagged with how many log events it has replayed. The
+// published shared_ptr carries a custom deleter that returns the buffer
+// to a mutex-guarded free list when the last reader drops it; the mutex
+// handoff (reader release -> writer acquire) is the happens-before edge
+// that makes writer reuse race-free, so the whole core is TSan-clean by
+// construction rather than by use_count() guessing. If every buffer is
+// pinned by laggard readers the writer allocates a fresh one (replaying
+// the full log) and counts it in buffers_grown().
+//
+// Epoch coherence: every buffer replays the same event sequence, so
+// "epoch" (1 + non-no-op events) agrees across buffers and a snapshot at
+// epoch E answers byte-identically to a fresh DynamicModel replayed to
+// epoch E — tests/test_serve.cc differential-pins exactly that. The
+// writer stores writer_epoch() (release) *before* publishing the matching
+// snapshot, so a reader that loads the snapshot first and the writer
+// epoch second always observes lag = writer_epoch - snapshot_epoch >= 0;
+// view() records the observed lag in the max_reader_lag() counter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/dynamic_model.h"
+#include "runtime/timeline.h"
+
+namespace mcc::serve {
+
+/// 2-D/3-D trait bundles (the same shape api/drivers.cc uses).
+struct Serve2D {
+  using Mesh = mesh::Mesh2D;
+  using Coord = mesh::Coord2;
+  using Faults = mesh::FaultSet2D;
+  using Model = runtime::DynamicModel2D;
+  using Timeline = runtime::FaultTimeline2D;
+};
+struct Serve3D {
+  using Mesh = mesh::Mesh3D;
+  using Coord = mesh::Coord3;
+  using Faults = mesh::FaultSet3D;
+  using Model = runtime::DynamicModel3D;
+  using Timeline = runtime::FaultTimeline3D;
+};
+
+/// Atomic publication slot for the current snapshot.
+///
+/// libstdc++ ships std::atomic<std::shared_ptr>, but its reader path
+/// unlocks the spin bit embedded in the count word with
+/// memory_order_relaxed — correct under the RMW total order the standard
+/// guarantees for that word, yet invisible to ThreadSanitizer's pure
+/// happens-before model, so every writer publish is reported as racing
+/// with every reader load. This slot is the same lock-bit design with
+/// acquire/release on BOTH ends of both paths: the ordering TSan checks
+/// is exactly the ordering the code relies on, at the cost of one
+/// uncontended exchange per access (readers still take no mutex and
+/// never block on each other).
+template <class M>
+class SnapshotSlotT {
+ public:
+  std::shared_ptr<const M> load() const {
+    lock();
+    std::shared_ptr<const M> out = slot_;
+    unlock();
+    return out;
+  }
+
+  void store(std::shared_ptr<const M> next) {
+    lock();
+    slot_.swap(next);
+    unlock();
+    // `next` now holds the PREVIOUS snapshot; it releases here, outside
+    // the critical section, because dropping the last reference runs the
+    // buffer-recycling deleter (which takes the store's buffer mutex).
+  }
+
+ private:
+  void lock() const {
+    while (locked_.exchange(true, std::memory_order_acquire))
+      std::this_thread::yield();  // single-core friendly
+  }
+  void unlock() const { locked_.store(false, std::memory_order_release); }
+
+  mutable std::atomic<bool> locked_{false};
+  std::shared_ptr<const M> slot_;
+};
+
+template <class T>
+class SnapshotStoreT {
+ public:
+  using Mesh = typename T::Mesh;
+  using Coord = typename T::Coord;
+  using Faults = typename T::Faults;
+  using Model = typename T::Model;
+  using EventReport = typename Model::EventReport;
+  /// An immutable published model; readers query it lock-free.
+  using Snapshot = std::shared_ptr<const Model>;
+
+  /// Builds `pool_size` model buffers from the initial fault set and
+  /// publishes the epoch-1 snapshot. `cache_capacity` is forwarded to
+  /// each buffer's GuidanceCache (0 = one full epoch's key space).
+  SnapshotStoreT(const Mesh& mesh, const Faults& initial,
+                 size_t pool_size = 3, size_t cache_capacity = 0)
+      : mesh_(mesh), initial_(initial), cache_capacity_(cache_capacity) {
+    if (pool_size < 2) pool_size = 2;  // current + one to write into
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < pool_size; ++i) {
+      buffers_.push_back(
+          std::make_unique<Buffer>(mesh_, initial_, cache_capacity_));
+      free_.push_back(buffers_.back().get());
+    }
+    Buffer* first = free_.back();
+    free_.pop_back();
+    writer_epoch_.store(first->model.epoch(), std::memory_order_release);
+    publish(first);
+  }
+
+  /// All snapshots must be released before the store dies (the serving
+  /// harness joins its readers first).
+  ~SnapshotStoreT() { published_.store(Snapshot{}); }
+
+  SnapshotStoreT(const SnapshotStoreT&) = delete;
+  SnapshotStoreT& operator=(const SnapshotStoreT&) = delete;
+
+  // --- writer side (one thread) -------------------------------------------
+
+  /// What one apply() published: the event's report (epoch 0 = no-op) and
+  /// the just-published model, valid for const reads — e.g. feeding
+  /// proto::make_boundary_delta — until the next apply() call.
+  struct ApplyResult {
+    EventReport report;
+    const Model* model = nullptr;
+  };
+
+  /// Appends the event to the log, replays the pending log suffix onto a
+  /// reader-free buffer and publishes it as the new snapshot.
+  ApplyResult apply(Coord node, bool repair) {
+    log_.push_back(LogEvent{node, repair});
+    Buffer* buf = acquire_buffer();
+    EventReport report;
+    while (buf->applied < log_.size()) {
+      const LogEvent& e = log_[buf->applied++];
+      report = e.repair ? buf->model.repair(e.node) : buf->model.fail(e.node);
+    }
+    writer_epoch_.store(buf->model.epoch(), std::memory_order_release);
+    publish(buf);
+    return {std::move(report), &buf->model};
+  }
+
+  size_t events_logged() const { return log_.size(); }  // writer thread only
+
+  // --- reader side (any number of threads) --------------------------------
+
+  /// The current snapshot: one lock-bit exchange + shared_ptr copy.
+  Snapshot snapshot() const { return published_.load(); }
+
+  /// Epoch of the newest event the writer has published (monotone).
+  uint64_t writer_epoch() const {
+    return writer_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// A consistent (snapshot, writer-epoch) pair. Loading the snapshot
+  /// first guarantees writer_epoch >= snapshot->epoch(), so lag is a
+  /// well-defined non-negative staleness measure; it is folded into the
+  /// max_reader_lag() observability counter.
+  struct View {
+    Snapshot snap;
+    uint64_t writer_epoch = 0;
+    uint64_t lag = 0;
+  };
+  View view() const {
+    View v;
+    v.snap = snapshot();
+    v.writer_epoch = writer_epoch();
+    v.lag = v.writer_epoch - v.snap->epoch();
+    uint64_t cur = max_reader_lag_.load(std::memory_order_relaxed);
+    while (v.lag > cur &&
+           !max_reader_lag_.compare_exchange_weak(cur, v.lag,
+                                                  std::memory_order_relaxed)) {
+    }
+    return v;
+  }
+
+  // --- observability -------------------------------------------------------
+
+  uint64_t publishes() const {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+  uint64_t max_reader_lag() const {
+    return max_reader_lag_.load(std::memory_order_relaxed);
+  }
+  /// Buffers allocated beyond the initial pool (laggard-reader pressure).
+  uint64_t buffers_grown() const {
+    return grown_.load(std::memory_order_relaxed);
+  }
+  size_t buffer_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return buffers_.size();
+  }
+
+ private:
+  struct LogEvent {
+    Coord node{};
+    bool repair = false;
+  };
+  struct Buffer {
+    Buffer(const Mesh& m, const Faults& f, size_t cache_capacity)
+        : model(m, f, cache_capacity) {}
+    Model model;
+    size_t applied = 0;  // prefix of log_ this buffer has replayed
+  };
+
+  Buffer* acquire_buffer() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      Buffer* b = free_.back();
+      free_.pop_back();
+      return b;
+    }
+    buffers_.push_back(
+        std::make_unique<Buffer>(mesh_, initial_, cache_capacity_));
+    grown_.fetch_add(1, std::memory_order_relaxed);
+    return buffers_.back().get();
+  }
+
+  void publish(Buffer* buf) {
+    Snapshot snap(&buf->model, [this, buf](const Model*) {
+      std::lock_guard<std::mutex> lock(mu_);
+      free_.push_back(buf);
+    });
+    published_.store(std::move(snap));
+    publishes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const Mesh mesh_;
+  const Faults initial_;
+  const size_t cache_capacity_;
+
+  mutable std::mutex mu_;  // guards buffers_ / free_
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+  std::vector<Buffer*> free_;
+
+  std::vector<LogEvent> log_;  // writer-owned, append-only
+  SnapshotSlotT<Model> published_;
+  std::atomic<uint64_t> writer_epoch_{1};
+  std::atomic<uint64_t> publishes_{0};
+  mutable std::atomic<uint64_t> max_reader_lag_{0};
+  std::atomic<uint64_t> grown_{0};
+};
+
+using SnapshotStore2D = SnapshotStoreT<Serve2D>;
+using SnapshotStore3D = SnapshotStoreT<Serve3D>;
+
+}  // namespace mcc::serve

@@ -255,6 +255,22 @@ TEST(Json, UnicodeEscapesDecodeToUtf8) {
   EXPECT_FALSE(error.empty());
 }
 
+TEST(Json, SurrogatePairRoundTrips) {
+  // Decoded astral-plane text survives dump -> reparse -> dump intact
+  // (the dumper passes raw UTF-8 bytes through, so the round trip is
+  // byte-identical after the first parse).
+  std::string error;
+  const Json j = Json::parse("\"pre \\ud83d\\ude00\\ud83c\\udf55 post\"",
+                             error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(j.as_string(), "pre \xf0\x9f\x98\x80\xf0\x9f\x8d\x95 post");
+  const std::string text = j.dump();
+  const Json back = Json::parse(text, error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(back.as_string(), j.as_string());
+  EXPECT_EQ(back.dump(), text);
+}
+
 TEST(Json, ParseErrors) {
   std::string error;
   Json::parse("{", error);

@@ -12,7 +12,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -507,6 +510,85 @@ TEST(GuidanceCacheConcurrent, SharedReadersAreRaceFree) {
   const auto st = cache.stats();
   EXPECT_EQ(st.hits + st.misses,
             static_cast<uint64_t>(kThreads) * kIters);
+}
+
+// Regression for the build-under-shard-lock bug: two misses for DISTINCT
+// destinations that stripe to the same shard must build concurrently.
+// Each build callback rendezvouses with the other; if one build held the
+// shard lock for its whole duration (the old behaviour), the second build
+// could never start and the rendezvous would time out.
+TEST(GuidanceCacheConcurrent, DistinctDestMissesOnOneShardOverlap) {
+  const mesh::Mesh2D mesh(8, 8);
+  const mesh::FaultSet2D faults(mesh);
+  const core::LabelField2D labels(mesh, faults);
+  runtime::GuidanceCache2D cache(16, 1);  // one shard: every key collides
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  std::atomic<bool> overlapped{true};
+  const auto rendezvous = [&] {
+    std::unique_lock<std::mutex> lk(mu);
+    ++arrived;
+    cv.notify_all();
+    if (!cv.wait_for(lk, std::chrono::seconds(20),
+                     [&] { return arrived >= 2; }))
+      overlapped.store(false);
+  };
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 2; ++t) {
+    workers.emplace_back([&, t] {
+      const Coord2 d{t, t};  // distinct destination per thread
+      cache.get_or_build(1, 0, mesh.index(d), [&] {
+        rendezvous();
+        return core::ReachField2D(mesh, labels, d,
+                                  core::NodeFilter::SafeOnly);
+      });
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_TRUE(overlapped.load())
+      << "distinct-dest builds on one shard were serialized";
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// Concurrent misses of the SAME key must deduplicate to one build and
+// all receive the same field.
+TEST(GuidanceCacheConcurrent, SameKeyMissesDeduplicateToOneBuild) {
+  const mesh::Mesh2D mesh(8, 8);
+  const mesh::FaultSet2D faults(mesh);
+  const core::LabelField2D labels(mesh, faults);
+  runtime::GuidanceCache2D cache(16, 1);
+
+  constexpr int kThreads = 6;
+  std::atomic<int> builds{0};
+  std::atomic<int> started{0};
+  std::vector<std::shared_ptr<const core::ReachField2D>> got(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      started.fetch_add(1);
+      // Crowd the start so several threads race the same miss.
+      while (started.load() < kThreads) std::this_thread::yield();
+      got[t] = cache.get_or_build(1, 0, mesh.index({5, 5}), [&] {
+        builds.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return core::ReachField2D(mesh, labels, {5, 5},
+                                  core::NodeFilter::SafeOnly);
+      });
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(builds.load(), 1);
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_NE(got[t], nullptr);
+    EXPECT_EQ(got[t].get(), got[0].get());
+  }
+  const auto st = cache.stats();
+  EXPECT_EQ(st.hits + st.misses, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(st.misses, 1u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,338 @@
+// Guidance-as-a-service serving core (src/serve): differential proof that
+// every answer served from an RCU epoch snapshot is byte-identical to a
+// fresh DynamicModel replayed to the same epoch (2-D and 3-D, randomized
+// churn, including snapshots held across later writes), the buffer-pool
+// reuse/growth contract, the epoch-lag bound (a reader never observes a
+// snapshot older than the writer's epoch minus the lag it recorded), and
+// the concurrent writer/readers soak the CI ThreadSanitizer job runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mesh/fault_injection.h"
+#include "serve/load.h"
+#include "serve/snapshot_store.h"
+#include "util/rng.h"
+
+namespace mcc {
+namespace {
+
+using mesh::Coord2;
+using mesh::Coord3;
+using serve::SnapshotStore2D;
+using serve::SnapshotStore3D;
+
+// ---------------------------------------------------------------------------
+// Differential: snapshot answers == fresh-model answers at the same epoch
+
+void expect_identical2d(const runtime::DynamicModel2D& snap,
+                        const runtime::DynamicModel2D& fresh,
+                        const mesh::Mesh2D& mesh, uint64_t seed,
+                        const std::string& ctx) {
+  ASSERT_EQ(snap.epoch(), fresh.epoch()) << ctx;
+  util::Rng rng(seed);
+  for (int i = 0; i < 50; ++i) {
+    const Coord2 s = mesh.coord(rng.pick(mesh.node_count()));
+    const Coord2 d = mesh.coord(rng.pick(mesh.node_count()));
+    const auto fa = snap.feasible(s, d);
+    const auto fb = fresh.feasible(s, d);
+    ASSERT_EQ(fa.feasible, fb.feasible) << ctx;
+    ASSERT_EQ(static_cast<int>(fa.basis), static_cast<int>(fb.basis)) << ctx;
+    if (!fa.feasible) continue;
+    const uint64_t rs = rng.fork();
+    const auto ra = snap.route(s, d, core::RouterKind::Records,
+                               core::RoutePolicy::Random, rs);
+    const auto rb = fresh.route(s, d, core::RouterKind::Records,
+                                core::RoutePolicy::Random, rs);
+    ASSERT_EQ(ra.delivered, rb.delivered) << ctx;
+    ASSERT_EQ(ra.failure, rb.failure) << ctx;
+    ASSERT_EQ(ra.path.size(), rb.path.size()) << ctx;
+    for (size_t h = 0; h < ra.path.size(); ++h)
+      ASSERT_TRUE(ra.path[h] == rb.path[h]) << ctx << " hop " << h;
+  }
+}
+
+void expect_identical3d(const runtime::DynamicModel3D& snap,
+                        const runtime::DynamicModel3D& fresh,
+                        const mesh::Mesh3D& mesh, uint64_t seed,
+                        const std::string& ctx) {
+  ASSERT_EQ(snap.epoch(), fresh.epoch()) << ctx;
+  util::Rng rng(seed);
+  for (int i = 0; i < 40; ++i) {
+    const Coord3 s = mesh.coord(rng.pick(mesh.node_count()));
+    const Coord3 d = mesh.coord(rng.pick(mesh.node_count()));
+    const auto fa = snap.feasible(s, d);
+    const auto fb = fresh.feasible(s, d);
+    ASSERT_EQ(fa.feasible, fb.feasible) << ctx;
+    ASSERT_EQ(static_cast<int>(fa.basis), static_cast<int>(fb.basis)) << ctx;
+    if (!fa.feasible) continue;
+    const uint64_t rs = rng.fork();
+    const auto ra = snap.route(s, d, core::RouterKind::Flood,
+                               core::RoutePolicy::Random, rs);
+    const auto rb = fresh.route(s, d, core::RouterKind::Flood,
+                                core::RoutePolicy::Random, rs);
+    ASSERT_EQ(ra.delivered, rb.delivered) << ctx;
+    ASSERT_EQ(ra.failure, rb.failure) << ctx;
+    ASSERT_EQ(ra.path.size(), rb.path.size()) << ctx;
+    for (size_t h = 0; h < ra.path.size(); ++h)
+      ASSERT_TRUE(ra.path[h] == rb.path[h]) << ctx << " hop " << h;
+  }
+}
+
+TEST(SnapshotDifferential2D, SnapshotMatchesFreshModelAcrossChurn) {
+  const uint64_t seed = 0x5E13A;
+  util::Rng rng(seed);
+  const mesh::Mesh2D mesh(10, 10);
+  const auto initial = mesh::inject_uniform(mesh, 0.08, rng);
+
+  util::ChurnParams p;
+  p.rate = 0.04;
+  p.horizon = 300;
+  p.repair_min = 20;
+  p.repair_max = 120;
+  const auto timeline =
+      runtime::FaultTimeline2D::sample(mesh, initial, rng, p);
+  ASSERT_FALSE(timeline.events().empty());
+
+  SnapshotStore2D store(mesh, initial, 2);
+  using Event = runtime::FaultTimeline2D::Event;
+  std::vector<Event> applied;
+
+  // A snapshot pinned mid-run: it must stay byte-stable while the writer
+  // keeps publishing (verified against its own epoch's fresh replay at
+  // the end).
+  SnapshotStore2D::Snapshot pinned;
+  std::vector<Event> pinned_events;
+
+  size_t step = 0;
+  for (const auto& e : timeline.events()) {
+    store.apply(e.node, e.repair);
+    applied.push_back(e);
+    ++step;
+
+    const auto snap = store.snapshot();
+    runtime::DynamicModel2D fresh(mesh, initial);
+    for (const auto& pe : applied)
+      pe.repair ? fresh.repair(pe.node) : fresh.fail(pe.node);
+    expect_identical2d(*snap, fresh, mesh, seed + step,
+                       "2d after event " + std::to_string(step));
+
+    if (step == timeline.events().size() / 2) {
+      pinned = snap;
+      pinned_events = applied;
+    }
+  }
+
+  ASSERT_NE(pinned, nullptr);
+  runtime::DynamicModel2D fresh(mesh, initial);
+  for (const auto& pe : pinned_events)
+    pe.repair ? fresh.repair(pe.node) : fresh.fail(pe.node);
+  expect_identical2d(*pinned, fresh, mesh, seed + 9999,
+                     "2d pinned snapshot after full churn");
+}
+
+TEST(SnapshotDifferential3D, SnapshotMatchesFreshModelAcrossChurn) {
+  const uint64_t seed = 0x5E13B;
+  util::Rng rng(seed);
+  const mesh::Mesh3D mesh(6, 6, 6);
+  const auto initial = mesh::inject_uniform(mesh, 0.04, rng);
+
+  util::ChurnParams p;
+  p.rate = 0.03;
+  p.horizon = 200;
+  p.repair_min = 15;
+  p.repair_max = 90;
+  const auto timeline =
+      runtime::FaultTimeline3D::sample(mesh, initial, rng, p);
+  ASSERT_FALSE(timeline.events().empty());
+
+  SnapshotStore3D store(mesh, initial, 2);
+  using Event = runtime::FaultTimeline3D::Event;
+  std::vector<Event> applied;
+  size_t step = 0;
+  for (const auto& e : timeline.events()) {
+    store.apply(e.node, e.repair);
+    applied.push_back(e);
+    ++step;
+    // Fresh 3-D replays are expensive (8 octants): check every 3rd event
+    // and always the last one.
+    if (step % 3 != 0 && step != timeline.events().size()) continue;
+    const auto snap = store.snapshot();
+    runtime::DynamicModel3D fresh(mesh, initial);
+    for (const auto& pe : applied)
+      pe.repair ? fresh.repair(pe.node) : fresh.fail(pe.node);
+    expect_identical3d(*snap, fresh, mesh, seed + step,
+                       "3d after event " + std::to_string(step));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Buffer pool: reuse when snapshots are released, growth when pinned
+
+TEST(SnapshotStore, BufferPoolReusesFreedBuffersAndGrowsUnderPinning) {
+  util::Rng rng(0x5E13C);
+  const mesh::Mesh2D mesh(8, 8);
+  const auto initial = mesh::inject_uniform(mesh, 0.06, rng);
+  SnapshotStore2D store(mesh, initial, 2);
+  ASSERT_EQ(store.buffer_count(), 2u);
+
+  // No reader holds a snapshot: the writer ping-pongs the two buffers.
+  for (int i = 0; i < 6; ++i) {
+    const Coord2 c = mesh.coord(rng.pick(mesh.node_count()));
+    store.apply(c, store.snapshot()->faults().is_faulty(c));
+  }
+  EXPECT_EQ(store.buffer_count(), 2u);
+  EXPECT_EQ(store.buffers_grown(), 0u);
+
+  // Pin snapshots across writes: the store must grow instead of mutating
+  // a model a reader can still see.
+  std::vector<SnapshotStore2D::Snapshot> pinned;
+  for (int i = 0; i < 4; ++i) {
+    pinned.push_back(store.snapshot());
+    const Coord2 c = mesh.coord(rng.pick(mesh.node_count()));
+    store.apply(c, store.snapshot()->faults().is_faulty(c));
+  }
+  EXPECT_GT(store.buffers_grown(), 0u);
+  const std::vector<uint64_t> epochs = [&] {
+    std::vector<uint64_t> out;
+    for (const auto& s : pinned) out.push_back(s->epoch());
+    return out;
+  }();
+  // Pinned epochs are strictly increasing and still readable.
+  for (size_t i = 1; i < epochs.size(); ++i)
+    EXPECT_LT(epochs[i - 1], epochs[i]);
+
+  // Releasing the pins returns the buffers for reuse.
+  pinned.clear();
+  const size_t buffers_before = store.buffer_count();
+  for (int i = 0; i < 8; ++i) {
+    const Coord2 c = mesh.coord(rng.pick(mesh.node_count()));
+    store.apply(c, store.snapshot()->faults().is_faulty(c));
+  }
+  EXPECT_EQ(store.buffer_count(), buffers_before);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch lag: never negative, bounded by the published counter
+
+TEST(EpochLag, ReadersNeverObserveMoreLagThanThePublishedCounter) {
+  util::Rng rng(0x5E13D);
+  const mesh::Mesh2D mesh(10, 10);
+  const auto initial = mesh::inject_uniform(mesh, 0.06, rng);
+
+  util::ChurnParams p;
+  p.rate = 0.05;
+  p.horizon = 400;
+  p.repair_min = 10;
+  p.repair_max = 80;
+  const auto timeline =
+      runtime::FaultTimeline2D::sample(mesh, initial, rng, p);
+  ASSERT_FALSE(timeline.events().empty());
+
+  SnapshotStore2D store(mesh, initial, 3);
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+  constexpr int kReaders = 3;
+  std::vector<uint64_t> reader_max_lag(kReaders, 0);
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      while (!done.load(std::memory_order_acquire)) {
+        const auto v = store.view();
+        // The snapshot is never newer than the writer epoch (lag >= 0 by
+        // unsigned construction only if this holds), and lag is exactly
+        // the distance to the writer's published epoch.
+        if (v.snap->epoch() > v.writer_epoch) violations.fetch_add(1);
+        if (v.snap->epoch() + v.lag != v.writer_epoch) violations.fetch_add(1);
+        reader_max_lag[static_cast<size_t>(t)] =
+            std::max(reader_max_lag[static_cast<size_t>(t)], v.lag);
+      }
+    });
+  }
+
+  for (const auto& e : timeline.events()) store.apply(e.node, e.repair);
+  done.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  for (int t = 0; t < kReaders; ++t)
+    EXPECT_LE(reader_max_lag[static_cast<size_t>(t)], store.max_reader_lag());
+}
+
+// ---------------------------------------------------------------------------
+// Soak: the full writer + N readers harness (run under TSan in CI)
+
+TEST(ServeSoak, ConcurrentLoad2DIsConsistent) {
+  util::Rng rng(0x5E13E);
+  const mesh::Mesh2D mesh(12, 12);
+  const auto initial = mesh::inject_uniform(mesh, 0.06, rng);
+  util::ChurnParams p;
+  p.rate = 0.03;
+  p.horizon = 300;
+  p.repair_min = 20;
+  p.repair_max = 150;
+  const auto timeline =
+      runtime::FaultTimeline2D::sample(mesh, initial, rng, p);
+
+  serve::LoadConfig cfg;
+  cfg.readers = 4;
+  cfg.queries_per_reader = 400;
+  cfg.mix = serve::QueryMix::Mixed;
+  cfg.seed = 0x5E13E;
+  const serve::LoadResult r = run_load(mesh, initial, timeline, cfg);
+
+  EXPECT_EQ(r.queries_total, 4u * 400u);
+  EXPECT_EQ(r.events_total, timeline.events().size());
+  EXPECT_EQ(r.final_epoch, 1 + r.events_applied);
+  EXPECT_EQ(r.publishes, r.events_total + 1);
+  ASSERT_TRUE(r.replica_checked);
+  EXPECT_TRUE(r.replica_consistent);
+  uint64_t routed = 0, delivered = 0;
+  for (const auto& me : r.readers) {
+    EXPECT_EQ(me.queries, 400u);
+    routed += me.routed;
+    delivered += me.delivered;
+  }
+  // Model guidance delivers every feasible routed pair.
+  EXPECT_EQ(routed, delivered);
+  EXPECT_EQ(r.latency.count(), r.queries_total);
+}
+
+TEST(ServeSoak, ConcurrentLoad3DIsConsistent) {
+  util::Rng rng(0x5E13F);
+  const mesh::Mesh3D mesh(6, 6, 6);
+  const auto initial = mesh::inject_uniform(mesh, 0.03, rng);
+  util::ChurnParams p;
+  p.rate = 0.02;
+  p.horizon = 200;
+  p.repair_min = 20;
+  p.repair_max = 100;
+  const auto timeline =
+      runtime::FaultTimeline3D::sample(mesh, initial, rng, p);
+
+  serve::LoadConfig cfg;
+  cfg.readers = 4;
+  cfg.queries_per_reader = 250;
+  cfg.mix = serve::QueryMix::Mixed;
+  cfg.seed = 0x5E13F;
+  const serve::LoadResult r = run_load(mesh, initial, timeline, cfg);
+
+  EXPECT_EQ(r.queries_total, 4u * 250u);
+  EXPECT_EQ(r.final_epoch, 1 + r.events_applied);
+  EXPECT_FALSE(r.replica_checked);  // delta replica is 2-D only
+  uint64_t routed = 0, delivered = 0;
+  for (const auto& me : r.readers) {
+    routed += me.routed;
+    delivered += me.delivered;
+  }
+  EXPECT_EQ(routed, delivered);
+  EXPECT_EQ(r.latency.count(), r.queries_total);
+}
+
+}  // namespace
+}  // namespace mcc
