@@ -7,9 +7,49 @@
 // shape via smoke.* pins) lives in configs/e11_wormhole.cfg; this main
 // adds only the BENCH_*.json emission. Output is byte-identical with the
 // pre-redesign bench (tests/test_api_differential.cc pins it).
+//
+// A second run times the router-parallel tick: the same 32x32 2-D load
+// point at threads=1 and threads=4. The result tables must be identical
+// (the two-phase barrier makes threads a pure wall-clock knob; the
+// bench_trend gate compares every count column), while the *_ms/
+// *_speedup metrics are wall-clock and therefore informational-only:
+// the speedup tracks the machine's core count (~94% of a cycle is in
+// the parallel phases — see docs/wormhole.md — so 4 real cores land
+// >=2x, while a single-core CI container pins it near 1.0x). The
+// hardware lanes line on stdout says which regime a log came from.
+#include <chrono>
 #include <iostream>
+#include <thread>
 
 #include "api/experiment.h"
+
+namespace {
+
+double timed_run_ms(mcc::api::Configuration cfg, mcc::api::RunReport* out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  *out = mcc::api::Experiment(std::move(cfg)).run();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+mcc::api::Configuration mesh32(int threads) {
+  mcc::api::Configuration cfg;
+  cfg.set("driver", "wormhole_load");
+  cfg.set("name", "E11 parallel tick 32x32");
+  cfg.set("dims", "2");
+  cfg.set("k", "32");
+  cfg.set("policy", "model");
+  cfg.set("traffic", "uniform");
+  cfg.set("rates", "0.02");
+  cfg.set("warmup", "200");
+  cfg.set("measure", "1000");
+  cfg.set("drain", "20000");
+  cfg.set("seed", "0xE1132");
+  cfg.set("threads", std::to_string(threads));
+  return cfg;
+}
+
+}  // namespace
 
 int main() try {
   using namespace mcc;
@@ -17,9 +57,22 @@ int main() try {
   cfg.load_file(std::string(MCC_CONFIG_DIR) + "/e11_wormhole.cfg");
   api::RunReport report = api::Experiment(std::move(cfg)).run();
   report.render(std::cout);
+
+  // Router-parallel tick: serial reference vs 4 lanes on 1024 routers.
+  api::RunReport serial("warm", "wormhole_load", 1), parallel = serial;
+  timed_run_ms(mesh32(1), &serial);  // warm caches/allocator once
+  const double t1_ms = timed_run_ms(mesh32(1), &serial);
+  const double t4_ms = timed_run_ms(mesh32(4), &parallel);
+  parallel.metric("tick t1 ms", t1_ms);
+  parallel.metric("tick t4 ms", t4_ms);
+  parallel.metric("tick speedup", t4_ms > 0 ? t1_ms / t4_ms : 0.0);
+  parallel.render(std::cout);
+  std::cout << "hardware lanes: " << std::thread::hardware_concurrency()
+            << " (speedup is wall-clock; expect ~1.0x on one core)\n";
+
   api::RunReport::write_bench_json("BENCH_e11_wormhole.json", "e11_wormhole",
-                                   {&report});
-  return report.failed() ? 1 : 0;
+                                   {&report, &serial, &parallel});
+  return (report.failed() || serial.failed() || parallel.failed()) ? 1 : 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";
   return 1;

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstring>
 #include <ostream>
 #include <set>
 #include <stdexcept>
@@ -34,6 +35,11 @@ uint64_t derive_point_seed(
   std::vector<std::pair<std::string, std::string>> sorted = coords;
   std::sort(sorted.begin(), sorted.end());
   for (const auto& [key, value] : sorted) {
+    // threads= is a wall-clock knob, not a scenario knob: points that
+    // differ only in thread count must run the SAME seed, so a
+    // sweep.threads axis (configs/e11_parallel.cfg) produces identical
+    // point tables — the tick's thread-count invariance, kept observable.
+    if (key == "threads") continue;
     mix(key.data(), key.size());
     mix("\x1f", 1);
     mix(value.data(), value.size());
@@ -218,7 +224,8 @@ std::vector<Campaign::PointResult> Campaign::run(
 
   std::vector<Json> partials;
   std::string problem;
-  for (const Worker& w : workers) {
+  for (size_t j = 0; j < workers.size(); ++j) {
+    const Worker& w = workers[j];
     std::string doc;
     char buf[1 << 16];
     for (;;) {
@@ -235,7 +242,39 @@ std::vector<Campaign::PointResult> Campaign::run(
     int status = 0;
     waitpid(w.pid, &status, 0);
     if (!(WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
-      problem = "campaign: a worker process died";
+      // A worker that died (a point segfaulted, the OOM killer struck, …)
+      // fails its own shard's points, not the whole campaign: the sibling
+      // shards' finished results are kept, and each lost point carries a
+      // failure naming the signal so the merged document says what
+      // happened and where.
+      const std::string shard_label =
+          std::to_string(j + 1) + "/" + std::to_string(jobs);
+      std::string why;
+      if (WIFSIGNALED(status)) {
+        const int sig = WTERMSIG(status);
+        const char* name = strsignal(sig);
+        why = "campaign: worker shard " + shard_label +
+              " killed by signal " + std::to_string(sig) + " (" +
+              (name != nullptr ? name : "?") + ")";
+      } else {
+        why = "campaign: worker shard " + shard_label +
+              " exited with code " +
+              std::to_string(WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+      }
+      std::vector<PointResult> lost;
+      for (const CampaignPoint& pt : points_) {
+        if (pt.index % static_cast<size_t>(jobs) != j) continue;
+        PointResult r;
+        r.index = pt.index;
+        r.failed = true;
+        RunReport report(pt.config.get_string("name"),
+                         pt.config.get_string("driver"), pt.seed);
+        report.set_config_echo(pt.config.echo());
+        report.fail(why);
+        r.report = report.to_json();
+        lost.push_back(std::move(r));
+      }
+      partials.push_back(to_json(lost, static_cast<int>(j) + 1, jobs));
       continue;
     }
     std::string error;
@@ -246,8 +285,9 @@ std::vector<Campaign::PointResult> Campaign::run(
     }
     partials.push_back(std::move(parsed));
   }
-  // Worker death / pipe loss is a RUN failure, not a configuration error:
-  // surface it on the exit-1 path, so retrying harnesses classify it.
+  // Pipe loss or a clean worker shipping garbage is a RUN failure, not a
+  // configuration error: surface it on the exit-1 path, so retrying
+  // harnesses classify it.
   if (!problem.empty()) throw std::runtime_error(problem);
 
   const Json merged = merge(partials);

@@ -284,10 +284,14 @@ const std::map<std::string, KeySpec>& Configuration::schema() {
       {"vcs_per_class", {KeyType::Int, "2", "virtual channels per deadlock class", 1, 16}},
       {"buffer_depth", {KeyType::Int, "4", "flit buffer depth per VC", 1, 256}},
       {"packet_size", {KeyType::Int, "4", "flits per packet", 1, 256}},
-      {"warmup", {KeyType::Int, "500", "warmup cycles", 0, 100000000}},
+      {"warmup", {KeyType::Int, "500", "warmup cycles (convergence mode: upper bound)", 0, 100000000}},
       {"measure", {KeyType::Int, "2000", "measurement window cycles", 1, 100000000}},
       {"drain", {KeyType::Int, "30000", "drain cycle budget", 0, 1000000000}},
       {"stall", {KeyType::Int, "1000", "drain stall cycles = deadlock", 1, 100000000}},
+      {"threads", {KeyType::Int, "1", "router-parallel tick lanes (results are thread-count invariant)", 1, 64}},
+      {"warmup_mode", {KeyType::String, "fixed", "warmup policy: fixed | converge (steady-state detection)"}},
+      {"sample_period", {KeyType::Int, "250", "converge mode: cycles per throughput/latency sample", 1, 100000000}},
+      {"convergence", {KeyType::Double, "0.05", "converge mode: relative-delta threshold between samples", 0.000001, 1}},
       // --- churn ------------------------------------------------------------
       {"churn", {KeyType::DoubleList, "2", "fault strikes per 1000 cycles", 0, 1000}},
       {"churn_horizon", {KeyType::UInt64, "0", "churn schedule horizon in cycles (0 = driver default)"}},

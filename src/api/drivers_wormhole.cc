@@ -98,10 +98,20 @@ void run_wormhole_load(const Scenario& scn, RunReport& report) {
         << f.count() << " dead nodes)\n\n";
     report.text(sec.str());
 
-    util::Table& t = report.table(
-        "load_" + env,
-        {"pattern", "offered (f/n/c)", "accepted (f/n/c)", "avg lat",
-         "p99 lat", "max lat", "packets", "filtered", "state"});
+    const bool converge =
+        scn.load.warmup_mode == sim::wh::WarmupMode::Converge;
+    // The fixed-warmup table is a pinned differential surface; convergence
+    // mode appends its methodology columns instead of reshaping it.
+    std::vector<std::string> cols = {"pattern", "offered (f/n/c)",
+                                     "accepted (f/n/c)", "avg lat",
+                                     "p99 lat", "max lat", "packets",
+                                     "filtered", "state"};
+    if (converge) {
+      cols.push_back("warmup");
+      cols.push_back("+-acc 95%");
+      cols.push_back("+-lat 95%");
+    }
+    util::Table& t = report.table("load_" + env, cols);
     for (const std::string& pattern_name : scn.traffic) {
       const sim::wh::Pattern p = traffic_patterns().get(pattern_name).pattern;
       for (const double rate : scn.rates) {
@@ -120,13 +130,20 @@ void run_wormhole_load(const Scenario& scn, RunReport& report) {
                                         scn.route_policy, load, seed,
                                         scn.hotspot_fraction,
                                         scn.hotspot_count);
-        t.add_row({to_string(p), util::Table::fmt(r.offered_flits, 4),
-                   util::Table::fmt(r.accepted_flits, 4),
-                   util::Table::fmt(r.avg_latency, 1),
-                   std::to_string(r.p99_latency),
-                   std::to_string(r.max_latency),
-                   std::to_string(r.delivered_packets),
-                   std::to_string(r.filtered), state_cell(r)});
+        std::vector<std::string> row = {
+            to_string(p), util::Table::fmt(r.offered_flits, 4),
+            util::Table::fmt(r.accepted_flits, 4),
+            util::Table::fmt(r.avg_latency, 1),
+            std::to_string(r.p99_latency), std::to_string(r.max_latency),
+            std::to_string(r.delivered_packets), std::to_string(r.filtered),
+            state_cell(r)};
+        if (converge) {
+          row.push_back(std::to_string(r.warmup_cycles_used) +
+                        (r.warmup_converged ? "" : "!"));
+          row.push_back(util::Table::fmt(r.accepted_ci95, 4));
+          row.push_back(util::Table::fmt(r.latency_ci95, 2));
+        }
+        t.add_row(std::move(row));
         delivered_total += r.delivered_packets;
         if (r.violations != 0 || r.deadlocked) {  // must never happen
           report.fail(r.violations != 0 ? "ordering/credit violation"
@@ -145,6 +162,13 @@ void run_wormhole_load(const Scenario& scn, RunReport& report) {
       "load point drains completely after injection stops — the VC-class "
       "scheme keeps the\nadaptive router deadlock-free even past "
       "saturation.\n");
+  if (scn.load.warmup_mode == sim::wh::WarmupMode::Converge)
+    report.text(
+        "\nMethodology: warmup ended when per-period throughput and mean "
+        "latency both moved less than\nthe convergence threshold between "
+        "consecutive sample periods ('!' marks points that hit the\nwarmup "
+        "cap unconverged); the +- columns are normal-approximation 95% "
+        "confidence half-widths\nover the window's per-period samples.\n");
 }
 
 void wormhole_load_driver(const Scenario& scn, RunReport& report) {

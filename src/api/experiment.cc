@@ -460,10 +460,23 @@ Scenario build_scenario(const Configuration& cfg) {
   s.wh.vcs_per_class = cfg.get_int("vcs_per_class");
   s.wh.buffer_depth = cfg.get_int("buffer_depth");
   s.wh.packet_size = cfg.get_int("packet_size");
+  s.wh.threads = cfg.get_int("threads");
   s.load.warmup = cfg.get_int("warmup");
   s.load.measure = cfg.get_int("measure");
   s.load.drain = cfg.get_int("drain");
   s.load.stall = cfg.get_int("stall");
+  const std::string warmup_mode = cfg.get_string("warmup_mode");
+  if (warmup_mode == "fixed") {
+    s.load.warmup_mode = sim::wh::WarmupMode::Fixed;
+  } else if (warmup_mode == "converge") {
+    s.load.warmup_mode = sim::wh::WarmupMode::Converge;
+  } else {
+    throw ConfigError(
+        "config: warmup_mode must be 'fixed' or 'converge', got '" +
+        warmup_mode + "'");
+  }
+  s.load.sample_period = cfg.get_int("sample_period");
+  s.load.convergence = cfg.get_double("convergence");
   s.hotspot_fraction = cfg.get_double("hotspot_fraction");
   s.hotspot_count = cfg.get_int("hotspot_count");
 

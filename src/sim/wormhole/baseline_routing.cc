@@ -26,11 +26,14 @@ FaultBlockRouting2D::FaultBlockRouting2D(const mesh::Mesh2D& mesh,
     : mesh_(mesh), faults_(faults), fill_(fill) {}
 
 const baselines::BlockField2D& FaultBlockRouting2D::field() {
-  if (dirty_) {
-    field_.emplace(fill_ == BlockFill::Safety
-                       ? baselines::safety_fill(mesh_, faults_)
-                       : baselines::bounding_box_fill(mesh_, faults_));
-    dirty_ = false;
+  if (dirty_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(rebuild_mu_);
+    if (dirty_.load(std::memory_order_relaxed)) {
+      field_.emplace(fill_ == BlockFill::Safety
+                         ? baselines::safety_fill(mesh_, faults_)
+                         : baselines::bounding_box_fill(mesh_, faults_));
+      dirty_.store(false, std::memory_order_release);
+    }
   }
   return *field_;
 }
@@ -74,11 +77,14 @@ FaultBlockRouting3D::FaultBlockRouting3D(const mesh::Mesh3D& mesh,
     : mesh_(mesh), faults_(faults), fill_(fill) {}
 
 const baselines::BlockField3D& FaultBlockRouting3D::field() {
-  if (dirty_) {
-    field_.emplace(fill_ == BlockFill::Safety
-                       ? baselines::safety_fill(mesh_, faults_)
-                       : baselines::bounding_box_fill(mesh_, faults_));
-    dirty_ = false;
+  if (dirty_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(rebuild_mu_);
+    if (dirty_.load(std::memory_order_relaxed)) {
+      field_.emplace(fill_ == BlockFill::Safety
+                         ? baselines::safety_fill(mesh_, faults_)
+                         : baselines::bounding_box_fill(mesh_, faults_));
+      dirty_.store(false, std::memory_order_release);
+    }
   }
   return *field_;
 }

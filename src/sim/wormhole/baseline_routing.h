@@ -18,6 +18,8 @@
 // would pay, and the comparison should charge it.)
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <optional>
 
 #include "baselines/fault_block.h"
@@ -44,7 +46,7 @@ class FaultBlockRouting2D final : public RoutingFunction2D {
                     std::array<mesh::Dir2, 2>& out) override;
   bool feasible(mesh::Coord2 s, mesh::Coord2 d) override;
   bool completable(mesh::Coord2 u, mesh::Coord2 s, mesh::Coord2 d) override;
-  void on_network_event() override { dirty_ = true; }
+  void on_network_event() override { dirty_.store(true); }
 
  private:
   const baselines::BlockField2D& field();
@@ -52,7 +54,11 @@ class FaultBlockRouting2D final : public RoutingFunction2D {
   const mesh::Mesh2D& mesh_;
   const mesh::FaultSet2D& faults_;
   BlockFill fill_;
-  bool dirty_ = true;
+  // Lazy rebuild is double-checked (atomic flag + mutex) so concurrent
+  // per-hop queries from the router-parallel tick see a complete field.
+  // Events only fire between cycles, so the flag never flips mid-phase.
+  std::atomic<bool> dirty_{true};
+  std::mutex rebuild_mu_;
   std::optional<baselines::BlockField2D> field_;
 };
 
@@ -69,7 +75,7 @@ class FaultBlockRouting3D final : public RoutingFunction3D {
                     std::array<mesh::Dir3, 3>& out) override;
   bool feasible(mesh::Coord3 s, mesh::Coord3 d) override;
   bool completable(mesh::Coord3 u, mesh::Coord3 s, mesh::Coord3 d) override;
-  void on_network_event() override { dirty_ = true; }
+  void on_network_event() override { dirty_.store(true); }
 
  private:
   const baselines::BlockField3D& field();
@@ -77,7 +83,9 @@ class FaultBlockRouting3D final : public RoutingFunction3D {
   const mesh::Mesh3D& mesh_;
   const mesh::FaultSet3D& faults_;
   BlockFill fill_;
-  bool dirty_ = true;
+  // Same double-checked lazy rebuild as the 2-D variant.
+  std::atomic<bool> dirty_{true};
+  std::mutex rebuild_mu_;
   std::optional<baselines::BlockField3D> field_;
 };
 

@@ -1,9 +1,11 @@
 #include "sim/wormhole/driver.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "sim/wormhole/network.h"
+#include "util/stats.h"
 
 namespace mcc::sim::wh {
 
@@ -19,34 +21,112 @@ namespace {
 // offered/accepted rates are normalized by (constant statically; under
 // churn the live count changes inside the window, so the rates integrate
 // live-node-cycles).
+// Relative delta between two consecutive samples, safe at zero.
+double rel_delta(double a, double b) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return scale == 0.0 ? 0.0 : std::abs(a - b) / scale;
+}
+
 template <class Topo, class BeforeCycle, class OnWindowOpen, class LiveNodes>
 SimResult run_measurement(Network<Topo>& net, TrafficGenT<Topo>& traffic,
                           const LoadPoint& load, BeforeCycle&& before_cycle,
                           OnWindowOpen&& on_window_open,
                           LiveNodes&& live_nodes) {
-  for (int c = 0; c < load.warmup; ++c) {
-    before_cycle();
-    traffic.tick(net, load.rate);
-    net.step();
+  SimResult r;
+  // The per-packet latency sum so far, recovered from the aggregate stats;
+  // period means are sum/count diffs (heuristic-grade FP is fine here —
+  // convergence detection steers the warmup length, nothing pinned).
+  const auto latency_sum = [&] {
+    return net.stats().latency.mean() *
+           static_cast<double>(net.stats().latency.count());
+  };
+
+  if (load.warmup_mode == WarmupMode::Fixed) {
+    for (int c = 0; c < load.warmup; ++c) {
+      before_cycle();
+      traffic.tick(net, load.rate);
+      net.step();
+    }
+    r.warmup_cycles_used = static_cast<uint64_t>(load.warmup);
+  } else {
+    // Converge: run sample periods until the per-period delivered
+    // throughput and mean latency both settle, capped at load.warmup.
+    const int period = std::max(load.sample_period, 1);
+    double prev_thr = 0, prev_lat = 0;
+    bool have_prev = false;
+    int spent = 0;
+    while (spent < load.warmup && !r.warmup_converged) {
+      const uint64_t del0 = net.stats().delivered_flits;
+      const uint64_t lat_n0 = net.stats().latency.count();
+      const double lat_sum0 = latency_sum();
+      for (int c = 0; c < period && spent < load.warmup; ++c, ++spent) {
+        before_cycle();
+        traffic.tick(net, load.rate);
+        net.step();
+      }
+      const double thr =
+          static_cast<double>(net.stats().delivered_flits - del0);
+      const uint64_t lat_n = net.stats().latency.count() - lat_n0;
+      const double lat =
+          lat_n ? (latency_sum() - lat_sum0) / static_cast<double>(lat_n)
+                : prev_lat;
+      if (have_prev && rel_delta(thr, prev_thr) < load.convergence &&
+          rel_delta(lat, prev_lat) < load.convergence)
+        r.warmup_converged = true;
+      prev_thr = thr;
+      prev_lat = lat;
+      have_prev = true;
+    }
+    r.warmup_cycles_used = static_cast<uint64_t>(spent);
   }
 
   on_window_open();
-  const auto [inj0, del0] = net.begin_window();
+  const WindowStart w0 = net.begin_window();
   double live_node_cycles = 0;
-  for (int c = 0; c < load.measure; ++c) {
-    before_cycle();
-    live_node_cycles += live_nodes();
-    traffic.tick(net, load.rate);
-    net.step();
+  if (load.warmup_mode == WarmupMode::Fixed) {
+    for (int c = 0; c < load.measure; ++c) {
+      before_cycle();
+      live_node_cycles += live_nodes();
+      traffic.tick(net, load.rate);
+      net.step();
+    }
+  } else {
+    // Same per-cycle sequence, with per-period samples recorded so the
+    // point can report ±95% confidence intervals on its window columns.
+    const int period = std::max(load.sample_period, 1);
+    util::RunningStats acc_samples, lat_samples;
+    int c = 0;
+    while (c < load.measure) {
+      const uint64_t del0 = net.stats().delivered_flits;
+      const uint64_t lat_n0 = net.stats().latency.count();
+      const double lat_sum0 = latency_sum();
+      const double live0 = live_node_cycles;
+      for (int k = 0; k < period && c < load.measure; ++k, ++c) {
+        before_cycle();
+        live_node_cycles += live_nodes();
+        traffic.tick(net, load.rate);
+        net.step();
+      }
+      const double live_span =
+          std::max(live_node_cycles - live0, 1.0);
+      const uint64_t del = net.stats().delivered_flits - del0;
+      acc_samples.add(static_cast<double>(del) / live_span);
+      const uint64_t lat_n = net.stats().latency.count() - lat_n0;
+      if (lat_n)
+        lat_samples.add((latency_sum() - lat_sum0) /
+                        static_cast<double>(lat_n));
+    }
+    r.samples = acc_samples.count();
+    r.accepted_ci95 = acc_samples.ci95();
+    r.latency_ci95 = lat_samples.ci95();
   }
-  const uint64_t offered_window = net.stats().injected_flits - inj0;
+  const uint64_t offered_window = net.stats().injected_flits - w0.injected_flits;
   // delivered_flits can retreat when a partially-ejected packet is dropped
   // by an event, so the window diff is clamped at zero.
   const uint64_t accepted_window =
-      net.stats().delivered_flits > del0 ? net.stats().delivered_flits - del0
-                                         : 0;
-
-  SimResult r;
+      net.stats().delivered_flits > w0.delivered_flits
+          ? net.stats().delivered_flits - w0.delivered_flits
+          : 0;
 
   // Drain: a deeply saturated point (hotspot past the ejection-bandwidth
   // knee) can hold a backlog far larger than the budget; that is congestion,
@@ -81,11 +161,14 @@ SimResult run_measurement(Network<Topo>& net, TrafficGenT<Topo>& traffic,
   r.offered_flits = static_cast<double>(offered_window) / denom;
   r.accepted_flits = static_cast<double>(accepted_window) / denom;
   r.filtered = traffic.filtered();
-  r.wedged_head_cycles = net.stats().wedged_head_cycles;
-  r.violations = net.stats().violations.size();
+  // Window-scoped diffs (measurement + drain): tabulated beside the
+  // offered/accepted/latency columns, they must cover the same interval —
+  // the whole-run values silently included the warmup.
+  r.wedged_head_cycles = net.stats().wedged_head_cycles - w0.wedged_head_cycles;
+  r.violations =
+      static_cast<uint64_t>(net.stats().violations.size()) - w0.violations;
   r.drained = net.idle();
-  r.saturated = accepted_window <
-                static_cast<uint64_t>(0.9 * static_cast<double>(offered_window));
+  r.saturated = saturated_window(accepted_window, offered_window);
   return r;
 }
 

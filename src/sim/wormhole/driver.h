@@ -19,12 +19,23 @@
 
 namespace mcc::sim::wh {
 
+/// How the warmup length is chosen. Fixed runs exactly LoadPoint::warmup
+/// cycles (the original behavior; every committed pin uses it). Converge
+/// samples throughput and latency every sample_period cycles and ends the
+/// warmup once both change by less than `convergence` (relative) between
+/// consecutive periods — the standard steady-state detection of
+/// network-simulator methodology — with LoadPoint::warmup as the cap.
+enum class WarmupMode { Fixed, Converge };
+
 struct LoadPoint {
   double rate = 0.01;      // packets per live node per cycle
-  int warmup = 500;        // cycles before measurement starts
+  int warmup = 500;        // warmup cycles (Converge: upper bound)
   int measure = 2000;      // measurement window, injection on
   int drain = 30000;       // post-injection budget to empty the network
   int stall = 1000;        // drain cycles without a delivery = deadlock
+  WarmupMode warmup_mode = WarmupMode::Fixed;
+  int sample_period = 250;    // Converge: cycles per throughput/latency sample
+  double convergence = 0.05;  // Converge: relative-delta threshold
 };
 
 struct SimResult {
@@ -37,12 +48,30 @@ struct SimResult {
   uint64_t max_latency = 0;
   uint64_t delivered_packets = 0;  // latency-sampled deliveries
   uint64_t filtered = 0;           // infeasible draws over the whole run
+  // Window-scoped (begin_window snapshot through the end of the drain —
+  // the same interval the latency columns cover, warmup excluded).
   uint64_t wedged_head_cycles = 0;
   uint64_t violations = 0;
   bool drained = false;     // network emptied within the drain budget
   bool deadlocked = false;  // drain stopped making forward progress
   bool saturated = false;   // accepted lagged offered by >10% in the window
+  // Convergence-mode extras (Fixed mode leaves samples/CIs zero).
+  uint64_t warmup_cycles_used = 0;  // cycles actually spent warming up
+  bool warmup_converged = false;    // deltas crossed the threshold in budget
+  uint64_t samples = 0;             // measurement sample periods recorded
+  double accepted_ci95 = 0;         // ±95% CI on accepted flits/node/cycle
+  double latency_ci95 = 0;          // ±95% CI on per-period mean latency
 };
+
+/// Saturation test on window flit counts: accepted lagged offered by more
+/// than 10%. Integer form of accepted/offered < 0.9 — the previous
+/// float expression (`accepted < uint64_t(0.9 * offered)`) both truncated
+/// the threshold and inherited 0.9's binary rounding, misclassifying
+/// boundary windows whose offered count is not a multiple of 10.
+constexpr bool saturated_window(uint64_t accepted_window,
+                                uint64_t offered_window) {
+  return accepted_window * 10 < offered_window * 9;
+}
 
 /// Runs one load point of `pattern` traffic through `routing` on a fresh
 /// wormhole network.

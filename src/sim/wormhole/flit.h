@@ -37,6 +37,10 @@ struct Config {
   // (the worm is flushed network-wide) instead of wedging its VC forever.
   // Off by default so static experiments keep their exact behavior.
   bool drop_infeasible = false;
+  // Router-parallel tick lanes. 1 = everything inline on the caller; N > 1
+  // shards the routers over a persistent thread pool. Results are
+  // bit-identical for every value (docs/wormhole.md, "Parallel tick").
+  int threads = 1;
 };
 
 }  // namespace mcc::sim::wh

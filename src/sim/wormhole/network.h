@@ -23,11 +23,27 @@
 //
 // The network is deterministic given its seed: all iteration orders are
 // fixed and the only randomness is the RoutePolicy::Random candidate pick.
+//
+// Parallel tick (Config::threads > 1): each cycle runs as a two-phase
+// compute/commit barrier over contiguous router shards. The parallel
+// phases touch only router-local state (plus the read-only previous-phase
+// wire lists and the thread-safe routing caches); everything with a
+// serial-order contract — the VC allocator and its shared RNG, the wire
+// list append order, the latency histogram's Welford accumulator, the
+// violations log — is committed on one thread in ascending router order.
+// threads=1 runs the same phases inline and is the reference; every thread
+// count produces bit-identical statistics (docs/wormhole.md has the full
+// determinism argument, tests/test_parallel_tick.cc pins it).
+//
+// Flits live in a per-network arena with a freelist; buffers and wire
+// entries carry 32-bit slot indices, so the steady-state hot loop moves
+// indices instead of ~48-byte flits and performs no per-flit allocation.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdlib>
-#include <deque>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -39,6 +55,7 @@
 #include "sim/wormhole/routing.h"
 #include "sim/wormhole/stats.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace mcc::sim::wh {
 
@@ -66,6 +83,16 @@ inline int comp(mesh::Coord2 c, int axis) { return axis == 0 ? c.x : c.y; }
 inline int comp(mesh::Coord3 c, int axis) {
   return axis == 0 ? c.x : axis == 1 ? c.y : c.z;
 }
+
+/// Counter snapshot taken at begin_window(): every per-window column a
+/// driver tabulates (offered/accepted flits, wedged head cycles,
+/// violations) diffs against it, so all columns cover the same interval.
+struct WindowStart {
+  uint64_t injected_flits = 0;
+  uint64_t delivered_flits = 0;
+  uint64_t wedged_head_cycles = 0;
+  uint64_t violations = 0;
+};
 
 template <class Topo>
 class Network {
@@ -101,6 +128,11 @@ class Network {
       nd.out_rr.assign(kPorts, 0);
       nd.eject.resize(vcs_);
     }
+    unsigned lanes = cfg_.threads < 1 ? 1u : static_cast<unsigned>(cfg_.threads);
+    if (static_cast<size_t>(lanes) > nodes_.size() && !nodes_.empty())
+      lanes = static_cast<unsigned>(nodes_.size());
+    shards_.resize(lanes);
+    if (lanes > 1) pool_ = std::make_unique<util::ThreadPool>(lanes);
   }
 
   const Mesh& mesh() const { return mesh_; }
@@ -117,10 +149,12 @@ class Network {
   bool idle() const { return in_flight() == 0; }
 
   /// Starts a measurement window: clears the latency histogram and returns
-  /// the (injected, delivered) flit counters to diff against later.
-  std::pair<uint64_t, uint64_t> begin_window() {
+  /// the counter snapshot drivers diff their window columns against.
+  WindowStart begin_window() {
     stats_.latency.clear();
-    return {stats_.injected_flits, stats_.delivered_flits};
+    return {stats_.injected_flits, stats_.delivered_flits,
+            stats_.wedged_head_cycles,
+            static_cast<uint64_t>(stats_.violations.size())};
   }
 
   /// Appends a packet to s's source queue. The caller is responsible for
@@ -146,18 +180,28 @@ class Network {
       f.src = s;
       f.dst = d;
       f.birth = cycle_;
-      vc.buf.push_back(f);
+      vc.buf.push_back(arena_alloc(f));
     }
     ++stats_.injected_packets;
     stats_.injected_flits += static_cast<uint64_t>(cfg_.packet_size);
     return id;
   }
 
-  /// One cycle.
+  /// One cycle: the two-phase compute/commit barrier. Parallel phases
+  /// (wire delivery, route precompute, switch traversal) mutate only
+  /// router-local state and per-shard staging buffers; the serial phases
+  /// between them (VC allocation with the shared RNG, wire/stat commits in
+  /// ascending router order) carry everything with an ordering contract.
   void step() {
-    deliver_wires();
-    allocate_vcs();
-    traverse();
+    for (ShardState& sh : shards_) sh.clear_cycle();
+    run_sharded([this](unsigned w) { deliver_wires_shard(w); });
+    commit_wire_failures();
+    flit_wire_.clear();
+    credit_wire_.clear();
+    run_sharded([this](unsigned w) { discover_heads_shard(w); });
+    allocate_ready();
+    run_sharded([this](unsigned w) { traverse_shard(w); });
+    commit_traverse();
     ++cycle_;
   }
 
@@ -185,7 +229,7 @@ class Network {
     // in-flight packet destined to it.
     std::unordered_set<PacketId> doomed;
     for (const InVc& vc : nd.in) {
-      for (const Flit& f : vc.buf) doomed.insert(f.packet);
+      for (const uint32_t fi : vc.buf) doomed.insert(arena_[fi].packet);
       if (vc.cur_packet) doomed.insert(vc.cur_packet);
     }
     for (int q = 0; q < kDirs; ++q) {
@@ -199,19 +243,21 @@ class Network {
           doomed.insert(vc.cur_packet);
     }
     for (const FlitArrival& a : flit_wire_) {
-      if (a.node == ci) doomed.insert(a.flit.packet);
-      if (a.flit.dst == c) doomed.insert(a.flit.packet);
+      if (a.node == ci) doomed.insert(arena_[a.flit].packet);
+      if (arena_[a.flit].dst == c) doomed.insert(arena_[a.flit].packet);
     }
     for (const Node& node : nodes_) {
       if (!node.alive) continue;
       for (const InVc& vc : node.in)
-        for (const Flit& f : vc.buf)
-          if (f.dst == c) doomed.insert(f.packet);
+        for (const uint32_t fi : vc.buf)
+          if (arena_[fi].dst == c) doomed.insert(arena_[fi].packet);
     }
 
     // Kill the node: its own buffered flits are gone for good.
-    for (const InVc& vc : nd.in)
+    for (const InVc& vc : nd.in) {
       stats_.dropped_flits += static_cast<uint64_t>(vc.buf.size());
+      for (const uint32_t fi : vc.buf) arena_release(fi);
+    }
     nd.alive = false;
     nd.in.clear();
     nd.out.clear();
@@ -223,6 +269,7 @@ class Network {
     for (size_t i = 0; i < flit_wire_.size();) {
       if (flit_wire_[i].node == ci) {
         ++stats_.dropped_flits;
+        arena_release(flit_wire_[i].flit);
         flit_wire_[i] = flit_wire_.back();
         flit_wire_.pop_back();
       } else {
@@ -336,8 +383,41 @@ class Network {
   }
 
  private:
+  static constexpr uint32_t kNoFlit = 0xFFFFFFFFu;
+
+  /// FIFO of arena slot indices backing one VC buffer: a vector plus a head
+  /// cursor, compacted lazily, so steady-state push/pop allocate nothing.
+  /// The source queue (injection port) is unbounded; link VCs never exceed
+  /// buffer_depth.
+  class IndexQueue {
+   public:
+    bool empty() const { return head_ == q_.size(); }
+    size_t size() const { return q_.size() - head_; }
+    uint32_t front() const { return q_[head_]; }
+    uint32_t at(size_t pos) const { return q_[head_ + pos]; }
+    void push_back(uint32_t v) { q_.push_back(v); }
+    void pop_front() {
+      if (++head_ == q_.size()) {
+        q_.clear();
+        head_ = 0;
+      } else if (head_ >= 32 && head_ * 2 >= q_.size()) {
+        q_.erase(q_.begin(), q_.begin() + static_cast<long>(head_));
+        head_ = 0;
+      }
+    }
+    void erase_at(size_t pos) {
+      q_.erase(q_.begin() + static_cast<long>(head_ + pos));
+    }
+    auto begin() const { return q_.begin() + static_cast<long>(head_); }
+    auto end() const { return q_.end(); }
+
+   private:
+    std::vector<uint32_t> q_;
+    size_t head_ = 0;
+  };
+
   struct InVc {
-    std::deque<Flit> buf;
+    IndexQueue buf;       // arena slot indices, FIFO
     bool active = false;  // holds an output VC
     int out_port = -1;
     int out_vc = -1;
@@ -373,7 +453,7 @@ class Network {
     size_t node;
     int port;
     int vc;
-    Flit flit;
+    uint32_t flit;  // arena slot
   };
   struct CreditReturn {
     size_t node;
@@ -381,9 +461,57 @@ class Network {
     int vc;
   };
 
+  // Per-shard staging for one cycle of the two-phase tick. The parallel
+  // phases write here; the serial commit phases drain the shards in index
+  // order, which (shards being contiguous ascending router ranges) replays
+  // exactly the serial engine's ascending-router order.
+  struct ReadyHead {
+    uint32_t node;
+    uint8_t port;
+    uint8_t vc;
+  };
+  struct WireFail {
+    size_t order;            // position in the cycle's wire scan
+    uint32_t freed = kNoFlit;  // arena slot dropped with the failure
+    const char* msg;
+  };
+  struct EjectEvent {
+    uint32_t flit = 0;
+    bool delivered = false;
+    std::vector<const char*> fails;
+  };
+  struct ShardState {
+    std::vector<WireFail> wire_fails;
+    std::vector<ReadyHead> ready;
+    std::vector<PacketId> doomed;
+    std::vector<FlitArrival> flits;
+    std::vector<CreditReturn> credits;
+    std::vector<EjectEvent> ejects;
+    void clear_cycle() {
+      wire_fails.clear();
+      ready.clear();
+      doomed.clear();
+      flits.clear();
+      credits.clear();
+      ejects.clear();
+    }
+  };
+
   size_t in_index(int port, int vc) const {
     return static_cast<size_t>(port) * vcs_ + vc;
   }
+
+  uint32_t arena_alloc(const Flit& f) {
+    if (free_slots_.empty()) {
+      arena_.push_back(f);
+      return static_cast<uint32_t>(arena_.size() - 1);
+    }
+    const uint32_t idx = free_slots_.back();
+    free_slots_.pop_back();
+    arena_[idx] = f;
+    return idx;
+  }
+  void arena_release(uint32_t idx) { free_slots_.push_back(idx); }
 
   void fail(std::string msg) {
     if (stats_.violations.size() < 32)
@@ -391,42 +519,93 @@ class Network {
                                   std::move(msg));
   }
 
-  void deliver_wires() {
-    for (FlitArrival& a : flit_wire_) {
+  std::pair<size_t, size_t> shard_range(unsigned w) const {
+    const size_t n = nodes_.size();
+    const size_t shards = shards_.size();
+    const size_t chunk = (n + shards - 1) / shards;
+    const size_t lo = std::min(n, w * chunk);
+    return {lo, std::min(n, lo + chunk)};
+  }
+
+  template <class Fn>
+  void run_sharded(Fn&& fn) {
+    if (pool_) {
+      pool_->run(fn);
+    } else {
+      for (unsigned w = 0; w < shards_.size(); ++w) fn(w);
+    }
+  }
+
+  /// Phase A (parallel): each shard applies the wire entries addressed to
+  /// its routers — writes are router-local. Protocol violations (arrival
+  /// at a dead node, buffer overflow) are staged with their wire-scan
+  /// position so the serial commit reports them in the exact serial order.
+  void deliver_wires_shard(unsigned w) {
+    ShardState& sh = shards_[w];
+    const auto [lo, hi] = shard_range(w);
+    for (size_t wi = 0; wi < flit_wire_.size(); ++wi) {
+      const FlitArrival& a = flit_wire_[wi];
+      if (a.node < lo || a.node >= hi) continue;
       Node& nd = nodes_[a.node];
       if (!nd.alive) {
-        fail("flit arrived at dead node");
+        sh.wire_fails.push_back({wi, a.flit, "flit arrived at dead node"});
         continue;
       }
       InVc& vc = nd.in[in_index(a.port, a.vc)];
       if (static_cast<int>(vc.buf.size()) >= cfg_.buffer_depth) {
-        fail("input buffer overflow (credit protocol broken)");
+        sh.wire_fails.push_back(
+            {wi, a.flit, "input buffer overflow (credit protocol broken)"});
         continue;
       }
       vc.buf.push_back(a.flit);
     }
-    flit_wire_.clear();
-    for (const CreditReturn& c : credit_wire_) {
+    const size_t base = flit_wire_.size();
+    for (size_t ci = 0; ci < credit_wire_.size(); ++ci) {
+      const CreditReturn& c = credit_wire_[ci];
+      if (c.node < lo || c.node >= hi) continue;
       // A surviving worm can still drain flits it buffered beyond a node
       // that has since died; the credits it returns toward the dead node
       // are dropped with it (repair rebuilds counters from ground truth).
       if (!nodes_[c.node].alive) continue;
       OutVc& ov = nodes_[c.node].out[in_index(c.port, c.vc)];
       if (ov.credits >= cfg_.buffer_depth) {
-        fail("credit counter overflow");
+        sh.wire_fails.push_back({base + ci, kNoFlit,
+                                 "credit counter overflow"});
         continue;
       }
       ++ov.credits;
     }
-    credit_wire_.clear();
   }
 
-  void allocate_vcs() {
-    // Worms found undeliverable this pass (drop_infeasible) are flushed in
-    // one batch after the loop: a single event can sever many worms, and
-    // flush + credit recompute are network-wide.
-    std::unordered_set<PacketId> doomed;
-    for (size_t i = 0; i < nodes_.size(); ++i) {
+  void commit_wire_failures() {
+    // Violations only: the common case is every shard list empty.
+    bool any = false;
+    for (const ShardState& sh : shards_)
+      if (!sh.wire_fails.empty()) any = true;
+    if (!any) return;
+    std::vector<WireFail> all;
+    for (const ShardState& sh : shards_)
+      all.insert(all.end(), sh.wire_fails.begin(), sh.wire_fails.end());
+    std::sort(all.begin(), all.end(),
+              [](const WireFail& a, const WireFail& b) {
+                return a.order < b.order;
+              });
+    for (const WireFail& wf : all) {
+      fail(wf.msg);
+      if (wf.freed != kNoFlit) arena_release(wf.freed);
+    }
+  }
+
+  /// Phase B (parallel): find every allocatable head and warm its route
+  /// cache. Eligibility (idle VC, head flit at the front) depends only on
+  /// pre-allocation state — a grant mutates nothing but the granted VC
+  /// itself — so this discovers exactly the set the serial allocator
+  /// would visit, and candidates() depends only on (node, src, dst), so
+  /// the cached sets are exactly what the serial allocator would compute.
+  void discover_heads_shard(unsigned w) {
+    ShardState& sh = shards_[w];
+    const auto [lo, hi] = shard_range(w);
+    for (size_t i = lo; i < hi; ++i) {
       Node& nd = nodes_[i];
       if (!nd.alive) continue;
       const Coord u = mesh_.coord(i);
@@ -434,23 +613,13 @@ class Network {
         for (int v = 0; v < vcs_; ++v) {
           InVc& vc = nd.in[in_index(p, v)];
           if (vc.active || vc.buf.empty()) continue;
-          const Flit& head = vc.buf.front();
+          const Flit& head = arena_[vc.buf.front()];
           if (head.kind != FlitKind::Head && head.kind != FlitKind::HeadTail)
             continue;
-          if (doomed.count(head.packet)) continue;
-
-          const int base = head.vc_class * cfg_.vcs_per_class;
-          if (head.dst == u) {
-            // Ejection: grab a free ejection VC in the packet's class.
-            for (int ov = base; ov < base + cfg_.vcs_per_class; ++ov) {
-              if (!nd.out[in_index(kDirs, ov)].busy) {
-                grant(nd, vc, kDirs, ov, head.packet);
-                break;
-              }
-            }
-            continue;
-          }
-
+          sh.ready.push_back({static_cast<uint32_t>(i),
+                              static_cast<uint8_t>(p),
+                              static_cast<uint8_t>(v)});
+          if (head.dst == u) continue;  // ejection needs no route
           if (vc.routed_packet != head.packet) {
             vc.cand_n = static_cast<uint8_t>(
                 routing_.candidates(u, head.src, head.dst, vc.cand));
@@ -461,31 +630,66 @@ class Network {
               // the worm's injection octant — the frame its remaining
               // moves are constrained to): drain the worm instead of
               // wedging its VCs forever.
-              doomed.insert(head.packet);
-              continue;
+              sh.doomed.push_back(head.packet);
             }
           }
-          const size_t n = vc.cand_n;
-          if (n == 0) {
-            ++stats_.wedged_head_cycles;
-            continue;
+        }
+      }
+    }
+  }
+
+  /// Serial phase: VC allocation over the discovered heads, in ascending
+  /// (router, port, vc) order — the shard lists, drained in shard order,
+  /// are exactly that order. All shared-RNG draws and grant decisions
+  /// happen here, single-threaded, which is what makes the parallel tick
+  /// bit-identical to the serial reference. Worms found undeliverable are
+  /// flushed in one batch after the loop: a single event can sever many
+  /// worms, and flush + credit recompute are network-wide.
+  void allocate_ready() {
+    std::unordered_set<PacketId> doomed;
+    for (const ShardState& sh : shards_)
+      doomed.insert(sh.doomed.begin(), sh.doomed.end());
+    for (const ShardState& sh : shards_) {
+      for (const ReadyHead& rh : sh.ready) {
+        Node& nd = nodes_[rh.node];
+        const Coord u = mesh_.coord(rh.node);
+        InVc& vc = nd.in[in_index(rh.port, rh.vc)];
+        const Flit& head = arena_[vc.buf.front()];
+        if (doomed.count(head.packet)) continue;
+
+        const int base = head.vc_class * cfg_.vcs_per_class;
+        if (head.dst == u) {
+          // Ejection: grab a free ejection VC in the packet's class.
+          for (int ov = base; ov < base + cfg_.vcs_per_class; ++ov) {
+            if (!nd.out[in_index(kDirs, ov)].busy) {
+              grant(nd, vc, kDirs, ov, head.packet);
+              break;
+            }
           }
-          const int last_axis = p < kDirs ? axis_of(static_cast<Dir>(p)) : -1;
-          const size_t preferred = core::select_candidate(
-              vc.cand, n, policy_, last_axis, rng_, [&](Dir dir) {
-                const int axis = axis_of(dir);
-                return std::abs(comp(head.dst, axis) - comp(u, axis));
-              });
-          // Try the policy's choice first, the rest in order: adaptivity by
-          // output-VC availability.
-          for (size_t k = 0; k < n && !vc.active; ++k) {
-            const Dir dir = vc.cand[(preferred + k) % n];
-            const int q = static_cast<int>(dir);
-            for (int ov = base; ov < base + cfg_.vcs_per_class; ++ov) {
-              if (!nd.out[in_index(q, ov)].busy) {
-                grant(nd, vc, q, ov, head.packet);
-                break;
-              }
+          continue;
+        }
+
+        const size_t n = vc.cand_n;
+        if (n == 0) {
+          ++stats_.wedged_head_cycles;
+          continue;
+        }
+        const int last_axis =
+            rh.port < kDirs ? axis_of(static_cast<Dir>(rh.port)) : -1;
+        const size_t preferred = core::select_candidate(
+            vc.cand, n, policy_, last_axis, rng_, [&](Dir dir) {
+              const int axis = axis_of(dir);
+              return std::abs(comp(head.dst, axis) - comp(u, axis));
+            });
+        // Try the policy's choice first, the rest in order: adaptivity by
+        // output-VC availability.
+        for (size_t k = 0; k < n && !vc.active; ++k) {
+          const Dir dir = vc.cand[(preferred + k) % n];
+          const int q = static_cast<int>(dir);
+          for (int ov = base; ov < base + cfg_.vcs_per_class; ++ov) {
+            if (!nd.out[in_index(q, ov)].busy) {
+              grant(nd, vc, q, ov, head.packet);
+              break;
             }
           }
         }
@@ -514,12 +718,14 @@ class Network {
     for (Node& node : nodes_) {
       if (!node.alive) continue;
       for (InVc& vc : node.in) {
-        for (size_t i = 0; i < vc.buf.size();) {
-          if (doomed.count(vc.buf[i].packet)) {
+        for (size_t pos = 0; pos < vc.buf.size();) {
+          const uint32_t fi = vc.buf.at(pos);
+          if (doomed.count(arena_[fi].packet)) {
             ++stats_.dropped_flits;
-            vc.buf.erase(vc.buf.begin() + static_cast<long>(i));
+            arena_release(fi);
+            vc.buf.erase_at(pos);
           } else {
-            ++i;
+            ++pos;
           }
         }
         if (vc.cur_packet && doomed.count(vc.cur_packet)) {
@@ -545,8 +751,9 @@ class Network {
         }
     }
     for (size_t i = 0; i < flit_wire_.size();) {
-      if (doomed.count(flit_wire_[i].flit.packet)) {
+      if (doomed.count(arena_[flit_wire_[i].flit].packet)) {
         ++stats_.dropped_flits;
+        arena_release(flit_wire_[i].flit);
         flit_wire_[i] = flit_wire_.back();
         flit_wire_.pop_back();
       } else {
@@ -608,9 +815,14 @@ class Network {
     }
   }
 
-  void traverse() {
+  /// Phase C (parallel): switch allocation and traversal. Both stages read
+  /// and mutate only router-local state; outgoing wire entries and
+  /// ejection results are staged per shard for the serial commit.
+  void traverse_shard(unsigned w) {
+    ShardState& sh = shards_[w];
+    const auto [lo, hi] = shard_range(w);
     std::array<int, kPorts> winner;
-    for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (size_t i = lo; i < hi; ++i) {
       Node& nd = nodes_[i];
       if (!nd.alive) continue;
       const Coord u = mesh_.coord(i);
@@ -638,7 +850,7 @@ class Network {
           if (winner[p] < 0) continue;
           InVc& vc = nd.in[in_index(p, winner[p])];
           if (vc.out_port != q) continue;
-          send_flit(nd, u, p, winner[p], vc);
+          send_flit(sh, nd, u, p, winner[p], vc);
           nd.in_rr[p] = (winner[p] + 1) % vcs_;
           nd.out_rr[q] = (p + 1) % kPorts;
           winner[p] = -1;
@@ -648,30 +860,32 @@ class Network {
     }
   }
 
-  void send_flit(Node& nd, Coord u, int in_port, int in_vc, InVc& vc) {
-    const Flit f = vc.buf.front();
+  void send_flit(ShardState& sh, Node& nd, Coord u, int in_port, int in_vc,
+                 InVc& vc) {
+    const uint32_t fi = vc.buf.front();
     vc.buf.pop_front();
+    const Flit& f = arena_[fi];
     const int q = vc.out_port;
     const int ov = vc.out_vc;
     const bool tail =
         f.kind == FlitKind::Tail || f.kind == FlitKind::HeadTail;
 
     if (q == kDirs) {
-      eject(nd, ov, f, u);
+      sh.ejects.push_back(eject_local(nd, ov, fi, u));
     } else {
       OutVc& out = nd.out[in_index(q, ov)];
       --out.credits;
       const Coord w = mesh::step(u, static_cast<Dir>(q));
-      flit_wire_.push_back(
+      sh.flits.push_back(
           {mesh_.index(w), static_cast<int>(opposite(static_cast<Dir>(q))),
-           ov, f});
+           ov, fi});
     }
 
     // Return a credit upstream (link inputs only; the source queue is not
     // credit-controlled).
     if (in_port < kDirs) {
       const Coord up = mesh::step(u, static_cast<Dir>(in_port));
-      credit_wire_.push_back(
+      sh.credits.push_back(
           {mesh_.index(up),
            static_cast<int>(opposite(static_cast<Dir>(in_port))), in_vc});
     }
@@ -683,44 +897,69 @@ class Network {
     }
   }
 
-  void eject(Node& nd, int eject_vc, const Flit& f, Coord here) {
+  /// Reassembly bookkeeping runs in the parallel phase (router-local); the
+  /// stats commit — delivered counters and the order-sensitive Welford
+  /// latency accumulator — is the returned event, applied serially in
+  /// ascending router order (at most one ejection per router per cycle).
+  EjectEvent eject_local(Node& nd, int eject_vc, uint32_t fi, Coord here) {
+    EjectEvent ev;
+    ev.flit = fi;
+    const Flit& f = arena_[fi];
     Reassembly& r = nd.eject[eject_vc];
-    if (!(f.dst == here)) fail("flit ejected at wrong node");
+    if (!(f.dst == here)) ev.fails.push_back("flit ejected at wrong node");
     switch (f.kind) {
       case FlitKind::HeadTail:
-        if (r.open) fail("single-flit packet interleaved with open packet");
-        deliver(f);
+        if (r.open)
+          ev.fails.push_back("single-flit packet interleaved with open packet");
+        ev.delivered = true;
         break;
       case FlitKind::Head:
-        if (r.open) fail("head flit while a packet is open on this VC");
+        if (r.open)
+          ev.fails.push_back("head flit while a packet is open on this VC");
         r.packet = f.packet;
         r.next_seq = 1;
         r.open = true;
-        if (f.seq != 0) fail("head flit with non-zero sequence");
+        if (f.seq != 0) ev.fails.push_back("head flit with non-zero sequence");
         break;
       case FlitKind::Body:
       case FlitKind::Tail:
         if (!r.open || r.packet != f.packet)
-          fail("flit of a foreign packet inside a wormhole");
+          ev.fails.push_back("flit of a foreign packet inside a wormhole");
         else if (f.seq != r.next_seq)
-          fail("out-of-order flit within a packet");
+          ev.fails.push_back("out-of-order flit within a packet");
         else
           ++r.next_seq;
         if (f.kind == FlitKind::Tail) {
           if (r.open && static_cast<int>(r.next_seq) != cfg_.packet_size)
-            fail("tail with wrong packet length");
+            ev.fails.push_back("tail with wrong packet length");
           r.open = false;
-          deliver(f);
+          ev.delivered = true;
         }
         break;
     }
-    ++stats_.delivered_flits;
+    return ev;
   }
 
-  void deliver(const Flit& f) {
-    ++stats_.delivered_packets;
-    stats_.last_delivery_cycle = cycle_;
-    stats_.latency.add(cycle_ - f.birth);
+  /// Serial commit of the traverse phase: wire appends and ejection stats
+  /// drain shard by shard. Shards are contiguous ascending router ranges
+  /// and each shard stages in ascending router order, so the global append
+  /// and histogram-insertion order is exactly the serial engine's.
+  void commit_traverse() {
+    for (ShardState& sh : shards_) {
+      flit_wire_.insert(flit_wire_.end(), sh.flits.begin(), sh.flits.end());
+      credit_wire_.insert(credit_wire_.end(), sh.credits.begin(),
+                          sh.credits.end());
+      for (const EjectEvent& ev : sh.ejects) {
+        for (const char* m : ev.fails) fail(m);
+        ++stats_.delivered_flits;
+        if (ev.delivered) {
+          ++stats_.delivered_packets;
+          stats_.last_delivery_cycle = cycle_;
+          stats_.latency.add(cycle_ - arena_[ev.flit].birth);
+        }
+        arena_release(ev.flit);
+      }
+    }
   }
 
   const Mesh& mesh_;
@@ -734,6 +973,11 @@ class Network {
   std::vector<Node> nodes_;
   std::vector<FlitArrival> flit_wire_;
   std::vector<CreditReturn> credit_wire_;
+  // Flit arena: slots_ owns every in-flight flit, free_slots_ recycles.
+  std::vector<Flit> arena_;
+  std::vector<uint32_t> free_slots_;
+  std::vector<ShardState> shards_;
+  std::unique_ptr<util::ThreadPool> pool_;
   NetStats stats_;
 };
 

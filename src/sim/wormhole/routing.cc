@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <mutex>
+#include <shared_mutex>
 
 namespace mcc::sim::wh {
 
@@ -72,14 +74,26 @@ struct SafeReachGuidance3D final : core::Guidance3D {
 struct MccRouting2D::QuadCtx {
   mesh::FaultSet2D faults;
   core::LabelField2D labels;
+  // Lazily filled per destination; shared-mutex double-check so the
+  // router-parallel tick's route-precompute phase can query concurrently.
+  // unordered_map never invalidates references on insert, so a reference
+  // handed out under the shared lock stays valid for the context's life.
+  std::shared_mutex fields_mu;
   std::unordered_map<size_t, core::ReachField2D> fields;
 
   QuadCtx(const mesh::Mesh2D& m, const mesh::FaultSet2D& f, Octant2 o)
       : faults(mesh::materialize(f, m, o)), labels(m, faults) {}
 
   const core::ReachField2D& field(const mesh::Mesh2D& m, Coord2 dc) {
-    auto [it, inserted] = fields.try_emplace(m.index(dc), m, labels, dc,
-                                             core::NodeFilter::SafeOnly);
+    const size_t key = m.index(dc);
+    {
+      std::shared_lock lock(fields_mu);
+      const auto it = fields.find(key);
+      if (it != fields.end()) return it->second;
+    }
+    std::unique_lock lock(fields_mu);
+    const auto [it, inserted] =
+        fields.try_emplace(key, m, labels, dc, core::NodeFilter::SafeOnly);
     return it->second;
   }
 };
@@ -178,14 +192,23 @@ bool MccRouting2D::completable(Coord2 u, Coord2 s, Coord2 d) {
 struct MccRouting3D::OctCtx {
   mesh::FaultSet3D faults;
   core::LabelField3D labels;
+  // Same double-checked locking as QuadCtx::field (see the 2-D comment).
+  std::shared_mutex fields_mu;
   std::unordered_map<size_t, core::ReachField3D> fields;
 
   OctCtx(const mesh::Mesh3D& m, const mesh::FaultSet3D& f, Octant3 o)
       : faults(mesh::materialize(f, m, o)), labels(m, faults) {}
 
   const core::ReachField3D& field(const mesh::Mesh3D& m, Coord3 dc) {
-    auto [it, inserted] = fields.try_emplace(m.index(dc), m, labels, dc,
-                                             core::NodeFilter::SafeOnly);
+    const size_t key = m.index(dc);
+    {
+      std::shared_lock lock(fields_mu);
+      const auto it = fields.find(key);
+      if (it != fields.end()) return it->second;
+    }
+    std::unique_lock lock(fields_mu);
+    const auto [it, inserted] =
+        fields.try_emplace(key, m, labels, dc, core::NodeFilter::SafeOnly);
     return it->second;
   }
 };

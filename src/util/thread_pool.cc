@@ -1,0 +1,113 @@
+#include "util/thread_pool.h"
+
+namespace mcc::util {
+namespace {
+
+// Spin budget before a lane parks (worker waiting for work, caller waiting
+// for the join). ~10-50us of polling on current hardware: comfortably
+// longer than any phase of a simulated cycle, far shorter than a futex
+// sleep/wake pair. yield() sprinkled in so an oversubscribed pool (more
+// lanes than cores) still makes forward progress inside the budget.
+constexpr int kSpinIters = 20000;
+
+inline void relax(int i) {
+  if ((i & 1023) == 1023) std::this_thread::yield();
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned workers) : workers_(workers < 1 ? 1 : workers) {
+  threads_.reserve(workers_ - 1);
+  for (unsigned w = 1; w < workers_; ++w)
+    threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_.store(true);
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::record_error() {
+  std::lock_guard<std::mutex> lock(err_mu_);
+  if (!first_error_) first_error_ = std::current_exception();
+}
+
+void ThreadPool::run(const std::function<void(unsigned)>& fn) {
+  if (workers_ == 1) {
+    fn(0);
+    return;
+  }
+  first_error_ = nullptr;  // all lanes idle here: no lock needed
+  fn_ = &fn;
+  outstanding_.store(workers_ - 1);
+  generation_.fetch_add(1);  // publishes fn_ to anyone who observes it
+  if (sleepers_.load() != 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    start_cv_.notify_all();
+  }
+
+  // Lane 0 runs on the caller; its exception competes with the workers'
+  // for first_error_ so "first one wins" is deterministic enough to report.
+  try {
+    fn(0);
+  } catch (...) {
+    record_error();
+  }
+
+  for (int i = 0; outstanding_.load() != 0; ++i) {
+    if (i < kSpinIters) {
+      relax(i);
+      continue;
+    }
+    caller_parked_.store(true);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [this] { return outstanding_.load() == 0; });
+    }
+    caller_parked_.store(false);
+    break;
+  }
+  fn_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  uint64_t seen = 0;
+  for (;;) {
+    // Await a new generation: spin first, park only when the budget runs dry.
+    for (int i = 0;; ++i) {
+      if (shutdown_.load()) return;
+      const uint64_t gen = generation_.load();
+      if (gen != seen) {
+        seen = gen;
+        break;
+      }
+      if (i < kSpinIters) {
+        relax(i);
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      sleepers_.fetch_add(1);
+      start_cv_.wait(lock, [&] {
+        return shutdown_.load() || generation_.load() != seen;
+      });
+      sleepers_.fetch_sub(1);
+      i = 0;
+    }
+    try {
+      (*fn_)(index);
+    } catch (...) {
+      record_error();
+    }
+    if (outstanding_.fetch_sub(1) == 1 && caller_parked_.load()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace mcc::util

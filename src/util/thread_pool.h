@@ -1,0 +1,80 @@
+// Persistent fork-join worker pool for the router-parallel wormhole tick.
+//
+// `parallel_for` (parallel.h) spins a fresh jthread pool per call — fine
+// for minute-long Monte-Carlo sweeps, hopeless for a loop that forks and
+// joins every simulated cycle. ThreadPool keeps its workers hot between
+// run() calls: dispatch is an atomic generation bump that spinning workers
+// observe in well under a microsecond, and only a worker that has spun
+// through its budget with no work parks on the condition variable (so an
+// idle pool costs nothing, but a tick-rate caller never pays a futex
+// round-trip). The simulator issues several fork-joins per simulated
+// cycle — tens of thousands per run — which is exactly the regime where
+// cv-only handshakes (~10-100us each) swallow the entire parallel gain.
+//
+// run(fn) executes fn(w) for every worker index w in [0, workers); index 0
+// runs on the calling thread (no handoff latency for its share), the rest
+// on the pool's persistent threads. run() returns after every call has
+// finished — it is a full barrier, and the caller may freely read anything
+// the workers wrote. Exceptions thrown by fn propagate (first one wins).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcc::util {
+
+class ThreadPool {
+ public:
+  /// A pool of `workers` total lanes (workers - 1 hot threads; lane 0 is
+  /// the caller). workers < 1 is clamped to 1, which makes run() inline.
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned workers() const { return workers_; }
+
+  /// Barrier fork-join: fn(w) for every w in [0, workers()).
+  void run(const std::function<void(unsigned)>& fn);
+
+ private:
+  void worker_loop(unsigned index);
+  void record_error();
+
+  unsigned workers_;
+  std::vector<std::thread> threads_;
+
+  // Dispatch state. generation_ publishes fn_ (stored before the bump,
+  // loaded after observing it); outstanding_ counts worker lanes still
+  // inside fn this generation. All seq_cst — the flag/counter interleaving
+  // arguments below want the single total order, and the cost is noise
+  // next to the spin loop itself.
+  const std::function<void(unsigned)>* fn_ = nullptr;
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<unsigned> outstanding_{0};
+  std::atomic<bool> shutdown_{false};
+
+  // Park/wake fallback for workers that exhausted their spin budget and a
+  // caller whose join outlasted its own. sleepers_/caller_parked_ gate the
+  // notify calls: the common (hot) path never touches the mutex. A missed
+  // notify is impossible — the sleeper re-checks its predicate under mu_
+  // after raising the flag, and the waker raises generation_/outstanding_
+  // before testing the flag, so one of the two always observes the other.
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::atomic<unsigned> sleepers_{0};
+  std::atomic<bool> caller_parked_{false};
+
+  std::mutex err_mu_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace mcc::util

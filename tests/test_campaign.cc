@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <csignal>
 
 #include "api/campaign.h"
 #include "api/experiment.h"
@@ -205,6 +206,20 @@ TEST(CampaignSeeds, CoordOrderDoesNotMatter) {
   EXPECT_NE(derive_point_seed(7, a), derive_point_seed(7, c));
 }
 
+TEST(CampaignSeeds, ThreadsAxisDoesNotPerturbSeeds) {
+  // threads= is a wall-clock knob: a sweep.threads axis must give every
+  // point the same seed as its siblings (and as the no-threads-coordinate
+  // point), so the thread-count-invariance of the parallel tick stays
+  // observable as identical point tables (configs/e11_parallel.cfg).
+  const std::vector<std::pair<std::string, std::string>> t1{{"k", "8"},
+                                                            {"threads", "1"}};
+  const std::vector<std::pair<std::string, std::string>> t4{{"k", "8"},
+                                                            {"threads", "4"}};
+  const std::vector<std::pair<std::string, std::string>> none{{"k", "8"}};
+  EXPECT_EQ(derive_point_seed(7, t1), derive_point_seed(7, t4));
+  EXPECT_EQ(derive_point_seed(7, t1), derive_point_seed(7, none));
+}
+
 /// Runs a route_demo campaign serially and indexes seed + report dump by
 /// a canonical (sorted) coordinate label.
 std::map<std::string, std::pair<uint64_t, std::string>> run_by_coords(
@@ -340,6 +355,49 @@ TEST(CampaignFailure, FailedPointFlagsCampaignWithoutLosingSiblings) {
   EXPECT_TRUE(pts[1].find("failed")->as_bool());
   EXPECT_EQ(pts[1].find("report")->find("failure")->as_string(),
             "odd k rejected");
+  EXPECT_FALSE(pts[2].find("failed")->as_bool());
+}
+
+// A worker process that dies of a signal mid-shard must not take the
+// campaign down or lose sibling shards: the dead worker's points come back
+// as failed PointResults naming the signal, everyone else's results are
+// kept, and the merged document still validates.
+
+void register_selfkill_driver() {
+  register_builtins();
+  if (drivers().contains("campaign_test_selfkill")) return;
+  drivers().add("campaign_test_selfkill",
+                [](const Scenario& scn, RunReport& report) {
+                  report.metric("k", scn.k);
+                  if (scn.k == 9) raise(SIGKILL);  // worker dies uncleanly
+                },
+                "test-only: kills its own process on k == 9");
+}
+
+TEST(CampaignFailure, SignalKilledWorkerKeepsSiblingShards) {
+  register_selfkill_driver();
+  Configuration cfg;
+  cfg.set("driver", "campaign_test_selfkill");
+  cfg.set("sweep.k", "8, 9, 10");
+  const Campaign campaign(std::move(cfg));
+  // 3 jobs -> one point per worker; worker 2 (point index 1) gets SIGKILLed.
+  const auto results = campaign.run(3, nullptr);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_FALSE(results[0].failed);
+  EXPECT_FALSE(results[2].failed);
+  EXPECT_TRUE(results[1].failed);
+  const std::string why = results[1].report.find("failure")->as_string();
+  EXPECT_NE(why.find("killed by signal 9"), std::string::npos) << why;
+  EXPECT_NE(why.find("shard 2/3"), std::string::npos) << why;
+
+  // The synthesized points still carry their config echo and merge into a
+  // schema-valid campaign document flagged failed.
+  const Json doc = Campaign::merge({campaign.to_json(results, 1, 1)});
+  EXPECT_TRUE(validate_report_json(doc).empty());
+  EXPECT_TRUE(doc.find("failed")->as_bool());
+  const auto& pts = doc.find("points")->items();
+  EXPECT_FALSE(pts[0].find("failed")->as_bool());
+  EXPECT_TRUE(pts[1].find("failed")->as_bool());
   EXPECT_FALSE(pts[2].find("failed")->as_bool());
 }
 

@@ -1,0 +1,393 @@
+// Router-parallel tick determinism and defensible measurement windows.
+//
+// The two-phase compute/commit barrier in Network<Topo>::step() claims
+// bit-identical results for every Config::threads value — not "statistically
+// equivalent", identical: the same RNG draws, the same latency histogram in
+// the same insertion order, the same violations text. This suite pins that
+// claim across topologies (2-D/3-D), routing functions (MCC model/oracle,
+// fault-block), fault environments (fault-free, clustered, mid-run events,
+// live churn) and the dropped-flit paths, exercises the per-shard staging
+// through ragged shard counts, and covers the measurement-window accounting:
+// begin_window() snapshots, window-scoped wedged/violations columns, and the
+// convergence-based warmup. The CI TSan job runs this binary with real
+// parallelism, so the phases are also raced under a watchdog.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "api/experiment.h"
+#include "mesh/fault_injection.h"
+#include "sim/wormhole/baseline_routing.h"
+#include "sim/wormhole/driver.h"
+#include "sim/wormhole/network.h"
+#include "sim/wormhole/routing.h"
+#include "sim/wormhole/traffic.h"
+#include "util/rng.h"
+
+namespace mcc {
+namespace {
+
+using mesh::Coord2;
+using mesh::Coord3;
+using namespace sim::wh;  // NOLINT — the suite lives on this API
+
+// Every field, exactly: the parallel tick promises bit-identity, so even
+// the doubles must compare equal.
+void expect_same(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.offered_flits, b.offered_flits);
+  EXPECT_EQ(a.accepted_flits, b.accepted_flits);
+  EXPECT_EQ(a.avg_latency, b.avg_latency);
+  EXPECT_EQ(a.p99_latency, b.p99_latency);
+  EXPECT_EQ(a.max_latency, b.max_latency);
+  EXPECT_EQ(a.delivered_packets, b.delivered_packets);
+  EXPECT_EQ(a.filtered, b.filtered);
+  EXPECT_EQ(a.wedged_head_cycles, b.wedged_head_cycles);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.drained, b.drained);
+  EXPECT_EQ(a.deadlocked, b.deadlocked);
+  EXPECT_EQ(a.saturated, b.saturated);
+  EXPECT_EQ(a.warmup_cycles_used, b.warmup_cycles_used);
+  EXPECT_EQ(a.warmup_converged, b.warmup_converged);
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.accepted_ci95, b.accepted_ci95);
+  EXPECT_EQ(a.latency_ci95, b.latency_ci95);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance, static fault environments
+
+TEST(ParallelTick, Clustered3DModelThreadCountInvariant) {
+  const mesh::Mesh3D m(5, 5, 5);
+  util::Rng frng(4242);
+  const auto f = mesh::inject_clustered(m, 10, 2, frng);
+
+  auto run = [&](int threads) {
+    MccRouting3D routing(m, f, GuidanceMode::Model);
+    Config cfg;
+    cfg.threads = threads;
+    const LoadPoint load{0.03, 200, 800, 20000};
+    return run_load_point3d(m, f, routing, Pattern::Hotspot, cfg,
+                            core::RoutePolicy::Random, load, 17);
+  };
+  const SimResult ref = run(1);
+  EXPECT_GT(ref.delivered_packets, 0u);
+  EXPECT_EQ(ref.violations, 0u);
+  // 2 and 4 split 125 routers evenly-ish; 3 leaves a ragged last shard.
+  for (const int threads : {2, 3, 4}) {
+    SCOPED_TRACE(threads);
+    expect_same(ref, run(threads));
+  }
+}
+
+TEST(ParallelTick, FaultFree2DOracleThreadCountInvariant) {
+  const mesh::Mesh2D m(8, 8);
+  const mesh::FaultSet2D f(m);
+
+  auto run = [&](int threads) {
+    MccRouting2D routing(m, f, GuidanceMode::Oracle);
+    Config cfg;
+    cfg.threads = threads;
+    const LoadPoint load{0.05, 200, 600, 20000};
+    return run_load_point2d(m, f, routing, Pattern::Transpose, cfg,
+                            core::RoutePolicy::Random, load, 29);
+  };
+  const SimResult ref = run(1);
+  EXPECT_GT(ref.delivered_packets, 0u);
+  expect_same(ref, run(4));
+}
+
+TEST(ParallelTick, FaultBlock2DThreadCountInvariant) {
+  const mesh::Mesh2D m(10, 10);
+  mesh::FaultSet2D f(m);
+  for (int x = 4; x <= 6; ++x)
+    for (int y = 4; y <= 5; ++y) f.set_faulty({x, y});
+
+  auto run = [&](int threads) {
+    FaultBlockRouting2D routing(m, f);
+    Config cfg;
+    cfg.threads = threads;
+    const LoadPoint load{0.03, 150, 500, 20000};
+    return run_load_point2d(m, f, routing, Pattern::Uniform, cfg,
+                            core::RoutePolicy::Random, load, 91);
+  };
+  const SimResult ref = run(1);
+  EXPECT_GT(ref.delivered_packets, 0u);
+  expect_same(ref, run(4));
+}
+
+// More lanes than routers must clamp, not crash or skew.
+TEST(ParallelTick, MoreThreadsThanRouters) {
+  const mesh::Mesh2D m(3, 3);
+  const mesh::FaultSet2D f(m);
+  auto run = [&](int threads) {
+    MccRouting2D routing(m, f, GuidanceMode::Model);
+    Config cfg;
+    cfg.threads = threads;
+    const LoadPoint load{0.1, 50, 200, 5000};
+    return run_load_point2d(m, f, routing, Pattern::Uniform, cfg,
+                            core::RoutePolicy::Random, load, 3);
+  };
+  expect_same(run(1), run(64));
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance through mid-run fault/repair events — the
+// dropped-flit paths: dead-node buffer drops, wire drops, doomed-worm
+// flushes, partial-reassembly retreats, plus the staged wire-failure path
+// (the static routing function keeps steering worms into the dead node).
+
+TEST(ParallelTick, LockstepEventsBitIdentical) {
+  const mesh::Mesh2D m(8, 8);
+  const mesh::FaultSet2D f(m);  // traffic keeps injecting everywhere
+
+  MccRouting2D routing(m, f, GuidanceMode::Model);
+  Config cfg1;
+  cfg1.drop_infeasible = true;
+  Config cfg4 = cfg1;
+  cfg1.threads = 1;
+  cfg4.threads = 4;
+  Network2D a(m, f, routing, cfg1, core::RoutePolicy::Random, 77);
+  Network2D b(m, f, routing, cfg4, core::RoutePolicy::Random, 77);
+  TrafficGen2D ta(m, f, routing, Pattern::Uniform, 0xABCD);
+  TrafficGen2D tb(m, f, routing, Pattern::Uniform, 0xABCD);
+
+  const auto compare_now = [&](int cycle) {
+    SCOPED_TRACE(cycle);
+    ASSERT_EQ(a.stats().injected_flits, b.stats().injected_flits);
+    ASSERT_EQ(a.stats().delivered_flits, b.stats().delivered_flits);
+    ASSERT_EQ(a.stats().dropped_flits, b.stats().dropped_flits);
+    ASSERT_EQ(a.stats().dropped_packets, b.stats().dropped_packets);
+    ASSERT_EQ(a.stats().wedged_head_cycles, b.stats().wedged_head_cycles);
+    ASSERT_EQ(a.stats().violations, b.stats().violations);
+    ASSERT_EQ(a.stats().latency.count(), b.stats().latency.count());
+    ASSERT_EQ(a.stats().latency.mean(), b.stats().latency.mean());
+    // With a fault-oblivious static routing, worms legitimately wedge on
+    // dead-facing VCs after apply_fault, so check_credits may fail — but it
+    // must fail IDENTICALLY: same verdict, same message, either thread count.
+    std::string err_a, err_b;
+    const bool ok_a = a.check_credits(&err_a);
+    const bool ok_b = b.check_credits(&err_b);
+    ASSERT_EQ(ok_a, ok_b);
+    ASSERT_EQ(err_a, err_b);
+  };
+  const auto run_both = [&](int cycles, bool inject) {
+    for (int c = 0; c < cycles; ++c) {
+      if (inject) {
+        ta.tick(a, 0.05);
+        tb.tick(b, 0.05);
+      }
+      a.step();
+      b.step();
+      if (c % 10 == 9) compare_now(static_cast<int>(a.cycle()));
+    }
+  };
+
+  run_both(100, true);
+  a.apply_fault({3, 3});
+  b.apply_fault({3, 3});
+  run_both(60, true);
+  a.apply_fault({4, 3});
+  b.apply_fault({4, 3});
+  run_both(60, true);
+  a.apply_repair({3, 3});
+  b.apply_repair({3, 3});
+  run_both(100, true);
+  run_both(400, false);  // drain what still can complete
+  compare_now(static_cast<int>(a.cycle()));
+  // Events with a fault-oblivious model steer worms into the dead nodes —
+  // make sure the run actually exercised the drop/violation paths.
+  EXPECT_GT(a.stats().dropped_flits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance under live churn, through the api front door
+// (DynamicModel + timeline + drop_infeasible; 2-D and 3-D; MCC and
+// fault-block policies). Tables and metrics must match cell for cell —
+// only the config echo (the threads key itself) may differ.
+
+TEST(ParallelTick, ChurnReportsThreadCountInvariant) {
+  const auto run = [](int dims, const std::string& policy, int threads) {
+    api::Configuration cfg;
+    cfg.set("driver", "wormhole_churn");
+    cfg.set("fault_model", "dynamic");
+    cfg.set("dims", std::to_string(dims));
+    cfg.set("k", "6");
+    cfg.set("fault_pattern", "clustered");
+    cfg.set("fault_count", "4");
+    cfg.set("fault_clusters", "2");
+    cfg.set("policy", policy);
+    cfg.set("traffic", "uniform");
+    cfg.set("rates", "0.02");
+    cfg.set("churn", "4");
+    cfg.set("warmup", "100");
+    cfg.set("measure", "300");
+    cfg.set("drain", "4000");
+    cfg.set("stall", "500");
+    cfg.set("threads", std::to_string(threads));
+    api::Experiment exp(cfg);
+    const api::RunReport report = exp.run();
+    EXPECT_FALSE(report.failed()) << report.failure();
+    const auto doc = report.to_json();
+    return doc.find("tables")->dump() + "\n" + doc.find("metrics")->dump();
+  };
+  for (const int dims : {2, 3}) {
+    for (const std::string policy : {"model", "fault_block"}) {
+      SCOPED_TRACE(std::to_string(dims) + "D " + policy);
+      EXPECT_EQ(run(dims, policy, 1), run(dims, policy, 4));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement-window accounting
+
+// A routing function that never admits an output: every injected head
+// wedges at its source queue forever. Makes the wedged-cycle count exactly
+// computable: one per node with a queued head, per cycle.
+struct WedgeRouting2D final : RoutingFunction2D {
+  int vc_classes() const override { return 1; }
+  int vc_class(Coord2, Coord2) const override { return 0; }
+  size_t candidates(Coord2, Coord2, Coord2,
+                    std::array<mesh::Dir2, 2>&) override {
+    return 0;
+  }
+  bool feasible(Coord2 s, Coord2 d) override { return !(s == d); }
+};
+
+TEST(MeasurementWindow, WedgedCyclesAreWindowScoped) {
+  const mesh::Mesh2D m(3, 3);
+  const mesh::FaultSet2D f(m);
+  WedgeRouting2D routing;
+  const Config cfg;
+  LoadPoint load;
+  load.rate = 1.0;  // Bernoulli(1): every node holds a wedged head from
+                    // its first cycle on
+  load.warmup = 50;
+  load.measure = 40;
+  load.drain = 500;
+  load.stall = 20;
+  const SimResult r = run_load_point2d(m, f, routing, Pattern::Uniform, cfg,
+                                       core::RoutePolicy::XFirst, load, 5);
+  // 9 wedged heads per cycle over measure (40) + stalled drain (20) — and
+  // NOT over the 50 warmup cycles, which the whole-run counter would have
+  // added (810 instead of 540).
+  EXPECT_EQ(r.wedged_head_cycles, 9u * (40u + 20u));
+  EXPECT_TRUE(r.deadlocked);
+  EXPECT_FALSE(r.drained);
+  EXPECT_EQ(r.delivered_packets, 0u);
+  EXPECT_TRUE(r.saturated);
+  EXPECT_EQ(r.violations, 0u);
+}
+
+TEST(MeasurementWindow, BeginWindowSnapshotsCounters) {
+  const mesh::Mesh2D m(4, 4);
+  mesh::FaultSet2D f(m);
+  f.set_faulty({1, 1});
+  MccRouting2D routing(m, f, GuidanceMode::Model);
+  const Config cfg;
+  Network2D net(m, f, routing, cfg, core::RoutePolicy::XFirst, 1);
+
+  net.inject({1, 1}, {3, 3});  // dead source: a pre-window violation
+  net.inject({0, 0}, {3, 3});
+  for (int c = 0; c < 100 && !net.idle(); ++c) net.step();
+  ASSERT_TRUE(net.idle());
+
+  const WindowStart w = net.begin_window();
+  EXPECT_EQ(w.violations, 1u);
+  EXPECT_EQ(w.injected_flits, net.stats().injected_flits);
+  EXPECT_EQ(w.delivered_flits, net.stats().delivered_flits);
+  EXPECT_EQ(w.wedged_head_cycles, net.stats().wedged_head_cycles);
+  EXPECT_EQ(net.stats().latency.count(), 0u);  // histogram cleared
+
+  net.inject({1, 1}, {3, 3});
+  net.inject({1, 1}, {2, 2});
+  EXPECT_EQ(net.stats().violations.size() - w.violations, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Convergence-based warmup
+
+TEST(ConvergenceWarmup, FixedModeLeavesConvergenceFieldsInert) {
+  const mesh::Mesh2D m(6, 6);
+  const mesh::FaultSet2D f(m);
+  MccRouting2D routing(m, f, GuidanceMode::Model);
+  LoadPoint load;
+  load.rate = 0.03;
+  load.warmup = 120;
+  load.measure = 300;
+  const SimResult r = run_load_point2d(m, f, routing, Pattern::Uniform,
+                                       Config{}, core::RoutePolicy::Random,
+                                       load, 7);
+  EXPECT_EQ(r.warmup_cycles_used, 120u);
+  EXPECT_FALSE(r.warmup_converged);
+  EXPECT_EQ(r.samples, 0u);
+  EXPECT_EQ(r.accepted_ci95, 0.0);
+  EXPECT_EQ(r.latency_ci95, 0.0);
+}
+
+TEST(ConvergenceWarmup, ConvergesEarlyAndReportsCIs) {
+  const mesh::Mesh2D m(8, 8);
+  const mesh::FaultSet2D f(m);
+  MccRouting2D routing(m, f, GuidanceMode::Model);
+  LoadPoint load;
+  load.rate = 0.03;
+  load.warmup = 8000;  // cap, far beyond what steady state needs
+  load.measure = 1000;
+  load.warmup_mode = WarmupMode::Converge;
+  load.sample_period = 200;
+  load.convergence = 0.3;  // loose: settles within a few periods
+  const SimResult r = run_load_point2d(m, f, routing, Pattern::Uniform,
+                                       Config{}, core::RoutePolicy::Random,
+                                       load, 13);
+  EXPECT_TRUE(r.warmup_converged);
+  EXPECT_LT(r.warmup_cycles_used, 8000u);
+  EXPECT_EQ(r.warmup_cycles_used % 200, 0u);  // whole sample periods
+  EXPECT_EQ(r.samples, 5u);                   // 1000 / 200
+  EXPECT_GE(r.accepted_ci95, 0.0);
+  EXPECT_GE(r.latency_ci95, 0.0);
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.violations, 0u);
+}
+
+TEST(ConvergenceWarmup, UnattainableThresholdHitsTheCap) {
+  const mesh::Mesh2D m(6, 6);
+  const mesh::FaultSet2D f(m);
+  MccRouting2D routing(m, f, GuidanceMode::Model);
+  LoadPoint load;
+  load.rate = 0.03;
+  load.warmup = 600;
+  load.measure = 200;
+  load.warmup_mode = WarmupMode::Converge;
+  load.sample_period = 100;
+  load.convergence = 0.0;  // rel-delta < 0 never holds
+  const SimResult r = run_load_point2d(m, f, routing, Pattern::Uniform,
+                                       Config{}, core::RoutePolicy::Random,
+                                       load, 19);
+  EXPECT_FALSE(r.warmup_converged);
+  EXPECT_EQ(r.warmup_cycles_used, 600u);
+}
+
+TEST(ConvergenceWarmup, ConvergeModeThreadCountInvariant) {
+  const mesh::Mesh3D m(4, 4, 4);
+  util::Rng frng(11);
+  const auto f = mesh::inject_clustered(m, 4, 1, frng);
+  auto run = [&](int threads) {
+    MccRouting3D routing(m, f, GuidanceMode::Model);
+    Config cfg;
+    cfg.threads = threads;
+    LoadPoint load;
+    load.rate = 0.03;
+    load.warmup = 2000;
+    load.measure = 600;
+    load.warmup_mode = WarmupMode::Converge;
+    load.sample_period = 150;
+    load.convergence = 0.25;
+    return run_load_point3d(m, f, routing, Pattern::Uniform, cfg,
+                            core::RoutePolicy::Random, load, 23);
+  };
+  expect_same(run(1), run(4));
+}
+
+}  // namespace
+}  // namespace mcc

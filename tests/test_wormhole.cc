@@ -270,5 +270,27 @@ TEST(Wormhole2D, ModelGuidanceDrainsAroundBlock) {
   EXPECT_TRUE(net.check_credits(&err)) << err;
 }
 
+// Saturation is "accepted below 90% of offered", decided in integers.
+// The old float form `accepted < uint64_t(0.9 * offered)` truncated the
+// threshold: offered = 9 gave uint64_t(8.1) = 8, so accepted = 8 (which is
+// 88.9% of offered — saturated) compared 8 < 8 and was misclassified as
+// keeping up. Pin the exact boundary at offered ∈ {0, 9, 10}.
+TEST(Wormhole, SaturationBoundaryIsExact) {
+  // offered = 0: an idle window is never "saturated".
+  EXPECT_FALSE(saturated_window(0, 0));
+  // offered = 9: threshold is 8.1 flits, so 8 is saturated, 9 is not.
+  EXPECT_TRUE(saturated_window(0, 9));
+  EXPECT_TRUE(saturated_window(8, 9));   // 8/9 ≈ 0.889 < 0.9 — the old bug
+  EXPECT_FALSE(saturated_window(9, 9));
+  // offered = 10: threshold is exactly 9 flits; 9/10 = 0.9 is NOT below.
+  EXPECT_TRUE(saturated_window(8, 10));
+  EXPECT_FALSE(saturated_window(9, 10));
+  EXPECT_FALSE(saturated_window(10, 10));
+  // Large windows must not overflow: 10 * accepted stays in range for any
+  // realistic flit count, and the comparison stays exact.
+  EXPECT_TRUE(saturated_window(899'999'999ull, 1'000'000'000ull));
+  EXPECT_FALSE(saturated_window(900'000'000ull, 1'000'000'000ull));
+}
+
 }  // namespace
 }  // namespace mcc::sim::wh
