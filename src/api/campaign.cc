@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <fstream>
 #include <ostream>
 #include <set>
 #include <stdexcept>
@@ -115,10 +116,16 @@ Campaign::Campaign(Configuration base) : cfg_(std::move(base)) {
     for (const auto& [key, value] : pt.coords) pc.set(key, value);
     pt.seed = derive_point_seed(base_seed_, pt.coords);
     pc.set("seed", std::to_string(pt.seed));
-    // A point never writes its own files; the campaign owns the outputs.
+    // A point never writes its own files; the campaign owns the outputs
+    // (trace/flit paths would collide across points, and progress_json is
+    // a campaign-level heartbeat). The obs paths are cleared only when
+    // actually set: an unconditional set would add them to every point's
+    // config echo and drift the committed campaign baselines.
     pc.set("report_json", "");
     pc.set("bench_json", "");
     pc.set("campaign_json", "");
+    for (const char* key : {"trace_json", "flit_trace", "progress_json"})
+      if (!pc.get_string(key).empty()) pc.set(key, "");
     pc.set("name", name_ + "@" + coords_label(pt.coords));
     pt.config = std::move(pc);
 
@@ -140,6 +147,41 @@ std::vector<Campaign::PointResult> Campaign::run_shard(
     int shard, int shard_count, std::ostream* progress) const {
   if (shard_count < 1 || shard < 1 || shard > shard_count)
     throw ConfigError("campaign: shard must be i/N with 1 <= i <= N");
+
+  // Live-progress heartbeat: one mcc.progress/1 NDJSON line appended per
+  // event. Each line is written through its own append-mode open+close so
+  // forked --jobs workers interleave whole lines (O_APPEND), never
+  // fragments; a monitoring harness can tail the file while the campaign
+  // runs. Write failures are deliberately ignored — the heartbeat must
+  // never fail the campaign.
+  const std::string progress_path = cfg_.get_string("progress_json");
+  const std::string shard_label =
+      std::to_string(shard) + "/" + std::to_string(shard_count);
+  const auto heartbeat = [&](Json line) {
+    if (progress_path.empty()) return;
+    line.set("shard", Json::string(shard_label));
+    std::ofstream f(progress_path, std::ios::app);
+    if (f) f << line.dump() << "\n";
+  };
+  const auto progress_event = [&](const char* ev) {
+    Json line = Json::object();
+    line.set("schema", Json::string(kProgressSchema));
+    line.set("ev", Json::string(ev));
+    return line;
+  };
+  size_t shard_points = 0;
+  for (const CampaignPoint& pt : points_)
+    if (pt.index % static_cast<size_t>(shard_count) ==
+        static_cast<size_t>(shard - 1))
+      ++shard_points;
+  {
+    Json line = progress_event("shard_start");
+    line.set("name", Json::string(name_));
+    line.set("points", Json::number(static_cast<uint64_t>(shard_points)));
+    line.set("total", Json::number(static_cast<uint64_t>(points_.size())));
+    heartbeat(std::move(line));
+  }
+
   std::vector<PointResult> out;
   for (const CampaignPoint& pt : points_) {
     if (pt.index % static_cast<size_t>(shard_count) !=
@@ -169,7 +211,24 @@ std::vector<Campaign::PointResult> Campaign::run_shard(
     if (progress != nullptr)
       *progress << "[" << pt.index + 1 << "/" << points_.size() << "] "
                 << label << ": " << status << "\n";
+    {
+      Json line = progress_event("point");
+      line.set("index", Json::number(static_cast<uint64_t>(pt.index)));
+      line.set("total", Json::number(static_cast<uint64_t>(points_.size())));
+      line.set("coords", Json::string(label));
+      line.set("failed", Json::boolean(r.failed));
+      heartbeat(std::move(line));
+    }
     out.push_back(std::move(r));
+  }
+  {
+    size_t failed_points = 0;
+    for (const PointResult& r : out)
+      if (r.failed) ++failed_points;
+    Json line = progress_event("shard_done");
+    line.set("points", Json::number(static_cast<uint64_t>(out.size())));
+    line.set("failed", Json::number(static_cast<uint64_t>(failed_points)));
+    heartbeat(std::move(line));
   }
   return out;
 }
@@ -323,7 +382,8 @@ Json Campaign::to_json(const std::vector<PointResult>& results, int shard,
   // file is not part of it (shards pass different paths, and the merged
   // document must be byte-identical across shard counts).
   for (const auto& [k, v] : cfg_.echo())
-    if (k != "report_json" && k != "campaign_json" && k != "bench_json")
+    if (k != "report_json" && k != "campaign_json" && k != "bench_json" &&
+        k != "trace_json" && k != "flit_trace" && k != "progress_json")
       cfg.set(k, Json::string(v));
   doc.set("config", std::move(cfg));
   Json axes = Json::array();

@@ -226,6 +226,22 @@ const std::map<std::string, KeySpec>& Configuration::schema() {
       {"bench_json", {KeyType::String, "", "write BENCH_<value>.json (schema mcc.bench/1)"}},
       {"render", {KeyType::Bool, "0", "include ASCII mesh renderings where supported"}},
       {"detail", {KeyType::Bool, "0", "include optional secondary tables"}},
+      // --- observability ----------------------------------------------------
+      {"metrics",
+       {KeyType::Bool, "0",
+        "publish the mcc.metrics/1 registry block into the report"}},
+      {"profile",
+       {KeyType::Bool, "0",
+        "time tick phases and MCC kernels; adds the profile table"}},
+      {"trace_json",
+       {KeyType::String, "",
+        "write a Chrome trace-event JSON (Perfetto-loadable) here"}},
+      {"flit_trace",
+       {KeyType::String, "",
+        "write the cycle-stamped flit-lifecycle NDJSON trace here"}},
+      {"progress_json",
+       {KeyType::String, "",
+        "campaigns: append mcc.progress/1 NDJSON heartbeats here"}},
       // --- mesh -------------------------------------------------------------
       {"dims", {KeyType::Int, "3", "mesh dimensionality", 2, 3}},
       {"k", {KeyType::Int, "16", "edge length (square/cubic mesh)", 2, 512}},
@@ -405,7 +421,9 @@ std::vector<std::string> split_sweep_elements(const std::string& s) {
 /// them would make campaign points fight over output files or recurse.
 bool sweepable(const std::string& base) {
   return base != "smoke" && base != "report_json" && base != "bench_json" &&
-         base != "campaign_json" && base != "max_points" && base != "name";
+         base != "campaign_json" && base != "max_points" && base != "name" &&
+         base != "trace_json" && base != "flit_trace" &&
+         base != "progress_json";
 }
 
 }  // namespace

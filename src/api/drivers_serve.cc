@@ -13,6 +13,7 @@
 #include <string>
 
 #include "api/experiment.h"
+#include "obs/obs.h"
 #include "serve/load.h"
 #include "util/table.h"
 
@@ -147,6 +148,28 @@ void run_serve_load(const Scenario& scn, RunReport& report, const Mesh& mesh,
   report.note("feasible_yes=" + std::to_string(feasible_yes));
   report.note("routed=" + std::to_string(routed));
   report.note("delivered=" + std::to_string(delivered));
+
+  if (obs::MetricRegistry* reg = obs::metrics()) {
+    // Seed-determined totals are counters (the gate compares exactly);
+    // anything shaped by reader/writer interleaving or the wall clock —
+    // lag, buffer-pool growth, QPS, latency — is a gauge or histogram.
+    reg->add_counter("serve.queries", r.queries_total);
+    reg->add_counter("serve.events_applied", r.events_applied);
+    reg->add_counter("serve.publishes", r.publishes);
+    reg->add_counter("serve.final_epoch", r.final_epoch);
+    reg->add_gauge("serve.max_reader_lag",
+                   static_cast<double>(r.max_reader_lag));
+    reg->add_gauge("serve.snapshot_buffers", static_cast<double>(r.buffers));
+    reg->add_gauge("serve.buffers_grown",
+                   static_cast<double>(r.buffers_grown));
+    reg->add_gauge("serve.qps", r.qps);
+    for (const serve::ReaderResult& me : r.readers) {
+      reg->observe("serve.query_us.p99",
+                   static_cast<double>(me.latency.percentile(0.99)));
+      reg->observe("serve.query_us.max",
+                   static_cast<double>(me.latency.max()));
+    }
+  }
 
   if (r.replica_checked && !r.replica_consistent)
     report.fail("boundary_delta replica diverged from the authoritative "

@@ -4,12 +4,14 @@
 // byte-identical with their pre-redesign output, so the sweep structure,
 // seed arithmetic and Table formatting mirror the legacy bench mains
 // (tests/test_api_differential.cc pins the cells).
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 #include <type_traits>
 
 #include "api/experiment.h"
 #include "mesh/fault_injection.h"
+#include "obs/obs.h"
 #include "proto/boundary_delta.h"
 #include "runtime/timeline.h"
 #include "sim/wormhole/baseline_routing.h"
@@ -33,6 +35,44 @@ std::string state_cell(const sim::wh::SimResult& r) {
                      : r.saturated  ? "saturated"
                                     : "stable");
 }
+
+// Per-run simulator totals for the metrics registry. Counters are
+// deterministic across thread counts (serial-phase accounting in the
+// tick); the pool spin/park totals are scheduling noise, hence gauges.
+struct SimTotals {
+  uint64_t delivered = 0, filtered = 0, wedged = 0, route_computes = 0;
+  uint64_t arena_hwm = 0;  // max across load points
+  uint64_t pool_spin = 0, pool_parks = 0;
+
+  void fold(const sim::wh::SimResult& r) {
+    delivered += r.delivered_packets;
+    filtered += r.filtered;
+    wedged += r.wedged_head_cycles;
+    route_computes += r.route_computes;
+    arena_hwm = std::max(arena_hwm, r.arena_high_water);
+    pool_spin += r.pool_spin_iters;
+    pool_parks += r.pool_parks;
+  }
+
+  /// Publishes into the installed registry (no-op when metrics are off)
+  /// and notes the dark counters on the report. Notes only appear on
+  /// metrics=1 runs so default-off reports stay byte-identical.
+  void publish(RunReport& report) const {
+    obs::MetricRegistry* reg = obs::metrics();
+    if (reg == nullptr) return;
+    reg->add_counter("wh.delivered_packets", delivered);
+    reg->add_counter("wh.filtered", filtered);
+    reg->add_counter("wh.wedged_head_cycles", wedged);
+    reg->add_counter("wh.route_computes", route_computes);
+    reg->set_counter("wh.arena_high_water", arena_hwm);
+    reg->add_gauge("wh.pool_spin_iters", static_cast<double>(pool_spin));
+    reg->add_gauge("wh.pool_parks", static_cast<double>(pool_parks));
+    report.note("obs: wh.arena_high_water=" + std::to_string(arena_hwm));
+    report.note("obs: wh.pool_spin_iters=" + std::to_string(pool_spin) +
+                " wh.pool_parks=" + std::to_string(pool_parks) +
+                " (scheduling-dependent)");
+  }
+};
 
 // ---------------------------------------------------------------------------
 // wormhole_load (E11)
@@ -65,6 +105,7 @@ void run_wormhole_load(const Scenario& scn, RunReport& report) {
 
   const PolicySpec& pol = scn.policy_spec(scn.policy);
   uint64_t delivered_total = 0;
+  SimTotals totals;
 
   for (const std::string& env : envs) {
     Faults f(m);
@@ -145,6 +186,7 @@ void run_wormhole_load(const Scenario& scn, RunReport& report) {
         }
         t.add_row(std::move(row));
         delivered_total += r.delivered_packets;
+        totals.fold(r);
         if (r.violations != 0 || r.deadlocked) {  // must never happen
           report.fail(r.violations != 0 ? "ordering/credit violation"
                                         : "deadlock");
@@ -154,6 +196,7 @@ void run_wormhole_load(const Scenario& scn, RunReport& report) {
     }
   }
 
+  totals.publish(report);
   report.metric("delivered_packets", static_cast<double>(delivered_total));
   report.text(
       "\nExpected shape: latency flat near zero-load, rising toward the "
@@ -214,6 +257,9 @@ void run_wormhole_churn(const Scenario& scn, RunReport& report) {
 
   bool ok = true;
   uint64_t delivered_total = 0, dropped_total = 0;
+  SimTotals totals;
+  runtime::GuidanceCacheStats cache_totals;
+  uint64_t fault_total = 0, repair_total = 0, dropped_flits_total = 0;
   for (const int k : scn.ks) {
     for (const double churn : scn.churn) {  // events per 1000 cycles
       const Mesh mesh = [&] {
@@ -297,12 +343,36 @@ void run_wormhole_churn(const Scenario& scn, RunReport& report) {
                                                  : "ok")});
       delivered_total += r.sim.delivered_packets;
       dropped_total += r.dropped_packets;
+      totals.fold(r.sim);
+      cache_totals.hits += r.cache.hits;
+      cache_totals.misses += r.cache.misses;
+      cache_totals.evictions += r.cache.evictions;
+      cache_totals.dedup_waits += r.cache.dedup_waits;
+      fault_total += r.fault_events;
+      repair_total += r.repair_events;
+      dropped_flits_total += r.dropped_flits;
       // With drop_infeasible forced and repairs still firing through the
       // drain, a churn run must empty; a backlog that outlives the budget
       // is a wedge even if the stall detector never formally fired.
       if (r.sim.violations != 0 || r.sim.deadlocked || !r.sim.drained)
         ok = false;
     }
+  }
+  totals.publish(report);
+  if (obs::MetricRegistry* reg = obs::metrics()) {
+    reg->add_counter("wh.dropped_packets", dropped_total);
+    reg->add_counter("wh.dropped_flits", dropped_flits_total);
+    reg->add_counter("wh.fault_events", fault_total);
+    reg->add_counter("wh.repair_events", repair_total);
+    // Hit/miss/eviction totals are deterministic on non-evicting runs
+    // (the determinism tests size the cache so nothing evicts);
+    // dedup_waits counts latch waiters — concurrency-dependent, a gauge.
+    reg->add_counter("cache.hits", cache_totals.hits);
+    reg->add_counter("cache.misses", cache_totals.misses);
+    reg->add_counter("cache.evictions", cache_totals.evictions);
+    reg->add_gauge("cache.dedup_waits",
+                   static_cast<double>(cache_totals.dedup_waits));
+    reg->set_gauge("cache.hit_rate", cache_totals.hit_rate());
   }
   report.metric("delivered_packets", static_cast<double>(delivered_total));
   report.metric("dropped_packets", static_cast<double>(dropped_total));

@@ -1,9 +1,13 @@
 #include "api/experiment.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <mutex>
+#include <utility>
 
 #include "mesh/fault_injection.h"
+#include "obs/obs.h"
 #include "sim/wormhole/baseline_routing.h"
 #include "sim/wormhole/dynamic_routing.h"
 
@@ -418,6 +422,11 @@ Scenario build_scenario(const Configuration& cfg) {
   s.detail = cfg.get_bool("detail");
   s.diversity = cfg.get_bool("diversity");
 
+  s.metrics = cfg.get_bool("metrics");
+  s.profile = cfg.get_bool("profile");
+  s.trace_json = cfg.get_string("trace_json");
+  s.flit_trace = cfg.get_string("flit_trace");
+
   s.fault_model = cfg.get_string("fault_model");
   s.dynamic = fault_models().get(s.fault_model).dynamic;
   s.fault_pattern = cfg.get_string("fault_pattern");
@@ -498,6 +507,98 @@ Scenario build_scenario(const Configuration& cfg) {
   return s;
 }
 
+std::string fmt_ms(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+std::string fmt_pct(uint64_t part_ns, uint64_t whole_ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f",
+                whole_ns != 0
+                    ? 100.0 * static_cast<double>(part_ns) /
+                          static_cast<double>(whole_ns)
+                    : 0.0);
+  return buf;
+}
+
+// The profile table. "calls" counts are deterministic across thread
+// counts; the ms/% columns are wall-clock and carry timing tokens so
+// bench_trend reports them informationally. Kernel times are lane-summed
+// (CPU-time-like), so they can exceed the enclosing phase's wall time.
+void append_profile(const obs::Profiler& prof, RunReport& report) {
+  using obs::Phase;
+  const uint64_t run_ns = prof.total_ns(Phase::Run);
+  report.text("\n## profile\n\n");
+  util::Table& t = report.table(
+      "profile", {"phase", "under", "calls", "total ms", "% time"});
+  const auto parent_row = [&](int parent) {
+    for (int child = 0; child < obs::kPhaseCount; ++child) {
+      const Phase p = static_cast<Phase>(child);
+      const uint64_t calls = prof.edge_calls(parent, p);
+      if (calls == 0) continue;
+      const uint64_t ns = prof.edge_ns(parent, p);
+      t.add_row({obs::phase_name(p),
+                 parent == obs::kPhaseRoot
+                     ? "-"
+                     : obs::phase_name(static_cast<Phase>(parent)),
+                 std::to_string(calls), fmt_ms(ns), fmt_pct(ns, run_ns)});
+    }
+  };
+  parent_row(obs::kPhaseRoot);
+  for (int parent = 0; parent < obs::kPhaseCount; ++parent)
+    parent_row(parent);
+
+  uint64_t tick_ns = 0;
+  for (const Phase p : {Phase::TickWires, Phase::TickHeads, Phase::TickAlloc,
+                        Phase::TickTraverse, Phase::TickCommit})
+    tick_ns += prof.total_ns(p);
+  const uint64_t denom = tick_ns != 0 ? tick_ns : run_ns;
+  const char* denom_name = tick_ns != 0 ? "tick" : "run";
+  std::vector<std::pair<uint64_t, Phase>> kernels;
+  for (const Phase p :
+       {Phase::KernelSafeReach, Phase::KernelFlood, Phase::KernelLabelFixpoint,
+        Phase::KernelCacheBuild})
+    if (prof.total_calls(p) != 0) kernels.emplace_back(prof.total_ns(p), p);
+  std::sort(kernels.begin(), kernels.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  if (!kernels.empty()) {
+    std::string line = "top kernels: ";
+    for (size_t i = 0; i < kernels.size() && i < 2; ++i) {
+      if (i != 0) line += ", ";
+      line += std::string(obs::phase_name(kernels[i].second)) + " " +
+              fmt_pct(kernels[i].first, denom) + "%";
+    }
+    line += std::string(" of ") + denom_name +
+            " time (lane-summed, may exceed 100%)\n";
+    report.text(std::move(line));
+  }
+}
+
+Json obs_block(const obs::MetricRegistry& reg) {
+  Json o = Json::object();
+  o.set("schema", Json::string(kMetricsSchema));
+  Json counters = Json::object();
+  for (const auto& [k, v] : reg.counters()) counters.set(k, Json::number(v));
+  o.set("counters", std::move(counters));
+  Json gauges = Json::object();
+  for (const auto& [k, v] : reg.gauges()) gauges.set(k, Json::number(v));
+  o.set("gauges", std::move(gauges));
+  Json hists = Json::object();
+  for (const auto& [k, h] : reg.histograms()) {
+    Json jh = Json::object();
+    jh.set("count", Json::number(h.count));
+    jh.set("sum", Json::number(h.sum));
+    jh.set("min", Json::number(h.min));
+    jh.set("max", Json::number(h.max));
+    hists.set(k, std::move(jh));
+  }
+  o.set("histograms", std::move(hists));
+  return o;
+}
+
 }  // namespace
 
 Experiment::Experiment(Configuration cfg) : cfg_(std::move(cfg)) {
@@ -514,7 +615,25 @@ RunReport Experiment::run() {
   RunReport report(scenario_.name, scenario_.driver, scenario_.seed);
   report.set_config_echo(cfg_.echo());
   const DriverFn& driver = drivers().get(scenario_.driver);
-  driver(scenario_, report);
+
+  obs::RunObs ro;
+  ro.metrics_on = scenario_.metrics;
+  ro.profile_on = scenario_.profile;
+  if (!scenario_.trace_json.empty())
+    ro.trace = std::make_unique<obs::TraceSink>();
+  if (!scenario_.flit_trace.empty())
+    ro.flit = std::make_unique<obs::FlitTrace>();
+  {
+    obs::ScopedRunObs scoped(ro);
+    obs::ProfScope prof(obs::Phase::Run);
+    driver(scenario_, report);
+  }
+  if (scenario_.profile) append_profile(ro.prof, report);
+  if (scenario_.metrics) report.set_obs(obs_block(ro.registry));
+  if (ro.trace && !ro.trace->write(scenario_.trace_json))
+    throw ConfigError("config: cannot write '" + scenario_.trace_json + "'");
+  if (ro.flit && !ro.flit->write(scenario_.flit_trace))
+    throw ConfigError("config: cannot write '" + scenario_.flit_trace + "'");
 
   const std::string json_path = cfg_.get_string("report_json");
   if (!json_path.empty()) {

@@ -119,6 +119,14 @@ struct Scenario {
   bool smoke = false, guidance_cache = true;
   bool render = false, detail = false, diversity = false;
 
+  // Observability (src/obs; docs/observability.md). All default off — an
+  // uninstrumented run emits byte-identical reports to one built before
+  // the obs layer existed.
+  bool metrics = false;    // publish the mcc.metrics/1 "obs" block
+  bool profile = false;    // hierarchical phase/kernel profile table
+  std::string trace_json;  // Chrome trace-event JSON output path
+  std::string flit_trace;  // flit-lifecycle NDJSON output path
+
   std::string fault_model, fault_pattern;
   bool dynamic = false;  // resolved fault_model
   double fault_rate = 0;

@@ -4,8 +4,28 @@
 #include <ostream>
 
 #include "api/config.h"
+#include "obs/obs.h"
 
 namespace mcc::api {
+
+namespace {
+
+// Build provenance stamped into every report and bench envelope, so a
+// trend-gate diff names the binary (git hash, compiler, flags) that
+// produced each side. Comparators ignore it; the validator only requires
+// it to be an object.
+Json build_json() {
+  const obs::BuildProvenance& bp = obs::build_provenance();
+  Json b = Json::object();
+  b.set("git", Json::string(bp.git_hash));
+  b.set("compiler", Json::string(bp.compiler));
+  b.set("flags", Json::string(bp.flags));
+  b.set("build_type", Json::string(bp.build_type));
+  b.set("hw_lanes", Json::number(static_cast<uint64_t>(bp.hw_lanes)));
+  return b;
+}
+
+}  // namespace
 
 void RunReport::text(std::string t) {
   Block b;
@@ -54,6 +74,7 @@ Json RunReport::to_json() const {
   doc.set("name", Json::string(name_));
   doc.set("driver", Json::string(driver_));
   doc.set("seed", Json::number(seed_));
+  doc.set("build", build_json());
 
   Json cfg = Json::object();
   for (const auto& [k, v] : config_) cfg.set(k, Json::string(v));
@@ -86,6 +107,8 @@ Json RunReport::to_json() const {
   for (const std::string& n : notes_) notes.push_back(Json::string(n));
   doc.set("notes", std::move(notes));
 
+  if (obs_.is_object()) doc.set("obs", obs_);
+
   doc.set("failed", Json::boolean(failed_));
   if (failed_) doc.set("failure", Json::string(failure_));
   return doc;
@@ -97,6 +120,7 @@ void RunReport::write_bench_json(const std::string& path,
   Json doc = Json::object();
   doc.set("schema", Json::string(kBenchSchema));
   doc.set("name", Json::string(name));
+  doc.set("build", build_json());
   Json arr = Json::array();
   for (const RunReport* r : runs) arr.push_back(r->to_json());
   doc.set("runs", std::move(arr));
@@ -184,6 +208,63 @@ void validate_one_report(const Json& doc, std::vector<std::string>& problems,
   if (notes == nullptr || !notes->is_array()) miss("notes");
   const Json* failed = doc.find("failed");
   if (failed == nullptr || !failed->is_bool()) miss("failed");
+
+  // Optional blocks: "build" (provenance, stamped unconditionally by new
+  // binaries, absent from older documents) and "obs" (mcc.metrics/1,
+  // present only when the run was launched with metrics=1).
+  const Json* build = doc.find("build");
+  if (build != nullptr && !build->is_object())
+    problems.push_back(where + ": 'build' must be an object");
+  const Json* obs = doc.find("obs");
+  if (obs != nullptr) {
+    if (!obs->is_object()) {
+      problems.push_back(where + ": 'obs' must be an object");
+      return;
+    }
+    const Json* oschema = obs->find("schema");
+    if (oschema == nullptr || !oschema->is_string() ||
+        oschema->as_string() != kMetricsSchema) {
+      problems.push_back(where + ": obs.schema must be '" +
+                         std::string(kMetricsSchema) + "'");
+    }
+    const Json* counters = obs->find("counters");
+    if (counters == nullptr || !counters->is_object()) {
+      problems.push_back(where + ": obs.counters must be an object");
+    } else {
+      for (const auto& [k, v] : counters->members()) {
+        (void)k;
+        require(problems, v.is_number() && v.is_integral(),
+                "obs counters must be non-negative integers");
+      }
+    }
+    const Json* gauges = obs->find("gauges");
+    if (gauges == nullptr || !gauges->is_object()) {
+      problems.push_back(where + ": obs.gauges must be an object");
+    } else {
+      for (const auto& [k, v] : gauges->members()) {
+        (void)k;
+        require(problems, v.is_number(), "obs gauges must be numbers");
+      }
+    }
+    const Json* hists = obs->find("histograms");
+    if (hists == nullptr || !hists->is_object()) {
+      problems.push_back(where + ": obs.histograms must be an object");
+    } else {
+      for (const auto& [k, v] : hists->members()) {
+        (void)k;
+        if (!v.is_object()) {
+          problems.push_back(where +
+                             ": obs histogram entries must be objects");
+          continue;
+        }
+        for (const char* field : {"count", "sum", "min", "max"}) {
+          const Json* f = v.find(field);
+          require(problems, f != nullptr && f->is_number(),
+                  "obs histogram entries need numeric count/sum/min/max");
+        }
+      }
+    }
+  }
 }
 
 void validate_campaign(const Json& doc, std::vector<std::string>& problems) {

@@ -6,8 +6,9 @@
 // metrics. It serializes two ways:
 //   * render(os)      — the human form (markdown headings + tables);
 //   * to_json()       — schema "mcc.run_report/1": name, driver, seed,
-//                       config echo, tables (title/headers/rows), metrics,
-//                       notes, failed.
+//                       build provenance, config echo, tables
+//                       (title/headers/rows), metrics, notes, an optional
+//                       "obs" metrics block (mcc.metrics/1), failed.
 // write_bench_json() wraps one or more reports in the "mcc.bench/1"
 // envelope benches persist as BENCH_<name>.json, recording the perf
 // trajectory machine-readably.
@@ -29,6 +30,11 @@ namespace mcc::api {
 inline constexpr const char* kRunReportSchema = "mcc.run_report/1";
 inline constexpr const char* kBenchSchema = "mcc.bench/1";
 inline constexpr const char* kCampaignSchema = "mcc.campaign/1";
+/// Schema tag of the "obs" block a metrics=1 run attaches to its report
+/// (counters exact across thread counts, gauges/histograms informational).
+inline constexpr const char* kMetricsSchema = "mcc.metrics/1";
+/// Schema tag of the campaign progress-heartbeat NDJSON lines.
+inline constexpr const char* kProgressSchema = "mcc.progress/1";
 
 class RunReport {
  public:
@@ -58,6 +64,10 @@ class RunReport {
 
   /// Appends a short machine-readable note string.
   void note(std::string n);
+
+  /// Attaches the mcc.metrics/1 "obs" block (built by Experiment from the
+  /// run's MetricRegistry snapshot); serialized after notes when set.
+  void set_obs(Json obs) { obs_ = std::move(obs); }
 
   /// Marks the run failed (deadlock/violation/...); mcc_run exits 1.
   void fail(std::string why);
@@ -95,6 +105,7 @@ class RunReport {
   std::deque<TableBlock> tables_;
   std::vector<std::pair<std::string, double>> metrics_;
   std::vector<std::string> notes_;
+  Json obs_;  // mcc.metrics/1 block; Null when metrics are off
   bool failed_ = false;
   std::string failure_;
 };

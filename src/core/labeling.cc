@@ -4,6 +4,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/profiler.h"
+
 namespace mcc::core {
 
 using mesh::Coord2;
@@ -178,6 +180,7 @@ LabelField2D::LabelField2D(const mesh::Mesh2D& mesh,
                            const mesh::FaultSet2D& faults)
     : grid_(mesh.nx(), mesh.ny(), NodeState::Safe),
       both_(mesh.nx(), mesh.ny(), uint8_t{0}) {
+  obs::ProfScope prof(obs::Phase::KernelLabelFixpoint);
   for (int y = 0; y < mesh.ny(); ++y)
     for (int x = 0; x < mesh.nx(); ++x)
       if (faults.is_faulty({x, y})) grid_.at(x, y) = NodeState::Faulty;
@@ -348,6 +351,7 @@ LabelField3D::LabelField3D(const mesh::Mesh3D& mesh,
                            const mesh::FaultSet3D& faults)
     : grid_(mesh.nx(), mesh.ny(), mesh.nz(), NodeState::Safe),
       both_(mesh.nx(), mesh.ny(), mesh.nz(), uint8_t{0}) {
+  obs::ProfScope prof(obs::Phase::KernelLabelFixpoint);
   for (int z = 0; z < mesh.nz(); ++z)
     for (int y = 0; y < mesh.ny(); ++y)
       for (int x = 0; x < mesh.nx(); ++x)

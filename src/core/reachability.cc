@@ -1,5 +1,7 @@
 #include "core/reachability.h"
 
+#include "obs/profiler.h"
+
 namespace mcc::core {
 
 using mesh::Coord2;
@@ -25,6 +27,7 @@ ReachField2D::ReachField2D(const mesh::Mesh2D& mesh,
                            const LabelField2D& labels, Coord2 d,
                            NodeFilter filter)
     : d_(d), grid_(d.x + 1, d.y + 1, uint8_t{0}) {
+  obs::ProfScope prof(obs::Phase::KernelFlood);
   (void)mesh;
   // The destination is reachable from itself as long as it is alive — the
   // model's labels never forbid *ending* at a healthy node.
@@ -45,6 +48,7 @@ ReachField3D::ReachField3D(const mesh::Mesh3D& mesh,
                            const LabelField3D& labels, Coord3 d,
                            NodeFilter filter)
     : d_(d), grid_(d.x + 1, d.y + 1, d.z + 1, uint8_t{0}) {
+  obs::ProfScope prof(obs::Phase::KernelFlood);
   (void)mesh;
   if (labels.state(d) == NodeState::Faulty) return;
   grid_.at(d.x, d.y, d.z) = 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/feasibility2d.h"
+#include "obs/profiler.h"
 #include "util/grid.h"
 
 namespace mcc::core {
@@ -48,6 +49,7 @@ bool RecordGuidance2D::exclude(Coord2 u, Dir2 dir, Coord2 next) const {
 }
 
 bool safe_reach_box2(const LabelField2D& labels, Coord2 u, Coord2 d) {
+  obs::ProfScope prof(obs::Phase::KernelSafeReach);
   const int nx = d.x - u.x + 1, ny = d.y - u.y + 1;
   util::Grid2<uint8_t> ok(nx, ny, uint8_t{0});
   for (int y = ny - 1; y >= 0; --y)
@@ -64,6 +66,7 @@ bool safe_reach_box2(const LabelField2D& labels, Coord2 u, Coord2 d) {
 }
 
 bool safe_reach_box3(const LabelField3D& labels, Coord3 u, Coord3 d) {
+  obs::ProfScope prof(obs::Phase::KernelSafeReach);
   const int nx = d.x - u.x + 1, ny = d.y - u.y + 1, nz = d.z - u.z + 1;
   util::Grid3<uint8_t> ok(nx, ny, nz, uint8_t{0});
   for (int z = nz - 1; z >= 0; --z)

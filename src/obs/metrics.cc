@@ -1,0 +1,54 @@
+#include "obs/metrics.h"
+
+namespace mcc::obs {
+
+void MetricRegistry::add_counter(const std::string& name, uint64_t v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += v;
+}
+
+void MetricRegistry::set_counter(const std::string& name, uint64_t v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] = v;
+}
+
+void MetricRegistry::set_gauge(const std::string& name, double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = v;
+}
+
+void MetricRegistry::add_gauge(const std::string& name, double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] += v;
+}
+
+void MetricRegistry::observe(const std::string& name, double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramData& h = hists_[name];
+  if (h.count == 0 || v < h.min) h.min = v;
+  if (h.count == 0 || v > h.max) h.max = v;
+  h.sum += v;
+  ++h.count;
+}
+
+std::map<std::string, uint64_t> MetricRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::map<std::string, double> MetricRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_;
+}
+
+std::map<std::string, HistogramData> MetricRegistry::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hists_;
+}
+
+bool MetricRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.empty() && gauges_.empty() && hists_.empty();
+}
+
+}  // namespace mcc::obs

@@ -1,0 +1,72 @@
+// MetricRegistry — the deterministically-ordered name/value surface every
+// layer publishes its end-of-run observables through.
+//
+// Determinism contract (docs/observability.md has the full argument):
+//
+//   * The registry itself never sits on a hot path. Hot loops accumulate
+//     into shard-local plain fields exactly as they did before this layer
+//     existed; the serial merge phases that already make the simulator
+//     bit-identical across `threads=` also make those aggregates
+//     deterministic, and only the final aggregate is published here.
+//   * `counters` hold values that are bit-identical across thread counts
+//     (flit/packet totals, route computations, arena high-water mark,
+//     cache hit/miss/eviction totals on non-evicting runs). The
+//     bench_trend gate compares them exactly.
+//   * `gauges` hold values that legitimately depend on scheduling or the
+//     wall clock (spin/park counts, dedup waits, reader lag, rates).
+//     bench_trend treats them as informational.
+//   * `histograms` summarize distributions (count/sum/min/max); the
+//     count is exact when the underlying distribution is deterministic,
+//     but the gate treats the whole section as informational.
+//
+// Iteration order is the map's lexicographic key order, so serialization
+// is byte-stable run to run. All mutators take a mutex — publication is a
+// cold path and the lock keeps concurrent publishers (serve's writer and
+// readers at teardown) trivially safe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace mcc::obs {
+
+/// Summary of an observed distribution. min/max are meaningless until
+/// count > 0.
+struct HistogramData {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+class MetricRegistry {
+ public:
+  /// Adds `v` to the named counter (creating it at zero).
+  void add_counter(const std::string& name, uint64_t v = 1);
+  /// Sets the named counter to `v` outright (for published aggregates).
+  void set_counter(const std::string& name, uint64_t v);
+  /// Sets the named gauge.
+  void set_gauge(const std::string& name, double v);
+  /// Adds `v` to the named gauge (creating it at zero).
+  void add_gauge(const std::string& name, double v);
+  /// Folds one observation into the named histogram.
+  void observe(const std::string& name, double v);
+
+  /// Deterministically ordered snapshots (copies; safe to hold while the
+  /// registry keeps mutating).
+  std::map<std::string, uint64_t> counters() const;
+  std::map<std::string, double> gauges() const;
+  std::map<std::string, HistogramData> histograms() const;
+
+  bool empty() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, HistogramData> hists_;
+};
+
+}  // namespace mcc::obs

@@ -1,0 +1,47 @@
+#include "obs/obs.h"
+
+#include <atomic>
+#include <thread>
+
+#include "obs_build_info.h"
+
+namespace mcc::obs {
+
+namespace {
+std::atomic<MetricRegistry*> g_metrics{nullptr};
+std::atomic<TraceSink*> g_trace{nullptr};
+std::atomic<FlitTrace*> g_flit{nullptr};
+}  // namespace
+
+ScopedRunObs::ScopedRunObs(RunObs& r)
+    : prev_metrics_(g_metrics.load(std::memory_order_relaxed)),
+      prev_prof_(detail::g_profiler.load(std::memory_order_relaxed)),
+      prev_trace_(g_trace.load(std::memory_order_relaxed)),
+      prev_flit_(g_flit.load(std::memory_order_relaxed)) {
+  g_metrics.store(r.metrics_on ? &r.registry : nullptr,
+                  std::memory_order_relaxed);
+  detail::g_profiler.store(r.profile_on ? &r.prof : nullptr,
+                           std::memory_order_relaxed);
+  g_trace.store(r.trace.get(), std::memory_order_relaxed);
+  g_flit.store(r.flit.get(), std::memory_order_relaxed);
+}
+
+ScopedRunObs::~ScopedRunObs() {
+  g_metrics.store(prev_metrics_, std::memory_order_relaxed);
+  detail::g_profiler.store(prev_prof_, std::memory_order_relaxed);
+  g_trace.store(prev_trace_, std::memory_order_relaxed);
+  g_flit.store(prev_flit_, std::memory_order_relaxed);
+}
+
+MetricRegistry* metrics() { return g_metrics.load(std::memory_order_relaxed); }
+TraceSink* trace() { return g_trace.load(std::memory_order_relaxed); }
+FlitTrace* flit_trace() { return g_flit.load(std::memory_order_relaxed); }
+
+const BuildProvenance& build_provenance() {
+  static const BuildProvenance info{
+      MCC_BUILD_GIT_HASH, MCC_BUILD_COMPILER, MCC_BUILD_FLAGS,
+      MCC_BUILD_TYPE, std::thread::hardware_concurrency()};
+  return info;
+}
+
+}  // namespace mcc::obs

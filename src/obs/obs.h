@@ -1,0 +1,77 @@
+// Process-wide observability context.
+//
+// One RunObs bundles the four facilities (registry, profiler, trace sink,
+// flit trace) for a single Experiment run. The api layer constructs it
+// from the front-door config keys (`metrics= profile= trace_json=
+// flit_trace=`) and installs it for the duration of the driver call via
+// ScopedRunObs; deep code (the wormhole network, the MCC kernels, the
+// serve loop) reaches it through the free functions below, each of which
+// is a single relaxed atomic load returning nullptr when that facility is
+// off. This keeps constructors and call chains free of plumbing, and the
+// off path free of work — with everything off, instrumented code paths
+// execute the same instructions they did before this layer existed plus
+// one predictable branch per scope.
+//
+// Installation is not reentrant (one run at a time per process), which
+// matches the Experiment/Campaign execution model: campaign points run
+// sequentially within a shard, and `--jobs` parallelism is process-level.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
+
+namespace mcc::obs {
+
+struct RunObs {
+  bool metrics_on = false;
+  bool profile_on = false;
+  MetricRegistry registry;
+  Profiler prof;
+  std::unique_ptr<TraceSink> trace;    // non-null when span tracing is on
+  std::unique_ptr<FlitTrace> flit;     // non-null when flit tracing is on
+};
+
+/// Installs `r`'s enabled facilities as the process globals; restores the
+/// previous installation (normally none) on destruction.
+class ScopedRunObs {
+ public:
+  explicit ScopedRunObs(RunObs& r);
+  ~ScopedRunObs();
+
+  ScopedRunObs(const ScopedRunObs&) = delete;
+  ScopedRunObs& operator=(const ScopedRunObs&) = delete;
+
+ private:
+  MetricRegistry* prev_metrics_;
+  Profiler* prev_prof_;
+  TraceSink* prev_trace_;
+  FlitTrace* prev_flit_;
+};
+
+/// Each returns nullptr when that facility is not installed/enabled.
+MetricRegistry* metrics();
+TraceSink* trace();
+FlitTrace* flit_trace();
+inline Profiler* profiler() {
+  return detail::g_profiler.load(std::memory_order_relaxed);
+}
+
+/// Build provenance stamped into RunReport headers and BENCH_* envelopes
+/// (satellite: makes trend-gate diffs triageable — which binary produced
+/// which baseline). Strings are baked at CMake configure time; the git
+/// hash falls back to "unknown" outside a git checkout.
+struct BuildProvenance {
+  std::string git_hash;
+  std::string compiler;
+  std::string flags;
+  std::string build_type;
+  unsigned hw_lanes = 0;  // std::thread::hardware_concurrency() at runtime
+};
+
+const BuildProvenance& build_provenance();
+
+}  // namespace mcc::obs

@@ -1,0 +1,50 @@
+#include "obs/profiler.h"
+
+namespace mcc::obs {
+
+namespace detail {
+std::atomic<Profiler*> g_profiler{nullptr};
+thread_local int t_current_phase = kPhaseRoot;
+}  // namespace detail
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::Run: return "run";
+    case Phase::TickWires: return "tick.wires";
+    case Phase::TickHeads: return "tick.heads";
+    case Phase::TickAlloc: return "tick.alloc";
+    case Phase::TickTraverse: return "tick.traverse";
+    case Phase::TickCommit: return "tick.commit";
+    case Phase::KernelSafeReach: return "kernel.safe_reach";
+    case Phase::KernelFlood: return "kernel.flood";
+    case Phase::KernelLabelFixpoint: return "kernel.label_fixpoint";
+    case Phase::KernelCacheBuild: return "kernel.cache_build";
+    case Phase::ServeWriterApply: return "serve.writer_apply";
+    case Phase::ServeReaderQuery: return "serve.reader_query";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+uint64_t Profiler::total_ns(Phase p) const {
+  uint64_t n = 0;
+  for (int parent = 0; parent <= kPhaseCount; ++parent)
+    n += edge_ns(parent, p);
+  return n;
+}
+
+uint64_t Profiler::total_calls(Phase p) const {
+  uint64_t n = 0;
+  for (int parent = 0; parent <= kPhaseCount; ++parent)
+    n += edge_calls(parent, p);
+  return n;
+}
+
+uint64_t Profiler::children_ns(Phase p) const {
+  uint64_t n = 0;
+  for (int child = 0; child < kPhaseCount; ++child)
+    n += edge_ns(static_cast<int>(p), static_cast<Phase>(child));
+  return n;
+}
+
+}  // namespace mcc::obs

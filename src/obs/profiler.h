@@ -1,0 +1,153 @@
+// Hierarchical scoped-timer profiler over a fixed, enumerated phase set.
+//
+// The phases are the known hot structure of the system: the wormhole
+// tick's pipeline stages, the MCC kernels that dominate Model-mode
+// routing (ROADMAP: "profile-guided tightening of the safe-reach/flood
+// kernels"), and the serve core's writer/reader spans. A fixed enum —
+// rather than string-keyed timers — keeps the off path to one relaxed
+// atomic load and the on path to two steady_clock reads plus two relaxed
+// atomic adds, cheap enough to leave compiled into per-hop kernel code.
+//
+// Hierarchy is observed, not declared: each thread tracks its current
+// phase in a thread_local, and a scope attributes its time to the
+// (parent, child) edge it actually ran under. The report layer folds the
+// edge matrix into a tree, so KernelSafeReach shows up under TickHeads
+// when called from candidate discovery and under ServeReaderQuery when
+// called from a serve reader — with self-time = node total − children.
+//
+// Times are *lane-summed*: a kernel running on 4 pool lanes accumulates
+// ~4x its wall time, like CPU time in a conventional profiler. Phase
+// scopes taken on the coordinating thread (the tick phases, Run) are
+// wall time. Call counts of the tick phases and of the routing kernels
+// are deterministic across thread counts (the simulator is bit-identical
+// across `threads=`); durations never are, which is why the profile
+// table's timing columns are informational to the bench_trend gate.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace mcc::obs {
+
+enum class Phase : int {
+  Run = 0,           // the whole Experiment driver invocation
+  TickWires,         // wormhole: wire delivery (parallel shards)
+  TickHeads,         // wormhole: ready-head discovery (parallel shards)
+  TickAlloc,         // wormhole: serial switch allocation
+  TickTraverse,      // wormhole: switch traversal (parallel shards)
+  TickCommit,        // wormhole: serial wire/eject commit
+  KernelSafeReach,   // core::safe_reach_box2/3
+  KernelFlood,       // core::ReachField2D/3D flood build
+  KernelLabelFixpoint,  // core::LabelField2D/3D full fixpoint
+  KernelCacheBuild,  // runtime::GuidanceCache miss-path field build
+  ServeWriterApply,  // serve: one timeline event applied by the writer
+  ServeReaderQuery,  // serve: one reader query (view + feasible + route)
+  kCount
+};
+
+inline constexpr int kPhaseCount = static_cast<int>(Phase::kCount);
+/// Parent index used for time observed outside any enclosing scope.
+inline constexpr int kPhaseRoot = kPhaseCount;
+
+const char* phase_name(Phase p);
+
+class Profiler {
+ public:
+  /// Attributes `ns` under the (parent, child) edge. parent is a phase
+  /// index or kPhaseRoot.
+  void add(int parent, Phase child, uint64_t ns) {
+    Slot& s = edges_[static_cast<size_t>(parent)][static_cast<size_t>(child)];
+    s.ns.fetch_add(ns, std::memory_order_relaxed);
+    s.calls.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t edge_ns(int parent, Phase child) const {
+    return edges_[static_cast<size_t>(parent)][static_cast<size_t>(child)]
+        .ns.load(std::memory_order_relaxed);
+  }
+  uint64_t edge_calls(int parent, Phase child) const {
+    return edges_[static_cast<size_t>(parent)][static_cast<size_t>(child)]
+        .calls.load(std::memory_order_relaxed);
+  }
+
+  /// Sums over all parents: total time/calls attributed to `p`.
+  uint64_t total_ns(Phase p) const;
+  uint64_t total_calls(Phase p) const;
+  /// Sum over all children of `p`: time nested inside `p`'s scopes.
+  uint64_t children_ns(Phase p) const;
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> ns{0};
+    std::atomic<uint64_t> calls{0};
+  };
+  // [parent (incl. root)][child]
+  std::array<std::array<Slot, kPhaseCount>, kPhaseCount + 1> edges_{};
+};
+
+namespace detail {
+// Installed profiler (nullptr = profiling off). Owned by obs::ScopedRunObs.
+extern std::atomic<Profiler*> g_profiler;
+// Per-thread innermost active phase (kPhaseRoot when outside any scope).
+extern thread_local int t_current_phase;
+}  // namespace detail
+
+/// RAII timed scope. One relaxed load when profiling is off.
+class ProfScope {
+ public:
+  explicit ProfScope(Phase p)
+      : prof_(detail::g_profiler.load(std::memory_order_relaxed)) {
+    if (!prof_) return;
+    phase_ = p;
+    parent_ = detail::t_current_phase;
+    detail::t_current_phase = static_cast<int>(p);
+    t0_ = std::chrono::steady_clock::now();
+  }
+  ~ProfScope() {
+    if (!prof_) return;
+    const auto dt = std::chrono::steady_clock::now() - t0_;
+    detail::t_current_phase = parent_;
+    prof_->add(parent_, phase_,
+               static_cast<uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                       .count()));
+  }
+
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  Profiler* prof_;
+  Phase phase_ = Phase::Run;
+  int parent_ = kPhaseRoot;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// RAII phase *context* without timing: marks the current thread as
+/// logically inside `p` so nested ProfScopes attribute to the right
+/// parent. Used in pool-worker shard bodies, where the enclosing tick
+/// phase was timed on the coordinating thread and per-lane re-timing
+/// would double count.
+class PhaseContext {
+ public:
+  explicit PhaseContext(Phase p) {
+    if (!detail::g_profiler.load(std::memory_order_relaxed)) return;
+    active_ = true;
+    parent_ = detail::t_current_phase;
+    detail::t_current_phase = static_cast<int>(p);
+  }
+  ~PhaseContext() {
+    if (active_) detail::t_current_phase = parent_;
+  }
+
+  PhaseContext(const PhaseContext&) = delete;
+  PhaseContext& operator=(const PhaseContext&) = delete;
+
+ private:
+  bool active_ = false;
+  int parent_ = kPhaseRoot;
+};
+
+}  // namespace mcc::obs

@@ -1,0 +1,123 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+
+namespace mcc::obs {
+
+TraceSink::TraceSink(size_t max_events)
+    : epoch_(std::chrono::steady_clock::now()), max_events_(max_events) {
+  events_.reserve(std::min<size_t>(max_events, 4096));
+}
+
+void TraceSink::complete(const char* name, uint32_t tid, int64_t ts_us,
+                         int64_t dur_us, std::string args_json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{name, tid, ts_us, dur_us, std::move(args_json)});
+}
+
+int64_t TraceSink::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+uint32_t TraceSink::this_tid() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t tid = next.fetch_add(1);
+  return tid;
+}
+
+uint64_t TraceSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+size_t TraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+bool TraceSink::write(const std::string& path) const {
+  std::vector<Event> sorted;
+  uint64_t dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted = events_;
+    dropped = dropped_;
+  }
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.ts_us < b.ts_us;
+                   });
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : sorted) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"" << e.name << "\",\"cat\":\"mcc\",\"ph\":\"X\""
+        << ",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":" << e.ts_us
+        << ",\"dur\":" << e.dur_us;
+    if (!e.args_json.empty()) out << ",\"args\":{" << e.args_json << "}";
+    out << "}";
+  }
+  if (dropped != 0) {
+    if (!first) out << ",";
+    out << "\n{\"name\":\"trace_buffer_full\",\"cat\":\"mcc\",\"ph\":\"X\""
+        << ",\"pid\":1,\"tid\":0,\"ts\":0,\"dur\":0,\"args\":{\"dropped\":"
+        << dropped << "}}";
+  }
+  out << "\n]}\n";
+  return static_cast<bool>(out);
+}
+
+FlitTrace::FlitTrace(size_t max_events) : max_events_(max_events) {}
+
+void FlitTrace::event(uint64_t cycle, const char* ev, uint64_t packet,
+                      const std::string& extra_json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lines_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  std::string line = "{\"schema\":\"mcc.flit/1\",\"cycle\":";
+  line += std::to_string(cycle);
+  line += ",\"ev\":\"";
+  line += ev;
+  line += "\",\"pkt\":";
+  line += std::to_string(packet);
+  if (!extra_json.empty()) {
+    line += ",";
+    line += extra_json;
+  }
+  line += "}";
+  lines_.push_back(std::move(line));
+}
+
+size_t FlitTrace::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_.size();
+}
+
+bool FlitTrace::write(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  for (const std::string& line : lines_) out << line << "\n";
+  if (dropped_ != 0)
+    out << "{\"schema\":\"mcc.flit/1\",\"cycle\":0,\"ev\":\"truncated\","
+           "\"pkt\":0,\"dropped\":"
+        << dropped_ << "}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace mcc::obs

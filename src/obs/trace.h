@@ -1,0 +1,108 @@
+// Trace sinks: Chrome trace-event JSON (load in Perfetto / chrome://tracing)
+// and the cycle-stamped flit-lifecycle NDJSON trace.
+//
+// TraceSink buffers complete ("ph":"X") events in memory and writes one
+// `{"traceEvents":[...]}` document at the end of the run. Events are
+// sorted by (tid, ts) at write time, so `ts` is monotone within each tid
+// regardless of how nested scopes completed — the property the CI trace
+// checker asserts. The buffer is capped; past the cap events are counted
+// and dropped, and the drop count is recorded in a final metadata event
+// (a silent truncation would read as "the run ended here").
+//
+// FlitTrace buffers NDJSON lines describing flit/packet lifecycle events
+// (inject / route / deliver / drop). The simulator emits them only from
+// its *serial* tick phases, where iteration order is deterministic — so
+// the trace is byte-identical across `threads=1..N` and golden-testable.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mcc::obs {
+
+class TraceSink {
+ public:
+  explicit TraceSink(size_t max_events = 250000);
+
+  /// Records one complete event. `ts_us`/`dur_us` are microseconds since
+  /// the sink's epoch; `args_json` is either empty or a pre-rendered JSON
+  /// object body (`"key":1,"k2":"v"`) — keys and string values must not
+  /// need escaping.
+  void complete(const char* name, uint32_t tid, int64_t ts_us, int64_t dur_us,
+                std::string args_json = "");
+
+  /// Microseconds since the sink was created (the trace's time origin).
+  int64_t now_us() const;
+
+  /// Small dense id for the calling thread, stable for its lifetime.
+  static uint32_t this_tid();
+
+  /// Writes the Chrome trace-event document. Returns false on I/O error.
+  bool write(const std::string& path) const;
+
+  uint64_t dropped() const;
+  size_t size() const;
+
+ private:
+  struct Event {
+    const char* name;
+    uint32_t tid;
+    int64_t ts_us;
+    int64_t dur_us;
+    std::string args_json;
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  size_t max_events_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  uint64_t dropped_ = 0;
+};
+
+/// RAII span: times a region and records it into the sink on destruction.
+/// Null sink = no-op.
+class TraceScope {
+ public:
+  TraceScope(TraceSink* sink, const char* name)
+      : sink_(sink), name_(name) {
+    if (sink_) t0_us_ = sink_->now_us();
+  }
+  ~TraceScope() {
+    if (sink_)
+      sink_->complete(name_, TraceSink::this_tid(), t0_us_,
+                      sink_->now_us() - t0_us_);
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceSink* sink_;
+  const char* name_;
+  int64_t t0_us_ = 0;
+};
+
+class FlitTrace {
+ public:
+  explicit FlitTrace(size_t max_events = 1000000);
+
+  /// Appends one `mcc.flit/1` NDJSON line. `extra_json` is either empty
+  /// or a pre-rendered JSON object body appended after the fixed fields.
+  /// Must only be called from deterministic (serial-phase) code.
+  void event(uint64_t cycle, const char* ev, uint64_t packet,
+             const std::string& extra_json = "");
+
+  bool write(const std::string& path) const;
+  size_t size() const;
+
+ private:
+  size_t max_events_;
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace mcc::obs

@@ -35,6 +35,10 @@ struct GuidanceCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  // Hits that were served by waiting on another thread's in-flight build
+  // (a subset of `hits`). Zero when single-threaded; scheduling-dependent
+  // under concurrency, so observability surfaces it as a gauge.
+  uint64_t dedup_waits = 0;
 
   double hit_rate() const {
     const uint64_t total = hits + misses;
@@ -89,6 +93,7 @@ class GuidanceCacheT {
       latch->cv.wait(lk, [&] { return latch->ready; });
       if (!latch->failed) {
         hits_.fetch_add(1, std::memory_order_relaxed);
+        dedup_waits_.fetch_add(1, std::memory_order_relaxed);
         return latch->field;
       }
       // The builder threw; retry from scratch (stats counted on the
@@ -125,13 +130,15 @@ class GuidanceCacheT {
   GuidanceCacheStats stats() const {
     return {hits_.load(std::memory_order_relaxed),
             misses_.load(std::memory_order_relaxed),
-            evictions_.load(std::memory_order_relaxed)};
+            evictions_.load(std::memory_order_relaxed),
+            dedup_waits_.load(std::memory_order_relaxed)};
   }
 
   void reset_stats() {
     hits_.store(0, std::memory_order_relaxed);
     misses_.store(0, std::memory_order_relaxed);
     evictions_.store(0, std::memory_order_relaxed);
+    dedup_waits_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -229,6 +236,7 @@ class GuidanceCacheT {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> dedup_waits_{0};
 };
 
 using GuidanceCache2D = GuidanceCacheT<core::ReachField2D>;

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/obs.h"
 #include "proto/boundary_delta.h"
 #include "util/rng.h"
 
@@ -122,9 +123,14 @@ LoadResult run_load_impl(const typename T::Mesh& mesh,
   const auto t0 = Clock::now();
 
   std::thread writer([&] {
+    obs::TraceSink* const ts = obs::trace();
     feed.seed(*store.snapshot());
     for (const auto& e : timeline.events()) {
-      const auto res = store.apply(e.node, e.repair);
+      const auto res = [&] {
+        obs::ProfScope prof(obs::Phase::ServeWriterApply);
+        obs::TraceScope span(ts, "serve.writer_apply");
+        return store.apply(e.node, e.repair);
+      }();
       if (res.report.epoch != 0) {
         ++out.events_applied;
         feed.on_event(*res.model, res.report);
@@ -147,6 +153,7 @@ LoadResult run_load_impl(const typename T::Mesh& mesh,
   for (size_t r = 0; r < out.readers.size(); ++r) {
     pool.emplace_back([&, r] {
       ReaderResult& me = out.readers[r];
+      obs::TraceSink* const ts = obs::trace();
       util::Rng rng(cfg.seed * 0x9e3779b97f4a7c15ULL + 0xC0FFEE + r);
       const size_t nodes = mesh.node_count();
       Clock::time_point next = Clock::now();
@@ -163,26 +170,31 @@ LoadResult run_load_impl(const typename T::Mesh& mesh,
             (cfg.mix == QueryMix::Mixed && (q & 1) == 0);
 
         const auto q0 = Clock::now();
-        const auto v = store.view();
-        const core::FeasibilityResult fr = v.snap->feasible(s, d);
-        if (fr.feasible) {
-          ++me.feasible_yes;
-          if (want_route) {
-            constexpr bool k2d = std::is_same_v<T, Serve2D>;
-            const auto route = v.snap->route(
-                s, d, k2d ? cfg.kind2d : cfg.kind3d, cfg.policy, route_seed);
-            ++me.routed;
-            if (route.delivered) {
-              ++me.delivered;
-              me.hops += static_cast<uint64_t>(route.hops());
+        {
+          obs::ProfScope prof(obs::Phase::ServeReaderQuery);
+          obs::TraceScope span(ts, "serve.reader_query");
+          const auto v = store.view();
+          const core::FeasibilityResult fr = v.snap->feasible(s, d);
+          if (fr.feasible) {
+            ++me.feasible_yes;
+            if (want_route) {
+              constexpr bool k2d = std::is_same_v<T, Serve2D>;
+              const auto route =
+                  v.snap->route(s, d, k2d ? cfg.kind2d : cfg.kind3d,
+                                cfg.policy, route_seed);
+              ++me.routed;
+              if (route.delivered) {
+                ++me.delivered;
+                me.hops += static_cast<uint64_t>(route.hops());
+              }
             }
           }
+          me.max_lag = std::max(me.max_lag, v.lag);
         }
         const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
                             Clock::now() - q0)
                             .count();
         me.latency.add(static_cast<uint64_t>(us));
-        me.max_lag = std::max(me.max_lag, v.lag);
         ++me.queries;
       }
     });

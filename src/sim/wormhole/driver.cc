@@ -169,6 +169,10 @@ SimResult run_measurement(Network<Topo>& net, TrafficGenT<Topo>& traffic,
       static_cast<uint64_t>(net.stats().violations.size()) - w0.violations;
   r.drained = net.idle();
   r.saturated = saturated_window(accepted_window, offered_window);
+  r.route_computes = net.stats().route_computes;
+  r.arena_high_water = static_cast<uint64_t>(net.arena_high_water());
+  r.pool_spin_iters = net.pool_spin_iters();
+  r.pool_parks = net.pool_parks();
   return r;
 }
 
@@ -241,7 +245,8 @@ ChurnResult run_churn_load_point(Model& model,
   out.dropped_flits = net.stats().dropped_flits;
   const auto cache1 = model.cache().stats();
   out.cache = {cache1.hits - cache0.hits, cache1.misses - cache0.misses,
-               cache1.evictions - cache0.evictions};
+               cache1.evictions - cache0.evictions,
+               cache1.dedup_waits - cache0.dedup_waits};
   return out;
 }
 

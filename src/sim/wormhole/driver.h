@@ -61,6 +61,14 @@ struct SimResult {
   uint64_t samples = 0;             // measurement sample periods recorded
   double accepted_ci95 = 0;         // ±95% CI on accepted flits/node/cycle
   double latency_ci95 = 0;          // ±95% CI on per-period mean latency
+  // Observability extras (whole run). The first two are deterministic
+  // across thread counts (serial-phase accounting); the pool counters are
+  // scheduling-dependent and 0 at threads=1 — surfaced as notes/gauges,
+  // never compared across thread counts.
+  uint64_t route_computes = 0;    // routing-function candidate computations
+  uint64_t arena_high_water = 0;  // peak in-flight flits (arena slots)
+  uint64_t pool_spin_iters = 0;   // ThreadPool wait-spin iterations
+  uint64_t pool_parks = 0;        // ThreadPool cv parks
 };
 
 /// Saturation test on window flit counts: accepted lagged offered by more

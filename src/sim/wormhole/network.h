@@ -51,6 +51,7 @@
 
 #include "core/router.h"
 #include "mesh/mesh.h"
+#include "obs/obs.h"
 #include "sim/wormhole/flit.h"
 #include "sim/wormhole/routing.h"
 #include "sim/wormhole/stats.h"
@@ -82,6 +83,27 @@ struct Topo3 {
 inline int comp(mesh::Coord2 c, int axis) { return axis == 0 ? c.x : c.y; }
 inline int comp(mesh::Coord3 c, int axis) {
   return axis == 0 ? c.x : axis == 1 ? c.y : c.z;
+}
+
+// Coordinate rendering for the flit-lifecycle trace. (Built by append:
+// GCC 12's -Werror=restrict misfires on chained const char* + string.)
+inline std::string coord_json(mesh::Coord2 c) {
+  std::string s = "[";
+  s += std::to_string(c.x);
+  s += ',';
+  s += std::to_string(c.y);
+  s += ']';
+  return s;
+}
+inline std::string coord_json(mesh::Coord3 c) {
+  std::string s = "[";
+  s += std::to_string(c.x);
+  s += ',';
+  s += std::to_string(c.y);
+  s += ',';
+  s += std::to_string(c.z);
+  s += ']';
+  return s;
 }
 
 /// Counter snapshot taken at begin_window(): every per-window column a
@@ -184,6 +206,10 @@ class Network {
     }
     ++stats_.injected_packets;
     stats_.injected_flits += static_cast<uint64_t>(cfg_.packet_size);
+    if (auto* ft = obs::flit_trace())
+      ft->event(cycle_, "inject", id,
+                "\"src\":" + coord_json(s) + ",\"dst\":" + coord_json(d) +
+                    ",\"flits\":" + std::to_string(cfg_.packet_size));
     return id;
   }
 
@@ -193,17 +219,47 @@ class Network {
   /// between them (VC allocation with the shared RNG, wire/stat commits in
   /// ascending router order) carry everything with an ordering contract.
   void step() {
+    obs::TraceSink* const ts = obs::trace();
     for (ShardState& sh : shards_) sh.clear_cycle();
-    run_sharded([this](unsigned w) { deliver_wires_shard(w); });
-    commit_wire_failures();
-    flit_wire_.clear();
-    credit_wire_.clear();
-    run_sharded([this](unsigned w) { discover_heads_shard(w); });
-    allocate_ready();
-    run_sharded([this](unsigned w) { traverse_shard(w); });
-    commit_traverse();
+    {
+      obs::ProfScope prof(obs::Phase::TickWires);
+      obs::TraceScope span(ts, "tick.wires");
+      run_sharded([this](unsigned w) { deliver_wires_shard(w); });
+      commit_wire_failures();
+      flit_wire_.clear();
+      credit_wire_.clear();
+    }
+    {
+      obs::ProfScope prof(obs::Phase::TickHeads);
+      obs::TraceScope span(ts, "tick.heads");
+      run_sharded([this](unsigned w) { discover_heads_shard(w); });
+    }
+    {
+      obs::ProfScope prof(obs::Phase::TickAlloc);
+      obs::TraceScope span(ts, "tick.alloc");
+      allocate_ready();
+    }
+    {
+      obs::ProfScope prof(obs::Phase::TickTraverse);
+      obs::TraceScope span(ts, "tick.traverse");
+      run_sharded([this](unsigned w) { traverse_shard(w); });
+    }
+    {
+      obs::ProfScope prof(obs::Phase::TickCommit);
+      obs::TraceScope span(ts, "tick.commit");
+      commit_traverse();
+    }
     ++cycle_;
   }
+
+  /// Arena slots ever allocated — the in-flight-flit high-water mark.
+  /// Alloc/release happen only in serial phases, so the value is invariant
+  /// across thread counts (test_parallel_tick pins it).
+  size_t arena_high_water() const { return arena_.size(); }
+
+  /// Pool wait-behaviour totals (0 when threads=1 — no pool exists).
+  uint64_t pool_spin_iters() const { return pool_ ? pool_->spin_iters() : 0; }
+  uint64_t pool_parks() const { return pool_ ? pool_->parks() : 0; }
 
   // -------------------------------------------------------------------------
   // Mid-run fault/repair events. Callers must update the routing function's
@@ -487,6 +543,7 @@ class Network {
     std::vector<FlitArrival> flits;
     std::vector<CreditReturn> credits;
     std::vector<EjectEvent> ejects;
+    uint64_t route_computes = 0;
     void clear_cycle() {
       wire_fails.clear();
       ready.clear();
@@ -494,6 +551,7 @@ class Network {
       flits.clear();
       credits.clear();
       ejects.clear();
+      route_computes = 0;
     }
   };
 
@@ -603,6 +661,9 @@ class Network {
   /// would visit, and candidates() depends only on (node, src, dst), so
   /// the cached sets are exactly what the serial allocator would compute.
   void discover_heads_shard(unsigned w) {
+    // Kernel scopes fired by candidates() (safe-reach sweeps, cache-miss
+    // field builds) nest under the heads phase on pool workers too.
+    obs::PhaseContext phase_ctx(obs::Phase::TickHeads);
     ShardState& sh = shards_[w];
     const auto [lo, hi] = shard_range(w);
     for (size_t i = lo; i < hi; ++i) {
@@ -623,6 +684,7 @@ class Network {
           if (vc.routed_packet != head.packet) {
             vc.cand_n = static_cast<uint8_t>(
                 routing_.candidates(u, head.src, head.dst, vc.cand));
+            ++sh.route_computes;
             vc.routed_packet = head.packet;
             if (vc.cand_n == 0 && cfg_.drop_infeasible &&
                 !routing_.completable(u, head.src, head.dst)) {
@@ -646,6 +708,8 @@ class Network {
   /// flushed in one batch after the loop: a single event can sever many
   /// worms, and flush + credit recompute are network-wide.
   void allocate_ready() {
+    for (const ShardState& sh : shards_)
+      stats_.route_computes += sh.route_computes;
     std::unordered_set<PacketId> doomed;
     for (const ShardState& sh : shards_)
       doomed.insert(sh.doomed.begin(), sh.doomed.end());
@@ -707,6 +771,13 @@ class Network {
     vc.out_vc = out_vc;
     vc.cur_packet = packet;
     nd.out[in_index(out_port, out_vc)].busy = true;
+    // Serial phase only (allocate_ready), so the trace order is
+    // deterministic. Ejection grants are not routing decisions.
+    if (out_port < kDirs)
+      if (auto* ft = obs::flit_trace())
+        ft->event(cycle_, "route", packet,
+                  "\"port\":" + std::to_string(out_port) +
+                      ",\"vc\":" + std::to_string(out_vc));
   }
 
   /// Removes every trace of the given packets from the network: buffered
@@ -715,6 +786,12 @@ class Network {
   void flush_packets(const std::unordered_set<PacketId>& doomed) {
     if (doomed.empty()) return;
     stats_.dropped_packets += static_cast<uint64_t>(doomed.size());
+    if (auto* ft = obs::flit_trace()) {
+      // The set's iteration order is not deterministic; sort for the trace.
+      std::vector<PacketId> ids(doomed.begin(), doomed.end());
+      std::sort(ids.begin(), ids.end());
+      for (const PacketId id : ids) ft->event(cycle_, "drop", id);
+    }
     for (Node& node : nodes_) {
       if (!node.alive) continue;
       for (InVc& vc : node.in) {
@@ -956,6 +1033,10 @@ class Network {
           ++stats_.delivered_packets;
           stats_.last_delivery_cycle = cycle_;
           stats_.latency.add(cycle_ - arena_[ev.flit].birth);
+          if (auto* ft = obs::flit_trace())
+            ft->event(cycle_, "deliver", arena_[ev.flit].packet,
+                      "\"latency\":" +
+                          std::to_string(cycle_ - arena_[ev.flit].birth));
         }
         arena_release(ev.flit);
       }

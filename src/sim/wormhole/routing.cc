@@ -5,6 +5,8 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "obs/profiler.h"
+
 namespace mcc::sim::wh {
 
 using core::LabelsOnlyGuidance2D;
@@ -141,6 +143,7 @@ size_t MccRouting2D::candidates(Coord2 u, Coord2 s, Coord2 d,
       // One cached safe-only field per destination replaces the O(box)
       // per-hop sweep; decisions are bit-identical to SafeReachGuidance2D.
       const auto field = cache_.get_or_build(0, o.id(), mesh_.index(dc), [&] {
+        obs::ProfScope prof(obs::Phase::KernelCacheBuild);
         return core::ReachField2D(mesh_, q.labels, dc,
                                   core::NodeFilter::SafeOnly);
       });
@@ -168,6 +171,7 @@ bool MccRouting2D::feasible_in(Octant2 o, Coord2 u, Coord2 d) {
   if (mode_ == GuidanceMode::Oracle) return q.field(mesh_, dc).feasible(uc);
   if (mode_ == GuidanceMode::Model && use_cache_) {
     const auto field = cache_.get_or_build(0, o.id(), mesh_.index(dc), [&] {
+      obs::ProfScope prof(obs::Phase::KernelCacheBuild);
       return core::ReachField2D(mesh_, q.labels, dc,
                                 core::NodeFilter::SafeOnly);
     });
@@ -252,6 +256,7 @@ size_t MccRouting3D::candidates(Coord3 u, Coord3 s, Coord3 d,
   } else if (mode_ == GuidanceMode::Model) {
     if (use_cache_) {
       const auto field = cache_.get_or_build(0, o.id(), mesh_.index(dc), [&] {
+        obs::ProfScope prof(obs::Phase::KernelCacheBuild);
         return core::ReachField3D(mesh_, q.labels, dc,
                                   core::NodeFilter::SafeOnly);
       });
@@ -279,6 +284,7 @@ bool MccRouting3D::feasible_in(Octant3 o, Coord3 u, Coord3 d) {
   if (mode_ == GuidanceMode::Oracle) return q.field(mesh_, dc).feasible(uc);
   if (mode_ == GuidanceMode::Model && use_cache_) {
     const auto field = cache_.get_or_build(0, o.id(), mesh_.index(dc), [&] {
+      obs::ProfScope prof(obs::Phase::KernelCacheBuild);
       return core::ReachField3D(mesh_, q.labels, dc,
                                 core::NodeFilter::SafeOnly);
     });

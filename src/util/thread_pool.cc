@@ -58,11 +58,14 @@ void ThreadPool::run(const std::function<void(unsigned)>& fn) {
     record_error();
   }
 
+  uint64_t spun = 0;
   for (int i = 0; outstanding_.load() != 0; ++i) {
     if (i < kSpinIters) {
       relax(i);
+      ++spun;
       continue;
     }
+    parks_.fetch_add(1, std::memory_order_relaxed);
     caller_parked_.store(true);
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -71,6 +74,7 @@ void ThreadPool::run(const std::function<void(unsigned)>& fn) {
     caller_parked_.store(false);
     break;
   }
+  if (spun != 0) spin_iters_.fetch_add(spun, std::memory_order_relaxed);
   fn_ = nullptr;
   if (first_error_) std::rethrow_exception(first_error_);
 }
@@ -79,8 +83,12 @@ void ThreadPool::worker_loop(unsigned index) {
   uint64_t seen = 0;
   for (;;) {
     // Await a new generation: spin first, park only when the budget runs dry.
+    uint64_t spun = 0;
     for (int i = 0;; ++i) {
-      if (shutdown_.load()) return;
+      if (shutdown_.load()) {
+        if (spun != 0) spin_iters_.fetch_add(spun, std::memory_order_relaxed);
+        return;
+      }
       const uint64_t gen = generation_.load();
       if (gen != seen) {
         seen = gen;
@@ -88,8 +96,10 @@ void ThreadPool::worker_loop(unsigned index) {
       }
       if (i < kSpinIters) {
         relax(i);
+        ++spun;
         continue;
       }
+      parks_.fetch_add(1, std::memory_order_relaxed);
       std::unique_lock<std::mutex> lock(mu_);
       sleepers_.fetch_add(1);
       start_cv_.wait(lock, [&] {
@@ -98,6 +108,7 @@ void ThreadPool::worker_loop(unsigned index) {
       sleepers_.fetch_sub(1);
       i = 0;
     }
+    if (spun != 0) spin_iters_.fetch_add(spun, std::memory_order_relaxed);
     try {
       (*fn_)(index);
     } catch (...) {

@@ -44,6 +44,15 @@ class ThreadPool {
   /// Barrier fork-join: fn(w) for every w in [0, workers()).
   void run(const std::function<void(unsigned)>& fn);
 
+  /// Lifetime wait-behaviour totals across all lanes: spin iterations
+  /// burned waiting (workers awaiting dispatch + the caller joining) and
+  /// the number of times a lane exhausted its budget and parked on a cv.
+  /// Scheduling-dependent — observability gauges, never gate material.
+  uint64_t spin_iters() const {
+    return spin_iters_.load(std::memory_order_relaxed);
+  }
+  uint64_t parks() const { return parks_.load(std::memory_order_relaxed); }
+
  private:
   void worker_loop(unsigned index);
   void record_error();
@@ -72,6 +81,11 @@ class ThreadPool {
   std::condition_variable done_cv_;
   std::atomic<unsigned> sleepers_{0};
   std::atomic<bool> caller_parked_{false};
+
+  // Wait-behaviour totals; bumped once per completed wait, never inside
+  // the spin loop itself.
+  std::atomic<uint64_t> spin_iters_{0};
+  std::atomic<uint64_t> parks_{0};
 
   std::mutex err_mu_;
   std::exception_ptr first_error_;

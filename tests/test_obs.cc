@@ -1,0 +1,595 @@
+// Observability layer tests (src/obs + its api threading):
+//
+//   * MetricRegistry unit behavior — deterministic lexicographic ordering,
+//     counter/gauge/histogram semantics.
+//   * Profiler edge attribution (parent observed per-thread), PhaseContext
+//     as an untimed parent marker, and the off path as a no-op.
+//   * TraceSink Chrome-trace output: well-formed JSON, ts monotone per
+//     tid, capped buffer surfacing a drop marker.
+//   * FlitTrace NDJSON lines + truncation marker.
+//   * Front door: mcc.metrics/1 counters bit-identical across threads=1..4
+//     (ISSUE 8 acceptance), instrumentation off/on leaving simulation
+//     results byte-identical, the profile table, trace_json= output, the
+//     golden flit trace (threads-invariant and pinned to a committed
+//     file), build provenance, and the campaign progress heartbeat.
+//   * mcc.metrics/1 schema validation positives and negatives.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/campaign.h"
+#include "api/experiment.h"
+#include "obs/obs.h"
+
+namespace mcc {
+namespace {
+
+using api::Configuration;
+using api::Experiment;
+using api::Json;
+using api::RunReport;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string tmp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+Json parse_or_die(const std::string& text) {
+  std::string error;
+  Json doc = Json::parse(text, error);
+  EXPECT_EQ(error, "") << "while parsing: " << text.substr(0, 200);
+  return doc;
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+
+TEST(MetricRegistry, CountersAccumulateAndOrderLexicographically) {
+  obs::MetricRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.add_counter("zeta.last");
+  reg.add_counter("alpha.first", 41);
+  reg.add_counter("alpha.first");
+  reg.set_counter("mid.pinned", 7);
+  ASSERT_FALSE(reg.empty());
+
+  const auto counters = reg.counters();
+  std::vector<std::string> names;
+  for (const auto& [name, value] : counters) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha.first", "mid.pinned",
+                                             "zeta.last"}));
+  EXPECT_EQ(counters.at("alpha.first"), 42u);
+  EXPECT_EQ(counters.at("mid.pinned"), 7u);
+  EXPECT_EQ(counters.at("zeta.last"), 1u);
+}
+
+TEST(MetricRegistry, GaugesAndHistograms) {
+  obs::MetricRegistry reg;
+  reg.set_gauge("rate", 2.5);
+  reg.add_gauge("rate", 0.5);
+  reg.add_gauge("fresh", 1.0);
+  EXPECT_DOUBLE_EQ(reg.gauges().at("rate"), 3.0);
+  EXPECT_DOUBLE_EQ(reg.gauges().at("fresh"), 1.0);
+
+  reg.observe("lat", 4.0);
+  reg.observe("lat", 1.0);
+  reg.observe("lat", 9.0);
+  const obs::HistogramData h = reg.histograms().at("lat");
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.sum, 14.0);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 9.0);
+}
+
+// ---------------------------------------------------------------------------
+// Profiler
+
+TEST(Profiler, ScopesAttributeToTheObservedParentEdge) {
+  obs::RunObs ro;
+  ro.profile_on = true;
+  {
+    obs::ScopedRunObs scoped(ro);
+    obs::ProfScope run(obs::Phase::Run);
+    {
+      // Untimed context (the pool-worker marker): nested scopes see it as
+      // their parent, but TickHeads itself accumulates no time or calls.
+      obs::PhaseContext heads(obs::Phase::TickHeads);
+      obs::ProfScope kernel(obs::Phase::KernelSafeReach);
+    }
+    obs::ProfScope kernel(obs::Phase::KernelFlood);
+  }
+  const obs::Profiler& p = ro.prof;
+  EXPECT_EQ(p.edge_calls(obs::kPhaseRoot, obs::Phase::Run), 1u);
+  EXPECT_EQ(p.edge_calls(static_cast<int>(obs::Phase::TickHeads),
+                         obs::Phase::KernelSafeReach),
+            1u);
+  EXPECT_EQ(p.edge_calls(static_cast<int>(obs::Phase::Run),
+                         obs::Phase::KernelFlood),
+            1u);
+  EXPECT_EQ(p.total_calls(obs::Phase::TickHeads), 0u);
+  EXPECT_EQ(p.total_calls(obs::Phase::KernelSafeReach), 1u);
+  EXPECT_GT(p.total_ns(obs::Phase::Run), 0u);
+  // Run's children time is exactly what the two kernels accumulated.
+  EXPECT_EQ(p.children_ns(obs::Phase::Run),
+            p.edge_ns(static_cast<int>(obs::Phase::Run),
+                      obs::Phase::KernelFlood));
+}
+
+TEST(Profiler, OffPathIsANoOp) {
+  // No installation: scopes must not record anywhere or crash.
+  {
+    obs::ProfScope run(obs::Phase::Run);
+    obs::PhaseContext heads(obs::Phase::TickHeads);
+    obs::ProfScope kernel(obs::Phase::KernelSafeReach);
+  }
+  EXPECT_EQ(obs::profiler(), nullptr);
+  EXPECT_EQ(obs::metrics(), nullptr);
+  EXPECT_EQ(obs::trace(), nullptr);
+  EXPECT_EQ(obs::flit_trace(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// TraceSink / FlitTrace
+
+/// Parses a Chrome trace file and asserts the envelope ISSUE 8 requires:
+/// a traceEvents array of complete events with name/ph/ts/tid, and ts
+/// monotone non-decreasing per tid. Returns the parsed events.
+std::vector<Json> check_chrome_trace(const std::string& path) {
+  const Json doc = parse_or_die(slurp(path));
+  const Json* events = doc.find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  EXPECT_TRUE(events->is_array());
+  if (events == nullptr || !events->is_array()) {
+    ADD_FAILURE() << path << ": missing traceEvents array";
+    return {};
+  }
+  std::map<uint64_t, int64_t> last_ts;
+  for (const Json& e : events->items()) {
+    EXPECT_TRUE(e.is_object());
+    const Json* name = e.find("name");
+    const Json* ph = e.find("ph");
+    const Json* ts = e.find("ts");
+    const Json* tid = e.find("tid");
+    EXPECT_NE(name, nullptr);
+    EXPECT_NE(ph, nullptr);
+    EXPECT_NE(ts, nullptr);
+    EXPECT_NE(tid, nullptr);
+    if (name == nullptr || ph == nullptr || ts == nullptr || tid == nullptr)
+      return {};
+    EXPECT_EQ(ph->as_string(), "X");
+    const uint64_t lane = tid->as_uint64();
+    const auto stamp = static_cast<int64_t>(ts->as_uint64());
+    const auto it = last_ts.find(lane);
+    if (it != last_ts.end()) {
+      EXPECT_GE(stamp, it->second);
+    }
+    last_ts[lane] = stamp;
+  }
+  return events->items();
+}
+
+TEST(TraceSink, WritesSortedWellFormedChromeTrace) {
+  obs::TraceSink sink;
+  // Recorded deliberately out of ts order within tid 1: write() sorts.
+  sink.complete("late", 1, 100, 5);
+  sink.complete("early", 1, 50, 5, "\"cycle\":9");
+  sink.complete("other_lane", 2, 10, 1);
+  const std::string path = tmp_path("obs_trace_unit.json");
+  ASSERT_TRUE(sink.write(path));
+
+  const std::vector<Json> events = check_chrome_trace(path);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].find("name")->as_string(), "early");
+  EXPECT_EQ(events[0].find("args")->find("cycle")->as_uint64(), 9u);
+  EXPECT_EQ(events[1].find("name")->as_string(), "late");
+  EXPECT_EQ(events[2].find("tid")->as_uint64(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSink, CapDropsAndSurfacesAMarker) {
+  obs::TraceSink sink(/*max_events=*/2);
+  sink.complete("a", 1, 10, 1);
+  sink.complete("b", 1, 20, 1);
+  sink.complete("c", 1, 30, 1);
+  EXPECT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.dropped(), 1u);
+
+  const std::string path = tmp_path("obs_trace_cap.json");
+  ASSERT_TRUE(sink.write(path));
+  const Json doc = parse_or_die(slurp(path));
+  const auto& events = doc.find("traceEvents")->items();
+  ASSERT_EQ(events.size(), 3u);  // 2 kept + the drop marker
+  EXPECT_EQ(events.back().find("name")->as_string(), "trace_buffer_full");
+  EXPECT_EQ(events.back().find("args")->find("dropped")->as_uint64(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(FlitTrace, NdjsonLinesAndTruncationMarker) {
+  obs::FlitTrace ft(/*max_events=*/2);
+  ft.event(3, "inject", 17, "\"src\":[0,0]");
+  ft.event(4, "deliver", 17);
+  ft.event(5, "inject", 18);  // over the cap: dropped
+  const std::string path = tmp_path("obs_flit_unit.ndjson");
+  ASSERT_TRUE(ft.write(path));
+
+  std::istringstream lines(slurp(path));
+  std::string line;
+  std::vector<Json> docs;
+  while (std::getline(lines, line)) docs.push_back(parse_or_die(line));
+  ASSERT_EQ(docs.size(), 3u);
+  EXPECT_EQ(docs[0].find("schema")->as_string(), "mcc.flit/1");
+  EXPECT_EQ(docs[0].find("ev")->as_string(), "inject");
+  EXPECT_EQ(docs[0].find("pkt")->as_uint64(), 17u);
+  EXPECT_EQ(docs[0].find("src")->items().size(), 2u);
+  EXPECT_EQ(docs[1].find("cycle")->as_uint64(), 4u);
+  EXPECT_EQ(docs[2].find("ev")->as_string(), "truncated");
+  EXPECT_EQ(docs[2].find("dropped")->as_uint64(), 1u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Front door: Experiment-level plumbing
+
+/// Small 2-D wormhole-under-churn scenario: every instrumented subsystem
+/// is on the path (dynamic runtime, guidance cache, router-parallel tick).
+Configuration churn_cfg(int threads) {
+  Configuration cfg;
+  cfg.set("driver", "wormhole_churn");
+  cfg.set("name", "obs-churn");
+  cfg.set("dims", "2");
+  cfg.set("fault_model", "dynamic");
+  cfg.set("fault_rate", "0.05");
+  cfg.set("ks", "6");
+  cfg.set("churn", "4");
+  cfg.set("policy", "model");
+  cfg.set("traffic", "uniform");
+  cfg.set("rates", "0.05");
+  cfg.set("warmup", "50");
+  cfg.set("measure", "200");
+  cfg.set("drain", "5000");
+  cfg.set("repair_min", "50");
+  cfg.set("repair_max", "200");
+  cfg.set("seed", "7");
+  cfg.set("threads", std::to_string(threads));
+  return cfg;
+}
+
+TEST(ObsFrontDoor, MetricsCountersBitIdenticalAcrossThreadCounts) {
+  // ISSUE 8 acceptance: the mcc.metrics/1 counters section serializes to
+  // the same bytes for threads=1..4. Gauges (pool spin/park, dedup waits)
+  // are excluded from the contract by construction — they live in a
+  // separate section.
+  std::string reference;
+  for (int threads = 1; threads <= 4; ++threads) {
+    Configuration cfg = churn_cfg(threads);
+    cfg.set("metrics", "1");
+    const Json doc = Experiment(std::move(cfg)).run().to_json();
+    const Json* obs = doc.find("obs");
+    ASSERT_NE(obs, nullptr) << "threads=" << threads;
+    EXPECT_EQ(obs->find("schema")->as_string(), api::kMetricsSchema);
+    const Json* counters = obs->find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_FALSE(counters->members().empty());
+    // The dark counters the issue calls out must actually be present.
+    for (const char* name :
+         {"wh.delivered_packets", "wh.route_computes", "wh.arena_high_water",
+          "cache.hits", "cache.misses"})
+      EXPECT_NE(counters->find(name), nullptr) << name;
+    if (threads == 1)
+      reference = counters->dump();
+    else
+      EXPECT_EQ(counters->dump(), reference) << "threads=" << threads;
+  }
+}
+
+TEST(ObsFrontDoor, InstrumentationDoesNotPerturbResults) {
+  // Three runs of the same scenario: defaults, explicit metrics=0
+  // profile=0, and fully instrumented. The first two must be byte-
+  // identical outside the config echo (which records explicitly-set
+  // keys); the instrumented run must reproduce the same tables and
+  // metrics — observability reads the simulation, never steers it.
+  const Json plain = Experiment(churn_cfg(2)).run().to_json();
+
+  Configuration off = churn_cfg(2);
+  off.set("metrics", "0");
+  off.set("profile", "0");
+  const Json off_doc = Experiment(std::move(off)).run().to_json();
+
+  Configuration on = churn_cfg(2);
+  on.set("metrics", "1");
+  on.set("profile", "1");
+  const Json on_doc = Experiment(std::move(on)).run().to_json();
+
+  EXPECT_EQ(plain.find("obs"), nullptr);
+  EXPECT_EQ(off_doc.find("obs"), nullptr);
+  ASSERT_NE(on_doc.find("obs"), nullptr);
+
+  for (const char* section : {"tables", "metrics", "seed", "build"}) {
+    ASSERT_NE(plain.find(section), nullptr) << section;
+    EXPECT_EQ(plain.find(section)->dump(), off_doc.find(section)->dump())
+        << section;
+  }
+  // The instrumented run appends the profile table; everything before it
+  // is the same simulation output.
+  EXPECT_EQ(plain.find("metrics")->dump(), on_doc.find("metrics")->dump());
+  const auto& plain_tables = plain.find("tables")->items();
+  const auto& on_tables = on_doc.find("tables")->items();
+  ASSERT_EQ(on_tables.size(), plain_tables.size() + 1);
+  for (size_t i = 0; i < plain_tables.size(); ++i)
+    EXPECT_EQ(plain_tables[i].dump(), on_tables[i].dump());
+  EXPECT_EQ(on_tables.back().find("title")->as_string(), "profile");
+}
+
+TEST(ObsFrontDoor, ProfileTableNamesPhasesAndTopKernels) {
+  Configuration cfg = churn_cfg(1);
+  cfg.set("profile", "1");
+  const RunReport report = Experiment(std::move(cfg)).run();
+  ASSERT_FALSE(report.failed());
+
+  const Json doc = report.to_json();
+  const auto& tables = doc.find("tables")->items();
+  ASSERT_FALSE(tables.empty());
+  const Json& profile = tables.back();
+  ASSERT_EQ(profile.find("title")->as_string(), "profile");
+  // Tick phases and MCC kernels show up as rows with nonzero calls.
+  std::map<std::string, bool> seen;
+  for (const Json& row : profile.find("rows")->items())
+    seen[row.items().at(0).as_string()] = true;
+  // The 2-D dynamic model leans on the flood and label-fixpoint kernels;
+  // safe-reach/cache-build are 3-D model-mode paths (covered by the
+  // profiled smoke preset in the CTest matrix).
+  for (const char* phase : {"run", "tick.wires", "tick.heads", "tick.alloc",
+                            "tick.traverse", "tick.commit", "kernel.flood",
+                            "kernel.label_fixpoint"})
+    EXPECT_TRUE(seen[phase]) << phase;
+
+  // The human rendering carries the top-kernels callout (ISSUE 8
+  // acceptance names the top-2 kernels by share of cycle time).
+  std::ostringstream os;
+  report.render(os);
+  EXPECT_NE(os.str().find("top kernels:"), std::string::npos);
+}
+
+TEST(ObsFrontDoor, TraceJsonIsWellFormedWithMonotoneTsPerTid) {
+  const std::string path = tmp_path("obs_front_trace.json");
+  Configuration cfg = churn_cfg(2);
+  cfg.set("trace_json", path);
+  const RunReport report = Experiment(std::move(cfg)).run();
+  ASSERT_FALSE(report.failed());
+
+  const std::vector<Json> events = check_chrome_trace(path);
+  ASSERT_FALSE(events.empty());
+  std::map<std::string, bool> names;
+  for (const Json& e : events) names[e.find("name")->as_string()] = true;
+  for (const char* phase :
+       {"tick.wires", "tick.heads", "tick.alloc", "tick.traverse",
+        "tick.commit"})
+    EXPECT_TRUE(names[phase]) << phase;
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Golden flit trace
+
+/// Small fault-free 2-D load run. Keep in lockstep with the generator
+/// command in tests/golden/README.md — the golden file is its output.
+Configuration flit_cfg(int threads) {
+  Configuration cfg;
+  cfg.set("driver", "wormhole_load");
+  cfg.set("name", "flit-golden");
+  cfg.set("dims", "2");
+  cfg.set("k", "4");
+  cfg.set("policy", "model");
+  cfg.set("fault_pattern", "none");
+  cfg.set("traffic", "uniform");
+  cfg.set("rates", "0.05");
+  cfg.set("warmup", "10");
+  cfg.set("measure", "60");
+  cfg.set("drain", "2000");
+  cfg.set("seed", "11");
+  cfg.set("threads", std::to_string(threads));
+  return cfg;
+}
+
+TEST(ObsFrontDoor, FlitTraceMatchesGoldenAndIsThreadCountInvariant) {
+  const std::string p1 = tmp_path("obs_flit_t1.ndjson");
+  const std::string p2 = tmp_path("obs_flit_t2.ndjson");
+  {
+    Configuration cfg = flit_cfg(1);
+    cfg.set("flit_trace", p1);
+    ASSERT_FALSE(Experiment(std::move(cfg)).run().failed());
+  }
+  {
+    Configuration cfg = flit_cfg(2);
+    cfg.set("flit_trace", p2);
+    ASSERT_FALSE(Experiment(std::move(cfg)).run().failed());
+  }
+  const std::string t1 = slurp(p1);
+  ASSERT_FALSE(t1.empty());
+  // Flit lifecycle events are emitted from the serial tick phases only,
+  // so the trace is byte-identical across thread counts, like the
+  // simulation itself.
+  EXPECT_EQ(t1, slurp(p2));
+
+  // Pinned bytes: any change to injection, routing, or delivery order on
+  // this scenario shows up as a golden diff (regenerate per
+  // tests/golden/README.md if intended).
+  const std::string golden =
+      slurp(std::string(MCC_GOLDEN_DIR) + "/flit_trace_2d.ndjson");
+  ASSERT_FALSE(golden.empty()) << "missing committed golden file";
+  EXPECT_EQ(t1, golden);
+
+  // Every line parses and carries the lifecycle schema.
+  std::istringstream lines(t1);
+  std::string line;
+  size_t n = 0;
+  std::map<std::string, bool> events;
+  while (std::getline(lines, line)) {
+    const Json doc = parse_or_die(line);
+    EXPECT_EQ(doc.find("schema")->as_string(), "mcc.flit/1");
+    events[doc.find("ev")->as_string()] = true;
+    ++n;
+  }
+  EXPECT_GT(n, 10u);
+  EXPECT_TRUE(events["inject"]);
+  EXPECT_TRUE(events["route"]);
+  EXPECT_TRUE(events["deliver"]);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// mcc.metrics/1 schema validation
+
+Json metrics_block() {
+  Json counters = Json::object();
+  counters.set("wh.delivered_packets", Json::number(uint64_t{128}));
+  Json gauges = Json::object();
+  gauges.set("pool.spin_iters", Json::number(3.5));
+  Json hist = Json::object();
+  hist.set("count", Json::number(uint64_t{2}));
+  hist.set("sum", Json::number(5.0));
+  hist.set("min", Json::number(2.0));
+  hist.set("max", Json::number(3.0));
+  Json hists = Json::object();
+  hists.set("serve.query_us.p99", std::move(hist));
+  Json obs = Json::object();
+  obs.set("schema", Json::string(api::kMetricsSchema));
+  obs.set("counters", std::move(counters));
+  obs.set("gauges", std::move(gauges));
+  obs.set("histograms", std::move(hists));
+  return obs;
+}
+
+Json report_with_obs(Json obs) {
+  RunReport r("obs-schema", "unit", 1);
+  r.set_config_echo({});
+  r.set_obs(std::move(obs));
+  return r.to_json();
+}
+
+TEST(MetricsSchema, WellFormedBlockValidates) {
+  const Json doc = report_with_obs(metrics_block());
+  EXPECT_TRUE(api::validate_report_json(doc).empty());
+  // Absent block is equally fine (instrumentation off).
+  RunReport r("obs-schema", "unit", 1);
+  r.set_config_echo({});
+  EXPECT_TRUE(api::validate_report_json(r.to_json()).empty());
+}
+
+TEST(MetricsSchema, MalformedBlocksAreRejected) {
+  {
+    Json obs = metrics_block();
+    obs.set("schema", Json::string("mcc.metrics/2"));
+    EXPECT_FALSE(api::validate_report_json(report_with_obs(std::move(obs)))
+                     .empty());
+  }
+  {
+    // Counters must be non-negative integers, not floats or strings.
+    Json obs = metrics_block();
+    Json counters = Json::object();
+    counters.set("wh.delivered_packets", Json::number(1.5));
+    obs.set("counters", std::move(counters));
+    EXPECT_FALSE(api::validate_report_json(report_with_obs(std::move(obs)))
+                     .empty());
+  }
+  {
+    Json obs = metrics_block();
+    Json counters = Json::object();
+    counters.set("wh.delivered_packets", Json::string("128"));
+    obs.set("counters", std::move(counters));
+    EXPECT_FALSE(api::validate_report_json(report_with_obs(std::move(obs)))
+                     .empty());
+  }
+  {
+    // Histogram entries need all four summary fields.
+    Json obs = metrics_block();
+    Json hist = Json::object();
+    hist.set("count", Json::number(uint64_t{2}));
+    hist.set("sum", Json::number(5.0));
+    hist.set("min", Json::number(2.0));
+    Json hists = Json::object();
+    hists.set("partial", std::move(hist));
+    obs.set("histograms", std::move(hists));
+    EXPECT_FALSE(api::validate_report_json(report_with_obs(std::move(obs)))
+                     .empty());
+  }
+  {
+    Json obs = metrics_block();
+    obs.set("counters", Json::array());
+    EXPECT_FALSE(api::validate_report_json(report_with_obs(std::move(obs)))
+                     .empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Build provenance
+
+TEST(BuildProvenance, StampedIntoEveryReport) {
+  const obs::BuildProvenance& bp = obs::build_provenance();
+  EXPECT_FALSE(bp.compiler.empty());
+  EXPECT_FALSE(bp.git_hash.empty());
+
+  RunReport r("prov", "unit", 1);
+  r.set_config_echo({});
+  const Json doc = r.to_json();
+  const Json* build = doc.find("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_EQ(build->find("git")->as_string(), bp.git_hash);
+  EXPECT_EQ(build->find("compiler")->as_string(), bp.compiler);
+  ASSERT_NE(build->find("hw_lanes"), nullptr);
+  EXPECT_EQ(build->find("hw_lanes")->as_uint64(), bp.hw_lanes);
+  EXPECT_TRUE(api::validate_report_json(doc).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Campaign progress heartbeat
+
+TEST(CampaignProgress, HeartbeatEmitsParseableNdjson) {
+  const std::string path = tmp_path("obs_progress.ndjson");
+  std::remove(path.c_str());  // append-mode sink: start clean
+
+  Configuration cfg;
+  cfg.set("driver", "route_demo");
+  cfg.set("name", "obs-progress");
+  cfg.set("dims", "2");
+  cfg.set("k", "8");
+  cfg.set("sweep.fault_rate", "0.02, 0.05");
+  cfg.set("progress_json", path);
+  const api::Campaign campaign(std::move(cfg));
+  const auto results = campaign.run_shard(1, 1, nullptr);
+  ASSERT_EQ(results.size(), 2u);
+
+  std::istringstream lines(slurp(path));
+  std::string line;
+  std::vector<Json> docs;
+  while (std::getline(lines, line)) docs.push_back(parse_or_die(line));
+  ASSERT_EQ(docs.size(), 4u);  // shard_start, 2 points, shard_done
+  for (const Json& doc : docs) {
+    EXPECT_EQ(doc.find("schema")->as_string(), api::kProgressSchema);
+    EXPECT_EQ(doc.find("shard")->as_string(), "1/1");
+  }
+  EXPECT_EQ(docs.front().find("ev")->as_string(), "shard_start");
+  EXPECT_EQ(docs.front().find("total")->as_uint64(), 2u);
+  EXPECT_EQ(docs[1].find("ev")->as_string(), "point");
+  EXPECT_EQ(docs[1].find("index")->as_uint64(), 0u);
+  EXPECT_FALSE(docs[1].find("failed")->as_bool());
+  EXPECT_EQ(docs[2].find("ev")->as_string(), "point");
+  EXPECT_EQ(docs.back().find("ev")->as_string(), "shard_done");
+  EXPECT_EQ(docs.back().find("points")->as_uint64(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mcc

@@ -9,6 +9,9 @@
 // or metric names with an ms/us/ns token, "time" or "speedup"), which are
 // reported informationally but never fail the gate. Simulated-time values
 // (latency in cycles, delivered counts) are deterministic and stay exact.
+// The optional mcc.metrics/1 "obs" block follows the same split: counters
+// compare exactly, gauges/histograms are informational. The "build"
+// provenance block is never compared (rebuilding must not fail the gate).
 //
 // Exit codes: 0 = no drift (timing diffs allowed), 1 = metric drift,
 // 2 = usage / IO / parse / schema error.
@@ -110,6 +113,37 @@ std::vector<std::pair<std::string, const Json*>> collect_reports(
   return out;
 }
 
+/// The mcc.metrics/1 "obs" block: counters are deterministic across
+/// thread counts and compare exactly; gauges and histograms are
+/// scheduling/wall-clock shaped and stay informational.
+void compare_obs(const std::string& where, const Json& base,
+                 const Json& cand) {
+  const Json* bcs = base.find("counters");
+  const Json* ccs = cand.find("counters");
+  if (bcs != nullptr && bcs->is_object() && ccs != nullptr &&
+      ccs->is_object()) {
+    for (const auto& [k, v] : bcs->members()) {
+      const Json* c = ccs->find(k);
+      if (c == nullptr)
+        drift(where, "obs counter '" + k + "' removed");
+      else if (v.dump() != c->dump())
+        drift(where,
+              "obs counter '" + k + "': " + v.dump() + " -> " + c->dump());
+    }
+    for (const auto& [k, v] : ccs->members()) {
+      (void)v;
+      if (bcs->find(k) == nullptr)
+        drift(where, "obs counter '" + k + "' added");
+    }
+  }
+  for (const char* section : {"gauges", "histograms"}) {
+    const Json* b = base.find(section);
+    const Json* c = cand.find(section);
+    if (b != nullptr && c != nullptr && b->dump() != c->dump())
+      timing_note(where, std::string("obs ") + section + " changed");
+  }
+}
+
 void compare_reports(const std::string& where, const Json& base,
                      const Json& cand) {
   for (const char* key : {"name", "driver"}) {
@@ -189,6 +223,16 @@ void compare_reports(const std::string& where, const Json& base,
     else
       drift(where, msg);
   }
+
+  const Json* bo = base.find("obs");
+  const Json* co = cand.find("obs");
+  if ((bo == nullptr) != (co == nullptr))
+    drift(where,
+          "obs block presence changed (regenerate the baseline if intended)");
+  else if (bo != nullptr && co != nullptr)
+    compare_obs(where, *bo, *co);
+  // "build" provenance is intentionally never compared: rebuilding the
+  // binary must not fail the gate.
 }
 
 }  // namespace

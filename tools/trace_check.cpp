@@ -1,0 +1,90 @@
+// trace_check — well-formedness gate for Chrome trace-event JSON emitted
+// by `trace_json=` (src/obs/trace.cc). CI runs it over the trace a
+// profiled smoke preset writes, so the trace surface cannot rot into
+// something Perfetto refuses to load.
+//
+//   trace_check trace.json [trace2.json ...]
+//
+// Checks per file:
+//   * the document parses and has a `traceEvents` array;
+//   * every event is an object carrying name/ph/ts/tid (ph == "X" — the
+//     sink only emits complete events);
+//   * within each tid the ts sequence is monotone non-decreasing (the
+//     sink sorts on write; a violation means the writer regressed).
+//
+// Exit codes: 0 all files pass, 1 a check failed, 2 usage/IO error.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "api/json.h"
+
+namespace {
+
+using mcc::api::Json;
+
+bool check_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << path << ": cannot open\n";
+    return false;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+
+  std::string error;
+  const Json doc = Json::parse(os.str(), error);
+  if (!error.empty()) {
+    std::cerr << path << ": parse error: " << error << "\n";
+    return false;
+  }
+  const Json* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::cerr << path << ": missing traceEvents array\n";
+    return false;
+  }
+
+  std::map<uint64_t, int64_t> last_ts;
+  size_t index = 0;
+  for (const Json& e : events->items()) {
+    const auto fail = [&](const char* what) {
+      std::cerr << path << ": event " << index << ": " << what << "\n";
+      return false;
+    };
+    if (!e.is_object()) return fail("not an object");
+    const Json* name = e.find("name");
+    const Json* ph = e.find("ph");
+    const Json* ts = e.find("ts");
+    const Json* tid = e.find("tid");
+    if (name == nullptr || !name->is_string()) return fail("missing name");
+    if (ph == nullptr || ph->as_string() != "X")
+      return fail("ph must be \"X\"");
+    if (ts == nullptr || !ts->is_number()) return fail("missing ts");
+    if (tid == nullptr || !tid->is_number()) return fail("missing tid");
+    const uint64_t lane = tid->as_uint64();
+    const auto stamp = static_cast<int64_t>(ts->as_number());
+    const auto it = last_ts.find(lane);
+    if (it != last_ts.end() && stamp < it->second)
+      return fail("ts not monotone within tid");
+    last_ts[lane] = stamp;
+    ++index;
+  }
+  std::cout << path << ": ok (" << index << " events, " << last_ts.size()
+            << " lanes)\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: trace_check trace.json [trace2.json ...]\n";
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) ok = check_file(argv[i]) && ok;
+  return ok ? 0 : 1;
+}
