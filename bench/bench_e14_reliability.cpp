@@ -1,0 +1,50 @@
+// E14 — three-class fault universe: Monte-Carlo reliability curves plus
+// the wormhole surfaces that consume the same universe.
+//
+//   e14_reliability_curve  reachable / route-success / delivered vs
+//                          per-link failure probability, Wilson 95%
+//                          intervals, with the conservative projection's
+//                          residual gap measured in its own column;
+//   e14_linkload           latency-throughput with links physically
+//                          severed in the flit simulator while guidance
+//                          runs on the node projection;
+//   e14_transient_churn    composite hard-churn + transient MTBF/MTTR
+//                          schedule applied live to universe, projection
+//                          and network.
+//
+// Thin front over the experiment API (`mcc_run configs/<preset>.cfg` runs
+// the same scenarios); this main only sequences the presets and merges
+// the reports into BENCH_e14_reliability.json. All counts and proportions
+// are deterministic given the seeds; timing columns vary run to run.
+#include <iostream>
+
+#include "api/experiment.h"
+
+int main() try {
+  using namespace mcc;
+  std::cout << "# E14: reliability under node / router / link faults, "
+               "hard and transient\n";
+
+  std::vector<api::RunReport> reports;
+  for (const char* preset :
+       {"/e14_reliability_curve.cfg", "/e14_linkload.cfg",
+        "/e14_transient_churn.cfg"}) {
+    api::Configuration cfg;
+    cfg.load_file(std::string(MCC_CONFIG_DIR) + preset);
+    reports.push_back(api::Experiment(std::move(cfg)).run());
+    reports.back().render(std::cout);
+  }
+
+  std::vector<const api::RunReport*> runs;
+  bool failed = false;
+  for (const api::RunReport& r : reports) {
+    runs.push_back(&r);
+    failed = failed || r.failed();
+  }
+  api::RunReport::write_bench_json("BENCH_e14_reliability.json",
+                                   "e14_reliability", runs);
+  return failed ? 1 : 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

@@ -260,13 +260,31 @@ const std::map<std::string, KeySpec>& Configuration::schema() {
        {KeyType::Bool, "1", "serve Model-mode guidance from the epoch cache",
         0, 1, "MCC_NOCACHE", /*env_inverted=*/true}},
       // --- fault axis -------------------------------------------------------
-      {"fault_model", {KeyType::String, "static", "fault model registry: static | dynamic"}},
+      {"fault_model",
+       {KeyType::String, "static",
+        "fault model registry: static | dynamic | link | transient | "
+        "composite"}},
       {"fault_pattern",
        {KeyType::String, "uniform",
-        "fault injection registry: none | uniform | clustered | exact | "
-        "figure5 | staircase_up | staircase_down | lshape"}},
+        "fault injection registry: none | uniform | uniform_links | "
+        "clustered | exact | figure5 | staircase_up | staircase_down | "
+        "lshape"}},
       {"fault_rate", {KeyType::Double, "0", "per-node fault probability", 0, 0.95}},
       {"fault_rates", {KeyType::DoubleList, "", "fault-rate sweep (empty = [fault_rate])", 0, 0.95}},
+      {"link_fault_rate",
+       {KeyType::Double, "0",
+        "per-link fault probability (universe fault models)", 0, 0.95}},
+      {"router_fault_rate",
+       {KeyType::Double, "0",
+        "per-router-internal fault probability (universe fault models)", 0,
+        0.95}},
+      {"mtbf",
+       {KeyType::Double, "0",
+        "transient process: mean cycles between strikes per component (0 = "
+        "derive the total strike rate from churn)", 0, 1e12}},
+      {"mttr",
+       {KeyType::Double, "200",
+        "transient process: mean recovery delay in cycles", 1, 1e12}},
       {"fault_count", {KeyType::Int, "0", "faults for exact/clustered patterns", 0, 1000000}},
       {"fault_clusters", {KeyType::Int, "1", "cluster count for the clustered pattern", 1, 1000000}},
       {"fault_envs",

@@ -750,6 +750,7 @@ void protocol_cost_driver(const Scenario& scn, RunReport& report) {
 void register_wormhole_drivers();  // drivers_wormhole.cc
 void register_eval_drivers();      // drivers_eval.cc (E1-E6, E9)
 void register_serve_drivers();     // drivers_serve.cc (E13)
+void register_reliability_drivers();  // drivers_reliability.cc (E14)
 
 void register_builtin_drivers() {
   drivers().add("route_quality", route_quality_driver,
@@ -766,6 +767,7 @@ void register_builtin_drivers() {
   register_wormhole_drivers();
   register_eval_drivers();
   register_serve_drivers();
+  register_reliability_drivers();
 }
 
 }  // namespace mcc::api

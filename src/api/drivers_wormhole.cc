@@ -10,6 +10,9 @@
 #include <type_traits>
 
 #include "api/experiment.h"
+#include "fault/process.h"
+#include "fault/projection.h"
+#include "fault/universe.h"
 #include "mesh/fault_injection.h"
 #include "obs/obs.h"
 #include "proto/boundary_delta.h"
@@ -74,8 +77,142 @@ struct SimTotals {
   }
 };
 
+// Universe churn parameters from the scenario knobs: the hard process
+// strikes every class whose Bernoulli knob is engaged (all-zero extra
+// knobs degenerate to node-only churn), the transient process reads
+// mtbf/mttr directly.
+fault::UniverseChurnParams universe_churn_params(const Scenario& scn,
+                                                 double churn,
+                                                 uint64_t horizon) {
+  fault::UniverseChurnParams p;
+  p.rate = churn / 1000.0;
+  p.horizon = horizon;
+  p.repair_min = static_cast<uint64_t>(scn.repair_min);
+  p.repair_max = static_cast<uint64_t>(scn.repair_max);
+  p.mtbf = scn.mtbf;
+  p.mttr = scn.mttr;
+  p.node_weight = 1;
+  p.router_weight = scn.router_fault_rate > 0 ? 1 : 0;
+  p.link_weight = scn.link_fault_rate > 0 ? 1 : 0;
+  return p;
+}
+
 // ---------------------------------------------------------------------------
-// wormhole_load (E11)
+// wormhole_load (E11), universe branch (E14 fault_model=link): a static
+// three-class snapshot with physically-severed links. Its table is a NEW
+// surface (load_universe) — the node-only load_* tables stay pinned.
+
+template <int Dims>
+void run_wormhole_link_load(const Scenario& scn, RunReport& report) {
+  using Mesh = std::conditional_t<Dims == 2, mesh::Mesh2D, mesh::Mesh3D>;
+  const Mesh m = [&] {
+    if constexpr (Dims == 2)
+      return scn.mesh2();
+    else
+      return scn.mesh3();
+  }();
+
+  std::ostringstream head;
+  head << "# " << scn.name << ": wormhole latency-throughput under "
+       << "three-class faults (" << m.nx() << "x" << m.ny();
+  if constexpr (Dims == 3) head << "x" << m.nz();
+  head << " mesh, " << scn.wh.packet_size << "-flit packets, "
+       << scn.wh.vcs_per_class << " VCs/class, depth " << scn.wh.buffer_depth
+       << ")\n";
+  report.text(head.str());
+
+  util::Rng frng(scn.fault_seed);
+  const auto universe = [&] {
+    if constexpr (Dims == 2)
+      return scn.make_universe2(m, frng);
+    else
+      return scn.make_universe3(m, frng);
+  }();
+  const auto proj = fault::project(universe);
+  const PolicySpec& pol = scn.policy_spec(scn.policy);
+  auto routing = [&] {
+    if constexpr (Dims == 2) {
+      if (!pol.wormhole2d)
+        throw ConfigError("config: policy '" + scn.policy +
+                          "' has no 2-D wormhole routing function");
+      return pol.wormhole2d(scn, m, proj.faults);
+    } else {
+      if (!pol.wormhole3d)
+        throw ConfigError("config: policy '" + scn.policy +
+                          "' has no 3-D wormhole routing function");
+      return pol.wormhole3d(scn, m, proj.faults);
+    }
+  }();
+
+  std::ostringstream sec;
+  sec << "\n## three-class universe (" << universe.node_fault_count()
+      << " node + " << universe.router_fault_count() << " router + "
+      << universe.link_fault_count() << " link faults; projection: "
+      << proj.stats.covered_links << " covered, " << proj.stats.sacrificed
+      << " sacrificed)\n\n";
+  report.text(sec.str());
+
+  util::Table& t = report.table(
+      "load_universe",
+      {"pattern", "offered (f/n/c)", "accepted (f/n/c)", "avg lat",
+       "p99 lat", "packets", "filtered", "links cut", "state"});
+  uint64_t delivered_total = 0;
+  SimTotals totals;
+  for (const std::string& pattern_name : scn.traffic) {
+    const sim::wh::Pattern p = traffic_patterns().get(pattern_name).pattern;
+    for (const double rate : scn.rates) {
+      sim::wh::LoadPoint load = scn.load;
+      load.rate = rate;
+      const uint64_t seed = scn.seed + static_cast<uint64_t>(rate * 10000);
+      sim::wh::LinkEnvResult r;
+      if constexpr (Dims == 2)
+        r = sim::wh::run_link_load_point2d(universe, proj.faults, *routing,
+                                           p, scn.wh, scn.route_policy, load,
+                                           seed, scn.hotspot_fraction,
+                                           scn.hotspot_count);
+      else
+        r = sim::wh::run_link_load_point3d(universe, proj.faults, *routing,
+                                           p, scn.wh, scn.route_policy, load,
+                                           seed, scn.hotspot_fraction,
+                                           scn.hotspot_count);
+      t.add_row({to_string(p), util::Table::fmt(r.sim.offered_flits, 4),
+                 util::Table::fmt(r.sim.accepted_flits, 4),
+                 util::Table::fmt(r.sim.avg_latency, 1),
+                 std::to_string(r.sim.p99_latency),
+                 std::to_string(r.sim.delivered_packets),
+                 std::to_string(r.sim.filtered),
+                 std::to_string(r.link_faults), state_cell(r.sim)});
+      delivered_total += r.sim.delivered_packets;
+      totals.fold(r.sim);
+      if (r.sim.violations != 0 || r.sim.deadlocked) {
+        report.fail(r.sim.violations != 0 ? "ordering/credit violation"
+                                          : "deadlock");
+        return;
+      }
+    }
+  }
+
+  totals.publish(report);
+  if (obs::MetricRegistry* reg = obs::metrics()) {
+    reg->add_counter("fault.injected.node",
+                     static_cast<uint64_t>(universe.node_fault_count()));
+    reg->add_counter("fault.injected.router",
+                     static_cast<uint64_t>(universe.router_fault_count()));
+    reg->add_counter("fault.injected.link",
+                     static_cast<uint64_t>(universe.link_fault_count()));
+    reg->add_counter("fault.projection.sacrificed",
+                     static_cast<uint64_t>(proj.stats.sacrificed));
+  }
+  report.metric("delivered_packets", static_cast<double>(delivered_total));
+  report.metric("projection_sacrificed",
+                static_cast<double>(proj.stats.sacrificed));
+  report.text(
+      "\nExpected shape: severed links bend flows around the cut without "
+      "killing the endpoint routers;\nthe projected guidance avoids the "
+      "sacrificed nodes, so the sim filters their traffic and the\n"
+      "remaining flows drain deadlock-free. Compare against load_faults on "
+      "the same preset to price\nthe projection's conservatism.\n");
+}
 
 template <int Dims>
 void run_wormhole_load(const Scenario& scn, RunReport& report) {
@@ -219,6 +356,13 @@ void wormhole_load_driver(const Scenario& scn, RunReport& report) {
     throw ConfigError(
         "config: wormhole_load runs a static fault environment; use "
         "driver=wormhole_churn for fault_model=dynamic");
+  if (scn.universe) {
+    if (scn.dims == 2)
+      run_wormhole_link_load<2>(scn, report);
+    else
+      run_wormhole_link_load<3>(scn, report);
+    return;
+  }
   if (scn.dims == 2)
     run_wormhole_load<2>(scn, report);
   else
@@ -379,6 +523,166 @@ void run_wormhole_churn(const Scenario& scn, RunReport& report) {
   if (!ok) report.fail("churn run hit a violation, deadlock or backlog");
 }
 
+// wormhole_churn universe branch (E14 fault_model=transient/composite):
+// the network rides a three-class event schedule — true node/router
+// deaths, physical link severs/restores, and the projected guidance
+// updated through the recompute-and-diff tracker. New table surface
+// (churn_universe); the node-only churn table stays pinned.
+template <int Dims>
+void run_wormhole_universe_churn(const Scenario& scn, RunReport& report) {
+  using Mesh = std::conditional_t<Dims == 2, mesh::Mesh2D, mesh::Mesh3D>;
+  using Model = std::conditional_t<Dims == 2, runtime::DynamicModel2D,
+                                   runtime::DynamicModel3D>;
+  using Axes = std::conditional_t<Dims == 2, fault::Axes2, fault::Axes3>;
+
+  const PolicySpec& pol = scn.policy_spec(scn.policy);
+  const sim::wh::Pattern pattern =
+      traffic_patterns().get(scn.traffic.front()).pattern;
+
+  report.text("\n## " + scn.name + ": wormhole universe churn (" +
+              scn.traffic.front() + " traffic, fault_model=" +
+              scn.fault_model + ": " +
+              (scn.hard_faults ? "hard arrival/repair" : "") +
+              (scn.hard_faults && scn.transient_faults ? " + " : "") +
+              (scn.transient_faults ? "transient MTBF/MTTR" : "") + ")\n\n");
+
+  util::Table& t = report.table(
+      "churn_universe",
+      {"mesh", "churn/kcyc", "node ev (f+r)", "link ev (f+r)", "sacrificed",
+       "delivered", "dropped", "accepted (f/n/c)", "avg lat", "cache hit%",
+       "state"});
+
+  sim::wh::LoadPoint load = scn.load;
+  load.rate = scn.rates.front();
+
+  bool ok = true;
+  uint64_t delivered_total = 0, dropped_total = 0, dropped_flits_total = 0;
+  uint64_t fault_total = 0, repair_total = 0;
+  uint64_t link_fault_total = 0, link_repair_total = 0, sacrificed_total = 0;
+  SimTotals totals;
+  runtime::GuidanceCacheStats cache_totals;
+  for (const int k : scn.ks) {
+    for (const double churn : scn.churn) {  // events per 1000 cycles
+      const Mesh mesh = [&] {
+        if constexpr (Dims == 2)
+          return scn.mesh2(k);
+        else
+          return scn.mesh3(k);
+      }();
+      const uint64_t churn_frac = static_cast<uint64_t>(churn * 1000) -
+                                  static_cast<uint64_t>(churn) * 1000;
+      util::Rng rng(scn.seed + static_cast<uint64_t>(k * 31 + churn) +
+                    churn_frac * 0x9E3779B9ULL);
+      Scenario cell = scn;
+      cell.k = k;
+      auto universe = [&] {
+        if constexpr (Dims == 2)
+          return cell.make_universe2(mesh, rng);
+        else
+          return cell.make_universe3(mesh, rng);
+      }();
+      const auto proj = fault::project(universe);
+      Model model(mesh, proj.faults);
+      auto routing = [&] {
+        if constexpr (Dims == 2) {
+          if (!pol.churn2d)
+            throw ConfigError("config: policy '" + scn.policy +
+                              "' cannot route under churn (2-D)");
+          return pol.churn2d(scn, model);
+        } else {
+          if (!pol.churn3d)
+            throw ConfigError("config: policy '" + scn.policy +
+                              "' cannot route under churn (3-D)");
+          return pol.churn3d(scn, model);
+        }
+      }();
+
+      const uint64_t horizon =
+          scn.churn_horizon != 0
+              ? scn.churn_horizon
+              : static_cast<uint64_t>(load.warmup + load.measure +
+                                      load.drain / 4);
+      auto events = fault::sample_universe_churn<Axes>(
+          mesh, rng, universe_churn_params(cell, churn, horizon),
+          scn.hard_faults, scn.transient_faults);
+
+      sim::wh::UniverseChurnResult r;
+      const uint64_t run_seed = scn.seed2 + static_cast<uint64_t>(k);
+      if constexpr (Dims == 2)
+        r = sim::wh::run_universe_churn_load_point2d(
+            model, *routing, pattern, scn.wh, scn.route_policy, load,
+            std::move(universe), std::move(events), run_seed,
+            scn.hotspot_fraction, scn.hotspot_count);
+      else
+        r = sim::wh::run_universe_churn_load_point3d(
+            model, *routing, pattern, scn.wh, scn.route_policy, load,
+            std::move(universe), std::move(events), run_seed,
+            scn.hotspot_fraction, scn.hotspot_count);
+
+      std::string mesh_cell = std::to_string(k);
+      if (Dims == 2) {
+        mesh_cell += "x";
+        mesh_cell += std::to_string(k);
+      } else {
+        mesh_cell += "^3";
+      }
+      t.add_row({mesh_cell, util::Table::fmt(churn, 1),
+                 std::to_string(r.fault_events) + "+" +
+                     std::to_string(r.repair_events),
+                 std::to_string(r.link_fault_events) + "+" +
+                     std::to_string(r.link_repair_events),
+                 std::to_string(r.projection_sacrifices),
+                 std::to_string(r.sim.delivered_packets),
+                 std::to_string(r.dropped_packets),
+                 util::Table::fmt(r.sim.accepted_flits, 4),
+                 util::Table::fmt(r.sim.avg_latency, 1),
+                 util::Table::pct(r.cache.hit_rate()),
+                 std::string(r.sim.violations    ? "VIOLATION"
+                             : r.sim.deadlocked  ? "DEADLOCK"
+                             : !r.sim.drained    ? "backlogged"
+                                                 : "ok")});
+      delivered_total += r.sim.delivered_packets;
+      dropped_total += r.dropped_packets;
+      dropped_flits_total += r.dropped_flits;
+      fault_total += r.fault_events;
+      repair_total += r.repair_events;
+      link_fault_total += r.link_fault_events;
+      link_repair_total += r.link_repair_events;
+      sacrificed_total += r.projection_sacrifices;
+      totals.fold(r.sim);
+      cache_totals.hits += r.cache.hits;
+      cache_totals.misses += r.cache.misses;
+      cache_totals.evictions += r.cache.evictions;
+      cache_totals.dedup_waits += r.cache.dedup_waits;
+      if (r.sim.violations != 0 || r.sim.deadlocked || !r.sim.drained)
+        ok = false;
+    }
+  }
+  totals.publish(report);
+  if (obs::MetricRegistry* reg = obs::metrics()) {
+    reg->add_counter("wh.dropped_packets", dropped_total);
+    reg->add_counter("wh.dropped_flits", dropped_flits_total);
+    reg->add_counter("wh.fault_events", fault_total);
+    reg->add_counter("wh.repair_events", repair_total);
+    reg->add_counter("wh.link_fault_events", link_fault_total);
+    reg->add_counter("wh.link_repair_events", link_repair_total);
+    reg->add_counter("fault.projection.sacrificed", sacrificed_total);
+    reg->add_counter("cache.hits", cache_totals.hits);
+    reg->add_counter("cache.misses", cache_totals.misses);
+    reg->add_counter("cache.evictions", cache_totals.evictions);
+    reg->add_gauge("cache.dedup_waits",
+                   static_cast<double>(cache_totals.dedup_waits));
+    reg->set_gauge("cache.hit_rate", cache_totals.hit_rate());
+  }
+  report.metric("delivered_packets", static_cast<double>(delivered_total));
+  report.metric("dropped_packets", static_cast<double>(dropped_total));
+  report.metric("link_fault_events", static_cast<double>(link_fault_total));
+  report.metric("projection_sacrifices",
+                static_cast<double>(sacrificed_total));
+  if (!ok)
+    report.fail("universe churn run hit a violation, deadlock or backlog");
+}
+
 void wormhole_churn_driver(const Scenario& scn, RunReport& report) {
   if (!scn.dynamic)
     throw ConfigError(
@@ -388,6 +692,13 @@ void wormhole_churn_driver(const Scenario& scn, RunReport& report) {
     throw ConfigError(
         "config: wormhole_churn sweeps sizes x churn rates; give exactly "
         "one traffic pattern and one injection rate per run");
+  if (scn.universe) {
+    if (scn.dims == 2)
+      run_wormhole_universe_churn<2>(scn, report);
+    else
+      run_wormhole_universe_churn<3>(scn, report);
+    return;
+  }
   if (scn.dims == 2)
     run_wormhole_churn<2>(scn, report);
   else

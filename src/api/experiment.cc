@@ -6,6 +6,7 @@
 #include <mutex>
 #include <utility>
 
+#include "fault/process.h"
 #include "mesh/fault_injection.h"
 #include "obs/obs.h"
 #include "sim/wormhole/baseline_routing.h"
@@ -41,9 +42,27 @@ namespace {
 
 void register_builtin_axes() {
   // --- fault models --------------------------------------------------------
-  fault_models().add("static", {false}, "immutable fault set");
+  fault_models().add("static", {false}, "immutable fault set",
+                     "all drivers; node faults only");
   fault_models().add("dynamic", {true},
-                     "runtime::DynamicModel with churn events");
+                     "runtime::DynamicModel with churn events",
+                     "wormhole_churn, event_cost, serve_load; node faults "
+                     "only");
+  fault_models().add(
+      "link", {false, true, true, false},
+      "static three-class FaultUniverse (node + router + link)",
+      "reliability, wormhole_load; needs a fault_pattern with a universe "
+      "builder (none | uniform | uniform_links)");
+  fault_models().add(
+      "transient", {true, true, false, true},
+      "universe churn: MTBF/MTTR flip-and-recover soft errors",
+      "reliability, wormhole_churn; keys mtbf= mttr=; universe "
+      "fault_pattern sets the initial state");
+  fault_models().add(
+      "composite", {true, true, true, true},
+      "universe churn: hard Poisson arrival/repair + transient flips",
+      "reliability, wormhole_churn; keys churn= mtbf= mttr= repair_min= "
+      "repair_max=");
 
   // --- fault patterns ------------------------------------------------------
   {
@@ -56,7 +75,14 @@ void register_builtin_axes() {
                   const std::vector<mesh::Coord3>&) {
       return mesh::FaultSet3D(m);
     };
-    fault_patterns().add("none", std::move(p), "fault-free mesh");
+    p.universe2d = [](const mesh::Mesh2D& m, const Scenario&, util::Rng&) {
+      return fault::FaultUniverse2D(m);
+    };
+    p.universe3d = [](const mesh::Mesh3D& m, const Scenario&, util::Rng&) {
+      return fault::FaultUniverse3D(m);
+    };
+    fault_patterns().add("none", std::move(p), "fault-free mesh",
+                         "every fault_model; universe models start empty");
   }
   {
     FaultPatternSpec p;
@@ -79,8 +105,43 @@ void register_builtin_axes() {
                   const std::vector<mesh::Coord3>& protect) {
       return mesh::inject_uniform(m, s.fault_rate, rng, protect);
     };
+    p.universe2d = [](const mesh::Mesh2D& m, const Scenario& s,
+                      util::Rng& rng) {
+      return fault::make_bernoulli_universe<fault::Axes2>(
+          m, s.fault_rate, s.router_fault_rate, s.link_fault_rate, rng);
+    };
+    p.universe3d = [](const mesh::Mesh3D& m, const Scenario& s,
+                      util::Rng& rng) {
+      return fault::make_bernoulli_universe<fault::Axes3>(
+          m, s.fault_rate, s.router_fault_rate, s.link_fault_rate, rng);
+    };
     fault_patterns().add("uniform", std::move(p),
-                         "Bernoulli(fault_rate) node faults");
+                         "Bernoulli(fault_rate) node faults",
+                         "every fault_model; universe models add "
+                         "router_fault_rate= and link_fault_rate= classes");
+  }
+  {
+    // Links only: the per-class rate falls back to fault_rate when
+    // link_fault_rate is 0, so sweeping fault_rate yields pure link-failure
+    // reliability curves with no config changes.
+    FaultPatternSpec p;
+    p.universe2d = [](const mesh::Mesh2D& m, const Scenario& s,
+                      util::Rng& rng) {
+      const double lp =
+          s.link_fault_rate > 0 ? s.link_fault_rate : s.fault_rate;
+      return fault::make_bernoulli_universe<fault::Axes2>(m, 0, 0, lp, rng);
+    };
+    p.universe3d = [](const mesh::Mesh3D& m, const Scenario& s,
+                      util::Rng& rng) {
+      const double lp =
+          s.link_fault_rate > 0 ? s.link_fault_rate : s.fault_rate;
+      return fault::make_bernoulli_universe<fault::Axes3>(m, 0, 0, lp, rng);
+    };
+    fault_patterns().add("uniform_links", std::move(p),
+                         "Bernoulli link faults only (link_fault_rate, "
+                         "falling back to fault_rate)",
+                         "universe fault_models only (link | transient | "
+                         "composite)");
   }
   {
     FaultPatternSpec p;
@@ -94,9 +155,9 @@ void register_builtin_axes() {
       return mesh::inject_clustered(m, s.fault_count, s.fault_clusters, rng,
                                     protect);
     };
-    fault_patterns().add("clustered",
-                         std::move(p),
-                         "fault_count faults in fault_clusters clusters");
+    fault_patterns().add("clustered", std::move(p),
+                         "fault_count faults in fault_clusters clusters",
+                         "node-only fault_models (static | dynamic)");
   }
   {
     FaultPatternSpec p;
@@ -109,7 +170,8 @@ void register_builtin_axes() {
       return mesh::inject_exact(m, s.fault_count, rng, protect);
     };
     fault_patterns().add("exact", std::move(p),
-                         "exactly fault_count uniform faults");
+                         "exactly fault_count uniform faults",
+                         "node-only fault_models (static | dynamic)");
   }
   {
     FaultPatternSpec p;
@@ -130,7 +192,8 @@ void register_builtin_axes() {
       return f;
     };
     fault_patterns().add("figure5", std::move(p),
-                         "the paper's Figure-5 fault set (3-D, >= 10^3)");
+                         "the paper's Figure-5 fault set (3-D, >= 10^3)",
+                         "node-only fault_models; 3-D only");
   }
   {
     FaultPatternSpec p;
@@ -149,7 +212,8 @@ void register_builtin_axes() {
       return f;
     };
     fault_patterns().add("staircase_down", std::move(p),
-                         "descending diagonal (worst case for ++)");
+                         "descending diagonal (worst case for ++)",
+                         "node-only fault_models; 2-D only");
   }
   {
     FaultPatternSpec p;
@@ -168,7 +232,8 @@ void register_builtin_axes() {
       return f;
     };
     fault_patterns().add("staircase_up", std::move(p),
-                         "ascending diagonal (no fill toward ++)");
+                         "ascending diagonal (no fill toward ++)",
+                         "node-only fault_models; 2-D only");
   }
   {
     FaultPatternSpec p;
@@ -183,7 +248,8 @@ void register_builtin_axes() {
       return f;
     };
     fault_patterns().add("lshape", std::move(p),
-                         "L-shaped wall with a concave pocket");
+                         "L-shaped wall with a concave pocket",
+                         "node-only fault_models; 2-D only");
   }
 
   // --- guidance policies ---------------------------------------------------
@@ -369,6 +435,24 @@ mesh::FaultSet3D Scenario::make_faults3(
   return spec.fill3d(m, *this, rng, protect);
 }
 
+fault::FaultUniverse2D Scenario::make_universe2(const mesh::Mesh2D& m,
+                                                util::Rng& rng) const {
+  const FaultPatternSpec& spec = fault_patterns().get(fault_pattern);
+  if (!spec.universe2d)
+    throw ConfigError("config: fault_pattern '" + fault_pattern +
+                      "' has no universe builder (2-D)");
+  return spec.universe2d(m, *this, rng);
+}
+
+fault::FaultUniverse3D Scenario::make_universe3(const mesh::Mesh3D& m,
+                                                util::Rng& rng) const {
+  const FaultPatternSpec& spec = fault_patterns().get(fault_pattern);
+  if (!spec.universe3d)
+    throw ConfigError("config: fault_pattern '" + fault_pattern +
+                      "' has no universe builder (3-D)");
+  return spec.universe3d(m, *this, rng);
+}
+
 const PolicySpec& Scenario::policy_spec(const std::string& n) const {
   return policies().get(n);
 }
@@ -428,12 +512,25 @@ Scenario build_scenario(const Configuration& cfg) {
   s.flit_trace = cfg.get_string("flit_trace");
 
   s.fault_model = cfg.get_string("fault_model");
-  s.dynamic = fault_models().get(s.fault_model).dynamic;
+  const FaultModelSpec& fm = fault_models().get(s.fault_model);
+  s.dynamic = fm.dynamic;
+  s.universe = fm.universe;
+  s.hard_faults = fm.hard;
+  s.transient_faults = fm.transient;
   s.fault_pattern = cfg.get_string("fault_pattern");
-  (void)fault_patterns().get(s.fault_pattern);
+  const FaultPatternSpec& fp = fault_patterns().get(s.fault_pattern);
+  if (s.universe && !fp.universe2d && !fp.universe3d)
+    throw ConfigError("config: fault_model '" + s.fault_model +
+                      "' needs a fault_pattern with a universe builder "
+                      "(none | uniform | uniform_links), got '" +
+                      s.fault_pattern + "'");
   s.fault_rate = cfg.get_double("fault_rate");
   s.fault_rates = cfg.get_double_list("fault_rates");
   if (s.fault_rates.empty()) s.fault_rates = {s.fault_rate};
+  s.link_fault_rate = cfg.get_double("link_fault_rate");
+  s.router_fault_rate = cfg.get_double("router_fault_rate");
+  s.mtbf = cfg.get_double("mtbf");
+  s.mttr = cfg.get_double("mttr");
   s.fault_count = cfg.get_int("fault_count");
   s.fault_clusters = cfg.get_int("fault_clusters");
   s.clear_border = cfg.get_bool("clear_border");

@@ -9,10 +9,11 @@
 //
 // An Experiment resolves the config against the axis registries —
 //   driver         route_quality | wormhole_load | wormhole_churn |
-//                  event_cost | protocol_cost | region_atlas | route_demo
-//   fault_model    static | dynamic
-//   fault_pattern  none | uniform | clustered | exact | figure5 |
-//                  staircase_up | staircase_down | lshape
+//                  event_cost | protocol_cost | region_atlas | route_demo |
+//                  reliability | ...
+//   fault_model    static | dynamic | link | transient | composite
+//   fault_pattern  none | uniform | uniform_links | clustered | exact |
+//                  figure5 | staircase_up | staircase_down | lshape
 //   policy         oracle | model | labels_only | fault_block | dor
 //   traffic        uniform | transpose | bit_complement | hotspot
 // — owns seeds and smoke resolution, and returns the driver's RunReport.
@@ -32,6 +33,7 @@
 #include "api/registry.h"
 #include "api/run_report.h"
 #include "core/model.h"
+#include "fault/universe.h"
 #include "mesh/fault_set.h"
 #include "mesh/mesh.h"
 #include "runtime/dynamic_model.h"
@@ -49,13 +51,22 @@ struct Scenario;
 /// (deadlock, violations) so mcc_run exits non-zero.
 using DriverFn = std::function<void(const Scenario&, RunReport&)>;
 
-/// Fault model axis: whether the scenario maintains a dynamic runtime.
+/// Fault model axis: whether the scenario maintains a dynamic runtime,
+/// and (E14) whether faults live in a three-class FaultUniverse rather
+/// than the node-only FaultSet. Universe models pick their stochastic
+/// processes with the lifetime flags: `hard` enables the Poisson
+/// arrival/repair churn, `transient` the MTBF/MTTR flip-and-recover.
 struct FaultModelSpec {
   bool dynamic = false;
+  bool universe = false;
+  bool hard = true;
+  bool transient = false;
 };
 
 /// Fault injection axis. A pattern unsupported in some dimensionality
-/// leaves that builder empty (using it is a ConfigError).
+/// leaves that builder empty (using it is a ConfigError). The universe
+/// builders serve the E14 fault models (link | transient | composite);
+/// patterns without them are node-only.
 struct FaultPatternSpec {
   std::function<mesh::FaultSet2D(const mesh::Mesh2D&, const Scenario&,
                                  util::Rng&,
@@ -65,6 +76,12 @@ struct FaultPatternSpec {
                                  util::Rng&,
                                  const std::vector<mesh::Coord3>&)>
       fill3d;
+  std::function<fault::FaultUniverse2D(const mesh::Mesh2D&, const Scenario&,
+                                       util::Rng&)>
+      universe2d;
+  std::function<fault::FaultUniverse3D(const mesh::Mesh3D&, const Scenario&,
+                                       util::Rng&)>
+      universe3d;
 };
 
 /// Guidance policy axis. Each stack that can serve the policy provides a
@@ -129,8 +146,16 @@ struct Scenario {
 
   std::string fault_model, fault_pattern;
   bool dynamic = false;  // resolved fault_model
+  // Resolved universe flags (E14 fault models; docs/faults.md).
+  bool universe = false;
+  bool hard_faults = true;
+  bool transient_faults = false;
   double fault_rate = 0;
   std::vector<double> fault_rates;  // sweep (>= 1 entry)
+  // Three-class rates: link/router Bernoulli probabilities (0 falls back
+  // to node-only behavior) and the transient process's MTBF/MTTR.
+  double link_fault_rate = 0, router_fault_rate = 0;
+  double mtbf = 0, mttr = 200;
   int fault_count = 0, fault_clusters = 1;
   bool clear_border = false;
   std::vector<std::string> fault_envs;
@@ -173,6 +198,13 @@ struct Scenario {
   mesh::FaultSet3D make_faults3(
       const mesh::Mesh3D& m, util::Rng& rng,
       const std::vector<mesh::Coord3>& protect = {}) const;
+
+  // Three-class fault injection (E14 universe fault models); a pattern
+  // without a universe builder is a ConfigError.
+  fault::FaultUniverse2D make_universe2(const mesh::Mesh2D& m,
+                                        util::Rng& rng) const;
+  fault::FaultUniverse3D make_universe3(const mesh::Mesh3D& m,
+                                        util::Rng& rng) const;
 
   /// The policy spec for `name` (checked at Scenario build time too).
   const PolicySpec& policy_spec(const std::string& name) const;

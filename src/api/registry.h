@@ -19,12 +19,17 @@ class Registry {
  public:
   explicit Registry(std::string axis) : axis_(std::move(axis)) {}
 
-  void add(const std::string& name, Value value, std::string help = "") {
+  /// `note` is a one-line supported-combinations hint (which drivers /
+  /// policies / keys the entry works with) printed under the help line by
+  /// mcc_run --list; empty means the entry works everywhere its axis does.
+  void add(const std::string& name, Value value, std::string help = "",
+           std::string note = "") {
     for (const auto& e : entries_)
       if (e.name == name)
         throw ConfigError("registry '" + axis_ + "': duplicate name '" +
                           name + "'");
-    entries_.push_back({name, std::move(value), std::move(help)});
+    entries_.push_back(
+        {name, std::move(value), std::move(help), std::move(note)});
   }
 
   bool contains(const std::string& name) const {
@@ -49,6 +54,7 @@ class Registry {
     std::string name;
     Value value;
     std::string help;
+    std::string note;  // supported-combinations hint (may be empty)
   };
   const std::vector<Entry>& entries() const { return entries_; }
   const std::string& axis() const { return axis_; }

@@ -1,0 +1,33 @@
+// Anchor TU for mcc_fault. The fault layer is header-only templates over
+// the 2-D/3-D axes; this file pins the common instantiations so template
+// bugs surface when the library builds, not first in a consumer.
+#include "fault/process.h"
+#include "fault/projection.h"
+#include "fault/universe.h"
+
+namespace mcc::fault {
+
+template class FaultUniverseT<Axes2>;
+template class FaultUniverseT<Axes3>;
+template class ProjectionTrackerT<Axes2>;
+template class ProjectionTrackerT<Axes3>;
+
+template ProjectionT<Axes2> project(const FaultUniverseT<Axes2>&);
+template ProjectionT<Axes3> project(const FaultUniverseT<Axes3>&);
+
+template FaultUniverseT<Axes2> make_bernoulli_universe<Axes2>(
+    const Axes2::Mesh&, double, double, double, util::Rng&);
+template FaultUniverseT<Axes3> make_bernoulli_universe<Axes3>(
+    const Axes3::Mesh&, double, double, double, util::Rng&);
+
+template std::vector<UniverseEventT<Axes2>> sample_universe_churn<Axes2>(
+    const Axes2::Mesh&, util::Rng&, const UniverseChurnParams&, bool, bool);
+template std::vector<UniverseEventT<Axes3>> sample_universe_churn<Axes3>(
+    const Axes3::Mesh&, util::Rng&, const UniverseChurnParams&, bool, bool);
+
+template bool apply_event<Axes2>(FaultUniverseT<Axes2>&,
+                                 const UniverseEventT<Axes2>&);
+template bool apply_event<Axes3>(FaultUniverseT<Axes3>&,
+                                 const UniverseEventT<Axes3>&);
+
+}  // namespace mcc::fault

@@ -1,0 +1,265 @@
+// Stochastic fault processes over a FaultUniverse (E14).
+//
+// Three pluggable processes, all deterministic given the Rng:
+//
+//   Bernoulli snapshot   every component of every class flips a coin once
+//                        (make_bernoulli_universe) — the static `link`
+//                        fault model and the per-trial initial state of
+//                        the Monte-Carlo reliability driver;
+//   hard Poisson churn   exponential inter-arrival strikes at `rate` per
+//                        cycle, split across classes by the weight knobs,
+//                        each strike repaired after a bounded uniform
+//                        delay — util::sample_churn generalized from the
+//                        node class to all three;
+//   transient flip-and-recover  soft errors à la Dang et al.: strikes hit
+//                        routers and links (compute-node crashes stay in
+//                        the hard process) at 1/MTBF per component, each
+//                        recovering after an exponential MTTR delay
+//                        (clamped to >= 1 cycle).
+//
+// The samplers mirror util::sample_churn's structure exactly — exponential
+// inter-arrival via -log1p(-u)/rate, a 64-try availability-respecting
+// target pick, stable_sort by cycle — so their distributional properties
+// are covered by the same direct tests (tests/test_util.cc,
+// tests/test_fault.cc).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fault/universe.h"
+#include "util/rng.h"
+#include "util/scenario.h"
+
+namespace mcc::fault {
+
+/// One schedule entry. For Component::Link, (node, dir) is the canonical
+/// link id; for the other classes `dir` is meaningless.
+template <class Axes>
+struct UniverseEventT {
+  uint64_t cycle = 0;
+  Component comp = Component::Node;
+  typename Axes::Coord node{};
+  typename Axes::Dir dir{};
+  bool repair = false;
+};
+
+using UniverseEvent2 = UniverseEventT<Axes2>;
+using UniverseEvent3 = UniverseEventT<Axes3>;
+
+struct UniverseChurnParams {
+  // Hard process: total strikes per cycle across all classes, split
+  // proportionally by the weights (all-zero weights mean all-node, the
+  // node-only sample_churn shape).
+  double rate = 0.002;
+  double node_weight = 1.0;
+  double router_weight = 0.0;
+  double link_weight = 0.0;
+  uint64_t horizon = 4000;
+  uint64_t repair_min = 100;
+  uint64_t repair_max = 800;  // 0 = hard faults are permanent
+  // Transient process: mean cycles between strikes per component (0 = use
+  // `rate` as the total strike rate), mean recovery delay in cycles.
+  double mtbf = 0;
+  double mttr = 200;
+  int max_events = 1 << 20;
+};
+
+/// Draws one Bernoulli universe snapshot: nodes, then routers, then links,
+/// each class in canonical (index) order — the draw order is part of the
+/// seeded contract.
+template <class Axes>
+FaultUniverseT<Axes> make_bernoulli_universe(const typename Axes::Mesh& mesh,
+                                             double node_p, double router_p,
+                                             double link_p, util::Rng& rng) {
+  FaultUniverseT<Axes> u(mesh);
+  if (node_p > 0)
+    for (size_t i = 0; i < mesh.node_count(); ++i)
+      if (rng.chance(node_p)) u.set_node(mesh.coord(i));
+  if (router_p > 0)
+    for (size_t i = 0; i < mesh.node_count(); ++i)
+      if (rng.chance(router_p)) u.set_router(mesh.coord(i));
+  if (link_p > 0)
+    for (const LinkIdT<Axes>& l : FaultUniverseT<Axes>::all_links(mesh))
+      if (rng.chance(link_p)) u.set_link(l.node, l.dir);
+  return u;
+}
+
+namespace detail {
+
+/// Component address space for the churn samplers: nodes are
+/// [0, N), routers [N, 2N), links [2N, 2N + L) indexed into `links`.
+template <class Axes>
+struct ComponentSpace {
+  const typename Axes::Mesh& mesh;
+  std::vector<LinkIdT<Axes>> links;
+  explicit ComponentSpace(const typename Axes::Mesh& m)
+      : mesh(m), links(FaultUniverseT<Axes>::all_links(m)) {}
+  size_t nodes() const { return mesh.node_count(); }
+  size_t total() const { return 2 * mesh.node_count() + links.size(); }
+
+  UniverseEventT<Axes> event(size_t id, uint64_t cycle, bool repair) const {
+    UniverseEventT<Axes> e;
+    e.cycle = cycle;
+    e.repair = repair;
+    if (id < nodes()) {
+      e.comp = Component::Node;
+      e.node = mesh.coord(id);
+    } else if (id < 2 * nodes()) {
+      e.comp = Component::Router;
+      e.node = mesh.coord(id - nodes());
+    } else {
+      e.comp = Component::Link;
+      e.node = links[id - 2 * nodes()].node;
+      e.dir = links[id - 2 * nodes()].dir;
+    }
+    return e;
+  }
+};
+
+/// Shared strike loop (the sample_churn skeleton): exponential
+/// inter-arrival at `total_rate`, `pick_target` draws a component id (or
+/// nothing), `repair_delay` draws the recovery delay (0 = permanent).
+template <class Axes, class PickTarget, class RepairDelay>
+std::vector<UniverseEventT<Axes>> strike_loop(
+    const ComponentSpace<Axes>& space, util::Rng& rng, double total_rate,
+    uint64_t horizon, int max_events, std::vector<uint64_t>& up_at,
+    PickTarget&& pick_target, RepairDelay&& repair_delay) {
+  std::vector<UniverseEventT<Axes>> events;
+  if (total_rate <= 0) return events;
+  double t = 0;
+  while (static_cast<int>(events.size()) + 2 <= max_events) {
+    t += -std::log1p(-rng.uniform()) / total_rate;
+    const uint64_t cycle = static_cast<uint64_t>(t) + 1;
+    if (cycle > horizon) break;
+    std::optional<size_t> target;
+    for (int tries = 0; tries < 64 && !target; ++tries) {
+      const std::optional<size_t> id = pick_target();
+      if (id && up_at[*id] <= cycle) target = id;
+    }
+    if (!target) continue;
+    events.push_back(space.event(*target, cycle, false));
+    const uint64_t delay = repair_delay();
+    if (delay > 0) {
+      events.push_back(space.event(*target, cycle + delay, true));
+      up_at[*target] = cycle + delay + 1;
+    } else {
+      up_at[*target] = ~uint64_t{0};
+    }
+  }
+  // Chronological, like util::sample_churn; stable so a fault keeps its
+  // sampling position ahead of any same-cycle repair of another part.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const UniverseEventT<Axes>& a,
+                      const UniverseEventT<Axes>& b) {
+                     return a.cycle < b.cycle;
+                   });
+  return events;
+}
+
+}  // namespace detail
+
+/// Hard Poisson arrival/repair churn over the weighted classes.
+template <class Axes>
+std::vector<UniverseEventT<Axes>> sample_hard_churn(
+    const typename Axes::Mesh& mesh, util::Rng& rng,
+    const UniverseChurnParams& p) {
+  detail::ComponentSpace<Axes> space(mesh);
+  double wn = p.node_weight, wr = p.router_weight, wl = p.link_weight;
+  if (wn + wr + wl <= 0) wn = 1;  // default to the node-only shape
+  const double wsum = wn + wr + wl;
+  std::vector<uint64_t> up_at(space.total(), 0);
+  const bool repairs = p.repair_max > 0;
+  const uint64_t lo = std::min(p.repair_min, p.repair_max);
+  const uint64_t hi = std::max(p.repair_min, p.repair_max);
+  return detail::strike_loop<Axes>(
+      space, rng, p.rate, p.horizon, p.max_events, up_at,
+      [&]() -> std::optional<size_t> {
+        // Class by weight, then uniform within the class.
+        const double u = rng.uniform() * wsum;
+        if (u < wn) return rng.pick(space.nodes());
+        if (u < wn + wr) return space.nodes() + rng.pick(space.nodes());
+        if (space.links.empty()) return std::nullopt;
+        return 2 * space.nodes() + rng.pick(space.links.size());
+      },
+      [&]() -> uint64_t {
+        return repairs ? lo + rng.pick(hi - lo + 1) : 0;
+      });
+}
+
+/// Transient flip-and-recover: strikes hit routers and links uniformly at
+/// 1/MTBF per component (mtbf == 0 falls back to `rate` as the total);
+/// recovery is exponential with mean MTTR, clamped to >= 1 cycle.
+template <class Axes>
+std::vector<UniverseEventT<Axes>> sample_transient(
+    const typename Axes::Mesh& mesh, util::Rng& rng,
+    const UniverseChurnParams& p) {
+  detail::ComponentSpace<Axes> space(mesh);
+  const size_t soft = space.nodes() + space.links.size();  // routers + links
+  const double total_rate =
+      p.mtbf > 0 ? static_cast<double>(soft) / p.mtbf : p.rate;
+  std::vector<uint64_t> up_at(space.total(), 0);
+  const double mttr = std::max(p.mttr, 1.0);
+  return detail::strike_loop<Axes>(
+      space, rng, total_rate, p.horizon, p.max_events, up_at,
+      [&]() -> std::optional<size_t> {
+        if (soft == 0) return std::nullopt;
+        // k in [0, N) is a router, k in [N, soft) a link; in both cases the
+        // component-space id (routers at [N, 2N), links at [2N, 2N+L)) is
+        // nodes() + k.
+        return space.nodes() + rng.pick(soft);
+      },
+      [&]() -> uint64_t {
+        const double d = -std::log1p(-rng.uniform()) * mttr;
+        return 1 + static_cast<uint64_t>(d);
+      });
+}
+
+/// The composite schedule: hard churn and transient flips drawn from the
+/// same Rng (hard first), stably merged by cycle so ties keep hard events
+/// ahead of transient ones.
+template <class Axes>
+std::vector<UniverseEventT<Axes>> sample_universe_churn(
+    const typename Axes::Mesh& mesh, util::Rng& rng,
+    const UniverseChurnParams& p, bool hard, bool transient) {
+  std::vector<UniverseEventT<Axes>> events;
+  if (hard) events = sample_hard_churn<Axes>(mesh, rng, p);
+  if (transient) {
+    auto soft = sample_transient<Axes>(mesh, rng, p);
+    events.insert(events.end(), soft.begin(), soft.end());
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const UniverseEventT<Axes>& a,
+                      const UniverseEventT<Axes>& b) {
+                     return a.cycle < b.cycle;
+                   });
+  return events;
+}
+
+/// Applies one event; returns false when it was a no-op (the component was
+/// already in the event's target state — e.g. a strike on an
+/// initially-faulty component).
+template <class Axes>
+bool apply_event(FaultUniverseT<Axes>& u, const UniverseEventT<Axes>& e) {
+  const bool v = !e.repair;
+  switch (e.comp) {
+    case Component::Node:
+      if (u.node_faulty(e.node) == v) return false;
+      u.set_node(e.node, v);
+      return true;
+    case Component::Router:
+      if (u.router_faulty(e.node) == v) return false;
+      u.set_router(e.node, v);
+      return true;
+    case Component::Link:
+      if (u.link_faulty(e.node, e.dir) == v) return false;
+      u.set_link(e.node, e.dir, v);
+      return true;
+  }
+  return false;
+}
+
+}  // namespace mcc::fault

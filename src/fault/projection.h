@@ -1,0 +1,130 @@
+// Conservative projection of a FaultUniverse onto the node-only FaultSet
+// the MCC construction consumes.
+//
+// The projection rule (docs/faults.md states it with the soundness
+// argument; the residual gap is measured by the reliability driver, never
+// hidden):
+//
+//   1. A node fault or a router-internal fault projects to a node fault at
+//      the same coordinate — exact: a node that cannot compute or cannot
+//      switch is a dead node in the paper's sense.
+//   2. Each faulty link is processed in canonical order (ascending lower
+//      endpoint index, then direction). If either endpoint is already in
+//      the projected set, the link is covered at no extra cost; otherwise
+//      its canonical lower endpoint is sacrificed — marked faulty even
+//      though the physical node is alive. This is the paper's own §1
+//      observation ("a link fault is expressible by disabling an adjacent
+//      node") made systematic, and it is sound: every projected-feasible
+//      minimal path avoids sacrificed nodes and therefore every dead link.
+//   3. A node whose incident links are all faulty is isolated either way;
+//      the greedy cover simply reaches it through whichever of its links
+//      comes first in canonical order.
+//
+// The cost of conservatism is the sacrificed set: physically-live nodes
+// the projected model refuses to source, sink or route through.
+// ProjectionStats counts them so every consumer can report the gap.
+//
+// ProjectionTrackerT maintains the projected view across universe
+// mutations by recompute-and-diff: projection is O(mesh) and events are
+// rare relative to simulated cycles, and the diff (emitted in ascending
+// node-index order) is what the incremental DynamicModel and the wormhole
+// network consume as fail/repair deltas. Recompute-and-diff also makes
+// repair correctness trivial — a repaired link un-sacrifices its endpoint
+// only when no other assigned link still needs it, which the fresh greedy
+// pass gets right by construction.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "fault/universe.h"
+
+namespace mcc::fault {
+
+struct ProjectionStats {
+  int node_faults = 0;    // dead nodes (node ∪ router class) — exact
+  int link_faults = 0;    // faulty links in the universe
+  int covered_links = 0;  // link faults already covered by a dead endpoint
+  int sacrificed = 0;     // live nodes conservatively marked faulty
+};
+
+template <class Axes>
+struct ProjectionT {
+  typename Axes::FaultSet faults;
+  ProjectionStats stats;
+};
+
+template <class Axes>
+ProjectionT<Axes> project(const FaultUniverseT<Axes>& u) {
+  const typename Axes::Mesh& mesh = u.mesh();
+  ProjectionT<Axes> out{typename Axes::FaultSet(mesh), {}};
+  for (size_t i = 0; i < mesh.node_count(); ++i) {
+    const typename Axes::Coord c = mesh.coord(i);
+    if (u.dead(c)) {
+      out.faults.set_faulty(c);
+      ++out.stats.node_faults;
+    }
+  }
+  out.stats.link_faults = u.link_fault_count();
+  for (const LinkIdT<Axes>& l : u.faulty_links()) {
+    const typename Axes::Coord w = mesh::step(l.node, l.dir);
+    if (out.faults.is_faulty(l.node) || out.faults.is_faulty(w)) {
+      ++out.stats.covered_links;
+    } else {
+      out.faults.set_faulty(l.node);
+      ++out.stats.sacrificed;
+    }
+  }
+  return out;
+}
+
+template <class Axes>
+class ProjectionTrackerT {
+ public:
+  using Coord = typename Axes::Coord;
+
+  explicit ProjectionTrackerT(const FaultUniverseT<Axes>& u) : universe_(u) {
+    auto p = project(universe_);
+    projected_ = std::make_unique<typename Axes::FaultSet>(std::move(p.faults));
+    stats_ = p.stats;
+  }
+
+  /// Recomputes the projection after the universe mutated and returns the
+  /// node-fault delta (ascending node-index order) relative to the last
+  /// refresh. Callers apply `fail` then `repair` to their node-fault
+  /// consumers (DynamicModel, routing baselines).
+  struct Delta {
+    std::vector<Coord> fail;
+    std::vector<Coord> repair;
+  };
+  Delta refresh() {
+    auto p = project(universe_);
+    Delta d;
+    const typename Axes::Mesh& mesh = universe_.mesh();
+    for (size_t i = 0; i < mesh.node_count(); ++i) {
+      const Coord c = mesh.coord(i);
+      const bool was = projected_->is_faulty(c);
+      const bool now = p.faults.is_faulty(c);
+      if (!was && now) d.fail.push_back(c);
+      if (was && !now) d.repair.push_back(c);
+    }
+    *projected_ = std::move(p.faults);
+    stats_ = p.stats;
+    return d;
+  }
+
+  const typename Axes::FaultSet& projected() const { return *projected_; }
+  const ProjectionStats& stats() const { return stats_; }
+
+ private:
+  const FaultUniverseT<Axes>& universe_;
+  // unique_ptr because FaultSet has no default construction without a mesh.
+  std::unique_ptr<typename Axes::FaultSet> projected_;
+  ProjectionStats stats_;
+};
+
+using ProjectionTracker2D = ProjectionTrackerT<Axes2>;
+using ProjectionTracker3D = ProjectionTrackerT<Axes3>;
+
+}  // namespace mcc::fault

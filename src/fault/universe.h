@@ -1,0 +1,205 @@
+// FaultUniverse — the three-component-class generalization of the mesh
+// layer's node-only FaultSet (E14).
+//
+// The paper's model is fail-stop nodes; the related work (Dang et al.'s
+// soft+hard 3D-NoC faults, Safaei & ValadBeigi's probabilistic n-D mesh
+// reliability) motivates two more component classes and a lifetime axis:
+//
+//   node            the compute node is down (the paper's fault class);
+//   router-internal the router datapath is broken — the node cannot switch
+//                   traffic, which makes it indistinguishable from a node
+//                   fault at the network level, but it fails under its own
+//                   stochastic process and is accounted separately;
+//   link            one bidirectional mesh channel is down while both of
+//                   its endpoint routers keep working.
+//
+// Lifetimes (hard vs transient) are a property of the fault *process*
+// (process.h), not of this state container: a FaultUniverse is simply the
+// set of components down right now, however they got there.
+//
+// Link identity: every link is stored canonically as (lower endpoint,
+// positive direction) — the link between u and u+x̂ is (u, PosX) — but
+// queried symmetrically: link_faulty(u, PosX) and link_faulty(u+x̂, NegX)
+// answer about the same physical channel. Internally both endpoints carry
+// the incident-direction bit, so the symmetric query is O(1).
+//
+// The core MCC construction consumes node faults only; projection.h maps
+// a universe onto a conservative FaultSet and measures the residual gap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/coord.h"
+#include "mesh/fault_set.h"
+#include "mesh/mesh.h"
+
+namespace mcc::fault {
+
+enum class Component : uint8_t { Node = 0, Router = 1, Link = 2 };
+
+inline const char* to_string(Component c) {
+  switch (c) {
+    case Component::Node: return "node";
+    case Component::Router: return "router";
+    case Component::Link: return "link";
+  }
+  return "?";
+}
+
+struct Axes2 {
+  using Mesh = mesh::Mesh2D;
+  using Coord = mesh::Coord2;
+  using Dir = mesh::Dir2;
+  using FaultSet = mesh::FaultSet2D;
+  static constexpr int kDirs = 4;
+};
+
+struct Axes3 {
+  using Mesh = mesh::Mesh3D;
+  using Coord = mesh::Coord3;
+  using Dir = mesh::Dir3;
+  using FaultSet = mesh::FaultSet3D;
+  static constexpr int kDirs = 6;
+};
+
+/// A link in canonical form: `node` is the lower endpoint, `dir` one of
+/// the positive directions (even Dir values).
+template <class Axes>
+struct LinkIdT {
+  typename Axes::Coord node{};
+  typename Axes::Dir dir{};
+};
+
+template <class Axes>
+class FaultUniverseT {
+ public:
+  using Mesh = typename Axes::Mesh;
+  using Coord = typename Axes::Coord;
+  using Dir = typename Axes::Dir;
+  static constexpr int kDirs = Axes::kDirs;
+
+  explicit FaultUniverseT(const Mesh& mesh)
+      : mesh_(mesh),
+        node_(mesh.node_count(), 0),
+        router_(mesh.node_count(), 0),
+        link_(mesh.node_count(), 0) {}
+
+  const Mesh& mesh() const { return mesh_; }
+
+  bool node_faulty(Coord c) const { return node_[mesh_.index(c)] != 0; }
+  bool router_faulty(Coord c) const { return router_[mesh_.index(c)] != 0; }
+
+  /// Symmetric link query; a wall (no neighbor in `d`) is never faulty.
+  bool link_faulty(Coord c, Dir d) const {
+    return (link_[mesh_.index(c)] >> static_cast<int>(d)) & 1;
+  }
+
+  /// True when the node cannot participate in the network at all: its own
+  /// class or its router is down. (A link fault leaves the node dead on
+  /// one port only — it is NOT dead.)
+  bool dead(Coord c) const {
+    const size_t i = mesh_.index(c);
+    return node_[i] != 0 || router_[i] != 0;
+  }
+
+  void set_node(Coord c, bool v = true) {
+    uint8_t& cell = node_[mesh_.index(c)];
+    if (cell == static_cast<uint8_t>(v)) return;
+    cell = static_cast<uint8_t>(v);
+    node_count_ += v ? 1 : -1;
+  }
+
+  void set_router(Coord c, bool v = true) {
+    uint8_t& cell = router_[mesh_.index(c)];
+    if (cell == static_cast<uint8_t>(v)) return;
+    cell = static_cast<uint8_t>(v);
+    router_count_ += v ? 1 : -1;
+  }
+
+  /// Marks the physical channel (c, d) faulty/healthy; both endpoint views
+  /// flip together. A wall direction is a no-op.
+  void set_link(Coord c, Dir d, bool v = true) {
+    const Coord w = mesh::step(c, d);
+    if (!mesh_.contains(w)) return;
+    const size_t ci = mesh_.index(c);
+    const uint8_t bit = static_cast<uint8_t>(1u << static_cast<int>(d));
+    const bool was = (link_[ci] & bit) != 0;
+    if (was == v) return;
+    const size_t wi = mesh_.index(w);
+    const uint8_t wbit =
+        static_cast<uint8_t>(1u << static_cast<int>(opposite(d)));
+    if (v) {
+      link_[ci] |= bit;
+      link_[wi] |= wbit;
+      ++link_count_;
+    } else {
+      link_[ci] &= static_cast<uint8_t>(~bit);
+      link_[wi] &= static_cast<uint8_t>(~wbit);
+      --link_count_;
+    }
+  }
+
+  int node_fault_count() const { return node_count_; }
+  int router_fault_count() const { return router_count_; }
+  int link_fault_count() const { return link_count_; }
+  int total_fault_count() const {
+    return node_count_ + router_count_ + link_count_;
+  }
+
+  std::vector<Coord> faulty_nodes() const { return collect(node_); }
+  std::vector<Coord> faulty_routers() const { return collect(router_); }
+
+  /// Canonical order: ascending node index, then ascending positive
+  /// direction — the iteration order every deterministic consumer
+  /// (projection, Bernoulli samplers, the wormhole env setup) relies on.
+  std::vector<LinkIdT<Axes>> faulty_links() const {
+    std::vector<LinkIdT<Axes>> out;
+    out.reserve(static_cast<size_t>(link_count_));
+    for (size_t i = 0; i < link_.size(); ++i) {
+      if (link_[i] == 0) continue;
+      const Coord c = mesh_.coord(i);
+      for (int q = 0; q < kDirs; q += 2)  // positive directions only
+        if ((link_[i] >> q) & 1)
+          out.push_back({c, static_cast<Dir>(q)});
+    }
+    return out;
+  }
+
+  /// All physical links of the mesh, canonical order (the component space
+  /// the stochastic processes sample from).
+  static std::vector<LinkIdT<Axes>> all_links(const Mesh& mesh) {
+    std::vector<LinkIdT<Axes>> out;
+    for (size_t i = 0; i < mesh.node_count(); ++i) {
+      const Coord c = mesh.coord(i);
+      for (int q = 0; q < kDirs; q += 2) {
+        const Dir d = static_cast<Dir>(q);
+        if (mesh.contains(mesh::step(c, d))) out.push_back({c, d});
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Coord> collect(const std::vector<uint8_t>& v) const {
+    std::vector<Coord> out;
+    for (size_t i = 0; i < v.size(); ++i)
+      if (v[i]) out.push_back(mesh_.coord(i));
+    return out;
+  }
+
+  Mesh mesh_;
+  std::vector<uint8_t> node_;
+  std::vector<uint8_t> router_;
+  std::vector<uint8_t> link_;  // incident-direction bitmask, both endpoints
+  int node_count_ = 0;
+  int router_count_ = 0;
+  int link_count_ = 0;
+};
+
+using FaultUniverse2D = FaultUniverseT<Axes2>;
+using FaultUniverse3D = FaultUniverseT<Axes3>;
+using LinkId2 = LinkIdT<Axes2>;
+using LinkId3 = LinkIdT<Axes3>;
+
+}  // namespace mcc::fault

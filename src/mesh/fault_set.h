@@ -1,7 +1,12 @@
 // Fault state of a mesh: which nodes are dead.
 //
 // Link faults are expressible by disabling an adjacent node (the paper treats
-// link faults exactly this way, §1), so the library models node faults only.
+// link faults exactly this way, §1), so the MCC core consumes node faults
+// only. The three-class generalization (node / router-internal / link with
+// hard and transient lifetimes) lives in src/fault: fault::FaultUniverse
+// holds the richer state and fault::project() applies the paper's §1 rule
+// systematically, mapping a universe onto this FaultSet and measuring the
+// sacrificed-node gap (docs/faults.md).
 #pragma once
 
 #include <vector>

@@ -1,6 +1,7 @@
 #include "runtime/dynamic_model.h"
 
 #include "mesh/octant.h"
+#include "obs/obs.h"
 
 namespace mcc::runtime {
 
@@ -47,6 +48,11 @@ DynamicModel2D::EventReport DynamicModel2D::apply(Coord2 c, bool repair) {
       delta.boundary = m.boundary.update(delta.relabeled, delta.regions);
     }
 
+  // The ambiguous doubly-blocked patterns (docs/dynamic.md) force a full
+  // relabel in at least one octant; surfacing the frequency makes the
+  // incremental path's effectiveness observable in every run report.
+  if (rep.any_label_fallback())
+    if (auto* m = obs::metrics()) m->add_counter("runtime.full_relabels");
   rep.epoch = ++epoch_;
   // Every cached field is keyed with a pre-bump epoch and can never be hit
   // again; reclaim the memory in one sweep.
@@ -124,6 +130,8 @@ DynamicModel3D::EventReport DynamicModel3D::apply(Coord3 c, bool repair) {
         delta.regions = m.mccs.update(mesh_, m.labels, delta.relabeled);
       }
 
+  if (rep.any_label_fallback())
+    if (auto* m = obs::metrics()) m->add_counter("runtime.full_relabels");
   rep.epoch = ++epoch_;
   cache_.clear();
   return rep;

@@ -250,6 +250,152 @@ ChurnResult run_churn_load_point(Model& model,
   return out;
 }
 
+// Topo <-> fault-axes glue for the E14 entry points.
+template <class Topo>
+struct FaultAxesOf;
+template <>
+struct FaultAxesOf<Topo2> {
+  using type = fault::Axes2;
+};
+template <>
+struct FaultAxesOf<Topo3> {
+  using type = fault::Axes3;
+};
+
+template <class Topo>
+LinkEnvResult run_link_load_point(
+    const fault::FaultUniverseT<typename FaultAxesOf<Topo>::type>& universe,
+    const typename Topo::Faults& projected, typename Topo::Routing& routing,
+    Pattern pattern, const Config& cfg, core::RoutePolicy policy,
+    const LoadPoint& load, uint64_t seed, double hotspot_fraction,
+    int hotspot_count) {
+  const auto& mesh = universe.mesh();
+  // Physical truth: only node/router faults kill a router.
+  typename Topo::Faults dead(mesh);
+  for (size_t i = 0; i < mesh.node_count(); ++i)
+    if (universe.dead(mesh.coord(i))) dead.set_faulty(mesh.coord(i));
+
+  Network<Topo> net(mesh, dead, routing, cfg, policy, seed);
+  LinkEnvResult out;
+  for (const auto& l : universe.faulty_links()) {
+    net.fail_link(l.node, l.dir);
+    ++out.link_faults;
+  }
+  out.sacrificed = projected.count() - dead.count();
+
+  // Traffic filters by the projected set: sacrificed nodes are
+  // administratively down even though their routers run.
+  TrafficGenT<Topo> traffic(mesh, projected, routing, pattern,
+                            seed * 11400714819323198485ULL + 1,
+                            hotspot_fraction, hotspot_count);
+  const auto live = static_cast<double>(mesh.node_count()) -
+                    static_cast<double>(projected.count());
+  out.sim = run_measurement(
+      net, traffic, load, [] {}, [] {}, [&] { return live; });
+  return out;
+}
+
+template <class Topo, class Model>
+UniverseChurnResult run_universe_churn_load_point(
+    Model& model, typename Topo::Routing& routing, Pattern pattern,
+    Config cfg, core::RoutePolicy policy, const LoadPoint& load,
+    fault::FaultUniverseT<typename FaultAxesOf<Topo>::type> universe,
+    std::vector<fault::UniverseEventT<typename FaultAxesOf<Topo>::type>>
+        events,
+    uint64_t seed, double hotspot_fraction, int hotspot_count) {
+  using Axes = typename FaultAxesOf<Topo>::type;
+  cfg.drop_infeasible = true;
+  const auto& mesh = model.mesh();
+  // The caller seeded `model` with the projection of the initial universe,
+  // so routing/traffic (projected view) and the network (true dead set
+  // plus initial link severs) start consistent.
+  Network<Topo> net(mesh, model.faults(), routing, cfg, policy, seed);
+  // Sacrificed nodes are projected-faulty but physically alive; revive
+  // their routers so only the true dead set is down.
+  std::vector<uint8_t> was_dead(mesh.node_count(), 0);
+  for (size_t i = 0; i < mesh.node_count(); ++i) {
+    const auto c = mesh.coord(i);
+    was_dead[i] = universe.dead(c) ? 1 : 0;
+    if (model.faults().is_faulty(c) && !universe.dead(c)) net.apply_repair(c);
+  }
+  for (const auto& l : universe.faulty_links()) net.fail_link(l.node, l.dir);
+  // The pre-warmup consistency fix-up is setup, not churn: event counters
+  // start from here.
+  const uint64_t fault0 = net.stats().fault_events;
+  const uint64_t repair0 = net.stats().repair_events;
+  const uint64_t linkf0 = net.stats().link_fault_events;
+  const uint64_t linkr0 = net.stats().link_repair_events;
+
+  TrafficGenT<Topo> traffic(mesh, model.faults(), routing, pattern,
+                            seed * 11400714819323198485ULL + 1,
+                            hotspot_fraction, hotspot_count);
+
+  fault::ProjectionTrackerT<Axes> tracker(universe);
+  UniverseChurnResult out;
+  size_t next = 0;
+  const auto apply_due_events = [&] {
+    if (next >= events.size() || events[next].cycle > net.cycle()) return;
+    // 1. Universe state: apply the whole due batch, staging the physical
+    //    link actions (redundant events — a strike on an already-down
+    //    component — change nothing anywhere).
+    std::vector<std::pair<fault::LinkIdT<Axes>, bool>> link_actions;
+    while (next < events.size() && events[next].cycle <= net.cycle()) {
+      const auto& e = events[next++];
+      if (!fault::apply_event(universe, e)) continue;
+      if (e.comp == fault::Component::Link)
+        link_actions.push_back({{e.node, e.dir}, e.repair});
+    }
+    // 2. Projection delta -> the model (routing guidance) first, as every
+    //    network event path requires.
+    const auto delta = tracker.refresh();
+    for (const auto& c : delta.fail) {
+      model.fail(c);
+      if (!universe.dead(c)) ++out.projection_sacrifices;
+    }
+    for (const auto& c : delta.repair) model.repair(c);
+    // 3. Physical truth: node/router deaths and revivals...
+    for (size_t i = 0; i < mesh.node_count(); ++i) {
+      const auto c = mesh.coord(i);
+      const uint8_t now = universe.dead(c) ? 1 : 0;
+      if (now == was_dead[i]) continue;
+      was_dead[i] = now;
+      if (now)
+        net.apply_fault(c);
+      else
+        net.apply_repair(c);
+    }
+    // ...then link severs/restores (idempotent against node deaths).
+    for (const auto& [l, repair] : link_actions) {
+      if (repair)
+        net.repair_link(l.node, l.dir);
+      else
+        net.fail_link(l.node, l.dir);
+    }
+    routing.on_network_event();
+  };
+
+  auto cache0 = model.cache().stats();
+  out.sim = run_measurement(
+      net, traffic, load, apply_due_events,
+      [&] { cache0 = model.cache().stats(); },
+      [&] {
+        return static_cast<double>(mesh.node_count()) -
+               static_cast<double>(model.faults().count());
+      });
+
+  out.fault_events = net.stats().fault_events - fault0;
+  out.repair_events = net.stats().repair_events - repair0;
+  out.link_fault_events = net.stats().link_fault_events - linkf0;
+  out.link_repair_events = net.stats().link_repair_events - linkr0;
+  out.dropped_packets = net.stats().dropped_packets;
+  out.dropped_flits = net.stats().dropped_flits;
+  const auto cache1 = model.cache().stats();
+  out.cache = {cache1.hits - cache0.hits, cache1.misses - cache0.misses,
+               cache1.evictions - cache0.evictions,
+               cache1.dedup_waits - cache0.dedup_waits};
+  return out;
+}
+
 }  // namespace
 
 SimResult run_load_point3d(const mesh::Mesh3D& mesh,
@@ -296,6 +442,54 @@ ChurnResult run_churn_load_point2d(runtime::DynamicModel2D& model,
   return run_churn_load_point<Topo2>(model, routing, pattern, cfg, policy,
                                      load, std::move(timeline), seed,
                                      hotspot_fraction, hotspot_count);
+}
+
+LinkEnvResult run_link_load_point3d(const fault::FaultUniverse3D& universe,
+                                    const mesh::FaultSet3D& projected,
+                                    RoutingFunction3D& routing,
+                                    Pattern pattern, const Config& cfg,
+                                    core::RoutePolicy policy,
+                                    const LoadPoint& load, uint64_t seed,
+                                    double hotspot_fraction,
+                                    int hotspot_count) {
+  return run_link_load_point<Topo3>(universe, projected, routing, pattern,
+                                    cfg, policy, load, seed,
+                                    hotspot_fraction, hotspot_count);
+}
+
+LinkEnvResult run_link_load_point2d(const fault::FaultUniverse2D& universe,
+                                    const mesh::FaultSet2D& projected,
+                                    RoutingFunction2D& routing,
+                                    Pattern pattern, const Config& cfg,
+                                    core::RoutePolicy policy,
+                                    const LoadPoint& load, uint64_t seed,
+                                    double hotspot_fraction,
+                                    int hotspot_count) {
+  return run_link_load_point<Topo2>(universe, projected, routing, pattern,
+                                    cfg, policy, load, seed,
+                                    hotspot_fraction, hotspot_count);
+}
+
+UniverseChurnResult run_universe_churn_load_point3d(
+    runtime::DynamicModel3D& model, RoutingFunction3D& routing,
+    Pattern pattern, Config cfg, core::RoutePolicy policy,
+    const LoadPoint& load, fault::FaultUniverse3D universe,
+    std::vector<fault::UniverseEvent3> events, uint64_t seed,
+    double hotspot_fraction, int hotspot_count) {
+  return run_universe_churn_load_point<Topo3>(
+      model, routing, pattern, cfg, policy, load, std::move(universe),
+      std::move(events), seed, hotspot_fraction, hotspot_count);
+}
+
+UniverseChurnResult run_universe_churn_load_point2d(
+    runtime::DynamicModel2D& model, RoutingFunction2D& routing,
+    Pattern pattern, Config cfg, core::RoutePolicy policy,
+    const LoadPoint& load, fault::FaultUniverse2D universe,
+    std::vector<fault::UniverseEvent2> events, uint64_t seed,
+    double hotspot_fraction, int hotspot_count) {
+  return run_universe_churn_load_point<Topo2>(
+      model, routing, pattern, cfg, policy, load, std::move(universe),
+      std::move(events), seed, hotspot_fraction, hotspot_count);
 }
 
 }  // namespace mcc::sim::wh

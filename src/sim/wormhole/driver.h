@@ -7,8 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/router.h"
+#include "fault/process.h"
+#include "fault/projection.h"
+#include "fault/universe.h"
 #include "mesh/fault_set.h"
 #include "mesh/mesh.h"
 #include "runtime/dynamic_model.h"
@@ -142,5 +146,71 @@ ChurnResult run_churn_load_point2d(runtime::DynamicModel2D& model,
                                    uint64_t seed,
                                    double hotspot_fraction = 0.5,
                                    int hotspot_count = 2);
+
+/// A load point in a static three-class fault environment (E14). The
+/// network is built over the TRUE dead set (node ∪ router faults) and
+/// every faulty link is severed before warmup; `projected` is the
+/// conservative node-fault projection the caller built `routing` over, and
+/// it is what the traffic generator filters by — sacrificed nodes are
+/// administratively down (never source, sink or carry traffic) even though
+/// their routers physically run.
+struct LinkEnvResult {
+  SimResult sim;
+  uint64_t link_faults = 0;  // links severed before warmup
+  int sacrificed = 0;        // projection fallback nodes (live-but-avoided)
+};
+
+LinkEnvResult run_link_load_point3d(const fault::FaultUniverse3D& universe,
+                                    const mesh::FaultSet3D& projected,
+                                    RoutingFunction3D& routing,
+                                    Pattern pattern, const Config& cfg,
+                                    core::RoutePolicy policy,
+                                    const LoadPoint& load, uint64_t seed,
+                                    double hotspot_fraction = 0.5,
+                                    int hotspot_count = 2);
+
+LinkEnvResult run_link_load_point2d(const fault::FaultUniverse2D& universe,
+                                    const mesh::FaultSet2D& projected,
+                                    RoutingFunction2D& routing,
+                                    Pattern pattern, const Config& cfg,
+                                    core::RoutePolicy policy,
+                                    const LoadPoint& load, uint64_t seed,
+                                    double hotspot_fraction = 0.5,
+                                    int hotspot_count = 2);
+
+/// A load point under a universe event schedule (E14 transient/composite
+/// churn). Each applied batch updates, in order: the universe, the
+/// projection (whose node-fault delta feeds `model` — the caller must have
+/// seeded `model` with the projection of the initial `universe`), then the
+/// network's physical state (true node/router deaths and revivals, link
+/// severs and restores), then the routing function's event hook.
+struct UniverseChurnResult {
+  SimResult sim;
+  // Whole-run physical event totals, per component class.
+  uint64_t fault_events = 0;
+  uint64_t repair_events = 0;
+  uint64_t link_fault_events = 0;
+  uint64_t link_repair_events = 0;
+  uint64_t dropped_packets = 0;
+  uint64_t dropped_flits = 0;
+  /// Projection fallbacks: live nodes newly sacrificed to cover a link
+  /// fault across the run (the measured cost of the conservative rule).
+  uint64_t projection_sacrifices = 0;
+  runtime::GuidanceCacheStats cache;
+};
+
+UniverseChurnResult run_universe_churn_load_point3d(
+    runtime::DynamicModel3D& model, RoutingFunction3D& routing,
+    Pattern pattern, Config cfg, core::RoutePolicy policy,
+    const LoadPoint& load, fault::FaultUniverse3D universe,
+    std::vector<fault::UniverseEvent3> events, uint64_t seed,
+    double hotspot_fraction = 0.5, int hotspot_count = 2);
+
+UniverseChurnResult run_universe_churn_load_point2d(
+    runtime::DynamicModel2D& model, RoutingFunction2D& routing,
+    Pattern pattern, Config cfg, core::RoutePolicy policy,
+    const LoadPoint& load, fault::FaultUniverse2D universe,
+    std::vector<fault::UniverseEvent2> events, uint64_t seed,
+    double hotspot_fraction = 0.5, int hotspot_count = 2);
 
 }  // namespace mcc::sim::wh

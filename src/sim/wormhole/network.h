@@ -135,7 +135,8 @@ class Network {
         policy_(policy),
         rng_(seed),
         vcs_(routing.vc_classes() * cfg.vcs_per_class),
-        nodes_(mesh.node_count()) {
+        nodes_(mesh.node_count()),
+        dead_links_(mesh.node_count(), 0) {
     for (size_t i = 0; i < nodes_.size(); ++i) {
       Node& nd = nodes_[i];
       nd.alive = !faults.is_faulty(mesh_.coord(i));
@@ -355,6 +356,89 @@ class Network {
     recompute_credits();
   }
 
+  /// Severs one bidirectional link while both endpoint routers keep
+  /// running (E14). Reuses the apply_fault flush machinery: every worm
+  /// with flits buffered at either receiving end of the link, allocated
+  /// across it, or with a flit on its wires is flushed network-wide;
+  /// in-flight credits on the link are dropped; credits then rebuild from
+  /// ground truth, returning both endpoint counters to pristine exactly as
+  /// check_credits() demands of a dead link. No-op on a wall or an
+  /// already-severed link.
+  void fail_link(Coord u, Dir d) {
+    const Coord w = mesh::step(u, d);
+    if (!mesh_.contains(w)) return;
+    const size_t ui = mesh_.index(u);
+    const int q = static_cast<int>(d);
+    if (link_dead(ui, q)) return;
+    const size_t wi = mesh_.index(w);
+    const int pw = static_cast<int>(opposite(d));
+    ++stats_.link_fault_events;
+    invalidate_routes();
+    dead_links_[ui] |= static_cast<uint8_t>(1u << q);
+    dead_links_[wi] |= static_cast<uint8_t>(1u << pw);
+
+    // Doomed worms: flits buffered at either receiving end arrived over
+    // this link (their worm is cut mid-body), worms holding an allocation
+    // across it would send into it, and wire flits addressed across it die
+    // with it. Port number q at u faces w for both roles; pw at w faces u.
+    std::unordered_set<PacketId> doomed;
+    const auto collect = [&](size_t ni, int port) {
+      const Node& nd = nodes_[ni];
+      if (!nd.alive) return;
+      for (int v = 0; v < vcs_; ++v) {
+        const InVc& vc = nd.in[in_index(port, v)];
+        for (const uint32_t fi : vc.buf) doomed.insert(arena_[fi].packet);
+        if (vc.cur_packet) doomed.insert(vc.cur_packet);
+      }
+      for (const InVc& vc : nd.in)
+        if (vc.active && vc.out_port == port && vc.cur_packet)
+          doomed.insert(vc.cur_packet);
+    };
+    collect(ui, q);
+    collect(wi, pw);
+    for (const FlitArrival& a : flit_wire_)
+      if ((a.node == wi && a.port == pw) || (a.node == ui && a.port == q))
+        doomed.insert(arena_[a.flit].packet);
+
+    // Credits in flight across the dead link would land on counters that
+    // must stay pristine while it is down; they vanish with the link.
+    for (size_t i = 0; i < credit_wire_.size();) {
+      const CreditReturn& cr = credit_wire_[i];
+      if ((cr.node == ui && cr.port == q) ||
+          (cr.node == wi && cr.port == pw)) {
+        credit_wire_[i] = credit_wire_.back();
+        credit_wire_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+
+    flush_packets(doomed);
+    recompute_credits();
+  }
+
+  /// Restores a severed link. Both directions are empty by construction
+  /// (fail_link drained them and nothing can cross a dead link), so the
+  /// ground-truth credit rebuild brings the counters back pristine.
+  void repair_link(Coord u, Dir d) {
+    const Coord w = mesh::step(u, d);
+    if (!mesh_.contains(w)) return;
+    const size_t ui = mesh_.index(u);
+    const int q = static_cast<int>(d);
+    if (!link_dead(ui, q)) return;
+    ++stats_.link_repair_events;
+    invalidate_routes();
+    dead_links_[ui] &= static_cast<uint8_t>(~(1u << q));
+    dead_links_[mesh_.index(w)] &=
+        static_cast<uint8_t>(~(1u << static_cast<int>(opposite(d))));
+    recompute_credits();
+  }
+
+  /// Symmetric link-failure query (either endpoint view of the channel).
+  bool link_failed(Coord c, Dir d) const {
+    return link_dead(mesh_.index(c), static_cast<int>(d));
+  }
+
   /// Revives a node with pristine router state. Credits are then rebuilt
   /// from ground truth: a surviving worm (one whose tail had already left
   /// the node before it died) may still hold flits in a neighbor's input
@@ -400,8 +484,9 @@ class Network {
       const Coord u = mesh_.coord(i);
       for (int q = 0; q < kDirs; ++q) {
         const Coord w = mesh::step(u, static_cast<Dir>(q));
-        const bool live_link =
-            mesh_.contains(w) && nodes_[mesh_.index(w)].alive;
+        const bool live_link = mesh_.contains(w) &&
+                               nodes_[mesh_.index(w)].alive &&
+                               !link_dead(i, q);
         const int pw = live_link
                            ? static_cast<int>(opposite(static_cast<Dir>(q)))
                            : 0;
@@ -559,6 +644,10 @@ class Network {
     return static_cast<size_t>(port) * vcs_ + vc;
   }
 
+  bool link_dead(size_t i, int q) const {
+    return (dead_links_[i] >> q) & 1;
+  }
+
   uint32_t arena_alloc(const Flit& f) {
     if (free_slots_.empty()) {
       arena_.push_back(f);
@@ -682,12 +771,24 @@ class Network {
                               static_cast<uint8_t>(v)});
           if (head.dst == u) continue;  // ejection needs no route
           if (vc.routed_packet != head.packet) {
-            vc.cand_n = static_cast<uint8_t>(
+            const uint8_t pre = static_cast<uint8_t>(
                 routing_.candidates(u, head.src, head.dst, vc.cand));
+            // Dead links never carry traffic: their directions leave the
+            // candidate set here. Routing built over the projected fault
+            // set avoids them already (every dead link has a sacrificed
+            // endpoint); this is the physical guarantee for routing
+            // functions that know nothing of link faults. Link state only
+            // changes between steps, so the parallel read is safe.
+            uint8_t n = 0;
+            for (uint8_t k = 0; k < pre; ++k)
+              if (!link_dead(i, static_cast<int>(vc.cand[k])))
+                vc.cand[n++] = vc.cand[k];
+            vc.cand_n = n;
             ++sh.route_computes;
             vc.routed_packet = head.packet;
             if (vc.cand_n == 0 && cfg_.drop_infeasible &&
-                !routing_.completable(u, head.src, head.dst)) {
+                (pre != 0 ||
+                 !routing_.completable(u, head.src, head.dst))) {
               // A fault event severed every minimal completion (judged in
               // the worm's injection octant — the frame its remaining
               // moves are constrained to): drain the worm instead of
@@ -871,8 +972,9 @@ class Network {
       const Coord u = mesh_.coord(i);
       for (int q = 0; q < kDirs; ++q) {
         const Coord w = mesh::step(u, static_cast<Dir>(q));
-        const bool live_link =
-            mesh_.contains(w) && nodes_[mesh_.index(w)].alive;
+        const bool live_link = mesh_.contains(w) &&
+                               nodes_[mesh_.index(w)].alive &&
+                               !link_dead(i, q);
         for (int v = 0; v < vcs_; ++v) {
           OutVc& ov = node.out[in_index(q, v)];
           if (!live_link) {
@@ -1052,6 +1154,10 @@ class Network {
   uint64_t cycle_ = 0;
   PacketId next_packet_ = 0;
   std::vector<Node> nodes_;
+  // Severed-link incident-direction bitmask, both endpoints (mirrors
+  // fault::FaultUniverse's symmetric link storage). Node death does not
+  // touch these bits: a link fault outlives the repair of its endpoints.
+  std::vector<uint8_t> dead_links_;
   std::vector<FlitArrival> flit_wire_;
   std::vector<CreditReturn> credit_wire_;
   // Flit arena: slots_ owns every in-flight flit, free_slots_ recycles.

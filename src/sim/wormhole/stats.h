@@ -61,6 +61,10 @@ struct NetStats {
   uint64_t dropped_flits = 0;
   uint64_t fault_events = 0;
   uint64_t repair_events = 0;
+  /// Link-granular events (E14): one bidirectional channel severed or
+  /// restored while both endpoint routers keep running.
+  uint64_t link_fault_events = 0;
+  uint64_t link_repair_events = 0;
   /// Routing-function candidate computations (route-cache misses in the
   /// head-discovery phase). Staged per shard, merged serially — identical
   /// across thread counts, like every other counter here.

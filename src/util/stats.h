@@ -57,4 +57,31 @@ class RunningStats {
   double max_ = 0.0;
 };
 
+/// Wilson score interval for a binomial proportion. Unlike the normal
+/// approximation it stays inside [0, 1] and behaves at p near 0 or 1 —
+/// exactly the regimes reliability curves live in (reachability ~1 at low
+/// failure probability, ~0 past the percolation knee).
+struct WilsonCi {
+  double center = 0.0;  // adjusted point estimate (not successes/n)
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+inline WilsonCi wilson_ci(size_t successes, size_t n, double z = 1.96) {
+  WilsonCi w;
+  if (n == 0) return w;
+  const double nn = static_cast<double>(n);
+  const double p = static_cast<double>(successes) / nn;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  w.center = (p + z2 / (2.0 * nn)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn)) / denom;
+  w.lo = w.center - half;
+  w.hi = w.center + half;
+  if (w.lo < 0.0) w.lo = 0.0;
+  if (w.hi > 1.0) w.hi = 1.0;
+  return w;
+}
+
 }  // namespace mcc::util

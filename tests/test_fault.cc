@@ -1,0 +1,463 @@
+// E14 fault subsystem: FaultUniverse state, the conservative link->node
+// projection (rule + tracker deltas), the stochastic fault processes, the
+// wormhole network's link-granular fail/recover (credit conservation and
+// thread-count bit-identity), and the reliability driver's determinism.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/experiment.h"
+#include "fault/process.h"
+#include "fault/projection.h"
+#include "fault/universe.h"
+#include "sim/wormhole/driver.h"
+#include "sim/wormhole/dynamic_routing.h"
+#include "sim/wormhole/network.h"
+#include "sim/wormhole/routing.h"
+#include "util/rng.h"
+
+namespace mcc::fault {
+namespace {
+
+using mesh::Coord2;
+using mesh::Coord3;
+using mesh::Dir2;
+using mesh::Dir3;
+
+// ---------------------------------------------------------------------------
+// FaultUniverse state container
+
+TEST(FaultUniverse, LinkQueriesAreSymmetric) {
+  const mesh::Mesh2D m(6, 6);
+  FaultUniverse2D u(m);
+  u.set_link({2, 3}, Dir2::PosX);
+  EXPECT_TRUE(u.link_faulty({2, 3}, Dir2::PosX));
+  EXPECT_TRUE(u.link_faulty({3, 3}, Dir2::NegX));
+  EXPECT_FALSE(u.link_faulty({2, 3}, Dir2::PosY));
+  EXPECT_EQ(u.link_fault_count(), 1);
+  // Setting the same channel from the other endpoint is idempotent.
+  u.set_link({3, 3}, Dir2::NegX);
+  EXPECT_EQ(u.link_fault_count(), 1);
+  u.set_link({3, 3}, Dir2::NegX, false);
+  EXPECT_FALSE(u.link_faulty({2, 3}, Dir2::PosX));
+  EXPECT_EQ(u.link_fault_count(), 0);
+}
+
+TEST(FaultUniverse, WallLinksAreNoops) {
+  const mesh::Mesh2D m(4, 4);
+  FaultUniverse2D u(m);
+  u.set_link({3, 0}, Dir2::PosX);  // off the east edge
+  u.set_link({0, 0}, Dir2::NegY);  // off the south edge
+  EXPECT_EQ(u.link_fault_count(), 0);
+  EXPECT_FALSE(u.link_faulty({3, 0}, Dir2::PosX));
+}
+
+TEST(FaultUniverse, DeadCoversNodeAndRouterButNotLink) {
+  const mesh::Mesh2D m(5, 5);
+  FaultUniverse2D u(m);
+  u.set_node({1, 1});
+  u.set_router({2, 2});
+  u.set_link({3, 3}, Dir2::PosY);
+  EXPECT_TRUE(u.dead({1, 1}));
+  EXPECT_TRUE(u.dead({2, 2}));
+  EXPECT_FALSE(u.dead({3, 3}));  // a link fault leaves the node alive
+  EXPECT_FALSE(u.dead({3, 4}));
+  EXPECT_EQ(u.total_fault_count(), 3);
+}
+
+TEST(FaultUniverse, FaultyLinksAreCanonicallyOrdered) {
+  const mesh::Mesh3D m(4, 4, 4);
+  FaultUniverse3D u(m);
+  // Insert from the non-canonical endpoint and out of index order.
+  u.set_link({2, 2, 2}, Dir3::NegZ);  // canonical ({2,2,1}, PosZ)
+  u.set_link({1, 0, 0}, Dir3::NegX);  // canonical ({0,0,0}, PosX)
+  u.set_link({0, 0, 0}, Dir3::PosY);
+  const auto links = u.faulty_links();
+  ASSERT_EQ(links.size(), 3u);
+  EXPECT_EQ(m.index(links[0].node), m.index(Coord3{0, 0, 0}));
+  EXPECT_EQ(links[0].dir, Dir3::PosX);
+  EXPECT_EQ(links[1].dir, Dir3::PosY);
+  EXPECT_EQ(m.index(links[2].node), m.index(Coord3{2, 2, 1}));
+  EXPECT_EQ(links[2].dir, Dir3::PosZ);
+  // Every link id is canonical: positive direction, in-mesh neighbor.
+  for (const auto& l : links)
+    EXPECT_EQ(static_cast<int>(l.dir) % 2, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Projection
+
+TEST(Projection, DeadNodesProjectExactly) {
+  const mesh::Mesh2D m(6, 6);
+  FaultUniverse2D u(m);
+  u.set_node({1, 1});
+  u.set_router({4, 4});
+  const auto p = project(u);
+  EXPECT_TRUE(p.faults.is_faulty({1, 1}));
+  EXPECT_TRUE(p.faults.is_faulty({4, 4}));
+  EXPECT_EQ(p.faults.count(), 2);
+  EXPECT_EQ(p.stats.node_faults, 2);
+  EXPECT_EQ(p.stats.sacrificed, 0);
+}
+
+TEST(Projection, LinkCoveredByDeadEndpointCostsNothing) {
+  const mesh::Mesh2D m(6, 6);
+  FaultUniverse2D u(m);
+  u.set_node({2, 2});
+  u.set_link({2, 2}, Dir2::PosX);  // endpoint already dead
+  const auto p = project(u);
+  EXPECT_EQ(p.faults.count(), 1);
+  EXPECT_EQ(p.stats.covered_links, 1);
+  EXPECT_EQ(p.stats.sacrificed, 0);
+}
+
+TEST(Projection, UncoveredLinkSacrificesCanonicalLowerEndpoint) {
+  const mesh::Mesh2D m(6, 6);
+  FaultUniverse2D u(m);
+  u.set_link({3, 4}, Dir2::PosY);  // between (3,4) and (3,5), both alive
+  const auto p = project(u);
+  EXPECT_EQ(p.stats.sacrificed, 1);
+  EXPECT_TRUE(p.faults.is_faulty({3, 4}));   // the lower endpoint
+  EXPECT_FALSE(p.faults.is_faulty({3, 5}));  // the other survives
+  // Soundness: once an endpoint of every dead link is projected-faulty,
+  // a path through projected-healthy nodes cannot cross a dead link.
+  for (const auto& l : u.faulty_links()) {
+    const bool covered = p.faults.is_faulty(l.node) ||
+                         p.faults.is_faulty(mesh::step(l.node, l.dir));
+    EXPECT_TRUE(covered);
+  }
+}
+
+TEST(Projection, SharedEndpointCoversSecondLinkFree) {
+  const mesh::Mesh2D m(6, 6);
+  FaultUniverse2D u(m);
+  // Both links incident to (2,2); canonical order processes
+  // ({2,1},PosY) then ({2,2},PosX) — the first sacrifices (2,1), the
+  // second sacrifices (2,2); links sharing a SACRIFICED endpoint ride.
+  u.set_link({2, 2}, Dir2::PosX);
+  u.set_link({2, 2}, Dir2::NegY);
+  const auto p = project(u);
+  EXPECT_EQ(p.stats.link_faults, 2);
+  EXPECT_EQ(p.stats.covered_links + p.stats.sacrificed, 2);
+  for (const auto& l : u.faulty_links()) {
+    const bool covered = p.faults.is_faulty(l.node) ||
+                         p.faults.is_faulty(mesh::step(l.node, l.dir));
+    EXPECT_TRUE(covered);
+  }
+}
+
+TEST(ProjectionTracker, RefreshEmitsFailAndRepairDeltas) {
+  const mesh::Mesh2D m(8, 8);
+  FaultUniverse2D u(m);
+  ProjectionTracker2D tracker(u);
+  u.set_link({4, 4}, Dir2::PosX);
+  auto d1 = tracker.refresh();
+  ASSERT_EQ(d1.fail.size(), 1u);
+  EXPECT_EQ(m.index(d1.fail[0]), m.index(Coord2{4, 4}));
+  EXPECT_TRUE(d1.repair.empty());
+
+  u.set_link({4, 4}, Dir2::PosX, false);
+  auto d2 = tracker.refresh();
+  EXPECT_TRUE(d2.fail.empty());
+  ASSERT_EQ(d2.repair.size(), 1u);
+  EXPECT_EQ(m.index(d2.repair[0]), m.index(Coord2{4, 4}));
+
+  // No change: refresh is a no-op delta.
+  auto d3 = tracker.refresh();
+  EXPECT_TRUE(d3.fail.empty());
+  EXPECT_TRUE(d3.repair.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Stochastic processes
+
+TEST(Process, BernoulliUniverseIsSeedDeterministic) {
+  const mesh::Mesh3D m(6, 6, 6);
+  util::Rng a(99), b(99), c(100);
+  const auto ua = make_bernoulli_universe<Axes3>(m, 0.05, 0.02, 0.04, a);
+  const auto ub = make_bernoulli_universe<Axes3>(m, 0.05, 0.02, 0.04, b);
+  const auto uc = make_bernoulli_universe<Axes3>(m, 0.05, 0.02, 0.04, c);
+  EXPECT_EQ(ua.node_fault_count(), ub.node_fault_count());
+  EXPECT_EQ(ua.router_fault_count(), ub.router_fault_count());
+  EXPECT_EQ(ua.link_fault_count(), ub.link_fault_count());
+  const auto la = ua.faulty_links(), lb = ub.faulty_links();
+  ASSERT_EQ(la.size(), lb.size());
+  for (size_t i = 0; i < la.size(); ++i) {
+    EXPECT_EQ(m.index(la[i].node), m.index(lb[i].node));
+    EXPECT_EQ(la[i].dir, lb[i].dir);
+  }
+  EXPECT_GT(ua.total_fault_count(), 0);
+  EXPECT_NE(uc.total_fault_count(), 0);  // different seed still draws
+}
+
+TEST(Process, HardChurnStrikesEveryEnabledClass) {
+  const mesh::Mesh2D m(10, 10);
+  UniverseChurnParams p;
+  p.rate = 0.05;
+  p.horizon = 4000;
+  p.node_weight = 1;
+  p.router_weight = 1;
+  p.link_weight = 1;
+  util::Rng rng(0xFA17);
+  const auto events = sample_hard_churn<Axes2>(m, rng, p);
+  ASSERT_FALSE(events.empty());
+  int by_class[3] = {0, 0, 0};
+  uint64_t prev = 0;
+  for (const auto& e : events) {
+    EXPECT_GE(e.cycle, prev);
+    prev = e.cycle;
+    if (!e.repair) ++by_class[static_cast<int>(e.comp)];
+    if (e.comp == Component::Link) {
+      EXPECT_EQ(static_cast<int>(e.dir) % 2, 0);  // canonical link ids
+    }
+  }
+  EXPECT_GT(by_class[0], 0);
+  EXPECT_GT(by_class[1], 0);
+  EXPECT_GT(by_class[2], 0);
+}
+
+TEST(Process, TransientStrikesOnlySoftClasses) {
+  const mesh::Mesh2D m(8, 8);
+  UniverseChurnParams p;
+  p.mtbf = 20000;  // per component -> busy schedule over 208 soft parts
+  p.mttr = 150;
+  p.horizon = 5000;
+  util::Rng rng(0x50F7);
+  const auto events = sample_transient<Axes2>(m, rng, p);
+  ASSERT_FALSE(events.empty());
+  size_t repairs = 0;
+  for (const auto& e : events) {
+    EXPECT_NE(e.comp, Component::Node);  // compute crashes are hard-only
+    repairs += e.repair;
+  }
+  EXPECT_GT(repairs, 0u);  // transient faults always recover
+}
+
+TEST(Process, CompositeScheduleIsSortedAndApplies) {
+  const mesh::Mesh2D m(8, 8);
+  UniverseChurnParams p;
+  p.rate = 0.01;
+  p.horizon = 3000;
+  p.link_weight = 1;
+  p.mtbf = 30000;
+  p.mttr = 200;
+  util::Rng rng(7);
+  const auto events =
+      sample_universe_churn<Axes2>(m, rng, p, /*hard=*/true,
+                                   /*transient=*/true);
+  ASSERT_FALSE(events.empty());
+  FaultUniverse2D u(m);
+  uint64_t prev = 0;
+  for (const auto& e : events) {
+    EXPECT_GE(e.cycle, prev);
+    prev = e.cycle;
+    apply_event(u, e);
+  }
+  // A repeat of an already-applied event reports no-op.
+  FaultUniverse2D v(m);
+  EXPECT_TRUE(apply_event(v, events.front()));
+  EXPECT_FALSE(apply_event(v, events.front()));
+}
+
+// ---------------------------------------------------------------------------
+// Wormhole network link faults
+
+TEST(NetworkLinkFault, CreditsStayConservedAcrossFailAndRepair) {
+  const mesh::Mesh2D m(6, 6);
+  const mesh::FaultSet2D f(m);
+  sim::wh::MccRouting2D routing(m, f, sim::wh::GuidanceMode::Model);
+  sim::wh::Config cfg;
+  cfg.drop_infeasible = true;
+  sim::wh::Network2D net(m, f, routing, cfg, core::RoutePolicy::Balanced, 3);
+
+  util::Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    const auto [s, d] = util::random_strict_pair2d(m, rng);
+    net.inject(s, d);
+  }
+  for (int c = 0; c < 40; ++c) net.step();
+
+  std::string err;
+  ASSERT_TRUE(net.check_credits(&err)) << err;
+  net.fail_link({2, 2}, mesh::Dir2::PosX);
+  net.fail_link({3, 3}, mesh::Dir2::NegY);
+  EXPECT_TRUE(net.link_failed({2, 2}, mesh::Dir2::PosX));
+  EXPECT_TRUE(net.link_failed({3, 2}, mesh::Dir2::NegX));  // symmetric view
+  EXPECT_TRUE(net.check_credits(&err)) << err;  // dead-link VCs pristine
+
+  for (int c = 0; c < 200 && !net.idle(); ++c) net.step();
+  EXPECT_TRUE(net.check_credits(&err)) << err;
+
+  net.repair_link({2, 2}, mesh::Dir2::PosX);
+  EXPECT_FALSE(net.link_failed({2, 2}, mesh::Dir2::PosX));
+  EXPECT_TRUE(net.check_credits(&err)) << err;
+  for (int i = 0; i < 10; ++i) {
+    const auto [s, d] = util::random_strict_pair2d(m, rng);
+    net.inject(s, d);
+  }
+  for (int c = 0; c < 3000 && !net.idle(); ++c) net.step();
+  EXPECT_TRUE(net.idle());
+  EXPECT_TRUE(net.check_credits(&err)) << err;
+  for (const std::string& v : net.stats().violations) ADD_FAILURE() << v;
+  EXPECT_EQ(net.stats().link_fault_events, 2u);
+  EXPECT_EQ(net.stats().link_repair_events, 1u);
+}
+
+TEST(NetworkLinkFault, TrafficRoutesAroundSeveredLink) {
+  const mesh::Mesh2D m(6, 6);
+  const mesh::FaultSet2D f(m);
+  sim::wh::MccRouting2D routing(m, f, sim::wh::GuidanceMode::Model);
+  sim::wh::Config cfg;
+  cfg.drop_infeasible = true;
+  sim::wh::Network2D net(m, f, routing, cfg, core::RoutePolicy::Balanced, 5);
+  // Sever the only minimal first hop of a straight-line pair: (0,0)->(5,0)
+  // must leave +X, so cutting ((0,0),PosX) forces a drop; an L-shaped pair
+  // still has the +Y detour inside its minimal quadrant.
+  net.fail_link({0, 0}, mesh::Dir2::PosX);
+  net.inject({0, 0}, {5, 0});  // physically severed from every minimal path
+  net.inject({0, 0}, {5, 5});  // adaptive: leaves via +Y instead
+  for (int c = 0; c < 4000 && !net.idle(); ++c) net.step();
+  ASSERT_TRUE(net.idle());
+  EXPECT_EQ(net.stats().delivered_packets, 1u);
+  EXPECT_EQ(net.stats().dropped_packets, 1u);
+  for (const std::string& v : net.stats().violations) ADD_FAILURE() << v;
+}
+
+TEST(NetworkLinkFault, LinkLoadPointBitIdenticalAcrossThreads) {
+  const mesh::Mesh2D m(8, 8);
+  util::Rng urng(0xE14);
+  const auto universe =
+      make_bernoulli_universe<Axes2>(m, 0.02, 0.01, 0.05, urng);
+  const auto proj = project(universe);
+  sim::wh::LoadPoint load;
+  load.rate = 0.02;
+  load.warmup = 100;
+  load.measure = 300;
+  load.drain = 10000;
+
+  std::vector<sim::wh::LinkEnvResult> results;
+  for (const int threads : {1, 2, 3, 4}) {
+    sim::wh::MccRouting2D routing(m, proj.faults,
+                                  sim::wh::GuidanceMode::Model);
+    sim::wh::Config cfg;
+    cfg.threads = threads;
+    results.push_back(sim::wh::run_link_load_point2d(
+        universe, proj.faults, routing, sim::wh::Pattern::Uniform, cfg,
+        core::RoutePolicy::Balanced, load, 0xBEEF));
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0].sim.delivered_packets,
+              results[i].sim.delivered_packets);
+    EXPECT_EQ(results[0].sim.offered_flits, results[i].sim.offered_flits);
+    EXPECT_EQ(results[0].sim.accepted_flits, results[i].sim.accepted_flits);
+    EXPECT_EQ(results[0].sim.avg_latency, results[i].sim.avg_latency);
+    EXPECT_EQ(results[0].sim.p99_latency, results[i].sim.p99_latency);
+    EXPECT_EQ(results[0].sim.max_latency, results[i].sim.max_latency);
+    EXPECT_EQ(results[0].sim.filtered, results[i].sim.filtered);
+    EXPECT_EQ(results[0].link_faults, results[i].link_faults);
+    EXPECT_EQ(results[0].sacrificed, results[i].sacrificed);
+    EXPECT_EQ(results[i].sim.violations, 0u);
+    EXPECT_FALSE(results[i].sim.deadlocked);
+  }
+  EXPECT_GT(results[0].link_faults, 0u);
+}
+
+TEST(NetworkLinkFault, UniverseChurnBitIdenticalAcrossThreads) {
+  const mesh::Mesh2D m(8, 8);
+  sim::wh::LoadPoint load;
+  load.rate = 0.02;
+  load.warmup = 100;
+  load.measure = 400;
+  load.drain = 12000;
+  UniverseChurnParams p;
+  p.rate = 0.004;
+  p.horizon = 500;
+  p.link_weight = 1;
+  p.router_weight = 1;
+  p.repair_min = 80;
+  p.repair_max = 200;
+  p.mtbf = 30000;
+  p.mttr = 150;
+
+  std::vector<sim::wh::UniverseChurnResult> results;
+  for (const int threads : {1, 2, 4}) {
+    util::Rng rng(0xD1CE);
+    auto universe = make_bernoulli_universe<Axes2>(m, 0.02, 0.0, 0.03, rng);
+    auto events = sample_universe_churn<Axes2>(m, rng, p, true, true);
+    runtime::DynamicModel2D model(m, project(universe).faults);
+    sim::wh::DynamicMccRouting2D routing(model);
+    sim::wh::Config cfg;
+    cfg.threads = threads;
+    results.push_back(sim::wh::run_universe_churn_load_point2d(
+        model, routing, sim::wh::Pattern::Uniform, cfg,
+        core::RoutePolicy::Balanced, load, std::move(universe),
+        std::move(events), 0xFEED));
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0].sim.delivered_packets,
+              results[i].sim.delivered_packets);
+    EXPECT_EQ(results[0].sim.accepted_flits, results[i].sim.accepted_flits);
+    EXPECT_EQ(results[0].sim.avg_latency, results[i].sim.avg_latency);
+    EXPECT_EQ(results[0].fault_events, results[i].fault_events);
+    EXPECT_EQ(results[0].repair_events, results[i].repair_events);
+    EXPECT_EQ(results[0].link_fault_events, results[i].link_fault_events);
+    EXPECT_EQ(results[0].link_repair_events,
+              results[i].link_repair_events);
+    EXPECT_EQ(results[0].dropped_packets, results[i].dropped_packets);
+    EXPECT_EQ(results[0].projection_sacrifices,
+              results[i].projection_sacrifices);
+    EXPECT_EQ(results[i].sim.violations, 0u);
+    EXPECT_FALSE(results[i].sim.deadlocked);
+  }
+  EXPECT_TRUE(results[0].sim.drained);
+  EXPECT_GT(results[0].link_fault_events +
+                results[0].fault_events,
+            0u);
+}
+
+// ---------------------------------------------------------------------------
+// The reliability driver end to end
+
+api::Configuration reliability_cfg(const std::string& extra = "") {
+  api::Configuration cfg;
+  cfg.load_text(
+      "driver = reliability\nname = t\ndims = 2\nk = 10\n"
+      "fault_model = link\nfault_pattern = uniform\nfault_rate = 0.03\n"
+      "link_fault_rate = 0.05\npolicy = model\ntrials = 6\npairs = 12\n"
+      "seed = 0xE14\n" + extra,
+      "test");
+  return cfg;
+}
+
+TEST(ReliabilityDriver, RendersByteIdenticallyAcrossRuns) {
+  auto render = [] {
+    api::RunReport r = api::Experiment(reliability_cfg()).run();
+    std::ostringstream os;
+    r.render(os);
+    return os.str();
+  };
+  const std::string a = render(), b = render();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("reachable"), std::string::npos);
+  EXPECT_NE(a.find("model gap"), std::string::npos);
+}
+
+TEST(ReliabilityDriver, RequiresUniverseFaultModel) {
+  api::Configuration cfg = reliability_cfg("fault_model = static\n");
+  api::Experiment exp(std::move(cfg));
+  EXPECT_THROW(exp.run(), api::ConfigError);
+}
+
+TEST(ReliabilityDriver, TransientModelRuns) {
+  api::Configuration cfg = reliability_cfg(
+      "fault_model = composite\nfault_pattern = uniform_links\n"
+      "churn = 3\nchurn_horizon = 1000\nmtbf = 40000\nmttr = 200\n");
+  api::RunReport r = api::Experiment(std::move(cfg)).run();
+  EXPECT_FALSE(r.failed());
+}
+
+}  // namespace
+}  // namespace mcc::fault

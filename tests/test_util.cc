@@ -1,13 +1,16 @@
-// Utility layer: grids, stats, tables, parallel_for, rng.
+// Utility layer: grids, stats, tables, parallel_for, rng, churn sampling.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <set>
 #include <stdexcept>
 
+#include "mesh/mesh.h"
 #include "util/grid.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/scenario.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -149,6 +152,135 @@ TEST(Rng, UniformIntCoversRange) {
 TEST(Rng, PickInBounds) {
   Rng rng(8);
   for (int i = 0; i < 100; ++i) EXPECT_LT(rng.pick(5), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// sample_churn distribution properties (E14 satellite: the universe fault
+// processes in src/fault/process.h reuse this exact skeleton, so these
+// direct checks cover both).
+
+TEST(SampleChurn, ArrivalCountMatchesPoissonMoments) {
+  // Strikes arrive as a Poisson process at `rate` per cycle, so over many
+  // independent schedules the fault count has mean ~= variance ~= rate *
+  // horizon. With repairs off every strike lands (up to the 64-try pick
+  // dodging the handful of still-dead nodes), so the fault count is the
+  // arrival count.
+  const mesh::Mesh2D m(16, 16);
+  ChurnParams p;
+  p.rate = 0.01;
+  p.horizon = 2000;
+  p.repair_min = 50;
+  p.repair_max = 120;
+  const double expected = p.rate * static_cast<double>(p.horizon);  // 20
+  RunningStats counts;
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed * 7919);
+    const auto events =
+        sample_churn(m, rng, p, [](mesh::Coord2) { return true; });
+    size_t faults = 0;
+    for (const ChurnEvent& e : events) faults += !e.repair;
+    counts.add(static_cast<double>(faults));
+  }
+  // Mean within 4 sigma-of-the-mean of 20; variance within a factor that
+  // 200 samples of a Poisson(20) meet comfortably.
+  EXPECT_NEAR(counts.mean(), expected,
+              4 * std::sqrt(expected / counts.count()));
+  const double var = counts.stddev() * counts.stddev();
+  EXPECT_GT(var, expected * 0.5);
+  EXPECT_LT(var, expected * 1.6);
+}
+
+TEST(SampleChurn, RepairDelaysRespectBounds) {
+  const mesh::Mesh2D m(12, 12);
+  ChurnParams p;
+  p.rate = 0.02;
+  p.horizon = 3000;
+  p.repair_min = 100;
+  p.repair_max = 400;
+  Rng rng(0xC0FFEE);
+  const auto events =
+      sample_churn(m, rng, p, [](mesh::Coord2) { return true; });
+  ASSERT_FALSE(events.empty());
+  // Pair each repair with the latest preceding fault on the same node.
+  std::vector<uint64_t> fault_at(m.node_count(), 0);
+  std::vector<bool> down(m.node_count(), false);
+  size_t repairs = 0;
+  uint64_t prev_cycle = 0;
+  for (const ChurnEvent& e : events) {
+    EXPECT_GE(e.cycle, prev_cycle);  // sorted by cycle
+    EXPECT_LE(e.cycle, p.horizon + p.repair_max);
+    prev_cycle = e.cycle;
+    if (e.repair) {
+      ASSERT_TRUE(down[e.node]) << "repair without a preceding fault";
+      const uint64_t delay = e.cycle - fault_at[e.node];
+      EXPECT_GE(delay, p.repair_min);
+      EXPECT_LE(delay, p.repair_max);
+      down[e.node] = false;
+      ++repairs;
+    } else {
+      EXPECT_FALSE(down[e.node]) << "double strike on a down node";
+      down[e.node] = true;
+      fault_at[e.node] = e.cycle;
+    }
+  }
+  EXPECT_GT(repairs, 0u);  // every strike schedules a repair
+}
+
+TEST(SampleChurn, DeterministicPerSeedAndPredRespected) {
+  const mesh::Mesh2D m(10, 10);
+  ChurnParams p;
+  p.rate = 0.015;
+  p.horizon = 2500;
+  auto draw = [&](uint64_t seed) {
+    Rng rng(seed);
+    return sample_churn(m, rng, p,
+                        [](mesh::Coord2 c) { return c.x != 0; });
+  };
+  const auto a = draw(42), b = draw(42), c = draw(43);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cycle, b[i].cycle);
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].repair, b[i].repair);
+    EXPECT_NE(m.coord(a[i].node).x, 0);  // can_fail filter held
+  }
+  // A different seed draws a different schedule.
+  bool differs = a.size() != c.size();
+  for (size_t i = 0; !differs && i < a.size(); ++i)
+    differs = a[i].cycle != c[i].cycle || a[i].node != c[i].node;
+  EXPECT_TRUE(differs);
+}
+
+// ---------------------------------------------------------------------------
+// Wilson score interval (the reliability driver's CI).
+
+TEST(WilsonCi, KnownValuesAndClamping) {
+  const WilsonCi none = wilson_ci(0, 0);
+  EXPECT_EQ(none.center, 0.0);
+  EXPECT_EQ(none.lo, 0.0);
+  EXPECT_EQ(none.hi, 0.0);
+
+  // p = 0 and p = 1 stay inside [0, 1] with a nonzero-width interval.
+  const WilsonCi zero = wilson_ci(0, 50);
+  EXPECT_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  EXPECT_LT(zero.hi, 0.2);
+  const WilsonCi one = wilson_ci(50, 50);
+  EXPECT_EQ(one.hi, 1.0);
+  EXPECT_LT(one.lo, 1.0);
+  EXPECT_GT(one.lo, 0.8);
+
+  // Balanced case: symmetric around ~0.5, center pulled toward 1/2.
+  const WilsonCi half = wilson_ci(50, 100);
+  EXPECT_NEAR(half.center, 0.5, 1e-12);
+  EXPECT_NEAR(half.lo, 0.5 - (half.hi - 0.5), 1e-12);
+  EXPECT_NEAR(half.lo, 0.404, 0.005);  // textbook Wilson bound
+  EXPECT_NEAR(half.hi, 0.596, 0.005);
+
+  // More data tightens the interval.
+  const WilsonCi big = wilson_ci(500, 1000);
+  EXPECT_GT(big.lo, half.lo);
+  EXPECT_LT(big.hi, half.hi);
 }
 
 }  // namespace

@@ -43,8 +43,10 @@ int list_registries() {
   mcc::api::register_builtins();
   const auto show = [](const auto& registry) {
     std::cout << registry.axis() << ":\n";
-    for (const auto& e : registry.entries())
+    for (const auto& e : registry.entries()) {
       std::cout << "  " << e.name << "  — " << e.help << "\n";
+      if (!e.note.empty()) std::cout << "      (" << e.note << ")\n";
+    }
     std::cout << "\n";
   };
   show(mcc::api::drivers());
