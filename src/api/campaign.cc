@@ -1,14 +1,18 @@
 #include "api/campaign.h"
 
+#include <poll.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 
 #include "api/experiment.h"
@@ -61,6 +65,39 @@ std::string coords_label(
   }
   return label;
 }
+
+/// Keys the campaign header (and the welcome config a dist worker replays)
+/// excludes: where a particular process wrote its files and how its work
+/// queue was scheduled are not part of the scenario grid, and the merged
+/// document must be byte-identical across shard counts, worker counts,
+/// lease shapes, transports and resumes.
+bool is_execution_key(const std::string& k) {
+  return k == "report_json" || k == "campaign_json" || k == "bench_json" ||
+         k == "trace_json" || k == "flit_trace" || k == "progress_json" ||
+         k == "results_ndjson" || k == "dist_report_json" || k == "listen" ||
+         k == "lease_batch" || k == "lease_ms" || k == "heartbeat_ms";
+}
+
+/// The mcc.progress/1 heartbeat sink: one NDJSON line appended per event,
+/// each through its own append-mode open+close so forked workers
+/// interleave whole lines (O_APPEND), never fragments. Write failures are
+/// deliberately ignored — the heartbeat must never fail the campaign.
+struct HeartbeatSink {
+  std::string path;
+  std::string shard_label;
+
+  void emit(const char* ev,
+            const std::function<void(Json&)>& fill = nullptr) const {
+    if (path.empty()) return;
+    Json line = Json::object();
+    line.set("schema", Json::string(kProgressSchema));
+    line.set("ev", Json::string(ev));
+    if (fill) fill(line);
+    line.set("shard", Json::string(shard_label));
+    std::ofstream f(path, std::ios::app);
+    if (f) f << line.dump() << "\n";
+  }
+};
 
 }  // namespace
 
@@ -126,6 +163,11 @@ Campaign::Campaign(Configuration base) : cfg_(std::move(base)) {
     pc.set("campaign_json", "");
     for (const char* key : {"trace_json", "flit_trace", "progress_json"})
       if (!pc.get_string(key).empty()) pc.set(key, "");
+    // The dist execution keys vanish outright: a point's scenario (and so
+    // its config echo) must not depend on how the campaign was scheduled.
+    for (const char* key : {"results_ndjson", "dist_report_json", "listen",
+                            "lease_batch", "lease_ms", "heartbeat_ms"})
+      pc.unset(key);
     pc.set("name", name_ + "@" + coords_label(pt.coords));
     pt.config = std::move(pc);
 
@@ -143,112 +185,140 @@ std::string Campaign::json_path() const {
   return path;
 }
 
+Campaign::PointResult Campaign::run_point(size_t index) const {
+  if (index >= points_.size())
+    throw ConfigError("campaign: point index " + std::to_string(index) +
+                      " out of range (point_count " +
+                      std::to_string(points_.size()) + ")");
+  const CampaignPoint& pt = points_[index];
+  PointResult r;
+  r.index = pt.index;
+  try {
+    Experiment exp(pt.config);
+    const RunReport report = exp.run();
+    r.failed = report.failed();
+    r.report = report.to_json();
+  } catch (const std::exception& e) {
+    // A point that throws is a failed point, not a failed campaign: the
+    // siblings still run and the merged document flags this one.
+    RunReport report(pt.config.get_string("name"),
+                     pt.config.get_string("driver"), pt.seed);
+    report.set_config_echo(pt.config.echo());
+    report.fail(e.what());
+    r.failed = true;
+    r.report = report.to_json();
+  }
+  return r;
+}
+
+namespace {
+
+std::string point_status(const Campaign::PointResult& r) {
+  if (!r.failed) return "ok";
+  const Json* why = r.report.find("failure");
+  return "FAILED: " + (why != nullptr ? why->as_string() : std::string("?"));
+}
+
+}  // namespace
+
 std::vector<Campaign::PointResult> Campaign::run_shard(
-    int shard, int shard_count, std::ostream* progress) const {
+    int shard, int shard_count, std::ostream* progress,
+    const ResultSink& sink) const {
   if (shard_count < 1 || shard < 1 || shard > shard_count)
     throw ConfigError("campaign: shard must be i/N with 1 <= i <= N");
 
-  // Live-progress heartbeat: one mcc.progress/1 NDJSON line appended per
-  // event. Each line is written through its own append-mode open+close so
-  // forked --jobs workers interleave whole lines (O_APPEND), never
-  // fragments; a monitoring harness can tail the file while the campaign
-  // runs. Write failures are deliberately ignored — the heartbeat must
-  // never fail the campaign.
-  const std::string progress_path = cfg_.get_string("progress_json");
-  const std::string shard_label =
-      std::to_string(shard) + "/" + std::to_string(shard_count);
-  const auto heartbeat = [&](Json line) {
-    if (progress_path.empty()) return;
-    line.set("shard", Json::string(shard_label));
-    std::ofstream f(progress_path, std::ios::app);
-    if (f) f << line.dump() << "\n";
-  };
-  const auto progress_event = [&](const char* ev) {
-    Json line = Json::object();
-    line.set("schema", Json::string(kProgressSchema));
-    line.set("ev", Json::string(ev));
-    return line;
-  };
+  const HeartbeatSink hb{cfg_.get_string("progress_json"),
+                         std::to_string(shard) + "/" +
+                             std::to_string(shard_count)};
   size_t shard_points = 0;
   for (const CampaignPoint& pt : points_)
     if (pt.index % static_cast<size_t>(shard_count) ==
         static_cast<size_t>(shard - 1))
       ++shard_points;
-  {
-    Json line = progress_event("shard_start");
+  hb.emit("shard_start", [&](Json& line) {
     line.set("name", Json::string(name_));
     line.set("points", Json::number(static_cast<uint64_t>(shard_points)));
     line.set("total", Json::number(static_cast<uint64_t>(points_.size())));
-    heartbeat(std::move(line));
-  }
+  });
 
   std::vector<PointResult> out;
+  size_t failed_points = 0;
   for (const CampaignPoint& pt : points_) {
     if (pt.index % static_cast<size_t>(shard_count) !=
         static_cast<size_t>(shard - 1))
       continue;
-    const std::string label = coords_label(pt.coords);
-    PointResult r;
-    r.index = pt.index;
-    std::string status;
-    try {
-      Experiment exp(pt.config);
-      const RunReport report = exp.run();
-      r.failed = report.failed();
-      r.report = report.to_json();
-      status = r.failed ? "FAILED: " + report.failure() : "ok";
-    } catch (const std::exception& e) {
-      // A point that throws is a failed point, not a failed campaign: the
-      // siblings still run and the merged document flags this one.
-      RunReport report(pt.config.get_string("name"),
-                       pt.config.get_string("driver"), pt.seed);
-      report.set_config_echo(pt.config.echo());
-      report.fail(e.what());
-      r.failed = true;
-      r.report = report.to_json();
-      status = std::string("FAILED: ") + e.what();
-    }
+    PointResult r = run_point(pt.index);
+    if (r.failed) ++failed_points;
     if (progress != nullptr)
       *progress << "[" << pt.index + 1 << "/" << points_.size() << "] "
-                << label << ": " << status << "\n";
-    {
-      Json line = progress_event("point");
+                << coords_label(pt.coords) << ": " << point_status(r)
+                << "\n";
+    hb.emit("point", [&](Json& line) {
       line.set("index", Json::number(static_cast<uint64_t>(pt.index)));
       line.set("total", Json::number(static_cast<uint64_t>(points_.size())));
-      line.set("coords", Json::string(label));
+      line.set("coords", Json::string(coords_label(pt.coords)));
       line.set("failed", Json::boolean(r.failed));
-      heartbeat(std::move(line));
-    }
+    });
+    if (sink) sink(r);
     out.push_back(std::move(r));
   }
-  {
-    size_t failed_points = 0;
-    for (const PointResult& r : out)
-      if (r.failed) ++failed_points;
-    Json line = progress_event("shard_done");
+  hb.emit("shard_done", [&](Json& line) {
     line.set("points", Json::number(static_cast<uint64_t>(out.size())));
     line.set("failed", Json::number(static_cast<uint64_t>(failed_points)));
-    heartbeat(std::move(line));
-  }
+  });
   return out;
 }
 
-std::vector<Campaign::PointResult> Campaign::run(
-    int jobs, std::ostream* progress) const {
+std::vector<Campaign::PointResult> Campaign::run_points(
+    const std::vector<size_t>& indices, int jobs, std::ostream* progress,
+    const ResultSink& sink) const {
+  for (const size_t i : indices)
+    if (i >= points_.size())
+      throw ConfigError("campaign: point index " + std::to_string(i) +
+                        " out of range (point_count " +
+                        std::to_string(points_.size()) + ")");
   if (jobs < 1) jobs = 1;
   jobs = static_cast<int>(
-      std::min<size_t>(static_cast<size_t>(jobs), points_.size()));
-  if (jobs <= 1) return run_shard(1, 1, progress);
+      std::min<size_t>(static_cast<size_t>(jobs), indices.size()));
 
-  // One forked worker per shard. Workers are forked before any point has
-  // run, so no thread pool exists yet (parallel_for pools are per-call);
-  // each worker ships its partial document back over a pipe and exits
-  // without running atexit handlers.
+  if (jobs <= 1) {
+    std::vector<PointResult> out;
+    for (const size_t i : indices) {
+      PointResult r = run_point(i);
+      if (progress != nullptr)
+        *progress << "[" << i + 1 << "/" << points_.size() << "] "
+                  << coords_label(points_[i].coords) << ": "
+                  << point_status(r) << "\n";
+      if (sink) sink(r);
+      out.push_back(std::move(r));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const PointResult& a, const PointResult& b) {
+                return a.index < b.index;
+              });
+    return out;
+  }
+
+  // One forked worker per position-modulo slice of `indices`. Workers are
+  // forked before any point has run, so no thread pool exists yet
+  // (parallel_for pools are per-call); each worker streams one NDJSON
+  // point line per finished result back over its pipe and exits without
+  // running atexit handlers — the parent folds lines as they arrive, so a
+  // worker that dies loses only the points it had not yet streamed, and
+  // nothing ever assembles a whole partial document in memory.
   struct Worker {
     pid_t pid = -1;
     int fd = -1;
+    std::string buf;              // partial trailing line
+    bool eof = false;
+    bool parse_error = false;
+    std::vector<size_t> assigned;
   };
-  std::vector<Worker> workers;
+  std::vector<Worker> workers(static_cast<size_t>(jobs));
+  for (size_t i = 0; i < indices.size(); ++i)
+    workers[i % static_cast<size_t>(jobs)].assigned.push_back(indices[i]);
+
+  const std::string progress_path = cfg_.get_string("progress_json");
   for (int j = 0; j < jobs; ++j) {
     int fds[2];
     if (pipe(fds) != 0) throw ConfigError("campaign: pipe() failed");
@@ -257,20 +327,52 @@ std::vector<Campaign::PointResult> Campaign::run(
     if (pid == 0) {
       close(fds[0]);
       int code = 0;
-      try {
-        const auto results = run_shard(j + 1, jobs, nullptr);
-        const std::string doc = to_json(results, j + 1, jobs).dump();
+      const auto send_line = [&](const std::string& line) {
         size_t off = 0;
-        while (off < doc.size()) {
+        while (off < line.size()) {
           const ssize_t n =
-              write(fds[1], doc.data() + off, doc.size() - off);
+              write(fds[1], line.data() + off, line.size() - off);
           if (n < 0 && errno == EINTR) continue;
-          if (n <= 0) {
+          if (n <= 0) return false;
+          off += static_cast<size_t>(n);
+        }
+        return true;
+      };
+      try {
+        const Worker& self = workers[static_cast<size_t>(j)];
+        const HeartbeatSink hb{progress_path,
+                               std::to_string(j + 1) + "/" +
+                                   std::to_string(jobs)};
+        hb.emit("shard_start", [&](Json& line) {
+          line.set("name", Json::string(name_));
+          line.set("points",
+                   Json::number(static_cast<uint64_t>(self.assigned.size())));
+          line.set("total",
+                   Json::number(static_cast<uint64_t>(points_.size())));
+        });
+        size_t failed_points = 0;
+        for (const size_t i : self.assigned) {
+          const PointResult r = run_point(i);
+          if (r.failed) ++failed_points;
+          hb.emit("point", [&](Json& line) {
+            line.set("index", Json::number(static_cast<uint64_t>(i)));
+            line.set("total",
+                     Json::number(static_cast<uint64_t>(points_.size())));
+            line.set("coords",
+                     Json::string(coords_label(points_[i].coords)));
+            line.set("failed", Json::boolean(r.failed));
+          });
+          if (!send_line(point_json(r).dump() + "\n")) {
             code = 3;
             break;
           }
-          off += static_cast<size_t>(n);
         }
+        hb.emit("shard_done", [&](Json& line) {
+          line.set("points",
+                   Json::number(static_cast<uint64_t>(self.assigned.size())));
+          line.set("failed",
+                   Json::number(static_cast<uint64_t>(failed_points)));
+        });
       } catch (...) {
         code = 3;
       }
@@ -278,97 +380,156 @@ std::vector<Campaign::PointResult> Campaign::run(
       _exit(code);
     }
     close(fds[1]);
-    workers.push_back({pid, fds[0]});
+    workers[static_cast<size_t>(j)].pid = pid;
+    workers[static_cast<size_t>(j)].fd = fds[0];
   }
 
-  std::vector<Json> partials;
+  // Fold result lines as they arrive across all pipes, so the journal
+  // sink sees points in completion order (streamed, not batched).
+  std::map<size_t, PointResult> by_index;
   std::string problem;
-  for (size_t j = 0; j < workers.size(); ++j) {
-    const Worker& w = workers[j];
-    std::string doc;
-    char buf[1 << 16];
-    for (;;) {
-      const ssize_t n = read(w.fd, buf, sizeof buf);
+  const auto handle_line = [&](Worker& w, const std::string& line) {
+    if (line.empty()) return;
+    std::string error;
+    const Json parsed = Json::parse(line, error);
+    if (!error.empty()) {
+      w.parse_error = true;
+      return;
+    }
+    PointResult r;
+    try {
+      r = point_from_json(parsed);
+    } catch (const ConfigError&) {
+      w.parse_error = true;
+      return;
+    }
+    if (by_index.count(r.index) != 0) return;  // first result wins
+    if (sink) sink(r);
+    by_index.emplace(r.index, std::move(r));
+  };
+
+  size_t open_fds = workers.size();
+  std::vector<char> buf(1 << 16);
+  while (open_fds > 0) {
+    std::vector<pollfd> fds;
+    std::vector<size_t> who;
+    for (size_t j = 0; j < workers.size(); ++j)
+      if (!workers[j].eof) {
+        fds.push_back({workers[j].fd, POLLIN, 0});
+        who.push_back(j);
+      }
+    const int rc = poll(fds.data(), fds.size(), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      problem = "campaign: worker pipe poll failed";
+      break;
+    }
+    for (size_t k = 0; k < fds.size(); ++k) {
+      if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Worker& w = workers[who[k]];
+      const ssize_t n = read(w.fd, buf.data(), buf.size());
       if (n < 0) {
         if (errno == EINTR) continue;
         problem = "campaign: worker pipe read failed";
-        break;
+        w.eof = true;
+        close(w.fd);
+        --open_fds;
+        continue;
       }
-      if (n == 0) break;
-      doc.append(buf, static_cast<size_t>(n));
+      if (n == 0) {
+        handle_line(w, w.buf);  // torn tail: parse_error on a dead worker
+        w.buf.clear();
+        w.eof = true;
+        close(w.fd);
+        --open_fds;
+        continue;
+      }
+      w.buf.append(buf.data(), static_cast<size_t>(n));
+      size_t nl;
+      while ((nl = w.buf.find('\n')) != std::string::npos) {
+        handle_line(w, w.buf.substr(0, nl));
+        w.buf.erase(0, nl + 1);
+      }
     }
-    close(w.fd);
+  }
+
+  for (size_t j = 0; j < workers.size(); ++j) {
+    Worker& w = workers[j];
     int status = 0;
     waitpid(w.pid, &status, 0);
-    if (!(WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
-      // A worker that died (a point segfaulted, the OOM killer struck, …)
-      // fails its own shard's points, not the whole campaign: the sibling
-      // shards' finished results are kept, and each lost point carries a
-      // failure naming the signal so the merged document says what
-      // happened and where.
-      const std::string shard_label =
-          std::to_string(j + 1) + "/" + std::to_string(jobs);
-      std::string why;
-      if (WIFSIGNALED(status)) {
-        const int sig = WTERMSIG(status);
-        const char* name = strsignal(sig);
-        why = "campaign: worker shard " + shard_label +
-              " killed by signal " + std::to_string(sig) + " (" +
-              (name != nullptr ? name : "?") + ")";
-      } else {
-        why = "campaign: worker shard " + shard_label +
-              " exited with code " +
-              std::to_string(WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+    const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    std::vector<size_t> lost;
+    for (const size_t i : w.assigned)
+      if (by_index.count(i) == 0) lost.push_back(i);
+    if (clean) {
+      // A clean worker that shipped garbage or short-counted its results
+      // is a RUN failure, not a configuration error: surface it on the
+      // exit-1 path, so retrying harnesses classify it.
+      if (w.parse_error) {
+        problem = "campaign: worker emitted unparsable JSON";
+      } else if (!lost.empty()) {
+        problem = "campaign: worker shard " + std::to_string(j + 1) + "/" +
+                  std::to_string(jobs) + " exited cleanly but delivered " +
+                  std::to_string(w.assigned.size() - lost.size()) + " of " +
+                  std::to_string(w.assigned.size()) + " results";
       }
-      std::vector<PointResult> lost;
-      for (const CampaignPoint& pt : points_) {
-        if (pt.index % static_cast<size_t>(jobs) != j) continue;
-        PointResult r;
-        r.index = pt.index;
-        r.failed = true;
-        RunReport report(pt.config.get_string("name"),
-                         pt.config.get_string("driver"), pt.seed);
-        report.set_config_echo(pt.config.echo());
-        report.fail(why);
-        r.report = report.to_json();
-        lost.push_back(std::move(r));
-      }
-      partials.push_back(to_json(lost, static_cast<int>(j) + 1, jobs));
       continue;
     }
-    std::string error;
-    Json parsed = Json::parse(doc, error);
-    if (!error.empty()) {
-      problem = "campaign: worker emitted unparsable JSON: " + error;
-      continue;
+    // A worker that died (a point segfaulted, the OOM killer struck, …)
+    // fails only the points it had not yet streamed, not the whole
+    // campaign: everything already received — its own earlier points
+    // included — is kept, and each lost point carries a failure naming
+    // the signal so the merged document says what happened and where.
+    const std::string shard_label =
+        std::to_string(j + 1) + "/" + std::to_string(jobs);
+    std::string why;
+    if (WIFSIGNALED(status)) {
+      const int sig = WTERMSIG(status);
+      const char* name = strsignal(sig);
+      why = "campaign: worker shard " + shard_label + " killed by signal " +
+            std::to_string(sig) + " (" + (name != nullptr ? name : "?") +
+            ")";
+    } else {
+      why = "campaign: worker shard " + shard_label + " exited with code " +
+            std::to_string(WIFEXITED(status) ? WEXITSTATUS(status) : -1);
     }
-    partials.push_back(std::move(parsed));
+    for (const size_t i : lost) {
+      const CampaignPoint& pt = points_[i];
+      PointResult r;
+      r.index = pt.index;
+      r.failed = true;
+      RunReport report(pt.config.get_string("name"),
+                       pt.config.get_string("driver"), pt.seed);
+      report.set_config_echo(pt.config.echo());
+      report.fail(why);
+      r.report = report.to_json();
+      if (sink) sink(r);
+      by_index.emplace(i, std::move(r));
+    }
   }
-  // Pipe loss or a clean worker shipping garbage is a RUN failure, not a
-  // configuration error: surface it on the exit-1 path, so retrying
-  // harnesses classify it.
   if (!problem.empty()) throw std::runtime_error(problem);
 
-  const Json merged = merge(partials);
   std::vector<PointResult> out;
-  for (const Json& p : merged.find("points")->items()) {
-    PointResult r;
-    r.index = static_cast<size_t>(p.find("index")->as_uint64());
-    r.failed = p.find("failed")->as_bool();
-    r.report = *p.find("report");
-    if (progress != nullptr) {
-      const Json* failure = r.report.find("failure");
-      *progress << "[" << r.index + 1 << "/" << points_.size() << "] "
-                << coords_label(points_[r.index].coords) << ": "
-                << (r.failed ? "FAILED: " + (failure != nullptr
-                                                 ? failure->as_string()
-                                                 : std::string("?"))
-                             : std::string("ok"))
+  out.reserve(by_index.size());
+  for (auto& [i, r] : by_index) {
+    if (progress != nullptr)
+      *progress << "[" << i + 1 << "/" << points_.size() << "] "
+                << coords_label(points_[i].coords) << ": " << point_status(r)
                 << "\n";
-    }
     out.push_back(std::move(r));
   }
   return out;
+}
+
+std::vector<Campaign::PointResult> Campaign::run(
+    int jobs, std::ostream* progress, const ResultSink& sink) const {
+  if (jobs < 1) jobs = 1;
+  jobs = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(jobs), points_.size()));
+  if (jobs <= 1) return run_shard(1, 1, progress, sink);
+  std::vector<size_t> all(points_.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return run_points(all, jobs, progress, sink);
 }
 
 Json Campaign::to_json(const std::vector<PointResult>& results, int shard,
@@ -382,9 +543,7 @@ Json Campaign::to_json(const std::vector<PointResult>& results, int shard,
   // file is not part of it (shards pass different paths, and the merged
   // document must be byte-identical across shard counts).
   for (const auto& [k, v] : cfg_.echo())
-    if (k != "report_json" && k != "campaign_json" && k != "bench_json" &&
-        k != "trace_json" && k != "flit_trace" && k != "progress_json")
-      cfg.set(k, Json::string(v));
+    if (!is_execution_key(k)) cfg.set(k, Json::string(v));
   doc.set("config", std::move(cfg));
   Json axes = Json::array();
   for (const SweepAxis& axis : axes_) {
@@ -410,20 +569,153 @@ Json Campaign::to_json(const std::vector<PointResult>& results, int shard,
   for (const PointResult& r : results) failed = failed || r.failed;
   doc.set("failed", Json::boolean(failed));
   Json pts = Json::array();
-  for (const PointResult& r : results) {
-    Json p = Json::object();
-    p.set("index", Json::number(static_cast<uint64_t>(r.index)));
-    Json coords = Json::object();
-    for (const auto& [k, v] : points_[r.index].coords)
-      coords.set(k, Json::string(v));
-    p.set("coords", std::move(coords));
-    p.set("seed", Json::number(points_[r.index].seed));
-    p.set("failed", Json::boolean(r.failed));
-    p.set("report", r.report);
-    pts.push_back(std::move(p));
-  }
+  for (const PointResult& r : results) pts.push_back(point_json(r));
   doc.set("points", std::move(pts));
   return doc;
+}
+
+Json Campaign::point_json(const PointResult& r) const {
+  if (r.index >= points_.size())
+    throw ConfigError("campaign: point index " + std::to_string(r.index) +
+                      " out of range (point_count " +
+                      std::to_string(points_.size()) + ")");
+  Json p = Json::object();
+  p.set("index", Json::number(static_cast<uint64_t>(r.index)));
+  Json coords = Json::object();
+  for (const auto& [k, v] : points_[r.index].coords)
+    coords.set(k, Json::string(v));
+  p.set("coords", std::move(coords));
+  p.set("seed", Json::number(points_[r.index].seed));
+  p.set("failed", Json::boolean(r.failed));
+  p.set("report", r.report);
+  return p;
+}
+
+Campaign::PointResult Campaign::point_from_json(const Json& pt) const {
+  if (!pt.is_object())
+    throw ConfigError("campaign: point record is not a JSON object");
+  const Json* idx = pt.find("index");
+  const Json* failed = pt.find("failed");
+  const Json* report = pt.find("report");
+  if (idx == nullptr || !idx->is_number() || failed == nullptr ||
+      !failed->is_bool() || report == nullptr || !report->is_object())
+    throw ConfigError(
+        "campaign: point record needs index, failed and report{}");
+  PointResult r;
+  r.index = static_cast<size_t>(idx->as_uint64());
+  if (r.index >= points_.size())
+    throw ConfigError("campaign: point index " + std::to_string(r.index) +
+                      " out of range (point_count " +
+                      std::to_string(points_.size()) + ")");
+  r.failed = failed->as_bool();
+  r.report = *report;
+  return r;
+}
+
+Json Campaign::journal_header() const {
+  Json h = Json::object();
+  h.set("schema", Json::string(kJournalSchema));
+  h.set("name", Json::string(name_));
+  h.set("seed", Json::number(base_seed_));
+  Json cfg = Json::object();
+  for (const auto& [k, v] : cfg_.echo())
+    if (!is_execution_key(k)) cfg.set(k, Json::string(v));
+  h.set("config", std::move(cfg));
+  h.set("point_count", Json::number(static_cast<uint64_t>(points_.size())));
+  return h;
+}
+
+void Campaign::check_journal_header(const Json& header) const {
+  const Json want = journal_header();
+  if (!header.is_object() || header.find("schema") == nullptr ||
+      !header.find("schema")->is_string() ||
+      header.find("schema")->as_string() != kJournalSchema)
+    throw ConfigError("campaign: journal does not start with a " +
+                      std::string(kJournalSchema) + " header line");
+  for (const char* key : {"name", "seed", "config", "point_count"}) {
+    const Json* got = header.find(key);
+    if (got == nullptr || got->dump() != want.find(key)->dump())
+      throw ConfigError(std::string("campaign: journal header '") + key +
+                        "' does not match this campaign — the journal "
+                        "belongs to a different run");
+  }
+}
+
+std::vector<Campaign::PointResult> Campaign::load_journal(
+    const std::string& path) const {
+  std::ifstream f(path);
+  if (!f)
+    throw ConfigError("campaign: cannot open journal '" + path + "'");
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(f, line))
+    if (!line.empty()) lines.push_back(std::move(line));
+  if (lines.empty())
+    throw ConfigError("campaign: journal '" + path + "' is empty");
+
+  std::string error;
+  const Json header = Json::parse(lines.front(), error);
+  if (!error.empty())
+    throw ConfigError("campaign: journal header line is unparsable: " +
+                      error);
+  check_journal_header(header);
+
+  std::map<size_t, PointResult> by_index;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const Json pt = Json::parse(lines[i], error);
+    if (!error.empty() || !pt.is_object()) {
+      // A torn FINAL line is the expected signature of a process killed
+      // mid-append: the half-written point simply is not done yet. A torn
+      // line anywhere else means the file was corrupted, not interrupted.
+      if (i + 1 == lines.size()) break;
+      throw ConfigError("campaign: journal line " + std::to_string(i + 1) +
+                        " is unparsable (corrupt journal?)");
+    }
+    PointResult r = point_from_json(pt);
+    // First result wins: a reissued point is bit-identical by
+    // construction (coordinate-derived seeds), so dedup order cannot
+    // change the merged document.
+    if (by_index.count(r.index) == 0)
+      by_index.emplace(r.index, std::move(r));
+  }
+  std::vector<PointResult> out;
+  out.reserve(by_index.size());
+  for (auto& [i, r] : by_index) {
+    (void)i;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<size_t> Campaign::missing_points(
+    const std::vector<PointResult>& done) const {
+  std::vector<bool> have(points_.size(), false);
+  for (const PointResult& r : done)
+    if (r.index < have.size()) have[r.index] = true;
+  std::vector<size_t> missing;
+  for (size_t i = 0; i < have.size(); ++i)
+    if (!have[i]) missing.push_back(i);
+  return missing;
+}
+
+JournalWriter::JournalWriter(const std::string& path, const Json& header,
+                             bool fresh)
+    : path_(path) {
+  out_.open(path, fresh ? std::ios::trunc : std::ios::app);
+  if (!out_)
+    throw ConfigError("campaign: cannot write journal '" + path + "'");
+  if (fresh) {
+    out_ << header.dump() << "\n";
+    out_.flush();
+  }
+}
+
+void JournalWriter::append(const Json& point_line) {
+  out_ << point_line.dump() << "\n";
+  out_.flush();
+  if (!out_)
+    throw std::runtime_error("campaign: journal append to '" + path_ +
+                             "' failed");
 }
 
 Json Campaign::merge(const std::vector<Json>& partials) {
@@ -457,7 +749,40 @@ Json Campaign::merge(const std::vector<Json>& partials) {
   if (point_count > 100000000)
     throw ConfigError("campaign: implausible point_count " +
                       std::to_string(point_count) + " in a partial");
+
+  // Each partial's "shard" marker, so coverage problems can be named at
+  // the level the operator works at: WHICH shard files are missing or
+  // passed twice, not just which raw point indices.
+  const auto shard_of = [](const Json& p) -> std::string {
+    const Json* s = p.find("shard");
+    return s != nullptr && s->is_string() ? s->as_string() : "?";
+  };
+  // All partials' markers must agree on the shard count N for shard-level
+  // diagnostics to be meaningful; mixed-N merges fall back to raw points.
+  uint64_t shard_n = 0;
+  bool shard_n_consistent = true;
+  for (const Json& p : partials) {
+    const std::string label = shard_of(p);
+    const size_t slash = label.find('/');
+    uint64_t n = 0;
+    if (slash != std::string::npos) {
+      errno = 0;
+      char* end = nullptr;
+      n = std::strtoull(label.c_str() + slash + 1, &end, 10);
+      if (errno != 0 || end == nullptr || *end != '\0') n = 0;
+    }
+    if (n == 0)
+      shard_n_consistent = false;
+    else if (shard_n == 0)
+      shard_n = n;
+    else if (shard_n != n)
+      shard_n_consistent = false;
+  }
+
   std::vector<const Json*> by_index(point_count, nullptr);
+  std::vector<std::string> source_shard(point_count);
+  std::set<std::string> duplicate_shards;
+  std::string first_duplicate_point;
   for (const Json& p : partials) {
     const Json* pts = p.find("points");
     if (pts == nullptr || !pts->is_array())
@@ -471,21 +796,48 @@ Json Campaign::merge(const std::vector<Json>& partials) {
         throw ConfigError("campaign: point index " + std::to_string(i) +
                           " out of range (point_count " +
                           std::to_string(point_count) + ")");
-      if (by_index[i] != nullptr)
-        throw ConfigError("campaign: point " + std::to_string(i) +
-                          " appears in more than one partial");
+      if (by_index[i] != nullptr) {
+        duplicate_shards.insert(source_shard[i]);
+        duplicate_shards.insert(shard_of(p));
+        if (first_duplicate_point.empty())
+          first_duplicate_point = std::to_string(i);
+        continue;
+      }
       by_index[i] = &pt;
+      source_shard[i] = shard_of(p);
     }
   }
+  if (!duplicate_shards.empty()) {
+    std::string shards;
+    for (const std::string& s : duplicate_shards) {
+      if (!shards.empty()) shards += ", ";
+      shards += s;
+    }
+    throw ConfigError(
+        "campaign: duplicated shards: " + shards + " (point " +
+        first_duplicate_point +
+        " arrived more than once) — pass each shard partial exactly once");
+  }
   std::string missing;
+  std::set<uint64_t> missing_shards;
   for (uint64_t i = 0; i < point_count; ++i)
     if (by_index[i] == nullptr) {
       if (!missing.empty()) missing += ", ";
       missing += std::to_string(i);
+      if (shard_n != 0) missing_shards.insert(i % shard_n + 1);
     }
-  if (!missing.empty())
+  if (!missing.empty()) {
+    std::string shards;
+    if (shard_n_consistent && shard_n != 0) {
+      for (const uint64_t s : missing_shards) {
+        if (!shards.empty()) shards += ", ";
+        shards += std::to_string(s) + "/" + std::to_string(shard_n);
+      }
+      shards = " (missing shards: " + shards + ")";
+    }
     throw ConfigError("campaign: merge is missing points " + missing +
-                      " — run (or pass) the remaining shards");
+                      shards + " — run (or pass) the remaining shards");
+  }
 
   // Rebuilt fresh with a fixed member order, so the merged document is
   // byte-identical for every shard count and partial order.

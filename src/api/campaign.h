@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <utility>
@@ -71,16 +73,68 @@ class Campaign {
     Json report;  // mcc.run_report/1 document of the point's run
   };
 
+  /// Called once per finished point, in completion order — the streaming
+  /// hook the NDJSON result journal (results_ndjson=) hangs off.
+  using ResultSink = std::function<void(const PointResult&)>;
+
+  /// Runs one point in-process. Never throws on a failing point: a throw
+  /// inside the driver becomes a failed PointResult carrying the config
+  /// echo and the what() text.
+  PointResult run_point(size_t index) const;
+
   /// Runs shard `shard` of `shard_count` (1-based; points with
   /// index % shard_count == shard-1) serially in-process. Never throws on
   /// a failing point: the point's report carries failed/failure and the
-  /// siblings still run. `progress` (optional) gets one line per point.
+  /// siblings still run. `progress` (optional) gets one line per point;
+  /// `sink` (optional) gets each PointResult as it finishes.
   std::vector<PointResult> run_shard(int shard, int shard_count,
-                                     std::ostream* progress) const;
+                                     std::ostream* progress,
+                                     const ResultSink& sink = nullptr) const;
+
+  /// Runs the given point indices — serially when jobs <= 1, else across
+  /// `jobs` forked workers (position i of `indices` goes to worker
+  /// i % jobs) that stream one point-JSON NDJSON line back per finished
+  /// point. A worker that dies mid-shard fails only the points it had not
+  /// yet streamed (synthesized reports naming the signal); results return
+  /// sorted by point index. This is the resume entry: pass only the
+  /// missing indices.
+  std::vector<PointResult> run_points(const std::vector<size_t>& indices,
+                                      int jobs, std::ostream* progress,
+                                      const ResultSink& sink = nullptr) const;
 
   /// Runs every point across `jobs` forked worker processes (jobs <= 1:
   /// serial in-process). Results come back complete and in point order.
-  std::vector<PointResult> run(int jobs, std::ostream* progress) const;
+  std::vector<PointResult> run(int jobs, std::ostream* progress,
+                               const ResultSink& sink = nullptr) const;
+
+  /// The point object embedded in the campaign document's points[] — also
+  /// the NDJSON journal line and the mcc.dist/1 result payload, so every
+  /// transport ships bit-identical point records.
+  Json point_json(const PointResult& r) const;
+
+  /// Parses one point object back (the inverse of point_json). Throws
+  /// ConfigError when the object is malformed or its index out of range.
+  PointResult point_from_json(const Json& pt) const;
+
+  /// The mcc.campaign.journal/1 header line: schema, name, seed, the
+  /// filtered config echo and point_count — enough for --resume to refuse
+  /// a journal from a different campaign.
+  Json journal_header() const;
+
+  /// Throws ConfigError unless `header` matches this campaign.
+  void check_journal_header(const Json& header) const;
+
+  /// Loads an NDJSON result journal: validates the header, parses one
+  /// point per line with first-result-wins dedup (a reissued point is
+  /// bit-identical by construction, so first-wins keeps merges
+  /// deterministic), and tolerates a torn final line (the append that a
+  /// dying coordinator did not finish). Results return sorted by index.
+  std::vector<PointResult> load_journal(const std::string& path) const;
+
+  /// The point indices NOT present in `done` — what a resumed run still
+  /// has to execute, in index order.
+  std::vector<size_t> missing_points(
+      const std::vector<PointResult>& done) const;
 
   /// Wraps `results` as an mcc.campaign/1 document for shard
   /// `shard`/`shard_count` (the complete serial run is shard 1/1; merge()
@@ -103,6 +157,26 @@ class Campaign {
   uint64_t base_seed_ = 0;
   std::vector<SweepAxis> axes_;
   std::vector<CampaignPoint> points_;
+};
+
+/// Append-mode NDJSON result journal (results_ndjson=). A fresh run
+/// truncates and writes the campaign's header line first; a resumed run
+/// opens in append mode after the caller validated the existing header.
+/// Every line is flushed as written, so a SIGKILLed process loses at most
+/// the line it was mid-append on (load_journal tolerates the torn tail).
+class JournalWriter {
+ public:
+  /// Opens `path`. `fresh` truncates and writes `header`; otherwise the
+  /// file is appended to as-is. Throws ConfigError when the file cannot
+  /// be opened.
+  JournalWriter(const std::string& path, const Json& header, bool fresh);
+
+  /// Appends one point line (Campaign::point_json form) and flushes.
+  void append(const Json& point_line);
+
+ private:
+  std::ofstream out_;
+  std::string path_;
 };
 
 }  // namespace mcc::api

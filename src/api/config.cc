@@ -242,6 +242,29 @@ const std::map<std::string, KeySpec>& Configuration::schema() {
       {"progress_json",
        {KeyType::String, "",
         "campaigns: append mcc.progress/1 NDJSON heartbeats here"}},
+      {"results_ndjson",
+       {KeyType::String, "",
+        "campaigns: stream one point-result NDJSON line here as points "
+        "finish (the mcc.campaign.journal/1 resume journal)"}},
+      {"dist_report_json",
+       {KeyType::String, "",
+        "distributed runs: write the scheduler's mcc.run_report/1 (dist.* "
+        "obs counters) here"}},
+      {"listen",
+       {KeyType::String, "",
+        "coordinator bind address: unix:<path> or tcp:<host>:<port> "
+        "(empty = a private unix socket under /tmp)"}},
+      {"lease_batch",
+       {KeyType::Int, "4",
+        "dist: point indices leased to a worker per grant", 1, 65536}},
+      {"lease_ms",
+       {KeyType::Int, "30000",
+        "dist: lease deadline in ms; expired leases reissue to live "
+        "workers", 50, 86400000}},
+      {"heartbeat_ms",
+       {KeyType::Int, "1000",
+        "dist: worker heartbeat / lease-retry interval in ms", 10,
+        600000}},
       // --- mesh -------------------------------------------------------------
       {"dims", {KeyType::Int, "3", "mesh dimensionality", 2, 3}},
       {"k", {KeyType::Int, "16", "edge length (square/cubic mesh)", 2, 512}},
@@ -441,7 +464,10 @@ bool sweepable(const std::string& base) {
   return base != "smoke" && base != "report_json" && base != "bench_json" &&
          base != "campaign_json" && base != "max_points" && base != "name" &&
          base != "trace_json" && base != "flit_trace" &&
-         base != "progress_json";
+         base != "progress_json" && base != "results_ndjson" &&
+         base != "dist_report_json" && base != "listen" &&
+         base != "lease_batch" && base != "lease_ms" &&
+         base != "heartbeat_ms";
 }
 
 }  // namespace
@@ -469,6 +495,11 @@ void Configuration::set(const std::string& key, const std::string& value) {
     validate(key, spec, value);
   }
   values_[key] = Entry{value, next_seq_++};
+}
+
+void Configuration::unset(const std::string& key) {
+  values_.erase(key);
+  values_.erase("smoke." + key);
 }
 
 void Configuration::load_text(const std::string& text,

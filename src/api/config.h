@@ -88,6 +88,12 @@ class Configuration {
   /// mismatch or range violation (sweep elements validate per element).
   void set(const std::string& key, const std::string& value);
 
+  /// Removes any explicit value (and smoke pin) for `key`, restoring its
+  /// default — Campaign strips the execution-only keys (lease shape,
+  /// listen address, journal paths) from point configs with this, so a
+  /// point's config echo never depends on how the campaign was scheduled.
+  void unset(const std::string& key);
+
   /// Parses `key = value` lines. `origin` names the source in errors.
   void load_text(const std::string& text, const std::string& origin);
   void load_file(const std::string& path);

@@ -674,7 +674,9 @@ void append_profile(const obs::Profiler& prof, RunReport& report) {
   }
 }
 
-Json obs_block(const obs::MetricRegistry& reg) {
+}  // namespace
+
+Json metrics_to_json(const obs::MetricRegistry& reg) {
   Json o = Json::object();
   o.set("schema", Json::string(kMetricsSchema));
   Json counters = Json::object();
@@ -695,8 +697,6 @@ Json obs_block(const obs::MetricRegistry& reg) {
   o.set("histograms", std::move(hists));
   return o;
 }
-
-}  // namespace
 
 Experiment::Experiment(Configuration cfg) : cfg_(std::move(cfg)) {
   register_builtins();
@@ -726,7 +726,7 @@ RunReport Experiment::run() {
     driver(scenario_, report);
   }
   if (scenario_.profile) append_profile(ro.prof, report);
-  if (scenario_.metrics) report.set_obs(obs_block(ro.registry));
+  if (scenario_.metrics) report.set_obs(metrics_to_json(ro.registry));
   if (ro.trace && !ro.trace->write(scenario_.trace_json))
     throw ConfigError("config: cannot write '" + scenario_.trace_json + "'");
   if (ro.flit && !ro.flit->write(scenario_.flit_trace))

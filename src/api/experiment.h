@@ -42,6 +42,10 @@
 #include "sim/wormhole/routing.h"
 #include "util/rng.h"
 
+namespace mcc::obs {
+class MetricRegistry;
+}
+
 namespace mcc::api {
 
 struct Scenario;
@@ -122,6 +126,11 @@ Registry<FaultPatternSpec>& fault_patterns();
 Registry<PolicySpec>& policies();
 Registry<TrafficSpec>& traffic_patterns();
 void register_builtins();
+
+/// Serializes a MetricRegistry snapshot as the mcc.metrics/1 "obs" block
+/// (counters exact under bench_trend, gauges/histograms informational) —
+/// shared by Experiment::run and the dist scheduler report.
+Json metrics_to_json(const obs::MetricRegistry& registry);
 
 /// The resolved, typed view of a Configuration that drivers consume.
 struct Scenario {

@@ -35,6 +35,12 @@ inline constexpr const char* kCampaignSchema = "mcc.campaign/1";
 inline constexpr const char* kMetricsSchema = "mcc.metrics/1";
 /// Schema tag of the campaign progress-heartbeat NDJSON lines.
 inline constexpr const char* kProgressSchema = "mcc.progress/1";
+/// Schema tag of the streamed point-result journal's header line
+/// (results_ndjson= / --resume); result lines are campaign point objects.
+inline constexpr const char* kJournalSchema = "mcc.campaign.journal/1";
+/// Schema tag of the coordinator/worker work-queue wire protocol
+/// (docs/distributed.md).
+inline constexpr const char* kDistSchema = "mcc.dist/1";
 
 class RunReport {
  public:

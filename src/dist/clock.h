@@ -1,0 +1,36 @@
+// Millisecond clock seam for the work-queue scheduler. The coordinator
+// runs on SteadyClock; the lease-expiry tests drive a FakeClock so expiry
+// is exercised without sleeping.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mcc::dist {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t now_ms() = 0;
+};
+
+class SteadyClock final : public Clock {
+ public:
+  int64_t now_ms() override {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(int64_t start_ms = 0) : now_(start_ms) {}
+  int64_t now_ms() override { return now_; }
+  void advance(int64_t delta_ms) { now_ += delta_ms; }
+
+ private:
+  int64_t now_;
+};
+
+}  // namespace mcc::dist

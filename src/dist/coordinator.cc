@@ -1,0 +1,326 @@
+#include "dist/coordinator.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "api/experiment.h"  // metrics_to_json
+#include "dist/protocol.h"
+#include "dist/worker.h"
+#include "obs/metrics.h"
+
+namespace mcc::dist {
+
+using api::Campaign;
+using api::Json;
+
+Coordinator::Coordinator(const Campaign& campaign,
+                         std::vector<Campaign::PointResult> done,
+                         CoordinatorOptions opts)
+    : campaign_(campaign),
+      opts_(std::move(opts)),
+      clock_(opts_.clock != nullptr ? opts_.clock : &steady_),
+      addr_(parse_address(opts_.listen)),
+      sched_(campaign.points().size(),
+             static_cast<size_t>(opts_.lease_batch), opts_.lease_ms) {
+  for (auto& r : done) {
+    sched_.mark_done(r.index);
+    results_[r.index] = std::move(r);
+  }
+  listen_fd_ = listen_on(addr_);
+}
+
+Coordinator::~Coordinator() {
+  for (auto& c : conns_)
+    if (c.fd >= 0) ::close(c.fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (addr_.unix_domain) ::unlink(addr_.path.c_str());
+  for (size_t i = 0; i < pids_.size(); ++i) {
+    if (reaped_[i]) continue;
+    ::kill(pids_[i], SIGKILL);
+    int status = 0;
+    ::waitpid(pids_[i], &status, 0);
+    reaped_[i] = true;
+  }
+}
+
+void Coordinator::spawn_workers() {
+  for (int w = 1; w <= opts_.local_workers; ++w) {
+    const pid_t pid = ::fork();
+    if (pid < 0) throw std::runtime_error("dist: fork failed");
+    if (pid == 0) {
+      // Worker process: drop the coordinator's fds and join through the
+      // front door like any remote worker would — the protocol is the
+      // only channel, so local mode exercises the same path CI gates.
+      ::close(listen_fd_);
+      for (auto& c : conns_)
+        if (c.fd >= 0) ::close(c.fd);
+      WorkerOptions wo;
+      wo.name = "local-" + std::to_string(w);
+      wo.heartbeat_ms = opts_.heartbeat_ms;
+      int rc = 1;
+      try {
+        rc = run_worker(addr_.str(), wo);
+      } catch (...) {
+        rc = 1;
+      }
+      ::_exit(rc);
+    }
+    pids_.push_back(pid);
+    reaped_.push_back(false);
+  }
+}
+
+void Coordinator::reap_workers(bool block) {
+  for (size_t i = 0; i < pids_.size(); ++i) {
+    if (reaped_[i]) continue;
+    int status = 0;
+    const pid_t rc = ::waitpid(pids_[i], &status, block ? 0 : WNOHANG);
+    // SIGKILL-tolerated by design: a dead worker's lease requeues and the
+    // campaign still completes, so any exit status is acceptable here.
+    if (rc == pids_[i]) reaped_[i] = true;
+  }
+}
+
+bool Coordinator::all_workers_reaped() const {
+  for (bool r : reaped_)
+    if (!r) return false;
+  return true;
+}
+
+void Coordinator::drop_conn(Conn& c) {
+  if (c.fd >= 0) ::close(c.fd);
+  c.fd = -1;
+  if (!c.name.empty()) sched_.drop_worker(c.name);
+}
+
+void Coordinator::announce_done() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (addr_.unix_domain) ::unlink(addr_.path.c_str());
+  }
+  const std::string done_line = proto::done().dump();
+  for (auto& c : conns_) {
+    if (c.fd < 0) continue;
+    send_line(c.fd, done_line);  // best effort; close either way
+    ::close(c.fd);
+    c.fd = -1;
+  }
+  conns_.clear();
+}
+
+void Coordinator::accept_result(const Campaign::PointResult& r) {
+  results_[r.index] = r;
+  if (journal_ != nullptr) {
+    journal_->append(campaign_.point_json(r));
+    ++journal_appends_;
+    if (opts_.abort_after >= 0 && journal_appends_ >= opts_.abort_after)
+      throw std::runtime_error(
+          "dist: aborting after " + std::to_string(journal_appends_) +
+          " journal appends (test hook; resume with --resume)");
+  }
+  if (opts_.progress != nullptr)
+    *opts_.progress << "# dist point " << r.index << " ("
+                    << results_.size() << "/" << campaign_.points().size()
+                    << ")" << (r.failed ? " FAILED" : "") << std::endl;
+}
+
+bool Coordinator::handle_line(Conn& c, const std::string& line) {
+  const int64_t now = clock_->now_ms();
+  Json m;
+  try {
+    m = proto::parse(line);
+  } catch (const std::exception&) {
+    drop_conn(c);
+    return false;
+  }
+  const std::string type = proto::type_of(m);
+  if (type == "hello") {
+    const Json* worker = m.find("worker");
+    if (worker == nullptr || !worker->is_string() ||
+        worker->as_string().empty()) {
+      drop_conn(c);
+      return false;
+    }
+    c.name = worker->as_string();
+    if (!send_line(c.fd, proto::welcome(campaign_.journal_header(),
+                                        opts_.heartbeat_ms)
+                             .dump())) {
+      drop_conn(c);
+      return false;
+    }
+    return true;
+  }
+  if (c.name.empty()) {  // everything else requires a hello first
+    drop_conn(c);
+    return false;
+  }
+  if (type == "lease") {
+    std::string reply;
+    if (sched_.done()) {
+      reply = proto::done().dump();
+    } else {
+      const std::vector<size_t> batch = sched_.lease(c.name, now);
+      reply = batch.empty() ? proto::wait(100).dump()
+                            : proto::grant(batch).dump();
+    }
+    if (!send_line(c.fd, reply)) {
+      drop_conn(c);
+      return false;
+    }
+    return true;
+  }
+  if (type == "result") {
+    const Json* pt = m.find("point");
+    Campaign::PointResult r;
+    try {
+      if (pt == nullptr) throw std::runtime_error("result without point");
+      r = campaign_.point_from_json(*pt);
+    } catch (const std::exception&) {
+      drop_conn(c);
+      return false;
+    }
+    ++c.results_seen;
+    if (sched_.complete(c.name, r.index, now)) accept_result(r);
+    if (opts_.chaos_kill_worker > 0 && !chaos_fired_ &&
+        c.name == "local-" + std::to_string(opts_.chaos_kill_worker) &&
+        c.results_seen == 1) {
+      // Chaos hook: SIGKILL the worker on its first processed result and
+      // drop the connection WITHOUT draining buffered lines — the rest of
+      // its lease (and anything it managed to stream after this line) is
+      // lost, so the reissue path runs deterministically.
+      chaos_fired_ = true;
+      const size_t w = static_cast<size_t>(opts_.chaos_kill_worker - 1);
+      if (w < pids_.size() && !reaped_[w]) {
+        ::kill(pids_[w], SIGKILL);
+        int status = 0;
+        ::waitpid(pids_[w], &status, 0);
+        reaped_[w] = true;
+      }
+      drop_conn(c);
+      return false;
+    }
+    return true;
+  }
+  if (type == "heartbeat") {
+    sched_.heartbeat(c.name, now);
+    return true;
+  }
+  drop_conn(c);  // unknown message type
+  return false;
+}
+
+bool Coordinator::read_conn(Conn& c) {
+  char tmp[4096];
+  const ssize_t n = ::read(c.fd, tmp, sizeof(tmp));
+  if (n <= 0) {
+    drop_conn(c);
+    return false;
+  }
+  c.buf.feed(tmp, static_cast<size_t>(n));
+  std::string line;
+  while (c.fd >= 0 && c.buf.next(line))
+    if (!handle_line(c, line)) return false;
+  return true;
+}
+
+std::vector<Campaign::PointResult> Coordinator::run() {
+  ::signal(SIGPIPE, SIG_IGN);
+  if (!opts_.journal_path.empty())
+    journal_ = std::make_unique<api::JournalWriter>(
+        opts_.journal_path, campaign_.journal_header(), !opts_.resume);
+  if (!sched_.done()) spawn_workers();
+
+  bool announced = false;
+  while (true) {
+    if (sched_.done()) {
+      if (!announced) {
+        announce_done();
+        announced = true;
+      }
+      break;
+    }
+    std::vector<pollfd> fds;
+    if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& c : conns_)
+      fds.push_back({c.fd, POLLIN, 0});
+    ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 50);
+
+    size_t fi = 0;
+    if (listen_fd_ >= 0) {
+      if ((fds[fi].revents & POLLIN) != 0) {
+        for (;;) {
+          const int fd = accept_on(listen_fd_);
+          if (fd < 0) break;
+          Conn c;
+          c.fd = fd;
+          conns_.push_back(std::move(c));
+          break;  // one accept per wakeup keeps the fds vector in sync
+        }
+      }
+      ++fi;
+    }
+    for (size_t i = 0; i < conns_.size() && fi < fds.size(); ++i, ++fi) {
+      if (fds[fi].revents == 0) continue;
+      if (conns_[i].fd != fds[fi].fd) continue;  // replaced by an accept
+      read_conn(conns_[i]);
+    }
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const Conn& c) { return c.fd < 0; }),
+                 conns_.end());
+
+    sched_.expire(clock_->now_ms());
+    reap_workers(false);
+    if (opts_.local_workers > 0 && all_workers_reaped() && !sched_.done())
+      throw std::runtime_error(
+          "dist: every local worker exited before the campaign "
+          "completed (" +
+          std::to_string(sched_.remaining()) + " points left)");
+  }
+
+  reap_workers(true);
+  if (opts_.chaos_kill_worker > 0 && sched_.counters().reissued == 0)
+    throw std::runtime_error(
+        "dist: chaos run completed without reissuing any points — the "
+        "kill hook did not exercise the requeue path");
+  if (results_.size() != campaign_.points().size())
+    throw std::logic_error("dist: scheduler finished with " +
+                           std::to_string(results_.size()) + " of " +
+                           std::to_string(campaign_.points().size()) +
+                           " results");
+
+  std::vector<Campaign::PointResult> out;
+  out.reserve(results_.size());
+  for (auto& [idx, r] : results_) out.push_back(std::move(r));
+  return out;
+}
+
+api::RunReport Coordinator::report() const {
+  const Json header = campaign_.journal_header();
+  api::RunReport r(campaign_.name(), "dist_scheduler",
+                   header.find("seed")->as_uint64());
+  std::vector<std::pair<std::string, std::string>> echo;
+  for (const auto& [k, v] : header.find("config")->members())
+    echo.emplace_back(k, v.as_string());
+  r.set_config_echo(std::move(echo));
+  r.text("# dist scheduler\n");
+  r.metric("points", static_cast<double>(campaign_.points().size()));
+  r.metric("local_workers", static_cast<double>(opts_.local_workers));
+  const SchedulerCounters& c = sched_.counters();
+  obs::MetricRegistry reg;
+  reg.set_counter("dist.points_dispatched", c.dispatched);
+  reg.set_counter("dist.points_completed", c.completed);
+  reg.set_counter("dist.points_reissued", c.reissued);
+  reg.set_counter("dist.duplicate_results", c.duplicates);
+  reg.set_gauge("dist.worker_lag_ms", sched_.worker_lag_ms());
+  r.set_obs(api::metrics_to_json(reg));
+  return r;
+}
+
+}  // namespace mcc::dist

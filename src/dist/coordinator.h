@@ -1,0 +1,118 @@
+// Coordinator: owns the expanded point list of one api::Campaign and
+// serves it to workers over the mcc.dist/1 line protocol (unix-domain or
+// TCP socket). Workers register (hello/welcome), lease batches of point
+// indices with deadlines, stream one result line per finished point and
+// heartbeat between points; an expired or dropped lease requeues its
+// points (at-least-once dispatch, first-result-wins dedup — point seeds
+// derive from coordinates, so a reissued point is bit-identical).
+//
+// Every accepted result is appended to the NDJSON journal when
+// journal_path is set, flushed per line, so a killed coordinator loses at
+// most its torn tail; --resume rebuilds the done-set from the journal and
+// this class dispatches only the missing points (pass them as `done`).
+// The final result vector folds through the existing campaign merge path,
+// byte-identical to a serial Campaign::run.
+//
+// The listening socket binds in the constructor, so address() is valid
+// (ephemeral TCP ports resolved) before run() — tests start a worker
+// thread against it first.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/campaign.h"
+#include "api/run_report.h"
+#include "dist/clock.h"
+#include "dist/net.h"
+#include "dist/scheduler.h"
+
+namespace mcc::dist {
+
+struct CoordinatorOptions {
+  std::string listen;         // "unix:<path>" | "tcp:<host>:<port>"
+  int lease_batch = 4;        // points per lease
+  int64_t lease_ms = 30000;   // lease deadline; must exceed a point's runtime
+  int64_t heartbeat_ms = 1000;  // worker pacing, advertised in the welcome
+  std::string journal_path;   // NDJSON result journal ("" = none)
+  bool resume = false;        // journal already holds the header + done lines
+  int local_workers = 0;      // convenience mode: fork N local workers
+  // Test hooks (the CTest chaos/resume fixtures): SIGKILL local worker W
+  // when its first result is processed / die after N journal appends.
+  int chaos_kill_worker = 0;
+  long abort_after = -1;
+  std::ostream* progress = nullptr;  // one line per accepted point
+  Clock* clock = nullptr;            // default: steady wall clock
+};
+
+class Coordinator {
+ public:
+  /// Expands nothing itself — `campaign` is already validated. `done`
+  /// pre-fills resumed points (Campaign::load_journal output); they are
+  /// never dispatched. Binds and listens; throws on address problems.
+  Coordinator(const api::Campaign& campaign,
+              std::vector<api::Campaign::PointResult> done,
+              CoordinatorOptions opts);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// The resolved listen address workers connect to.
+  std::string address() const { return addr_.str(); }
+
+  /// Serves until every point has a result; returns all results (resumed
+  /// + newly completed) sorted by point index. Throws std::runtime_error
+  /// when completion becomes impossible (every local worker exited) or a
+  /// test hook fires.
+  std::vector<api::Campaign::PointResult> run();
+
+  const SchedulerCounters& counters() const { return sched_.counters(); }
+
+  /// The scheduler's own mcc.run_report/1 document (driver
+  /// "dist_scheduler"): the dist.points_* counters and the
+  /// dist.worker_lag_ms gauge in its obs block. Counters are exact under
+  /// bench_trend; the campaign document itself stays byte-identical to a
+  /// serial run, so the scheduler's observability lives here.
+  api::RunReport report() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string name;  // empty until hello
+    LineBuffer buf;
+    uint64_t results_seen = 0;
+  };
+
+  void spawn_workers();
+  void reap_workers(bool block);
+  bool all_workers_reaped() const;
+  void drop_conn(Conn& c);
+  void announce_done();
+  bool read_conn(Conn& c);
+  bool handle_line(Conn& c, const std::string& line);
+  void accept_result(const api::Campaign::PointResult& r);
+
+  const api::Campaign& campaign_;
+  CoordinatorOptions opts_;
+  SteadyClock steady_;
+  Clock* clock_;
+  Address addr_;
+  int listen_fd_ = -1;
+  Scheduler sched_;
+  std::map<size_t, api::Campaign::PointResult> results_;
+  std::vector<Conn> conns_;
+  std::vector<pid_t> pids_;     // local workers, 1-based worker W = pids_[W-1]
+  std::vector<bool> reaped_;
+  std::unique_ptr<api::JournalWriter> journal_;
+  long journal_appends_ = 0;
+  bool chaos_fired_ = false;
+};
+
+}  // namespace mcc::dist

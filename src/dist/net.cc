@@ -1,0 +1,183 @@
+#include "dist/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "api/config.h"
+
+namespace mcc::dist {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error("dist: " + what + ": " +
+                           std::strerror(errno));
+}
+
+sockaddr_un unix_sockaddr(const std::string& path) {
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(sa.sun_path))
+    throw api::ConfigError("dist: unix socket path too long (" +
+                           std::to_string(path.size()) + " bytes, limit " +
+                           std::to_string(sizeof(sa.sun_path) - 1) + "): " +
+                           path);
+  std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+  return sa;
+}
+
+sockaddr_in tcp_sockaddr(const Address& addr) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<uint16_t>(addr.port));
+  const std::string host =
+      addr.host == "localhost" ? std::string("127.0.0.1") : addr.host;
+  if (inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1)
+    throw api::ConfigError(
+        "dist: tcp host must be a numeric IPv4 address or localhost, got " +
+        addr.host);
+  return sa;
+}
+
+}  // namespace
+
+std::string Address::str() const {
+  if (unix_domain) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Address parse_address(const std::string& text) {
+  Address a;
+  if (text.rfind("unix:", 0) == 0) {
+    a.unix_domain = true;
+    a.path = text.substr(5);
+    if (a.path.empty())
+      throw api::ConfigError("dist: unix address needs a path: " + text);
+    return a;
+  }
+  if (text.rfind("tcp:", 0) == 0) {
+    a.unix_domain = false;
+    const std::string rest = text.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == rest.size())
+      throw api::ConfigError(
+          "dist: tcp address must be tcp:<host>:<port>, got " + text);
+    a.host = rest.substr(0, colon);
+    try {
+      a.port = std::stoi(rest.substr(colon + 1));
+    } catch (const std::exception&) {
+      a.port = -1;
+    }
+    if (a.port < 0 || a.port > 65535)
+      throw api::ConfigError("dist: bad tcp port in " + text);
+    return a;
+  }
+  throw api::ConfigError(
+      "dist: address must be unix:<path> or tcp:<host>:<port>, got " +
+      text);
+}
+
+int listen_on(Address& addr) {
+  const int fd =
+      socket(addr.unix_domain ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  if (addr.unix_domain) {
+    ::unlink(addr.path.c_str());
+    sockaddr_un sa = unix_sockaddr(addr.path);
+    if (bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      ::close(fd);
+      sys_fail("bind " + addr.str());
+    }
+  } else {
+    const int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in sa = tcp_sockaddr(addr);
+    if (bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      ::close(fd);
+      sys_fail("bind " + addr.str());
+    }
+    if (addr.port == 0) {
+      socklen_t len = sizeof(sa);
+      if (getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+        ::close(fd);
+        sys_fail("getsockname");
+      }
+      addr.port = ntohs(sa.sin_port);
+    }
+  }
+  if (listen(fd, 64) != 0) {
+    ::close(fd);
+    sys_fail("listen " + addr.str());
+  }
+  return fd;
+}
+
+int connect_to(const Address& addr, int timeout_ms) {
+  const auto give_up = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int fd =
+        socket(addr.unix_domain ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) sys_fail("socket");
+    int rc;
+    if (addr.unix_domain) {
+      sockaddr_un sa = unix_sockaddr(addr.path);
+      rc = connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+    } else {
+      sockaddr_in sa = tcp_sockaddr(addr);
+      rc = connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+    }
+    if (rc == 0) return fd;
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= give_up)
+      throw std::runtime_error("dist: could not connect to " + addr.str() +
+                               " within " + std::to_string(timeout_ms) +
+                               " ms");
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+int accept_on(int listen_fd) {
+  for (;;) {
+    const int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+bool send_line(int fd, const std::string& line) {
+  std::string out = line;
+  out.push_back('\n');
+  size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = write(fd, out.data() + off, out.size() - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool LineBuffer::next(std::string& line) {
+  const size_t nl = buf_.find('\n');
+  if (nl == std::string::npos) return false;
+  line.assign(buf_, 0, nl);
+  buf_.erase(0, nl + 1);
+  return true;
+}
+
+}  // namespace mcc::dist

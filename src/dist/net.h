@@ -1,0 +1,61 @@
+// Line-oriented socket plumbing for the mcc.dist/1 protocol: address
+// parsing ("unix:<path>" | "tcp:<host>:<port>"), listen/connect/accept,
+// full-line writes and a reassembly buffer for reads. Unix-domain sockets
+// are the default transport (one machine, no ports to pick); TCP covers
+// workers on other hosts. IPv4 only, and the host must be a numeric
+// address or "localhost" — this is a lab harness, not a resolver.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mcc::dist {
+
+struct Address {
+  bool unix_domain = true;
+  std::string path;  // unix form
+  std::string host;  // tcp form
+  int port = 0;      // 0 asks the kernel for an ephemeral port
+  /// Canonical text form ("unix:<path>" / "tcp:<host>:<port>") — after
+  /// listen_on() filled in an ephemeral port, this is the address workers
+  /// connect to.
+  std::string str() const;
+};
+
+/// Parses "unix:<path>" or "tcp:<host>:<port>". Throws api::ConfigError
+/// on any other shape (it arrives from the listen= config key / --work
+/// operand).
+Address parse_address(const std::string& text);
+
+/// Binds and listens. Unlinks a stale unix socket path first; fills in
+/// `addr.port` when an ephemeral TCP port was requested. Throws
+/// std::runtime_error on socket errors. Returns the listening fd.
+int listen_on(Address& addr);
+
+/// Connects, retrying every 20 ms until `timeout_ms` elapses (covers the
+/// worker racing the coordinator's bind). Throws std::runtime_error on
+/// timeout. Returns the connected fd.
+int connect_to(const Address& addr, int timeout_ms);
+
+/// Accepts one connection; returns -1 when nothing is pending.
+int accept_on(int listen_fd);
+
+/// Writes `line` plus '\n', handling partial writes. Returns false when
+/// the peer is gone (EPIPE/ECONNRESET) — callers treat that as EOF.
+bool send_line(int fd, const std::string& line);
+
+/// Reassembles '\n'-delimited lines from arbitrary read chunks. The tail
+/// after the final newline stays buffered (the torn line a dying peer
+/// was mid-write on is simply never surfaced).
+class LineBuffer {
+ public:
+  void feed(const char* data, size_t n) { buf_.append(data, n); }
+  /// Extracts the next complete line (without the newline) into `line`.
+  bool next(std::string& line);
+  void clear() { buf_.clear(); }
+
+ private:
+  std::string buf_;
+};
+
+}  // namespace mcc::dist

@@ -1,0 +1,102 @@
+// The mcc.dist/1 wire protocol: one JSON object per line, every message
+// tagged {"schema":"mcc.dist/1","type":...}. Six message types
+// (docs/distributed.md has the full exchange):
+//
+//   worker -> coordinator            coordinator -> worker
+//   ---------------------            ---------------------
+//   hello {worker}                   welcome {campaign, heartbeat_ms}
+//   lease {}                         grant {points:[i,...]}
+//   result {point}                   wait {ms}
+//   heartbeat {}                     done {}
+//
+// The welcome's "campaign" object is the mcc.campaign.journal/1 header —
+// name, base seed, filtered config echo, point_count — which is exactly
+// enough for the worker to rebuild the Campaign bit-identically (the
+// config echo replays; Campaign::check_journal_header proves the rebuild
+// matches before any point runs). The result's "point" object is
+// Campaign::point_json, the same record the journal and the campaign
+// document carry — every transport ships identical point bytes.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/json.h"
+#include "api/run_report.h"  // kDistSchema
+
+namespace mcc::dist::proto {
+
+inline api::Json msg(const char* type) {
+  api::Json m = api::Json::object();
+  m.set("schema", api::Json::string(api::kDistSchema));
+  m.set("type", api::Json::string(type));
+  return m;
+}
+
+inline api::Json hello(const std::string& worker) {
+  api::Json m = msg("hello");
+  m.set("worker", api::Json::string(worker));
+  return m;
+}
+
+inline api::Json welcome(api::Json campaign_header, int64_t heartbeat_ms) {
+  api::Json m = msg("welcome");
+  m.set("campaign", std::move(campaign_header));
+  m.set("heartbeat_ms",
+        api::Json::number(static_cast<uint64_t>(heartbeat_ms)));
+  return m;
+}
+
+inline api::Json lease() { return msg("lease"); }
+
+inline api::Json grant(const std::vector<size_t>& points) {
+  api::Json m = msg("grant");
+  api::Json arr = api::Json::array();
+  for (size_t i : points)
+    arr.push_back(api::Json::number(static_cast<uint64_t>(i)));
+  m.set("points", std::move(arr));
+  return m;
+}
+
+inline api::Json wait(int64_t ms) {
+  api::Json m = msg("wait");
+  m.set("ms", api::Json::number(static_cast<uint64_t>(ms)));
+  return m;
+}
+
+inline api::Json done() { return msg("done"); }
+
+inline api::Json result(api::Json point) {
+  api::Json m = msg("result");
+  m.set("point", std::move(point));
+  return m;
+}
+
+inline api::Json heartbeat() { return msg("heartbeat"); }
+
+/// Parses one protocol line; throws std::runtime_error naming the problem
+/// when it is not an mcc.dist/1 message (both sides drop the peer on it).
+inline api::Json parse(const std::string& line) {
+  std::string err;
+  api::Json m = api::Json::parse(line, err);
+  if (!err.empty())
+    throw std::runtime_error("dist: unparsable protocol line: " + err);
+  const api::Json* schema = m.find("schema");
+  if (!m.is_object() || schema == nullptr || !schema->is_string() ||
+      schema->as_string() != api::kDistSchema)
+    throw std::runtime_error(
+        "dist: protocol line is not an mcc.dist/1 message");
+  const api::Json* type = m.find("type");
+  if (type == nullptr || !type->is_string())
+    throw std::runtime_error("dist: protocol message has no type");
+  return m;
+}
+
+/// The message's type tag (call after parse()).
+inline std::string type_of(const api::Json& m) {
+  return m.find("type")->as_string();
+}
+
+}  // namespace mcc::dist::proto

@@ -1,0 +1,114 @@
+#include "dist/scheduler.h"
+
+#include <algorithm>
+
+namespace mcc::dist {
+
+Scheduler::Scheduler(size_t point_count, size_t lease_batch,
+                     int64_t lease_ms)
+    : point_count_(point_count),
+      lease_batch_(lease_batch == 0 ? 1 : lease_batch),
+      lease_ms_(lease_ms),
+      done_(point_count, false) {
+  for (size_t i = 0; i < point_count; ++i) pending_.push_back(i);
+}
+
+void Scheduler::mark_done(size_t index) {
+  if (index >= point_count_ || done_[index]) return;
+  done_[index] = true;
+  ++done_count_;
+}
+
+void Scheduler::touch(const std::string& worker, int64_t now_ms) {
+  auto it = last_seen_.find(worker);
+  if (it != last_seen_.end()) {
+    const double lag = static_cast<double>(now_ms - it->second);
+    if (lag > max_lag_ms_) max_lag_ms_ = lag;
+    it->second = now_ms;
+  } else {
+    last_seen_[worker] = now_ms;
+  }
+}
+
+std::vector<size_t> Scheduler::lease(const std::string& worker,
+                                     int64_t now_ms) {
+  touch(worker, now_ms);
+  std::vector<size_t> batch;
+  while (batch.size() < lease_batch_ && !pending_.empty()) {
+    const size_t idx = pending_.front();
+    pending_.pop_front();
+    if (done_[idx] || out_.count(idx)) continue;  // stale queue entry
+    out_[idx] = worker;
+    batch.push_back(idx);
+  }
+  if (!batch.empty()) {
+    deadline_[worker] = now_ms + lease_ms_;
+    counters_.dispatched += batch.size();
+  }
+  return batch;
+}
+
+bool Scheduler::complete(const std::string& worker, size_t index,
+                         int64_t now_ms) {
+  touch(worker, now_ms);
+  deadline_[worker] = now_ms + lease_ms_;
+  if (index >= point_count_ || done_[index]) {
+    ++counters_.duplicates;
+    return false;
+  }
+  done_[index] = true;
+  ++done_count_;
+  ++counters_.completed;
+  out_.erase(index);
+  return true;
+}
+
+void Scheduler::heartbeat(const std::string& worker, int64_t now_ms) {
+  touch(worker, now_ms);
+  deadline_[worker] = now_ms + lease_ms_;
+}
+
+size_t Scheduler::requeue_worker(const std::string& worker) {
+  std::vector<size_t> lost;
+  for (const auto& [idx, holder] : out_)
+    if (holder == worker) lost.push_back(idx);
+  // Front of the deque, ascending: the oldest work goes back out first,
+  // and two requeues of the same set land in the same order.
+  std::sort(lost.begin(), lost.end());
+  for (auto it = lost.rbegin(); it != lost.rend(); ++it) {
+    out_.erase(*it);
+    pending_.push_front(*it);
+  }
+  counters_.reissued += lost.size();
+  deadline_.erase(worker);
+  return lost.size();
+}
+
+size_t Scheduler::expire(int64_t now_ms) {
+  std::vector<std::string> late;
+  for (const auto& [worker, dl] : deadline_)
+    if (dl < now_ms) late.push_back(worker);
+  size_t n = 0;
+  for (const auto& worker : late) n += requeue_worker(worker);
+  return n;
+}
+
+size_t Scheduler::drop_worker(const std::string& worker) {
+  return requeue_worker(worker);
+}
+
+int64_t Scheduler::next_deadline_ms() const {
+  int64_t best = -1;
+  for (const auto& [worker, dl] : deadline_) {
+    bool holds = false;
+    for (const auto& [idx, holder] : out_)
+      if (holder == worker) {
+        holds = true;
+        break;
+      }
+    if (holds && (best < 0 || dl < best)) best = dl;
+  }
+  return best;
+}
+
+}  // namespace mcc::dist

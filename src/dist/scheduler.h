@@ -1,0 +1,99 @@
+// The pure work-queue state machine behind the campaign coordinator: a
+// pending deque of point indices, per-worker leases with deadlines, and
+// the at-least-once dispatch counters. No I/O, no clock of its own —
+// every mutator takes `now_ms`, so the lease-expiry tests drive it with a
+// FakeClock and the coordinator with SteadyClock.
+//
+// Dispatch contract (docs/distributed.md):
+//   * lease() hands out up to `lease_batch` pending indices and arms the
+//     worker's deadline at now + lease_ms. Results and heartbeats from
+//     the worker re-arm it.
+//   * expire()/drop_worker() requeue a lost worker's outstanding points
+//     at the FRONT of the pending deque (they are the oldest work) and
+//     count them as reissued. At-least-once: a slow-but-alive worker may
+//     still deliver a reissued point later; complete() keeps the FIRST
+//     result and counts the rest as duplicates. Point seeds derive from
+//     coordinates, so any two executions of a point are bit-identical
+//     and first-wins keeps the merged document deterministic.
+//   * mark_done() pre-fills resumed points (--resume) so only the
+//     missing indices dispatch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcc::dist {
+
+/// The deterministic scheduler counters (dist.points_* in the scheduler
+/// report; bench_trend compares them exactly). dispatched counts every
+/// point handed out including reissues, so dispatched == completed +
+/// reissued holds on every clean run.
+struct SchedulerCounters {
+  uint64_t dispatched = 0;
+  uint64_t completed = 0;
+  uint64_t reissued = 0;
+  uint64_t duplicates = 0;
+};
+
+class Scheduler {
+ public:
+  Scheduler(size_t point_count, size_t lease_batch, int64_t lease_ms);
+
+  /// Marks a point already completed (resume pre-fill); it will never be
+  /// dispatched and does not count toward the counters.
+  void mark_done(size_t index);
+
+  /// Leases up to lease_batch pending indices to `worker` and arms its
+  /// deadline. Empty result: nothing pending right now (done, or every
+  /// remaining point is out on another lease).
+  std::vector<size_t> lease(const std::string& worker, int64_t now_ms);
+
+  /// Accepts a result. Returns true when this is the first result for
+  /// the point (caller keeps it); false counts a duplicate (caller drops
+  /// it — the first-streamed copy is bit-identical anyway).
+  bool complete(const std::string& worker, size_t index, int64_t now_ms);
+
+  /// Re-arms `worker`'s lease deadline.
+  void heartbeat(const std::string& worker, int64_t now_ms);
+
+  /// Requeues every point whose worker's deadline has passed. Returns
+  /// the number of points reissued.
+  size_t expire(int64_t now_ms);
+
+  /// Requeues `worker`'s outstanding points (connection dropped).
+  /// Returns the number of points reissued.
+  size_t drop_worker(const std::string& worker);
+
+  bool done() const { return done_count_ == point_count_; }
+  size_t remaining() const { return point_count_ - done_count_; }
+  /// Earliest armed lease deadline, or -1 when nothing is outstanding
+  /// (the coordinator's poll timeout).
+  int64_t next_deadline_ms() const;
+
+  const SchedulerCounters& counters() const { return counters_; }
+  /// Largest observed gap between consecutive messages from one worker —
+  /// the dist.worker_lag_ms gauge (wall-clock; informational).
+  double worker_lag_ms() const { return max_lag_ms_; }
+
+ private:
+  void touch(const std::string& worker, int64_t now_ms);
+  size_t requeue_worker(const std::string& worker);
+
+  size_t point_count_;
+  size_t lease_batch_;
+  int64_t lease_ms_;
+  std::deque<size_t> pending_;          // not yet dispatched (front = oldest)
+  std::map<size_t, std::string> out_;   // outstanding index -> holder
+  std::map<std::string, int64_t> deadline_;  // worker -> lease deadline
+  std::map<std::string, int64_t> last_seen_;
+  std::vector<bool> done_;
+  size_t done_count_ = 0;
+  SchedulerCounters counters_;
+  double max_lag_ms_ = 0;
+};
+
+}  // namespace mcc::dist

@@ -1,0 +1,174 @@
+#include "dist/worker.h"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+#include "api/campaign.h"
+#include "api/config.h"
+#include "dist/clock.h"
+#include "dist/net.h"
+#include "dist/protocol.h"
+
+namespace mcc::dist {
+
+namespace {
+
+using api::Campaign;
+using api::Configuration;
+using api::Json;
+
+/// Blocks until one protocol line arrives; nullopt on EOF/error.
+std::optional<Json> read_msg(int fd, LineBuffer& buf) {
+  std::string line;
+  for (;;) {
+    if (buf.next(line)) return proto::parse(line);
+    char tmp[4096];
+    const ssize_t n = ::read(fd, tmp, sizeof(tmp));
+    if (n <= 0) return std::nullopt;
+    buf.feed(tmp, static_cast<size_t>(n));
+  }
+}
+
+/// After a failed write: the coordinator may have sent "done" before
+/// closing (campaign complete while this worker was mid-point). Drain
+/// whatever is readable without blocking and report whether a done was
+/// among it — that turns the race into a clean exit.
+bool drained_done(int fd, LineBuffer& buf) {
+  char tmp[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, tmp, sizeof(tmp), MSG_DONTWAIT);
+    if (n <= 0) break;
+    buf.feed(tmp, static_cast<size_t>(n));
+  }
+  std::string line;
+  while (buf.next(line)) {
+    try {
+      if (proto::type_of(proto::parse(line)) == "done") return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return false;
+}
+
+/// Rebuilds the campaign from the welcome's journal header and proves the
+/// rebuild reproduces it (name, seed, config echo, point count) before
+/// anything runs. Throws api::ConfigError when the header does not
+/// replay — a version-skewed worker must refuse work, not compute
+/// differently.
+Campaign rebuild_campaign(const Json& header) {
+  const Json* cfg_obj =
+      header.is_object() ? header.find("config") : nullptr;
+  if (cfg_obj == nullptr || !cfg_obj->is_object())
+    throw api::ConfigError("dist: welcome carries no campaign config");
+  Configuration cfg;
+  for (const auto& [k, v] : cfg_obj->members()) cfg.set(k, v.as_string());
+  Campaign campaign(std::move(cfg));
+  campaign.check_journal_header(header);
+  return campaign;
+}
+
+}  // namespace
+
+int run_worker(const std::string& address, const WorkerOptions& opts) {
+  ::signal(SIGPIPE, SIG_IGN);
+  const Address addr = parse_address(address);
+  const int fd = connect_to(addr, opts.connect_timeout_ms);
+  LineBuffer buf;
+  SteadyClock clock;
+
+  const auto fail = [&](const std::string& why) {
+    if (opts.log != nullptr)
+      *opts.log << "dist worker " << opts.name << ": " << why << "\n";
+    ::close(fd);
+    return 1;
+  };
+
+  if (!send_line(fd, proto::hello(opts.name).dump()))
+    return fail("coordinator connection closed during hello");
+  std::optional<Json> welcome;
+  try {
+    welcome = read_msg(fd, buf);
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+  if (!welcome || proto::type_of(*welcome) != "welcome")
+    return fail("no welcome from coordinator");
+
+  Campaign campaign = [&] {
+    const Json* header = welcome->find("campaign");
+    if (header == nullptr)
+      throw api::ConfigError("dist: welcome carries no campaign header");
+    return rebuild_campaign(*header);
+  }();
+  int64_t heartbeat_ms = opts.heartbeat_ms;
+  if (const Json* hb = welcome->find("heartbeat_ms");
+      hb != nullptr && hb->is_number())
+    heartbeat_ms = static_cast<int64_t>(hb->as_uint64());
+
+  int64_t last_send = clock.now_ms();
+  const auto send = [&](const std::string& line) {
+    if (!send_line(fd, line)) return false;
+    last_send = clock.now_ms();
+    return true;
+  };
+
+  for (;;) {
+    if (!send(proto::lease().dump())) {
+      if (drained_done(fd, buf)) break;
+      return fail("coordinator connection closed");
+    }
+    std::optional<Json> m;
+    try {
+      m = read_msg(fd, buf);
+    } catch (const std::exception& e) {
+      return fail(e.what());
+    }
+    if (!m) return fail("coordinator connection closed");
+    const std::string type = proto::type_of(*m);
+    if (type == "done") break;
+    if (type == "wait") {
+      int64_t ms = 100;
+      if (const Json* w = m->find("ms"); w != nullptr && w->is_number())
+        ms = static_cast<int64_t>(w->as_uint64());
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      continue;
+    }
+    if (type != "grant") return fail("unexpected " + type + " message");
+    const Json* points = m->find("points");
+    if (points == nullptr || !points->is_array())
+      return fail("grant without points");
+    bool lost = false;
+    for (const Json& p : points->items()) {
+      const size_t idx = static_cast<size_t>(p.as_uint64());
+      if (clock.now_ms() - last_send >= heartbeat_ms)
+        if (!send(proto::heartbeat().dump())) {
+          lost = true;
+          break;
+        }
+      const Campaign::PointResult r = campaign.run_point(idx);
+      if (opts.log != nullptr)
+        *opts.log << "dist worker " << opts.name << ": point " << idx
+                  << (r.failed ? " FAILED" : " done") << "\n";
+      if (!send(proto::result(campaign.point_json(r)).dump())) {
+        lost = true;
+        break;
+      }
+    }
+    if (lost) {
+      if (drained_done(fd, buf)) break;
+      return fail("coordinator connection closed mid-lease");
+    }
+  }
+  ::close(fd);
+  return 0;
+}
+
+}  // namespace mcc::dist

@@ -1,0 +1,28 @@
+// Worker side of the mcc.dist/1 protocol: connect, register, rebuild the
+// campaign from the welcome's journal header (config-echo replay — proven
+// bit-identical against the header before any point runs), then lease /
+// compute / stream results until the coordinator says done.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace mcc::dist {
+
+struct WorkerOptions {
+  std::string name = "worker";   // registered in the hello
+  int64_t heartbeat_ms = 1000;   // overridden by the welcome
+  int connect_timeout_ms = 10000;  // covers racing the coordinator's bind
+  std::ostream* log = nullptr;   // optional per-point progress lines
+};
+
+/// Runs one worker against the coordinator at `address`
+/// ("unix:<path>" | "tcp:<host>:<port>"). Returns 0 on a clean shutdown
+/// (the coordinator sent done), 1 when the coordinator disappeared or the
+/// welcome did not reproduce the campaign. Throws api::ConfigError on a
+/// malformed address and std::runtime_error when the initial connect
+/// times out.
+int run_worker(const std::string& address, const WorkerOptions& opts = {});
+
+}  // namespace mcc::dist

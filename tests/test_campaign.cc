@@ -311,6 +311,34 @@ TEST(CampaignSharding, MergeRejectsMissingDuplicateAndForeignPoints) {
   EXPECT_THROW(Campaign::merge({p1, f2}), ConfigError);       // header clash
 }
 
+TEST(CampaignSharding, MergeErrorsNameTheMissingAndDuplicatedShards) {
+  Configuration cfg = demo_base();
+  cfg.set("sweep.fault_rate", "0.02, 0.05, 0.08, 0.10");
+  const Campaign campaign(std::move(cfg));
+  const Json p1 = campaign.to_json(campaign.run_shard(1, 3, nullptr), 1, 3);
+  const Json p2 = campaign.to_json(campaign.run_shard(2, 3, nullptr), 2, 3);
+  try {
+    Campaign::merge({p1});
+    FAIL() << "merge accepted a partial set";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    // Exactly the absent points and the shards that would supply them.
+    EXPECT_NE(what.find("missing points 1, 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("missing shards: 2/3, 3/3"), std::string::npos)
+        << what;
+  }
+  try {
+    Campaign::merge({p1, p2, p1});
+    FAIL() << "merge accepted a duplicated shard";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicated shards: 1/3"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("point 0 arrived more than once"), std::string::npos)
+        << what;
+  }
+}
+
 TEST(CampaignSharding, EmptyShardOfASmallGridIsAValidPartial) {
   Configuration cfg = demo_base();
   cfg.set("sweep.fault_rate", "0.05, 0.10");

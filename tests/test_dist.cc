@@ -1,0 +1,387 @@
+// Distributed campaign tests: the lease scheduler under a fake clock
+// (expiry, reissue, first-result-wins dedup), address/line plumbing, the
+// NDJSON result journal and --resume determinism, the welcome-header
+// config-echo replay fixpoint, and socket end-to-end runs (unix + TCP)
+// proving a dist execution's merged document is byte-identical to the
+// serial one. The multi-process fixtures (SIGKILLed workers, killed
+// coordinators) live in tools/CMakeLists.txt as dist_* CTest cases.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/campaign.h"
+#include "api/config.h"
+#include "dist/clock.h"
+#include "dist/coordinator.h"
+#include "dist/net.h"
+#include "dist/protocol.h"
+#include "dist/scheduler.h"
+#include "dist/worker.h"
+
+namespace mcc::dist {
+namespace {
+
+using api::Campaign;
+using api::ConfigError;
+using api::Configuration;
+using api::Json;
+
+Configuration demo_base() {
+  Configuration cfg;
+  cfg.set("name", "dist_demo");
+  cfg.set("driver", "route_demo");
+  cfg.set("dims", "2");
+  cfg.set("k", "12");
+  cfg.set("sweep.fault_rate", "0.02, 0.05, 0.08, 0.10");
+  return cfg;
+}
+
+std::string serial_doc(const Campaign& campaign) {
+  return Campaign::merge(
+             {campaign.to_json(campaign.run_shard(1, 1, nullptr), 1, 1)})
+      .dump_pretty();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler under a fake clock
+
+TEST(Scheduler, LeasesBatchesAndCountsDispatch) {
+  FakeClock clk;
+  Scheduler s(5, 2, 1000);
+  EXPECT_FALSE(s.done());
+  EXPECT_EQ(s.remaining(), 5u);
+  EXPECT_EQ(s.lease("a", clk.now_ms()), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(s.lease("b", clk.now_ms()), (std::vector<size_t>{2, 3}));
+  EXPECT_EQ(s.lease("c", clk.now_ms()), (std::vector<size_t>{4}));
+  EXPECT_TRUE(s.lease("a", clk.now_ms()).empty());  // everything is out
+  EXPECT_EQ(s.counters().dispatched, 5u);
+  EXPECT_EQ(s.counters().completed, 0u);
+}
+
+TEST(Scheduler, ExpiryReissuesToTheFrontAndHeartbeatExtends) {
+  FakeClock clk;
+  Scheduler s(4, 2, 100);
+  ASSERT_EQ(s.lease("a", clk.now_ms()), (std::vector<size_t>{0, 1}));
+  clk.advance(50);
+  s.heartbeat("a", clk.now_ms());  // deadline moves to t=150
+  clk.advance(60);                 // t=110 — inside the extended lease
+  EXPECT_EQ(s.expire(clk.now_ms()), 0u);
+  clk.advance(41);  // t=151 — past it
+  EXPECT_EQ(s.expire(clk.now_ms()), 2u);
+  EXPECT_EQ(s.counters().reissued, 2u);
+  // The reissued points come back out first (front of the queue).
+  EXPECT_EQ(s.lease("b", clk.now_ms()), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(s.counters().dispatched, 4u);
+}
+
+TEST(Scheduler, ResultsReArmTheLeaseDeadline) {
+  FakeClock clk;
+  Scheduler s(4, 4, 100);
+  ASSERT_EQ(s.lease("a", clk.now_ms()).size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    clk.advance(90);  // each result lands inside the re-armed window
+    EXPECT_TRUE(s.complete("a", static_cast<size_t>(i), clk.now_ms()));
+    EXPECT_EQ(s.expire(clk.now_ms()), 0u);
+  }
+  clk.advance(101);  // nothing heard since the last result
+  EXPECT_EQ(s.expire(clk.now_ms()), 1u);  // only point 3 was outstanding
+}
+
+TEST(Scheduler, LateResultFromAnExpiredWorkerIsADuplicate) {
+  FakeClock clk;
+  Scheduler s(2, 2, 100);
+  ASSERT_EQ(s.lease("a", clk.now_ms()).size(), 2u);
+  clk.advance(200);
+  EXPECT_EQ(s.expire(clk.now_ms()), 2u);
+  ASSERT_EQ(s.lease("b", clk.now_ms()).size(), 2u);
+  EXPECT_TRUE(s.complete("b", 0, clk.now_ms()));
+  EXPECT_FALSE(s.complete("a", 0, clk.now_ms()));  // the slow copy arrives
+  EXPECT_EQ(s.counters().duplicates, 1u);
+  EXPECT_TRUE(s.complete("b", 1, clk.now_ms()));
+  EXPECT_TRUE(s.done());
+  EXPECT_EQ(s.counters().completed, 2u);
+  // dispatched = completed + reissued on every run.
+  EXPECT_EQ(s.counters().dispatched,
+            s.counters().completed + s.counters().reissued);
+}
+
+TEST(Scheduler, DropWorkerRequeuesOnlyUnfinishedPoints) {
+  FakeClock clk;
+  Scheduler s(3, 3, 1000);
+  ASSERT_EQ(s.lease("a", clk.now_ms()).size(), 3u);
+  EXPECT_TRUE(s.complete("a", 0, clk.now_ms()));
+  EXPECT_EQ(s.drop_worker("a"), 2u);
+  EXPECT_EQ(s.counters().reissued, 2u);
+  EXPECT_EQ(s.lease("b", clk.now_ms()), (std::vector<size_t>{1, 2}));
+  // A drop after completion requeues nothing.
+  EXPECT_TRUE(s.complete("b", 1, clk.now_ms()));
+  EXPECT_TRUE(s.complete("b", 2, clk.now_ms()));
+  EXPECT_EQ(s.drop_worker("b"), 0u);
+  EXPECT_EQ(s.counters().reissued, 2u);
+  EXPECT_TRUE(s.done());
+}
+
+TEST(Scheduler, MarkDoneSkipsDispatchWithoutCounting) {
+  FakeClock clk;
+  Scheduler s(4, 4, 1000);
+  s.mark_done(1);
+  s.mark_done(3);
+  EXPECT_EQ(s.remaining(), 2u);
+  EXPECT_EQ(s.lease("a", clk.now_ms()), (std::vector<size_t>{0, 2}));
+  EXPECT_TRUE(s.complete("a", 0, clk.now_ms()));
+  EXPECT_TRUE(s.complete("a", 2, clk.now_ms()));
+  EXPECT_TRUE(s.done());
+  EXPECT_EQ(s.counters().dispatched, 2u);
+  EXPECT_EQ(s.counters().completed, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// net plumbing
+
+TEST(Net, ParseAddressForms) {
+  Address u = parse_address("unix:/tmp/x.sock");
+  EXPECT_TRUE(u.unix_domain);
+  EXPECT_EQ(u.path, "/tmp/x.sock");
+  EXPECT_EQ(u.str(), "unix:/tmp/x.sock");
+  Address t = parse_address("tcp:127.0.0.1:7070");
+  EXPECT_FALSE(t.unix_domain);
+  EXPECT_EQ(t.host, "127.0.0.1");
+  EXPECT_EQ(t.port, 7070);
+  EXPECT_THROW(parse_address("udp:1.2.3.4:1"), ConfigError);
+  EXPECT_THROW(parse_address("unix:"), ConfigError);
+  EXPECT_THROW(parse_address("tcp:hostonly"), ConfigError);
+  EXPECT_THROW(parse_address("tcp:1.2.3.4:notaport"), ConfigError);
+  EXPECT_THROW(parse_address("tcp:1.2.3.4:70000"), ConfigError);
+}
+
+TEST(Net, LineBufferReassemblesTornChunks) {
+  LineBuffer buf;
+  std::string line;
+  buf.feed("{\"a\":1}\n{\"b\"", 12);
+  ASSERT_TRUE(buf.next(line));
+  EXPECT_EQ(line, "{\"a\":1}");
+  EXPECT_FALSE(buf.next(line));  // torn tail stays buffered
+  buf.feed(":2}\n", 4);
+  ASSERT_TRUE(buf.next(line));
+  EXPECT_EQ(line, "{\"b\":2}");
+}
+
+TEST(Protocol, RejectsForeignAndMalformedLines) {
+  EXPECT_THROW(proto::parse("not json"), std::runtime_error);
+  EXPECT_THROW(proto::parse("{\"type\":\"hello\"}"), std::runtime_error);
+  EXPECT_THROW(proto::parse("{\"schema\":\"mcc.dist/1\"}"),
+               std::runtime_error);
+  const Json m = proto::parse(proto::hello("w").dump());
+  EXPECT_EQ(proto::type_of(m), "hello");
+}
+
+// ---------------------------------------------------------------------------
+// journal + resume
+
+struct TempPath {
+  std::string path;
+  explicit TempPath(const std::string& name)
+      : path(name + "." + std::to_string(getpid()) + ".tmp") {}
+  ~TempPath() { std::remove(path.c_str()); }
+};
+
+TEST(Journal, RoundTripsResultsWithFirstResultWinsDedup) {
+  const Campaign campaign(demo_base());
+  const auto all = campaign.run_shard(1, 1, nullptr);
+  TempPath tp("test_dist_journal");
+  {
+    api::JournalWriter jw(tp.path, campaign.journal_header(), true);
+    jw.append(campaign.point_json(all[2]));  // completion order, not index
+    jw.append(campaign.point_json(all[0]));
+    jw.append(campaign.point_json(all[2]));  // a reissued duplicate
+  }
+  const auto done = campaign.load_journal(tp.path);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].index, 0u);
+  EXPECT_EQ(done[1].index, 2u);
+  EXPECT_EQ(campaign.missing_points(done),
+            (std::vector<size_t>{1, 3}));
+}
+
+TEST(Journal, TornFinalLineIsToleratedTornMiddleIsNot) {
+  const Campaign campaign(demo_base());
+  const auto all = campaign.run_shard(1, 1, nullptr);
+  TempPath tp("test_dist_torn");
+  {
+    api::JournalWriter jw(tp.path, campaign.journal_header(), true);
+    jw.append(campaign.point_json(all[0]));
+  }
+  {
+    std::ofstream f(tp.path, std::ios::app);
+    f << "{\"index\":1,\"coo";  // the append a dying process never finished
+  }
+  const auto done = campaign.load_journal(tp.path);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].index, 0u);
+
+  // The same torn text mid-file is corruption, not a torn tail.
+  {
+    std::ofstream f(tp.path, std::ios::app);
+    f << "\n" << campaign.point_json(all[2]).dump() << "\n";
+  }
+  EXPECT_THROW(campaign.load_journal(tp.path), ConfigError);
+}
+
+TEST(Journal, HeaderFromADifferentCampaignIsRejected) {
+  const Campaign campaign(demo_base());
+  Configuration other = demo_base();
+  other.set("k", "10");
+  const Campaign foreign(std::move(other));
+  TempPath tp("test_dist_foreign");
+  {
+    api::JournalWriter jw(tp.path, foreign.journal_header(), true);
+  }
+  EXPECT_THROW(campaign.load_journal(tp.path), ConfigError);
+  EXPECT_NO_THROW(foreign.load_journal(tp.path));
+}
+
+TEST(Journal, ResumeReproducesTheSerialDocumentByteForByte) {
+  const Campaign campaign(demo_base());
+  const auto all = campaign.run_shard(1, 1, nullptr);
+  const std::string want = serial_doc(campaign);
+
+  // An interrupted run journaled points 2 and 0 (completion order) and
+  // died. Resume: load, run only the missing points, fold.
+  TempPath tp("test_dist_resume");
+  {
+    api::JournalWriter jw(tp.path, campaign.journal_header(), true);
+    jw.append(campaign.point_json(all[2]));
+    jw.append(campaign.point_json(all[0]));
+  }
+  auto results = campaign.load_journal(tp.path);
+  const auto missing = campaign.missing_points(results);
+  EXPECT_EQ(missing, (std::vector<size_t>{1, 3}));
+  for (auto& r : campaign.run_points(missing, 1, nullptr))
+    results.push_back(std::move(r));
+  std::sort(results.begin(), results.end(),
+            [](const Campaign::PointResult& a,
+               const Campaign::PointResult& b) { return a.index < b.index; });
+  EXPECT_EQ(
+      Campaign::merge({campaign.to_json(results, 1, 1)}).dump_pretty(),
+      want);
+}
+
+TEST(Journal, JobsPathStreamsEveryResultThroughTheSink) {
+  const Campaign campaign(demo_base());
+  size_t streamed = 0;
+  const auto results = campaign.run(
+      2, nullptr, [&](const Campaign::PointResult&) { ++streamed; });
+  EXPECT_EQ(streamed, campaign.points().size());
+  EXPECT_EQ(results.size(), campaign.points().size());
+}
+
+// ---------------------------------------------------------------------------
+// welcome-header replay fixpoint
+
+TEST(Protocol, JournalHeaderReplayIsAFixpoint) {
+  const Campaign campaign(demo_base());
+  const Json header = campaign.journal_header();
+  Configuration replay;
+  for (const auto& [k, v] : header.find("config")->members())
+    replay.set(k, v.as_string());
+  const Campaign rebuilt(std::move(replay));
+  // The worker-side proof: the rebuild reproduces the header exactly...
+  EXPECT_NO_THROW(rebuilt.check_journal_header(header));
+  // ...and therefore the very same points and seeds.
+  ASSERT_EQ(rebuilt.points().size(), campaign.points().size());
+  for (size_t i = 0; i < campaign.points().size(); ++i) {
+    EXPECT_EQ(rebuilt.points()[i].seed, campaign.points()[i].seed);
+    EXPECT_EQ(rebuilt.points()[i].coords, campaign.points()[i].coords);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// socket end-to-end (one in-process worker thread: the obs installation
+// is process-global, so in-process tests keep one Experiment at a time;
+// multi-worker coverage is the fork-based dist_* CTest fixtures)
+
+void run_end_to_end(const std::string& listen) {
+  const Campaign campaign(demo_base());
+  const std::string want = serial_doc(campaign);
+  TempPath tp("test_dist_e2e");
+
+  CoordinatorOptions opts;
+  opts.listen = listen;
+  opts.lease_batch = 3;
+  opts.lease_ms = 30000;
+  opts.heartbeat_ms = 50;
+  opts.journal_path = tp.path;
+  Coordinator coord(campaign, {}, opts);
+
+  int worker_rc = -1;
+  std::thread worker([&] {
+    WorkerOptions wo;
+    wo.name = "thread-1";
+    worker_rc = run_worker(coord.address(), wo);
+  });
+  const auto results = coord.run();
+  worker.join();
+
+  EXPECT_EQ(worker_rc, 0);
+  EXPECT_EQ(
+      Campaign::merge({campaign.to_json(results, 1, 1)}).dump_pretty(),
+      want);
+  const SchedulerCounters& c = coord.counters();
+  EXPECT_EQ(c.dispatched, campaign.points().size());
+  EXPECT_EQ(c.completed, campaign.points().size());
+  EXPECT_EQ(c.reissued, 0u);
+  EXPECT_EQ(c.duplicates, 0u);
+  // The journal the coordinator kept replays to the same done-set.
+  EXPECT_EQ(campaign.load_journal(tp.path).size(),
+            campaign.points().size());
+
+  // The scheduler report carries the counters in its obs block.
+  const Json rep = coord.report().to_json();
+  EXPECT_TRUE(api::validate_report_json(rep).empty());
+  const Json* counters = rep.find("obs")->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("dist.points_completed")->as_uint64(),
+            campaign.points().size());
+}
+
+TEST(DistEndToEnd, UnixSocketRunIsByteIdenticalToSerial) {
+  run_end_to_end("unix:.test_dist_" + std::to_string(getpid()) + ".sock");
+}
+
+TEST(DistEndToEnd, TcpEphemeralPortRunIsByteIdenticalToSerial) {
+  run_end_to_end("tcp:127.0.0.1:0");
+}
+
+TEST(DistEndToEnd, ResumeDispatchesOnlyMissingPoints) {
+  const Campaign campaign(demo_base());
+  const std::string want = serial_doc(campaign);
+  const auto all = campaign.run_shard(1, 1, nullptr);
+  TempPath tp("test_dist_e2e_resume");
+  {
+    api::JournalWriter jw(tp.path, campaign.journal_header(), true);
+    jw.append(campaign.point_json(all[1]));
+    jw.append(campaign.point_json(all[3]));
+  }
+  CoordinatorOptions opts;
+  opts.listen = "unix:.test_dist_r" + std::to_string(getpid()) + ".sock";
+  opts.journal_path = tp.path;
+  opts.resume = true;
+  Coordinator coord(campaign, campaign.load_journal(tp.path), opts);
+  std::thread worker([&] { run_worker(coord.address(), {}); });
+  const auto results = coord.run();
+  worker.join();
+  EXPECT_EQ(coord.counters().completed, 2u);   // only the missing two ran
+  EXPECT_EQ(coord.counters().dispatched, 2u);
+  EXPECT_EQ(
+      Campaign::merge({campaign.to_json(results, 1, 1)}).dump_pretty(),
+      want);
+  EXPECT_EQ(campaign.load_journal(tp.path).size(), 4u);
+}
+
+}  // namespace
+}  // namespace mcc::dist

@@ -4,6 +4,13 @@
 //   mcc_run --jobs N cfg [k=v ...]         campaign across N local workers
 //   mcc_run --shard i/N cfg [k=v ...]      run one campaign shard (partial)
 //   mcc_run --merge out.json part.json...  merge shard partials
+//   mcc_run --serve-campaign cfg [k=v ..]  coordinator: serve the campaign
+//                                          work queue (listen=, lease_*=)
+//   mcc_run --workers N cfg [k=v ...]      serve + fork N local workers
+//   mcc_run --work <addr>                  run one worker against a
+//                                          coordinator (docs/distributed.md)
+//   mcc_run --resume journal.ndjson ...    redo only the points missing
+//                                          from a results_ndjson= journal
 //   mcc_run --list                         show registries + key reference
 //   mcc_run --dump-config [cfg] [k=v ...]  print the resolved config, no run
 //   mcc_run --validate file                schema-check a JSON report, or
@@ -30,8 +37,15 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <memory>
+
 #include "api/campaign.h"
 #include "api/experiment.h"
+#include "dist/coordinator.h"
+#include "dist/worker.h"
 
 namespace {
 
@@ -239,16 +253,50 @@ bool parse_shard(const std::string& text, int& shard, int& count) {
          parse_positive_int(text.substr(slash + 1), count) && shard <= count;
 }
 
-/// Runs a campaign: serial, one shard, or forked across --jobs workers.
+/// The distributed-execution flags (docs/distributed.md). --workers
+/// implies --serve-campaign; --chaos-kill / --dist-abort-after are the
+/// CTest fault-injection hooks.
+struct DistFlags {
+  bool serve = false;
+  int workers = 0;
+  std::string resume;  // journal path; empty = off
+  int chaos_kill = 0;
+  long abort_after = -1;
+};
+
+/// Runs a campaign: serial, one shard, forked across --jobs workers, or
+/// served as a coordinator work queue (--serve-campaign / --workers).
 /// Writes the mcc.campaign/1 document to campaign_json= (falling back to
-/// report_json=, so generic preset harnesses work unchanged).
-int run_campaign(Configuration cfg, int shard, int shard_count, int jobs) {
+/// report_json=, so generic preset harnesses work unchanged). Every
+/// execution mode folds through the same merge path, so the final
+/// document is byte-identical to the serial run's.
+int run_campaign(Configuration cfg, int shard, int shard_count, int jobs,
+                 const DistFlags& dist) {
   if (shard_count > 1 && jobs > 1) {
     std::cerr << "mcc_run: --shard runs one partial serially; --jobs "
                  "parallelizes a whole-campaign run — drop one of the two "
                  "flags\n";
     return 2;
   }
+  if (shard_count > 1 && (dist.serve || !dist.resume.empty())) {
+    std::cerr << "mcc_run: --shard cannot combine with --serve-campaign "
+                 "or --resume (shards are stateless partials)\n";
+    return 2;
+  }
+  if (dist.serve && jobs > 1) {
+    std::cerr << "mcc_run: --serve-campaign parallelizes through workers; "
+                 "use --workers N instead of --jobs\n";
+    return 2;
+  }
+
+  // Dist/journal keys resolve off the base config before the move.
+  const std::string results_ndjson = cfg.get_string("results_ndjson");
+  const std::string dist_report_path = cfg.get_string("dist_report_json");
+  std::string listen = cfg.get_string("listen");
+  const int lease_batch = cfg.get_int("lease_batch");
+  const int lease_ms = cfg.get_int("lease_ms");
+  const int heartbeat_ms = cfg.get_int("heartbeat_ms");
+
   Campaign campaign(std::move(cfg));
   const bool partial = shard_count > 1;
   const std::string path = campaign.json_path();
@@ -257,14 +305,82 @@ int run_campaign(Configuration cfg, int shard, int shard_count, int jobs) {
                  "to write the partial document\n";
     return 2;
   }
+  // The resume journal is the journal this run keeps appending to.
+  const bool resume = !dist.resume.empty();
+  const std::string journal_path = resume ? dist.resume : results_ndjson;
+  std::vector<Campaign::PointResult> done;
+  if (resume) done = campaign.load_journal(journal_path);
 
   std::vector<Campaign::PointResult> results;
   Json doc;
   if (partial) {
     results = campaign.run_shard(shard, shard_count, &std::cout);
     doc = campaign.to_json(results, shard, shard_count);
+  } else if (dist.serve) {
+    if (listen.empty()) {
+      if (dist.workers == 0) {
+        std::cerr << "mcc_run: --serve-campaign needs listen= (or "
+                     "--workers N, which defaults to a private unix "
+                     "socket)\n";
+        return 2;
+      }
+      listen = "unix:.mcc_dist." + std::to_string(getpid()) + ".sock";
+    }
+    mcc::dist::CoordinatorOptions co;
+    co.listen = listen;
+    co.lease_batch = lease_batch;
+    co.lease_ms = lease_ms;
+    co.heartbeat_ms = heartbeat_ms;
+    co.journal_path = journal_path;
+    co.resume = resume;
+    co.local_workers = dist.workers;
+    co.chaos_kill_worker = dist.chaos_kill;
+    co.abort_after = dist.abort_after;
+    co.progress = &std::cout;
+    mcc::dist::Coordinator coord(campaign, std::move(done), co);
+    // Flushed eagerly: remote workers read this address off the log
+    // while the coordinator is still blocked serving.
+    std::cout << "# dist listening on " << coord.address() << std::endl;
+    results = coord.run();
+    const mcc::dist::SchedulerCounters& c = coord.counters();
+    std::cout << "# dist scheduler: dispatched=" << c.dispatched
+              << " completed=" << c.completed << " reissued=" << c.reissued
+              << " duplicates=" << c.duplicates << "\n";
+    if (!dist_report_path.empty()) {
+      const Json rep = coord.report().to_json();
+      const auto problems = mcc::api::validate_report_json(rep);
+      if (!problems.empty())
+        throw std::logic_error("dist report failed its own schema: " +
+                               problems.front());
+      std::ofstream f(dist_report_path);
+      if (!f)
+        throw mcc::api::ConfigError("config: cannot write '" +
+                                    dist_report_path + "'");
+      f << rep.dump_pretty();
+    }
+    doc = Campaign::merge({campaign.to_json(results, 1, 1)});
   } else {
-    results = campaign.run(jobs, &std::cout);
+    std::unique_ptr<mcc::api::JournalWriter> journal;
+    Campaign::ResultSink sink;
+    if (!journal_path.empty()) {
+      journal = std::make_unique<mcc::api::JournalWriter>(
+          journal_path, campaign.journal_header(), !resume);
+      sink = [&](const Campaign::PointResult& r) {
+        journal->append(campaign.point_json(r));
+      };
+    }
+    if (resume) {
+      results = campaign.run_points(campaign.missing_points(done), jobs,
+                                    &std::cout, sink);
+      for (auto& r : done) results.push_back(std::move(r));
+      std::sort(results.begin(), results.end(),
+                [](const Campaign::PointResult& a,
+                   const Campaign::PointResult& b) {
+                  return a.index < b.index;
+                });
+    } else {
+      results = campaign.run(jobs, &std::cout, sink);
+    }
     doc = Campaign::merge({campaign.to_json(results, 1, 1)});
   }
   const auto problems = mcc::api::validate_report_json(doc);
@@ -309,8 +425,24 @@ int main(int argc, char** argv) {
   }
   if (!args.empty() && args[0] == "--merge")
     return merge_partials({args.begin() + 1, args.end()});
+  if (!args.empty() && args[0] == "--work") {
+    if (args.size() != 2) {
+      std::cerr << "usage: mcc_run --work <unix:path | tcp:host:port>\n";
+      return 2;
+    }
+    try {
+      return mcc::dist::run_worker(args[1], {});
+    } catch (const mcc::api::ConfigError& e) {
+      std::cerr << "mcc_run: " << e.what() << "\n";
+      return 2;
+    } catch (const std::exception& e) {
+      std::cerr << "mcc_run: error: " << e.what() << "\n";
+      return 1;
+    }
+  }
 
   // Flags may appear anywhere before/between config tokens.
+  DistFlags dist;
   std::vector<std::string> rest;
   for (size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--dump-config") {
@@ -325,14 +457,49 @@ int main(int argc, char** argv) {
         std::cerr << "mcc_run: --jobs expects a positive worker count\n";
         return 2;
       }
+    } else if (args[i] == "--serve-campaign") {
+      dist.serve = true;
+    } else if (args[i] == "--workers" && i + 1 < args.size()) {
+      if (!parse_positive_int(args[++i], dist.workers)) {
+        std::cerr << "mcc_run: --workers expects a positive worker count\n";
+        return 2;
+      }
+      dist.serve = true;
+    } else if (args[i] == "--resume" && i + 1 < args.size()) {
+      dist.resume = args[++i];
+    } else if (args[i] == "--chaos-kill" && i + 1 < args.size()) {
+      if (!parse_positive_int(args[++i], dist.chaos_kill)) {
+        std::cerr << "mcc_run: --chaos-kill expects a local worker "
+                     "number\n";
+        return 2;
+      }
+    } else if (args[i] == "--dist-abort-after" && i + 1 < args.size()) {
+      int n = 0;
+      if (!parse_positive_int(args[++i], n)) {
+        std::cerr << "mcc_run: --dist-abort-after expects a positive "
+                     "journal line count\n";
+        return 2;
+      }
+      dist.abort_after = n;
     } else {
       rest.push_back(args[i]);
     }
   }
+  if ((dist.chaos_kill > 0 || dist.abort_after >= 0) && !dist.serve) {
+    std::cerr << "mcc_run: --chaos-kill / --dist-abort-after are "
+                 "--serve-campaign test hooks\n";
+    return 2;
+  }
+  if (dist.chaos_kill > dist.workers) {
+    std::cerr << "mcc_run: --chaos-kill names a local worker, so it needs "
+                 "--workers N with N >= the victim number\n";
+    return 2;
+  }
   if (rest.empty()) {
     std::cerr << "usage: mcc_run [--list | --validate file | --merge out "
-                 "partials... | --dump-config | --shard i/N | --jobs N] "
-                 "[config.cfg] [key=value ...]\n";
+                 "partials... | --work addr | --dump-config | --shard i/N "
+                 "| --jobs N | --serve-campaign | --workers N | --resume "
+                 "journal] [config.cfg] [key=value ...]\n";
     return 2;
   }
 
@@ -353,7 +520,13 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (campaign)
-      return run_campaign(std::move(cfg), shard, shard_count, jobs);
+      return run_campaign(std::move(cfg), shard, shard_count, jobs, dist);
+    if (dist.serve || !dist.resume.empty()) {
+      std::cerr << "mcc_run: --serve-campaign / --resume apply to "
+                   "campaigns (sweep.* axes); this configuration is a "
+                   "single scenario\n";
+      return 2;
+    }
     if (shard_count > 1) {
       std::cerr << "mcc_run: --shard applies to campaigns (sweep.* axes); "
                    "this configuration is a single scenario\n";
